@@ -1,0 +1,154 @@
+package bxt_test
+
+// Benchmark harness: one benchmark per table and figure of the paper, plus
+// encoder/decoder microbenchmarks. The figure benchmarks regenerate the
+// exact rows the paper reports (the first iteration prints them; subsequent
+// iterations measure the cached evaluation pipeline). Run with:
+//
+//	go test -bench=. -benchmem
+import (
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/hpca18/bxt"
+)
+
+// printOnce emits each experiment's regenerated rows exactly once per
+// process, so `go test -bench` output contains every reproduced artifact.
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		if err := bxt.RunExperiment(id, os.Stdout); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bxt.RunExperiment(id, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact.
+
+func BenchmarkFig01Trend(b *testing.B)        { benchExperiment(b, "fig1") }
+func BenchmarkFig02PODModel(b *testing.B)     { benchExperiment(b, "fig2") }
+func BenchmarkTable1Config(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkTable2Costs(b *testing.B)       { benchExperiment(b, "table2") }
+func BenchmarkFig11FixedBase(b *testing.B)    { benchExperiment(b, "fig11") }
+func BenchmarkFig12Universal(b *testing.B)    { benchExperiment(b, "fig12") }
+func BenchmarkFig13Distribution(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14ZDR(b *testing.B)          { benchExperiment(b, "fig14") }
+func BenchmarkFig15Comparison(b *testing.B)   { benchExperiment(b, "fig15") }
+func BenchmarkFig16Toggles(b *testing.B)      { benchExperiment(b, "fig16") }
+func BenchmarkFig17Energy(b *testing.B)       { benchExperiment(b, "fig17") }
+func BenchmarkFig18CPU(b *testing.B)          { benchExperiment(b, "fig18") }
+func BenchmarkHeadline(b *testing.B)          { benchExperiment(b, "headline") }
+
+// Ablations and extensions (design-choice studies from DESIGN.md).
+
+func BenchmarkAblBaseSelection(b *testing.B) { benchExperiment(b, "abl-select") }
+func BenchmarkAblZDRConstant(b *testing.B)   { benchExperiment(b, "abl-zdrconst") }
+func BenchmarkAblStageCount(b *testing.B)    { benchExperiment(b, "abl-stages") }
+func BenchmarkAblBDThreshold(b *testing.B)   { benchExperiment(b, "abl-bdthreshold") }
+func BenchmarkAblAdjacency(b *testing.B)     { benchExperiment(b, "abl-adjacency") }
+func BenchmarkAblUtilization(b *testing.B)   { benchExperiment(b, "abl-utilization") }
+func BenchmarkExtHBM(b *testing.B)           { benchExperiment(b, "ext-hbm") }
+func BenchmarkExtMemsys(b *testing.B)        { benchExperiment(b, "ext-memsys") }
+func BenchmarkExtCompression(b *testing.B)   { benchExperiment(b, "ext-compression") }
+func BenchmarkExtPerformance(b *testing.B)   { benchExperiment(b, "ext-performance") }
+func BenchmarkExtLWC(b *testing.B)           { benchExperiment(b, "ext-lwc") }
+func BenchmarkExtFVE(b *testing.B)           { benchExperiment(b, "ext-fve") }
+
+// Encoder/decoder microbenchmarks: throughput of the software models on
+// 32-byte transactions (the hardware implementations are one-cycle, Table
+// II; these numbers characterize the simulator itself).
+
+func randTxns(n int) [][]byte {
+	rng := rand.New(rand.NewSource(42))
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, 32)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func benchEncode(b *testing.B, c bxt.Codec) {
+	b.Helper()
+	txns := randTxns(1024)
+	var enc bxt.Encoded
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(&enc, txns[i%len(txns)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecode(b *testing.B, c bxt.Codec) {
+	b.Helper()
+	txns := randTxns(1024)
+	encs := make([]bxt.Encoded, len(txns))
+	for i, t := range txns {
+		if err := c.Encode(&encs[i], t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dst := make([]byte, 32)
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Decode(dst, &encs[i%len(encs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeBaseXOR4(b *testing.B)  { benchEncode(b, bxt.NewBaseXOR(4)) }
+func BenchmarkDecodeBaseXOR4(b *testing.B)  { benchDecode(b, bxt.NewBaseXOR(4)) }
+func BenchmarkEncodeUniversal(b *testing.B) { benchEncode(b, bxt.NewUniversal(3)) }
+func BenchmarkDecodeUniversal(b *testing.B) { benchDecode(b, bxt.NewUniversal(3)) }
+func BenchmarkEncodeDBI1(b *testing.B)      { benchEncode(b, bxt.NewDBI(1)) }
+func BenchmarkEncodeBD(b *testing.B)        { benchEncode(b, bxt.NewBDEncoding()) }
+func BenchmarkEncodeHybrid(b *testing.B) {
+	benchEncode(b, bxt.NewChain(bxt.NewUniversal(3), bxt.NewDBI(1)))
+}
+
+// BenchmarkBusTransfer measures the wire-level accounting path.
+func BenchmarkBusTransfer(b *testing.B) {
+	txns := randTxns(1024)
+	bus := bxt.NewBus(32)
+	var enc bxt.Encoded
+	c := bxt.NewUniversal(3)
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(&enc, txns[i%len(txns)]); err != nil {
+			b.Fatal(err)
+		}
+		if err := bus.Transfer(&enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorkloadGen measures suite payload generation.
+func BenchmarkWorkloadGen(b *testing.B) {
+	app, ok := bxt.AppByName("rodinia-hotspot")
+	if !ok {
+		b.Fatal("missing app")
+	}
+	b.SetBytes(int64(app.TxnBytes * app.Transactions))
+	for i := 0; i < b.N; i++ {
+		if got := len(app.Payloads()); got != app.Transactions {
+			b.Fatal("short stream")
+		}
+	}
+}

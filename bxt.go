@@ -1,0 +1,229 @@
+// Package bxt is a complete implementation of the Base+XOR Transfer family
+// of low-energy data-bus encodings from "Reducing Data Transfer Energy by
+// Exploiting Similarity within a Data Transaction" (HPCA 2018), together
+// with the baselines it is evaluated against (Dynamic Bus Inversion,
+// BD-Encoding, SILENT) and the full evaluation substrate: a wire-level POD
+// I/O bus model, a GDDR5X memory-system energy model, a gate-level
+// implementation-cost model, a 215-application synthetic workload suite,
+// and a GPU/memory-system simulator.
+//
+// # Encodings
+//
+// On a Pseudo Open Drain (POD) terminated interface, transferring a 1 costs
+// ~37 % more energy than a 0. Base+XOR Transfer exploits the similarity of
+// adjacent data elements inside one 32-byte DRAM transaction: the first
+// element is sent verbatim and every other element is sent as the XOR with
+// its neighbour, turning repeated bits into cheap 0s. Zero Data Remapping
+// (ZDR) swaps the two encoded symbols produced by a zero element and by
+// base⊕const so ubiquitous zero elements cost a single 1 bit, and Universal
+// Base+XOR applies halving stages so no element-size knowledge is needed.
+// All variants are metadata-free bijections: encoded data can be stored in
+// DRAM as-is and decoded on read.
+//
+// Quick start:
+//
+//	codec := bxt.NewUniversal(3) // 3 halving stages for 32-byte transactions
+//	var enc bxt.Encoded
+//	if err := codec.Encode(&enc, sector); err != nil { ... }
+//	fmt.Println("ones before:", bxt.OnesCount(sector), "after:", enc.OnesCount())
+//	decoded := make([]byte, len(sector))
+//	if err := codec.Decode(decoded, &enc); err != nil { ... }
+//
+// The experiment registry reproduces every table and figure of the paper;
+// see cmd/bxtbench and RunExperiment.
+package bxt
+
+import (
+	"io"
+
+	"github.com/hpca18/bxt/internal/bdenc"
+	"github.com/hpca18/bxt/internal/bdi"
+	"github.com/hpca18/bxt/internal/bus"
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/dbi"
+	"github.com/hpca18/bxt/internal/dram"
+	"github.com/hpca18/bxt/internal/experiments"
+	"github.com/hpca18/bxt/internal/fve"
+	"github.com/hpca18/bxt/internal/gates"
+	"github.com/hpca18/bxt/internal/lwc"
+	"github.com/hpca18/bxt/internal/phy"
+	"github.com/hpca18/bxt/internal/power"
+	"github.com/hpca18/bxt/internal/trace"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+// Core types, re-exported for downstream users.
+type (
+	// Codec is a reversible transaction encoding scheme.
+	Codec = core.Codec
+	// Encoded is the on-the-wire form of one transaction.
+	Encoded = core.Encoded
+	// BaseXOR is N-byte Base+XOR Transfer (optionally with ZDR).
+	BaseXOR = core.BaseXOR
+	// Universal is Universal Base+XOR Transfer.
+	Universal = core.Universal
+	// Chain composes two codecs (e.g. Universal followed by DBI).
+	Chain = core.Chain
+	// DBI is Dynamic Bus Inversion.
+	DBI = dbi.DBI
+	// BDEncoding is the cache-based bitwise-difference baseline.
+	BDEncoding = bdenc.BD
+	// Identity is the unencoded baseline.
+	Identity = core.Identity
+
+	// BusStats is accumulated wire-level activity (1 values, toggles).
+	BusStats = bus.Stats
+	// Bus is one DRAM channel's wire state.
+	Bus = bus.Bus
+	// PHYParams are POD I/O electrical parameters.
+	PHYParams = phy.Params
+	// EnergyModel estimates memory-system energy from bus activity.
+	EnergyModel = power.Model
+	// EnergyBreakdown is a memory-system energy decomposition in joules.
+	EnergyBreakdown = power.Breakdown
+	// GPUConfig is the evaluated system configuration (Table I).
+	GPUConfig = config.GPU
+
+	// Transaction is one DRAM burst with its payload.
+	Transaction = trace.Transaction
+	// TraceStats summarizes a transaction stream's data values.
+	TraceStats = trace.Stats
+	// App is one synthetic application of the workload suite.
+	App = workload.App
+	// Generator produces transaction payloads for an App.
+	Generator = workload.Generator
+
+	// GateLibrary is the 16 nm standard-cell library of the cost model.
+	GateLibrary = gates.Library
+	// Mechanism is one Table II hardware mechanism (encoder + decoder).
+	Mechanism = gates.Mechanism
+)
+
+// NewBaseXOR returns N-byte Base+XOR Transfer with Zero Data Remapping, the
+// paper's evaluated fixed-base configuration (§VI-A).
+func NewBaseXOR(baseSize int) *BaseXOR { return core.NewBaseXOR(baseSize) }
+
+// NewSILENT returns the SILENT [8] baseline: adjacent-element XOR without
+// zero-data handling.
+func NewSILENT(baseSize int) *BaseXOR { return core.NewSILENT(baseSize) }
+
+// NewUniversal returns Universal Base+XOR Transfer with ZDR and the given
+// number of halving stages (3 for 32-byte transactions, Table II).
+func NewUniversal(stages int) *Universal { return core.NewUniversal(stages) }
+
+// NewDBI returns GDDR5X-style DBI-DC over the given group size in bytes
+// (1, 2 or 4) on a 32-bit channel.
+func NewDBI(groupBytes int) *DBI { return dbi.New(groupBytes) }
+
+// NewBDEncoding returns the BD-Encoding baseline [4] with its default
+// 64-entry repository and 12-bit similarity threshold.
+func NewBDEncoding() *BDEncoding { return bdenc.New() }
+
+// FVE is the Frequent Value Encoding baseline [28]: exact-equality coding
+// against a 32-entry value table.
+type FVE = fve.FVE
+
+// NewFVE returns an adaptive Frequent Value Encoding codec.
+func NewFVE() *FVE { return fve.New() }
+
+// NewChain composes two codecs; the paper's best configuration is
+// NewChain(NewUniversal(3), NewDBI(1)).
+func NewChain(first, second Codec) *Chain { return core.NewChain(first, second) }
+
+// NewOracleBase returns the §IV-B exhaustive per-transaction base-size
+// selector (2/4/8-byte candidates, one metadata wire) — the alternative the
+// paper rejects in favour of Universal Base+XOR; included for ablations.
+func NewOracleBase() *core.OracleBase { return core.NewOracleBase() }
+
+// NewProfiledBase returns the §IV-B windowed profiling selector: no
+// metadata, but profiling state on both sides of the channel.
+func NewProfiledBase() *core.ProfiledBase { return core.NewProfiledBase() }
+
+// OnesCount returns the number of energy-expensive 1 values in b.
+func OnesCount(b []byte) int { return core.OnesCount(b) }
+
+// HammingDistance returns the number of differing bit positions.
+func HammingDistance(a, b []byte) int { return core.HammingDistance(a, b) }
+
+// NewBus returns a DRAM channel bus model of the given width in bits.
+func NewBus(dataWires int) *Bus { return bus.New(dataWires) }
+
+// EvaluateTrace encodes txns with codec and drives them over a width-bit
+// bus at the given bandwidth utilization (the paper evaluates at 0.70),
+// returning wire-level activity.
+func EvaluateTrace(codec Codec, txns [][]byte, widthBits int, utilization float64) (BusStats, error) {
+	return bus.EvaluateTraceUtil(codec, txns, widthBits, utilization)
+}
+
+// GDDR5X returns the Table I GDDR5X interface parameters.
+func GDDR5X() PHYParams { return phy.GDDR5X() }
+
+// NewEnergyModel returns the paper's evaluated memory-system energy model
+// (Titan X configuration, GDDR5X PHY).
+func NewEnergyModel() *EnergyModel { return power.NewModel() }
+
+// TitanX returns the evaluated GPU system configuration (Table I).
+func TitanX() GPUConfig { return config.TitanX() }
+
+// GPUSuite returns the 187 GPU applications of the evaluation suite.
+func GPUSuite() []App { return workload.GPUSuite() }
+
+// CPUSuite returns the 28 SPEC-CPU-style applications of Fig 18.
+func CPUSuite() []App { return workload.CPUSuite() }
+
+// AppByName looks up a suite application.
+func AppByName(name string) (App, bool) { return workload.ByName(name) }
+
+// MeasureTrace computes data-value statistics over payloads.
+func MeasureTrace(payloads [][]byte) TraceStats { return trace.Measure(payloads) }
+
+// TSMC16 returns the calibrated 16 nm gate library of the cost model.
+func TSMC16() GateLibrary { return gates.TSMC16() }
+
+// TableII builds the Table II mechanisms for the given transaction size.
+func TableII(txnBytes int) []Mechanism { return gates.TableII(txnBytes) }
+
+// Related-work substrates, exported for side-by-side studies.
+type (
+	// LimitedWeightCode is an (n, maxWeight) enumerative code [35].
+	LimitedWeightCode = lwc.Code
+	// BDIResult describes one Base-Delta-Immediate compressed block [6].
+	BDIResult = bdi.Result
+	// DRAMController is the FR-FCFS command-level timing model.
+	DRAMController = dram.Controller
+	// DRAMRequest is one request presented to the timing model.
+	DRAMRequest = dram.Request
+)
+
+// NewLimitedWeightCode builds an (n, maxWeight) limited-weight code over
+// 8-bit symbols (MiL's building block [3, 35]).
+func NewLimitedWeightCode(n, maxWeight int) (*LimitedWeightCode, error) {
+	return lwc.New(n, maxWeight)
+}
+
+// BDICompress applies Base-Delta-Immediate compression to one block.
+func BDICompress(block []byte) BDIResult { return bdi.Compress(block) }
+
+// BDIDecompress reverses BDICompress.
+func BDIDecompress(payload []byte, blockBytes int) ([]byte, error) {
+	return bdi.Decompress(payload, blockBytes)
+}
+
+// NewDRAMController returns a GDDR5X command-level timing model with an
+// FR-FCFS scheduler, for measuring the §V-B performance claim.
+func NewDRAMController() *DRAMController { return dram.NewController() }
+
+// RunExperiment regenerates one of the paper's tables or figures by ID
+// ("fig1", "fig2", "table1", "table2", "fig11" … "fig18", "headline"),
+// writing the result to w.
+func RunExperiment(id string, w io.Writer) error { return experiments.Run(id, w) }
+
+// Experiments lists the available experiment IDs in publication order.
+func Experiments() []string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

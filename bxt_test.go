@@ -1,0 +1,150 @@
+package bxt_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/hpca18/bxt"
+)
+
+// TestPublicRoundTrip exercises the facade end to end the way a downstream
+// user would.
+func TestPublicRoundTrip(t *testing.T) {
+	txn := bytes.Repeat([]byte{0x39, 0x0c, 0x9b, 0xfb}, 8)
+	for _, c := range []bxt.Codec{
+		bxt.NewBaseXOR(4),
+		bxt.NewSILENT(4),
+		bxt.NewUniversal(3),
+		bxt.NewDBI(1),
+		bxt.NewBDEncoding(),
+		bxt.NewChain(bxt.NewUniversal(3), bxt.NewDBI(1)),
+	} {
+		var enc bxt.Encoded
+		if err := c.Encode(&enc, txn); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		got := make([]byte, len(txn))
+		if err := c.Decode(got, &enc); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		if !bytes.Equal(got, txn) {
+			t.Fatalf("%s: round trip failed", c.Name())
+		}
+	}
+}
+
+// TestExperimentRegistry verifies every advertised experiment runs.
+func TestExperimentRegistry(t *testing.T) {
+	ids := bxt.Experiments()
+	// Paper artifacts in publication order, then ablations/extensions.
+	want := []string{"fig1", "fig2", "table1", "table2", "fig11", "fig12",
+		"fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "headline"}
+	if len(ids) < len(want) {
+		t.Fatalf("registry has %d experiments, want ≥ %d: %v", len(ids), len(want), ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("experiment order %v, want prefix %v", ids, want)
+		}
+	}
+	// The cheap hardware experiments run fully here; the suite-wide
+	// figures are covered by TestHeadlineClaims and the benchmarks.
+	for _, id := range []string{"fig1", "fig2", "table1", "table2"} {
+		var buf bytes.Buffer
+		if err := bxt.RunExperiment(id, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", id)
+		}
+	}
+	if err := bxt.RunExperiment("nope", &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestHeadlineClaims is the repository's top-level acceptance test: the
+// regenerated headline numbers must match the paper's in shape — Universal
+// XOR+ZDR removes roughly a third of 1 values, the DBI hybrid roughly half,
+// and the energy savings land in the paper's range.
+func TestHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite evaluation")
+	}
+	var buf bytes.Buffer
+	if err := bxt.RunExperiment("headline", &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	t.Log(out)
+
+	// Structural checks on the regenerated aggregate numbers.
+	apps := bxt.GPUSuite()
+	var baseOnes, univOnes, hybridOnes float64
+	univ := func() bxt.Codec { return bxt.NewUniversal(3) }
+	for _, a := range apps[:40] { // a representative prefix keeps this test quick
+		p := a.Payloads()
+		b, err := bxt.EvaluateTrace(bxt.Identity{}, p, 32, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := bxt.EvaluateTrace(univ(), p, 32, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := bxt.EvaluateTrace(bxt.NewChain(univ(), bxt.NewDBI(1)), p, 32, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseOnes += float64(b.Ones())
+		univOnes += float64(u.Ones())
+		hybridOnes += float64(h.Ones())
+	}
+	if univOnes >= baseOnes {
+		t.Error("Universal XOR+ZDR did not reduce 1 values over the suite prefix")
+	}
+	if hybridOnes >= univOnes {
+		t.Error("adding DBI did not reduce 1 values further")
+	}
+	if !strings.Contains(out, "35.3%") {
+		t.Error("headline output should cite the paper's 35.3% for comparison")
+	}
+}
+
+// TestSuiteAccessors sanity-checks the facade's workload API.
+func TestSuiteAccessors(t *testing.T) {
+	if got := len(bxt.GPUSuite()); got != 187 {
+		t.Fatalf("GPU suite = %d apps, want 187", got)
+	}
+	if got := len(bxt.CPUSuite()); got != 28 {
+		t.Fatalf("CPU suite = %d apps, want 28", got)
+	}
+	app, ok := bxt.AppByName("exascale-comd")
+	if !ok {
+		t.Fatal("exascale-comd missing")
+	}
+	p := app.Payloads()
+	s := bxt.MeasureTrace(p)
+	if s.Transactions != app.Transactions || s.Bits == 0 {
+		t.Fatalf("bad trace stats %+v", s)
+	}
+	cfg := bxt.TitanX()
+	if cfg.Channels() != 12 || cfg.BeatsPerTransaction() != 8 {
+		t.Fatalf("Table I geometry wrong: %+v", cfg)
+	}
+}
+
+// TestGateModelFacade checks the cost-model surface.
+func TestGateModelFacade(t *testing.T) {
+	lib := bxt.TSMC16()
+	rows := bxt.TableII(32)
+	if len(rows) != 7 {
+		t.Fatalf("Table II has %d rows, want 7", len(rows))
+	}
+	for _, m := range rows {
+		if m.Encoder.Cost(lib).AreaUm2 <= 0 {
+			t.Fatalf("%s: non-positive area", m.Name)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Command bxtbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	bxtbench            # run every experiment in publication order
+//	bxtbench -list      # list experiment IDs
+//	bxtbench -run fig15 # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/hpca18/bxt/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	run := flag.String("run", "", "run a single experiment by ID (e.g. fig15)")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+	case *run != "":
+		if err := experiments.Run(*run, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bxtbench:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := experiments.RunAll(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bxtbench:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command bxttrace generates and inspects DRAM transaction traces in the
+// repository's binary trace format.
+//
+// Usage:
+//
+//	bxttrace -app rodinia-hotspot -o hotspot.bxtt   # generate
+//	bxttrace -stats hotspot.bxtt                    # inspect
+//	bxttrace -dump hotspot.bxtt | head              # hex dump
+//	bxttrace -list                                  # list suite apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/hpca18/bxt"
+	"github.com/hpca18/bxt/internal/trace"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bxttrace: ")
+	app := flag.String("app", "", "suite application to trace")
+	out := flag.String("o", "", "output trace file (with -app)")
+	statsFile := flag.String("stats", "", "print statistics for a trace file")
+	dumpFile := flag.String("dump", "", "hex-dump a trace file")
+	list := flag.Bool("list", false, "list application names")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, a := range append(bxt.GPUSuite(), bxt.CPUSuite()...) {
+			fmt.Printf("%-22s %-10s %s\n", a.Name, a.Category, a.Suite)
+		}
+	case *app != "":
+		if *out == "" {
+			log.Fatal("-app requires -o <file>")
+		}
+		generate(*app, *out)
+	case *statsFile != "":
+		inspect(*statsFile)
+	case *dumpFile != "":
+		dump(*dumpFile)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func generate(appName, path string) {
+	app, ok := workload.ByName(appName)
+	if !ok {
+		log.Fatalf("unknown application %q (try -list)", appName)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewWriter(f, app.TxnBytes)
+	for _, txn := range app.Trace() {
+		if err := w.Write(txn); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d transactions of %d bytes to %s\n", w.Count(), app.TxnBytes, path)
+}
+
+func open(path string) *trace.Reader {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return r
+}
+
+func inspect(path string) {
+	r := open(path)
+	txns, err := r.ReadAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var s trace.Stats
+	reads := 0
+	for _, t := range txns {
+		s.Observe(t.Data)
+		if t.Kind == trace.Read {
+			reads++
+		}
+	}
+	fmt.Printf("transactions:  %d (%d bytes each)\n", s.Transactions, r.TxnSize())
+	fmt.Printf("reads/writes:  %d/%d\n", reads, len(txns)-reads)
+	fmt.Printf("1 density:     %.3f\n", s.OnesDensity())
+	fmt.Printf("zero txns:     %d (%.1f%%)\n", s.ZeroTxns, 100*float64(s.ZeroTxns)/float64(s.Transactions))
+	fmt.Printf("mixed txns:    %d (%.1f%%)\n", s.MixedTxns, 100*s.MixedRatio())
+	fmt.Printf("zero elements: %d of %d (%.1f%%)\n", s.ZeroElems, s.Elems,
+		100*float64(s.ZeroElems)/float64(s.Elems))
+}
+
+func dump(path string) {
+	r := open(path)
+	txns, err := r.ReadAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range txns {
+		fmt.Printf("%s %#012x %x\n", t.Kind, t.Addr, t.Data)
+	}
+}

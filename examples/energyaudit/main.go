@@ -1,0 +1,73 @@
+// Energyaudit: a full memory-system energy audit of one workload on the
+// Table I GPU — the component breakdown (background, activate, core,
+// I/O static, termination, switching) for the conventional interface and
+// for Base+XOR Transfer, in the style of the Micron/Rambus DRAM power
+// calculators the paper modified.
+//
+// Usage:
+//
+//	energyaudit [-app exascale-comd]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/hpca18/bxt"
+)
+
+func pj(j float64) float64 { return j * 1e12 }
+
+func main() {
+	appName := flag.String("app", "exascale-comd", "suite application to audit")
+	flag.Parse()
+
+	app, ok := bxt.AppByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown application %q\n", *appName)
+		os.Exit(1)
+	}
+	payloads := app.Payloads()
+
+	baseline, err := bxt.EvaluateTrace(bxt.Identity{}, payloads, 32, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	univ, err := bxt.EvaluateTrace(bxt.NewUniversal(3), payloads, 32, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hybrid, err := bxt.EvaluateTrace(bxt.NewChain(bxt.NewUniversal(3), bxt.NewDBI(1)), payloads, 32, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := bxt.NewEnergyModel()
+	eb, eu, eh := m.Estimate(baseline), m.Estimate(univ), m.Estimate(hybrid)
+
+	fmt.Printf("Memory-system energy audit: %s (%d x %d-byte transactions, 70%% utilization)\n\n",
+		app.Name, baseline.Transactions, app.TxnBytes)
+	fmt.Printf("%-16s %14s %20s %24s\n", "component (pJ)", "baseline", "Universal XOR+ZDR", "Universal + 1B DBI")
+	row := func(name string, b, u, h float64) {
+		fmt.Printf("%-16s %14.0f %20.0f %24.0f\n", name, pj(b), pj(u), pj(h))
+	}
+	row("background", eb.Background, eu.Background, eh.Background)
+	row("activate", eb.Activate, eu.Activate, eh.Activate)
+	row("core access", eb.CoreAccess, eu.CoreAccess, eh.CoreAccess)
+	row("I/O static", eb.IOStatic, eu.IOStatic, eh.IOStatic)
+	row("I/O termination", eb.IOTermination, eu.IOTermination, eh.IOTermination)
+	row("I/O switching", eb.IOSwitching, eu.IOSwitching, eh.IOSwitching)
+	row("TOTAL", eb.Total(), eu.Total(), eh.Total())
+
+	fmt.Printf("\n1-value reduction:   %5.1f%% (Universal), %5.1f%% (+1B DBI)\n",
+		100*(1-float64(univ.Ones())/float64(baseline.Ones())),
+		100*(1-float64(hybrid.Ones())/float64(baseline.Ones())))
+	fmt.Printf("energy reduction:    %5.1f%% (Universal), %5.1f%% (+1B DBI)\n",
+		100*m.Reduction(baseline, univ), 100*m.Reduction(baseline, hybrid))
+
+	p := bxt.GDDR5X()
+	fmt.Printf("\nPOD physics: %.1f mA static current per 1, %.2f pJ per transferred 1\n",
+		p.StaticOneCurrent()*1e3, p.TerminationEnergyPerOne()*1e12)
+}

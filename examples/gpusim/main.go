@@ -1,0 +1,87 @@
+// Gpusim: run a data-parallel kernel on the simulated Titan X — 56 SMs in
+// front of the sectored 4 MB LLC and twelve GDDR5X channels — with the
+// Base+XOR encoder integrated in the memory controller, and verify the
+// §V-B system organization end to end: data is stored encoded in DRAM yet
+// every read returns the original bytes.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"github.com/hpca18/bxt"
+	"github.com/hpca18/bxt/internal/gpusim"
+	"github.com/hpca18/bxt/internal/memsys"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+func run(name string, storage memsys.CodecFactory) (gpusim.Report, *gpusim.GPU, *gpusim.Array) {
+	g := gpusim.New(bxt.TitanX(), storage, nil)
+	positions := &gpusim.Array{
+		Name: "positions", Base: 0x10_0000, Bytes: 1 << 20,
+		Model: func() workload.Generator {
+			return &workload.FloatSoA{Bits: 64, Walk: 0.01, Jump: 0.02}
+		},
+	}
+	forces := &gpusim.Array{
+		Name: "forces", Base: 0x90_0000, Bytes: 1 << 20,
+		Model: func() workload.Generator {
+			return &workload.FloatSoA{Bits: 64, Walk: 0.01, Jump: 0.02}
+		},
+	}
+	for _, a := range []*gpusim.Array{positions, forces} {
+		if err := g.Bind(a); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rep, err := g.Run(&gpusim.Kernel{
+		Name:   name,
+		Input:  positions,
+		Output: forces,
+		Transform: func(dst, src []byte) {
+			// A stand-in force update: perturb the low mantissa bytes.
+			copy(dst, src)
+			for i := 0; i < len(dst); i += 8 {
+				dst[i] ^= 0x3
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return rep, g, forces
+}
+
+func main() {
+	fmt.Println("Simulated Titan X: integrate-forces kernel over 1 MB of fp64 positions")
+	fmt.Println()
+
+	repBase, gBase, forcesBase := run("integrate (baseline)", nil)
+	repEnc, g, forces := run("integrate (Universal XOR+ZDR)", func() bxt.Codec { return bxt.NewUniversal(3) })
+
+	fmt.Printf("%-28s %12s %12s\n", "", "baseline", "encoded")
+	fmt.Printf("%-28s %12d %12d\n", "cycles", repBase.Cycles, repEnc.Cycles)
+	fmt.Printf("%-28s %12d %12d\n", "DRAM transactions", repBase.BusStats.Transactions, repEnc.BusStats.Transactions)
+	fmt.Printf("%-28s %12.3f %12.3f\n", "LLC miss rate", repBase.MissRate, repEnc.MissRate)
+	fmt.Printf("%-28s %12d %12d\n", "bus 1 values", repBase.BusStats.Ones(), repEnc.BusStats.Ones())
+	fmt.Printf("%-28s %12d %12d\n", "bus toggles", repBase.BusStats.Toggles(), repEnc.BusStats.Toggles())
+	fmt.Printf("\n1-value reduction on the memory interface: %.1f%%\n",
+		100*(1-float64(repEnc.BusStats.Ones())/float64(repBase.BusStats.Ones())))
+
+	// Correctness: the encoded-at-rest GPU must compute bit-identical
+	// results to the unencoded one.
+	outData, err := g.ReadBack(forces)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := gBase.ReadBack(forcesBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if bytes.Equal(outData, ref) {
+		fmt.Println("output verified: encoded-at-rest DRAM returns bit-identical results")
+	} else {
+		fmt.Println("OUTPUT MISMATCH — encoding is not transparent!")
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: encode one 32-byte DRAM transaction with every scheme in the
+// paper and watch the energy-expensive 1 values drop.
+//
+// The transaction is the paper's own motivating example (Fig 3,
+// transaction0): eight 32-bit floats that share their upper bytes.
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"log"
+
+	"github.com/hpca18/bxt"
+)
+
+func main() {
+	txn, err := hex.DecodeString(
+		"390c9bfb" + "390c90f9" + "390c88f8" + "390c88f9" +
+			"390c7bfb" + "390c70f9" + "390c78f8" + "390c78f9")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("transaction: %x\n", txn)
+	fmt.Printf("baseline 1 values: %d of %d bits\n\n", bxt.OnesCount(txn), len(txn)*8)
+
+	codecs := []bxt.Codec{
+		bxt.NewSILENT(4),  // plain adjacent XOR (SILENT baseline)
+		bxt.NewBaseXOR(2), // fixed bases with Zero Data Remapping
+		bxt.NewBaseXOR(4),
+		bxt.NewBaseXOR(8),
+		bxt.NewUniversal(3), // the paper's headline mechanism
+		bxt.NewDBI(1),       // GDDR5X's built-in encoding
+		bxt.NewChain(bxt.NewUniversal(3), bxt.NewDBI(1)), // best hybrid
+	}
+
+	var enc bxt.Encoded
+	for _, c := range codecs {
+		if err := c.Encode(&enc, txn); err != nil {
+			log.Fatal(err)
+		}
+		ones := enc.OnesCount()
+		// Every scheme must round-trip: decode and verify.
+		dec := make([]byte, len(txn))
+		if err := c.Decode(dec, &enc); err != nil {
+			log.Fatal(err)
+		}
+		status := "ok"
+		for i := range dec {
+			if dec[i] != txn[i] {
+				status = "MISMATCH"
+			}
+		}
+		fmt.Printf("%-34s %3d ones (%.0f%% of baseline, %d metadata bits) decode %s\n",
+			c.Name(), ones,
+			100*float64(ones)/float64(bxt.OnesCount(txn)),
+			enc.MetaBits, status)
+	}
+
+	fmt.Println("\nencoded form under Universal XOR+ZDR:")
+	u := bxt.NewUniversal(3)
+	if err := u.Encode(&enc, txn); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %x\n", enc.Data)
+	fmt.Println("(one dense effective base element, then near-zero XOR residues)")
+}

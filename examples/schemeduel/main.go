@@ -1,0 +1,78 @@
+// Schemeduel: pick any application from the 215-app workload suite and race
+// every encoding scheme over its DRAM transaction stream, reporting 1
+// values, toggles and metadata cost on the 32-bit GDDR5X channel.
+//
+// Usage:
+//
+//	schemeduel [-app rodinia-hotspot]
+//	schemeduel -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/hpca18/bxt"
+)
+
+func main() {
+	appName := flag.String("app", "rodinia-hotspot", "suite application to evaluate")
+	list := flag.Bool("list", false, "list application names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range append(bxt.GPUSuite(), bxt.CPUSuite()...) {
+			fmt.Printf("%-22s %-12s %s\n", a.Name, a.Category, a.Suite)
+		}
+		return
+	}
+
+	app, ok := bxt.AppByName(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown application %q (try -list)\n", *appName)
+		os.Exit(1)
+	}
+	payloads := app.Payloads()
+	ts := bxt.MeasureTrace(payloads)
+	fmt.Printf("%s (%s, %s): %d transactions of %d bytes\n", app.Name, app.Suite, app.Category,
+		ts.Transactions, app.TxnBytes)
+	fmt.Printf("baseline 1 density %.3f, mixed-data transactions %.1f%%\n\n",
+		ts.OnesDensity(), 100*ts.MixedRatio())
+
+	width := 32
+	stages := 3
+	if app.Category.String() == "cpu" {
+		width, stages = 64, 4 // 64-byte lines on the DDR4 bus
+	}
+	base, err := bxt.EvaluateTrace(bxt.Identity{}, payloads, width, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	duel := []bxt.Codec{
+		bxt.NewBaseXOR(2),
+		bxt.NewBaseXOR(4),
+		bxt.NewBaseXOR(8),
+		bxt.NewSILENT(4),
+		bxt.NewUniversal(stages),
+		bxt.NewDBI(4),
+		bxt.NewDBI(2),
+		bxt.NewDBI(1),
+		bxt.NewChain(bxt.NewUniversal(stages), bxt.NewDBI(1)),
+		bxt.NewBDEncoding(),
+	}
+	fmt.Printf("%-34s %10s %10s %10s\n", "scheme", "ones %", "toggles %", "meta bits")
+	fmt.Printf("%-34s %10.1f %10.1f %10d\n", "baseline", 100.0, 100.0, 0)
+	for _, c := range duel {
+		s, err := bxt.EvaluateTrace(c, payloads, width, 0.7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s %10.1f %10.1f %10d\n", c.Name(),
+			100*float64(s.Ones())/float64(base.Ones()),
+			100*float64(s.Toggles())/float64(base.Toggles()),
+			s.MetaBits)
+	}
+}

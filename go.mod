@@ -1,0 +1,3 @@
+module github.com/hpca18/bxt
+
+go 1.22

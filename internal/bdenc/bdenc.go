@@ -1,0 +1,165 @@
+// Package bdenc implements BD-Encoding (Seol et al., ISCA 2016 [4]), the
+// cache-based bitwise-difference baseline the paper compares against in
+// §VI-D.
+//
+// BD-Encoding holds the 64 most recently transferred 8-byte words in a
+// repository replicated on both sides of the channel. Each new word is
+// compared against every cached word; if the closest entry differs in fewer
+// than a threshold number of bits, the word is transferred as the bitwise
+// difference from that entry together with 8 bits of metadata (a hit flag
+// and the 6-bit repository index). Unlike Base+XOR Transfer, the scheme
+// needs per-word metadata, storage and comparators on both the memory
+// controller and the DRAM, and its benefit is sensitive to the threshold —
+// both drawbacks §VI-D quantifies.
+package bdenc
+
+import (
+	"fmt"
+
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// Defaults from the paper's description of [4].
+const (
+	// WordBytes is the encoding granularity.
+	WordBytes = 8
+	// RepositoryEntries is the number of recently transferred words kept.
+	RepositoryEntries = 64
+	// DefaultThreshold is the maximum Hamming distance (exclusive) at
+	// which two words are considered similar ("e.g., less than 12-bit
+	// bitwise differences", §VI-D).
+	DefaultThreshold = 12
+	// metaBitsPerWord is the side-band cost: 8 bits per 8-byte word
+	// (hit flag + 6-bit index, rounded to a byte lane).
+	metaBitsPerWord = 8
+)
+
+// BD is a BD-Encoding codec. Encoder and decoder instances evolve their
+// repositories identically, so a single BD value can both encode and decode
+// as long as Decode sees transactions in encoding order with an equally
+// initialized repository; for independent streams use two values and Reset.
+type BD struct {
+	// Threshold is the similarity cutoff in bits. Words whose closest
+	// repository entry is at Hamming distance < Threshold are sent as
+	// differences.
+	Threshold int
+
+	repo     [RepositoryEntries][WordBytes]byte
+	valid    [RepositoryEntries]bool
+	next     int // FIFO insertion cursor
+	decRepo  [RepositoryEntries][WordBytes]byte
+	decValid [RepositoryEntries]bool
+	decNext  int
+}
+
+var _ core.Codec = (*BD)(nil)
+
+// New returns a BD-Encoding codec with the paper's default threshold.
+func New() *BD {
+	return &BD{Threshold: DefaultThreshold}
+}
+
+// Name implements core.Codec.
+func (b *BD) Name() string { return "BD-Encoding" }
+
+// MetaBits implements core.Codec: 8 bits per 8-byte word, i.e. 4 bits of
+// metadata per 4 bytes of data as the paper states.
+func (b *BD) MetaBits(n int) int { return n / WordBytes * metaBitsPerWord }
+
+// Reset implements core.Codec, emptying both repositories.
+func (b *BD) Reset() {
+	b.valid = [RepositoryEntries]bool{}
+	b.decValid = [RepositoryEntries]bool{}
+	b.next, b.decNext = 0, 0
+}
+
+func (b *BD) check(n int) error {
+	if n%WordBytes != 0 {
+		return fmt.Errorf("bdenc: transaction length %d is not a multiple of %d", n, WordBytes)
+	}
+	return nil
+}
+
+// closest returns the index of the valid repository entry with minimal
+// Hamming distance to word, or -1 if the repository is empty. Ties break to
+// the lowest index so encoder and decoder stay deterministic.
+func (b *BD) closest(word []byte) (idx, dist int) {
+	idx, dist = -1, WordBytes*8+1
+	for i := range b.repo {
+		if !b.valid[i] {
+			continue
+		}
+		if d := core.HammingDistance(word, b.repo[i][:]); d < dist {
+			idx, dist = i, d
+		}
+	}
+	return idx, dist
+}
+
+// insert FIFO-inserts word into the encoder repository.
+func (b *BD) insert(word []byte) {
+	copy(b.repo[b.next][:], word)
+	b.valid[b.next] = true
+	b.next = (b.next + 1) % RepositoryEntries
+}
+
+// insertDec mirrors insert for the decoder repository.
+func (b *BD) insertDec(word []byte) {
+	copy(b.decRepo[b.decNext][:], word)
+	b.decValid[b.decNext] = true
+	b.decNext = (b.decNext + 1) % RepositoryEntries
+}
+
+// Encode implements core.Codec. The metadata byte for each word is
+// 0x80|index on a repository hit and 0x00 on a miss.
+func (b *BD) Encode(dst *core.Encoded, src []byte) error {
+	if err := b.check(len(src)); err != nil {
+		return err
+	}
+	dst.Resize(len(src), b.MetaBits(len(src)))
+	for w := 0; w*WordBytes < len(src); w++ {
+		word := src[w*WordBytes : (w+1)*WordBytes]
+		out := dst.Data[w*WordBytes : (w+1)*WordBytes]
+		idx, dist := b.closest(word)
+		if idx >= 0 && dist < b.Threshold {
+			// Hit: transfer the bitwise difference plus the index.
+			for i := range out {
+				out[i] = word[i] ^ b.repo[idx][i]
+			}
+			dst.Meta[w] = 0x80 | byte(idx)
+		} else {
+			copy(out, word)
+			dst.Meta[w] = 0
+		}
+		b.insert(word)
+	}
+	return nil
+}
+
+// Decode implements core.Codec.
+func (b *BD) Decode(dst []byte, src *core.Encoded) error {
+	if len(dst) != len(src.Data) {
+		return fmt.Errorf("bdenc: decode length %d != encoded length %d", len(dst), len(src.Data))
+	}
+	if err := b.check(len(dst)); err != nil {
+		return err
+	}
+	for w := 0; w*WordBytes < len(dst); w++ {
+		enc := src.Data[w*WordBytes : (w+1)*WordBytes]
+		out := dst[w*WordBytes : (w+1)*WordBytes]
+		meta := src.Meta[w]
+		if meta&0x80 != 0 {
+			idx := int(meta & 0x3f)
+			if !b.decValid[idx] {
+				return fmt.Errorf("bdenc: metadata references empty repository entry %d", idx)
+			}
+			for i := range out {
+				out[i] = enc[i] ^ b.decRepo[idx][i]
+			}
+		} else {
+			copy(out, enc)
+		}
+		b.insertDec(out)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package bdenc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// TestRoundTripStream verifies the stateful encode/decode pair over a long
+// stream with heavy value reuse, the regime where the repository actually
+// hits.
+func TestRoundTripStream(t *testing.T) {
+	b := New()
+	rng := rand.New(rand.NewSource(3))
+	base := make([]byte, 8)
+	rng.Read(base)
+	var enc core.Encoded
+	for i := 0; i < 500; i++ {
+		txn := make([]byte, 32)
+		for w := 0; w < 4; w++ {
+			copy(txn[w*8:], base)
+			// Perturb a few bits so some words hit and some miss.
+			txn[w*8+rng.Intn(8)] ^= byte(1 << rng.Intn(8))
+			if rng.Intn(4) == 0 {
+				rng.Read(txn[w*8 : w*8+8])
+			}
+		}
+		if err := b.Encode(&enc, txn); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 32)
+		if err := b.Decode(got, &enc); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, txn) {
+			t.Fatalf("round trip failed at txn %d", i)
+		}
+	}
+}
+
+// TestRepositoryHit verifies that a repeated word is transferred as an
+// all-zero difference with hit metadata.
+func TestRepositoryHit(t *testing.T) {
+	b := New()
+	var enc core.Encoded
+	word := []byte{0x40, 0x0e, 0xa9, 0x5b, 0x40, 0x0e, 0xa9, 0x5b}
+	txn := bytes.Repeat(word, 4)
+	if err := b.Encode(&enc, txn); err != nil {
+		t.Fatal(err)
+	}
+	// Word 0 misses (cold repository); words 1-3 must hit word 0's entry
+	// chain with zero difference.
+	if enc.Meta[0] != 0 {
+		t.Errorf("first word should miss, meta %#02x", enc.Meta[0])
+	}
+	for w := 1; w < 4; w++ {
+		if enc.Meta[w]&0x80 == 0 {
+			t.Errorf("word %d should hit", w)
+		}
+		if core.OnesCount(enc.Data[w*8:(w+1)*8]) != 0 {
+			t.Errorf("word %d difference not zero: %x", w, enc.Data[w*8:(w+1)*8])
+		}
+	}
+}
+
+// TestThresholdSensitivity reproduces the §VI-D critique: with the default
+// threshold, a zero word can be "similar" to a low-weight cached word and be
+// encoded as a non-zero difference, costing ones the raw transfer would not.
+func TestThresholdSensitivity(t *testing.T) {
+	b := New()
+	var enc core.Encoded
+	first := make([]byte, 32) // plants 0x00000ffe-style words in the cache
+	low := []byte{0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x0f, 0xfe}
+	for w := 0; w < 4; w++ {
+		copy(first[w*8:], low)
+	}
+	if err := b.Encode(&enc, first); err != nil {
+		t.Fatal(err)
+	}
+	zeros := make([]byte, 32)
+	if err := b.Encode(&enc, zeros); err != nil {
+		t.Fatal(err)
+	}
+	// Hamming(0, low) = 11 < 12, so the first zero word "hits" the
+	// low-weight entry and is sent as its 11-one difference — strictly
+	// worse than sending the zeros raw. (Subsequent zero words hit the
+	// just-inserted zero entry at distance 0.)
+	if enc.Meta[0]&0x80 == 0 {
+		t.Fatal("zero word did not hit the low-weight entry")
+	}
+	if got := core.OnesCount(enc.Data); got != 11 {
+		t.Errorf("zero transaction encoded with %d ones, want 11", got)
+	}
+}
+
+// TestFIFOEviction fills the repository past capacity and checks the oldest
+// entry is replaced.
+func TestFIFOEviction(t *testing.T) {
+	b := New()
+	var enc core.Encoded
+	mk := func(tag byte) []byte {
+		txn := make([]byte, 32)
+		for w := 0; w < 4; w++ {
+			for i := 0; i < 8; i++ {
+				txn[w*8+i] = tag ^ byte(i*0x5b)
+			}
+			tag += 31
+		}
+		return txn
+	}
+	// 17 transactions x 4 words = 68 words > 64 entries.
+	var tag byte
+	for i := 0; i < 17; i++ {
+		if err := b.Encode(&enc, mk(tag)); err != nil {
+			t.Fatal(err)
+		}
+		tag += 4*31 + 1
+	}
+	if b.next != 68%RepositoryEntries {
+		t.Errorf("FIFO cursor = %d, want %d", b.next, 68%RepositoryEntries)
+	}
+	for i := range b.valid {
+		if !b.valid[i] {
+			t.Fatalf("entry %d invalid after wrap", i)
+		}
+	}
+}
+
+// TestMetaAccounting checks the 8-bits-per-8-byte-word cost (4 bits of
+// metadata per 4 bytes of data, as Fig 15 labels it).
+func TestMetaAccounting(t *testing.T) {
+	b := New()
+	if got := b.MetaBits(32); got != 32 {
+		t.Errorf("MetaBits(32) = %d, want 32", got)
+	}
+}
+
+// TestDecodeErrors verifies defensive decoding.
+func TestDecodeErrors(t *testing.T) {
+	b := New()
+	var enc core.Encoded
+	if err := b.Encode(&enc, make([]byte, 12)); err == nil {
+		t.Error("12-byte transaction accepted")
+	}
+	if err := b.Encode(&enc, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Decode(make([]byte, 16), &enc); err == nil {
+		t.Error("wrong-length decode accepted")
+	}
+	// Metadata referencing an empty repository entry must be rejected.
+	b2 := New()
+	bad := core.Encoded{Data: make([]byte, 32), Meta: []byte{0x80 | 63, 0, 0, 0}, MetaBits: 32}
+	if err := b2.Decode(make([]byte, 32), &bad); err == nil {
+		t.Error("decode accepted a dangling repository index")
+	}
+}
+
+// TestReset verifies repositories are emptied.
+func TestReset(t *testing.T) {
+	b := New()
+	var enc core.Encoded
+	txn := bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	if err := b.Encode(&enc, txn); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := b.Encode(&enc, txn); err != nil {
+		t.Fatal(err)
+	}
+	if enc.Meta[0] != 0 {
+		t.Error("first word hit after Reset; repository not cleared")
+	}
+}

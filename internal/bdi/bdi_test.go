@@ -1,0 +1,162 @@
+package bdi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRoundTripRandom verifies Decompress(Compress(x)) == x for arbitrary
+// blocks (most will take the raw path).
+func TestRoundTripRandom(t *testing.T) {
+	f := func(block [32]byte) bool {
+		r := Compress(block[:])
+		got, err := Decompress(r.Payload, 32)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, block[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpecialCases pins the zero and repeated-value encodings.
+func TestSpecialCases(t *testing.T) {
+	zero := make([]byte, 32)
+	r := Compress(zero)
+	if !r.Compressed || r.Scheme != "zeros" || r.Bytes != 2 {
+		t.Fatalf("zero block: %+v", r)
+	}
+	rep := bytes.Repeat([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	r = Compress(rep)
+	if !r.Compressed || r.Scheme != "repeat" || r.Bytes != 9 {
+		t.Fatalf("repeat block: %+v", r)
+	}
+	for _, blk := range [][]byte{zero, rep} {
+		got, err := Decompress(Compress(blk).Payload, 32)
+		if err != nil || !bytes.Equal(got, blk) {
+			t.Fatalf("special-case round trip failed: %v", err)
+		}
+	}
+}
+
+// TestBaseDeltaConfigs drives each configuration with data built for it.
+func TestBaseDeltaConfigs(t *testing.T) {
+	mk := func(baseBytes int, base uint64, deltas []int64) []byte {
+		out := make([]byte, 32)
+		for e := 0; e < 32/baseBytes; e++ {
+			v := base
+			if e < len(deltas) {
+				v = base + uint64(deltas[e])
+			}
+			for i := 0; i < baseBytes; i++ {
+				out[e*baseBytes+i] = byte(v >> (8 * i))
+			}
+		}
+		return out
+	}
+	cases := []struct {
+		name  string
+		block []byte
+		want  string
+	}{
+		{"8B base 1B delta", mk(8, 0x1234_5678_9abc_def0, []int64{0, 5, -3, 100}), "base8-delta1"},
+		{"4B base 1B delta", mk(4, 0x400e_a95b, []int64{0, 1, 2, 3, -4, 5, 6, 7}), "base4-delta1"},
+		{"2B base 1B delta", mk(2, 0x3901, []int64{0, 2, 4, 6, 8, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30}), "base2-delta1"},
+		{"8B base 4B delta", mk(8, 0x7f00_0000_0000_0000, []int64{0, 1 << 25, -(1 << 25), 99}), "base8-delta4"},
+	}
+	for _, c := range cases {
+		r := Compress(c.block)
+		if r.Scheme != c.want {
+			t.Errorf("%s: scheme %s, want %s", c.name, r.Scheme, c.want)
+		}
+		if r.Bytes >= 32 {
+			t.Errorf("%s: not actually compressed (%d bytes)", c.name, r.Bytes)
+		}
+		got, err := Decompress(r.Payload, 32)
+		if err != nil || !bytes.Equal(got, c.block) {
+			t.Errorf("%s: round trip failed: %v", c.name, err)
+		}
+	}
+}
+
+// TestIncompressible verifies the raw fallback.
+func TestIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	block := make([]byte, 32)
+	rng.Read(block)
+	r := Compress(block)
+	if r.Compressed || r.Scheme != "raw" || r.Bytes != 33 {
+		t.Fatalf("random block should be raw: %+v", r)
+	}
+}
+
+// TestDeltaBoundaries checks the signed-delta fit decision at its edges.
+func TestDeltaBoundaries(t *testing.T) {
+	// 4-byte elements, base X, second element X+127 -> fits 1-byte delta;
+	// X+128 -> needs 2 bytes.
+	mk := func(delta uint32) []byte {
+		out := make([]byte, 32)
+		base := uint32(0x1000_0000)
+		for e := 0; e < 8; e++ {
+			v := base
+			if e == 1 {
+				v += delta
+			}
+			binary.LittleEndian.PutUint32(out[e*4:], v)
+		}
+		return out
+	}
+	if r := Compress(mk(127)); r.Scheme != "base4-delta1" {
+		t.Errorf("delta 127: scheme %s, want base4-delta1", r.Scheme)
+	}
+	if r := Compress(mk(128)); r.Scheme != "base4-delta2" && r.Scheme != "base8-delta2" {
+		t.Errorf("delta 128: scheme %s, want a 2-byte-delta config", r.Scheme)
+	}
+	// Negative deltas: base X, second element X-128 fits 1 byte.
+	neg := make([]byte, 32)
+	for e := 0; e < 8; e++ {
+		v := uint32(0x1000_0080)
+		if e == 1 {
+			v -= 128
+		}
+		binary.LittleEndian.PutUint32(neg[e*4:], v)
+	}
+	if r := Compress(neg); r.Scheme != "base4-delta1" {
+		t.Errorf("delta -128: scheme %s, want base4-delta1", r.Scheme)
+	}
+}
+
+// TestDecompressRejectsCorrupt verifies defensive decoding.
+func TestDecompressRejectsCorrupt(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		{0x01, 1, 2},    // short repeat
+		{0xff, 1, 2, 3}, // short raw
+		{0x02, 1, 2, 3}, // short base8-delta1
+		{0xf0},          // unknown tag
+	} {
+		if _, err := Decompress(payload, 32); err == nil {
+			t.Errorf("corrupt payload %x accepted", payload)
+		}
+	}
+}
+
+// TestCompressionRatio sanity-checks the aggregate helper.
+func TestCompressionRatio(t *testing.T) {
+	zero := make([]byte, 32)
+	rng := rand.New(rand.NewSource(10))
+	random := make([]byte, 32)
+	rng.Read(random)
+	ratio := CompressionRatio([][]byte{zero, random})
+	if ratio <= 1 || ratio >= 3 {
+		t.Fatalf("ratio = %.2f, want in (1, 3) for half-zero half-random", ratio)
+	}
+	if CompressionRatio(nil) != 0 {
+		t.Error("empty stream ratio should be 0")
+	}
+}

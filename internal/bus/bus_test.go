@@ -1,0 +1,137 @@
+package bus
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/dbi"
+)
+
+func mkEncoded(data []byte, metaBits int) *core.Encoded {
+	e := &core.Encoded{}
+	e.Resize(len(data), metaBits)
+	copy(e.Data, data)
+	return e
+}
+
+// TestOnesAccounting drives known patterns and checks exact counts.
+func TestOnesAccounting(t *testing.T) {
+	b := New(32)
+	txn := bytes.Repeat([]byte{0xff, 0x00, 0x0f, 0x01}, 8) // 8 beats
+	if err := b.Transfer(mkEncoded(txn, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if want := 8 * (8 + 0 + 4 + 1); s.DataOnes != want {
+		t.Errorf("DataOnes = %d, want %d", s.DataOnes, want)
+	}
+	if s.Beats != 8 || s.Transactions != 1 || s.DataBits != 256 {
+		t.Errorf("beat bookkeeping wrong: %+v", s)
+	}
+	// Identical beats -> zero toggles after the first beat.
+	if s.DataToggles != 0 {
+		t.Errorf("DataToggles = %d, want 0 for repeated beats", s.DataToggles)
+	}
+}
+
+// TestToggleAccounting alternates two beat patterns and verifies the toggle
+// count, including the inter-transaction boundary.
+func TestToggleAccounting(t *testing.T) {
+	b := New(32)
+	a := bytes.Repeat([]byte{0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00}, 4)
+	if err := b.Transfer(mkEncoded(a, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Beats alternate full/empty: 7 transitions x 32 wires.
+	if got := b.Stats().DataToggles; got != 7*32 {
+		t.Fatalf("DataToggles = %d, want %d", got, 7*32)
+	}
+	// The next transaction starts with 0xff beats while the bus last held
+	// 0x00: the boundary itself toggles all 32 wires.
+	if err := b.Transfer(mkEncoded(a, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Stats().DataToggles; got != 7*32+8*32 {
+		t.Fatalf("after 2nd txn DataToggles = %d, want %d", got, 7*32+8*32)
+	}
+}
+
+// TestMetaWires verifies metadata ones and toggles are charged, matching
+// the paper's observation that DBI's polarity wires add toggles (§VI-E).
+func TestMetaWires(t *testing.T) {
+	b := New(32)
+	e := mkEncoded(make([]byte, 32), 8) // 1 metadata wire over 8 beats
+	for i := 0; i < 8; i++ {
+		e.SetMetaBit(i, i%2 == 0)
+	}
+	if err := b.Transfer(e); err != nil {
+		t.Fatal(err)
+	}
+	s := b.Stats()
+	if s.MetaOnes != 4 {
+		t.Errorf("MetaOnes = %d, want 4", s.MetaOnes)
+	}
+	if s.MetaToggles != 7 {
+		t.Errorf("MetaToggles = %d, want 7", s.MetaToggles)
+	}
+	if s.Ones() != 4 || s.Toggles() != 7 {
+		t.Errorf("aggregate Ones/Toggles wrong: %+v", s)
+	}
+}
+
+// TestGeometryErrors verifies shape validation.
+func TestGeometryErrors(t *testing.T) {
+	b := New(32)
+	if err := b.Transfer(mkEncoded(make([]byte, 30), 0)); err == nil {
+		t.Error("non-beat-multiple transaction accepted")
+	}
+	if err := b.Transfer(mkEncoded(make([]byte, 32), 9)); err == nil {
+		t.Error("indivisible metadata accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New(30) did not panic")
+		}
+	}()
+	New(30)
+}
+
+// TestEvaluateTrace compares the baseline against 1B DBI on dense data: DBI
+// must reduce total ones (data + polarity) on mostly-1 payloads.
+func TestEvaluateTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var txns [][]byte
+	for i := 0; i < 100; i++ {
+		txn := make([]byte, 32)
+		for j := range txn {
+			txn[j] = 0xff ^ byte(rng.Intn(4)) // dense ones
+		}
+		txns = append(txns, txn)
+	}
+	base, err := EvaluateTrace(core.Identity{}, txns, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := EvaluateTrace(dbi.New(1), txns, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Ones() >= base.Ones() {
+		t.Errorf("DBI ones %d >= baseline %d on dense data", inv.Ones(), base.Ones())
+	}
+	if base.MetaBits != 0 || inv.MetaBits != 100*32 {
+		t.Errorf("metadata accounting wrong: base %d, dbi %d", base.MetaBits, inv.MetaBits)
+	}
+}
+
+// TestStatsAdd checks aggregation used by multi-channel runs.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Transactions: 1, Beats: 8, DataOnes: 10, DataToggles: 3, MetaOnes: 2, MetaToggles: 1, DataBits: 256, MetaBits: 8}
+	b := a
+	a.Add(b)
+	if a.Transactions != 2 || a.DataOnes != 20 || a.MetaToggles != 2 || a.DataBits != 512 {
+		t.Errorf("Add result wrong: %+v", a)
+	}
+}

@@ -1,0 +1,84 @@
+// Package config holds the evaluated system configuration of Table I: an
+// NVIDIA Titan X (Pascal) class GPU with a 384-bit, 12 GB GDDR5X memory
+// system, plus the DDR4-based CPU system of §VI-G. Every experiment and
+// substrate reads its parameters from here so the whole repository agrees
+// on one system description.
+package config
+
+// GPU describes the GPU system under evaluation (Table I).
+type GPU struct {
+	// Name identifies the configuration in reports.
+	Name string
+	// StreamingMultiprocessors is the number of SMs (compute units).
+	StreamingMultiprocessors int
+	// LastLevelCacheBytes is the total LLC capacity.
+	LastLevelCacheBytes int
+	// CacheLineBytes and SectorBytes describe the sectored cache geometry:
+	// 128-byte lines of four 32-byte sectors; a DRAM transaction moves one
+	// sector.
+	CacheLineBytes int
+	SectorBytes    int
+	// BusWidthBits is the aggregate DRAM bus width (384 bits = twelve
+	// 32-bit channels).
+	BusWidthBits int
+	// ChannelWidthBits is the width of one GDDR5X channel.
+	ChannelWidthBits int
+	// MemoryBytes is the DRAM capacity.
+	MemoryBytes int64
+	// DataRateGbps is the per-pin data rate.
+	DataRateGbps float64
+	// BandwidthGBps is the total channel bandwidth.
+	BandwidthGBps float64
+	// Utilization is the average DRAM bandwidth utilization assumed by the
+	// energy evaluation (§VI-F assumes 70 %).
+	Utilization float64
+}
+
+// TitanX returns the Table I configuration.
+func TitanX() GPU {
+	return GPU{
+		Name:                     "NVIDIA Titan X (Pascal)",
+		StreamingMultiprocessors: 56,
+		LastLevelCacheBytes:      4 << 20,
+		CacheLineBytes:           128,
+		SectorBytes:              32,
+		BusWidthBits:             384,
+		ChannelWidthBits:         32,
+		MemoryBytes:              12 << 30,
+		DataRateGbps:             10,
+		BandwidthGBps:            480,
+		Utilization:              0.70,
+	}
+}
+
+// Channels returns the number of independent GDDR5X channels.
+func (g GPU) Channels() int { return g.BusWidthBits / g.ChannelWidthBits }
+
+// BeatsPerTransaction returns how many bus beats one sector transfer takes
+// on a single channel (eight for 32-byte sectors on a 32-bit channel).
+func (g GPU) BeatsPerTransaction() int {
+	return g.SectorBytes * 8 / g.ChannelWidthBits
+}
+
+// CPU describes the DDR4-based CPU system of §VI-G: a single core with a
+// 4 MB last-level cache and conventional 64-byte cache lines.
+type CPU struct {
+	Name                string
+	Cores               int
+	LastLevelCacheBytes int
+	CacheLineBytes      int
+	BusWidthBits        int
+	DataRateGbps        float64
+}
+
+// SPECSystem returns the CPU configuration used for Fig 18.
+func SPECSystem() CPU {
+	return CPU{
+		Name:                "single-core DDR4 system",
+		Cores:               1,
+		LastLevelCacheBytes: 4 << 20,
+		CacheLineBytes:      64,
+		BusWidthBits:        64,
+		DataRateGbps:        3.2,
+	}
+}

@@ -1,0 +1,29 @@
+package config
+
+import "testing"
+
+// TestTitanXGeometry pins the Table I derived quantities.
+func TestTitanXGeometry(t *testing.T) {
+	g := TitanX()
+	if g.Channels() != 12 {
+		t.Errorf("Channels = %d, want 12 (384-bit bus of 32-bit channels)", g.Channels())
+	}
+	if g.BeatsPerTransaction() != 8 {
+		t.Errorf("BeatsPerTransaction = %d, want 8 (32-byte sector on 32-bit channel)", g.BeatsPerTransaction())
+	}
+	if g.CacheLineBytes/g.SectorBytes != 4 {
+		t.Errorf("sectors per line = %d, want 4", g.CacheLineBytes/g.SectorBytes)
+	}
+	// Bandwidth consistency: 384 bits × 10 Gbps = 480 GB/s.
+	if got := float64(g.BusWidthBits) * g.DataRateGbps / 8; got != g.BandwidthGBps {
+		t.Errorf("bandwidth %v GB/s inconsistent with bus width and data rate (%v)", g.BandwidthGBps, got)
+	}
+}
+
+// TestSPECSystemGeometry checks the §VI-G CPU configuration.
+func TestSPECSystemGeometry(t *testing.T) {
+	c := SPECSystem()
+	if c.Cores != 1 || c.CacheLineBytes != 64 || c.BusWidthBits != 64 {
+		t.Errorf("unexpected CPU system %+v", c)
+	}
+}

@@ -1,0 +1,199 @@
+package core
+
+import "fmt"
+
+// BaseMode selects which element each XORed element is differenced against
+// (§V-B discusses both implementations).
+type BaseMode int
+
+const (
+	// AdjacentBase XORs each element with its left neighbour, the paper's
+	// default: adjacent elements are the most similar, so this yields the
+	// best 1-value reduction at the cost of a serial decode chain.
+	AdjacentBase BaseMode = iota
+	// FixedBase XORs every element with element 0. Decode is a single
+	// parallel XOR level (lower latency) but similarity between distant
+	// elements is weaker, so fewer 1 values are removed.
+	FixedBase
+)
+
+// String returns the mode's name for reports.
+func (m BaseMode) String() string {
+	switch m {
+	case AdjacentBase:
+		return "adjacent"
+	case FixedBase:
+		return "fixed"
+	default:
+		return fmt.Sprintf("BaseMode(%d)", int(m))
+	}
+}
+
+// BaseXOR is N-byte Base+XOR Transfer (§III-B): the transaction is divided
+// into BaseSize-byte elements; element 0 (the base element) is sent
+// unchanged and every other element is sent as the bitwise difference (XOR)
+// from its base. With ZDR enabled, the two encoded symbols produced by a
+// zero element and by base⊕const are swapped (§IV-A, Fig 10), so zero
+// elements — which plain XOR would expand into a copy of the base — cost a
+// single 1 bit instead.
+//
+// With ZDR disabled and AdjacentBase, BaseXOR is exactly the SILENT [8]
+// encoding adapted from a serial link to a parallel DRAM channel, and serves
+// as that baseline in the evaluation.
+type BaseXOR struct {
+	// BaseSize is the element width in bytes (the paper evaluates 2, 4
+	// and 8). It must be at least 1 and divide the transaction length.
+	BaseSize int
+	// ZDR enables Zero Data Remapping.
+	ZDR bool
+	// Mode selects adjacent-base (default) or fixed-base XOR.
+	Mode BaseMode
+	// ZDRConst overrides the remapping constant (length must equal
+	// BaseSize). Nil selects the paper's default 0x40 00 … constant.
+	// Exposed for the §IV-A constant-choice ablation: 0x00000000 keeps
+	// zeros cheap but destroys the repeated-element benefit, and small
+	// powers of two collide with common data offsets.
+	ZDRConst []byte
+
+	cnst []byte // resolved constant
+}
+
+var _ Codec = &BaseXOR{}
+
+// NewBaseXOR returns an N-byte Base+XOR Transfer codec with Zero Data
+// Remapping, the configuration evaluated throughout §VI-A.
+func NewBaseXOR(baseSize int) *BaseXOR {
+	return &BaseXOR{BaseSize: baseSize, ZDR: true}
+}
+
+// NewSILENT returns the SILENT [8] baseline: adjacent-element XOR with the
+// given element width and no zero-data handling.
+func NewSILENT(baseSize int) *BaseXOR {
+	return &BaseXOR{BaseSize: baseSize, ZDR: false}
+}
+
+// Name implements Codec.
+func (c *BaseXOR) Name() string {
+	zdr := ""
+	if c.ZDR {
+		zdr = "+ZDR"
+	}
+	mode := ""
+	if c.Mode == FixedBase {
+		mode = " (fixed base)"
+	}
+	return fmt.Sprintf("%dB XOR%s%s", c.BaseSize, zdr, mode)
+}
+
+// MetaBits implements Codec; Base+XOR Transfer requires no metadata.
+func (c *BaseXOR) MetaBits(int) int { return 0 }
+
+// Reset implements Codec; BaseXOR is stateless across transactions.
+func (c *BaseXOR) Reset() {}
+
+func (c *BaseXOR) check(n int) error {
+	if c.BaseSize < 1 || n < c.BaseSize || n%c.BaseSize != 0 {
+		return badLength(c.Name(), n)
+	}
+	if c.ZDRConst != nil && len(c.ZDRConst) != c.BaseSize {
+		return fmt.Errorf("core: %s: ZDR constant has %d bytes, want %d",
+			c.Name(), len(c.ZDRConst), c.BaseSize)
+	}
+	if c.cnst == nil {
+		if c.ZDRConst != nil {
+			c.cnst = c.ZDRConst
+		} else {
+			c.cnst = DefaultZDRConst(c.BaseSize)
+		}
+	}
+	return nil
+}
+
+// Encode implements Codec.
+func (c *BaseXOR) Encode(dst *Encoded, src []byte) error {
+	if err := c.check(len(src)); err != nil {
+		return err
+	}
+	dst.grow(len(src), 0)
+	out := dst.Data
+	bs := c.BaseSize
+	// Element 0 is the base element, transferred unchanged.
+	copy(out[:bs], src[:bs])
+	for off := bs; off < len(src); off += bs {
+		in := src[off : off+bs]
+		var base []byte
+		if c.Mode == FixedBase {
+			base = src[:bs]
+		} else {
+			base = src[off-bs : off]
+		}
+		encodeElement(out[off:off+bs], in, base, c.cnst, c.ZDR)
+	}
+	return nil
+}
+
+// Decode implements Codec.
+func (c *BaseXOR) Decode(dst []byte, src *Encoded) error {
+	if len(dst) != len(src.Data) {
+		return badLength(c.Name(), len(dst))
+	}
+	if err := c.check(len(dst)); err != nil {
+		return err
+	}
+	bs := c.BaseSize
+	copy(dst[:bs], src.Data[:bs])
+	for off := bs; off < len(dst); off += bs {
+		enc := src.Data[off : off+bs]
+		var base []byte
+		if c.Mode == FixedBase {
+			base = dst[:bs]
+		} else {
+			// Adjacent mode must use the *decoded* left neighbour,
+			// which is why the decode critical path is a serial
+			// chain (§V-B, Table II).
+			base = dst[off-bs : off]
+		}
+		decodeElement(dst[off:off+bs], enc, base, c.cnst, c.ZDR)
+	}
+	return nil
+}
+
+// encodeElement writes the encoded form of element in (with left/base
+// element base) into out. out must not alias in or base. This is the
+// hardware datapath of Fig 10:
+//
+//	if in == 0            -> out = const          (ZDR only)
+//	else if in == base^const -> out = base        (ZDR only)
+//	else                  -> out = in ^ base
+func encodeElement(out, in, base, cnst []byte, zdr bool) {
+	if zdr {
+		if isZero(in) {
+			writeZDRConst(out, cnst)
+			return
+		}
+		if equalsBaseXORConst(in, base, cnst) {
+			copy(out, base)
+			return
+		}
+	}
+	xorInto(out, in, base)
+}
+
+// decodeElement inverts encodeElement. The three encoded symbols are
+// disjoint by construction: plain XOR can produce neither const (that input
+// was remapped to base) nor base (that input, zero, was remapped to const).
+func decodeElement(out, enc, base, cnst []byte, zdr bool) {
+	if zdr {
+		if zdrConstMatches(enc, cnst) {
+			for i := range out {
+				out[i] = 0
+			}
+			return
+		}
+		if equal(enc, base) {
+			writeBaseXORConst(out, base, cnst)
+			return
+		}
+	}
+	xorInto(out, enc, base)
+}

@@ -1,0 +1,63 @@
+package core
+
+import "fmt"
+
+// Chain composes two codecs: src is encoded by First, and First's output
+// data is re-encoded by Second. This models the paper's hybrid scheme
+// (§VI-D) of Universal Base+XOR Transfer followed by N-byte DBI, which
+// combines intra-transaction similarity extraction with DBI's per-element
+// 1-value cap (and preserves DBI's bound on simultaneous 1 values).
+//
+// First must be metadata-free (every Base+XOR variant is); Second may add
+// metadata (DBI does), which becomes the chain's metadata.
+type Chain struct {
+	First  Codec
+	Second Codec
+
+	tmp Encoded
+}
+
+var _ Codec = (*Chain)(nil)
+
+// NewChain returns the composition second ∘ first. It panics if first
+// produces metadata, which the composition could not transport.
+func NewChain(first, second Codec) *Chain {
+	if first.MetaBits(32) != 0 {
+		panic(fmt.Sprintf("core: Chain first stage %s must be metadata-free", first.Name()))
+	}
+	return &Chain{First: first, Second: second}
+}
+
+// Name implements Codec.
+func (c *Chain) Name() string {
+	return c.First.Name() + " + " + c.Second.Name()
+}
+
+// MetaBits implements Codec.
+func (c *Chain) MetaBits(n int) int {
+	return c.First.MetaBits(n) + c.Second.MetaBits(n)
+}
+
+// Reset implements Codec.
+func (c *Chain) Reset() {
+	c.First.Reset()
+	c.Second.Reset()
+}
+
+// Encode implements Codec.
+func (c *Chain) Encode(dst *Encoded, src []byte) error {
+	if err := c.First.Encode(&c.tmp, src); err != nil {
+		return err
+	}
+	return c.Second.Encode(dst, c.tmp.Data)
+}
+
+// Decode implements Codec.
+func (c *Chain) Decode(dst []byte, src *Encoded) error {
+	c.tmp.grow(len(src.Data), 0)
+	if err := c.Second.Decode(c.tmp.Data, src); err != nil {
+		return err
+	}
+	inner := Encoded{Data: c.tmp.Data}
+	return c.First.Decode(dst, &inner)
+}

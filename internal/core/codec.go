@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Encoded is the on-the-wire form of one transaction: the (re-encoded) data
+// payload plus any side-band metadata the scheme requires. The Base+XOR
+// family never produces metadata; Dynamic Bus Inversion and BD-Encoding do,
+// and the evaluation charges their metadata wires for 1 values and toggles
+// exactly like data wires (§VI-D).
+type Encoded struct {
+	// Data is the encoded payload. It always has the same length as the
+	// original transaction.
+	Data []byte
+	// Meta holds packed side-band bits, beat-major: with W metadata wires
+	// and B beats, bit (beat*W + wire) of Meta is the value driven on
+	// metadata wire `wire` during `beat`. Empty for metadata-free codecs.
+	Meta []byte
+	// MetaBits is the number of valid bits in Meta.
+	MetaBits int
+}
+
+// Reset truncates e for reuse without releasing its buffers.
+func (e *Encoded) Reset() {
+	e.Data = e.Data[:0]
+	e.Meta = e.Meta[:0]
+	e.MetaBits = 0
+}
+
+// Resize prepares e to carry n data bytes and metaBits metadata bits,
+// reusing existing capacity. Data contents are unspecified afterwards; Meta
+// is zeroed. Codec implementations call this at the top of Encode.
+func (e *Encoded) Resize(n, metaBits int) { e.grow(n, metaBits) }
+
+// grow resizes e to carry n data bytes and metaBits metadata bits.
+func (e *Encoded) grow(n, metaBits int) {
+	if cap(e.Data) < n {
+		e.Data = make([]byte, n)
+	} else {
+		e.Data = e.Data[:n]
+	}
+	metaBytes := (metaBits + 7) / 8
+	if cap(e.Meta) < metaBytes {
+		e.Meta = make([]byte, metaBytes)
+	} else {
+		e.Meta = e.Meta[:metaBytes]
+	}
+	for i := range e.Meta {
+		e.Meta[i] = 0
+	}
+	e.MetaBits = metaBits
+}
+
+// SetMetaBit sets metadata bit i of e to v.
+func (e *Encoded) SetMetaBit(i int, v bool) {
+	if v {
+		e.Meta[i/8] |= 1 << (i % 8)
+	} else {
+		e.Meta[i/8] &^= 1 << (i % 8)
+	}
+}
+
+// MetaBit reports metadata bit i of e.
+func (e *Encoded) MetaBit(i int) bool {
+	return e.Meta[i/8]&(1<<(i%8)) != 0
+}
+
+// OnesCount returns the number of 1 values the encoded transaction drives on
+// the interface, including metadata wires.
+func (e *Encoded) OnesCount() int {
+	n := OnesCount(e.Data)
+	for i := 0; i < e.MetaBits; i++ {
+		if e.MetaBit(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Codec is a reversible transaction encoding scheme. Implementations may be
+// stateful across transactions (e.g. BD-Encoding's word cache); stateless
+// schemes simply ignore Reset. A Codec instance is not safe for concurrent
+// use; create one per goroutine.
+type Codec interface {
+	// Name identifies the scheme in reports, e.g. "4B XOR+ZDR".
+	Name() string
+	// Encode encodes src into dst. dst is resized as needed and its prior
+	// contents are discarded. src is not modified.
+	Encode(dst *Encoded, src []byte) error
+	// Decode recovers the original transaction from src into dst, which
+	// must have len(src.Data) bytes. For stateful codecs, Decode must see
+	// transactions in the same order Encode produced them.
+	Decode(dst []byte, src *Encoded) error
+	// MetaBits returns the number of side-band metadata bits the scheme
+	// adds to a transaction of n bytes.
+	MetaBits(n int) int
+	// Reset clears all inter-transaction state.
+	Reset()
+}
+
+// ErrBadLength reports a transaction whose size a codec cannot handle.
+var ErrBadLength = errors.New("core: unsupported transaction length")
+
+func badLength(codec string, n int) error {
+	return fmt.Errorf("%w: %s cannot encode %d-byte transactions", ErrBadLength, codec, n)
+}
+
+// Identity is the trivial pass-through codec: the paper's "baseline"
+// conventional data transfer with no encoding applied.
+type Identity struct{}
+
+// Name implements Codec.
+func (Identity) Name() string { return "baseline" }
+
+// Encode implements Codec by copying src unchanged.
+func (Identity) Encode(dst *Encoded, src []byte) error {
+	dst.grow(len(src), 0)
+	copy(dst.Data, src)
+	return nil
+}
+
+// Decode implements Codec.
+func (Identity) Decode(dst []byte, src *Encoded) error {
+	if len(dst) != len(src.Data) {
+		return badLength("baseline", len(dst))
+	}
+	copy(dst, src.Data)
+	return nil
+}
+
+// MetaBits implements Codec; the baseline has no side band.
+func (Identity) MetaBits(int) int { return 0 }
+
+// Reset implements Codec.
+func (Identity) Reset() {}
+
+var _ Codec = Identity{}

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allCoreCodecs enumerates every configuration of the package's codecs that
+// the evaluation exercises, over 32-byte transactions.
+func allCoreCodecs() []Codec {
+	cs := []Codec{Identity{}}
+	for _, bs := range []int{1, 2, 4, 8, 16, 32} {
+		for _, zdr := range []bool{false, true} {
+			for _, mode := range []BaseMode{AdjacentBase, FixedBase} {
+				cs = append(cs, &BaseXOR{BaseSize: bs, ZDR: zdr, Mode: mode})
+			}
+		}
+	}
+	for stages := 1; stages <= 5; stages++ {
+		cs = append(cs, &Universal{Stages: stages}, &Universal{Stages: stages, ZDR: true})
+	}
+	return cs
+}
+
+// TestRoundTripRandom drives every codec with testing/quick: for random
+// 32-byte transactions, Decode(Encode(x)) must reproduce x exactly. This is
+// the paper's central structural requirement — the scheme carries no
+// metadata, so the encoding must be a bijection.
+func TestRoundTripRandom(t *testing.T) {
+	for _, c := range allCoreCodecs() {
+		c := c
+		t.Run(c.Name(), func(t *testing.T) {
+			f := func(txn [32]byte) bool {
+				var enc Encoded
+				if err := c.Encode(&enc, txn[:]); err != nil {
+					return false
+				}
+				got := make([]byte, 32)
+				if err := c.Decode(got, &enc); err != nil {
+					return false
+				}
+				return bytes.Equal(got, txn[:])
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRoundTripAdversarial exercises the ZDR corner cases that random data
+// essentially never hits: zero elements, elements equal to the constant,
+// elements equal to base⊕const, bases equal to zero or to the constant, and
+// all-identical transactions.
+func TestRoundTripAdversarial(t *testing.T) {
+	elems := [][]byte{
+		{0x00, 0x00, 0x00, 0x00},
+		{0x40, 0x00, 0x00, 0x00}, // the ZDR constant itself
+		{0x40, 0x0e, 0xa9, 0x5b},
+		{0x00, 0x0e, 0xa9, 0x5b}, // base ^ const for the element above
+		{0xff, 0xff, 0xff, 0xff},
+		{0x80, 0x00, 0x00, 0x00},
+		{0xc0, 0x00, 0x00, 0x00}, // const ^ 0x80...
+	}
+	// Enumerate all 4-element transactions over this alphabet: 7^4 cases.
+	var txns [][]byte
+	for _, a := range elems {
+		for _, b := range elems {
+			for _, c := range elems {
+				for _, d := range elems {
+					txn := make([]byte, 0, 16)
+					txn = append(txn, a...)
+					txn = append(txn, b...)
+					txn = append(txn, c...)
+					txn = append(txn, d...)
+					txns = append(txns, txn)
+				}
+			}
+		}
+	}
+	codecs := []Codec{
+		NewBaseXOR(4),
+		NewBaseXOR(2),
+		NewBaseXOR(8),
+		&BaseXOR{BaseSize: 4, ZDR: true, Mode: FixedBase},
+		NewUniversal(3),
+		NewUniversal(4),
+		NewSILENT(4),
+	}
+	for _, c := range codecs {
+		for _, txn := range txns {
+			var enc Encoded
+			if err := c.Encode(&enc, txn); err != nil {
+				t.Fatalf("%s.Encode(%x): %v", c.Name(), txn, err)
+			}
+			got := make([]byte, len(txn))
+			if err := c.Decode(got, &enc); err != nil {
+				t.Fatalf("%s.Decode(%x): %v", c.Name(), txn, err)
+			}
+			if !bytes.Equal(got, txn) {
+				t.Fatalf("%s corner-case round trip failed:\n txn %x\n enc %x\n got %x",
+					c.Name(), txn, enc.Data, got)
+			}
+		}
+	}
+}
+
+// TestEncodedSymbolsDisjoint verifies the ZDR bijectivity argument of §IV-A
+// directly: for every (input, base) pair over a small element width, encoded
+// symbols are unique per base.
+func TestEncodedSymbolsDisjoint(t *testing.T) {
+	// 1-byte elements make exhaustive enumeration feasible: const = 0x40.
+	cnst := DefaultZDRConst(1)
+	for base := 0; base < 256; base++ {
+		seen := make(map[byte]int, 256)
+		for in := 0; in < 256; in++ {
+			out := make([]byte, 1)
+			encodeElement(out, []byte{byte(in)}, []byte{byte(base)}, cnst, true)
+			if prev, dup := seen[out[0]]; dup {
+				t.Fatalf("base %#02x: inputs %#02x and %#02x both encode to %#02x",
+					base, prev, in, out[0])
+			}
+			seen[out[0]] = in
+		}
+	}
+}
+
+// TestZeroTransactionStaysCheap checks the motivating ZDR property: an
+// all-zero transaction (extremely common in real workloads) must not gain
+// more than one 1 bit per element.
+func TestZeroTransactionStaysCheap(t *testing.T) {
+	txn := make([]byte, 32)
+	for _, bs := range []int{2, 4, 8} {
+		enc := encodeOrFatal(t, NewBaseXOR(bs), txn)
+		if got, want := OnesCount(enc.Data), 32/bs-1; got != want {
+			t.Errorf("%dB XOR+ZDR on zero txn: %d ones, want %d", bs, got, want)
+		}
+	}
+	enc := encodeOrFatal(t, NewUniversal(3), txn)
+	if got := OnesCount(enc.Data); got != 3 {
+		t.Errorf("Universal+ZDR on zero txn: %d ones, want 3 (one per stage)", got)
+	}
+}
+
+// TestRepeatedElementVanishes checks the headline mechanism: a transaction
+// of identical non-zero elements encodes to just the base element.
+func TestRepeatedElementVanishes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	elem := make([]byte, 4)
+	rng.Read(elem)
+	txn := bytes.Repeat(elem, 8)
+	for _, c := range []Codec{NewBaseXOR(4), NewSILENT(4), &BaseXOR{BaseSize: 4, Mode: FixedBase}} {
+		enc := encodeOrFatal(t, c, txn)
+		if got, want := OnesCount(enc.Data), OnesCount(elem); got != want {
+			t.Errorf("%s: repeated element costs %d ones, want %d", c.Name(), got, want)
+		}
+	}
+}
+
+// TestBadLengths verifies length validation on both paths.
+func TestBadLengths(t *testing.T) {
+	var enc Encoded
+	if err := NewBaseXOR(4).Encode(&enc, make([]byte, 30)); !errors.Is(err, ErrBadLength) {
+		t.Errorf("BaseXOR.Encode(30 bytes) = %v, want ErrBadLength", err)
+	}
+	if err := NewUniversal(3).Encode(&enc, make([]byte, 12)); !errors.Is(err, ErrBadLength) {
+		t.Errorf("Universal.Encode(12 bytes) = %v, want ErrBadLength", err)
+	}
+	if err := (&Universal{Stages: 0}).Encode(&enc, make([]byte, 32)); err == nil {
+		t.Error("Universal{Stages:0}.Encode succeeded, want error")
+	}
+	if err := NewBaseXOR(4).Encode(&enc, make([]byte, 32)); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if err := NewBaseXOR(4).Decode(make([]byte, 16), &enc); !errors.Is(err, ErrBadLength) {
+		t.Errorf("Decode with wrong dst length = %v, want ErrBadLength", err)
+	}
+}
+
+// TestFixedVsAdjacentBase confirms the §V-B observation used to justify the
+// adjacent-base design: on data whose similarity drifts gradually (a ramp),
+// adjacent elements are more similar than distant ones, so adjacent-base
+// XOR produces no more ones than fixed-base XOR.
+func TestFixedVsAdjacentBase(t *testing.T) {
+	// 32-bit counters: element i = start + i, a ubiquitous GPU pattern.
+	txn := make([]byte, 32)
+	start := uint32(0x1000_0000)
+	for i := 0; i < 8; i++ {
+		v := start + uint32(i)*0x11
+		txn[4*i+0] = byte(v >> 24)
+		txn[4*i+1] = byte(v >> 16)
+		txn[4*i+2] = byte(v >> 8)
+		txn[4*i+3] = byte(v)
+	}
+	adj := encodeOrFatal(t, &BaseXOR{BaseSize: 4}, txn)
+	fix := encodeOrFatal(t, &BaseXOR{BaseSize: 4, Mode: FixedBase}, txn)
+	if OnesCount(adj.Data) > OnesCount(fix.Data) {
+		t.Errorf("adjacent base (%d ones) worse than fixed base (%d ones) on ramp data",
+			OnesCount(adj.Data), OnesCount(fix.Data))
+	}
+}
+
+// TestOnesCountAndHamming sanity-checks the bit utilities against a slow
+// reference implementation.
+func TestOnesCountAndHamming(t *testing.T) {
+	ref := func(b []byte) int {
+		n := 0
+		for _, v := range b {
+			for i := 0; i < 8; i++ {
+				if v&(1<<i) != 0 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		b := make([]byte, rng.Intn(40))
+		rng.Read(b)
+		if got, want := OnesCount(b), ref(b); got != want {
+			t.Fatalf("OnesCount(%x) = %d, want %d", b, got, want)
+		}
+		c := make([]byte, len(b))
+		rng.Read(c)
+		x := make([]byte, len(b))
+		xorInto(x, b, c)
+		if got, want := HammingDistance(b, c), ref(x); got != want {
+			t.Fatalf("HammingDistance = %d, want %d", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("HammingDistance with unequal lengths did not panic")
+		}
+	}()
+	HammingDistance(make([]byte, 3), make([]byte, 4))
+}
+
+// TestEncodedMetaBits exercises the Encoded metadata bit accessors.
+func TestEncodedMetaBits(t *testing.T) {
+	var e Encoded
+	e.grow(4, 10)
+	for i := 0; i < 10; i++ {
+		if e.MetaBit(i) {
+			t.Fatalf("fresh meta bit %d set", i)
+		}
+	}
+	e.SetMetaBit(3, true)
+	e.SetMetaBit(9, true)
+	if !e.MetaBit(3) || !e.MetaBit(9) || e.MetaBit(4) {
+		t.Fatal("SetMetaBit/MetaBit mismatch")
+	}
+	if got := e.OnesCount(); got != 2 {
+		t.Fatalf("OnesCount = %d, want 2 (meta only)", got)
+	}
+	e.SetMetaBit(3, false)
+	if e.MetaBit(3) {
+		t.Fatal("clearing meta bit failed")
+	}
+}
+
+// TestSimilarityLemma verifies the §IV-C observation Universal is built on
+// (Fig 7a): if every N-byte element of a transaction is identical, then
+// every stage of Universal encoding produces an all-zero (or, with ZDR,
+// single-bit) residue, for every N that divides the half sizes.
+func TestSimilarityLemma(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{2, 4, 8, 16} {
+		elem := make([]byte, n)
+		rng.Read(elem)
+		txn := bytes.Repeat(elem, 32/n)
+		// Plain universal (no ZDR): residues must vanish at every stage
+		// whose half size is a multiple of n.
+		stages := 0
+		for half := 16; half >= n; half /= 2 {
+			stages++
+		}
+		c := &Universal{Stages: stages}
+		var enc Encoded
+		if err := c.Encode(&enc, txn); err != nil {
+			t.Fatal(err)
+		}
+		base := 32 >> uint(stages)
+		if got := OnesCount(enc.Data[base:]); got != 0 {
+			t.Errorf("n=%d: residue has %d ones, want 0 (encoded %x)", n, got, enc.Data)
+		}
+		if got, want := OnesCount(enc.Data[:base]), OnesCount(txn[:base]); got != want {
+			t.Errorf("n=%d: effective base ones %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestChainMetaValidation verifies Chain rejects metadata-producing first
+// stages, which the composition cannot transport.
+func TestChainMetaValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Chain with metadata-producing first stage did not panic")
+		}
+	}()
+	// OracleBase produces metadata and must be rejected as a first stage.
+	NewChain(NewOracleBase(), NewBaseXOR(4))
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: every codec must be a bijection on any 32-byte transaction.
+// `go test` exercises the seed corpus; `go test -fuzz FuzzRoundTrip` digs
+// deeper.
+
+// seedCorpus covers the structured cases the encoders special-case.
+func seedCorpus(f *testing.F) {
+	f.Helper()
+	f.Add(make([]byte, 32))
+	f.Add(bytes.Repeat([]byte{0xff}, 32))
+	f.Add(bytes.Repeat([]byte{0x40, 0x00, 0x00, 0x00}, 8)) // the ZDR constant
+	f.Add(bytes.Repeat([]byte{0xde, 0xad, 0xbe, 0xef}, 8))
+	f.Add([]byte{
+		0x40, 0x0e, 0xa9, 0x5b, 0, 0, 0, 0, 0, 0, 0, 0, 0x40, 0x0e, 0xa9, 0x5b,
+		0x40, 0x0e, 0xa9, 0x5b, 0, 0, 0, 0, 0, 0, 0, 0, 0x40, 0x0e, 0xa9, 0x5b,
+	})
+	f.Add([]byte{
+		0x39, 0x0c, 0x9b, 0xfb, 0x39, 0x0c, 0x90, 0xf9, 0x39, 0x0c, 0x88, 0xf8,
+		0x39, 0x0c, 0x88, 0xf9, 0x39, 0x0c, 0x7b, 0xfb, 0x39, 0x0c, 0x70, 0xf9,
+		0x39, 0x0c, 0x78, 0xf8, 0x39, 0x0c, 0x78, 0xf9,
+	})
+}
+
+// fuzzCodecs are the configurations the fuzzer drives.
+func fuzzCodecs() []Codec {
+	return []Codec{
+		NewBaseXOR(2), NewBaseXOR(4), NewBaseXOR(8),
+		NewSILENT(4),
+		&BaseXOR{BaseSize: 4, ZDR: true, Mode: FixedBase},
+		&BaseXOR{BaseSize: 4, ZDR: true, ZDRConst: []byte{0, 0, 0, 1}},
+		NewUniversal(1), NewUniversal(3), NewUniversal(5),
+		NewOracleBase(),
+	}
+}
+
+// FuzzRoundTrip checks Decode(Encode(x)) == x for every codec on arbitrary
+// 32-byte payloads.
+func FuzzRoundTrip(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 32 {
+			return
+		}
+		txn := data[:32]
+		for _, c := range fuzzCodecs() {
+			var enc Encoded
+			if err := c.Encode(&enc, txn); err != nil {
+				t.Fatalf("%s: encode: %v", c.Name(), err)
+			}
+			got := make([]byte, 32)
+			if err := c.Decode(got, &enc); err != nil {
+				t.Fatalf("%s: decode: %v", c.Name(), err)
+			}
+			if !bytes.Equal(got, txn) {
+				t.Fatalf("%s: round trip mismatch for %x", c.Name(), txn)
+			}
+		}
+	})
+}
+
+// FuzzProfiledStream checks the stateful profiling selector stays in
+// lockstep over arbitrary multi-transaction streams.
+func FuzzProfiledStream(f *testing.F) {
+	seedCorpus(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := NewProfiledBase()
+		p.Window = 4
+		var enc Encoded
+		for off := 0; off+32 <= len(data); off += 32 {
+			txn := data[off : off+32]
+			if err := p.Encode(&enc, txn); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 32)
+			if err := p.Decode(got, &enc); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, txn) {
+				t.Fatalf("profiled stream diverged at offset %d", off)
+			}
+		}
+	})
+}

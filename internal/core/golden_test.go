@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"encoding/hex"
+	"testing"
+)
+
+// mustHex decodes a whitespace-free hex string into bytes.
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex constant %q: %v", s, err)
+	}
+	return b
+}
+
+func encodeOrFatal(t *testing.T, c Codec, src []byte) *Encoded {
+	t.Helper()
+	var e Encoded
+	if err := c.Encode(&e, src); err != nil {
+		t.Fatalf("%s.Encode: %v", c.Name(), err)
+	}
+	return &e
+}
+
+func roundTrip(t *testing.T, c Codec, src []byte) {
+	t.Helper()
+	enc := encodeOrFatal(t, c, src)
+	got := make([]byte, len(src))
+	if err := c.Decode(got, enc); err != nil {
+		t.Fatalf("%s.Decode: %v", c.Name(), err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("%s round trip mismatch:\n src %x\n got %x\n enc %x", c.Name(), src, got, enc.Data)
+	}
+}
+
+// TestFig3DataSimilarity reproduces the observation of Fig 3: in
+// transaction0, the upper 16-bit chunk 0x390c of every 4-byte element is
+// identical, so its six 1 bits are transferred seven redundant times.
+func TestFig3DataSimilarity(t *testing.T) {
+	txn := mustHex(t, "390c9bfb"+"390c90f9"+"390c88f8"+"390c88f9"+
+		"390c7bfb"+"390c70f9"+"390c78f8"+"390c78f9") // 32-byte sector, 8 elements
+	top := mustHex(t, "390c")
+	if got := OnesCount(top); got != 6 {
+		t.Fatalf("popcount(390c) = %d, want 6", got)
+	}
+	for off := 0; off < len(txn); off += 4 {
+		if !bytes.Equal(txn[off:off+2], top) {
+			t.Fatalf("element at %d does not share the top chunk", off)
+		}
+	}
+}
+
+// TestFig4BaseXOR reproduces Fig 4: 4-byte Base+XOR Transfer on the 16-byte
+// prefix of transaction0. The paper reports 59 1-values before encoding; the
+// XOR residues follow directly from the element values (0x0b02, 0x1801,
+// 0x0001 — the figure's rendering of the first residue is garbled in some
+// copies of the paper, but it is determined by the element data).
+func TestFig4BaseXOR(t *testing.T) {
+	txn := mustHex(t, "390c9bfb"+"390c90f9"+"390c88f8"+"390c88f9")
+	if got := OnesCount(txn); got != 59 {
+		t.Fatalf("baseline ones = %d, want 59", got)
+	}
+	c := &BaseXOR{BaseSize: 4} // plain XOR, no ZDR, as in Fig 4
+	enc := encodeOrFatal(t, c, txn)
+	want := mustHex(t, "390c9bfb"+"00000b02"+"00001801"+"00000001")
+	if !bytes.Equal(enc.Data, want) {
+		t.Fatalf("encoded = %x, want %x", enc.Data, want)
+	}
+	if got := OnesCount(enc.Data); got != 26 {
+		t.Fatalf("encoded ones = %d, want 26", got)
+	}
+	roundTrip(t, c, txn)
+}
+
+// TestFig5ZeroDataRemapping reproduces Fig 5: a transaction with interleaved
+// zero elements. Plain 4-byte XOR inflates 26 ones to 39 by copying the
+// non-zero neighbour over each zero element; ZDR caps the damage at 28 by
+// remapping each zero element to the single-1-bit constant 0x40000000.
+func TestFig5ZeroDataRemapping(t *testing.T) {
+	txn := mustHex(t, "400ea95b"+"00000000"+"00000000"+"400ea95b")
+	if got := OnesCount(txn); got != 26 {
+		t.Fatalf("baseline ones = %d, want 26", got)
+	}
+
+	plain := &BaseXOR{BaseSize: 4}
+	encPlain := encodeOrFatal(t, plain, txn)
+	if got := OnesCount(encPlain.Data); got != 39 {
+		t.Fatalf("plain XOR ones = %d, want 39 (Fig 5a)", got)
+	}
+
+	zdr := NewBaseXOR(4)
+	encZDR := encodeOrFatal(t, zdr, txn)
+	if got := OnesCount(encZDR.Data); got != 28 {
+		t.Fatalf("XOR+ZDR ones = %d, want 28 (Fig 5c)", got)
+	}
+	// The zero elements must appear as the low-weight constant.
+	wantConst := mustHex(t, "40000000")
+	if !bytes.Equal(encZDR.Data[4:8], wantConst) || !bytes.Equal(encZDR.Data[8:12], wantConst) {
+		t.Fatalf("zero elements not remapped to constant: %x", encZDR.Data)
+	}
+	roundTrip(t, plain, txn)
+	roundTrip(t, zdr, txn)
+}
+
+// TestFig6BaseSizeSelection reproduces Fig 6: a transaction of two similar
+// 8-byte elements. A 4-byte base fails to expose the similarity (residues
+// 0x1cff1d5a...), while an 8-byte base reduces the second element to a
+// 1-bit residue.
+func TestFig6BaseSizeSelection(t *testing.T) {
+	txn := mustHex(t, "400ea15a5cf1bc00"+"400ea15a5cf1bc04")
+
+	small := &BaseXOR{BaseSize: 4}
+	encSmall := encodeOrFatal(t, small, txn)
+	wantSmall := mustHex(t, "400ea15a"+"1cff1d5a"+"1cff1d5a"+"1cff1d5e")
+	if !bytes.Equal(encSmall.Data, wantSmall) {
+		t.Fatalf("4B encoded = %x, want %x", encSmall.Data, wantSmall)
+	}
+
+	matched := &BaseXOR{BaseSize: 8}
+	encMatched := encodeOrFatal(t, matched, txn)
+	wantMatched := mustHex(t, "400ea15a5cf1bc00"+"0000000000000004")
+	if !bytes.Equal(encMatched.Data, wantMatched) {
+		t.Fatalf("8B encoded = %x, want %x", encMatched.Data, wantMatched)
+	}
+	if OnesCount(encSmall.Data) <= OnesCount(encMatched.Data) {
+		t.Fatalf("mismatched base should cost more ones: 4B=%d 8B=%d",
+			OnesCount(encSmall.Data), OnesCount(encMatched.Data))
+	}
+	roundTrip(t, small, txn)
+	roundTrip(t, matched, txn)
+}
+
+// TestFig8aUniversal2Byte reproduces Fig 8a: a 16-byte transaction of similar
+// 2-byte elements encoded by 3-stage Universal Base+XOR. The result is a
+// 2-byte base element and 14 bytes of mostly-zero residue.
+func TestFig8aUniversal2Byte(t *testing.T) {
+	txn := mustHex(t, "3901"+"3903"+"3905"+"3907"+"3909"+"390b"+"390d"+"390f")
+	c := &Universal{Stages: 3} // 16 B -> 2 B effective base
+	enc := encodeOrFatal(t, c, txn)
+	want := mustHex(t, "3901"+"0002"+"0004"+"0004"+"0008"+"0008"+"0008"+"0008")
+	if !bytes.Equal(enc.Data, want) {
+		t.Fatalf("encoded = %x, want %x", enc.Data, want)
+	}
+	roundTrip(t, c, txn)
+}
+
+// TestFig8bUniversal4Byte reproduces Fig 8b: a 16-byte transaction of similar
+// 4-byte elements. Universal encoding leaves a 4-byte effective base
+// (0x400e followed by the intra-element residue) and 12 bytes of low-weight
+// residue — matching what explicit 4-byte Base+XOR would achieve without
+// knowing the element size.
+func TestFig8bUniversal4Byte(t *testing.T) {
+	txn := mustHex(t, "400ea151"+"400ea153"+"400ea155"+"400ea157")
+	c := &Universal{Stages: 3}
+	enc := encodeOrFatal(t, c, txn)
+	// Stage residues: inter-element residues are 0x00000002/0x00000004,
+	// and the final intra-element stage XORs 0xa151 with 0x400e = 0xe15f.
+	want := mustHex(t, "400e"+"e15f"+"00000002"+"0000000400000004")
+	if !bytes.Equal(enc.Data, want) {
+		t.Fatalf("encoded = %x, want %x", enc.Data, want)
+	}
+	// The key claim: the 12 residue bytes carry almost no 1 values.
+	if got := OnesCount(enc.Data[4:]); got != 3 {
+		t.Fatalf("residue ones = %d, want 3", got)
+	}
+	roundTrip(t, c, txn)
+}
+
+// TestUniversalMatchesFixedBaseOnAlignedData checks the §IV-C claim that
+// Universal encoding achieves (nearly) the result of the best-matched fixed
+// base without a priori knowledge: for data similar at 4-byte granularity,
+// the total residue weight equals the 4-byte Base+XOR result's residue
+// weight plus only the intra-base refinement.
+func TestUniversalMatchesFixedBaseOnAlignedData(t *testing.T) {
+	txn := mustHex(t, "400ea151"+"400ea153"+"400ea155"+"400ea157")
+
+	fixed := &BaseXOR{BaseSize: 4}
+	encFixed := encodeOrFatal(t, fixed, txn)
+	univ := &Universal{Stages: 3}
+	encUniv := encodeOrFatal(t, univ, txn)
+
+	fixedResidue := OnesCount(encFixed.Data[4:]) // residues 02,06,02 -> 4 ones
+	univResidue := OnesCount(encUniv.Data[4:])   // residues 02,04,04 -> 3 ones
+	if univResidue > fixedResidue {
+		t.Fatalf("universal residue %d worse than fixed-base residue %d", univResidue, fixedResidue)
+	}
+}

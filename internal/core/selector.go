@@ -1,0 +1,233 @@
+package core
+
+import "fmt"
+
+// This file implements the base-size selection mechanisms §IV-B sketches
+// and rejects in favour of Universal Base+XOR Transfer. They exist so the
+// repository can quantify that design decision (the `abl-select` ablation):
+//
+//   - OracleBase encodes with every candidate base and keeps the best
+//     result — the "most intuitive solution" — paying 2 bits of metadata
+//     (rounded up to a dedicated wire) and one encoder per candidate.
+//   - ProfiledBase periodically profiles the stream and locks the winning
+//     base for the next window — the "periodically profiling a per-page
+//     preferred base size" alternative, needing profiling state on both
+//     sides but no metadata.
+
+// OracleBase selects, per transaction, the candidate base size whose
+// XOR+ZDR encoding yields the fewest 1 values, and transmits the choice as
+// side-band metadata on a dedicated wire.
+type OracleBase struct {
+	// Bases are the candidate base sizes; at most 4 (2 selector bits).
+	// Nil defaults to the paper's {2, 4, 8}.
+	Bases []int
+	// BeatBytes is the bus beat size used to shape the metadata wire
+	// (default 4, the 32-bit GDDR5X channel).
+	BeatBytes int
+
+	codecs []*BaseXOR
+	tmp    Encoded
+}
+
+var _ Codec = (*OracleBase)(nil)
+
+// NewOracleBase returns the exhaustive per-transaction selector over the
+// paper's 2/4/8-byte candidates.
+func NewOracleBase() *OracleBase { return &OracleBase{} }
+
+// Name implements Codec.
+func (o *OracleBase) Name() string { return "Oracle base XOR+ZDR" }
+
+// init lazily builds per-candidate codecs.
+func (o *OracleBase) init() error {
+	if o.codecs != nil {
+		return nil
+	}
+	if o.Bases == nil {
+		o.Bases = []int{2, 4, 8}
+	}
+	if len(o.Bases) == 0 || len(o.Bases) > 4 {
+		return fmt.Errorf("core: OracleBase needs 1-4 candidates, have %d", len(o.Bases))
+	}
+	if o.BeatBytes == 0 {
+		o.BeatBytes = 4
+	}
+	for _, b := range o.Bases {
+		o.codecs = append(o.codecs, NewBaseXOR(b))
+	}
+	return nil
+}
+
+// MetaBits implements Codec: one dedicated selector wire (the 2-bit choice
+// occupies the first beats; the wire idles afterwards).
+func (o *OracleBase) MetaBits(n int) int {
+	bb := o.BeatBytes
+	if bb == 0 {
+		bb = 4
+	}
+	return n / bb
+}
+
+// Reset implements Codec.
+func (o *OracleBase) Reset() {}
+
+// Encode implements Codec.
+func (o *OracleBase) Encode(dst *Encoded, src []byte) error {
+	if err := o.init(); err != nil {
+		return err
+	}
+	best, bestOnes := -1, int(^uint(0)>>1)
+	for i, c := range o.codecs {
+		if err := c.Encode(&o.tmp, src); err != nil {
+			return err
+		}
+		if ones := OnesCount(o.tmp.Data); ones < bestOnes {
+			best, bestOnes = i, ones
+		}
+	}
+	if err := o.codecs[best].Encode(&o.tmp, src); err != nil {
+		return err
+	}
+	dst.grow(len(src), o.MetaBits(len(src)))
+	copy(dst.Data, o.tmp.Data)
+	// Selector bits ride the first two beats of the metadata wire.
+	dst.SetMetaBit(0, best&1 != 0)
+	if dst.MetaBits > 1 {
+		dst.SetMetaBit(1, best&2 != 0)
+	}
+	return nil
+}
+
+// Decode implements Codec.
+func (o *OracleBase) Decode(dst []byte, src *Encoded) error {
+	if err := o.init(); err != nil {
+		return err
+	}
+	idx := 0
+	if src.MetaBits > 0 && src.MetaBit(0) {
+		idx |= 1
+	}
+	if src.MetaBits > 1 && src.MetaBit(1) {
+		idx |= 2
+	}
+	if idx >= len(o.codecs) {
+		return fmt.Errorf("core: OracleBase selector %d out of range", idx)
+	}
+	inner := Encoded{Data: src.Data}
+	return o.codecs[idx].Decode(dst, &inner)
+}
+
+// ProfiledBase re-evaluates the candidate bases over a sliding window of
+// recent transactions and encodes the next window with the current winner.
+// Encoder and decoder profiles evolve identically (the decoder profiles
+// decoded transactions, which are bit-identical to the originals), so no
+// metadata is needed — but both sides carry profiling state, the §IV-B
+// overhead that Universal Base+XOR avoids.
+type ProfiledBase struct {
+	// Bases are the candidate base sizes (default {2, 4, 8}).
+	Bases []int
+	// Window is the profiling period in transactions (default 64).
+	Window int
+
+	codecs  []*BaseXOR
+	ones    []int
+	seen    int
+	active  int
+	tmp     Encoded
+	decSeen int
+	decOnes []int
+	decAct  int
+}
+
+var _ Codec = (*ProfiledBase)(nil)
+
+// NewProfiledBase returns the windowed profiling selector over the paper's
+// candidates.
+func NewProfiledBase() *ProfiledBase { return &ProfiledBase{} }
+
+// Name implements Codec.
+func (p *ProfiledBase) Name() string { return "Profiled base XOR+ZDR" }
+
+// MetaBits implements Codec; profiling needs no side band.
+func (p *ProfiledBase) MetaBits(int) int { return 0 }
+
+// Reset implements Codec.
+func (p *ProfiledBase) Reset() {
+	p.seen, p.active, p.decSeen, p.decAct = 0, 0, 0, 0
+	for i := range p.ones {
+		p.ones[i] = 0
+	}
+	for i := range p.decOnes {
+		p.decOnes[i] = 0
+	}
+}
+
+func (p *ProfiledBase) init() error {
+	if p.codecs != nil {
+		return nil
+	}
+	if p.Bases == nil {
+		p.Bases = []int{2, 4, 8}
+	}
+	if len(p.Bases) == 0 {
+		return fmt.Errorf("core: ProfiledBase needs candidates")
+	}
+	if p.Window == 0 {
+		p.Window = 64
+	}
+	for _, b := range p.Bases {
+		p.codecs = append(p.codecs, NewBaseXOR(b))
+	}
+	p.ones = make([]int, len(p.codecs))
+	p.decOnes = make([]int, len(p.codecs))
+	return nil
+}
+
+// profile accumulates candidate costs for one plaintext transaction and
+// returns the (possibly updated) active index.
+func (p *ProfiledBase) profile(src []byte, ones []int, seen *int, active *int) error {
+	for i, c := range p.codecs {
+		if err := c.Encode(&p.tmp, src); err != nil {
+			return err
+		}
+		ones[i] += OnesCount(p.tmp.Data)
+	}
+	*seen++
+	if *seen >= p.Window {
+		best := 0
+		for i := range ones {
+			if ones[i] < ones[best] {
+				best = i
+			}
+		}
+		*active = best
+		*seen = 0
+		for i := range ones {
+			ones[i] = 0
+		}
+	}
+	return nil
+}
+
+// Encode implements Codec.
+func (p *ProfiledBase) Encode(dst *Encoded, src []byte) error {
+	if err := p.init(); err != nil {
+		return err
+	}
+	if err := p.codecs[p.active].Encode(dst, src); err != nil {
+		return err
+	}
+	return p.profile(src, p.ones, &p.seen, &p.active)
+}
+
+// Decode implements Codec.
+func (p *ProfiledBase) Decode(dst []byte, src *Encoded) error {
+	if err := p.init(); err != nil {
+		return err
+	}
+	if err := p.codecs[p.decAct].Decode(dst, src); err != nil {
+		return err
+	}
+	// Mirror the encoder's profile using the decoded plaintext.
+	return p.profile(dst, p.decOnes, &p.decSeen, &p.decAct)
+}

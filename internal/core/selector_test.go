@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestOracleRoundTrip verifies the exhaustive selector decodes through the
+// metadata-carried choice.
+func TestOracleRoundTrip(t *testing.T) {
+	o := NewOracleBase()
+	f := func(txn [32]byte) bool {
+		var enc Encoded
+		if err := o.Encode(&enc, txn[:]); err != nil {
+			return false
+		}
+		got := make([]byte, 32)
+		if err := o.Decode(got, &enc); err != nil {
+			return false
+		}
+		return bytes.Equal(got, txn[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOracleIsLowerBound verifies the oracle's data ones never exceed any
+// single fixed base's.
+func TestOracleIsLowerBound(t *testing.T) {
+	o := NewOracleBase()
+	fixed := []*BaseXOR{NewBaseXOR(2), NewBaseXOR(4), NewBaseXOR(8)}
+	rng := rand.New(rand.NewSource(21))
+	var enc, ref Encoded
+	for i := 0; i < 300; i++ {
+		txn := make([]byte, 32)
+		rng.Read(txn)
+		if err := o.Encode(&enc, txn); err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range fixed {
+			if err := c.Encode(&ref, txn); err != nil {
+				t.Fatal(err)
+			}
+			if OnesCount(enc.Data) > OnesCount(ref.Data) {
+				t.Fatalf("oracle (%d ones) worse than %s (%d ones)",
+					OnesCount(enc.Data), c.Name(), OnesCount(ref.Data))
+			}
+		}
+	}
+}
+
+// TestOracleMetadata verifies the dedicated-wire metadata shape.
+func TestOracleMetadata(t *testing.T) {
+	o := NewOracleBase()
+	if got := o.MetaBits(32); got != 8 {
+		t.Fatalf("MetaBits(32) = %d, want 8 (one wire over eight beats)", got)
+	}
+	var enc Encoded
+	if err := o.Encode(&enc, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if enc.MetaBits != 8 {
+		t.Fatalf("encoded MetaBits = %d, want 8", enc.MetaBits)
+	}
+	bad := &OracleBase{Bases: []int{2, 4, 8, 16, 32}}
+	if err := bad.Encode(&enc, make([]byte, 32)); err == nil {
+		t.Fatal("more than 4 candidates accepted")
+	}
+}
+
+// TestProfiledRoundTripStream verifies encoder/decoder profile lockstep
+// across window switches, including after Reset.
+func TestProfiledRoundTripStream(t *testing.T) {
+	p := NewProfiledBase()
+	p.Window = 16
+	rng := rand.New(rand.NewSource(22))
+	run := func() {
+		var enc Encoded
+		elem16 := make([]byte, 2)
+		elem64 := make([]byte, 8)
+		for i := 0; i < 400; i++ {
+			txn := make([]byte, 32)
+			switch (i / 50) % 3 { // phase changes force base switches
+			case 0:
+				rng.Read(elem16)
+				for off := 0; off < 32; off += 2 {
+					copy(txn[off:], elem16)
+				}
+			case 1:
+				rng.Read(elem64)
+				for off := 0; off < 32; off += 8 {
+					copy(txn[off:], elem64)
+				}
+			default:
+				rng.Read(txn)
+			}
+			if err := p.Encode(&enc, txn); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]byte, 32)
+			if err := p.Decode(got, &enc); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, txn) {
+				t.Fatalf("profiled round trip failed at txn %d", i)
+			}
+		}
+	}
+	run()
+	p.Reset()
+	run()
+}
+
+// TestProfiledAdapts drives a stream of 8-byte-similar data and checks the
+// profiler abandons its initial 2-byte base.
+func TestProfiledAdapts(t *testing.T) {
+	p := NewProfiledBase()
+	p.Window = 8
+	rng := rand.New(rand.NewSource(23))
+	var enc Encoded
+	elem := make([]byte, 8)
+	rng.Read(elem)
+	for i := 0; i < 64; i++ {
+		txn := bytes.Repeat(elem, 4)
+		txn[31] ^= byte(i) // small drift
+		if err := p.Encode(&enc, txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Bases[p.active] != 8 {
+		t.Fatalf("profiler locked base %dB, want 8B for 8-byte-similar data", p.Bases[p.active])
+	}
+}
+
+// TestZDRConstOverride verifies custom remapping constants stay bijective
+// and reproduce the §IV-A trade-offs: const 0 preserves zeros but forfeits
+// the repeated-element benefit.
+func TestZDRConstOverride(t *testing.T) {
+	consts := [][]byte{
+		{0x00, 0x00, 0x00, 0x00},
+		{0x00, 0x00, 0x00, 0x01},
+		{0x40, 0x00, 0x00, 0x00},
+		{0x80, 0x00, 0x00, 0x00},
+		{0xff, 0xff, 0xff, 0xff},
+	}
+	for _, cn := range consts {
+		c := &BaseXOR{BaseSize: 4, ZDR: true, ZDRConst: cn}
+		f := func(txn [32]byte) bool {
+			var enc Encoded
+			if err := c.Encode(&enc, txn[:]); err != nil {
+				return false
+			}
+			got := make([]byte, 32)
+			if err := c.Decode(got, &enc); err != nil {
+				return false
+			}
+			return bytes.Equal(got, txn[:])
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Fatalf("const %x: %v", cn, err)
+		}
+	}
+
+	// Repeated non-zero elements: const 0 encodes them at full weight
+	// (the base value), const 0x40... as a single bit.
+	txn := bytes.Repeat([]byte{0xde, 0xad, 0xbe, 0xef}, 8)
+	zero := &BaseXOR{BaseSize: 4, ZDR: true, ZDRConst: consts[0]}
+	std := NewBaseXOR(4)
+	var e0, e1 Encoded
+	if err := zero.Encode(&e0, txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := std.Encode(&e1, txn); err != nil {
+		t.Fatal(err)
+	}
+	if OnesCount(e0.Data) <= OnesCount(e1.Data) {
+		t.Fatalf("const 0 (%d ones) should forfeit the repeated-element benefit vs 0x40 (%d ones)",
+			OnesCount(e0.Data), OnesCount(e1.Data))
+	}
+	// Bad constant length is rejected.
+	badConst := &BaseXOR{BaseSize: 4, ZDR: true, ZDRConst: []byte{1, 2}}
+	if err := badConst.Encode(&e0, txn); err == nil {
+		t.Fatal("wrong-length ZDR constant accepted")
+	}
+}

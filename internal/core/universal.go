@@ -1,0 +1,143 @@
+package core
+
+import "fmt"
+
+// Universal is Universal Base+XOR Transfer (§IV-C): a multi-stage halving
+// encoder that extracts intra-transaction similarity at every power-of-two
+// granularity without a priori knowledge of the underlying element size and
+// without metadata.
+//
+// Stage 1 splits the transaction into two halves and replaces the right half
+// with (right XOR left); stage 2 repeats on the surviving left half, and so
+// on for Stages stages. If every N-byte element of the transaction is
+// similar, then every 2N-byte element is also similar (Fig 7a), so some
+// stage always lines up with the data and produces a mostly-zero residue.
+// The left-most unencoded chunk after the final stage is the effective base
+// element (Fig 8b).
+//
+// With ZDR enabled, Zero Data Remapping is applied at each stage with a
+// constant sized to that stage's half-width, so all-zero halves survive
+// cheaply instead of duplicating the opposite half.
+type Universal struct {
+	// Stages is the number of halving stages. The paper's hardware uses 3
+	// stages for 32-byte transactions (Table II), leaving a 4-byte
+	// effective base. Must satisfy 1 <= Stages and len>>Stages >= 1.
+	Stages int
+	// ZDR enables per-stage Zero Data Remapping.
+	ZDR bool
+
+	// consts caches per-stage remapping constants, keyed by half-width.
+	consts map[int][]byte
+}
+
+var _ Codec = &Universal{}
+
+// NewUniversal returns the paper's evaluated configuration: Universal
+// Base+XOR Transfer with Zero Data Remapping and the given stage count
+// (3 stages for 32-byte transactions).
+func NewUniversal(stages int) *Universal {
+	return &Universal{Stages: stages, ZDR: true}
+}
+
+// Name implements Codec.
+func (c *Universal) Name() string {
+	if c.ZDR {
+		return "Universal XOR+ZDR"
+	}
+	return "Universal XOR"
+}
+
+// MetaBits implements Codec; Universal Base+XOR requires no metadata.
+func (c *Universal) MetaBits(int) int { return 0 }
+
+// Reset implements Codec; Universal is stateless across transactions.
+func (c *Universal) Reset() {}
+
+// constFor returns the stage constant for a half of the given byte width.
+func (c *Universal) constFor(half int) []byte {
+	if c.consts == nil {
+		c.consts = make(map[int][]byte)
+	}
+	k, ok := c.consts[half]
+	if !ok {
+		k = DefaultZDRConst(half)
+		c.consts[half] = k
+	}
+	return k
+}
+
+func (c *Universal) check(n int) error {
+	if c.Stages < 1 {
+		return fmt.Errorf("core: %s requires at least one stage", c.Name())
+	}
+	if n>>uint(c.Stages) < 1 || n%(1<<uint(c.Stages)) != 0 {
+		return badLength(c.Name(), n)
+	}
+	return nil
+}
+
+// Encode implements Codec. All stages of the hardware implementation operate
+// in parallel (Fig 9b); this software model applies them outermost-first,
+// which computes the identical result because stage k only reads the region
+// stage k+1 rewrites.
+func (c *Universal) Encode(dst *Encoded, src []byte) error {
+	if err := c.check(len(src)); err != nil {
+		return err
+	}
+	dst.grow(len(src), 0)
+	copy(dst.Data, src)
+	// The surviving region is always a prefix of the transaction: stage s
+	// operates on the first len(src)>>s bytes.
+	for s := 0; s < c.Stages; s++ {
+		size := len(src) >> uint(s)
+		half := size / 2
+		left := dst.Data[:half]
+		right := dst.Data[half:size]
+		// left still equals src[:half] here — no stage has touched it
+		// yet — so it is a valid base for the hardware's parallel view.
+		encodeElement(right, src[half:size], left, c.constFor(half), c.ZDR)
+	}
+	return nil
+}
+
+// Decode implements Codec by unwinding the stages innermost-first: once the
+// effective base is recovered, each stage's right half is re-derived from
+// the decoded left half.
+func (c *Universal) Decode(dst []byte, src *Encoded) error {
+	if len(dst) != len(src.Data) {
+		return badLength(c.Name(), len(dst))
+	}
+	if err := c.check(len(dst)); err != nil {
+		return err
+	}
+	copy(dst, src.Data)
+	// Region sizes grow from the innermost stage outward.
+	for s := c.Stages - 1; s >= 0; s-- {
+		size := len(dst) >> uint(s)
+		region := dst[:size]
+		half := size / 2
+		left, right := region[:half], region[half:]
+		// left is already fully decoded (inner stages ran first);
+		// decode right in place against it.
+		decodeElementInPlace(right, left, c.constFor(half), c.ZDR)
+	}
+	return nil
+}
+
+// decodeElementInPlace decodes enc (in place) against base, equivalent to
+// decodeElement with out == enc.
+func decodeElementInPlace(enc, base, cnst []byte, zdr bool) {
+	if zdr {
+		if zdrConstMatches(enc, cnst) {
+			for i := range enc {
+				enc[i] = 0
+			}
+			return
+		}
+		if equal(enc, base) {
+			writeBaseXORConst(enc, base, cnst)
+			return
+		}
+	}
+	xorInto(enc, enc, base)
+}

@@ -1,0 +1,161 @@
+// Package cpusim is the CPU-side system model of §VI-G: a single core with
+// a 4 MB last-level cache in front of a 64-bit DDR4 channel, moving whole
+// 64-byte lines per transaction. It mirrors gpusim's role for the Fig 18
+// study, demonstrating that Base+XOR Transfer "can be applied without any
+// modification in CPUs" — the same memory-controller codec integration,
+// different geometry.
+package cpusim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"github.com/hpca18/bxt/internal/bus"
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/memsys"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+// System is the single-core memory hierarchy: LLC plus one DDR4 channel.
+type System struct {
+	Config config.CPU
+	Cache  *memsys.Cache
+	Chan   *memsys.Channel
+
+	src                               regionSource
+	reads, writes, misses, writebacks uint64
+}
+
+// regionSource materializes line contents from a workload data model,
+// position-deterministically.
+type regionSource struct {
+	name  string
+	model func() workload.Generator
+	bytes int
+}
+
+// FillSector implements memsys.DataSource.
+func (s regionSource) FillSector(addr uint64, dst []byte) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s:%d", s.name, addr)
+	rng := rand.New(rand.NewSource(int64(h.Sum64() & 0x7fffffffffffffff)))
+	s.model().Fill(dst, rng)
+}
+
+// New builds the §VI-G system with the given at-rest codec factory (nil for
+// the unencoded baseline) over a data model for the simulated heap.
+func New(cfg config.CPU, storage memsys.CodecFactory, model func() workload.Generator) *System {
+	src := regionSource{name: "heap", model: model}
+	var at core.Codec
+	if storage != nil {
+		at = storage()
+	}
+	return &System{
+		Config: cfg,
+		// Unsectored cache: the "sector" is the whole line.
+		Cache: memsys.NewCache(cfg.LastLevelCacheBytes, 16, cfg.CacheLineBytes, cfg.CacheLineBytes),
+		Chan:  memsys.NewChannel(cfg.BusWidthBits, cfg.CacheLineBytes, at, nil, src),
+		src:   src,
+	}
+}
+
+// Access performs one line access (write data must be a full line).
+func (s *System) Access(addr uint64, write bool, data []byte) ([]byte, error) {
+	addr &^= uint64(s.Config.CacheLineBytes - 1)
+	if write {
+		s.writes++
+	} else {
+		s.reads++
+	}
+	hit, evicted := s.Cache.Access(addr, write)
+	for _, wb := range evicted {
+		s.writebacks++
+		if err := s.Chan.WriteSector(wb.Addr, wb.Data); err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case write:
+		if !hit {
+			s.misses++
+		}
+		s.Cache.FillDirty(addr, data)
+		return nil, nil
+	case hit:
+		if d := s.Cache.DirtyData(addr); d != nil {
+			return d, nil
+		}
+		return nil, nil // clean hit: no DRAM traffic, caller has the data
+	default:
+		s.misses++
+		d, err := s.Chan.ReadSector(addr)
+		if err != nil {
+			return nil, err
+		}
+		s.Cache.Fill(addr)
+		return d, nil
+	}
+}
+
+// Drain flushes dirty lines.
+func (s *System) Drain() error {
+	for _, wb := range s.Cache.DrainDirty() {
+		s.writebacks++
+		if err := s.Chan.WriteSector(wb.Addr, wb.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats returns the channel's bus activity.
+func (s *System) Stats() bus.Stats { return s.Chan.Stats() }
+
+// MissRate returns LLC misses per access.
+func (s *System) MissRate() float64 {
+	total := s.reads + s.writes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.misses) / float64(total)
+}
+
+// RunPointerChase walks a pseudo-random pointer chain over a working set of
+// the given size, the canonical cache-hostile CPU access pattern (mcf-like),
+// for n accesses.
+func (s *System) RunPointerChase(workingSet uint64, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	lines := workingSet / uint64(s.Config.CacheLineBytes)
+	addr := uint64(0)
+	for i := 0; i < n; i++ {
+		if _, err := s.Access(addr*uint64(s.Config.CacheLineBytes), false, nil); err != nil {
+			return err
+		}
+		addr = uint64(rng.Int63()) % lines
+	}
+	return nil
+}
+
+// RunStream sweeps sequentially through a region (lbm/libquantum-like) for
+// n line accesses with the given write fraction.
+func (s *System) RunStream(n int, writeFrac float64, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	line := uint64(s.Config.CacheLineBytes)
+	buf := make([]byte, s.Config.CacheLineBytes)
+	for i := 0; i < n; i++ {
+		addr := uint64(i) * line
+		if rng.Float64() < writeFrac {
+			// Computed stores: the region's data model perturbed in place.
+			s.src.FillSector(addr, buf)
+			buf[rng.Intn(len(buf))] ^= byte(1 + rng.Intn(255))
+			if _, err := s.Access(addr, true, buf); err != nil {
+				return err
+			}
+		} else if _, err := s.Access(addr, false, nil); err != nil {
+			return err
+		}
+	}
+	return s.Drain()
+}

@@ -1,0 +1,165 @@
+// Package dbi implements Dynamic Bus Inversion (Stan & Burleson [5]), the
+// encoding built into GDDR5/GDDR5X and the paper's primary prior-work
+// comparison (§II-B, §VI-D).
+//
+// DBI conditionally inverts each n-bit group of a beat so that at most
+// ⌈n/2⌉ of the transferred bits are 1 (DBI-DC) or so that at most half the
+// wires toggle (DBI-AC). The inversion decision is carried on one dedicated
+// polarity wire per group; those metadata wires cost real 1 values and
+// toggles, which the evaluation charges against the scheme exactly as the
+// paper does.
+package dbi
+
+import (
+	"fmt"
+
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// Mode selects the inversion objective.
+type Mode int
+
+const (
+	// DC minimizes the number of 1 values per group, the variant used by
+	// GDDR5/GDDR5X on its POD interface and throughout the evaluation.
+	DC Mode = iota
+	// AC minimizes wire toggles relative to the previous beat. Included
+	// for completeness (§VI-E footnote); not used on POD interfaces.
+	AC
+)
+
+// String returns the mode's conventional name.
+func (m Mode) String() string {
+	if m == AC {
+		return "DBI-AC"
+	}
+	return "DBI-DC"
+}
+
+// DBI is a Dynamic Bus Inversion codec over fixed-size transactions.
+type DBI struct {
+	// GroupBytes is the inversion granularity in bytes: 1 (GDDR5X's
+	// native 8-bit DBI), 2, or 4 in the paper's study. Smaller groups
+	// remove more 1 values but need more polarity wires.
+	GroupBytes int
+	// BeatBytes is the number of data bytes transferred per bus beat
+	// (bus width / 8); 4 for the paper's 32-bit GDDR5X channel.
+	// GroupBytes must divide BeatBytes.
+	BeatBytes int
+	// Mode selects DBI-DC (default) or DBI-AC.
+	Mode Mode
+
+	// prevBeat holds the data wires' previous driven values for AC mode.
+	prevBeat []byte
+	// prevValid reports whether prevBeat has been initialized.
+	prevValid bool
+}
+
+var _ core.Codec = (*DBI)(nil)
+
+// New returns a DBI-DC codec with the given group size on the paper's
+// 32-bit (4 bytes/beat) channel.
+func New(groupBytes int) *DBI {
+	return &DBI{GroupBytes: groupBytes, BeatBytes: 4}
+}
+
+// Name implements core.Codec.
+func (d *DBI) Name() string {
+	if d.Mode == AC {
+		return fmt.Sprintf("%dB DBI-AC", d.GroupBytes)
+	}
+	return fmt.Sprintf("%dB DBI", d.GroupBytes)
+}
+
+// MetaBits implements core.Codec: one polarity bit per group.
+func (d *DBI) MetaBits(n int) int {
+	if d.GroupBytes <= 0 {
+		return 0
+	}
+	return n / d.GroupBytes
+}
+
+// Reset implements core.Codec, clearing AC-mode bus history.
+func (d *DBI) Reset() {
+	d.prevValid = false
+}
+
+func (d *DBI) check(n int) error {
+	switch {
+	case d.GroupBytes < 1,
+		d.BeatBytes < 1,
+		d.BeatBytes%d.GroupBytes != 0,
+		n%d.BeatBytes != 0:
+		return fmt.Errorf("dbi: invalid geometry: %d-byte groups, %d-byte beats, %d-byte transaction",
+			d.GroupBytes, d.BeatBytes, n)
+	}
+	return nil
+}
+
+// Encode implements core.Codec. Groups are laid out beat-major: metadata bit
+// i corresponds to the i-th group in transmission order.
+func (d *DBI) Encode(dst *core.Encoded, src []byte) error {
+	if err := d.check(len(src)); err != nil {
+		return err
+	}
+	dst.Resize(len(src), d.MetaBits(len(src)))
+	if d.Mode == AC && len(d.prevBeat) != d.BeatBytes {
+		d.prevBeat = make([]byte, d.BeatBytes)
+		d.prevValid = false
+	}
+	copy(dst.Data, src)
+
+	half := d.GroupBytes * 8 / 2
+	groupIdx := 0
+	for off := 0; off < len(src); off += d.GroupBytes {
+		group := dst.Data[off : off+d.GroupBytes]
+		invert := false
+		switch d.Mode {
+		case DC:
+			// Invert when strictly more than half the bits are 1,
+			// guaranteeing ≤ n/2 ones in the result (§II-B).
+			invert = core.OnesCount(group) > half
+		case AC:
+			if d.prevValid {
+				prev := d.prevBeat[off%d.BeatBytes : off%d.BeatBytes+d.GroupBytes]
+				invert = core.HammingDistance(group, prev) > half
+			}
+		}
+		if invert {
+			for i := range group {
+				group[i] = ^group[i]
+			}
+			dst.SetMetaBit(groupIdx, true)
+		}
+		groupIdx++
+		// Track driven wire values per beat for AC decisions.
+		if d.Mode == AC && (off+d.GroupBytes)%d.BeatBytes == 0 {
+			beatStart := off + d.GroupBytes - d.BeatBytes
+			copy(d.prevBeat, dst.Data[beatStart:beatStart+d.BeatBytes])
+			d.prevValid = true
+		}
+	}
+	return nil
+}
+
+// Decode implements core.Codec: each group whose polarity bit is set is
+// re-inverted. Decode needs no bus history even in AC mode.
+func (d *DBI) Decode(dst []byte, src *core.Encoded) error {
+	if len(dst) != len(src.Data) {
+		return fmt.Errorf("dbi: decode length %d != encoded length %d", len(dst), len(src.Data))
+	}
+	if err := d.check(len(dst)); err != nil {
+		return err
+	}
+	copy(dst, src.Data)
+	groupIdx := 0
+	for off := 0; off < len(dst); off += d.GroupBytes {
+		if src.MetaBit(groupIdx) {
+			for i := off; i < off+d.GroupBytes; i++ {
+				dst[i] = ^dst[i]
+			}
+		}
+		groupIdx++
+	}
+	return nil
+}

@@ -1,0 +1,199 @@
+package dbi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// TestRoundTrip verifies Decode(Encode(x)) == x for all group sizes and
+// both modes, including the stateful AC mode across a transaction stream.
+func TestRoundTrip(t *testing.T) {
+	for _, g := range []int{1, 2, 4} {
+		for _, mode := range []Mode{DC, AC} {
+			d := &DBI{GroupBytes: g, BeatBytes: 4, Mode: mode}
+			t.Run(d.Name(), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(7))
+				var enc core.Encoded
+				for i := 0; i < 200; i++ {
+					txn := make([]byte, 32)
+					rng.Read(txn)
+					if err := d.Encode(&enc, txn); err != nil {
+						t.Fatal(err)
+					}
+					got := make([]byte, 32)
+					if err := d.Decode(got, &enc); err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, txn) {
+						t.Fatalf("round trip failed at txn %d", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDCGuarantee verifies DBI-DC's defining property (§II-B): counting the
+// polarity bit, no n-bit group ever drives more than n/2+1 wires high, and
+// the data bits alone never exceed n/2.
+func TestDCGuarantee(t *testing.T) {
+	d := New(1)
+	f := func(txn [32]byte) bool {
+		var enc core.Encoded
+		if err := d.Encode(&enc, txn[:]); err != nil {
+			return false
+		}
+		for g := 0; g < 32; g++ {
+			if core.OnesCount(enc.Data[g:g+1]) > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDCInversionDecision pins the exact decision rule: invert on strictly
+// more than half ones, leave ties alone.
+func TestDCInversionDecision(t *testing.T) {
+	d := New(1)
+	var enc core.Encoded
+	txn := make([]byte, 32)
+	txn[0] = 0xff // 8 ones -> inverted to 0x00
+	txn[1] = 0x0f // 4 ones -> tie, not inverted
+	txn[2] = 0x1f // 5 ones -> inverted to 0xe0
+	if err := d.Encode(&enc, txn); err != nil {
+		t.Fatal(err)
+	}
+	if enc.Data[0] != 0x00 || !enc.MetaBit(0) {
+		t.Errorf("0xff: got data %#02x meta %v, want 0x00 true", enc.Data[0], enc.MetaBit(0))
+	}
+	if enc.Data[1] != 0x0f || enc.MetaBit(1) {
+		t.Errorf("0x0f: got data %#02x meta %v, want 0x0f false", enc.Data[1], enc.MetaBit(1))
+	}
+	if enc.Data[2] != 0xe0 || !enc.MetaBit(2) {
+		t.Errorf("0x1f: got data %#02x meta %v, want 0xe0 true", enc.Data[2], enc.MetaBit(2))
+	}
+}
+
+// TestMetadataCost checks the paper's metadata accounting (Fig 15): per
+// 32-bit bus (4-byte beat), 4B DBI needs 1 bit, 2B needs 2, 1B needs 4.
+func TestMetadataCost(t *testing.T) {
+	for _, tc := range []struct{ group, wantPerBeat int }{{4, 1}, {2, 2}, {1, 4}} {
+		d := New(tc.group)
+		beats := 8 // 32-byte transaction
+		if got := d.MetaBits(32) / beats; got != tc.wantPerBeat {
+			t.Errorf("%dB DBI: %d meta bits/beat, want %d", tc.group, got, tc.wantPerBeat)
+		}
+	}
+}
+
+// TestDCReducesOnes verifies that DBI-DC never increases data-wire ones and
+// reduces them on dense data.
+func TestDCReducesOnes(t *testing.T) {
+	d := New(1)
+	rng := rand.New(rand.NewSource(11))
+	var enc core.Encoded
+	for i := 0; i < 200; i++ {
+		txn := make([]byte, 32)
+		rng.Read(txn)
+		if err := d.Encode(&enc, txn); err != nil {
+			t.Fatal(err)
+		}
+		if core.OnesCount(enc.Data) > core.OnesCount(txn) {
+			t.Fatalf("DBI-DC increased data ones on %x", txn)
+		}
+	}
+	dense := bytes.Repeat([]byte{0xfe}, 32)
+	if err := d.Encode(&enc, dense); err != nil {
+		t.Fatal(err)
+	}
+	if got := enc.OnesCount(); got >= core.OnesCount(dense) {
+		t.Errorf("dense data: %d ones with DBI, want < %d", got, core.OnesCount(dense))
+	}
+}
+
+// TestACReducesToggles drives alternating dense/sparse beats and checks that
+// AC mode bounds per-beat toggles at half the group width.
+func TestACReducesToggles(t *testing.T) {
+	d := &DBI{GroupBytes: 1, BeatBytes: 4, Mode: AC}
+	var enc core.Encoded
+	txn := make([]byte, 32)
+	for i := range txn {
+		if (i/4)%2 == 0 {
+			txn[i] = 0xff
+		}
+	}
+	if err := d.Encode(&enc, txn); err != nil {
+		t.Fatal(err)
+	}
+	// After the first beat (all 0xff), the second beat (all 0x00) should
+	// be inverted to 0xff to avoid 8 toggles per wire group.
+	if enc.Data[4] != 0xff || !enc.MetaBit(4) {
+		t.Errorf("AC did not invert the alternating beat: data[4]=%#02x meta=%v",
+			enc.Data[4], enc.MetaBit(4))
+	}
+	got := make([]byte, 32)
+	if err := d.Decode(got, &enc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, txn) {
+		t.Fatal("AC round trip failed")
+	}
+}
+
+// TestGeometryErrors verifies validation of unsupported shapes.
+func TestGeometryErrors(t *testing.T) {
+	var enc core.Encoded
+	bad := []*DBI{
+		{GroupBytes: 3, BeatBytes: 4},
+		{GroupBytes: 0, BeatBytes: 4},
+		{GroupBytes: 8, BeatBytes: 4},
+	}
+	for _, d := range bad {
+		if err := d.Encode(&enc, make([]byte, 32)); err == nil {
+			t.Errorf("%+v: Encode succeeded, want geometry error", d)
+		}
+	}
+	d := New(1)
+	if err := d.Encode(&enc, make([]byte, 30)); err == nil {
+		t.Error("30-byte transaction accepted on 4-byte beats")
+	}
+	if err := d.Encode(&enc, make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Decode(make([]byte, 16), &enc); err == nil {
+		t.Error("Decode with wrong length succeeded")
+	}
+}
+
+// TestChainWithBaseXOR verifies the paper's hybrid configuration (Universal
+// XOR+ZDR followed by DBI) round-trips and retains the DBI-DC guarantee.
+func TestChainWithBaseXOR(t *testing.T) {
+	chain := core.NewChain(core.NewUniversal(3), New(1))
+	f := func(txn [32]byte) bool {
+		var enc core.Encoded
+		if err := chain.Encode(&enc, txn[:]); err != nil {
+			return false
+		}
+		for g := 0; g < 32; g++ {
+			if core.OnesCount(enc.Data[g:g+1]) > 4 {
+				return false
+			}
+		}
+		got := make([]byte, 32)
+		if err := chain.Decode(got, &enc); err != nil {
+			return false
+		}
+		return bytes.Equal(got, txn[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,243 @@
+package dram
+
+import "fmt"
+
+// bankState is one bank's row-buffer state machine.
+type bankState int
+
+const (
+	bankIdle bankState = iota // no row open
+	bankActive
+)
+
+// bank tracks one bank's open row and earliest next-command times.
+type bank struct {
+	state   bankState
+	openRow uint64
+	// actAt is when the current row's ACT issued (for tRAS).
+	actAt int64
+	// readyAt is the earliest cycle the bank accepts its next command
+	// (covers tRCD after ACT and tRP after PRE).
+	readyAt int64
+	// lastWriteEnd is when the most recent write burst's data finishes
+	// (for tWR before PRE).
+	lastWriteEnd int64
+}
+
+// reservation is one scheduled data burst on the shared bus.
+type reservation struct {
+	start, end int64
+	write      bool
+}
+
+// Device is one GDDR5X device: bank array plus shared-bus bookkeeping.
+type Device struct {
+	T Timing
+
+	banks [Banks]bank
+	// calendar holds scheduled data bursts, sorted by start time, so
+	// later column commands can slot their data into gaps (out-of-order
+	// data return across banks).
+	calendar []reservation
+	// lastActAt enforces tRRD across banks.
+	lastActAt int64
+	// nextRefreshAt schedules periodic refresh; refreshUntil blocks all
+	// banks during tRFC.
+	nextRefreshAt int64
+	refreshUntil  int64
+
+	// Stats.
+	activates uint64
+	rowHits   uint64
+	rowMisses uint64
+	refreshes uint64
+}
+
+// NewDevice returns a device with the given timing.
+func NewDevice(t Timing) *Device {
+	d := &Device{T: t}
+	d.nextRefreshAt = int64(t.REFI)
+	// No prior ACT constrains the first activation.
+	d.lastActAt = -int64(t.RRD)
+	return d
+}
+
+// Decompose splits a device-local address into bank and row.
+func Decompose(addr uint64) (bankIdx int, row uint64) {
+	return int((addr / RowBytes) % Banks), addr / (RowBytes * Banks)
+}
+
+// maybeRefresh blocks the device for tRFC when a refresh interval elapses.
+func (d *Device) maybeRefresh(now int64) {
+	for now >= d.nextRefreshAt {
+		start := d.refreshUntil
+		if d.nextRefreshAt > start {
+			start = d.nextRefreshAt
+		}
+		d.refreshUntil = start + int64(d.T.RFC)
+		d.nextRefreshAt += int64(d.T.REFI)
+		d.refreshes++
+		// Refresh closes all rows.
+		for i := range d.banks {
+			d.banks[i].state = bankIdle
+			if d.banks[i].readyAt < d.refreshUntil {
+				d.banks[i].readyAt = d.refreshUntil
+			}
+		}
+	}
+}
+
+// RowHit reports whether addr would hit the currently open row.
+func (d *Device) RowHit(addr uint64) bool {
+	b, row := Decompose(addr)
+	return d.banks[b].state == bankActive && d.banks[b].openRow == row
+}
+
+// EarliestIssue returns the earliest cycle ≥ now at which a read or write
+// burst to addr could start issuing its column command, accounting for the
+// bank's row state (including any needed PRE+ACT), bus occupancy, and
+// refresh windows. It does not change state.
+func (d *Device) EarliestIssue(now int64, addr uint64, write bool) int64 {
+	b, row := Decompose(addr)
+	bk := &d.banks[b]
+	at := now
+	if at < d.refreshUntil {
+		at = d.refreshUntil
+	}
+	if at < bk.readyAt {
+		at = bk.readyAt
+	}
+	switch {
+	case bk.state == bankActive && bk.openRow == row:
+		// Row hit: column command can go as soon as the bank is ready.
+	case bk.state == bankActive:
+		// Conflict: PRE (after tRAS/tWR) + tRP + ACT + tRCD.
+		pre := at
+		if min := bk.actAt + int64(d.T.RAS); pre < min {
+			pre = min
+		}
+		if min := bk.lastWriteEnd + int64(d.T.WR); pre < min {
+			pre = min
+		}
+		at = pre + int64(d.T.RP) + int64(d.T.RCD)
+	default:
+		// Idle bank: ACT + tRCD, spaced tRRD from the last ACT.
+		act := at
+		if min := d.lastActAt + int64(d.T.RRD); act < min {
+			act = min
+		}
+		at = act + int64(d.T.RCD)
+	}
+	// The burst's data (CAS latency after the column command) must fit a
+	// free slot on the shared bus, honoring direction-turnaround gaps.
+	cas := int64(d.T.CL)
+	if write {
+		cas = int64(d.T.CWL)
+	}
+	dataStart := d.findDataSlot(at+cas, write)
+	return dataStart - cas
+}
+
+// gap returns the mandated idle time between two adjacent bursts: zero for
+// same-direction traffic, tRTW before a write that follows a read, tWTR
+// before a read that follows a write.
+func (d *Device) gap(firstWrite, secondWrite bool) int64 {
+	switch {
+	case firstWrite == secondWrite:
+		return 0
+	case secondWrite:
+		return int64(d.T.RTW)
+	default:
+		return int64(d.T.WTR)
+	}
+}
+
+// findDataSlot returns the earliest start ≥ lb at which a burst of the
+// given direction fits the bus calendar.
+func (d *Device) findDataSlot(lb int64, write bool) int64 {
+	dur := int64(d.T.BurstCycles)
+	cur := lb
+	for _, r := range d.calendar {
+		// Can the candidate end (plus any turnaround into r) before r?
+		if cur+dur+d.gap(write, r.write) <= r.start {
+			return cur
+		}
+		// Otherwise it must start after r (plus turnaround out of r).
+		if min := r.end + d.gap(r.write, write); cur < min {
+			cur = min
+		}
+	}
+	return cur
+}
+
+// reserve inserts a burst into the calendar, keeping it sorted and pruning
+// reservations too old to constrain future traffic.
+func (d *Device) reserve(start, end int64, write bool) {
+	horizon := start - 4*int64(d.T.RFC)
+	pruned := d.calendar[:0]
+	for _, r := range d.calendar {
+		if r.end >= horizon {
+			pruned = append(pruned, r)
+		}
+	}
+	d.calendar = pruned
+	idx := len(d.calendar)
+	for i, r := range d.calendar {
+		if r.start > start {
+			idx = i
+			break
+		}
+	}
+	d.calendar = append(d.calendar, reservation{})
+	copy(d.calendar[idx+1:], d.calendar[idx:])
+	d.calendar[idx] = reservation{start: start, end: end, write: write}
+}
+
+// Issue performs the burst whose issue time was computed by EarliestIssue,
+// updating bank and bus state, and returns the cycle at which the data
+// burst completes (for reads, when the last beat arrives at the
+// controller).
+func (d *Device) Issue(now int64, addr uint64, write bool) (done int64, err error) {
+	d.maybeRefresh(now)
+	at := d.EarliestIssue(now, addr, write)
+	b, row := Decompose(addr)
+	bk := &d.banks[b]
+
+	if !(bk.state == bankActive && bk.openRow == row) {
+		// The issue time already accounts for PRE/ACT latencies; commit
+		// the state transition.
+		if bk.state == bankActive {
+			d.rowMisses++
+		}
+		d.activates++
+		bk.state = bankActive
+		bk.openRow = row
+		bk.actAt = at - int64(d.T.RCD)
+		if d.lastActAt < bk.actAt {
+			d.lastActAt = bk.actAt
+		}
+	} else {
+		d.rowHits++
+	}
+
+	cas := int64(d.T.CL)
+	if write {
+		cas = int64(d.T.CWL)
+	}
+	dataStart := at + cas
+	dataEnd := dataStart + int64(d.T.BurstCycles)
+	d.reserve(dataStart, dataEnd, write)
+	bk.readyAt = at + int64(d.T.CCD)
+	if write {
+		bk.lastWriteEnd = dataEnd
+	}
+	if dataEnd <= now {
+		return 0, fmt.Errorf("dram: non-causal burst completion %d <= now %d", dataEnd, now)
+	}
+	return dataEnd, nil
+}
+
+// Stats returns activation and locality counters.
+func (d *Device) Stats() (activates, rowHits, rowMisses, refreshes uint64) {
+	return d.activates, d.rowHits, d.rowMisses, d.refreshes
+}

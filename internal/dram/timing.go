@@ -1,0 +1,66 @@
+// Package dram is a command-level GDDR5X device timing model with an
+// FR-FCFS memory controller. The encoding study itself is timing-agnostic
+// (it acts on payloads), but §V-B claims the encode/decode latencies of
+// Table II cause "no noticeable performance degradation" because they fit
+// within a DRAM clock; this package lets the repository *measure* that
+// claim (`ext-performance`) instead of asserting it, and provides the
+// activate/precharge sequencing behind the energy model's row accounting.
+package dram
+
+// Timing holds the device timing constraints in memory-controller command
+// clocks (1.25 GHz for a 10 Gbps GDDR5X part: QDR data at 2.5 GHz WCK,
+// eight 32-bit beats per burst = 2 command clocks of data bus occupancy).
+type Timing struct {
+	// BurstCycles is the data-bus occupancy of one 32-byte transaction.
+	BurstCycles int
+	// RCD is ACT-to-RD/WR delay (row to column delay).
+	RCD int
+	// RP is PRE-to-ACT delay (row precharge).
+	RP int
+	// RAS is ACT-to-PRE minimum (row active time).
+	RAS int
+	// CCD is RD-to-RD / WR-to-WR on different banks (column-to-column).
+	CCD int
+	// CL is the read CAS latency (RD to first data beat).
+	CL int
+	// CWL is the write CAS latency.
+	CWL int
+	// WR is the write recovery time (last write data to PRE).
+	WR int
+	// RTW and WTR are the read-to-write / write-to-read bus turnaround
+	// penalties.
+	RTW int
+	WTR int
+	// RRD is ACT-to-ACT between different banks.
+	RRD int
+	// RFC is the refresh cycle time and REFI the refresh interval.
+	RFC  int
+	REFI int
+}
+
+// GDDR5X returns timing for a 10 Gbps GDDR5X-class device at a 1.25 GHz
+// command clock (values rounded from datasheet-order magnitudes: e.g.
+// tRCD ≈ 14 ns → 18 cycles).
+func GDDR5X() Timing {
+	return Timing{
+		BurstCycles: 2,
+		RCD:         18,
+		RP:          18,
+		RAS:         40,
+		CCD:         2,
+		CL:          18,
+		CWL:         8,
+		WR:          19,
+		RTW:         5,
+		WTR:         8,
+		RRD:         8,
+		RFC:         280,
+		REFI:        4875,
+	}
+}
+
+// Banks per device, matching the memsys bank model.
+const Banks = 16
+
+// RowBytes is the row (page) size per bank.
+const RowBytes = 2048

@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"github.com/hpca18/bxt/internal/bdenc"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/dbi"
+	"github.com/hpca18/bxt/internal/fve"
+	"github.com/hpca18/bxt/internal/stats"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+// Ablations quantify the design decisions DESIGN.md calls out: the §IV-B
+// base-selection alternatives, the §IV-A remapping-constant choice, the
+// Universal stage count, BD-Encoding's threshold sensitivity, the §V-B
+// adjacent-vs-fixed base trade, utilization sensitivity of the toggle
+// model, and the §VIII toggle-dominated (HBM-style) extension.
+
+func init() {
+	register(Experiment{
+		ID:    "abl-select",
+		Title: "Ablation: base-size selection mechanisms (§IV-B)",
+		Paper: "exhaustive/profiled selectors need metadata or state; Universal gets close for free",
+		Run:   runAblSelect,
+	})
+	register(Experiment{
+		ID:    "abl-zdrconst",
+		Title: "Ablation: ZDR remapping constant choice (§IV-A)",
+		Paper: "0x00000000 forfeits repeated elements; small powers of two collide; 0x40000000 works well",
+		Run:   runAblZDRConst,
+	})
+	register(Experiment{
+		ID:    "abl-stages",
+		Title: "Ablation: Universal stage count",
+		Paper: "3 stages for 32-byte transactions (Table II)",
+		Run:   runAblStages,
+	})
+	register(Experiment{
+		ID:    "abl-bdthreshold",
+		Title: "Ablation: BD-Encoding similarity threshold (§VI-D)",
+		Paper: "BD-Encoding is very sensitive to the threshold",
+		Run:   runAblBDThreshold,
+	})
+	register(Experiment{
+		ID:    "abl-adjacency",
+		Title: "Ablation: adjacent vs fixed base element (§V-B)",
+		Paper: "adjacent bases reduce more 1 values; fixed bases decode in one level",
+		Run:   runAblAdjacency,
+	})
+	register(Experiment{
+		ID:    "abl-utilization",
+		Title: "Ablation: toggle reduction vs bandwidth utilization",
+		Paper: "(model study; the paper evaluates at 70%)",
+		Run:   runAblUtilization,
+	})
+	register(Experiment{
+		ID:    "ext-hbm",
+		Title: "Extension: toggle-dominated (HBM-style) interfaces (§VIII)",
+		Paper: "future work: unterminated interfaces where switching energy dominates",
+		Run:   runExtHBM,
+	})
+}
+
+// ablOrder extends the publication ordering for the extra experiments.
+func init() {
+	// IDs not in the base order sort after it in registration order via
+	// the large default in order(); nothing further needed.
+}
+
+var (
+	ablOnce sync.Once
+	ablEval *SuiteEval
+
+	utilMu    sync.Mutex
+	utilEvals = map[float64]*SuiteEval{}
+)
+
+// ablationCodecs holds the extra schemes the ablations sweep.
+func ablationCodecs() []NamedCodec {
+	mkConst := func(b byte, pos int) func() core.Codec {
+		return func() core.Codec {
+			cn := make([]byte, 4)
+			cn[pos] = b
+			return &core.BaseXOR{BaseSize: 4, ZDR: true, ZDRConst: cn}
+		}
+	}
+	cs := []NamedCodec{
+		{"oracle", func() core.Codec { return core.NewOracleBase() }},
+		{"profiled", func() core.Codec { return core.NewProfiledBase() }},
+		{"4B fixed-base", func() core.Codec { return &core.BaseXOR{BaseSize: 4, ZDR: true, Mode: core.FixedBase} }},
+		{"const 0x00000000", mkConst(0x00, 0)},
+		{"const 0x00000001", mkConst(0x01, 3)},
+		{"const 0x00000004", mkConst(0x04, 3)},
+		{"const 0x40000000", mkConst(0x40, 0)},
+		{"const 0x80000000", mkConst(0x80, 0)},
+		{"dbi-ac", func() core.Codec { return &dbi.DBI{GroupBytes: 1, BeatBytes: 4, Mode: dbi.AC} }},
+		{"fve", func() core.Codec { return fve.New() }},
+	}
+	for s := 1; s <= 5; s++ {
+		s := s
+		cs = append(cs, NamedCodec{fmt.Sprintf("universal %d-stage", s),
+			func() core.Codec { return core.NewUniversal(s) }})
+	}
+	for _, th := range []int{4, 8, 12, 16, 24, 32} {
+		th := th
+		cs = append(cs, NamedCodec{fmt.Sprintf("bd threshold %d", th),
+			func() core.Codec { return &bdenc.BD{Threshold: th} }})
+	}
+	return cs
+}
+
+// ablation returns the cached ablation sweep over the GPU suite.
+func ablation() *SuiteEval {
+	ablOnce.Do(func() {
+		ablEval = evalApps(workload.GPUSuite(), ablationCodecs(), 32, Utilization)
+	})
+	return ablEval
+}
+
+func runAblSelect(w io.Writer) error {
+	e := GPU()
+	a := ablation()
+	t := newPaperTable("Base-size selection (avg normalized 1 values incl. metadata, %)",
+		"mechanism", "ones", "metadata", "extra state")
+	best := make([]float64, len(e.Apps))
+	for i := range e.Apps {
+		_, best[i] = bestFixed(&e.Apps[i])
+	}
+	t.AddRowf("best single fixed base (4B)", fmt.Sprintf("%.1f", 100*stats.Mean(e.OnesRatios(L4B))), "none", "none")
+	t.AddRowf("per-app best fixed base (oracle)", fmt.Sprintf("%.1f", 100*stats.Mean(best)), "(offline)", "none")
+	t.AddRowf("per-txn exhaustive (OracleBase)", fmt.Sprintf("%.1f", 100*stats.Mean(a.OnesRatios("oracle"))), "1 wire", "3 encoders")
+	t.AddRowf("windowed profiling (ProfiledBase)", fmt.Sprintf("%.1f", 100*stats.Mean(a.OnesRatios("profiled"))), "none", "profile tables both sides")
+	t.AddRowf("Universal XOR+ZDR", fmt.Sprintf("%.1f", 100*stats.Mean(e.OnesRatios(LUniversal))), "none", "none")
+	t.Render(w)
+	fmt.Fprintf(w, "\nUniversal reaches selector-class reductions with no metadata and no state,\n"+
+		"the §IV-B argument for building it instead of a selector.\n")
+	return nil
+}
+
+func runAblZDRConst(w io.Writer) error {
+	a := ablation()
+	t := newPaperTable("ZDR constant choice, 4B XOR+ZDR (avg normalized 1 values, %)",
+		"constant", "ones")
+	for _, l := range []string{"const 0x00000000", "const 0x00000001", "const 0x00000004",
+		"const 0x40000000", "const 0x80000000"} {
+		t.AddRowf(l, fmt.Sprintf("%.1f", 100*stats.Mean(a.OnesRatios(l))))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\n0x40000000 (the paper's choice) should be at or near the minimum;\n"+
+		"0x00000000 forfeits the repeated-element benefit entirely (§IV-A).\n")
+	return nil
+}
+
+func runAblStages(w io.Writer) error {
+	a := ablation()
+	t := newPaperTable("Universal XOR+ZDR stage count, 32-byte transactions",
+		"stages", "effective base", "avg normalized ones %")
+	for s := 1; s <= 5; s++ {
+		l := fmt.Sprintf("universal %d-stage", s)
+		t.AddRowf(fmt.Sprint(s), fmt.Sprintf("%dB", 32>>uint(s)),
+			fmt.Sprintf("%.1f", 100*stats.Mean(a.OnesRatios(l))))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\nThe paper's hardware uses 3 stages (Table II): deeper stages chase 2-byte\n"+
+		"similarity but mix unrelated halves of 4-byte elements.\n")
+	return nil
+}
+
+func runAblBDThreshold(w io.Writer) error {
+	a := ablation()
+	t := newPaperTable("BD-Encoding similarity threshold (avg normalized 1 values incl. metadata, %)",
+		"threshold (bits)", "ones")
+	for _, th := range []int{4, 8, 12, 16, 24, 32} {
+		l := fmt.Sprintf("bd threshold %d", th)
+		t.AddRowf(fmt.Sprint(th), fmt.Sprintf("%.1f", 100*stats.Mean(a.OnesRatios(l))))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\nThe §VI-D critique: the scheme is sensitive to this knob — too low misses\n"+
+		"similar words, too high transfers dense differences (the 0x00000ffe case).\n")
+	return nil
+}
+
+func runAblAdjacency(w io.Writer) error {
+	e := GPU()
+	a := ablation()
+	// Split the population by zero interspersion: the adjacent-base
+	// advantage (§V-B) comes from value locality, while zero runs reset
+	// the adjacent base and favor a fixed base.
+	var adjLow, fixLow, adjHigh, fixHigh []float64
+	for i := range e.Apps {
+		app := &e.Apps[i]
+		adj := app.OnesRatio(L4B)
+		fix := a.Apps[i].OnesRatio("4B fixed-base")
+		if app.Data.MixedRatio() < 0.10 {
+			adjLow = append(adjLow, adj)
+			fixLow = append(fixLow, fix)
+		} else {
+			adjHigh = append(adjHigh, adj)
+			fixHigh = append(fixHigh, fix)
+		}
+	}
+	t := newPaperTable("Adjacent vs fixed base element, 4B XOR+ZDR (avg normalized ones %)",
+		"population", "adjacent base", "fixed base (element 0)")
+	t.AddRowf(fmt.Sprintf("low zero interspersion (%d apps)", len(adjLow)),
+		fmt.Sprintf("%.1f", 100*stats.Mean(adjLow)), fmt.Sprintf("%.1f", 100*stats.Mean(fixLow)))
+	t.AddRowf(fmt.Sprintf("mixed zero/data apps (%d apps)", len(adjHigh)),
+		fmt.Sprintf("%.1f", 100*stats.Mean(adjHigh)), fmt.Sprintf("%.1f", 100*stats.Mean(fixHigh)))
+	t.AddRowf("all 187 apps",
+		fmt.Sprintf("%.1f", 100*stats.Mean(e.OnesRatios(L4B))),
+		fmt.Sprintf("%.1f", 100*stats.Mean(a.OnesRatios("4B fixed-base"))))
+	t.Render(w)
+	fmt.Fprintf(w, "\n§V-B observes adjacent elements are more similar (the low-interspersion\n"+
+		"rows); zero runs reset the adjacent base, which is where the fixed base wins\n"+
+		"— and where ZDR and Universal matter. Fixed base decodes in one XOR level\n"+
+		"(48 ps) vs the 168 ps serial chain.\n")
+	return nil
+}
+
+func runAblUtilization(w io.Writer) error {
+	apps := workload.GPUSuite()
+	// A representative subset keeps the 5-point sweep quick.
+	subset := apps[:60]
+	t := newPaperTable("Universal XOR+ZDR toggle ratio vs bus utilization (%)",
+		"utilization", "toggles vs baseline")
+	for _, u := range []float64{0.30, 0.50, 0.70, 0.90, 1.00} {
+		utilMu.Lock()
+		e, ok := utilEvals[u]
+		if !ok {
+			e = evalApps(subset, []NamedCodec{{LUniversal, func() core.Codec { return core.NewUniversal(3) }}}, 32, u)
+			utilEvals[u] = e
+		}
+		utilMu.Unlock()
+		t.AddRowf(fmt.Sprintf("%.0f%%", u*100),
+			fmt.Sprintf("%.1f", 100*stats.Mean(e.ToggleRatios(LUniversal))))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\nMostly-zero encoded bursts blend into the idle (termination) level, so the\n"+
+		"toggle benefit grows as utilization falls and idle gaps appear.\n")
+	return nil
+}
+
+func runExtHBM(w io.Writer) error {
+	e := GPU()
+	a := ablation()
+	t := newPaperTable("Toggle-dominated interface (HBM-style): switching-energy reduction (%)",
+		"scheme", "toggle reduction")
+	rows := []struct {
+		name, label string
+		fromMain    bool
+	}{
+		{"Universal XOR+ZDR", LUniversal, true},
+		{"Universal + 1B DBI-DC", LUnivDBI1, true},
+		{"1B DBI-AC (toggle-oriented DBI)", "dbi-ac", false},
+		{"BD-Encoding", LBD, true},
+	}
+	for _, r := range rows {
+		var v float64
+		if r.fromMain {
+			v = 100 * (1 - stats.Mean(e.ToggleRatios(r.label)))
+		} else {
+			v = 100 * (1 - stats.Mean(a.ToggleRatios(r.label)))
+		}
+		t.AddRowf(r.name, fmt.Sprintf("%.1f", v))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\n§VIII: on unterminated interconnects (HBM, on-chip buses) energy is dominated\n"+
+		"by capacitive switching; the encoding's toggle reduction transfers directly.\n")
+	return nil
+}

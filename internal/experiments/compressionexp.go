@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hpca18/bxt/internal/bdi"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/stats"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-compression",
+		Title: "Extension: compression vs energy encoding (§VII, [41])",
+		Paper: "compression targets capacity/bandwidth; it does not reduce 1 values the way energy encoding does",
+		Run:   runExtCompression,
+	})
+}
+
+func runExtCompression(w io.Writer) error {
+	apps := workload.GPUSuite()
+	var ratios, bdiOnes, univOnes []float64
+	univ := core.NewUniversal(3)
+	var enc core.Encoded
+	for _, a := range apps {
+		payloads := a.Payloads()
+		baseOnes, compOnes, encOnes := 0, 0, 0
+		origBytes, compBytes := 0, 0
+		for _, p := range payloads {
+			baseOnes += core.OnesCount(p)
+			r := bdi.Compress(p)
+			compOnes += core.OnesCount(r.Payload)
+			origBytes += len(p)
+			compBytes += r.Bytes
+			if err := univ.Encode(&enc, p); err != nil {
+				return err
+			}
+			encOnes += core.OnesCount(enc.Data)
+		}
+		ratios = append(ratios, float64(origBytes)/float64(compBytes))
+		bdiOnes = append(bdiOnes, float64(compOnes)/float64(baseOnes))
+		univOnes = append(univOnes, float64(encOnes)/float64(baseOnes))
+	}
+	t := newPaperTable("BDI compression vs Base+XOR energy encoding (187 GPU apps)",
+		"metric", "BDI compression", "Universal XOR+ZDR")
+	t.AddRowf("compression ratio (capacity/bandwidth)",
+		fmt.Sprintf("%.2fx", stats.Mean(ratios)), "1.00x (size-preserving)")
+	t.AddRowf("normalized 1 values (energy)",
+		fmt.Sprintf("%.1f%%", 100*stats.Mean(bdiOnes)),
+		fmt.Sprintf("%.1f%%", 100*stats.Mean(univOnes)))
+	t.Render(w)
+	fmt.Fprintf(w, "\nThe two mechanisms exploit the same intra-transaction similarity for\n"+
+		"different objectives: BDI shrinks blocks but its surviving payload keeps\n"+
+		"(or concentrates) the 1 values, while Base+XOR keeps the size and strips\n"+
+		"the 1s — the §VII distinction, consistent with [41]'s finding that\n"+
+		"compression alone does not deliver interface energy savings.\n")
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§VI): each experiment has a registered runner that prints the
+// regenerated rows/series next to the values the paper reports, using the
+// full substrate stack — workload suite, codecs, wire-level bus accounting,
+// energy model and gate-level cost model.
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/hpca18/bxt/internal/bdenc"
+	"github.com/hpca18/bxt/internal/bus"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/dbi"
+	"github.com/hpca18/bxt/internal/trace"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+// Utilization is the DRAM bandwidth utilization of the §VI-F operating
+// point; all bus accounting runs at it.
+const Utilization = 0.70
+
+// Codec labels used across figures.
+const (
+	L2B        = "2B XOR+ZDR"
+	L4B        = "4B XOR+ZDR"
+	L8B        = "8B XOR+ZDR"
+	L4BNoZDR   = "4B XOR"
+	LUniversal = "Universal XOR+ZDR"
+	LDBI4      = "4B DBI"
+	LDBI2      = "2B DBI"
+	LDBI1      = "1B DBI"
+	LUnivDBI4  = "Universal XOR+ZDR + 4B DBI"
+	LUnivDBI2  = "Universal XOR+ZDR + 2B DBI"
+	LUnivDBI1  = "Universal XOR+ZDR + 1B DBI"
+	LBD        = "BD-Encoding"
+)
+
+// NamedCodec pairs a display label with a factory (codecs are stateful, so
+// every evaluation constructs fresh instances).
+type NamedCodec struct {
+	Label string
+	New   func() core.Codec
+}
+
+// GPUCodecs returns every scheme the GPU evaluation measures.
+func GPUCodecs() []NamedCodec {
+	univ := func() core.Codec { return core.NewUniversal(3) }
+	return []NamedCodec{
+		{L2B, func() core.Codec { return core.NewBaseXOR(2) }},
+		{L4B, func() core.Codec { return core.NewBaseXOR(4) }},
+		{L8B, func() core.Codec { return core.NewBaseXOR(8) }},
+		{L4BNoZDR, func() core.Codec { return core.NewSILENT(4) }},
+		{LUniversal, univ},
+		{LDBI4, func() core.Codec { return dbi.New(4) }},
+		{LDBI2, func() core.Codec { return dbi.New(2) }},
+		{LDBI1, func() core.Codec { return dbi.New(1) }},
+		{LUnivDBI4, func() core.Codec { return core.NewChain(univ(), dbi.New(4)) }},
+		{LUnivDBI2, func() core.Codec { return core.NewChain(univ(), dbi.New(2)) }},
+		{LUnivDBI1, func() core.Codec { return core.NewChain(univ(), dbi.New(1)) }},
+		{LBD, func() core.Codec { return bdenc.New() }},
+	}
+}
+
+// AppEval holds one application's measured activity under every scheme.
+type AppEval struct {
+	App      workload.App
+	Data     trace.Stats
+	Baseline bus.Stats
+	Stats    map[string]bus.Stats
+}
+
+// OnesRatio returns the scheme's 1 values normalized to the baseline.
+func (a *AppEval) OnesRatio(label string) float64 {
+	return float64(a.Stats[label].Ones()) / float64(a.Baseline.Ones())
+}
+
+// ToggleRatio returns the scheme's toggles normalized to the baseline.
+func (a *AppEval) ToggleRatio(label string) float64 {
+	return float64(a.Stats[label].Toggles()) / float64(a.Baseline.Toggles())
+}
+
+// SuiteEval is the evaluated suite, cached per process: most figures share
+// the same underlying sweep.
+type SuiteEval struct {
+	Apps   []AppEval
+	Labels []string
+}
+
+// OnesRatios collects a scheme's per-app normalized 1 values.
+func (e *SuiteEval) OnesRatios(label string) []float64 {
+	out := make([]float64, len(e.Apps))
+	for i := range e.Apps {
+		out[i] = e.Apps[i].OnesRatio(label)
+	}
+	return out
+}
+
+// ToggleRatios collects a scheme's per-app normalized toggles.
+func (e *SuiteEval) ToggleRatios(label string) []float64 {
+	out := make([]float64, len(e.Apps))
+	for i := range e.Apps {
+		out[i] = e.Apps[i].ToggleRatio(label)
+	}
+	return out
+}
+
+// evalApps measures every app under every codec, in parallel across apps,
+// at the given bus utilization.
+func evalApps(apps []workload.App, codecs []NamedCodec, busWidth int, utilization float64) *SuiteEval {
+	eval := &SuiteEval{Apps: make([]AppEval, len(apps))}
+	for _, c := range codecs {
+		eval.Labels = append(eval.Labels, c.Label)
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range apps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			app := apps[i]
+			payloads := app.Payloads()
+			ae := AppEval{
+				App:   app,
+				Data:  trace.Measure(payloads),
+				Stats: make(map[string]bus.Stats, len(codecs)),
+			}
+			var err error
+			ae.Baseline, err = bus.EvaluateTraceUtil(core.Identity{}, payloads, busWidth, utilization)
+			if err != nil {
+				panic(err) // static misconfiguration; cannot happen on suite data
+			}
+			for _, c := range codecs {
+				s, err := bus.EvaluateTraceUtil(c.New(), payloads, busWidth, utilization)
+				if err != nil {
+					panic(err)
+				}
+				ae.Stats[c.Label] = s
+			}
+			eval.Apps[i] = ae
+		}(i)
+	}
+	wg.Wait()
+	return eval
+}
+
+var (
+	gpuOnce sync.Once
+	gpuEval *SuiteEval
+	cpuOnce sync.Once
+	cpuEval *SuiteEval
+)
+
+// GPU returns the cached evaluation of the 187-application GPU suite on the
+// 32-bit GDDR5X channel.
+func GPU() *SuiteEval {
+	gpuOnce.Do(func() {
+		gpuEval = evalApps(workload.GPUSuite(), GPUCodecs(), 32, Utilization)
+	})
+	return gpuEval
+}
+
+// CPUCodecs returns the schemes of the Fig 18 CPU study. The CPU line is 64
+// bytes, so Universal uses 4 stages to reach the same 4-byte effective base.
+func CPUCodecs() []NamedCodec {
+	return []NamedCodec{
+		{LUniversal, func() core.Codec { return core.NewUniversal(4) }},
+		{L4B, func() core.Codec { return core.NewBaseXOR(4) }},
+	}
+}
+
+// CPU returns the cached evaluation of the 28-application SPEC suite on the
+// 64-bit DDR4 bus.
+func CPU() *SuiteEval {
+	cpuOnce.Do(func() {
+		cpuEval = evalApps(workload.CPUSuite(), CPUCodecs(), 64, Utilization)
+	})
+	return cpuEval
+}

@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/cpusim"
+	"github.com/hpca18/bxt/internal/memsys"
+	"github.com/hpca18/bxt/internal/power"
+	"github.com/hpca18/bxt/internal/report"
+	"github.com/hpca18/bxt/internal/stats"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+// newPaperTable is a tiny alias keeping runner code compact.
+func newPaperTable(title string, cols ...string) *report.Table {
+	return report.NewTable(title, cols...)
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig11",
+		Title: "2-/4-/8-byte Base+XOR Transfer, 187 applications",
+		Paper: "average 1-value reductions 6.5% / 29.7% / 29.6%; apps group by best base size",
+		Run:   runFig11,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Universal Base+XOR Transfer vs best fixed base",
+		Paper: "Universal tracks the best fixed base and averages 35.3% reduction (vs 29.7% for 4B)",
+		Run:   runFig12,
+	})
+	register(Experiment{
+		ID:    "fig13",
+		Title: "Application distribution of 1-value reduction",
+		Paper: "larger bases strand fewer apps with increases; Universal has fewest increases and best average",
+		Run:   runFig13,
+	})
+	register(Experiment{
+		ID:    "fig14",
+		Title: "Impact of Zero Data Remapping vs mixed-data transaction ratio",
+		Paper: "without ZDR, apps with >70% mixed transactions gain 24% more 1s on average; ZDR removes most of the damage",
+		Run:   runFig14,
+	})
+	register(Experiment{
+		ID:    "fig15",
+		Title: "Base+XOR Transfer vs previous works (1 values)",
+		Paper: "baseline 100 / DBI 81.2–74.3 / Universal 64.7 / Universal+DBI 58.1–51.8 / BD 70.2",
+		Run:   runFig15,
+	})
+	register(Experiment{
+		ID:    "fig16",
+		Title: "I/O switching activity (toggles)",
+		Paper: "DBI increases toggles (101–104); Universal reduces them to 77.0; Universal+1B DBI 79.0; BD 89.1",
+		Run:   runFig16,
+	})
+	register(Experiment{
+		ID:    "fig17",
+		Title: "DRAM energy reduction at 70% utilization",
+		Paper: "DBI 2.2–2.7% / Universal 5.8% / Universal+DBI 6.4–7.1% / BD 4.2%",
+		Run:   runFig17,
+	})
+	register(Experiment{
+		ID:    "fig18",
+		Title: "Base+XOR Transfer with CPU (SPEC CPU2006) workloads",
+		Paper: "12% average 1-value reduction; 68% of the 28 applications improve",
+		Run:   runFig18,
+	})
+	register(Experiment{
+		ID:    "headline",
+		Title: "Headline claims summary",
+		Paper: "35.3% fewer 1s (Universal+ZDR), 48.2% with DBI; 5.8% / 7.1% DRAM energy savings",
+		Run:   runHeadline,
+	})
+}
+
+// bestFixed returns the minimum ones-ratio among the three fixed bases.
+func bestFixed(a *AppEval) (label string, ratio float64) {
+	label, ratio = L2B, a.OnesRatio(L2B)
+	for _, l := range []string{L4B, L8B} {
+		if r := a.OnesRatio(l); r < ratio {
+			label, ratio = l, r
+		}
+	}
+	return label, ratio
+}
+
+func runFig11(w io.Writer) error {
+	e := GPU()
+	groups := map[string][]*AppEval{}
+	for i := range e.Apps {
+		a := &e.Apps[i]
+		l, _ := bestFixed(a)
+		groups[l] = append(groups[l], a)
+	}
+	t := newPaperTable("Average normalized 1 values (%, lower is better)",
+		"scheme", "this repo", "paper")
+	for _, row := range []struct {
+		label, paper string
+	}{
+		{L2B, "93.5"}, {L4B, "70.3"}, {L8B, "70.4"},
+	} {
+		t.AddRowf(row.label, fmt.Sprintf("%.1f", 100*stats.Mean(e.OnesRatios(row.label))), row.paper)
+	}
+	t.Render(w)
+
+	fmt.Fprintf(w, "\nBest-base groups (paper: small 2B group on the left, large 4B middle, 8B right):\n")
+	for _, l := range []string{L2B, L4B, L8B} {
+		g := groups[l]
+		sort.Slice(g, func(i, j int) bool { return g[i].OnesRatio(l) < g[j].OnesRatio(l) })
+		fmt.Fprintf(w, "  best with %-11s: %3d applications", l, len(g))
+		if len(g) > 0 {
+			fmt.Fprintf(w, " (e.g. %s at %.0f%%)", g[0].App.Name, 100*g[0].OnesRatio(l))
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Per-application series, ordered by group then benefit, as the
+	// figure's x-axis is.
+	t2 := newPaperTable("\nPer-application normalized 1 values (first 10 per group)",
+		"application", "2B", "4B", "8B")
+	for _, l := range []string{L2B, L4B, L8B} {
+		for i, a := range groups[l] {
+			if i >= 10 {
+				break
+			}
+			t2.AddRowf(a.App.Name,
+				fmt.Sprintf("%.0f", 100*a.OnesRatio(L2B)),
+				fmt.Sprintf("%.0f", 100*a.OnesRatio(L4B)),
+				fmt.Sprintf("%.0f", 100*a.OnesRatio(L8B)))
+		}
+	}
+	t2.Render(w)
+	return nil
+}
+
+func runFig12(w io.Writer) error {
+	e := GPU()
+	var univ, best []float64
+	better, worse := 0, 0
+	for i := range e.Apps {
+		a := &e.Apps[i]
+		_, b := bestFixed(a)
+		u := a.OnesRatio(LUniversal)
+		univ = append(univ, u)
+		best = append(best, b)
+		switch {
+		case u < b-1e-9:
+			better++
+		case u > b+1e-9:
+			worse++
+		}
+	}
+	t := newPaperTable("Universal vs best of fixed bases (normalized 1 values, %)",
+		"series", "average", "paper")
+	t.AddRowf("best of 2B/4B/8B XOR+ZDR", fmt.Sprintf("%.1f", 100*stats.Mean(best)), "(figure)")
+	t.AddRowf("Universal XOR+ZDR", fmt.Sprintf("%.1f", 100*stats.Mean(univ)), "64.7")
+	t.Render(w)
+	fmt.Fprintf(w, "\nUniversal beats the best fixed base on %d of %d applications and is worse on %d\n",
+		better, len(e.Apps), worse)
+	fmt.Fprintf(w, "(the paper observes both directions: adjacent-element similarity favors fixed\n"+
+		"bases, multi-granularity data favors Universal)\n")
+	return nil
+}
+
+func runFig13(w io.Writer) error {
+	e := GPU()
+	labels := []string{L2B, L4B, L8B, LUniversal}
+	hists := make(map[string]*stats.Histogram, len(labels))
+	increases := map[string]int{}
+	for _, l := range labels {
+		hists[l] = stats.NewHistogram(-0.8, 0.8, 8)
+		for _, r := range e.OnesRatios(l) {
+			hists[l].Add(1 - r) // reduction
+			if r > 1 {
+				increases[l]++
+			}
+		}
+	}
+	t := newPaperTable("Share of applications per 1-value-reduction bin (%)",
+		append([]string{"reduction bin"}, labels...)...)
+	for bin := 0; bin < 8; bin++ {
+		row := []string{hists[labels[0]].BinLabel(bin, true)}
+		for _, l := range labels {
+			row = append(row, fmt.Sprintf("%.0f", 100*hists[l].Fraction(bin)))
+		}
+		t.AddRowf(row...)
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\nApplications with increased 1 values: ")
+	for _, l := range labels {
+		fmt.Fprintf(w, "%s %d  ", l, increases[l])
+	}
+	fmt.Fprintf(w, "\n(paper: larger bases strand fewer applications; Universal the fewest)\n")
+	return nil
+}
+
+func runFig14(w io.Writer) error {
+	e := GPU()
+	const buckets = 8 // 0-10% ... 70-80%
+	var sumPlain, sumZDR [buckets][]float64
+	for i := range e.Apps {
+		a := &e.Apps[i]
+		b := int(a.Data.MixedRatio() * 10)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		sumPlain[b] = append(sumPlain[b], a.OnesRatio(L4BNoZDR))
+		sumZDR[b] = append(sumZDR[b], a.OnesRatio(L4B))
+	}
+	t := newPaperTable("Normalized 1 values by mixed-data transaction ratio (%)",
+		"mixed ratio", "apps", "4B XOR", "4B XOR+ZDR")
+	for b := 0; b < buckets; b++ {
+		if len(sumPlain[b]) == 0 {
+			t.AddRowf(fmt.Sprintf("%d-%d%%", b*10, b*10+10), "0", "-", "-")
+			continue
+		}
+		t.AddRowf(fmt.Sprintf("%d-%d%%", b*10, b*10+10),
+			fmt.Sprint(len(sumPlain[b])),
+			fmt.Sprintf("%.0f", 100*stats.Mean(sumPlain[b])),
+			fmt.Sprintf("%.0f", 100*stats.Mean(sumZDR[b])))
+	}
+	t.Render(w)
+
+	// Aggregate ZDR effectiveness claims (§VI-C).
+	incPlain, incZDR := 0, 0
+	var extraPlain, extraZDR float64
+	for i := range e.Apps {
+		a := &e.Apps[i]
+		rp, rz := a.OnesRatio(L4BNoZDR), a.OnesRatio(L4B)
+		if rp > 1 {
+			incPlain++
+			extraPlain += rp - 1
+		}
+		if rz > 1 {
+			incZDR++
+			extraZDR += rz - 1
+		}
+	}
+	fmt.Fprintf(w, "\nApplications with increased 1 values: %d without ZDR → %d with ZDR (%.0f%% fewer; paper: 33%%)\n",
+		incPlain, incZDR, 100*(1-float64(incZDR)/float64(incPlain)))
+	if extraPlain > 0 {
+		fmt.Fprintf(w, "Additional 1 values reduced by ZDR: %.1f%% (paper: 53.8%%)\n",
+			100*(1-extraZDR/extraPlain))
+	}
+	return nil
+}
+
+// fig15Rows is the shared configuration axis of Figs 15-17.
+var fig15Rows = []struct {
+	label                   string // "" = baseline
+	name                    string
+	paperOnes, paperToggles string
+	paperEnergy             string
+}{
+	{"", "baseline (no DBI)", "100.0", "100.0", "-"},
+	{LDBI4, "baseline + 4B DBI (1 bit)", "81.2", "101.1", "2.2"},
+	{LDBI2, "baseline + 2B DBI (2 bits)", "77.3", "103.0", "2.4"},
+	{LDBI1, "baseline + 1B DBI (4 bits)", "74.3", "104.0", "2.7"},
+	{LUniversal, "Universal XOR+ZDR (no DBI)", "64.7", "77.0", "5.8"},
+	{LUnivDBI4, "Universal XOR+ZDR + 4B DBI", "58.1", "78.0", "6.4"},
+	{LUnivDBI2, "Universal XOR+ZDR + 2B DBI", "54.9", "78.7", "6.7"},
+	{LUnivDBI1, "Universal XOR+ZDR + 1B DBI", "51.8", "79.0", "7.1"},
+	{LBD, "BD-Encoding (4 bits)", "70.2", "89.1", "4.2"},
+}
+
+func runFig15(w io.Writer) error {
+	e := GPU()
+	t := newPaperTable("Normalized 1 values incl. metadata (%, average over 187 apps)",
+		"configuration", "this repo", "paper")
+	var labels []string
+	var values []float64
+	for _, r := range fig15Rows {
+		v := 100.0
+		if r.label != "" {
+			v = 100 * stats.Mean(e.OnesRatios(r.label))
+		}
+		t.AddRowf(r.name, fmt.Sprintf("%.1f", v), r.paperOnes)
+		labels = append(labels, r.name)
+		values = append(values, v)
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+	report.BarChart(w, "", labels, values, "%")
+	return nil
+}
+
+func runFig16(w io.Writer) error {
+	e := GPU()
+	t := newPaperTable("Normalized toggles incl. metadata (%, average over 187 apps)",
+		"configuration", "this repo", "paper")
+	for _, r := range fig15Rows {
+		v := 100.0
+		if r.label != "" {
+			v = 100 * stats.Mean(e.ToggleRatios(r.label))
+		}
+		t.AddRowf(r.name, fmt.Sprintf("%.1f", v), r.paperToggles)
+	}
+	t.Render(w)
+	return nil
+}
+
+func runFig17(w io.Writer) error {
+	e := GPU()
+	m := power.NewModel()
+	t := newPaperTable("DRAM energy reduction (%, average over 187 apps, 70% utilization)",
+		"configuration", "this repo", "paper")
+	var labels []string
+	var values []float64
+	for _, r := range fig15Rows {
+		if r.label == "" {
+			continue
+		}
+		var reds []float64
+		for i := range e.Apps {
+			a := &e.Apps[i]
+			reds = append(reds, m.Reduction(a.Baseline, a.Stats[r.label]))
+		}
+		t.AddRowf(r.name, fmt.Sprintf("%.1f", 100*stats.Mean(reds)), r.paperEnergy)
+		labels = append(labels, r.name)
+		values = append(values, 100*stats.Mean(reds))
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
+	report.BarChart(w, "", labels, values, "%")
+	return nil
+}
+
+func runFig18(w io.Writer) error {
+	e := CPU()
+	t := newPaperTable("SPEC CPU2006 normalized 1 values (%, DDR4 64-byte lines)",
+		"application", "Universal XOR+ZDR")
+	reduced := 0
+	var ratios []float64
+	for i := range e.Apps {
+		a := &e.Apps[i]
+		r := a.OnesRatio(LUniversal)
+		ratios = append(ratios, r)
+		if r < 1 {
+			reduced++
+		}
+		t.AddRowf(a.App.Name, fmt.Sprintf("%.0f", 100*r))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\nAverage reduction: %.1f%% (paper: 12%%); %d of %d applications improve (%.0f%%, paper: 68%%)\n",
+		100*(1-stats.Mean(ratios)), reduced, len(e.Apps), 100*float64(reduced)/float64(len(e.Apps)))
+
+	// System-level spot check through the single-core hierarchy (§VI-G:
+	// "can be applied without any modification in CPUs").
+	run := func(storage memsys.CodecFactory) (float64, error) {
+		s := cpusim.New(config.SPECSystem(), storage, func() workload.Generator {
+			return &workload.FloatSoA{Bits: 64, Walk: 0.02, Jump: 0.05}
+		})
+		if err := s.RunStream(8192, 0.3, 42); err != nil {
+			return 0, err
+		}
+		return float64(s.Stats().Ones()), nil
+	}
+	base, err := run(nil)
+	if err != nil {
+		return err
+	}
+	encOnes, err := run(func() core.Codec { return core.NewUniversal(4) })
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "System-level (single core + LLC + DDR4 channel, streaming fp64): %.1f%% fewer 1 values\n",
+		100*(1-encOnes/base))
+	return nil
+}
+
+func runHeadline(w io.Writer) error {
+	e := GPU()
+	m := power.NewModel()
+	univOnes := 100 * (1 - stats.Mean(e.OnesRatios(LUniversal)))
+	hybridOnes := 100 * (1 - stats.Mean(e.OnesRatios(LUnivDBI1)))
+	univTog := 100 * (1 - stats.Mean(e.ToggleRatios(LUniversal)))
+	var univE, hybridE []float64
+	for i := range e.Apps {
+		a := &e.Apps[i]
+		univE = append(univE, m.Reduction(a.Baseline, a.Stats[LUniversal]))
+		hybridE = append(hybridE, m.Reduction(a.Baseline, a.Stats[LUnivDBI1]))
+	}
+	t := newPaperTable("Headline results", "claim", "this repo", "paper")
+	t.AddRowf("1-value reduction, Universal XOR+ZDR", fmt.Sprintf("%.1f%%", univOnes), "35.3%")
+	t.AddRowf("1-value reduction, + 1B DBI", fmt.Sprintf("%.1f%%", hybridOnes), "48.2%")
+	t.AddRowf("toggle reduction, Universal XOR+ZDR", fmt.Sprintf("%.1f%%", univTog), "23.0%")
+	t.AddRowf("DRAM energy saving, Universal XOR+ZDR", fmt.Sprintf("%.1f%%", 100*stats.Mean(univE)), "5.8%")
+	t.AddRowf("DRAM energy saving, + 1B DBI", fmt.Sprintf("%.1f%%", 100*stats.Mean(hybridE)), "7.1%")
+	t.Render(w)
+	return nil
+}

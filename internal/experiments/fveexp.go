@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hpca18/bxt/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-fve",
+		Title: "Extension: data equality vs data similarity (§VII, [28])",
+		Paper: "equality coding needs exact value matches; Base+XOR exploits the common portion of merely similar data",
+		Run:   runExtFVE,
+	})
+}
+
+func runExtFVE(w io.Writer) error {
+	e := GPU()
+	a := ablation()
+	t := newPaperTable("Equality (FVE) vs similarity caches (BD) vs intra-transaction similarity (avg normalized 1 values incl. metadata, %)",
+		"scheme", "ones", "state / metadata")
+	t.AddRowf("FV-Encoding (32-entry table)", fmt.Sprintf("%.1f", 100*stats.Mean(a.OnesRatios("fve"))),
+		"value table both sides + 1 flag wire")
+	t.AddRowf("BD-Encoding (64-entry, Hamming<12)", fmt.Sprintf("%.1f", 100*stats.Mean(e.OnesRatios(LBD))),
+		"word cache both sides + 4-bit metadata")
+	t.AddRowf("Universal XOR+ZDR", fmt.Sprintf("%.1f", 100*stats.Mean(e.OnesRatios(LUniversal))),
+		"none")
+	t.Render(w)
+	fmt.Fprintf(w, "\nThe §VII ladder: exact-equality coding ranks last because real streams are\n"+
+		"similar more often than identical; loosening equality to a Hamming ball\n"+
+		"(BD) helps; exploiting similarity *inside* the transaction wins while\n"+
+		"carrying no state or metadata at all.\n")
+	return nil
+}

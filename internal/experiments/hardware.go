@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/gates"
+	"github.com/hpca18/bxt/internal/phy"
+	"github.com/hpca18/bxt/internal/power"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Hypothetical GPU memory system trend",
+		Paper: "GDDR5 6Gbps → GDDR5X 12Gbps: energy/bit 81%, bandwidth 200%, peak power 163%",
+		Run:   runFig1,
+	})
+	register(Experiment{
+		ID:    "fig2",
+		Title: "POD I/O interface energy model",
+		Paper: "13.5 mA static current and 1.82 pJ per transferred 1; a 1 costs 37% more than a 0",
+		Run:   runFig2,
+	})
+	register(Experiment{
+		ID:    "table1",
+		Title: "Configuration of evaluated GPU system",
+		Paper: "NVIDIA Titan X (Pascal): 56 SMs, 4 MB LLC, 384-bit 12 GB GDDR5X at 10 Gbps",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "table2",
+		Title: "Area, energy, and latency overhead of encode/decode logic",
+		Paper: "e.g. Universal XOR+ZDR: 1116 µm², 201 fJ/32B, 189/237 ps (3 stage)",
+		Run:   runTable2,
+	})
+}
+
+func runFig1(w io.Writer) error {
+	t := newPaperTable("Figure 1 (normalized to GDDR5 6Gbps, %)",
+		"part", "energy/bit", "bandwidth", "peak power")
+	for _, r := range power.TrendRows() {
+		t.AddRowf(r.Name,
+			fmt.Sprintf("%.0f", r.EnergyPerBit*100),
+			fmt.Sprintf("%.0f", r.Bandwidth*100),
+			fmt.Sprintf("%.0f", r.PeakPower*100))
+	}
+	t.Render(w)
+	return nil
+}
+
+func runFig2(w io.Writer) error {
+	p := phy.GDDR5X()
+	t := newPaperTable("POD I/O electrical derivations (GDDR5X, Table I parameters)",
+		"quantity", "model", "paper")
+	t.AddRowf("bit time", fmt.Sprintf("%.0f ps", p.BitTime()*1e12), "100 ps")
+	t.AddRowf("static current per 1", fmt.Sprintf("%.1f mA", p.StaticOneCurrent()*1e3), "13.5 mA")
+	t.AddRowf("termination energy per 1", fmt.Sprintf("%.2f pJ", p.TerminationEnergyPerOne()*1e12), "1.82 pJ")
+	t.AddRowf("1-vs-0 energy ratio", fmt.Sprintf("%.2f", p.OneBitEnergy()/p.ZeroBitEnergy()), "1.37")
+	t.AddRowf("peak current, 32-bit chip", fmt.Sprintf("%.0f mA", p.PeakTerminationCurrent(32)*1e3), "432 mA")
+	t.AddRowf("peak current, 384-bit GPU", fmt.Sprintf("%.1f A", p.PeakTerminationCurrent(384)), "5.2 A")
+	t.Render(w)
+	return nil
+}
+
+func runTable1(w io.Writer) error {
+	g := config.TitanX()
+	t := newPaperTable("Table I — evaluated system", "component", "parameters")
+	t.AddRowf("Compute units", fmt.Sprintf("%d stream multiprocessors", g.StreamingMultiprocessors))
+	t.AddRowf("Last-level cache", fmt.Sprintf("%d MB total, %d-byte lines, %d-byte sectors",
+		g.LastLevelCacheBytes>>20, g.CacheLineBytes, g.SectorBytes))
+	t.AddRowf("Memory system", fmt.Sprintf("%d-bit bus, %d GB GDDR5X, %.0f GB/s, %d channels",
+		g.BusWidthBits, g.MemoryBytes>>30, g.BandwidthGBps, g.Channels()))
+	t.AddRowf("Data rate", fmt.Sprintf("%.0f Gbps per pin", g.DataRateGbps))
+	p := phy.GDDR5X()
+	t.AddRowf("Power supply", fmt.Sprintf("VDD/VDDQ = %.2f V", p.VDD))
+	t.AddRowf("Output driver", fmt.Sprintf("RPullUp/RPullDn = %.0f/%.0f Ohm", p.RPullUp, p.RPullDn))
+	t.AddRowf("Termination", fmt.Sprintf("RT = %.0f Ohm", p.RTerm))
+	t.Render(w)
+	return nil
+}
+
+// paperTableII holds the published Table II values for the comparison
+// column: area µm², energy fJ, encode ps, decode ps.
+var paperTableII = map[string][4]float64{
+	"2-byte XOR":        {214, 43, 24, 360},
+	"4-byte XOR":        {289, 73, 24, 168},
+	"8-byte XOR":        {341, 97, 24, 72},
+	"Universal XOR":     {355, 98, 24, 72},
+	"ZDR":               {761, 103, 165, 165},
+	"4-byte XOR+ZDR":    {1050, 176, 189, 333},
+	"Universal XOR+ZDR": {1116, 201, 189, 237},
+}
+
+func runTable2(w io.Writer) error {
+	lib := gates.TSMC16()
+	t := newPaperTable("Table II — implementation cost for 32-byte transactions",
+		"mechanism", "area µm² (paper)", "energy fJ/32B (paper)", "enc/dec ps (paper)", "config")
+	for _, m := range gates.TableII(32) {
+		e, d := m.Encoder.Cost(lib), m.Decoder.Cost(lib)
+		p := paperTableII[m.Name]
+		t.AddRowf(m.Name,
+			fmt.Sprintf("%.0f (%.0f)", e.AreaUm2, p[0]),
+			fmt.Sprintf("%.0f (%.0f)", e.EnergyFJ, p[1]),
+			fmt.Sprintf("%.0f/%.0f (%.0f/%.0f)", e.DelayPs, d.DelayPs, p[2], p[3]),
+			m.Config)
+	}
+	t.Render(w)
+	rows := gates.TableII(32)
+	univ := rows[len(rows)-1]
+	fmt.Fprintf(w, "\nWhole-GPU overhead (12 channels of %s): %.3f mm² (paper: ~0.027 mm², <0.01%% of die)\n",
+		univ.Name, gates.ChipOverheadMM2(univ, 12, lib))
+	return nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/lwc"
+	"github.com/hpca18/bxt/internal/stats"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-lwc",
+		Title: "Extension: limited-weight coding vs similarity encoding (MiL [3], [35])",
+		Paper: "LWC bounds 1s per symbol with extra wires; orthogonal to (and combinable with) Base+XOR",
+		Run:   runExtLWC,
+	})
+}
+
+func runExtLWC(w io.Writer) error {
+	code, err := lwc.New(12, 3)
+	if err != nil {
+		return err
+	}
+	apps := workload.GPUSuite()
+	univ := core.NewUniversal(3)
+	var enc core.Encoded
+	var lwcR, hybridR, univR []float64
+	for _, a := range apps {
+		payloads := a.Payloads()
+		baseOnes, lwcOnes, univOnes, hybridOnes := 0, 0, 0, 0
+		for _, p := range payloads {
+			baseOnes += core.OnesCount(p)
+			lwcOnes += code.StreamOnes(p)
+			if err := univ.Encode(&enc, p); err != nil {
+				return err
+			}
+			univOnes += core.OnesCount(enc.Data)
+			hybridOnes += code.StreamOnes(enc.Data)
+		}
+		lwcR = append(lwcR, float64(lwcOnes)/float64(baseOnes))
+		univR = append(univR, float64(univOnes)/float64(baseOnes))
+		hybridR = append(hybridR, float64(hybridOnes)/float64(baseOnes))
+	}
+	t := newPaperTable("Limited-weight (12,3) code vs Base+XOR (avg normalized 1 values, %)",
+		"scheme", "ones", "wire overhead", "per-byte 1s cap")
+	t.AddRowf("baseline", "100.0", "1.00x", "8")
+	t.AddRowf("LWC(12,3) alone", fmt.Sprintf("%.1f", 100*stats.Mean(lwcR)), "1.50x", "3")
+	t.AddRowf("Universal XOR+ZDR alone", fmt.Sprintf("%.1f", 100*stats.Mean(univR)), "1.00x", "8")
+	t.AddRowf("Universal XOR+ZDR → LWC(12,3)", fmt.Sprintf("%.1f", 100*stats.Mean(hybridR)), "1.50x", "3")
+	t.Render(w)
+	fmt.Fprintf(w, "\nLWC is value-blind: it caps and trims 1s per symbol but cannot exploit\n"+
+		"similarity, and it costs 50%% more wires (MiL [3] hides that in spare\n"+
+		"bandwidth). Base+XOR is free and exploits similarity; composing them\n"+
+		"stacks both effects, as the paper's orthogonality remark anticipates.\n")
+	return nil
+}

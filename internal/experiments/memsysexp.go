@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/gpusim"
+	"github.com/hpca18/bxt/internal/memsys"
+	"github.com/hpca18/bxt/internal/power"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ext-memsys",
+		Title: "Extension: end-to-end memory-system runs (simulator + bank model)",
+		Paper: "(system study; §V-B organization with measured row activations)",
+		Run:   runExtMemsys,
+	})
+}
+
+// memsysKernels are the simulator scenarios the system study runs.
+var memsysKernels = []struct {
+	name   string
+	model  func() workload.Generator
+	stride int
+}{
+	{"stream fp64 (CoMD-like)", func() workload.Generator {
+		return &workload.FloatSoA{Bits: 64, Walk: 0.01, Jump: 0.02}
+	}, 1},
+	{"stream fp32 (hotspot-like)", func() workload.Generator {
+		return &workload.FloatSoA{Bits: 32, Walk: 0.01, Jump: 0.05}
+	}, 1},
+	{"strided int64 (histogram-like)", func() workload.Generator {
+		return &workload.IntStride{Bits: 64, MaxStride: 16, Jump: 0.1}
+	}, 257}, // odd stride permutes all sectors, wrecking row locality
+}
+
+// runKernel executes one scenario and returns the report plus measured
+// activation count.
+func runKernel(name string, model func() workload.Generator, stride int,
+	storage memsys.CodecFactory) (gpusim.Report, uint64, error) {
+	g := gpusim.New(config.TitanX(), storage, nil)
+	in := &gpusim.Array{Name: "in", Base: 0x10_0000, Bytes: 1 << 20, Model: model}
+	out := &gpusim.Array{Name: "out", Base: 0x90_0000, Bytes: 1 << 20, Model: model}
+	if err := g.Bind(in); err != nil {
+		return gpusim.Report{}, 0, err
+	}
+	if err := g.Bind(out); err != nil {
+		return gpusim.Report{}, 0, err
+	}
+	rep, err := g.Run(&gpusim.Kernel{Name: name, Input: in, Output: out, Stride: stride})
+	if err != nil {
+		return gpusim.Report{}, 0, err
+	}
+	return rep, g.Mem.Activates(), nil
+}
+
+func runExtMemsys(w io.Writer) error {
+	m := power.NewModel()
+	t := newPaperTable("Simulated Titan X kernels: measured row locality and energy",
+		"kernel", "row hit rate", "ones reduction", "energy reduction (measured ACTs)")
+	for _, k := range memsysKernels {
+		base, baseActs, err := runKernel(k.name, k.model, k.stride, nil)
+		if err != nil {
+			return err
+		}
+		enc, encActs, err := runKernel(k.name, k.model, k.stride,
+			func() core.Codec { return core.NewUniversal(3) })
+		if err != nil {
+			return err
+		}
+		hitRate := 1 - float64(baseActs)/float64(base.BusStats.Transactions)
+		onesRed := 1 - float64(enc.BusStats.Ones())/float64(base.BusStats.Ones())
+		eBase := m.EstimateMeasured(base.BusStats, baseActs).Total()
+		eEnc := m.EstimateMeasured(enc.BusStats, encActs).Total()
+		t.AddRowf(k.name,
+			fmt.Sprintf("%.3f", hitRate),
+			fmt.Sprintf("%.1f%%", 100*onesRed),
+			fmt.Sprintf("%.1f%%", 100*(1-eEnc/eBase)))
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "\nEncoding is address-pattern independent (it acts on payloads), while the\n"+
+		"activate component follows the measured row locality of each kernel —\n"+
+		"the strided kernel pays more activates, diluting the I/O savings.\n")
+	return nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the short handle used by cmd/bxtbench (-run fig15).
+	ID string
+	// Title names the artifact as the paper does.
+	Title string
+	// Paper summarizes what the paper reports for this artifact.
+	Paper string
+	// Run regenerates the artifact, writing rows/series to w.
+	Run func(w io.Writer) error
+}
+
+var registry []Experiment
+
+// register adds an experiment at package init time.
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment in publication order.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+// order defines publication order for the known IDs.
+func order(id string) int {
+	for i, known := range []string{
+		"fig1", "fig2", "table1", "table2",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+		"headline",
+	} {
+		if id == known {
+			return i
+		}
+	}
+	return 1 << 20
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes one experiment by ID, printing a header first.
+func Run(id string, w io.Writer) error {
+	e, ok := Find(id)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	fmt.Fprintf(w, "\n### %s — %s\n", e.ID, e.Title)
+	if e.Paper != "" {
+		fmt.Fprintf(w, "(paper: %s)\n", e.Paper)
+	}
+	fmt.Fprintln(w)
+	return e.Run(w)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(w io.Writer) error {
+	for _, e := range All() {
+		if err := Run(e.ID, w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}

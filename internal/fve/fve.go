@@ -1,0 +1,147 @@
+// Package fve implements Frequent Value Encoding (Yang, Gupta et al.
+// [28, 30]), the data-*equality* bus-encoding family of the paper's related
+// work (§VII): both sides of the channel keep a small table of frequent
+// 32-bit values; a word that exactly matches a table entry is transferred
+// as a one-hot index (a single 1 value) plus a hit flag, and any other word
+// is transferred verbatim.
+//
+// The contrast with Base+XOR Transfer is the point: equality coding
+// collapses when values are merely *similar* (one perturbed bit breaks the
+// match), while XOR differencing still strips the common portion — the
+// `ext-fve` experiment quantifies exactly that.
+package fve
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// Defaults.
+const (
+	// WordBytes is the encoding granularity.
+	WordBytes = 4
+	// TableEntries is the frequent-value table size; one-hot indices need
+	// exactly WordBytes*8 = 32 entries to fit the data slot.
+	TableEntries = 32
+)
+
+// FVE is an adaptive frequent-value codec. Both directions' tables evolve
+// identically (move-to-front on hit, insert-at-front on miss), driven only
+// by the decoded values, so no table synchronization traffic is needed.
+type FVE struct {
+	table    [TableEntries]uint32
+	used     int
+	decTable [TableEntries]uint32
+	decUsed  int
+}
+
+var _ core.Codec = (*FVE)(nil)
+
+// New returns an empty-table FVE codec.
+func New() *FVE { return &FVE{} }
+
+// Name implements core.Codec.
+func (f *FVE) Name() string { return "FV-Encoding" }
+
+// MetaBits implements core.Codec: one hit-flag bit per word (8 bits per
+// 32-byte transaction = one side-band wire).
+func (f *FVE) MetaBits(n int) int { return n / WordBytes }
+
+// Reset implements core.Codec.
+func (f *FVE) Reset() {
+	f.used, f.decUsed = 0, 0
+}
+
+// lookup returns the index of v, or -1.
+func lookup(table *[TableEntries]uint32, used int, v uint32) int {
+	for i := 0; i < used; i++ {
+		if table[i] == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// touch applies the shared table-update rule: move-to-front on hit,
+// insert-at-front (evicting the LRU tail) on miss.
+func touch(table *[TableEntries]uint32, used *int, v uint32) {
+	idx := lookup(table, *used, v)
+	switch {
+	case idx == 0:
+		return
+	case idx > 0:
+		copy(table[1:idx+1], table[:idx])
+		table[0] = v
+	default:
+		if *used < TableEntries {
+			*used++
+		}
+		copy(table[1:*used], table[:*used-1])
+		table[0] = v
+	}
+}
+
+func (f *FVE) check(n int) error {
+	if n%WordBytes != 0 {
+		return fmt.Errorf("fve: transaction length %d is not a multiple of %d", n, WordBytes)
+	}
+	return nil
+}
+
+// Encode implements core.Codec.
+func (f *FVE) Encode(dst *core.Encoded, src []byte) error {
+	if err := f.check(len(src)); err != nil {
+		return err
+	}
+	dst.Resize(len(src), f.MetaBits(len(src)))
+	for i := range dst.Meta {
+		dst.Meta[i] = 0
+	}
+	for w := 0; w*WordBytes < len(src); w++ {
+		v := binary.LittleEndian.Uint32(src[w*WordBytes:])
+		out := dst.Data[w*WordBytes : (w+1)*WordBytes]
+		if idx := lookup(&f.table, f.used, v); idx >= 0 {
+			// Hit: one-hot index occupies the word slot.
+			binary.LittleEndian.PutUint32(out, 1<<uint(idx))
+			dst.SetMetaBit(w, true)
+		} else {
+			copy(out, src[w*WordBytes:(w+1)*WordBytes])
+		}
+		touch(&f.table, &f.used, v)
+	}
+	return nil
+}
+
+// Decode implements core.Codec.
+func (f *FVE) Decode(dst []byte, src *core.Encoded) error {
+	if len(dst) != len(src.Data) {
+		return fmt.Errorf("fve: decode length %d != encoded length %d", len(dst), len(src.Data))
+	}
+	if err := f.check(len(dst)); err != nil {
+		return err
+	}
+	for w := 0; w*WordBytes < len(dst); w++ {
+		enc := binary.LittleEndian.Uint32(src.Data[w*WordBytes:])
+		var v uint32
+		if src.MetaBit(w) {
+			if enc == 0 || enc&(enc-1) != 0 {
+				return fmt.Errorf("fve: hit symbol %#08x is not one-hot", enc)
+			}
+			idx := 0
+			for enc>>uint(idx) != 1 {
+				idx++
+			}
+			if idx >= f.decUsed {
+				return fmt.Errorf("fve: index %d beyond table fill %d", idx, f.decUsed)
+			}
+			v = f.decTable[idx]
+		} else {
+			v = enc
+		}
+		binary.LittleEndian.PutUint32(dst[w*WordBytes:], v)
+		touch(&f.decTable, &f.decUsed, v)
+	}
+	return nil
+}

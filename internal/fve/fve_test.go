@@ -1,0 +1,152 @@
+package fve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// TestRoundTripStream drives the stateful pair over a value-reusing stream.
+func TestRoundTripStream(t *testing.T) {
+	f := New()
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]uint32, 20) // working set of frequent values
+	for i := range vals {
+		vals[i] = rng.Uint32()
+	}
+	var enc core.Encoded
+	for i := 0; i < 600; i++ {
+		txn := make([]byte, 32)
+		for w := 0; w < 8; w++ {
+			v := vals[rng.Intn(len(vals))]
+			if rng.Intn(5) == 0 {
+				v = rng.Uint32() // infrequent cold value
+			}
+			binary.LittleEndian.PutUint32(txn[w*4:], v)
+		}
+		if err := f.Encode(&enc, txn); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 32)
+		if err := f.Decode(got, &enc); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, txn) {
+			t.Fatalf("round trip failed at txn %d", i)
+		}
+	}
+}
+
+// TestHitBecomesOneHot verifies a repeated value costs a single 1 value.
+func TestHitBecomesOneHot(t *testing.T) {
+	f := New()
+	var enc core.Encoded
+	txn := bytes.Repeat([]byte{0xde, 0xad, 0xbe, 0xef}, 8)
+	if err := f.Encode(&enc, txn); err != nil {
+		t.Fatal(err)
+	}
+	// Word 0 misses (cold table, sent raw); words 1-7 hit entry 0.
+	if enc.MetaBit(0) {
+		t.Fatal("cold word flagged as hit")
+	}
+	for w := 1; w < 8; w++ {
+		if !enc.MetaBit(w) {
+			t.Fatalf("word %d should hit", w)
+		}
+		if got := core.OnesCount(enc.Data[w*4 : (w+1)*4]); got != 1 {
+			t.Fatalf("hit word %d carries %d ones, want 1 (one-hot)", w, got)
+		}
+	}
+}
+
+// TestEqualityFragility pins the §VII contrast: a single perturbed bit per
+// word defeats FVE entirely while Base+XOR still strips the common bits.
+func TestEqualityFragility(t *testing.T) {
+	mkTxn := func(perturb bool, i int) []byte {
+		txn := bytes.Repeat([]byte{0x40, 0x0e, 0xa9, 0x5b}, 8)
+		if perturb {
+			for w := 0; w < 8; w++ {
+				// Low-byte noise that cycles through far more variants
+				// than the 32-entry frequent-value table can learn.
+				txn[w*4] ^= byte((i*8+w)%251 + 1)
+			}
+		}
+		return txn
+	}
+	run := func(c core.Codec, perturb bool) int {
+		c.Reset()
+		var enc core.Encoded
+		ones := 0
+		for i := 0; i < 100; i++ {
+			if err := c.Encode(&enc, mkTxn(perturb, i)); err != nil {
+				t.Fatal(err)
+			}
+			ones += enc.OnesCount()
+		}
+		return ones
+	}
+	// Clean repetition: FVE excels.
+	if clean := run(New(), false); clean > 100*(13+8) {
+		t.Fatalf("FVE on clean repetition: %d ones, want near one-hot floor", clean)
+	}
+	// One bit of noise per word: FVE collapses to raw, XOR barely notices.
+	fveNoisy := run(New(), true)
+	xorNoisy := run(core.NewBaseXOR(4), true)
+	if fveNoisy < 2*xorNoisy {
+		t.Fatalf("expected equality coding to collapse under noise: FVE %d vs XOR %d ones",
+			fveNoisy, xorNoisy)
+	}
+}
+
+// TestMoveToFront verifies the adaptive table keeps hot values resident
+// beyond TableEntries distinct cold values.
+func TestMoveToFront(t *testing.T) {
+	f := New()
+	var enc core.Encoded
+	hot := make([]byte, 32)
+	for w := 0; w < 8; w++ {
+		binary.LittleEndian.PutUint32(hot[w*4:], 0xcafebabe)
+	}
+	cold := func(i int) []byte {
+		txn := make([]byte, 32)
+		for w := 0; w < 8; w++ {
+			binary.LittleEndian.PutUint32(txn[w*4:], uint32(0x1000+8*i+w))
+		}
+		return txn
+	}
+	if err := f.Encode(&enc, hot); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // 24 cold values < 31 remaining slots... then hot again
+		if err := f.Encode(&enc, cold(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Encode(&enc, hot); err != nil {
+		t.Fatal(err)
+	}
+	if !enc.MetaBit(0) {
+		t.Fatal("hot value evicted despite move-to-front")
+	}
+}
+
+// TestDecodeRejectsCorrupt verifies defensive decoding.
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	f := New()
+	bad := &core.Encoded{Data: make([]byte, 32), Meta: []byte{0x01}, MetaBits: 8}
+	// Hit flag with a zero (non-one-hot) symbol.
+	if err := f.Decode(make([]byte, 32), bad); err == nil {
+		t.Fatal("zero hit symbol accepted")
+	}
+	// One-hot index beyond table fill.
+	binary.LittleEndian.PutUint32(bad.Data, 1<<20)
+	if err := f.Decode(make([]byte, 32), bad); err == nil {
+		t.Fatal("dangling table index accepted")
+	}
+	if err := f.Encode(&core.Encoded{}, make([]byte, 30)); err == nil {
+		t.Fatal("non-multiple length accepted")
+	}
+}

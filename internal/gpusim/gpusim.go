@@ -1,0 +1,286 @@
+// Package gpusim is the GPU front end of the simulation substrate: a set of
+// streaming multiprocessors executing data-parallel kernels over arrays in
+// simulated global memory, issuing 32-byte sector accesses through the
+// sectored LLC and memory channels of package memsys. It substitutes for
+// the proprietary simulator the paper's traces were captured on (DESIGN.md
+// §2): what the encoding study needs from it is a realistic *interleaved*
+// stream of sector transactions whose payloads carry each array's data
+// model.
+package gpusim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+
+	"github.com/hpca18/bxt/internal/bus"
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/dram"
+	"github.com/hpca18/bxt/internal/memsys"
+	"github.com/hpca18/bxt/internal/sim"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+// Array is a named region of GPU global memory bound to a data model that
+// materializes its initial contents deterministically.
+type Array struct {
+	Name string
+	// Base is the region's start address; it must be sector-aligned.
+	Base uint64
+	// Bytes is the region size.
+	Bytes int
+	// Model generates the array's initial data. A fresh generator seeded
+	// by (array, sector) fills each sector on first touch, so contents
+	// are position-deterministic.
+	Model func() workload.Generator
+}
+
+// contains reports whether addr falls inside the array.
+func (a *Array) contains(addr uint64) bool {
+	return addr >= a.Base && addr < a.Base+uint64(a.Bytes)
+}
+
+// Kernel is one data-parallel kernel launch: every SM streams through its
+// partition of the input array, reads each sector, and (optionally) writes
+// a transformed sector to the output array.
+type Kernel struct {
+	Name string
+	// Input is read sector by sector.
+	Input *Array
+	// Output, if non-nil, receives one written sector per input sector.
+	Output *Array
+	// Transform derives the written payload from the read payload; nil
+	// defaults to a copy.
+	Transform func(dst, src []byte)
+	// Stride is the sector stride of the access pattern in sectors
+	// (default 1 = streaming). Strides spread accesses across DRAM rows,
+	// lowering the row-buffer hit rate like irregular kernels do.
+	Stride int
+}
+
+// GPU is the simulated processor: SM issue engines in front of the Table I
+// memory system.
+type GPU struct {
+	Config config.GPU
+	Mem    *memsys.System
+
+	kernel sim.Kernel
+	arrays []*Array
+	// accesses records every GPU memory access with its issue cycle. The
+	// timing replay (TimingReport) sends them all to DRAM — a conservative
+	// upper bound on traffic that makes the latency comparison apples to
+	// apples across codec configurations.
+	accesses []accessRecord
+}
+
+// accessRecord is one GPU memory access with its issue cycle.
+type accessRecord struct {
+	addr  uint64
+	write bool
+	cycle uint64
+}
+
+// arraysSource adapts the array list to memsys.DataSource.
+type arraysSource struct{ g *GPU }
+
+// FillSector implements memsys.DataSource: the first touch of a sector
+// materializes the owning array's data model at that position.
+func (s arraysSource) FillSector(addr uint64, dst []byte) {
+	for _, a := range s.g.arrays {
+		if a.contains(addr) {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s:%d", a.Name, addr)
+			rng := rand.New(rand.NewSource(int64(h.Sum64() & 0x7fffffffffffffff)))
+			a.Model().Fill(dst, rng)
+			return
+		}
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// New builds a GPU over the given memory-system codec factories (either may
+// be nil; see memsys.NewSystem).
+func New(cfg config.GPU, storage, link memsys.CodecFactory) *GPU {
+	g := &GPU{Config: cfg}
+	g.Mem = memsys.NewSystem(cfg, storage, link, arraysSource{g})
+	return g
+}
+
+// Bind registers an array. Regions must not overlap.
+func (g *GPU) Bind(a *Array) error {
+	if a.Base%uint64(g.Config.SectorBytes) != 0 {
+		return fmt.Errorf("gpusim: array %s base %#x not sector-aligned", a.Name, a.Base)
+	}
+	for _, b := range g.arrays {
+		if a.Base < b.Base+uint64(b.Bytes) && b.Base < a.Base+uint64(a.Bytes) {
+			return fmt.Errorf("gpusim: arrays %s and %s overlap", a.Name, b.Name)
+		}
+	}
+	g.arrays = append(g.arrays, a)
+	return nil
+}
+
+// Report summarizes one kernel execution.
+type Report struct {
+	Kernel   string
+	Cycles   uint64
+	Sectors  uint64
+	MissRate float64
+	BusStats bus.Stats
+}
+
+// Run executes the kernel to completion: each SM walks its interleaved
+// partition of the input (SM i touches sectors i, i+SMs, i+2·SMs, …), one
+// sector access per SM per cycle, which interleaves unrelated regions on
+// each channel exactly as a real GPU's channel traffic does.
+func (g *GPU) Run(k *Kernel) (Report, error) {
+	if k.Input == nil {
+		return Report{}, fmt.Errorf("gpusim: kernel %s has no input array", k.Name)
+	}
+	sectorBytes := g.Config.SectorBytes
+	sectors := k.Input.Bytes / sectorBytes
+	sms := g.Config.StreamingMultiprocessors
+	stride := k.Stride
+	if stride <= 0 {
+		stride = 1
+	}
+
+	var firstErr error
+	var done uint64
+	for s := 0; s < sms; s++ {
+		s := s
+		idx := s
+		var step func()
+		step = func() {
+			if idx >= sectors || firstErr != nil {
+				return
+			}
+			// A strided pattern permutes the sector order; the modulus
+			// keeps every sector visited exactly once when stride and
+			// sector count are coprime (sectors is a power of two, so
+			// any odd stride qualifies).
+			slot := (idx * stride) % sectors
+			addr := k.Input.Base + uint64(slot*sectorBytes)
+			g.accesses = append(g.accesses, accessRecord{addr, false, g.kernel.Now()})
+			data, err := g.Mem.Access(addr, false, nil)
+			if err != nil {
+				firstErr = err
+				return
+			}
+			if k.Output != nil {
+				out := make([]byte, sectorBytes)
+				if k.Transform != nil {
+					k.Transform(out, data)
+				} else {
+					copy(out, data)
+				}
+				oaddr := k.Output.Base + uint64(slot*sectorBytes)
+				g.accesses = append(g.accesses, accessRecord{oaddr, true, g.kernel.Now()})
+				if _, err := g.Mem.Access(oaddr, true, out); err != nil {
+					firstErr = err
+					return
+				}
+			}
+			done++
+			idx += sms
+			g.kernel.Schedule(1, step)
+		}
+		g.kernel.Schedule(uint64(s%4), step) // stagger SM start-up
+	}
+	g.kernel.RunAll()
+	if firstErr != nil {
+		return Report{}, firstErr
+	}
+	if err := g.Mem.Drain(); err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Kernel:   k.Name,
+		Cycles:   g.kernel.Now(),
+		Sectors:  done,
+		MissRate: g.Mem.MissRate(),
+		BusStats: g.Mem.Stats(),
+	}, nil
+}
+
+// TimingReport summarizes a replay of the recorded access stream through
+// per-channel command-level DRAM timing models.
+type TimingReport struct {
+	// Cycles is the completion time of the slowest channel.
+	Cycles int64
+	// AvgReadLatency is averaged over all channels' reads.
+	AvgReadLatency float64
+	// Requests is the number of replayed requests.
+	Requests int
+}
+
+// TimingReport replays the recorded GPU access stream through one FR-FCFS
+// controller per channel with the given extra codec pipeline cycles,
+// quantifying the §V-B performance claim at full system width. Accesses
+// are replayed at their recorded SM issue cycles scaled by cyclesPerIssue
+// (the SM-to-controller clock ratio; ≥ 1 spreads traffic realistically).
+func (g *GPU) TimingReport(codecExtra int64, cyclesPerIssue int64) (TimingReport, error) {
+	chans := g.Config.Channels()
+	ctrls := make([]*dram.Controller, chans)
+	for i := range ctrls {
+		ctrls[i] = dram.NewController()
+		ctrls[i].ReadPipelineExtra = codecExtra
+		ctrls[i].WritePipelineExtra = codecExtra
+	}
+	for _, a := range g.accesses {
+		ch := (a.addr >> 8) % uint64(chans)
+		ctrls[ch].Enqueue(&dram.Request{
+			Addr:   a.addr % (dram.RowBytes * dram.Banks * 64),
+			Write:  a.write,
+			Arrive: int64(a.cycle) * cyclesPerIssue,
+		})
+	}
+	var rep TimingReport
+	rep.Requests = len(g.accesses)
+	var latSum float64
+	var latChans int
+	for _, c := range ctrls {
+		last, err := c.Drain()
+		if err != nil {
+			return TimingReport{}, err
+		}
+		if last > rep.Cycles {
+			rep.Cycles = last
+		}
+		if c.AvgReadLatency() > 0 {
+			latSum += c.AvgReadLatency()
+			latChans++
+		}
+	}
+	if latChans > 0 {
+		rep.AvgReadLatency = latSum / float64(latChans)
+	}
+	return rep, nil
+}
+
+// ReadBack returns the decoded contents of an array region, verifying the
+// end-to-end store-encoded/decode-on-read path.
+func (g *GPU) ReadBack(a *Array) ([]byte, error) {
+	out := make([]byte, a.Bytes)
+	for off := 0; off < a.Bytes; off += g.Config.SectorBytes {
+		d, err := g.Mem.Access(a.Base+uint64(off), false, nil)
+		if err != nil {
+			return nil, err
+		}
+		copy(out[off:], d)
+	}
+	return out, nil
+}
+
+// ArrayNames lists bound arrays (sorted) for tooling.
+func (g *GPU) ArrayNames() []string {
+	var names []string
+	for _, a := range g.arrays {
+		names = append(names, a.Name)
+	}
+	sort.Strings(names)
+	return names
+}

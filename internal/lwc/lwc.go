@@ -1,0 +1,117 @@
+// Package lwc implements limited-weight codes (Stan & Burleson [35]), the
+// encoding family behind MiL [3] in the paper's related work: every data
+// symbol is mapped to a wider codeword whose number of 1 bits is bounded,
+// trading extra wires (or spare bandwidth, as MiL does) for a hard cap on
+// termination energy.
+//
+// The code is enumerative: the 2^k source symbols take the 2^k smallest
+// n-bit codewords in (weight, value) order, so the average transmitted
+// weight is minimized for the chosen (n, maxWeight) geometry. Unlike
+// Base+XOR Transfer, the mapping is value-blind — it exploits no data
+// similarity — which is exactly the contrast the `ext-lwc` experiment
+// quantifies.
+package lwc
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Code is a limited-weight code over 8-bit source symbols.
+type Code struct {
+	// N is the codeword width in bits and MaxWeight the 1-bit cap.
+	N         int
+	MaxWeight int
+
+	encode [256]uint16
+	decode map[uint16]byte
+}
+
+// New builds the (n, maxWeight) code for 8-bit symbols. It fails when the
+// geometry offers fewer than 256 codewords.
+func New(n, maxWeight int) (*Code, error) {
+	if n < 8 || n > 16 {
+		return nil, fmt.Errorf("lwc: codeword width %d out of range [8,16]", n)
+	}
+	if maxWeight < 0 || maxWeight > n {
+		return nil, fmt.Errorf("lwc: weight cap %d out of range [0,%d]", maxWeight, n)
+	}
+	var words []uint16
+	for v := 0; v < 1<<uint(n); v++ {
+		if bits.OnesCount16(uint16(v)) <= maxWeight {
+			words = append(words, uint16(v))
+		}
+	}
+	if len(words) < 256 {
+		return nil, fmt.Errorf("lwc: (%d,%d) offers only %d codewords, need 256", n, maxWeight, len(words))
+	}
+	sort.Slice(words, func(i, j int) bool {
+		wi, wj := bits.OnesCount16(words[i]), bits.OnesCount16(words[j])
+		if wi != wj {
+			return wi < wj
+		}
+		return words[i] < words[j]
+	})
+	c := &Code{N: n, MaxWeight: maxWeight, decode: make(map[uint16]byte, 256)}
+	for s := 0; s < 256; s++ {
+		c.encode[s] = words[s]
+		c.decode[words[s]] = byte(s)
+	}
+	return c, nil
+}
+
+// Encode maps one source byte to its codeword.
+func (c *Code) Encode(b byte) uint16 { return c.encode[b] }
+
+// Decode maps a codeword back; ok is false for invalid codewords.
+func (c *Code) Decode(w uint16) (b byte, ok bool) {
+	b, ok = c.decode[w]
+	return b, ok
+}
+
+// MeanWeight returns the average codeword weight over all 256 symbols
+// (the expected 1s per byte under uniform data).
+func (c *Code) MeanWeight() float64 {
+	total := 0
+	for _, w := range c.encode {
+		total += bits.OnesCount16(w)
+	}
+	return float64(total) / 256
+}
+
+// WorstWeight returns the maximum codeword weight actually used.
+func (c *Code) WorstWeight() int {
+	worst := 0
+	for _, w := range c.encode {
+		if o := bits.OnesCount16(w); o > worst {
+			worst = o
+		}
+	}
+	return worst
+}
+
+// Expansion returns the wire/bandwidth overhead factor (N/8).
+func (c *Code) Expansion() float64 { return float64(c.N) / 8 }
+
+// StreamOnes returns the number of 1 bits transmitted when encoding every
+// byte of data with the code.
+func (c *Code) StreamOnes(data []byte) int {
+	total := 0
+	for _, b := range data {
+		total += bits.OnesCount16(c.encode[b])
+	}
+	return total
+}
+
+// RoundTrip decodes an encoded symbol stream; it errors on any invalid
+// codeword. Primarily a testing aid.
+func (c *Code) RoundTrip(data []byte) error {
+	for _, b := range data {
+		got, ok := c.Decode(c.Encode(b))
+		if !ok || got != b {
+			return fmt.Errorf("lwc: symbol %#02x does not round-trip", b)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package lwc
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// TestGeometryValidation verifies infeasible codes are rejected.
+func TestGeometryValidation(t *testing.T) {
+	if _, err := New(11, 3); err == nil {
+		t.Error("(11,3) offers 232 codewords; must be rejected")
+	}
+	if _, err := New(7, 3); err == nil {
+		t.Error("width 7 cannot carry 8-bit symbols")
+	}
+	if _, err := New(17, 3); err == nil {
+		t.Error("width 17 out of supported range")
+	}
+	if _, err := New(12, 13); err == nil {
+		t.Error("weight cap above width must be rejected")
+	}
+	if _, err := New(12, 3); err != nil {
+		t.Errorf("(12,3) is feasible (299 codewords): %v", err)
+	}
+	if _, err := New(8, 8); err != nil {
+		t.Errorf("(8,8) is the identity-capacity code: %v", err)
+	}
+}
+
+// TestBijection verifies every symbol round-trips and codewords are unique.
+func TestBijection(t *testing.T) {
+	c, err := New(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint16]bool{}
+	for s := 0; s < 256; s++ {
+		w := c.Encode(byte(s))
+		if seen[w] {
+			t.Fatalf("codeword %#03x assigned twice", w)
+		}
+		seen[w] = true
+		got, ok := c.Decode(w)
+		if !ok || got != byte(s) {
+			t.Fatalf("symbol %#02x does not round-trip", s)
+		}
+	}
+	if _, ok := c.Decode(0xfff); ok {
+		t.Error("invalid codeword decoded")
+	}
+	data := make([]byte, 1024)
+	rand.New(rand.NewSource(1)).Read(data)
+	if err := c.RoundTrip(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWeightBound verifies the defining cap and the enumerative optimality
+// (codewords are the lightest available).
+func TestWeightBound(t *testing.T) {
+	c, err := New(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WorstWeight() > 3 {
+		t.Fatalf("worst weight %d exceeds cap 3", c.WorstWeight())
+	}
+	// Enumerative assignment: 1 weight-0 + 12 weight-1 + 66 weight-2 +
+	// 177 weight-3 codewords = (0+12+132+531)/256 mean weight.
+	want := float64(0+12+2*66+3*177) / 256
+	if got := c.MeanWeight(); got != want {
+		t.Fatalf("mean weight %.4f, want %.4f", got, want)
+	}
+	// Uniform random bytes average 4 ones; the code must beat that even
+	// before accounting for its wider bus.
+	if c.MeanWeight() >= 4 {
+		t.Fatal("LWC should reduce expected ones on uniform data")
+	}
+}
+
+// TestStreamOnes cross-checks the aggregate against per-symbol encoding.
+func TestStreamOnes(t *testing.T) {
+	c, err := New(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte{0x00, 0xff, 0x80, 0x01}
+	want := 0
+	for _, b := range data {
+		want += bits.OnesCount16(c.Encode(b))
+	}
+	if got := c.StreamOnes(data); got != want {
+		t.Fatalf("StreamOnes = %d, want %d", got, want)
+	}
+	// The all-zero byte must get the all-zero codeword (lightest first).
+	if c.Encode(0x00) != 0 {
+		t.Error("zero byte should map to the zero codeword")
+	}
+}
+
+// TestExpansion checks the overhead accounting.
+func TestExpansion(t *testing.T) {
+	c, err := New(12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Expansion() != 1.5 {
+		t.Fatalf("Expansion = %v, want 1.5", c.Expansion())
+	}
+}

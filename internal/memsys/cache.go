@@ -1,0 +1,166 @@
+package memsys
+
+import "fmt"
+
+// Cache is the sectored last-level cache of Table I: set-associative with
+// LRU replacement, allocation at line granularity and validity/dirtiness
+// tracked per 32-byte sector, so one DRAM transaction moves one sector.
+type Cache struct {
+	sets           int
+	ways           int
+	lineBytes      int
+	sectorBytes    int
+	sectorsPerLine int
+
+	lines    []line
+	lruClock uint64
+	// dirty holds the payloads of dirty sectors (the LLC is the only
+	// holder of modified data until writeback).
+	dirty map[uint64][]byte
+}
+
+// line is one cache line's metadata.
+type line struct {
+	valid  bool
+	tag    uint64
+	lru    uint64
+	sector []bool // per-sector valid bits
+	dirtyS []bool // per-sector dirty bits
+}
+
+// Writeback is a dirty sector leaving the cache.
+type Writeback struct {
+	Addr uint64
+	Data []byte
+}
+
+// NewCache builds a cache of the given total capacity and associativity.
+func NewCache(capacityBytes, ways, lineBytes, sectorBytes int) *Cache {
+	sets := capacityBytes / (ways * lineBytes)
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("memsys: set count %d must be a positive power of two", sets))
+	}
+	c := &Cache{
+		sets:           sets,
+		ways:           ways,
+		lineBytes:      lineBytes,
+		sectorBytes:    sectorBytes,
+		sectorsPerLine: lineBytes / sectorBytes,
+		lines:          make([]line, sets*ways),
+		dirty:          make(map[uint64][]byte),
+	}
+	for i := range c.lines {
+		c.lines[i].sector = make([]bool, c.sectorsPerLine)
+		c.lines[i].dirtyS = make([]bool, c.sectorsPerLine)
+	}
+	return c
+}
+
+// decompose splits a sector address into set index, tag and sector slot.
+func (c *Cache) decompose(addr uint64) (set int, tag uint64, slot int) {
+	lineAddr := addr / uint64(c.lineBytes)
+	return int(lineAddr % uint64(c.sets)), lineAddr / uint64(c.sets),
+		int(addr % uint64(c.lineBytes) / uint64(c.sectorBytes))
+}
+
+// lineAddrOf reconstructs the base address of a line from set and tag.
+func (c *Cache) lineAddrOf(set int, tag uint64) uint64 {
+	return (tag*uint64(c.sets) + uint64(set)) * uint64(c.lineBytes)
+}
+
+// Access looks up the sector at addr. It returns whether the sector hit,
+// and any dirty sectors displaced by the allocation the access implies
+// (misses allocate the line; the caller fills it with Fill or FillDirty).
+func (c *Cache) Access(addr uint64, _ bool) (hit bool, evicted []Writeback) {
+	set, tag, slot := c.decompose(addr)
+	ways := c.lines[set*c.ways : (set+1)*c.ways]
+	c.lruClock++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lru = c.lruClock
+			return ways[i].sector[slot], nil
+		}
+	}
+	// Miss in all ways: evict the LRU line.
+	victim := 0
+	for i := range ways {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	v := &ways[victim]
+	if v.valid {
+		base := c.lineAddrOf(set, v.tag)
+		for s := 0; s < c.sectorsPerLine; s++ {
+			if v.dirtyS[s] {
+				sa := base + uint64(s*c.sectorBytes)
+				evicted = append(evicted, Writeback{Addr: sa, Data: c.dirty[sa]})
+				delete(c.dirty, sa)
+			}
+		}
+	}
+	v.valid = true
+	v.tag = tag
+	v.lru = c.lruClock
+	for s := range v.sector {
+		v.sector[s] = false
+		v.dirtyS[s] = false
+	}
+	return false, evicted
+}
+
+// Fill marks the sector at addr present and clean (after a DRAM read).
+func (c *Cache) Fill(addr uint64) {
+	set, tag, slot := c.decompose(addr)
+	ways := c.lines[set*c.ways : (set+1)*c.ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].sector[slot] = true
+			return
+		}
+	}
+}
+
+// FillDirty installs a modified sector payload (after a GPU write).
+func (c *Cache) FillDirty(addr uint64, data []byte) {
+	set, tag, slot := c.decompose(addr)
+	ways := c.lines[set*c.ways : (set+1)*c.ways]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].sector[slot] = true
+			ways[i].dirtyS[slot] = true
+			c.dirty[addr] = append([]byte(nil), data...)
+			return
+		}
+	}
+}
+
+// DirtyData returns the cached payload of a dirty sector, or nil.
+func (c *Cache) DirtyData(addr uint64) []byte { return c.dirty[addr] }
+
+// DrainDirty removes and returns every dirty sector (end-of-run flush).
+func (c *Cache) DrainDirty() []Writeback {
+	var out []Writeback
+	for set := 0; set < c.sets; set++ {
+		ways := c.lines[set*c.ways : (set+1)*c.ways]
+		for i := range ways {
+			if !ways[i].valid {
+				continue
+			}
+			base := c.lineAddrOf(set, ways[i].tag)
+			for s := 0; s < c.sectorsPerLine; s++ {
+				if ways[i].dirtyS[s] {
+					sa := base + uint64(s*c.sectorBytes)
+					out = append(out, Writeback{Addr: sa, Data: c.dirty[sa]})
+					delete(c.dirty, sa)
+					ways[i].dirtyS[s] = false
+				}
+			}
+		}
+	}
+	return out
+}

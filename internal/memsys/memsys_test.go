@@ -1,0 +1,255 @@
+package memsys
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/dbi"
+)
+
+// patternSource fills sectors with an address-derived pattern so reads are
+// verifiable.
+type patternSource struct{}
+
+func (patternSource) FillSector(addr uint64, dst []byte) {
+	for i := range dst {
+		dst[i] = byte(addr>>8) ^ byte(i*37)
+	}
+}
+
+func univFactory() core.Codec { return core.NewUniversal(3) }
+func dbiFactory() core.Codec  { return dbi.New(1) }
+
+// TestChannelReadDecodes verifies the §V-B organization: data is stored in
+// encoded form but reads return the original bytes.
+func TestChannelReadDecodes(t *testing.T) {
+	c := NewChannel(32, 32, core.NewUniversal(3), nil, patternSource{})
+	want := make([]byte, 32)
+	patternSource{}.FillSector(0x1000, want)
+	got, err := c.ReadSector(0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %x, want %x", got, want)
+	}
+	// The at-rest form must actually be the encoded form, not the raw data.
+	stored := c.store[0x1000]
+	var enc core.Encoded
+	if err := core.NewUniversal(3).Encode(&enc, want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stored, enc.Data) {
+		t.Fatalf("stored form %x is not the encoded form %x", stored, enc.Data)
+	}
+}
+
+// TestChannelWriteReadRoundTrip writes random sectors through the encoder
+// and reads them back, with and without a DBI link codec.
+func TestChannelWriteReadRoundTrip(t *testing.T) {
+	for _, link := range []core.Codec{nil, dbi.New(1)} {
+		c := NewChannel(32, 32, core.NewBaseXOR(4), link, nil)
+		rng := rand.New(rand.NewSource(2))
+		addrs := make([]uint64, 50)
+		payloads := make([][]byte, 50)
+		for i := range addrs {
+			addrs[i] = uint64(i) * 32
+			payloads[i] = make([]byte, 32)
+			rng.Read(payloads[i])
+			if err := c.WriteSector(addrs[i], payloads[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := range addrs {
+			got, err := c.ReadSector(addrs[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payloads[i]) {
+				t.Fatalf("link=%v sector %d mismatch", link != nil, i)
+			}
+		}
+		if c.Stats().Transactions != 100 { // 50 writes + 50 reads
+			t.Fatalf("bus transactions = %d, want 100", c.Stats().Transactions)
+		}
+	}
+}
+
+// TestSystemReadAfterWrite drives the full LLC+channel stack.
+func TestSystemReadAfterWrite(t *testing.T) {
+	sys := NewSystem(config.TitanX(), univFactory, dbiFactory, nil)
+	rng := rand.New(rand.NewSource(3))
+	written := map[uint64][]byte{}
+	for i := 0; i < 40000; i++ {
+		// Spread writes over 16 MB so the 4 MB LLC must evict and write
+		// back dirty sectors.
+		addr := uint64(rng.Intn(1<<19)) * 32
+		data := make([]byte, 32)
+		rng.Read(data)
+		if _, err := sys.Access(addr, true, data); err != nil {
+			t.Fatal(err)
+		}
+		written[addr] = data
+	}
+	for addr, want := range written {
+		got, err := sys.Access(addr, false, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("addr %#x: read-after-write mismatch", addr)
+		}
+	}
+	reads, writes, misses, writebacks := sys.Counters()
+	if writes != 40000 || reads != uint64(len(written)) {
+		t.Fatalf("counters: reads=%d writes=%d", reads, writes)
+	}
+	if misses == 0 || writebacks == 0 {
+		t.Fatalf("expected misses (%d) and writebacks (%d)", misses, writebacks)
+	}
+}
+
+// TestCacheHitsAvoidBus verifies clean LLC hits generate no DRAM traffic.
+func TestCacheHitsAvoidBus(t *testing.T) {
+	sys := NewSystem(config.TitanX(), nil, nil, patternSource{})
+	addr := uint64(0x4000)
+	if _, err := sys.Access(addr, false, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := sys.Stats().Transactions
+	for i := 0; i < 10; i++ {
+		if _, err := sys.Access(addr, false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sys.Stats().Transactions; got != after {
+		t.Fatalf("clean hits generated %d extra transactions", got-after)
+	}
+	if sys.MissRate() >= 0.5 {
+		t.Fatalf("miss rate %.2f too high for repeated hits", sys.MissRate())
+	}
+}
+
+// TestCacheSectoring verifies distinct sectors of one line miss
+// independently (sectored fills, one transaction per sector).
+func TestCacheSectoring(t *testing.T) {
+	sys := NewSystem(config.TitanX(), nil, nil, patternSource{})
+	line := uint64(0x10000)
+	for s := uint64(0); s < 4; s++ {
+		if _, err := sys.Access(line+s*32, false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, misses, _ := sys.Counters()
+	if misses != 4 {
+		t.Fatalf("misses = %d, want 4 (per-sector fills)", misses)
+	}
+}
+
+// TestLRUEviction forces conflict misses beyond the associativity.
+func TestLRUEviction(t *testing.T) {
+	c := NewCache(1<<14, 2, 128, 32) // 64 sets, 2 ways
+	setStride := uint64(64 * 128)    // same set, different tags
+	var evictions int
+	for i := uint64(0); i < 5; i++ {
+		hit, ev := c.Access(i*setStride, true)
+		if hit {
+			t.Fatalf("unexpected hit on cold access %d", i)
+		}
+		c.FillDirty(i*setStride, make([]byte, 32))
+		evictions += len(ev)
+	}
+	if evictions != 3 {
+		t.Fatalf("evicted %d dirty sectors, want 3", evictions)
+	}
+}
+
+// TestDrainFlushesDirty verifies Drain writes every dirty sector back.
+func TestDrainFlushesDirty(t *testing.T) {
+	sys := NewSystem(config.TitanX(), univFactory, nil, nil)
+	data := bytes.Repeat([]byte{0xA5}, 32)
+	for i := uint64(0); i < 64; i++ {
+		if _, err := sys.Access(i*32, true, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := sys.Stats().Transactions
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Stats().Transactions - before; got != 64 {
+		t.Fatalf("drain produced %d transactions, want 64", got)
+	}
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Stats().Transactions - before; got != 64 {
+		t.Fatalf("second drain wrote %d more transactions, want 0", got-64)
+	}
+}
+
+// TestWriteSizeValidation verifies payload size checking.
+func TestWriteSizeValidation(t *testing.T) {
+	c := NewChannel(32, 32, nil, nil, nil)
+	if err := c.WriteSector(0, make([]byte, 16)); err == nil {
+		t.Fatal("short write accepted")
+	}
+}
+
+// TestRowActivationAccounting verifies the bank/row model: streaming
+// through one row costs a single activation; hopping rows re-activates.
+func TestRowActivationAccounting(t *testing.T) {
+	c := NewChannel(32, 32, nil, nil, patternSource{})
+	// 64 sequential sectors = 2048 bytes = exactly one row of bank 0.
+	for i := uint64(0); i < 64; i++ {
+		if _, err := c.ReadSector(i * 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Activates(); got != 1 {
+		t.Fatalf("streaming one row cost %d activations, want 1", got)
+	}
+	// The next sector lands in bank 1 (new bank, cold): one more.
+	if _, err := c.ReadSector(64 * 32); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Activates(); got != 2 {
+		t.Fatalf("activations = %d, want 2", got)
+	}
+	// Ping-pong between two rows of the same bank: every access activates.
+	conflict := uint64(RowBytes * BanksPerChannel) // same bank 0, next row
+	before := c.Activates()
+	for i := 0; i < 5; i++ {
+		if _, err := c.ReadSector(0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.ReadSector(conflict); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Bank 0 still has row 0 open (banks are independent), so the first
+	// access is free and the remaining nine alternations each activate.
+	if got := c.Activates() - before; got != 9 {
+		t.Fatalf("row ping-pong cost %d activations, want 9", got)
+	}
+}
+
+// TestSystemRowHitRate checks the aggregate measured row locality of a
+// streaming workload is high, as the power model assumes.
+func TestSystemRowHitRate(t *testing.T) {
+	sys := NewSystem(config.TitanX(), nil, nil, patternSource{})
+	for i := uint64(0); i < 4096; i++ {
+		if _, err := sys.Access(i*32, false, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hr := sys.RowHitRate(); hr < 0.80 {
+		t.Fatalf("streaming row hit rate %.2f, want >= 0.80", hr)
+	}
+	if sys.Activates() == 0 {
+		t.Fatal("no activations recorded")
+	}
+}

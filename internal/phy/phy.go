@@ -1,0 +1,115 @@
+// Package phy models the electrical behaviour of a Pseudo Open Drain (POD)
+// terminated DRAM I/O interface (§II-A, Fig 2, §V-A).
+//
+// In POD signaling the termination resistor RT connects the wire to VDD. A
+// transferred 1 is represented as 0 V on the wire, so driving a 1 opens a
+// static current path VDD → RT → wire → pull-down transistor → ground for
+// the whole bit time; a transferred 0 (wire at VDD) draws no termination
+// current. This asymmetry is why reducing 1 values saves energy. The second
+// data-dependent cost is charging/discharging the wire's parasitic
+// capacitance on every transition (toggle).
+package phy
+
+// Params are the electrical parameters of one POD I/O pin.
+type Params struct {
+	// VDD is the I/O supply voltage in volts (VDD/VDDQ in Table I).
+	VDD float64
+	// RTerm is the on-die termination resistance to VDD in ohms.
+	RTerm float64
+	// RPullUp and RPullDn are the output driver's turn-on resistances in
+	// ohms.
+	RPullUp float64
+	RPullDn float64
+	// DataRateGbps is the per-pin data rate; the bit time is its inverse.
+	DataRateGbps float64
+	// WireCapFarads is the effective parasitic capacitance switched per
+	// wire transition. Calibrated (see DESIGN.md §2) so the system-level
+	// toggle-energy share matches the paper's Fig 16→17 sensitivity.
+	WireCapFarads float64
+}
+
+// GDDR5X returns Table I's GDDR5X interface parameters.
+func GDDR5X() Params {
+	return Params{
+		VDD:           1.35,
+		RTerm:         60,
+		RPullUp:       60,
+		RPullDn:       40,
+		DataRateGbps:  10,
+		WireCapFarads: 1.35e-12,
+	}
+}
+
+// DDR4 returns parameters for the CPU system of §VI-G. DDR4 uses
+// center-tapped (POD-like pseudo) termination at lower voltage and speed;
+// only relative 1-value counts are used for Fig 18, but the parameters keep
+// the model dimensionally honest.
+func DDR4() Params {
+	return Params{
+		VDD:           1.2,
+		RTerm:         60,
+		RPullUp:       48,
+		RPullDn:       40,
+		DataRateGbps:  3.2,
+		WireCapFarads: 2.0e-12,
+	}
+}
+
+// BitTime returns the duration of one bit on the wire in seconds (100 ps at
+// 10 Gbps).
+func (p Params) BitTime() float64 { return 1 / (p.DataRateGbps * 1e9) }
+
+// StaticOneCurrent returns the steady-state current in amperes drawn while
+// a 1 is on the wire: VDD across RT in series with the pull-down device
+// (1.35 V / 100 Ω = 13.5 mA for GDDR5X, §V-A).
+func (p Params) StaticOneCurrent() float64 {
+	return p.VDD / (p.RTerm + p.RPullDn)
+}
+
+// TerminationEnergyPerOne returns the extra energy in joules of
+// transferring a single 1 value relative to a 0: the static termination
+// current integrated over one bit time (1.82 pJ for GDDR5X, §V-B).
+func (p Params) TerminationEnergyPerOne() float64 {
+	return p.VDD * p.StaticOneCurrent() * p.BitTime()
+}
+
+// ToggleEnergy returns the energy in joules of one wire transition,
+// ½·C·VDD²: each 0→1→0 cycle moves charge Q = C·VDD from the supply to
+// ground (Fig 2), i.e. half that energy per edge.
+func (p Params) ToggleEnergy() float64 {
+	return 0.5 * p.WireCapFarads * p.VDD * p.VDD
+}
+
+// ZeroBitEnergy returns the baseline I/O energy in joules of moving one bit
+// of either value: pre-driver, receiver and clocking costs that do not
+// depend on the data. Derived from the paper's §II-A statement that a 1
+// costs 37 % more than a 0 on this interface:
+//
+//	E1 = E0 + TerminationEnergyPerOne() and E1 = 1.37·E0
+//	⇒ E0 = TerminationEnergyPerOne() / 0.37.
+func (p Params) ZeroBitEnergy() float64 {
+	return p.TerminationEnergyPerOne() / 0.37
+}
+
+// OneBitEnergy returns the I/O energy in joules of transferring a 1.
+func (p Params) OneBitEnergy() float64 {
+	return p.ZeroBitEnergy() + p.TerminationEnergyPerOne()
+}
+
+// PeakTerminationCurrent returns the worst-case static termination current
+// in amperes when every wire of a width-bit bus drives a 1 simultaneously
+// (432 mA for a 32-bit GDDR5X chip, 5.2 A for the full 384-bit GPU memory
+// system, §V-A). DBI's guarantee of ≤ half simultaneous 1s exists precisely
+// to bound this number.
+func (p Params) PeakTerminationCurrent(widthBits int) float64 {
+	return float64(widthBits) * p.StaticOneCurrent()
+}
+
+// TransferEnergy returns the I/O energy in joules of a transfer with the
+// given activity: totalBits bits moved, of which ones were 1 values, with
+// toggles wire transitions.
+func (p Params) TransferEnergy(totalBits, ones, toggles int) float64 {
+	return float64(totalBits)*p.ZeroBitEnergy() +
+		float64(ones)*p.TerminationEnergyPerOne() +
+		float64(toggles)*p.ToggleEnergy()
+}

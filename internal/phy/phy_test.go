@@ -1,0 +1,78 @@
+package phy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}
+
+// TestPaperNumbers pins the §V-A electrical derivations: 100 ps bit time,
+// 13.5 mA static current per 1, 1.82 pJ termination energy per 1, 37 %
+// asymmetry, and the 432 mA / 5.2 A peak-current figures.
+func TestPaperNumbers(t *testing.T) {
+	p := GDDR5X()
+	if !approx(p.BitTime(), 100e-12, 1e-9) {
+		t.Errorf("BitTime = %g s, want 100 ps", p.BitTime())
+	}
+	if !approx(p.StaticOneCurrent(), 13.5e-3, 1e-9) {
+		t.Errorf("StaticOneCurrent = %g A, want 13.5 mA", p.StaticOneCurrent())
+	}
+	if !approx(p.TerminationEnergyPerOne(), 1.8225e-12, 1e-9) {
+		t.Errorf("TerminationEnergyPerOne = %g J, want 1.8225 pJ", p.TerminationEnergyPerOne())
+	}
+	if !approx(p.OneBitEnergy()/p.ZeroBitEnergy(), 1.37, 1e-9) {
+		t.Errorf("1-vs-0 energy ratio = %g, want 1.37", p.OneBitEnergy()/p.ZeroBitEnergy())
+	}
+	if !approx(p.PeakTerminationCurrent(32), 0.432, 1e-9) {
+		t.Errorf("peak current 32-bit = %g A, want 432 mA", p.PeakTerminationCurrent(32))
+	}
+	if !approx(p.PeakTerminationCurrent(384), 5.184, 1e-9) {
+		t.Errorf("peak current 384-bit = %g A, want 5.184 A", p.PeakTerminationCurrent(384))
+	}
+}
+
+// TestTransferEnergyMonotonic is the energy-model invariant of DESIGN.md §6:
+// adding 1 values or toggles never reduces transfer energy.
+func TestTransferEnergyMonotonic(t *testing.T) {
+	p := GDDR5X()
+	f := func(bits uint16, ones, toggles uint8) bool {
+		b := int(bits)%4096 + 256
+		o := int(ones) % (b + 1)
+		g := int(toggles) % (b + 1)
+		e := p.TransferEnergy(b, o, g)
+		return p.TransferEnergy(b, o+1, g) > e && p.TransferEnergy(b, o, g+1) > e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestToggleEnergy checks the ½CV² edge energy.
+func TestToggleEnergy(t *testing.T) {
+	p := GDDR5X()
+	want := 0.5 * p.WireCapFarads * p.VDD * p.VDD
+	if p.ToggleEnergy() != want {
+		t.Errorf("ToggleEnergy = %g, want %g", p.ToggleEnergy(), want)
+	}
+	if p.ToggleEnergy() <= 0 {
+		t.Error("ToggleEnergy must be positive")
+	}
+}
+
+// TestDDR4Sanity keeps the CPU-system parameters physically plausible.
+func TestDDR4Sanity(t *testing.T) {
+	p := DDR4()
+	if p.VDD >= GDDR5X().VDD {
+		t.Error("DDR4 VDD should be below GDDR5X VDD")
+	}
+	if p.BitTime() <= GDDR5X().BitTime() {
+		t.Error("DDR4 bit time should exceed GDDR5X bit time")
+	}
+	if p.StaticOneCurrent() <= 0 || p.TerminationEnergyPerOne() <= 0 {
+		t.Error("DDR4 electrical derivations must be positive")
+	}
+}

@@ -1,0 +1,140 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/bus"
+)
+
+// baselineStats fabricates activity for n 32-byte transactions with the
+// given ones and toggle densities (fractions of data bits).
+func baselineStats(n int, onesDensity, toggleDensity float64) bus.Stats {
+	bits := n * 32 * 8
+	return bus.Stats{
+		Transactions: n,
+		Beats:        n * 8,
+		DataOnes:     int(onesDensity * float64(bits)),
+		DataToggles:  int(toggleDensity * float64(bits)),
+		DataBits:     bits,
+	}
+}
+
+// TestFig1Trend pins the paper's headline trend: 2× bandwidth, 19 % lower
+// energy/bit, 63 % higher peak power from GDDR5 6 Gbps to GDDR5X 12 Gbps.
+func TestFig1Trend(t *testing.T) {
+	rows := TrendRows()
+	last := rows[len(rows)-1]
+	if last.Bandwidth != 2.0 {
+		t.Errorf("bandwidth ratio = %v, want 2.0", last.Bandwidth)
+	}
+	if math.Abs(last.EnergyPerBit-0.81) > 1e-9 {
+		t.Errorf("energy/bit = %v, want 0.81", last.EnergyPerBit)
+	}
+	if math.Abs(last.PeakPower-1.62) > 1e-9 {
+		t.Errorf("peak power = %v, want 1.62 (~163%%)", last.PeakPower)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].EnergyPerBit >= rows[i-1].EnergyPerBit {
+			t.Errorf("energy/bit must fall per generation: %+v", rows)
+		}
+		if rows[i].PeakPower <= rows[i-1].PeakPower {
+			t.Errorf("peak power must rise per generation: %+v", rows)
+		}
+	}
+}
+
+// TestBreakdownComponents checks the decomposition's basic structure.
+func TestBreakdownComponents(t *testing.T) {
+	m := NewModel()
+	s := baselineStats(10000, 0.45, 0.46)
+	b := m.Estimate(s)
+	for name, v := range map[string]float64{
+		"Background":    b.Background,
+		"Activate":      b.Activate,
+		"CoreAccess":    b.CoreAccess,
+		"IOStatic":      b.IOStatic,
+		"IOTermination": b.IOTermination,
+		"IOSwitching":   b.IOSwitching,
+	} {
+		if v <= 0 {
+			t.Errorf("component %s = %g, want > 0", name, v)
+		}
+	}
+	sum := b.Background + b.Activate + b.CoreAccess + b.IOStatic + b.IOTermination + b.IOSwitching
+	if math.Abs(sum-b.Total())/sum > 1e-12 {
+		t.Errorf("Total() = %g, want %g", b.Total(), sum)
+	}
+}
+
+// TestPaperSensitivity verifies the calibration target of DESIGN.md §2: at
+// the baseline operating point, reducing 1 values by 35.3 % and toggles by
+// 23.0 % must save ≈5.8 % of memory-system energy, and the three other
+// (ones%, toggles%) → energy% points implied by Figs 15-17 must follow.
+func TestPaperSensitivity(t *testing.T) {
+	m := NewModel()
+	base := baselineStats(100000, 0.45, 0.46)
+	cases := []struct {
+		name                string
+		onesRed, togglesRed float64 // fractional reductions vs baseline
+		wantEnergyRed, tol  float64
+	}{
+		{"Universal XOR+ZDR", 0.353, 0.230, 0.058, 0.010},
+		{"Universal + 1B DBI", 0.482, 0.210, 0.071, 0.012},
+		{"1B DBI alone", 0.257, -0.040, 0.027, 0.008},
+		{"BD-Encoding", 0.298, 0.109, 0.042, 0.009},
+	}
+	for _, c := range cases {
+		enc := base
+		enc.DataOnes = int(float64(base.DataOnes) * (1 - c.onesRed))
+		enc.DataToggles = int(float64(base.DataToggles) * (1 - c.togglesRed))
+		got := m.Reduction(base, enc)
+		if math.Abs(got-c.wantEnergyRed) > c.tol {
+			t.Errorf("%s: energy reduction = %.4f, want %.3f ± %.3f",
+				c.name, got, c.wantEnergyRed, c.tol)
+		}
+	}
+}
+
+// TestMetadataCharged verifies extra metadata wires increase energy.
+func TestMetadataCharged(t *testing.T) {
+	m := NewModel()
+	s := baselineStats(1000, 0.45, 0.46)
+	withMeta := s
+	withMeta.MetaBits = s.DataBits / 8
+	withMeta.MetaOnes = withMeta.MetaBits / 2
+	withMeta.MetaToggles = withMeta.MetaBits / 2
+	if m.Estimate(withMeta).Total() <= m.Estimate(s).Total() {
+		t.Error("metadata wires must cost energy")
+	}
+}
+
+// TestReductionSign checks direction: fewer ones/toggles → positive saving.
+func TestReductionSign(t *testing.T) {
+	m := NewModel()
+	base := baselineStats(1000, 0.45, 0.46)
+	better := baselineStats(1000, 0.30, 0.35)
+	worse := baselineStats(1000, 0.60, 0.55)
+	if m.Reduction(base, better) <= 0 {
+		t.Error("reducing activity must save energy")
+	}
+	if m.Reduction(base, worse) >= 0 {
+		t.Error("increasing activity must cost energy")
+	}
+}
+
+// TestEstimateMeasured verifies measured activations override the assumed
+// row-hit rate.
+func TestEstimateMeasured(t *testing.T) {
+	m := NewModel()
+	s := baselineStats(1000, 0.45, 0.46)
+	assumed := m.Estimate(s)
+	measured := m.EstimateMeasured(s, 1000) // every transaction activates
+	if measured.Activate <= assumed.Activate {
+		t.Fatalf("measured activate energy %g should exceed assumed %g (5%% miss rate)",
+			measured.Activate, assumed.Activate)
+	}
+	if measured.Background != assumed.Background || measured.IOTermination != assumed.IOTermination {
+		t.Fatal("EstimateMeasured must only change the activate component")
+	}
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.25)
+	tb.AddRowf("beta-longer", "x")
+	var b strings.Builder
+	tb.Render(&b)
+	out := b.String()
+	for _, want := range []string{"Demo", "====", "name", "alpha", "1.2", "beta-longer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Columns must align: every row has the header's column start.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	hdr := lines[2] // title, ===, header
+	valCol := strings.Index(hdr, "value")
+	if valCol < 0 {
+		t.Fatal("no value column")
+	}
+	for _, l := range lines[3:] {
+		if len(l) <= valCol {
+			continue
+		}
+		if l[valCol-1] != ' ' && l[valCol-1] != '-' {
+			t.Errorf("misaligned row %q", l)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRowf("plain", `has "quotes", commas`)
+	var b strings.Builder
+	tb.CSV(&b)
+	want := "a,b\nplain,\"has \"\"quotes\"\", commas\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Errorf("Bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(-1, 10, 10) != "" {
+		t.Error("negative bar should be empty")
+	}
+	if Bar(20, 10, 10) != strings.Repeat("#", 10) {
+		t.Error("bar should clamp to width")
+	}
+	if Bar(1, 0, 10) != "" {
+		t.Error("zero-scale bar should be empty")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var b strings.Builder
+	BarChart(&b, "Chart", []string{"one", "two"}, []float64{1, 2}, "%")
+	out := b.String()
+	if !strings.Contains(out, "Chart") || !strings.Contains(out, "one") || !strings.Contains(out, "#") {
+		t.Errorf("bar chart output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,90 @@
+// Package sim is a minimal discrete-event simulation kernel used by the
+// memory-system and GPU models: a time-ordered event queue with
+// deterministic FIFO ordering among same-cycle events.
+package sim
+
+import "container/heap"
+
+// event is one scheduled callback.
+type event struct {
+	when uint64
+	seq  uint64
+	fn   func()
+}
+
+// eventQueue implements heap.Interface ordered by (when, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator clock and queue. The zero value is
+// ready to use.
+type Kernel struct {
+	queue eventQueue
+	now   uint64
+	seq   uint64
+}
+
+// Now returns the current simulation time in cycles.
+func (k *Kernel) Now() uint64 { return k.now }
+
+// Schedule runs fn after delay cycles (0 = later this cycle, after the
+// current event).
+func (k *Kernel) Schedule(delay uint64, fn func()) {
+	k.seq++
+	heap.Push(&k.queue, &event{when: k.now + delay, seq: k.seq, fn: fn})
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Step executes the next event and advances the clock to it. It reports
+// whether an event was executed.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*event)
+	k.now = e.when
+	e.fn()
+	return true
+}
+
+// Run executes events until the queue is empty or the clock passes `until`
+// cycles; it returns the number of events executed.
+func (k *Kernel) Run(until uint64) int {
+	n := 0
+	for len(k.queue) > 0 && k.queue[0].when <= until {
+		k.Step()
+		n++
+	}
+	if k.now < until {
+		k.now = until
+	}
+	return n
+}
+
+// RunAll drains the queue completely and returns the number of events run.
+func (k *Kernel) RunAll() int {
+	n := 0
+	for k.Step() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+package sim
+
+import "testing"
+
+// TestOrdering verifies time ordering and FIFO tie-breaking.
+func TestOrdering(t *testing.T) {
+	var k Kernel
+	var got []int
+	k.Schedule(5, func() { got = append(got, 3) })
+	k.Schedule(1, func() { got = append(got, 1) })
+	k.Schedule(5, func() { got = append(got, 4) }) // same cycle as "3": FIFO
+	k.Schedule(2, func() { got = append(got, 2) })
+	if n := k.RunAll(); n != 4 {
+		t.Fatalf("RunAll executed %d events, want 4", n)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("execution order %v", got)
+		}
+	}
+	if k.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", k.Now())
+	}
+}
+
+// TestNestedScheduling verifies events scheduled from events run at the
+// right times, including zero-delay follow-ups.
+func TestNestedScheduling(t *testing.T) {
+	var k Kernel
+	var trace []uint64
+	k.Schedule(1, func() {
+		trace = append(trace, k.Now())
+		k.Schedule(0, func() { trace = append(trace, k.Now()) })
+		k.Schedule(3, func() { trace = append(trace, k.Now()) })
+	})
+	k.RunAll()
+	want := []uint64{1, 1, 4}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+// TestRunUntil verifies bounded execution advances the clock exactly.
+func TestRunUntil(t *testing.T) {
+	var k Kernel
+	fired := 0
+	k.Schedule(2, func() { fired++ })
+	k.Schedule(10, func() { fired++ })
+	if n := k.Run(5); n != 1 || fired != 1 {
+		t.Fatalf("Run(5): n=%d fired=%d, want 1/1", n, fired)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("Now = %d, want 5", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", k.Pending())
+	}
+	k.RunAll()
+	if fired != 2 || k.Now() != 10 {
+		t.Fatalf("after RunAll: fired=%d now=%d", fired, k.Now())
+	}
+}
+
+// TestStepOnEmpty verifies Step on an empty queue is a no-op.
+func TestStepOnEmpty(t *testing.T) {
+	var k Kernel
+	if k.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+}

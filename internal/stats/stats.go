@@ -1,0 +1,136 @@
+// Package stats provides the small statistical helpers the evaluation
+// uses: means, ratio aggregation and fixed-width histogram bucketing for
+// the paper's application-distribution figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive xs.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Min and Max return the extrema of xs; both return 0 for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Percentile returns the p-quantile (0..1) of xs by nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Histogram buckets values into fixed-width bins over [lo, hi); values
+// outside the range clamp to the edge bins, as the paper's ±80 % reduction
+// axis does (Fig 13).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram with n bins over [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, n)}
+}
+
+// Add buckets one value.
+func (h *Histogram) Add(x float64) {
+	n := len(h.Counts)
+	idx := int(math.Floor((x - h.Lo) / (h.Hi - h.Lo) * float64(n)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	h.Counts[idx]++
+}
+
+// Total returns the number of added values.
+func (h *Histogram) Total() int {
+	t := 0
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// Fraction returns bin i's share of all values.
+func (h *Histogram) Fraction(i int) float64 {
+	t := h.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(t)
+}
+
+// BinLabel formats bin i's range, e.g. "[-80%,-60%)" for percentage axes.
+func (h *Histogram) BinLabel(i int, percent bool) string {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	lo, hi := h.Lo+float64(i)*w, h.Lo+float64(i+1)*w
+	if percent {
+		return fmt.Sprintf("[%+.0f%%,%+.0f%%)", lo*100, hi*100)
+	}
+	return fmt.Sprintf("[%.4g,%.4g)", lo, hi)
+}

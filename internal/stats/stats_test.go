@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := Mean(xs); got != 2.5 {
+		t.Errorf("Mean = %v, want 2.5", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if Mean(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty means should be 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("GeoMean with non-positive input should be 0")
+	}
+	if Min(xs) != 1 || Max(xs) != 4 {
+		t.Error("Min/Max wrong")
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("empty Min/Max should be 0")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ p, want float64 }{{0, 1}, {0.2, 1}, {0.5, 3}, {1, 5}}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Percentile must not mutate its input.
+	if xs[0] != 5 {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(-0.8, 0.8, 8)
+	h.Add(-0.9) // clamps to bin 0
+	h.Add(-0.8)
+	h.Add(0.0)
+	h.Add(0.19)
+	h.Add(0.79)
+	h.Add(0.9) // clamps to bin 7
+	if h.Total() != 6 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 2 || h.Counts[4] != 2 || h.Counts[7] != 2 {
+		t.Fatalf("counts = %v", h.Counts)
+	}
+	if got := h.Fraction(0); math.Abs(got-2.0/6) > 1e-12 {
+		t.Errorf("Fraction(0) = %v", got)
+	}
+	if got := h.BinLabel(0, true); got != "[-80%,-60%)" {
+		t.Errorf("BinLabel = %q", got)
+	}
+	if got := h.BinLabel(0, false); got != "[-0.8,-0.6)" {
+		t.Errorf("BinLabel plain = %q", got)
+	}
+	empty := NewHistogram(0, 1, 4)
+	if empty.Fraction(0) != 0 {
+		t.Error("empty histogram fraction should be 0")
+	}
+}
+
+func TestHistogramNeverPanics(t *testing.T) {
+	h := NewHistogram(-1, 1, 10)
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		h.Add(x)
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

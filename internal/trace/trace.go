@@ -1,0 +1,250 @@
+// Package trace defines the memory-transaction representation shared by the
+// whole repository — the paper's unit of evaluation is the data value of
+// each 32-byte sector transaction observed at the memory controller (§VI) —
+// together with a compact binary on-disk format and the stream statistics
+// the evaluation keys on (1-value density, zero elements, mixed-data
+// transactions for Fig 14).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// Kind distinguishes reads from writes. Both directions cross the POD
+// interface and are encoded identically; the split is kept for workload
+// realism and tooling.
+type Kind uint8
+
+// Transaction kinds.
+const (
+	Read Kind = iota
+	Write
+)
+
+// String returns "R" or "W".
+func (k Kind) String() string {
+	if k == Write {
+		return "W"
+	}
+	return "R"
+}
+
+// Transaction is one DRAM burst: a 32-byte sector in the GPU system, a
+// 64-byte line half/whole in the CPU system.
+type Transaction struct {
+	// Addr is the physical byte address of the sector.
+	Addr uint64
+	// Kind is the transfer direction.
+	Kind Kind
+	// Data is the payload crossing the interface.
+	Data []byte
+}
+
+// Binary format constants.
+const (
+	magic   = "BXTT"
+	version = 1
+)
+
+// Writer streams transactions to an io.Writer in the binary trace format.
+type Writer struct {
+	w       *bufio.Writer
+	txnSize int
+	count   int
+	started bool
+}
+
+// NewWriter returns a Writer emitting transactions of txnSize bytes.
+func NewWriter(w io.Writer, txnSize int) *Writer {
+	return &Writer{w: bufio.NewWriter(w), txnSize: txnSize}
+}
+
+func (w *Writer) header() error {
+	if w.started {
+		return nil
+	}
+	w.started = true
+	if _, err := w.w.WriteString(magic); err != nil {
+		return err
+	}
+	var hdr [5]byte
+	hdr[0] = version
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(w.txnSize))
+	_, err := w.w.Write(hdr[:])
+	return err
+}
+
+// Write appends one transaction. The payload length must match the writer's
+// transaction size.
+func (w *Writer) Write(t Transaction) error {
+	if len(t.Data) != w.txnSize {
+		return fmt.Errorf("trace: transaction has %d bytes, writer expects %d", len(t.Data), w.txnSize)
+	}
+	if err := w.header(); err != nil {
+		return err
+	}
+	var rec [9]byte
+	binary.LittleEndian.PutUint64(rec[:8], t.Addr)
+	rec[8] = byte(t.Kind)
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(t.Data); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// Flush writes buffered data through; call when done.
+func (w *Writer) Flush() error {
+	if err := w.header(); err != nil { // empty traces still get a header
+		return err
+	}
+	return w.w.Flush()
+}
+
+// Count returns the number of transactions written.
+func (w *Writer) Count() int { return w.count }
+
+// Reader streams transactions from the binary trace format.
+type Reader struct {
+	r       *bufio.Reader
+	txnSize int
+}
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// NewReader parses the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	hdr := make([]byte, len(magic)+5)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
+	}
+	if hdr[4] != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr[4])
+	}
+	size := int(binary.LittleEndian.Uint32(hdr[5:]))
+	if size <= 0 || size > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible transaction size %d", ErrBadTrace, size)
+	}
+	return &Reader{r: br, txnSize: size}, nil
+}
+
+// TxnSize returns the per-transaction payload size in bytes.
+func (r *Reader) TxnSize() int { return r.txnSize }
+
+// Read returns the next transaction or io.EOF at the end of the stream.
+func (r *Reader) Read() (Transaction, error) {
+	var rec [9]byte
+	if _, err := io.ReadFull(r.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return Transaction{}, io.EOF
+		}
+		return Transaction{}, fmt.Errorf("%w: truncated record: %v", ErrBadTrace, err)
+	}
+	t := Transaction{
+		Addr: binary.LittleEndian.Uint64(rec[:8]),
+		Kind: Kind(rec[8]),
+		Data: make([]byte, r.txnSize),
+	}
+	if _, err := io.ReadFull(r.r, t.Data); err != nil {
+		return Transaction{}, fmt.Errorf("%w: truncated payload: %v", ErrBadTrace, err)
+	}
+	return t, nil
+}
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]Transaction, error) {
+	var out []Transaction
+	for {
+		t, err := r.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+}
+
+// Stats summarizes the data-value characteristics of a transaction stream
+// that drive the paper's analysis.
+type Stats struct {
+	// Transactions and Bits are the stream totals.
+	Transactions int
+	Bits         int
+	// Ones counts 1 values, so Ones/Bits is the baseline 1 density.
+	Ones int
+	// ZeroTxns counts all-zero transactions.
+	ZeroTxns int
+	// MixedTxns counts transactions containing both zero and non-zero
+	// 4-byte elements — the population Fig 14 buckets by.
+	MixedTxns int
+	// ZeroElems counts zero 4-byte elements across the stream.
+	ZeroElems int
+	// Elems is the total number of 4-byte elements.
+	Elems int
+}
+
+// OnesDensity returns Ones/Bits.
+func (s Stats) OnesDensity() float64 {
+	if s.Bits == 0 {
+		return 0
+	}
+	return float64(s.Ones) / float64(s.Bits)
+}
+
+// MixedRatio returns the fraction of transactions holding interspersed zero
+// and non-zero elements.
+func (s Stats) MixedRatio() float64 {
+	if s.Transactions == 0 {
+		return 0
+	}
+	return float64(s.MixedTxns) / float64(s.Transactions)
+}
+
+// Observe accumulates one transaction's payload into s.
+func (s *Stats) Observe(data []byte) {
+	s.Transactions++
+	s.Bits += len(data) * 8
+	s.Ones += core.OnesCount(data)
+	zero, nonzero := 0, 0
+	for off := 0; off+4 <= len(data); off += 4 {
+		isZero := data[off]|data[off+1]|data[off+2]|data[off+3] == 0
+		if isZero {
+			zero++
+		} else {
+			nonzero++
+		}
+	}
+	s.Elems += zero + nonzero
+	s.ZeroElems += zero
+	switch {
+	case nonzero == 0:
+		s.ZeroTxns++
+	case zero > 0:
+		s.MixedTxns++
+	}
+}
+
+// Measure computes Stats over a payload slice stream.
+func Measure(payloads [][]byte) Stats {
+	var s Stats
+	for _, p := range payloads {
+		s.Observe(p)
+	}
+	return s
+}

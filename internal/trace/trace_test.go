@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRoundTripFile verifies write→read reproduces the stream bit-exactly
+// (DESIGN.md §6 invariant 6).
+func TestRoundTripFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var txns []Transaction
+	for i := 0; i < 300; i++ {
+		d := make([]byte, 32)
+		rng.Read(d)
+		k := Read
+		if i%3 == 0 {
+			k = Write
+		}
+		txns = append(txns, Transaction{Addr: rng.Uint64() &^ 31, Kind: k, Data: d})
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 32)
+	for _, txn := range txns {
+		if err := w.Write(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(txns) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(txns))
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TxnSize() != 32 {
+		t.Fatalf("TxnSize = %d, want 32", r.TxnSize())
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(txns) {
+		t.Fatalf("read %d txns, want %d", len(got), len(txns))
+	}
+	for i := range got {
+		if got[i].Addr != txns[i].Addr || got[i].Kind != txns[i].Kind || !bytes.Equal(got[i].Data, txns[i].Data) {
+			t.Fatalf("txn %d mismatch", i)
+		}
+	}
+}
+
+// TestEmptyTrace verifies an empty trace round-trips.
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 32)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("Read on empty trace = %v, want io.EOF", err)
+	}
+}
+
+// TestMalformed verifies corrupted streams are rejected with ErrBadTrace.
+func TestMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"short header": []byte("BX"),
+		"bad magic":    []byte("NOPE\x01\x20\x00\x00\x00"),
+		"bad version":  []byte("BXTT\x07\x20\x00\x00\x00"),
+		"zero size":    []byte("BXTT\x01\x00\x00\x00\x00"),
+	}
+	for name, data := range cases {
+		if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: err = %v, want ErrBadTrace", name, err)
+		}
+	}
+	// Truncated payload after a valid header.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 32)
+	if err := w.Write(Transaction{Data: make([]byte, 32)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-5]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Read(); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("truncated payload: err = %v, want ErrBadTrace", err)
+	}
+}
+
+// TestWriterRejectsWrongSize verifies payload size enforcement.
+func TestWriterRejectsWrongSize(t *testing.T) {
+	w := NewWriter(io.Discard, 32)
+	if err := w.Write(Transaction{Data: make([]byte, 16)}); err == nil {
+		t.Error("wrong-size payload accepted")
+	}
+}
+
+// TestStats verifies the stream statistics on a crafted population.
+func TestStats(t *testing.T) {
+	mk := func(elems ...uint32) []byte {
+		d := make([]byte, 4*len(elems))
+		for i, e := range elems {
+			d[4*i] = byte(e)
+			d[4*i+1] = byte(e >> 8)
+			d[4*i+2] = byte(e >> 16)
+			d[4*i+3] = byte(e >> 24)
+		}
+		return d
+	}
+	payloads := [][]byte{
+		mk(0, 0, 0, 0),                   // all-zero
+		mk(1, 0, 2, 0),                   // mixed
+		mk(5, 6, 7, 8),                   // dense
+		mk(0xffffffff, 0, 0, 0xffffffff), // mixed
+	}
+	s := Measure(payloads)
+	if s.Transactions != 4 || s.Elems != 16 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.ZeroTxns != 1 || s.MixedTxns != 2 {
+		t.Fatalf("zero/mixed = %d/%d, want 1/2", s.ZeroTxns, s.MixedTxns)
+	}
+	if s.ZeroElems != 8 {
+		t.Fatalf("ZeroElems = %d, want 8", s.ZeroElems)
+	}
+	if s.MixedRatio() != 0.5 {
+		t.Fatalf("MixedRatio = %v, want 0.5", s.MixedRatio())
+	}
+	// popcounts: txn1 = 0; txn2 = 1+1; txn3 = 2+2+3+1; txn4 = 32+32.
+	wantOnes := 0 + 2 + 8 + 64
+	if s.Ones != wantOnes {
+		t.Fatalf("Ones = %d, want %d", s.Ones, wantOnes)
+	}
+	if s.Bits != 4*16*8 {
+		t.Fatalf("Bits = %d", s.Bits)
+	}
+}
+
+// TestStatsQuick cross-checks OnesDensity bounds on random data.
+func TestStatsQuick(t *testing.T) {
+	f := func(data [64]byte) bool {
+		var s Stats
+		s.Observe(data[:])
+		d := s.OnesDensity()
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	var empty Stats
+	if empty.OnesDensity() != 0 || empty.MixedRatio() != 0 {
+		t.Error("empty stats should report zero densities")
+	}
+}

@@ -1,0 +1,484 @@
+package workload
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+)
+
+// f32ToF16 converts a float32 bit pattern to IEEE 754 half precision
+// (round-toward-zero; sufficient for data-value modeling).
+func f32ToF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xff) - 127 + 15
+	mant := uint16(b >> 13 & 0x3ff)
+	switch {
+	case exp <= 0:
+		return sign // flush to signed zero
+	case exp >= 0x1f:
+		return sign | 0x7bff // clamp to max finite
+	default:
+		return sign | uint16(exp)<<10 | mant
+	}
+}
+
+// FloatSoA models a structure-of-arrays numeric field: consecutive elements
+// of one float array with a multiplicative random walk, the dominant pattern
+// in Rodinia/Exascale CUDA kernels (§III-A). Walk controls the step size
+// (smaller → higher intra-transaction similarity); Jump is the per-
+// transaction probability of moving to an unrelated array region.
+type FloatSoA struct {
+	// Bits is the element width: 16, 32 or 64.
+	Bits int
+	// Walk is the relative step magnitude between adjacent elements.
+	Walk float64
+	// Jump is the probability per transaction of re-seeding the value.
+	Jump float64
+	// Negative admits sign flips with the given probability per element.
+	Negative float64
+	// QuantBits zeroes that many low mantissa bits, modeling values that
+	// were up-converted from half precision, normalized to coarse grids,
+	// or hold integers — all common in GPU data.
+	QuantBits int
+
+	val   float64
+	valid bool
+}
+
+// Fill implements Generator.
+func (g *FloatSoA) Fill(dst []byte, rng *rand.Rand) {
+	if !g.valid || rng.Float64() < g.Jump {
+		g.val = math.Exp(rng.NormFloat64() * 2.5)
+		g.valid = true
+	}
+	step := g.Bits / 8
+	for off := 0; off+step <= len(dst); off += step {
+		g.val *= 1 + (rng.Float64()*2-1)*g.Walk
+		v := g.val
+		if rng.Float64() < g.Negative {
+			v = -v
+		}
+		switch g.Bits {
+		case 16:
+			binary.LittleEndian.PutUint16(dst[off:], f32ToF16(float32(v))&^uint16(1<<uint(g.QuantBits)-1))
+		case 32:
+			binary.LittleEndian.PutUint32(dst[off:], math.Float32bits(float32(v))&^uint32(1<<uint(g.QuantBits)-1))
+		case 64:
+			binary.LittleEndian.PutUint64(dst[off:], math.Float64bits(v)&^(uint64(1)<<uint(g.QuantBits)-1))
+		default:
+			panic("workload: FloatSoA.Bits must be 16, 32 or 64")
+		}
+	}
+}
+
+// IntStride models integer index/counter arrays: elements advance by a
+// fixed stride from a per-region base, the canonical output of parallel
+// prefix and indexing kernels.
+type IntStride struct {
+	// Bits is 32 or 64.
+	Bits int
+	// MaxStride bounds the per-region stride (≥1).
+	MaxStride int
+	// Jump is the probability per transaction of re-basing.
+	Jump float64
+
+	val    uint64
+	stride uint64
+	valid  bool
+}
+
+// Fill implements Generator.
+func (g *IntStride) Fill(dst []byte, rng *rand.Rand) {
+	if !g.valid || rng.Float64() < g.Jump {
+		mask := uint64(1)<<uint(g.Bits) - 1
+		if g.Bits == 64 {
+			mask = ^uint64(0)
+		}
+		g.val = rng.Uint64() & mask & 0x00ffffff // indices are small in practice
+		g.stride = uint64(1 + rng.Intn(g.MaxStride))
+		g.valid = true
+	}
+	step := g.Bits / 8
+	for off := 0; off+step <= len(dst); off += step {
+		switch g.Bits {
+		case 32:
+			binary.LittleEndian.PutUint32(dst[off:], uint32(g.val))
+		case 64:
+			binary.LittleEndian.PutUint64(dst[off:], g.val)
+		default:
+			panic("workload: IntStride.Bits must be 32 or 64")
+		}
+		g.val += g.stride
+	}
+}
+
+// Pointer models pointer-chasing graph data (Lonestar): 64-bit addresses
+// within a shared heap region, so the top bytes repeat while low bytes vary.
+type Pointer struct {
+	// Spread is the heap region size in bytes the pointers land in.
+	Spread uint64
+
+	base  uint64
+	valid bool
+}
+
+// Fill implements Generator.
+func (g *Pointer) Fill(dst []byte, rng *rand.Rand) {
+	if !g.valid {
+		g.base = 0x0000_7f00_0000_0000 | (rng.Uint64() & 0x0000_00ff_0000_0000)
+		g.valid = true
+	}
+	for off := 0; off+8 <= len(dst); off += 8 {
+		p := g.base + (rng.Uint64()%g.Spread)&^7
+		binary.LittleEndian.PutUint64(dst[off:], p)
+	}
+}
+
+// ZeroMix wraps another generator and replaces 4-byte elements with zeros
+// according to a two-state Markov chain, producing the interspersed
+// zero/non-zero transactions that motivate Zero Data Remapping (§IV-A,
+// Fig 14). ZeroFrac sets the stationary zero fraction; Burst sets the
+// expected zero-run length in elements.
+type ZeroMix struct {
+	Inner    Generator
+	ZeroFrac float64
+	Burst    float64
+
+	inZero bool
+}
+
+// Fill implements Generator.
+func (g *ZeroMix) Fill(dst []byte, rng *rand.Rand) {
+	g.Inner.Fill(dst, rng)
+	if g.ZeroFrac <= 0 {
+		return
+	}
+	burst := g.Burst
+	if burst < 1 {
+		burst = 1
+	}
+	// Markov transition probabilities for the desired stationary mix.
+	exitZero := 1 / burst
+	enterZero := exitZero * g.ZeroFrac / (1 - g.ZeroFrac)
+	for off := 0; off+4 <= len(dst); off += 4 {
+		if g.inZero {
+			if rng.Float64() < exitZero {
+				g.inZero = false
+			}
+		} else if rng.Float64() < enterZero {
+			g.inZero = true
+		}
+		if g.inZero {
+			dst[off], dst[off+1], dst[off+2], dst[off+3] = 0, 0, 0, 0
+		}
+	}
+}
+
+// ZeroPage emits entire zero transactions with probability ZeroTxnFrac,
+// modeling freshly allocated or cleared buffers.
+type ZeroPage struct {
+	Inner       Generator
+	ZeroTxnFrac float64
+}
+
+// Fill implements Generator.
+func (g *ZeroPage) Fill(dst []byte, rng *rand.Rand) {
+	if rng.Float64() < g.ZeroTxnFrac {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	g.Inner.Fill(dst, rng)
+}
+
+// RGBA models framebuffer scanlines: 8-bit channels changing by small
+// deltas per pixel, with a constant (usually opaque) alpha channel.
+type RGBA struct {
+	// MaxDelta bounds the per-pixel channel gradient.
+	MaxDelta int
+	// Alpha is the constant alpha value (0xff for opaque surfaces).
+	Alpha byte
+	// Jump is the probability per transaction of starting a new span.
+	Jump float64
+
+	r, g, b    int
+	dr, dg, db int
+	valid      bool
+}
+
+// Fill implements Generator.
+func (p *RGBA) Fill(dst []byte, rng *rand.Rand) {
+	if !p.valid || rng.Float64() < p.Jump {
+		p.r, p.g, p.b = rng.Intn(256), rng.Intn(256), rng.Intn(256)
+		p.dr = rng.Intn(2*p.MaxDelta+1) - p.MaxDelta
+		p.dg = rng.Intn(2*p.MaxDelta+1) - p.MaxDelta
+		p.db = rng.Intn(2*p.MaxDelta+1) - p.MaxDelta
+		p.valid = true
+	}
+	clamp := func(v int) (byte, int) {
+		if v < 0 {
+			return 0, 0
+		}
+		if v > 255 {
+			return 255, 255
+		}
+		return byte(v), v
+	}
+	for off := 0; off+4 <= len(dst); off += 4 {
+		dst[off], p.r = clamp(p.r + p.dr)
+		dst[off+1], p.g = clamp(p.g + p.dg)
+		dst[off+2], p.b = clamp(p.b + p.db)
+		dst[off+3] = p.Alpha
+	}
+}
+
+// Depth models a float32 depth buffer: values concentrated near 1.0 (far
+// plane) with tiny per-pixel variation, so the exponent and high mantissa
+// bytes repeat almost perfectly.
+type Depth struct {
+	// Near is the lower bound of the depth range, e.g. 0.9.
+	Near float64
+
+	val   float64
+	valid bool
+}
+
+// Fill implements Generator.
+func (g *Depth) Fill(dst []byte, rng *rand.Rand) {
+	if !g.valid {
+		g.val = g.Near + rng.Float64()*(1-g.Near)
+		g.valid = true
+	}
+	for off := 0; off+4 <= len(dst); off += 4 {
+		g.val += (rng.Float64() - 0.5) * 1e-4
+		if g.val >= 1 {
+			g.val = 1 - rng.Float64()*1e-4
+		}
+		if g.val < g.Near {
+			g.val = g.Near
+		}
+		binary.LittleEndian.PutUint32(dst[off:], math.Float32bits(float32(g.val)))
+	}
+}
+
+// Index16 models 16-bit index buffers: monotone ramps with small strides,
+// the case where a 2-byte base wins (Fig 11's left group).
+type Index16 struct {
+	// MaxStride bounds the index stride.
+	MaxStride int
+	// Jump re-bases with the given probability per transaction.
+	Jump float64
+
+	val    uint16
+	stride uint16
+	valid  bool
+}
+
+// Fill implements Generator.
+func (g *Index16) Fill(dst []byte, rng *rand.Rand) {
+	if !g.valid || rng.Float64() < g.Jump {
+		g.val = uint16(rng.Intn(1 << 14))
+		g.stride = uint16(1 + rng.Intn(g.MaxStride))
+		g.valid = true
+	}
+	for off := 0; off+2 <= len(dst); off += 2 {
+		binary.LittleEndian.PutUint16(dst[off:], g.val)
+		g.val += g.stride
+	}
+}
+
+// Vertex models an interleaved vertex buffer: position float3 per vertex
+// (12-byte period) whose coordinates walk smoothly. The non-power-of-two
+// period defeats any single base size, representing the paper's hard cases.
+type Vertex struct {
+	Walk float64
+
+	x, y, z float64
+	phase   int
+	valid   bool
+}
+
+// Fill implements Generator.
+func (g *Vertex) Fill(dst []byte, rng *rand.Rand) {
+	if !g.valid {
+		g.x, g.y, g.z = rng.Float64()*100, rng.Float64()*100, rng.Float64()*10
+		g.valid = true
+	}
+	for off := 0; off+4 <= len(dst); off += 4 {
+		var v *float64
+		switch g.phase {
+		case 0:
+			v = &g.x
+		case 1:
+			v = &g.y
+		default:
+			v = &g.z
+		}
+		*v += (rng.Float64()*2 - 1) * g.Walk
+		binary.LittleEndian.PutUint32(dst[off:], math.Float32bits(float32(*v)))
+		g.phase = (g.phase + 1) % 3
+	}
+}
+
+// TextureBC models block-compressed texture data: per 8-byte block, two
+// similar 16-bit endpoint colors followed by 4 bytes of per-texel selector
+// bits that are effectively random.
+type TextureBC struct {
+	color uint16
+	valid bool
+}
+
+// Fill implements Generator.
+func (g *TextureBC) Fill(dst []byte, rng *rand.Rand) {
+	if !g.valid {
+		g.color = uint16(rng.Intn(1 << 16))
+		g.valid = true
+	}
+	for off := 0; off+8 <= len(dst); off += 8 {
+		g.color += uint16(rng.Intn(0x200)) - 0x100
+		binary.LittleEndian.PutUint16(dst[off:], g.color)
+		binary.LittleEndian.PutUint16(dst[off+2:], g.color+uint16(rng.Intn(0x100)))
+		binary.LittleEndian.PutUint32(dst[off+4:], rng.Uint32())
+	}
+}
+
+// Random is the adversarial floor: uniform bytes with no structure.
+type Random struct{}
+
+// Fill implements Generator.
+func (Random) Fill(dst []byte, rng *rand.Rand) {
+	rng.Read(dst)
+}
+
+// AoS models array-of-structures records typical of scalar CPU code
+// (§VI-G): each record interleaves fields of different types, so adjacent
+// elements within a cache line are dissimilar and only field-to-field
+// (record-period) similarity remains.
+type AoS struct {
+	// RecordBytes is the record period; fields cycle within it.
+	RecordBytes int
+	// Similarity scales how slowly record fields drift.
+	Similarity float64
+
+	intVal uint32
+	ptrVal uint64
+	fltVal float64
+	valid  bool
+}
+
+// Fill implements Generator.
+func (g *AoS) Fill(dst []byte, rng *rand.Rand) {
+	if !g.valid {
+		g.intVal = rng.Uint32() & 0xffff
+		g.ptrVal = 0x0000_55aa_0000_0000 | uint64(rng.Uint32())
+		g.fltVal = math.Exp(rng.NormFloat64() * 2)
+		g.valid = true
+	}
+	rec := g.RecordBytes
+	for off := 0; off < len(dst); off += rec {
+		end := off + rec
+		if end > len(dst) {
+			end = len(dst)
+		}
+		chunk := dst[off:end]
+		// Records belong to different heap objects with probability
+		// 1−Similarity: their fields share no history with the previous
+		// record, which is what keeps CPU cache lines dissimilar inside
+		// (§VI-G).
+		if rng.Float64() > g.Similarity {
+			g.intVal = rng.Uint32()
+			g.ptrVal = g.ptrVal&^0xffffffff | uint64(rng.Uint32())
+			g.fltVal = math.Exp(rng.NormFloat64() * 2)
+		}
+		// Field 0: small int counter.
+		if len(chunk) >= 4 {
+			binary.LittleEndian.PutUint32(chunk, g.intVal)
+			g.intVal += uint32(1 + rng.Intn(3))
+		}
+		// Field 1: pointer.
+		if len(chunk) >= 12 {
+			g.ptrVal += uint64(rng.Intn(1<<20)) &^ 7
+			binary.LittleEndian.PutUint64(chunk[4:], g.ptrVal)
+		}
+		// Field 2: float.
+		if len(chunk) >= 20 {
+			g.fltVal *= 1 + (rng.Float64()*2-1)*(1-g.Similarity)*0.5
+			binary.LittleEndian.PutUint64(chunk[12:], math.Float64bits(g.fltVal))
+		}
+		// Remainder: text-ish bytes.
+		for i := 20; i < len(chunk); i++ {
+			chunk[i] = byte(0x20 + rng.Intn(95))
+		}
+	}
+}
+
+// Text models string/character data: printable ASCII with word structure.
+type Text struct{}
+
+// Fill implements Generator.
+func (Text) Fill(dst []byte, rng *rand.Rand) {
+	for i := range dst {
+		switch r := rng.Intn(20); {
+		case r < 12:
+			dst[i] = byte('a' + rng.Intn(26))
+		case r < 15:
+			dst[i] = byte('A' + rng.Intn(26))
+		case r < 17:
+			dst[i] = byte('0' + rng.Intn(10))
+		case r < 19:
+			dst[i] = ' '
+		default:
+			dst[i] = []byte{'.', ',', ';', '(', ')'}[rng.Intn(5)]
+		}
+	}
+}
+
+// Interleave models multiple concurrent access streams sharing one DRAM
+// channel: a GPU memory controller services requests from many SMs and
+// arrays, so consecutive transactions on the bus usually belong to
+// different, unrelated streams. Intra-transaction similarity is unaffected
+// — this only decorrelates the bus state between transactions, which is
+// what the baseline toggle rate of §VI-E depends on.
+type Interleave struct {
+	Streams []Generator
+}
+
+// Fill implements Generator.
+func (g *Interleave) Fill(dst []byte, rng *rand.Rand) {
+	g.Streams[rng.Intn(len(g.Streams))].Fill(dst, rng)
+}
+
+// Mixture interleaves several generators, switching between them with the
+// given weights at transaction granularity — modeling applications whose
+// kernels stream different data structures (§VI-B's "different data
+// structures with different sized elements").
+type Mixture struct {
+	Gens    []Generator
+	Weights []float64
+
+	current int
+	left    int
+}
+
+// Fill implements Generator.
+func (m *Mixture) Fill(dst []byte, rng *rand.Rand) {
+	if m.left == 0 {
+		total := 0.0
+		for _, w := range m.Weights {
+			total += w
+		}
+		x := rng.Float64() * total
+		for i, w := range m.Weights {
+			if x < w {
+				m.current = i
+				break
+			}
+			x -= w
+		}
+		m.left = 4 + rng.Intn(28) // dwell several transactions per structure
+	}
+	m.left--
+	m.Gens[m.current].Fill(dst, rng)
+}

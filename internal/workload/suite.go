@@ -1,0 +1,345 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Stream lengths. Long enough for stable statistics, short enough that the
+// full 215-application suite runs in seconds.
+const (
+	gpuTransactions = 2000
+	cpuTransactions = 2000
+)
+
+// paramRNG derives the deterministic parameter source for an application.
+func paramRNG(name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte("params:" + name))
+	return rand.New(rand.NewSource(int64(h.Sum64() & 0x7fffffffffffffff)))
+}
+
+// logUniform samples log-uniformly from [lo, hi].
+func logUniform(r *rand.Rand, lo, hi float64) float64 {
+	return math.Exp(math.Log(lo) + r.Float64()*(math.Log(hi)-math.Log(lo)))
+}
+
+// family identifies a generator family used to instantiate applications.
+type family int
+
+const (
+	famF32 family = iota
+	famF64
+	famF16
+	famInt32
+	famInt64
+	famPointer
+	famZeroMix
+	famZeroPage
+	famMixture
+	famRandom
+	famRGBA
+	famDepth
+	famVertex
+	famTexture
+	famIndex16
+	famGfxMix
+	famAoS
+	famText
+	famStream64
+)
+
+// newGenerator instantiates one application's generator from its family,
+// with parameters drawn from the application's deterministic source.
+func newGenerator(f family, r *rand.Rand) Generator {
+	switch f {
+	case famF32:
+		quant := 0
+		if r.Intn(3) == 0 { // a third of fp32 data is quantized/up-converted
+			quant = 8 + r.Intn(7)
+		}
+		return &FloatSoA{Bits: 32, Walk: logUniform(r, 0.002, 0.15),
+			Jump: 0.02 + r.Float64()*0.15, Negative: r.Float64() * 0.08,
+			QuantBits: quant}
+	case famF64:
+		return &FloatSoA{Bits: 64, Walk: logUniform(r, 0.002, 0.1),
+			Jump: 0.02 + r.Float64()*0.12, Negative: r.Float64() * 0.05}
+	case famF16:
+		return &FloatSoA{Bits: 16, Walk: logUniform(r, 0.0005, 0.03),
+			Jump: 0.02 + r.Float64()*0.1}
+	case famInt32:
+		return &IntStride{Bits: 32, MaxStride: 1 + r.Intn(8), Jump: 0.05 + r.Float64()*0.2}
+	case famInt64:
+		// 64-bit sizes/offsets/counters: small values in wide slots, the
+		// beat-alternating (dense word / zero word) pattern where encoding
+		// collapses toggles hardest.
+		return &IntStride{Bits: 64, MaxStride: 1 + r.Intn(256), Jump: 0.05 + r.Float64()*0.2}
+	case famPointer:
+		return &Pointer{Spread: 1 << (12 + uint(r.Intn(15)))}
+	case famZeroMix:
+		return &ZeroMix{
+			Inner:    newGenerator([]family{famF32, famInt32, famInt64}[r.Intn(3)], r),
+			ZeroFrac: 0.1 + r.Float64()*0.6,
+			Burst:    2 + r.Float64()*30,
+		}
+	case famZeroPage:
+		return &ZeroPage{
+			Inner:       newGenerator([]family{famF32, famInt32}[r.Intn(2)], r),
+			ZeroTxnFrac: 0.2 + r.Float64()*0.5,
+		}
+	case famMixture:
+		k := 2 + r.Intn(3)
+		m := &Mixture{}
+		pool := []family{famF32, famF64, famF16, famInt32, famInt64, famPointer, famZeroMix, famRandom}
+		for i := 0; i < k; i++ {
+			m.Gens = append(m.Gens, newGenerator(pool[r.Intn(len(pool))], r))
+			m.Weights = append(m.Weights, 0.2+r.Float64())
+		}
+		return m
+	case famRandom:
+		return Random{}
+	case famRGBA:
+		return &RGBA{MaxDelta: 1 + r.Intn(6), Alpha: []byte{0xff, 0xff, 0xff, 0x80}[r.Intn(4)],
+			Jump: 0.05 + r.Float64()*0.2}
+	case famDepth:
+		return &Depth{Near: 0.85 + r.Float64()*0.12}
+	case famVertex:
+		return &Vertex{Walk: logUniform(r, 0.01, 2)}
+	case famTexture:
+		return &TextureBC{}
+	case famIndex16:
+		return &Index16{MaxStride: 1 + r.Intn(4), Jump: 0.05 + r.Float64()*0.15}
+	case famGfxMix:
+		k := 2 + r.Intn(3)
+		m := &Mixture{}
+		pool := []family{famRGBA, famDepth, famVertex, famTexture, famIndex16, famF32}
+		for i := 0; i < k; i++ {
+			m.Gens = append(m.Gens, newGenerator(pool[r.Intn(len(pool))], r))
+			m.Weights = append(m.Weights, 0.2+r.Float64())
+		}
+		return m
+	case famAoS:
+		return &AoS{RecordBytes: []int{16, 24, 32, 48}[r.Intn(4)],
+			Similarity: 0.1 + r.Float64()*0.45}
+	case famText:
+		return Text{}
+	case famStream64:
+		return &FloatSoA{Bits: 64, Walk: logUniform(r, 0.01, 0.08), Jump: 0.05}
+	default:
+		panic("workload: unknown family")
+	}
+}
+
+// computeFamilies is the family mix of the 106 compute applications,
+// weighted to reproduce Fig 11's population: a small best-with-2B group
+// (fp16), a large best-with-4B group (fp32/int32), and a best-with-8B group
+// (fp64/pointers), plus zero-heavy and irregular applications.
+var computeFamilies = []struct {
+	f family
+	w int
+}{
+	{famF32, 21}, {famF64, 12}, {famF16, 12}, {famInt32, 10},
+	{famInt64, 10}, {famPointer, 10}, {famZeroMix, 15}, {famZeroPage, 4},
+	{famMixture, 7}, {famRandom, 5},
+}
+
+// graphicsFamilies is the family mix of the 81 graphics applications.
+var graphicsFamilies = []struct {
+	f family
+	w int
+}{
+	{famRGBA, 18}, {famDepth, 9}, {famVertex, 11}, {famTexture, 11},
+	{famIndex16, 7}, {famGfxMix, 17}, {famZeroMix, 5}, {famRandom, 3},
+}
+
+// cpuFamilies is the family mix of the 28 SPEC CPU2006 applications: mostly
+// low-similarity AoS/text/pointer data, with a streaming-fp minority
+// (lbm/milc/libquantum-like) that still benefits (§VI-G).
+var cpuFamilies = []struct {
+	f family
+	w int
+}{
+	{famAoS, 15}, {famText, 4}, {famPointer, 2}, {famStream64, 3},
+	{famInt32, 1}, {famZeroMix, 1}, {famRandom, 2},
+}
+
+// pickFamily assigns application i of a category its family, cycling
+// through the weighted mix deterministically.
+func pickFamily(mix []struct {
+	f family
+	w int
+}, i int) family {
+	total := 0
+	for _, m := range mix {
+		total += m.w
+	}
+	slot := i % total
+	for _, m := range mix {
+		if slot < m.w {
+			return m.f
+		}
+		slot -= m.w
+	}
+	panic("unreachable")
+}
+
+// Named benchmark applications of each suite; anonymous CN/CP numbers fill
+// the remainder exactly as the paper's figures do.
+var (
+	rodiniaNames = []string{
+		"b+tree", "backprop", "bfs", "cfd", "gaussian", "heartwall",
+		"hotspot", "hybridsort", "kmeans", "lavaMD", "leukocyte", "lud",
+		"mummergpu", "myocyte", "nn", "nw", "particlefilter", "pathfinder",
+		"srad", "streamcluster",
+	}
+	lonestarNames = []string{"bfs", "bh", "dmr", "mst", "pta", "sssp", "sp"}
+	exascaleNames = []string{"comd", "hpgmg", "lulesh", "mcb", "miniamr", "nekbone"}
+	specNames     = []string{
+		"perlbench", "bzip2", "gcc", "mcf", "gobmk", "hmmer", "sjeng",
+		"libquantum", "h264ref", "omnetpp", "astar", "xalancbmk", "bwaves",
+		"gamess", "milc", "zeusmp", "gromacs", "cactusADM", "leslie3d",
+		"namd", "dealII", "soplex", "povray", "calculix", "GemsFDTD",
+		"tonto", "lbm", "sphinx3",
+	}
+)
+
+// forcedFamilies pins named benchmarks whose dominant data type is public
+// knowledge to the matching family, so e.g. comd/nekbone (double-precision
+// molecular dynamics / spectral elements) land in the fp64 group.
+var forcedFamilies = map[string]family{
+	"rodinia-b+tree":   famInt32,
+	"rodinia-bfs":      famPointer,
+	"rodinia-backprop": famF32,
+	"rodinia-cfd":      famF32,
+	"rodinia-gaussian": famF64,
+	"rodinia-hotspot":  famF32,
+	"rodinia-kmeans":   famF32,
+	"rodinia-lavaMD":   famF64,
+	"rodinia-lud":      famF32,
+	"rodinia-nn":       famF32,
+	"rodinia-srad":     famF32,
+	"lonestar-bfs":     famPointer,
+	"lonestar-bh":      famF64,
+	"lonestar-mst":     famPointer,
+	"lonestar-pta":     famPointer,
+	"lonestar-sssp":    famInt32,
+	"exascale-comd":    famF64,
+	"exascale-hpgmg":   famF64,
+	"exascale-lulesh":  famF64,
+	"exascale-mcb":     famZeroMix,
+	"exascale-miniAMR": famF64,
+	"exascale-nekbone": famF64,
+	"spec-libquantum":  famStream64,
+	"spec-lbm":         famStream64,
+	"spec-milc":        famStream64,
+	"spec-bwaves":      famStream64,
+	"spec-GemsFDTD":    famStream64,
+	"spec-mcf":         famPointer,
+	"spec-xalancbmk":   famText,
+	"spec-perlbench":   famText,
+	"spec-gcc":         famAoS,
+	"spec-h264ref":     famAoS,
+}
+
+// buildApp constructs one application deterministically from its identity.
+func buildApp(name, suite string, cat Category, idx int, mix []struct {
+	f family
+	w int
+}) App {
+	r := paramRNG(name)
+	f, ok := forcedFamilies[name]
+	if !ok {
+		f = pickFamily(mix, idx)
+	}
+	txnBytes := 32
+	n := gpuTransactions
+	streams := 2 + r.Intn(7) // SM streams sharing the channel
+	if cat == CPU {
+		txnBytes = 64
+		n = cpuTransactions
+		streams = 1 + r.Intn(2) // a single core interleaves few streams
+	}
+	gen := make([]Generator, streams)
+	for i := range gen {
+		gen[i] = newGenerator(f, r)
+	}
+	return App{
+		Name:         name,
+		Suite:        suite,
+		Category:     cat,
+		TxnBytes:     txnBytes,
+		Transactions: n,
+		Gen:          &Interleave{Streams: gen},
+	}
+}
+
+// GPUSuite returns the 187 GPU applications (106 compute, 81 graphics) of
+// the paper's evaluation, in a stable order.
+func GPUSuite() []App {
+	var apps []App
+	idx := 0
+	add := func(name, suite string, cat Category) {
+		mix := computeFamilies
+		if cat == Graphics {
+			mix = graphicsFamilies
+		}
+		apps = append(apps, buildApp(name, suite, cat, idx, mix))
+		idx++
+	}
+	for _, n := range rodiniaNames {
+		add("rodinia-"+n, "Rodinia", Compute)
+	}
+	for _, n := range lonestarNames {
+		add("lonestar-"+n, "Lonestar", Compute)
+	}
+	for _, n := range exascaleNames {
+		add("exascale-"+n, "Exascale", Compute)
+	}
+	for i := len(rodiniaNames) + len(lonestarNames) + len(exascaleNames); i < 106; i++ {
+		add(fmt.Sprintf("CN%05d", i), "CUDA", Compute)
+	}
+	idx = 0 // graphics families cycle independently
+	for i := 0; i < 40; i++ {
+		add(fmt.Sprintf("gfx-%03d", i), "DirectX", Graphics)
+	}
+	for i := 0; i < 21; i++ {
+		add(fmt.Sprintf("bench3d-%02d", i), "3D benchmark", Graphics)
+	}
+	for i := 0; i < 20; i++ {
+		add(fmt.Sprintf("CP%05d", i), "Workstation", Graphics)
+	}
+	return apps
+}
+
+// CPUSuite returns the 28 SPEC CPU2006-style applications of Fig 18.
+func CPUSuite() []App {
+	apps := make([]App, 0, len(specNames))
+	for i, n := range specNames {
+		apps = append(apps, buildApp("spec-"+n, "SPEC CPU2006", CPU, i, cpuFamilies))
+	}
+	return apps
+}
+
+// ByName returns the suite application with the given name, searching both
+// suites.
+func ByName(name string) (App, bool) {
+	for _, a := range append(GPUSuite(), CPUSuite()...) {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return App{}, false
+}
+
+// Names returns the sorted names of all applications in both suites.
+func Names() []string {
+	var out []string
+	for _, a := range append(GPUSuite(), CPUSuite()...) {
+		out = append(out, a.Name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,251 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/bus"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// TestSuiteSizes pins the paper's application counts: 106 compute + 81
+// graphics = 187 GPU applications, and 28 CPU applications.
+func TestSuiteSizes(t *testing.T) {
+	gpu := GPUSuite()
+	if len(gpu) != 187 {
+		t.Fatalf("GPU suite has %d applications, want 187", len(gpu))
+	}
+	var compute, graphics int
+	for _, a := range gpu {
+		switch a.Category {
+		case Compute:
+			compute++
+		case Graphics:
+			graphics++
+		default:
+			t.Errorf("%s: unexpected category %v", a.Name, a.Category)
+		}
+		if a.TxnBytes != 32 {
+			t.Errorf("%s: GPU transaction size %d, want 32", a.Name, a.TxnBytes)
+		}
+	}
+	if compute != 106 || graphics != 81 {
+		t.Fatalf("compute/graphics = %d/%d, want 106/81", compute, graphics)
+	}
+	cpu := CPUSuite()
+	if len(cpu) != 28 {
+		t.Fatalf("CPU suite has %d applications, want 28", len(cpu))
+	}
+	for _, a := range cpu {
+		if a.TxnBytes != 64 || a.Category != CPU {
+			t.Errorf("%s: bad CPU app shape %+v", a.Name, a)
+		}
+	}
+}
+
+// TestDeterminism verifies the suite is reproducible: two independent
+// constructions generate identical payloads (DESIGN.md §6 invariant 7).
+func TestDeterminism(t *testing.T) {
+	a1, ok := ByName("rodinia-hotspot")
+	if !ok {
+		t.Fatal("rodinia-hotspot missing")
+	}
+	a2, _ := ByName("rodinia-hotspot")
+	p1, p2 := a1.Payloads(), a2.Payloads()
+	if len(p1) != len(p2) {
+		t.Fatal("stream lengths differ")
+	}
+	for i := range p1 {
+		if !bytes.Equal(p1[i], p2[i]) {
+			t.Fatalf("payload %d differs between constructions", i)
+		}
+	}
+}
+
+// TestUniqueNames guards against app-name collisions across both suites.
+func TestUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range Names() {
+		if seen[n] {
+			t.Fatalf("duplicate application name %q", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) != 187+28 {
+		t.Fatalf("%d unique names, want 215", len(seen))
+	}
+}
+
+// TestFamilyCharacteristics verifies each generator family produces the
+// data-value structure it models, via the encoder that should exploit it.
+func TestFamilyCharacteristics(t *testing.T) {
+	eval := func(g Generator, c core.Codec) float64 {
+		rng := rand.New(rand.NewSource(99))
+		payloads := make([][]byte, 400)
+		for i := range payloads {
+			p := make([]byte, 32)
+			g.Fill(p, rng)
+			payloads[i] = p
+		}
+		base, err := bus.EvaluateTrace(core.Identity{}, payloads, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := bus.EvaluateTrace(c, payloads, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(s.Ones()) / float64(base.Ones())
+	}
+
+	// fp16 arrays favor a 2-byte base.
+	f16 := &FloatSoA{Bits: 16, Walk: 0.001, Jump: 0.05}
+	if r := eval(f16, core.NewBaseXOR(2)); r > 0.6 {
+		t.Errorf("fp16 with 2B base: ratio %.2f, want strong reduction", r)
+	}
+	// fp64 arrays favor an 8-byte base and suffer under a 2-byte base.
+	f64a := &FloatSoA{Bits: 64, Walk: 0.005, Jump: 0.05}
+	r8 := eval(&FloatSoA{Bits: 64, Walk: 0.005, Jump: 0.05}, core.NewBaseXOR(8))
+	r2 := eval(f64a, core.NewBaseXOR(2))
+	if r8 >= 1 || r2 <= r8 {
+		t.Errorf("fp64: 8B ratio %.2f should beat 2B ratio %.2f", r8, r2)
+	}
+	// Uniform random data sees no benefit from any base.
+	if r := eval(Random{}, core.NewUniversal(3)); r < 0.95 {
+		t.Errorf("random data: ratio %.2f, encoding should not help", r)
+	}
+	// Depth buffers are extremely similar.
+	if r := eval(&Depth{Near: 0.9}, core.NewBaseXOR(4)); r > 0.5 {
+		t.Errorf("depth buffer: ratio %.2f, want strong reduction", r)
+	}
+}
+
+// TestZeroMixStationary checks the zero-element fraction lands near the
+// configured value and produces mixed transactions.
+func TestZeroMixStationary(t *testing.T) {
+	g := &ZeroMix{Inner: &FloatSoA{Bits: 32, Walk: 0.01}, ZeroFrac: 0.4, Burst: 3}
+	rng := rand.New(rand.NewSource(4))
+	zero, total, mixed := 0, 0, 0
+	for i := 0; i < 2000; i++ {
+		p := make([]byte, 32)
+		g.Fill(p, rng)
+		hasZero, hasData := false, false
+		for off := 0; off < 32; off += 4 {
+			if p[off]|p[off+1]|p[off+2]|p[off+3] == 0 {
+				zero++
+				hasZero = true
+			} else {
+				hasData = true
+			}
+			total++
+		}
+		if hasZero && hasData {
+			mixed++
+		}
+	}
+	frac := float64(zero) / float64(total)
+	if math.Abs(frac-0.4) > 0.08 {
+		t.Errorf("zero-element fraction %.2f, want ≈0.40", frac)
+	}
+	if mixed < 400 {
+		t.Errorf("only %d mixed transactions of 2000; ZeroMix must intersperse", mixed)
+	}
+}
+
+// TestF16Conversion sanity-checks the half-precision encoder.
+func TestF16Conversion(t *testing.T) {
+	cases := []struct {
+		in   float32
+		want uint16
+	}{
+		{0, 0x0000},
+		{1.0, 0x3c00},
+		{2.0, 0x4000},
+		{-1.0, 0xbc00},
+		{65504, 0x7bff},  // max finite half
+		{1e30, 0x7bff},   // clamps
+		{1e-30, 0x0000},  // flushes
+		{-1e-30, 0x8000}, // signed flush
+	}
+	for _, c := range cases {
+		if got := f32ToF16(c.in); got != c.want {
+			t.Errorf("f32ToF16(%g) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPointerStructure verifies pointers share their top bytes.
+func TestPointerStructure(t *testing.T) {
+	g := &Pointer{Spread: 1 << 16}
+	rng := rand.New(rand.NewSource(8))
+	p := make([]byte, 32)
+	g.Fill(p, rng)
+	for off := 8; off < 32; off += 8 {
+		a := binary.LittleEndian.Uint64(p[:8])
+		b := binary.LittleEndian.Uint64(p[off:])
+		if a>>24 != b>>24 {
+			t.Errorf("pointers diverge above the spread: %#x vs %#x", a, b)
+		}
+	}
+}
+
+// TestInterleaveIndependence verifies interleaving preserves per-stream
+// similarity (each underlying stream keeps its own walk state).
+func TestInterleaveIndependence(t *testing.T) {
+	mk := func() Generator { return &FloatSoA{Bits: 32, Walk: 0.001, Jump: 0} }
+	g := &Interleave{Streams: []Generator{mk(), mk(), mk(), mk()}}
+	rng := rand.New(rand.NewSource(10))
+	payloads := make([][]byte, 500)
+	for i := range payloads {
+		p := make([]byte, 32)
+		g.Fill(p, rng)
+		payloads[i] = p
+	}
+	base, _ := bus.EvaluateTrace(core.Identity{}, payloads, 32)
+	enc, _ := bus.EvaluateTrace(core.NewBaseXOR(4), payloads, 32)
+	if r := float64(enc.Ones()) / float64(base.Ones()); r > 0.6 {
+		t.Errorf("interleaved fp32 ratio %.2f; interleaving must not destroy intra-txn similarity", r)
+	}
+}
+
+// TestTraceAddresses checks that Trace produces aligned, advancing
+// addresses and a read/write mix.
+func TestTraceAddresses(t *testing.T) {
+	a, _ := ByName("exascale-comd")
+	txns := a.Trace()
+	if len(txns) != a.Transactions {
+		t.Fatalf("trace has %d txns, want %d", len(txns), a.Transactions)
+	}
+	var writes int
+	for i, txn := range txns {
+		if txn.Addr%uint64(a.TxnBytes) != 0 {
+			t.Fatalf("txn %d address %#x not %d-byte aligned", i, txn.Addr, a.TxnBytes)
+		}
+		if txn.Kind == 1 {
+			writes++
+		}
+	}
+	if writes == 0 || writes == len(txns) {
+		t.Errorf("write count %d of %d; want a mix", writes, len(txns))
+	}
+}
+
+// TestEverySuiteAppGenerates exercises every application's generator (and
+// thus every family path) and checks basic stream sanity: right shape,
+// not all-zero, not all-ones.
+func TestEverySuiteAppGenerates(t *testing.T) {
+	for _, a := range append(GPUSuite(), CPUSuite()...) {
+		payloads := a.Payloads()
+		if len(payloads) != a.Transactions {
+			t.Fatalf("%s: %d payloads, want %d", a.Name, len(payloads), a.Transactions)
+		}
+		s := trace.Measure(payloads)
+		if s.OnesDensity() <= 0.001 || s.OnesDensity() >= 0.999 {
+			t.Errorf("%s: degenerate ones density %.3f", a.Name, s.OnesDensity())
+		}
+	}
+}
