@@ -1,0 +1,97 @@
+// Command bxtd is the Base+XOR transcoding gateway: a TCP daemon that
+// encodes transaction batches with any registry scheme and reports
+// wire-level activity and energy accounting per batch, with Prometheus
+// metrics and health on a second port.
+//
+// Usage:
+//
+//	bxtd                                   # defaults: :9650 serving, :9651 metrics
+//	bxtd -listen :7000 -metrics :7001 -workers 16
+//	bxtd -schemes                          # list servable scheme names
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
+// /healthz flips to 503 draining, in-flight batches complete, then it
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/scheme"
+	"github.com/hpca18/bxt/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bxtd: ")
+
+	def := config.DefaultServer()
+	listen := flag.String("listen", def.ListenAddr, "transcoding listen address")
+	metrics := flag.String("metrics", def.MetricsAddr, "metrics/health listen address")
+	workers := flag.Int("workers", def.Workers, "concurrent batch encodes server-wide")
+	maxConns := flag.Int("max-conns", def.MaxConns, "connection limit")
+	batchLimit := flag.Int("batch-limit", def.BatchLimit, "max transactions per batch")
+	readTimeout := flag.Duration("read-timeout", def.ReadTimeout, "per-frame read deadline")
+	writeTimeout := flag.Duration("write-timeout", def.WriteTimeout, "per-frame write deadline")
+	drainTimeout := flag.Duration("drain-timeout", def.DrainTimeout, "shutdown drain budget")
+	defScheme := flag.String("scheme", def.DefaultScheme, `scheme served when clients ask for "default"`)
+	baseSize := flag.Int("base", def.BaseSize, "element size in bytes for Base+XOR family schemes")
+	stages := flag.Int("stages", def.Stages, "halving stages for the universal scheme")
+	width := flag.Int("width", def.ChannelWidthBits, "channel width in bits")
+	listSchemes := flag.Bool("schemes", false, "list servable scheme names")
+	flag.Parse()
+
+	if *listSchemes {
+		for _, n := range scheme.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := config.Server{
+		ListenAddr:       *listen,
+		MetricsAddr:      *metrics,
+		Workers:          *workers,
+		MaxConns:         *maxConns,
+		BatchLimit:       *batchLimit,
+		ReadTimeout:      *readTimeout,
+		WriteTimeout:     *writeTimeout,
+		DrainTimeout:     *drainTimeout,
+		DefaultScheme:    *defScheme,
+		BaseSize:         *baseSize,
+		Stages:           *stages,
+		ChannelWidthBits: *width,
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving on %s (metrics on %s), default scheme %s",
+		srv.Addr(), srv.MetricsAddr(), cfg.DefaultScheme)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("received %s, draining (budget %s)", got, cfg.DrainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("drain incomplete after %s: %v", time.Since(start).Round(time.Millisecond), err)
+	} else {
+		log.Printf("drained in %s", time.Since(start).Round(time.Millisecond))
+	}
+	srv.Close()
+}

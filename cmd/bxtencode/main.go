@@ -13,31 +13,16 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"sort"
 
 	"github.com/hpca18/bxt"
+	"github.com/hpca18/bxt/internal/scheme"
 	"github.com/hpca18/bxt/internal/trace"
 )
-
-// schemes maps CLI names to codec factories.
-var schemes = map[string]func() bxt.Codec{
-	"baseline":       func() bxt.Codec { return bxt.Identity{} },
-	"2b":             func() bxt.Codec { return bxt.NewBaseXOR(2) },
-	"4b":             func() bxt.Codec { return bxt.NewBaseXOR(4) },
-	"8b":             func() bxt.Codec { return bxt.NewBaseXOR(8) },
-	"silent":         func() bxt.Codec { return bxt.NewSILENT(4) },
-	"universal":      func() bxt.Codec { return bxt.NewUniversal(3) },
-	"dbi1":           func() bxt.Codec { return bxt.NewDBI(1) },
-	"dbi2":           func() bxt.Codec { return bxt.NewDBI(2) },
-	"dbi4":           func() bxt.Codec { return bxt.NewDBI(4) },
-	"bd":             func() bxt.Codec { return bxt.NewBDEncoding() },
-	"universal+dbi1": func() bxt.Codec { return bxt.NewChain(bxt.NewUniversal(3), bxt.NewDBI(1)) },
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("bxtencode: ")
-	scheme := flag.String("scheme", "universal", "encoding scheme")
+	schemeName := flag.String("scheme", "universal", "encoding scheme")
 	listSchemes := flag.Bool("schemes", false, "list scheme names")
 	util := flag.Float64("util", 0.7, "bus bandwidth utilization")
 	width := flag.Int("width", 32, "bus width in bits")
@@ -45,12 +30,7 @@ func main() {
 	flag.Parse()
 
 	if *listSchemes {
-		var names []string
-		for n := range schemes {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
+		for _, n := range scheme.Names() {
 			fmt.Println(n)
 		}
 		return
@@ -58,9 +38,12 @@ func main() {
 	if flag.NArg() != 1 {
 		log.Fatal("expected one trace file argument")
 	}
-	mk, ok := schemes[*scheme]
-	if !ok {
-		log.Fatalf("unknown scheme %q (try -schemes)", *scheme)
+	mk := func() bxt.Codec {
+		c, err := scheme.New(*schemeName)
+		if err != nil {
+			log.Fatalf("%v (try -schemes)", err)
+		}
+		return c
 	}
 
 	f, err := os.Open(flag.Arg(0))

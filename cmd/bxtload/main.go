@@ -1,0 +1,186 @@
+// Command bxtload is a closed-loop load generator for bxtd: it opens a
+// configurable number of concurrent sessions, streams workload-model
+// transaction batches as fast as the gateway answers, and reports
+// throughput, batch latency percentiles, and the encoding savings the
+// gateway measured.
+//
+// Usage:
+//
+//	bxtload -addr 127.0.0.1:9650 -scheme universal -conns 8 -txns 100000
+//	bxtload -workload rodinia-hotspot -scheme bdenc
+//	bxtload -workloads                 # list workload names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/hpca18/bxt/internal/client"
+	"github.com/hpca18/bxt/internal/stats"
+	"github.com/hpca18/bxt/internal/trace"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+// connResult is one session's closed-loop tally.
+type connResult struct {
+	latencies stats.Recorder
+	stats     trace.BatchStats
+	err       error
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bxtload: ")
+
+	addr := flag.String("addr", "127.0.0.1:9650", "gateway address")
+	schemeName := flag.String("scheme", "universal", "scheme to request")
+	conns := flag.Int("conns", 8, "concurrent connections")
+	batch := flag.Int("batch", 256, "transactions per batch")
+	total := flag.Int("txns", 100000, "transactions per connection")
+	txnSize := flag.Int("txn-size", 32, "transaction size in bytes")
+	workloadName := flag.String("workload", "", "workload app to replay (default: mixed GPU suite)")
+	listWorkloads := flag.Bool("workloads", false, "list workload names")
+	flag.Parse()
+
+	if *listWorkloads {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *conns <= 0 || *batch <= 0 || *total <= 0 {
+		log.Fatal("conns, batch and txns must be positive")
+	}
+
+	apps := pickApps(*workloadName, *txnSize)
+	if len(apps) == 0 {
+		log.Fatalf("no %d-byte workloads match %q", *txnSize, *workloadName)
+	}
+
+	results := make([]connResult, *conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			app := apps[i%len(apps)]
+			results[i] = drive(*addr, *schemeName, app, *total, *batch, *txnSize, int64(i))
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var lat stats.Recorder
+	var sum trace.BatchStats
+	failed := 0
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			failed++
+			log.Printf("connection %d: %v", i, r.err)
+			continue
+		}
+		lat.Merge(&r.latencies)
+		sum.Add(r.stats)
+	}
+	if failed == *conns {
+		log.Fatal("every connection failed")
+	}
+
+	txns := int(sum.Transactions)
+	fmt.Printf("scheme:       %s, %d connections x %d-txn batches, %d-byte transactions\n",
+		*schemeName, *conns-failed, *batch, *txnSize)
+	fmt.Printf("transactions: %d in %s (%.0f txn/s, %.1f MB/s)\n",
+		txns, elapsed.Round(time.Millisecond),
+		float64(txns)/elapsed.Seconds(),
+		float64(txns**txnSize)/elapsed.Seconds()/1e6)
+	fmt.Printf("batch latency: p50 %s  p95 %s  p99 %s  mean %s (%d batches)\n",
+		durMs(lat.Percentile(0.50)), durMs(lat.Percentile(0.95)),
+		durMs(lat.Percentile(0.99)), durMs(lat.Mean()), lat.Count())
+	if sum.OnesBefore > 0 {
+		fmt.Printf("1 values:     %d -> %d (%.1f%%)\n", sum.OnesBefore, sum.OnesAfter,
+			100*float64(sum.OnesAfter)/float64(sum.OnesBefore))
+	}
+	if sum.BaselinePJ > 0 {
+		fmt.Printf("energy:       %.3g -> %.3g uJ (%.1f%% saved)\n",
+			sum.BaselinePJ/1e6, sum.EncodedPJ/1e6,
+			100*sum.EnergySavedPJ()/sum.BaselinePJ)
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d connections failed", failed, *conns)
+	}
+}
+
+// pickApps resolves the workload flag: one named app, or every app in the
+// GPU suite matching the transaction size.
+func pickApps(name string, txnSize int) []workload.App {
+	if name != "" {
+		app, ok := workload.ByName(name)
+		if !ok {
+			log.Fatalf("unknown workload %q (try -workloads)", name)
+		}
+		if app.TxnBytes != txnSize {
+			log.Fatalf("workload %s has %d-byte transactions, not %d", name, app.TxnBytes, txnSize)
+		}
+		return []workload.App{app}
+	}
+	var apps []workload.App
+	for _, app := range workload.GPUSuite() {
+		if app.TxnBytes == txnSize {
+			apps = append(apps, app)
+		}
+	}
+	return apps
+}
+
+// drive runs one closed-loop session: it replays the app's trace (cycling
+// as needed) in fixed batches, timing each round trip.
+func drive(addr, schemeName string, app workload.App, total, batchSize, txnSize int, seed int64) connResult {
+	var res connResult
+	c, err := client.Dial(addr, schemeName, txnSize)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer c.Close()
+	if lim := c.BatchLimit(); batchSize > lim {
+		res.err = fmt.Errorf("batch %d exceeds server limit %d", batchSize, lim)
+		return res
+	}
+
+	src := app.Trace()
+	rng := rand.New(rand.NewSource(seed))
+	pos := rng.Intn(len(src)) // desynchronize connections replaying one app
+	batch := make([]trace.Transaction, 0, batchSize)
+	for sent := 0; sent < total; {
+		n := batchSize
+		if total-sent < n {
+			n = total - sent
+		}
+		batch = batch[:0]
+		for len(batch) < n {
+			batch = append(batch, src[pos])
+			pos = (pos + 1) % len(src)
+		}
+		t0 := time.Now()
+		reply, err := c.Transcode(batch)
+		if err != nil {
+			res.err = fmt.Errorf("after %d transactions: %w", sent, err)
+			return res
+		}
+		res.latencies.Add(float64(time.Since(t0)))
+		res.stats.Add(reply.Stats)
+		sent += n
+	}
+	return res
+}
+
+// durMs renders a float64 nanosecond duration.
+func durMs(ns float64) time.Duration {
+	return time.Duration(ns).Round(10 * time.Microsecond)
+}

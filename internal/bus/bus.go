@@ -40,6 +40,21 @@ func (s Stats) Ones() int { return s.DataOnes + s.MetaOnes }
 // Toggles returns total wire transitions including metadata wires.
 func (s Stats) Toggles() int { return s.DataToggles + s.MetaToggles }
 
+// Sub returns the activity in s that is not in o: the per-batch delta
+// between two snapshots of one accumulating bus.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Transactions: s.Transactions - o.Transactions,
+		Beats:        s.Beats - o.Beats,
+		DataOnes:     s.DataOnes - o.DataOnes,
+		DataToggles:  s.DataToggles - o.DataToggles,
+		MetaOnes:     s.MetaOnes - o.MetaOnes,
+		MetaToggles:  s.MetaToggles - o.MetaToggles,
+		DataBits:     s.DataBits - o.DataBits,
+		MetaBits:     s.MetaBits - o.MetaBits,
+	}
+}
+
 // Add accumulates o into s.
 func (s *Stats) Add(o Stats) {
 	s.Transactions += o.Transactions

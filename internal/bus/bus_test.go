@@ -135,3 +135,19 @@ func TestStatsAdd(t *testing.T) {
 		t.Errorf("Add result wrong: %+v", a)
 	}
 }
+
+// TestStatsSub checks snapshot deltas used by the serving gateway's
+// per-batch accounting.
+func TestStatsSub(t *testing.T) {
+	prev := Stats{Transactions: 1, Beats: 8, DataOnes: 10, DataToggles: 3, MetaOnes: 2, MetaToggles: 1, DataBits: 256, MetaBits: 8}
+	cur := prev
+	cur.Add(Stats{Transactions: 3, Beats: 24, DataOnes: 7, DataToggles: 5, MetaOnes: 1, MetaToggles: 4, DataBits: 768, MetaBits: 24})
+	d := cur.Sub(prev)
+	if d.Transactions != 3 || d.Beats != 24 || d.DataOnes != 7 || d.DataToggles != 5 ||
+		d.MetaOnes != 1 || d.MetaToggles != 4 || d.DataBits != 768 || d.MetaBits != 24 {
+		t.Errorf("Sub result wrong: %+v", d)
+	}
+	if z := cur.Sub(cur); z != (Stats{}) {
+		t.Errorf("self-subtraction not zero: %+v", z)
+	}
+}

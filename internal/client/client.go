@@ -1,0 +1,178 @@
+// Package client is the Go client for bxtd, the Base+XOR transcoding
+// gateway: it opens a session for one scheme and transaction size, streams
+// transaction batches, and returns the gateway's encoded records and
+// per-batch activity/energy accounting.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// ErrServer wraps error messages returned by the gateway.
+var ErrServer = errors.New("client: server error")
+
+// Config tunes a client connection. The zero value selects the defaults.
+type Config struct {
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each frame read or write (default 30s).
+	IOTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.IOTimeout <= 0 {
+		c.IOTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Client is one bxtd session. It is not safe for concurrent use; open one
+// client per goroutine.
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	cfg  Config
+
+	scheme     string
+	txnSize    int
+	metaBits   int
+	metaBytes  int
+	batchLimit int
+	fbuf       []byte
+}
+
+// Dial connects to a gateway and opens a session running the named scheme
+// over txnSize-byte transactions, with default timeouts.
+func Dial(addr, scheme string, txnSize int) (*Client, error) {
+	return DialConfig(addr, scheme, txnSize, Config{})
+}
+
+// DialConfig is Dial with explicit timeouts.
+func DialConfig(addr, scheme string, txnSize int, cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, 64<<10),
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		cfg:     cfg,
+		scheme:  scheme,
+		txnSize: txnSize,
+	}
+	if err := c.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) handshake() error {
+	body, err := trace.MarshalHello(trace.Hello{
+		Version: trace.ProtocolVersion,
+		TxnSize: c.txnSize,
+		Scheme:  c.scheme,
+	})
+	if err != nil {
+		return err
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.IOTimeout))
+	if err := trace.WriteFrame(c.bw, trace.FrameHello, body); err != nil {
+		return fmt.Errorf("client: sending hello: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("client: sending hello: %w", err)
+	}
+	ft, rbody, err := c.readFrame()
+	if err != nil {
+		return fmt.Errorf("client: reading hello-ok: %w", err)
+	}
+	switch ft {
+	case trace.FrameHelloOK:
+		ok, err := trace.ParseHelloOK(rbody)
+		if err != nil {
+			return err
+		}
+		c.metaBits = ok.MetaBits
+		c.metaBytes = (ok.MetaBits + 7) / 8
+		c.batchLimit = ok.BatchLimit
+		return nil
+	case trace.FrameError:
+		return fmt.Errorf("%w: %s", ErrServer, rbody)
+	default:
+		return fmt.Errorf("%w: unexpected frame type %#x in handshake", trace.ErrBadFrame, ft)
+	}
+}
+
+func (c *Client) readFrame() (trace.FrameType, []byte, error) {
+	c.conn.SetReadDeadline(time.Now().Add(c.cfg.IOTimeout))
+	ft, body, err := trace.ReadFrame(c.br, c.fbuf)
+	if cap(body)+1 > cap(c.fbuf) {
+		// Keep the grown buffer (body aliases its tail) for reuse.
+		c.fbuf = make([]byte, cap(body)+1)
+	}
+	return ft, body, err
+}
+
+// Scheme returns the session's scheme name.
+func (c *Client) Scheme() string { return c.scheme }
+
+// TxnSize returns the session's transaction size in bytes.
+func (c *Client) TxnSize() int { return c.txnSize }
+
+// MetaBits returns the scheme's side-band width per transaction as
+// negotiated in the handshake.
+func (c *Client) MetaBits() int { return c.metaBits }
+
+// BatchLimit returns the server's maximum batch size.
+func (c *Client) BatchLimit() int { return c.batchLimit }
+
+// Transcode sends one batch and waits for its reply. Every transaction
+// must carry TxnSize bytes and len(txns) must not exceed BatchLimit. The
+// returned reply's record slices are only valid until the next call.
+func (c *Client) Transcode(txns []trace.Transaction) (trace.BatchReply, error) {
+	if len(txns) == 0 {
+		return trace.BatchReply{}, fmt.Errorf("%w: empty batch", trace.ErrBadFrame)
+	}
+	if c.batchLimit > 0 && len(txns) > c.batchLimit {
+		return trace.BatchReply{}, fmt.Errorf("%w: batch of %d exceeds server limit %d", trace.ErrBadFrame, len(txns), c.batchLimit)
+	}
+	body, err := trace.MarshalBatch(txns, c.txnSize)
+	if err != nil {
+		return trace.BatchReply{}, err
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.IOTimeout))
+	if err := trace.WriteFrame(c.bw, trace.FrameBatch, body); err != nil {
+		return trace.BatchReply{}, fmt.Errorf("client: sending batch: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return trace.BatchReply{}, fmt.Errorf("client: sending batch: %w", err)
+	}
+	ft, rbody, err := c.readFrame()
+	if err != nil {
+		return trace.BatchReply{}, fmt.Errorf("client: reading reply: %w", err)
+	}
+	switch ft {
+	case trace.FrameBatchReply:
+		return trace.ParseBatchReply(rbody, c.txnSize, c.metaBytes)
+	case trace.FrameError:
+		return trace.BatchReply{}, fmt.Errorf("%w: %s", ErrServer, rbody)
+	default:
+		return trace.BatchReply{}, fmt.Errorf("%w: unexpected frame type %#x", trace.ErrBadFrame, ft)
+	}
+}
+
+// Close tears the session down.
+func (c *Client) Close() error { return c.conn.Close() }

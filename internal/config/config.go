@@ -1,9 +1,17 @@
 // Package config holds the evaluated system configuration of Table I: an
 // NVIDIA Titan X (Pascal) class GPU with a 384-bit, 12 GB GDDR5X memory
-// system, plus the DDR4-based CPU system of §VI-G. Every experiment and
-// substrate reads its parameters from here so the whole repository agrees
-// on one system description.
+// system, plus the DDR4-based CPU system of §VI-G, and the serving
+// parameters of the bxtd encoding gateway. Every experiment and substrate
+// reads its parameters from here so the whole repository agrees on one
+// system description.
 package config
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/hpca18/bxt/internal/scheme"
+)
 
 // GPU describes the GPU system under evaluation (Table I).
 type GPU struct {
@@ -81,4 +89,101 @@ func SPECSystem() CPU {
 		BusWidthBits:        64,
 		DataRateGbps:        3.2,
 	}
+}
+
+// Server configures the bxtd encoding gateway: the TCP transcoding listener,
+// the metrics/health endpoint, the worker pool bounding concurrent batch
+// encodes, per-connection limits, and the codec constructor parameters used
+// when a session names a parameterized scheme family.
+type Server struct {
+	// ListenAddr is the transcoding listener's TCP address.
+	ListenAddr string
+	// MetricsAddr is the HTTP /metrics + /healthz listener's address.
+	MetricsAddr string
+	// Workers bounds how many batches encode concurrently across all
+	// connections.
+	Workers int
+	// MaxConns caps simultaneous client sessions; connections beyond the
+	// cap are refused with a protocol error.
+	MaxConns int
+	// BatchLimit is the maximum transaction count accepted per batch
+	// frame, advertised to clients in the handshake.
+	BatchLimit int
+	// ReadTimeout bounds the wait for one frame from an idle client;
+	// WriteTimeout bounds one reply write to a slow client. Either
+	// expiring tears the session down so it cannot stall the pool.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: sessions still open after it
+	// are force-closed.
+	DrainTimeout time.Duration
+	// DefaultScheme is the codec used when a client's Hello names the
+	// empty scheme.
+	DefaultScheme string
+	// BaseSize and Stages parameterize the Base+XOR scheme families (see
+	// scheme.Options).
+	BaseSize int
+	Stages   int
+	// ChannelWidthBits is the modeled bus width for per-session wire
+	// activity accounting.
+	ChannelWidthBits int
+}
+
+// DefaultServer returns the gateway's default configuration: the paper's
+// codec parameters on the Table I channel, 8 workers, 256 connections.
+func DefaultServer() Server {
+	return Server{
+		ListenAddr:       "127.0.0.1:9650",
+		MetricsAddr:      "127.0.0.1:9651",
+		Workers:          8,
+		MaxConns:         256,
+		BatchLimit:       4096,
+		ReadTimeout:      30 * time.Second,
+		WriteTimeout:     30 * time.Second,
+		DrainTimeout:     10 * time.Second,
+		DefaultScheme:    "universal",
+		BaseSize:         4,
+		Stages:           3,
+		ChannelWidthBits: TitanX().ChannelWidthBits,
+	}
+}
+
+// SchemeOptions returns the codec constructor parameters of s.
+func (s Server) SchemeOptions() scheme.Options {
+	return scheme.Options{BaseSize: s.BaseSize, Stages: s.Stages}
+}
+
+// Validate reports the first configuration error, or nil.
+func (s Server) Validate() error {
+	if s.ListenAddr == "" {
+		return fmt.Errorf("config: empty listen address")
+	}
+	if s.MetricsAddr == "" {
+		return fmt.Errorf("config: empty metrics address")
+	}
+	if s.Workers <= 0 {
+		return fmt.Errorf("config: worker count %d is not positive", s.Workers)
+	}
+	if s.MaxConns <= 0 {
+		return fmt.Errorf("config: connection limit %d is not positive", s.MaxConns)
+	}
+	if s.BatchLimit <= 0 {
+		return fmt.Errorf("config: batch limit %d is not positive", s.BatchLimit)
+	}
+	if s.ReadTimeout <= 0 || s.WriteTimeout <= 0 {
+		return fmt.Errorf("config: read/write timeouts must be positive (got %v, %v)", s.ReadTimeout, s.WriteTimeout)
+	}
+	if s.DrainTimeout <= 0 {
+		return fmt.Errorf("config: drain timeout %v is not positive", s.DrainTimeout)
+	}
+	if !scheme.Known(s.DefaultScheme) {
+		return fmt.Errorf("config: unknown default scheme %q", s.DefaultScheme)
+	}
+	if err := s.SchemeOptions().Validate(); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if s.ChannelWidthBits <= 0 || s.ChannelWidthBits%8 != 0 {
+		return fmt.Errorf("config: channel width %d is not a positive multiple of 8", s.ChannelWidthBits)
+	}
+	return nil
 }

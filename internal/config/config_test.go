@@ -1,6 +1,10 @@
 package config
 
-import "testing"
+import (
+	"strings"
+	"testing"
+	"time"
+)
 
 // TestTitanXGeometry pins the Table I derived quantities.
 func TestTitanXGeometry(t *testing.T) {
@@ -17,6 +21,49 @@ func TestTitanXGeometry(t *testing.T) {
 	// Bandwidth consistency: 384 bits × 10 Gbps = 480 GB/s.
 	if got := float64(g.BusWidthBits) * g.DataRateGbps / 8; got != g.BandwidthGBps {
 		t.Errorf("bandwidth %v GB/s inconsistent with bus width and data rate (%v)", g.BandwidthGBps, got)
+	}
+}
+
+// TestServerValidate exercises every Validate error path with one mutation
+// of the default configuration per case.
+func TestServerValidate(t *testing.T) {
+	if err := DefaultServer().Validate(); err != nil {
+		t.Fatalf("DefaultServer().Validate() = %v, want nil", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Server)
+		wantSub string
+	}{
+		{"bad scheme name", func(s *Server) { s.DefaultScheme = "turbo-xor" }, "unknown default scheme"},
+		{"empty scheme name", func(s *Server) { s.DefaultScheme = "" }, "unknown default scheme"},
+		{"zero base size", func(s *Server) { s.BaseSize = 0 }, "base size"},
+		{"negative base size", func(s *Server) { s.BaseSize = -2 }, "base size"},
+		{"negative stage count", func(s *Server) { s.Stages = -1 }, "stage count"},
+		{"empty listen addr", func(s *Server) { s.ListenAddr = "" }, "listen address"},
+		{"empty metrics addr", func(s *Server) { s.MetricsAddr = "" }, "metrics address"},
+		{"zero workers", func(s *Server) { s.Workers = 0 }, "worker count"},
+		{"negative workers", func(s *Server) { s.Workers = -4 }, "worker count"},
+		{"zero conn limit", func(s *Server) { s.MaxConns = 0 }, "connection limit"},
+		{"zero batch limit", func(s *Server) { s.BatchLimit = 0 }, "batch limit"},
+		{"zero read timeout", func(s *Server) { s.ReadTimeout = 0 }, "timeouts"},
+		{"negative write timeout", func(s *Server) { s.WriteTimeout = -time.Second }, "timeouts"},
+		{"zero drain timeout", func(s *Server) { s.DrainTimeout = 0 }, "drain timeout"},
+		{"zero channel width", func(s *Server) { s.ChannelWidthBits = 0 }, "channel width"},
+		{"ragged channel width", func(s *Server) { s.ChannelWidthBits = 30 }, "channel width"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultServer()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error mentioning %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("Validate() = %q, want mention of %q", err, tc.wantSub)
+			}
+		})
 	}
 }
 

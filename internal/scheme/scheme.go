@@ -1,0 +1,104 @@
+// Package scheme is the repository's codec registry: it maps stable,
+// CLI/wire-safe scheme names ("universal", "basexor", "dbi1", …) to codec
+// constructors so every entry point — the bxtencode CLI, the bxtd encoding
+// gateway, the bxtload generator — agrees on one namespace and one set of
+// constructor parameters.
+//
+// Names are case-sensitive and never contain spaces; parameterized families
+// (Base+XOR base size, Universal stage count) read their parameters from an
+// Options value so a deployment can retune them in one place (the Server
+// config section) without inventing new names.
+package scheme
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/hpca18/bxt/internal/bdenc"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/dbi"
+	"github.com/hpca18/bxt/internal/fve"
+)
+
+// Options carries the constructor parameters of the parameterized scheme
+// families. The zero value is invalid; start from DefaultOptions.
+type Options struct {
+	// BaseSize is the Base+XOR element width in bytes ("basexor", "2b",
+	// "4b", "8b" ignore it; "silent" and "basexor" honour it only through
+	// the dedicated names below). It must be positive.
+	BaseSize int
+	// Stages is the Universal Base+XOR halving stage count. It must be
+	// non-negative; 3 matches the paper's 32-byte hardware (Table II).
+	Stages int
+}
+
+// DefaultOptions returns the paper's evaluated configuration: 4-byte bases
+// and 3 halving stages.
+func DefaultOptions() Options { return Options{BaseSize: 4, Stages: 3} }
+
+// Validate reports whether o can construct every registered scheme.
+func (o Options) Validate() error {
+	if o.BaseSize <= 0 {
+		return fmt.Errorf("scheme: base size %d is not positive", o.BaseSize)
+	}
+	if o.Stages < 0 {
+		return fmt.Errorf("scheme: stage count %d is negative", o.Stages)
+	}
+	return nil
+}
+
+// builders maps registry names to constructors. Every codec here is a
+// fresh, Reset instance; stateful codecs (bdenc, fve, dbi) must not be
+// shared between streams.
+var builders = map[string]func(o Options) core.Codec{
+	"baseline": func(Options) core.Codec { return core.Identity{} },
+	"basexor":  func(o Options) core.Codec { return core.NewBaseXOR(o.BaseSize) },
+	"2b":       func(Options) core.Codec { return core.NewBaseXOR(2) },
+	"4b":       func(Options) core.Codec { return core.NewBaseXOR(4) },
+	"8b":       func(Options) core.Codec { return core.NewBaseXOR(8) },
+	"silent":   func(o Options) core.Codec { return core.NewSILENT(o.BaseSize) },
+	"universal": func(o Options) core.Codec {
+		return core.NewUniversal(o.Stages)
+	},
+	"dbi":   func(Options) core.Codec { return dbi.New(1) },
+	"dbi1":  func(Options) core.Codec { return dbi.New(1) },
+	"dbi2":  func(Options) core.Codec { return dbi.New(2) },
+	"dbi4":  func(Options) core.Codec { return dbi.New(4) },
+	"bdenc": func(Options) core.Codec { return bdenc.New() },
+	"bd":    func(Options) core.Codec { return bdenc.New() },
+	"fve":   func(Options) core.Codec { return fve.New() },
+	"universal+dbi1": func(o Options) core.Codec {
+		return core.NewChain(core.NewUniversal(o.Stages), dbi.New(1))
+	},
+}
+
+// Known reports whether name is a registered scheme.
+func Known(name string) bool {
+	_, ok := builders[name]
+	return ok
+}
+
+// Names returns the registered scheme names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(builders))
+	for n := range builders {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs a fresh codec for name with the given options.
+func Build(name string, o Options) (core.Codec, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	mk, ok := builders[name]
+	if !ok {
+		return nil, fmt.Errorf("scheme: unknown scheme %q", name)
+	}
+	return mk(o), nil
+}
+
+// New constructs a fresh codec for name with DefaultOptions.
+func New(name string) (core.Codec, error) { return Build(name, DefaultOptions()) }

@@ -1,0 +1,73 @@
+package scheme
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// TestRoundTripAllSchemes encodes and decodes a random 32-byte sector stream
+// through every registered scheme with a fresh decoder instance, the exact
+// contract the bxtd gateway relies on.
+func TestRoundTripAllSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	txns := make([][]byte, 64)
+	for i := range txns {
+		txns[i] = make([]byte, 32)
+		if i%3 != 0 { // leave some all-zero sectors in the stream
+			rng.Read(txns[i])
+		}
+	}
+	for _, name := range Names() {
+		enc, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		dec, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		var e core.Encoded
+		got := make([]byte, 32)
+		for i, txn := range txns {
+			if err := enc.Encode(&e, txn); err != nil {
+				t.Fatalf("%s: Encode txn %d: %v", name, i, err)
+			}
+			if err := dec.Decode(got, &e); err != nil {
+				t.Fatalf("%s: Decode txn %d: %v", name, i, err)
+			}
+			if !bytes.Equal(got, txn) {
+				t.Fatalf("%s: txn %d round trip mismatch", name, i)
+			}
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := New("no-such-scheme"); err == nil {
+		t.Error("New(no-such-scheme) succeeded, want error")
+	}
+	if _, err := Build("universal", Options{BaseSize: 0, Stages: 3}); err == nil {
+		t.Error("Build with zero base size succeeded, want error")
+	}
+	if _, err := Build("universal", Options{BaseSize: 4, Stages: -1}); err == nil {
+		t.Error("Build with negative stages succeeded, want error")
+	}
+}
+
+func TestKnownAndNames(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("empty registry")
+	}
+	for _, n := range names {
+		if !Known(n) {
+			t.Errorf("Known(%q) = false for listed name", n)
+		}
+	}
+	if Known("bogus") {
+		t.Error("Known(bogus) = true")
+	}
+}

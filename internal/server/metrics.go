@@ -1,0 +1,152 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// schemeCounters accumulates one scheme's serving totals. Batches update
+// under one short lock; the exposition handler takes a snapshot.
+type schemeCounters struct {
+	mu            sync.Mutex
+	transactions  uint64
+	bytes         uint64
+	batches       uint64
+	onesBefore    uint64
+	onesAfter     uint64
+	togglesBefore uint64
+	togglesAfter  uint64
+	baselinePJ    float64
+	encodedPJ     float64
+}
+
+// observe folds one batch's accounting into c.
+func (c *schemeCounters) observe(s trace.BatchStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.transactions += uint64(s.Transactions)
+	c.bytes += s.DataBits / 8
+	c.batches++
+	c.onesBefore += s.OnesBefore
+	c.onesAfter += s.OnesAfter
+	c.togglesBefore += s.TogglesBefore
+	c.togglesAfter += s.TogglesAfter
+	c.baselinePJ += s.BaselinePJ
+	c.encodedPJ += s.EncodedPJ
+}
+
+// schemeSnapshot is a lock-free copy of one scheme's totals.
+type schemeSnapshot struct {
+	transactions  uint64
+	bytes         uint64
+	batches       uint64
+	onesBefore    uint64
+	onesAfter     uint64
+	togglesBefore uint64
+	togglesAfter  uint64
+	baselinePJ    float64
+	encodedPJ     float64
+}
+
+// snapshot returns a copy of c for exposition.
+func (c *schemeCounters) snapshot() schemeSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return schemeSnapshot{
+		transactions:  c.transactions,
+		bytes:         c.bytes,
+		batches:       c.batches,
+		onesBefore:    c.onesBefore,
+		onesAfter:     c.onesAfter,
+		togglesBefore: c.togglesBefore,
+		togglesAfter:  c.togglesAfter,
+		baselinePJ:    c.baselinePJ,
+		encodedPJ:     c.encodedPJ,
+	}
+}
+
+// metrics is the gateway's observability state: connection gauges plus
+// per-scheme serving counters, exposed in Prometheus text format.
+type metrics struct {
+	connsActive   atomic.Int64
+	connsTotal    atomic.Uint64
+	connsRejected atomic.Uint64
+
+	mu      sync.Mutex
+	schemes map[string]*schemeCounters
+}
+
+func newMetrics() *metrics {
+	return &metrics{schemes: make(map[string]*schemeCounters)}
+}
+
+// scheme returns (creating on first use) the counters for name.
+func (m *metrics) scheme(name string) *schemeCounters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.schemes[name]
+	if !ok {
+		c = &schemeCounters{}
+		m.schemes[name] = c
+	}
+	return c
+}
+
+// handler serves /metrics and /healthz. draining reports the server's
+// shutdown state: a draining gateway answers /healthz with 503 so load
+// balancers stop routing to it while in-flight batches finish.
+func (m *metrics) handler(draining func() bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		d := 0
+		if draining() {
+			d = 1
+		}
+		fmt.Fprintf(w, "bxtd_draining %d\n", d)
+		fmt.Fprintf(w, "bxtd_connections_active %d\n", m.connsActive.Load())
+		fmt.Fprintf(w, "bxtd_connections_total %d\n", m.connsTotal.Load())
+		fmt.Fprintf(w, "bxtd_connections_rejected_total %d\n", m.connsRejected.Load())
+
+		m.mu.Lock()
+		names := make([]string, 0, len(m.schemes))
+		for n := range m.schemes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		snaps := make(map[string]schemeSnapshot, len(names))
+		for _, n := range names {
+			snaps[n] = m.schemes[n].snapshot()
+		}
+		m.mu.Unlock()
+
+		for _, n := range names {
+			c := snaps[n]
+			fmt.Fprintf(w, "bxtd_transactions_total{scheme=%q} %d\n", n, c.transactions)
+			fmt.Fprintf(w, "bxtd_bytes_total{scheme=%q} %d\n", n, c.bytes)
+			fmt.Fprintf(w, "bxtd_batches_total{scheme=%q} %d\n", n, c.batches)
+			fmt.Fprintf(w, "bxtd_ones_total{scheme=%q,leg=\"baseline\"} %d\n", n, c.onesBefore)
+			fmt.Fprintf(w, "bxtd_ones_total{scheme=%q,leg=\"encoded\"} %d\n", n, c.onesAfter)
+			saved := int64(c.onesBefore) - int64(c.onesAfter)
+			fmt.Fprintf(w, "bxtd_ones_saved_total{scheme=%q} %d\n", n, saved)
+			fmt.Fprintf(w, "bxtd_toggles_total{scheme=%q,leg=\"baseline\"} %d\n", n, c.togglesBefore)
+			fmt.Fprintf(w, "bxtd_toggles_total{scheme=%q,leg=\"encoded\"} %d\n", n, c.togglesAfter)
+			fmt.Fprintf(w, "bxtd_estimated_picojoules_total{scheme=%q,leg=\"baseline\"} %g\n", n, c.baselinePJ)
+			fmt.Fprintf(w, "bxtd_estimated_picojoules_total{scheme=%q,leg=\"encoded\"} %g\n", n, c.encodedPJ)
+			fmt.Fprintf(w, "bxtd_estimated_picojoules_saved_total{scheme=%q} %g\n", n, c.baselinePJ-c.encodedPJ)
+		}
+	})
+	return mux
+}

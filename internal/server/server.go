@@ -1,0 +1,266 @@
+// Package server implements bxtd, the concurrent Base+XOR transcoding
+// gateway: a TCP daemon that speaks the length-prefixed BXTP protocol
+// (internal/trace), runs one registry codec per client session, and answers
+// every batch of transactions with the encoded frames plus wire-level
+// activity and energy accounting from the repository's POD/GDDR5X models.
+//
+// Concurrency structure: an accept loop admits at most MaxConns sessions;
+// each session runs a read goroutine (frame parsing + batch encoding) and a
+// write goroutine (reply serialization), with all encoding passing through
+// one server-wide worker pool so a deployment can bound CPU regardless of
+// connection count. Read and write deadlines bound every socket operation,
+// so a stalled or malicious client costs one connection slot, never a pool
+// worker. Shutdown drains: the listener closes, /healthz flips to
+// draining, in-flight batches complete and flush, then sessions close.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/power"
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// Server is a bxtd gateway instance.
+type Server struct {
+	cfg   config.Server
+	met   *metrics
+	model *power.Model
+	// slots is the worker pool: holding a token admits one batch encode.
+	slots chan struct{}
+
+	mu       sync.Mutex
+	ln       net.Listener
+	httpLn   net.Listener
+	httpSrv  *http.Server
+	sessions map[*session]struct{}
+	started  bool
+	draining bool
+
+	wg sync.WaitGroup // accept loop + sessions
+
+	// testHookBatch, when non-nil, runs at the start of every batch
+	// encode. Tests use it to hold a batch in flight across a shutdown.
+	testHookBatch func()
+}
+
+// New validates cfg and returns an unstarted server.
+func New(cfg config.Server) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		met:      newMetrics(),
+		model:    power.NewModel(),
+		slots:    make(chan struct{}, cfg.Workers),
+		sessions: make(map[*session]struct{}),
+	}, nil
+}
+
+// Start opens both listeners and begins serving. It returns immediately;
+// use Shutdown/Close to stop.
+func (s *Server) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("server: already started")
+	}
+	ln, err := net.Listen("tcp", s.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", s.cfg.ListenAddr, err)
+	}
+	httpLn, err := net.Listen("tcp", s.cfg.MetricsAddr)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("server: listen %s: %w", s.cfg.MetricsAddr, err)
+	}
+	s.ln, s.httpLn = ln, httpLn
+	s.httpSrv = &http.Server{Handler: s.met.handler(s.isDraining)}
+	s.started = true
+
+	go s.httpSrv.Serve(httpLn) //nolint:errcheck // returns on Close
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the transcoding listener's bound address (useful with
+// ":0" configs in tests).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// MetricsAddr returns the metrics listener's bound address.
+func (s *Server) MetricsAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// isDraining reports whether shutdown has begun.
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// acceptLoop admits sessions up to the connection limit.
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown/Close
+		}
+		s.met.connsTotal.Add(1)
+		if n := s.met.connsActive.Load(); int(n) >= s.cfg.MaxConns {
+			s.met.connsRejected.Add(1)
+			s.refuse(conn, "server at connection capacity")
+			continue
+		}
+		ss := s.newSession(conn)
+		if ss == nil {
+			s.refuse(conn, "server is draining")
+			continue
+		}
+		s.wg.Add(1)
+		s.met.connsActive.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.met.connsActive.Add(-1)
+			defer s.dropSession(ss)
+			ss.run()
+		}()
+	}
+}
+
+// refuse answers conn with an error frame and closes it.
+func (s *Server) refuse(conn net.Conn, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_ = trace.WriteFrame(conn, trace.FrameError, []byte(msg))
+	conn.Close()
+}
+
+// newSession registers a session, or returns nil when draining.
+func (s *Server) newSession(conn net.Conn) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil
+	}
+	ss := &session{
+		srv:  s,
+		conn: conn,
+		br:   newReader(conn),
+		bw:   newWriter(conn),
+	}
+	s.sessions[ss] = struct{}{}
+	return ss
+}
+
+func (s *Server) dropSession(ss *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, ss)
+}
+
+// Shutdown drains the gateway: it stops accepting, flips /healthz to
+// draining, interrupts idle session reads, lets in-flight batches complete
+// and flush, and waits for every session to close. The metrics endpoint
+// stays up (reporting the draining state) until Close. Shutdown returns
+// ctx's error if the drain does not finish in time, after force-closing
+// the stragglers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return nil
+	}
+	already := s.draining
+	s.draining = true
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+
+	if !already && ln != nil {
+		ln.Close()
+	}
+	// Fire every session's pending read immediately: readers blocked on
+	// an idle socket wake with a timeout, see the draining flag, and wind
+	// down after flushing whatever is in flight.
+	for _, ss := range sessions {
+		ss.conn.SetReadDeadline(time.Now())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	// A session that was mid-batch when the deadlines fired re-arms its
+	// read deadline on the next loop; keep re-firing until the drain
+	// completes so no reader sits out its full idle timeout.
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(20 * time.Millisecond):
+				s.mu.Lock()
+				for ss := range s.sessions {
+					ss.conn.SetReadDeadline(time.Now())
+				}
+				s.mu.Unlock()
+			}
+		}
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for ss := range s.sessions {
+			ss.conn.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close releases everything, including the metrics endpoint. It is safe to
+// call after Shutdown, and also alone (it performs an immediate drain).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := s.Shutdown(ctx)
+	s.mu.Lock()
+	httpSrv, httpLn := s.httpSrv, s.httpLn
+	s.httpSrv, s.httpLn = nil, nil
+	s.mu.Unlock()
+	if httpSrv != nil {
+		httpSrv.Close()
+	} else if httpLn != nil {
+		httpLn.Close()
+	}
+	return err
+}

@@ -1,0 +1,276 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"github.com/hpca18/bxt/internal/bus"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/scheme"
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// outFrame is one queued server-to-client frame.
+type outFrame struct {
+	t    trace.FrameType
+	body []byte
+}
+
+// session is one client connection: a read goroutine parses frames and
+// encodes batches (bounded by the server's worker pool), a write goroutine
+// owns the outbound half of the socket. The session's codec and bus models
+// are only ever touched by the read goroutine, so stateful codecs see
+// batches in arrival order.
+type session struct {
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	schemeName string
+	codec      core.Codec
+	txnSize    int
+	metaBytes  int
+	counters   *schemeCounters
+
+	// baseBus and encBus carry the session's wire state for baseline and
+	// encoded transfers; their divergence is the value the gateway reports.
+	baseBus, encBus   *bus.Bus
+	prevBase, prevEnc bus.Stats
+	enc               core.Encoded
+	txns              []trace.Transaction
+	recBuf            []byte
+
+	out chan outFrame
+	// writerDone closes when the write goroutine has flushed and exited.
+	writerDone chan struct{}
+}
+
+// errSession wraps client-visible protocol failures.
+var errSession = errors.New("server: session error")
+
+func newReader(c net.Conn) *bufio.Reader { return bufio.NewReaderSize(c, 64<<10) }
+func newWriter(c net.Conn) *bufio.Writer { return bufio.NewWriterSize(c, 64<<10) }
+
+// run drives the session to completion. The connection is closed on return.
+func (ss *session) run() {
+	defer ss.conn.Close()
+
+	if err := ss.handshake(); err != nil {
+		// Handshake failures are written synchronously: the writer
+		// goroutine does not exist yet.
+		ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
+		_ = trace.WriteFrame(ss.bw, trace.FrameError, []byte(err.Error()))
+		_ = ss.bw.Flush()
+		return
+	}
+
+	ss.out = make(chan outFrame, 4)
+	ss.writerDone = make(chan struct{})
+	go ss.writeLoop()
+	ss.readLoop()
+	close(ss.out)
+	<-ss.writerDone
+}
+
+// handshake reads and answers the Hello frame.
+func (ss *session) handshake() error {
+	ss.conn.SetReadDeadline(time.Now().Add(ss.srv.cfg.ReadTimeout))
+	ft, body, err := trace.ReadFrame(ss.br, nil)
+	if err != nil {
+		return fmt.Errorf("%w: reading hello: %v", errSession, err)
+	}
+	if ft != trace.FrameHello {
+		return fmt.Errorf("%w: expected hello frame, got %#x", errSession, ft)
+	}
+	h, err := trace.ParseHello(body)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errSession, err)
+	}
+	if h.Version != trace.ProtocolVersion {
+		return fmt.Errorf("%w: unsupported protocol version %d", errSession, h.Version)
+	}
+	name := h.Scheme
+	if name == "default" {
+		name = ss.srv.cfg.DefaultScheme
+	}
+	codec, err := scheme.Build(name, ss.srv.cfg.SchemeOptions())
+	if err != nil {
+		return fmt.Errorf("%w: %v", errSession, err)
+	}
+
+	// Probe the codec and bus geometry with one zero transaction on
+	// throwaway state, so misconfigurations fail the handshake instead of
+	// the first batch.
+	var probe core.Encoded
+	if err := codec.Encode(&probe, make([]byte, h.TxnSize)); err != nil {
+		return fmt.Errorf("%w: scheme %q cannot encode %d-byte transactions: %v", errSession, name, h.TxnSize, err)
+	}
+	if err := bus.New(ss.srv.cfg.ChannelWidthBits).Transfer(&probe); err != nil {
+		return fmt.Errorf("%w: scheme %q does not fit a %d-bit channel: %v", errSession, name, ss.srv.cfg.ChannelWidthBits, err)
+	}
+	codec.Reset()
+
+	ss.schemeName = name
+	ss.codec = codec
+	ss.txnSize = h.TxnSize
+	ss.metaBytes = (codec.MetaBits(h.TxnSize) + 7) / 8
+	ss.counters = ss.srv.met.scheme(name)
+	ss.baseBus = bus.New(ss.srv.cfg.ChannelWidthBits)
+	ss.encBus = bus.New(ss.srv.cfg.ChannelWidthBits)
+
+	okBody := trace.MarshalHelloOK(trace.HelloOK{
+		Version:    trace.ProtocolVersion,
+		MetaBits:   codec.MetaBits(h.TxnSize),
+		BatchLimit: ss.srv.cfg.BatchLimit,
+	})
+	ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
+	if err := trace.WriteFrame(ss.bw, trace.FrameHelloOK, okBody); err != nil {
+		return fmt.Errorf("%w: writing hello-ok: %v", errSession, err)
+	}
+	return ss.bw.Flush()
+}
+
+// readLoop consumes frames until the client closes, a protocol error
+// occurs, or the server starts draining (which fires the read deadline).
+func (ss *session) readLoop() {
+	// One stable frame buffer sized for the largest legal batch, so steady
+	// state reads allocate nothing.
+	fbuf := make([]byte, 1+4+ss.srv.cfg.BatchLimit*(9+ss.txnSize))
+	for {
+		if ss.srv.isDraining() {
+			return
+		}
+		ss.conn.SetReadDeadline(time.Now().Add(ss.srv.cfg.ReadTimeout))
+		ft, body, err := trace.ReadFrame(ss.br, fbuf)
+		if err != nil {
+			if err == io.EOF {
+				return // clean client close
+			}
+			if ss.srv.isDraining() {
+				return // shutdown interrupted the read; drain what we have
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				ss.fail("idle timeout waiting for frame")
+				return
+			}
+			if errors.Is(err, trace.ErrBadFrame) {
+				ss.fail(err.Error())
+			}
+			return
+		}
+		switch ft {
+		case trace.FrameBatch:
+			txns, err := trace.ParseBatch(body, ss.txnSize, ss.txns[:0])
+			if err != nil {
+				ss.fail(err.Error())
+				return
+			}
+			ss.txns = txns
+			if len(txns) == 0 || len(txns) > ss.srv.cfg.BatchLimit {
+				ss.fail(fmt.Sprintf("batch of %d transactions outside [1, %d]", len(txns), ss.srv.cfg.BatchLimit))
+				return
+			}
+			// The worker pool bounds concurrent encodes across all
+			// sessions; draining does not abort the acquire, so
+			// batches already read always complete.
+			ss.srv.slots <- struct{}{}
+			reply, err := ss.processBatch(txns)
+			<-ss.srv.slots
+			if err != nil {
+				ss.fail(err.Error())
+				return
+			}
+			ss.out <- outFrame{trace.FrameBatchReply, reply}
+		default:
+			ss.fail(fmt.Sprintf("unexpected frame type %#x", ft))
+			return
+		}
+	}
+}
+
+// processBatch encodes one batch with the session codec, drives the
+// baseline and encoded transfers over the session's bus models, and builds
+// the BatchReply frame body.
+func (ss *session) processBatch(txns []trace.Transaction) ([]byte, error) {
+	if hook := ss.srv.testHookBatch; hook != nil {
+		hook()
+	}
+	ss.recBuf = ss.recBuf[:0]
+	for i := range txns {
+		t := &txns[i]
+		if err := ss.codec.Encode(&ss.enc, t.Data); err != nil {
+			return nil, fmt.Errorf("scheme %s: encoding transaction %#x: %v", ss.schemeName, t.Addr, err)
+		}
+		raw := core.Encoded{Data: t.Data}
+		if err := ss.baseBus.Transfer(&raw); err != nil {
+			return nil, err
+		}
+		if err := ss.encBus.Transfer(&ss.enc); err != nil {
+			return nil, err
+		}
+		ss.recBuf = append(ss.recBuf, ss.enc.Data...)
+		ss.recBuf = append(ss.recBuf, ss.enc.Meta...)
+	}
+
+	baseNow, encNow := ss.baseBus.Stats(), ss.encBus.Stats()
+	baseDelta := baseNow.Sub(ss.prevBase)
+	encDelta := encNow.Sub(ss.prevEnc)
+	ss.prevBase, ss.prevEnc = baseNow, encNow
+
+	stats := trace.BatchStats{
+		Transactions:  uint32(len(txns)),
+		DataBits:      uint64(baseDelta.DataBits),
+		OnesBefore:    uint64(baseDelta.Ones()),
+		OnesAfter:     uint64(encDelta.Ones()),
+		TogglesBefore: uint64(baseDelta.Toggles()),
+		TogglesAfter:  uint64(encDelta.Toggles()),
+		BaselinePJ:    ss.srv.model.Estimate(baseDelta).Total() * 1e12,
+		EncodedPJ:     ss.srv.model.Estimate(encDelta).Total() * 1e12,
+	}
+	ss.counters.observe(stats)
+
+	body := trace.AppendBatchStats(make([]byte, 0, len(ss.recBuf)+64), stats)
+	return append(body, ss.recBuf...), nil
+}
+
+// fail queues an error frame for the client; the writer flushes it before
+// the connection closes.
+func (ss *session) fail(msg string) {
+	ss.out <- outFrame{trace.FrameError, []byte(msg)}
+}
+
+// writeLoop owns the outbound socket half: it writes queued frames under
+// the configured write deadline, flushing whenever the queue momentarily
+// empties. A write failure (including a slow client exhausting the
+// deadline) closes the connection, which in turn unblocks the read side.
+func (ss *session) writeLoop() {
+	defer close(ss.writerDone)
+	broken := false
+	for f := range ss.out {
+		if broken {
+			continue // drain the queue so the reader never blocks
+		}
+		ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
+		if err := trace.WriteFrame(ss.bw, f.t, f.body); err != nil {
+			broken = true
+			ss.conn.Close()
+			continue
+		}
+		if len(ss.out) == 0 {
+			if err := ss.bw.Flush(); err != nil {
+				broken = true
+				ss.conn.Close()
+			}
+		}
+	}
+	if !broken {
+		ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
+		_ = ss.bw.Flush()
+	}
+}

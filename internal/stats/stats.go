@@ -81,6 +81,28 @@ func Percentile(xs []float64, p float64) float64 {
 	return s[idx]
 }
 
+// Recorder accumulates observations (e.g. per-batch service latencies) for
+// summary reporting. The zero value is ready to use; it is not safe for
+// concurrent use — record per goroutine and Merge.
+type Recorder struct {
+	xs []float64
+}
+
+// Add records one observation.
+func (r *Recorder) Add(x float64) { r.xs = append(r.xs, x) }
+
+// Merge folds o's observations into r.
+func (r *Recorder) Merge(o *Recorder) { r.xs = append(r.xs, o.xs...) }
+
+// Count returns the number of observations.
+func (r *Recorder) Count() int { return len(r.xs) }
+
+// Mean returns the arithmetic mean of the observations.
+func (r *Recorder) Mean() float64 { return Mean(r.xs) }
+
+// Percentile returns the p-quantile (0..1) of the observations.
+func (r *Recorder) Percentile(p float64) float64 { return Percentile(r.xs, p) }
+
 // Histogram buckets values into fixed-width bins over [lo, hi); values
 // outside the range clamp to the edge bins, as the paper's ±80 % reduction
 // axis does (Fig 13).

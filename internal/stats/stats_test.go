@@ -74,6 +74,34 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestRecorder(t *testing.T) {
+	var r Recorder
+	if r.Count() != 0 || r.Mean() != 0 || r.Percentile(0.5) != 0 {
+		t.Error("zero-value Recorder should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		r.Add(float64(i))
+	}
+	if r.Count() != 100 {
+		t.Errorf("Count = %d, want 100", r.Count())
+	}
+	if got := r.Mean(); got != 50.5 {
+		t.Errorf("Mean = %v, want 50.5", got)
+	}
+	if got := r.Percentile(0.5); got != 50 {
+		t.Errorf("P50 = %v, want 50", got)
+	}
+	if got := r.Percentile(0.99); got != 99 {
+		t.Errorf("P99 = %v, want 99", got)
+	}
+	var other Recorder
+	other.Add(1000)
+	r.Merge(&other)
+	if r.Count() != 101 || r.Percentile(1) != 1000 {
+		t.Errorf("Merge lost data: count %d, max %v", r.Count(), r.Percentile(1))
+	}
+}
+
 func TestHistogramNeverPanics(t *testing.T) {
 	h := NewHistogram(-1, 1, 10)
 	f := func(x float64) bool {

@@ -1,0 +1,385 @@
+// Streaming framing for the trace wire format.
+//
+// The on-disk trace format (trace.go) is one header followed by back-to-back
+// records; a network peer additionally needs message boundaries, a session
+// handshake and per-batch results. This file defines that layer — the bxtd
+// protocol ("BXTP") — as length-prefixed frames whose batch payloads are the
+// existing record encoding, so a trace file is literally a concatenation of
+// valid batch bodies.
+//
+// Frame layout (all integers little-endian):
+//
+//	uint32 length | byte type | body[length-1]
+//
+// A session opens with Hello (scheme name + transaction size), the server
+// answers HelloOK (negotiated metadata width + batch limit), and the client
+// then streams Batch frames (uint32 count + count records in the trace
+// record format), each answered by a BatchReply (BatchStats + count encoded
+// records, every record carrying the encoded payload plus the scheme's
+// side-band metadata bytes). Errors travel as Error frames with a UTF-8
+// message and terminate the session.
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// FrameType identifies a protocol frame.
+type FrameType uint8
+
+// Protocol frame types.
+const (
+	FrameHello      FrameType = 0x01
+	FrameBatch      FrameType = 0x02
+	FrameHelloOK    FrameType = 0x81
+	FrameBatchReply FrameType = 0x82
+	FrameError      FrameType = 0xFF
+)
+
+// Protocol limits and identifiers.
+const (
+	// ProtocolMagic opens every Hello body.
+	ProtocolMagic = "BXTP"
+	// ProtocolVersion is the current protocol revision.
+	ProtocolVersion = 1
+	// MaxFrameBytes bounds a frame body so a corrupt or hostile length
+	// prefix cannot drive unbounded allocation.
+	MaxFrameBytes = 1 << 24
+	// MaxTxnBytes bounds the negotiated transaction size.
+	MaxTxnBytes = 1 << 12
+	// recordHeaderBytes is addr (8) + kind (1), shared with the on-disk
+	// record encoding.
+	recordHeaderBytes = 9
+)
+
+// ErrBadFrame reports a malformed protocol frame or message body.
+var ErrBadFrame = errors.New("trace: malformed protocol frame")
+
+// WriteFrame writes one frame (length prefix, type byte, body) to w.
+func WriteFrame(w io.Writer, t FrameType, body []byte) error {
+	if len(body)+1 > MaxFrameBytes {
+		return fmt.Errorf("%w: %d-byte body exceeds frame limit", ErrBadFrame, len(body))
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)+1))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one frame from r, reusing buf for the body when it has
+// capacity. It returns the frame type and the body (valid until the next
+// call when buf is reused).
+func ReadFrame(r io.Reader, buf []byte) (FrameType, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: truncated frame header: %w", ErrBadFrame, err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:]))
+	if n < 1 || n > MaxFrameBytes {
+		return 0, nil, fmt.Errorf("%w: implausible frame length %d", ErrBadFrame, n)
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, fmt.Errorf("%w: truncated frame body: %w", ErrBadFrame, err)
+	}
+	return FrameType(buf[0]), buf[1:], nil
+}
+
+// Hello is the session-opening handshake: the client names the codec it
+// wants the gateway to run and the fixed transaction size it will stream.
+type Hello struct {
+	// Version is the client's protocol revision.
+	Version uint8
+	// TxnSize is the per-transaction payload size in bytes.
+	TxnSize int
+	// Scheme is the registry name of the requested codec.
+	Scheme string
+}
+
+// MarshalHello encodes h as a Hello frame body.
+func MarshalHello(h Hello) ([]byte, error) {
+	if h.TxnSize <= 0 || h.TxnSize > MaxTxnBytes {
+		return nil, fmt.Errorf("%w: transaction size %d out of (0, %d]", ErrBadFrame, h.TxnSize, MaxTxnBytes)
+	}
+	if len(h.Scheme) == 0 || len(h.Scheme) > 255 {
+		return nil, fmt.Errorf("%w: scheme name length %d out of [1, 255]", ErrBadFrame, len(h.Scheme))
+	}
+	body := make([]byte, 0, len(ProtocolMagic)+1+4+1+len(h.Scheme))
+	body = append(body, ProtocolMagic...)
+	body = append(body, h.Version)
+	body = binary.LittleEndian.AppendUint32(body, uint32(h.TxnSize))
+	body = append(body, byte(len(h.Scheme)))
+	body = append(body, h.Scheme...)
+	return body, nil
+}
+
+// ParseHello decodes a Hello frame body.
+func ParseHello(body []byte) (Hello, error) {
+	const fixed = len(ProtocolMagic) + 1 + 4 + 1
+	if len(body) < fixed {
+		return Hello{}, fmt.Errorf("%w: hello body %d bytes, want >= %d", ErrBadFrame, len(body), fixed)
+	}
+	if string(body[:4]) != ProtocolMagic {
+		return Hello{}, fmt.Errorf("%w: bad hello magic %q", ErrBadFrame, body[:4])
+	}
+	h := Hello{
+		Version: body[4],
+		TxnSize: int(binary.LittleEndian.Uint32(body[5:9])),
+	}
+	nameLen := int(body[9])
+	if len(body) != fixed+nameLen {
+		return Hello{}, fmt.Errorf("%w: hello body %d bytes, want %d", ErrBadFrame, len(body), fixed+nameLen)
+	}
+	h.Scheme = string(body[fixed : fixed+nameLen])
+	if h.TxnSize <= 0 || h.TxnSize > MaxTxnBytes {
+		return Hello{}, fmt.Errorf("%w: transaction size %d out of (0, %d]", ErrBadFrame, h.TxnSize, MaxTxnBytes)
+	}
+	if h.Scheme == "" {
+		return Hello{}, fmt.Errorf("%w: empty scheme name", ErrBadFrame)
+	}
+	return h, nil
+}
+
+// HelloOK is the server's handshake acknowledgement.
+type HelloOK struct {
+	// Version is the server's protocol revision.
+	Version uint8
+	// MetaBits is the scheme's side-band width per transaction; every
+	// encoded record in a BatchReply carries ceil(MetaBits/8) metadata
+	// bytes after its payload.
+	MetaBits int
+	// BatchLimit is the maximum transaction count the server accepts per
+	// Batch frame.
+	BatchLimit int
+}
+
+// MarshalHelloOK encodes ok as a HelloOK frame body.
+func MarshalHelloOK(ok HelloOK) []byte {
+	body := make([]byte, 0, 9)
+	body = append(body, ok.Version)
+	body = binary.LittleEndian.AppendUint32(body, uint32(ok.MetaBits))
+	body = binary.LittleEndian.AppendUint32(body, uint32(ok.BatchLimit))
+	return body
+}
+
+// ParseHelloOK decodes a HelloOK frame body.
+func ParseHelloOK(body []byte) (HelloOK, error) {
+	if len(body) != 9 {
+		return HelloOK{}, fmt.Errorf("%w: hello-ok body %d bytes, want 9", ErrBadFrame, len(body))
+	}
+	return HelloOK{
+		Version:    body[0],
+		MetaBits:   int(binary.LittleEndian.Uint32(body[1:5])),
+		BatchLimit: int(binary.LittleEndian.Uint32(body[5:9])),
+	}, nil
+}
+
+// AppendTransaction appends t in the trace record encoding (addr, kind,
+// payload) and returns the extended slice.
+func AppendTransaction(dst []byte, t Transaction) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, t.Addr)
+	dst = append(dst, byte(t.Kind))
+	return append(dst, t.Data...)
+}
+
+// ParseTransaction decodes one txnSize-byte record from the front of b,
+// returning the transaction and the remaining bytes. The returned Data
+// aliases b.
+func ParseTransaction(b []byte, txnSize int) (Transaction, []byte, error) {
+	n := recordHeaderBytes + txnSize
+	if len(b) < n {
+		return Transaction{}, nil, fmt.Errorf("%w: %d-byte record needs %d bytes, have %d", ErrBadFrame, txnSize, n, len(b))
+	}
+	kind := Kind(b[8])
+	if kind != Read && kind != Write {
+		return Transaction{}, nil, fmt.Errorf("%w: invalid transaction kind %d", ErrBadFrame, b[8])
+	}
+	t := Transaction{
+		Addr: binary.LittleEndian.Uint64(b[:8]),
+		Kind: kind,
+		Data: b[recordHeaderBytes:n],
+	}
+	return t, b[n:], nil
+}
+
+// MarshalBatch encodes txns as a Batch frame body. Every payload must be
+// txnSize bytes.
+func MarshalBatch(txns []Transaction, txnSize int) ([]byte, error) {
+	body := make([]byte, 0, 4+len(txns)*(recordHeaderBytes+txnSize))
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(txns)))
+	for i, t := range txns {
+		if len(t.Data) != txnSize {
+			return nil, fmt.Errorf("%w: transaction %d has %d bytes, batch expects %d", ErrBadFrame, i, len(t.Data), txnSize)
+		}
+		body = AppendTransaction(body, t)
+	}
+	return body, nil
+}
+
+// ParseBatch decodes a Batch frame body into dst (reused when it has
+// capacity). Transaction Data fields alias body.
+func ParseBatch(body []byte, txnSize int, dst []Transaction) ([]Transaction, error) {
+	if len(body) < 4 {
+		return nil, fmt.Errorf("%w: batch body %d bytes, want >= 4", ErrBadFrame, len(body))
+	}
+	count := int(binary.LittleEndian.Uint32(body[:4]))
+	rest := body[4:]
+	if want := count * (recordHeaderBytes + txnSize); len(rest) != want {
+		return nil, fmt.Errorf("%w: batch of %d records wants %d body bytes, have %d", ErrBadFrame, count, want, len(rest))
+	}
+	dst = dst[:0]
+	for i := 0; i < count; i++ {
+		t, r, err := ParseTransaction(rest, txnSize)
+		if err != nil {
+			return nil, err
+		}
+		rest = r
+		dst = append(dst, t)
+	}
+	return dst, nil
+}
+
+// BatchStats is the gateway's per-batch accounting, returned in every
+// BatchReply: wire-level activity of the batch transferred baseline versus
+// encoded over the session's bus model, and the memory-system energy
+// estimate for both.
+type BatchStats struct {
+	// Transactions is the batch size.
+	Transactions uint32
+	// DataBits is the payload bits moved (excluding metadata wires).
+	DataBits uint64
+	// OnesBefore and OnesAfter count 1 values driven on the interface for
+	// the baseline and encoded transfers (metadata wires included).
+	OnesBefore, OnesAfter uint64
+	// TogglesBefore and TogglesAfter count wire transitions.
+	TogglesBefore, TogglesAfter uint64
+	// BaselinePJ and EncodedPJ are the estimated memory-system energies
+	// of the two transfers in picojoules.
+	BaselinePJ, EncodedPJ float64
+}
+
+// batchStatsBytes is the fixed BatchStats encoding size: the transaction
+// count, five uint64 activity counters, and two float64 energies.
+const batchStatsBytes = 4 + 5*8 + 2*8
+
+// OnesSaved returns the 1 values removed by encoding (0 when encoding adds
+// ones, as metadata-bearing schemes can on hostile data).
+func (s BatchStats) OnesSaved() uint64 {
+	if s.OnesAfter >= s.OnesBefore {
+		return 0
+	}
+	return s.OnesBefore - s.OnesAfter
+}
+
+// EnergySavedPJ returns the estimated picojoules saved by encoding.
+func (s BatchStats) EnergySavedPJ() float64 { return s.BaselinePJ - s.EncodedPJ }
+
+// Add accumulates o into s.
+func (s *BatchStats) Add(o BatchStats) {
+	s.Transactions += o.Transactions
+	s.DataBits += o.DataBits
+	s.OnesBefore += o.OnesBefore
+	s.OnesAfter += o.OnesAfter
+	s.TogglesBefore += o.TogglesBefore
+	s.TogglesAfter += o.TogglesAfter
+	s.BaselinePJ += o.BaselinePJ
+	s.EncodedPJ += o.EncodedPJ
+}
+
+// AppendBatchStats appends the fixed-size encoding of s.
+func AppendBatchStats(dst []byte, s BatchStats) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, s.Transactions)
+	dst = binary.LittleEndian.AppendUint64(dst, s.DataBits)
+	dst = binary.LittleEndian.AppendUint64(dst, s.OnesBefore)
+	dst = binary.LittleEndian.AppendUint64(dst, s.OnesAfter)
+	dst = binary.LittleEndian.AppendUint64(dst, s.TogglesBefore)
+	dst = binary.LittleEndian.AppendUint64(dst, s.TogglesAfter)
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.BaselinePJ))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.EncodedPJ))
+	return dst
+}
+
+// ParseBatchStats decodes a BatchStats prefix, returning the remainder.
+func ParseBatchStats(b []byte) (BatchStats, []byte, error) {
+	if len(b) < batchStatsBytes {
+		return BatchStats{}, nil, fmt.Errorf("%w: batch stats need %d bytes, have %d", ErrBadFrame, batchStatsBytes, len(b))
+	}
+	s := BatchStats{
+		Transactions:  binary.LittleEndian.Uint32(b[:4]),
+		DataBits:      binary.LittleEndian.Uint64(b[4:12]),
+		OnesBefore:    binary.LittleEndian.Uint64(b[12:20]),
+		OnesAfter:     binary.LittleEndian.Uint64(b[20:28]),
+		TogglesBefore: binary.LittleEndian.Uint64(b[28:36]),
+		TogglesAfter:  binary.LittleEndian.Uint64(b[36:44]),
+		BaselinePJ:    math.Float64frombits(binary.LittleEndian.Uint64(b[44:52])),
+		EncodedPJ:     math.Float64frombits(binary.LittleEndian.Uint64(b[52:60])),
+	}
+	return s, b[batchStatsBytes:], nil
+}
+
+// EncodedRecord is one transcoded transaction in a BatchReply: the encoded
+// payload plus the scheme's packed side-band metadata.
+type EncodedRecord struct {
+	Data []byte
+	Meta []byte
+}
+
+// BatchReply is the gateway's answer to one Batch frame.
+type BatchReply struct {
+	Stats   BatchStats
+	Records []EncodedRecord
+}
+
+// MarshalBatchReply encodes r as a BatchReply frame body. Every record must
+// carry txnSize data bytes and metaBytes metadata bytes.
+func MarshalBatchReply(r BatchReply, txnSize, metaBytes int) ([]byte, error) {
+	body := make([]byte, 0, batchStatsBytes+len(r.Records)*(txnSize+metaBytes))
+	body = AppendBatchStats(body, r.Stats)
+	for i, rec := range r.Records {
+		if len(rec.Data) != txnSize || len(rec.Meta) != metaBytes {
+			return nil, fmt.Errorf("%w: record %d is %d+%d bytes, reply expects %d+%d",
+				ErrBadFrame, i, len(rec.Data), len(rec.Meta), txnSize, metaBytes)
+		}
+		body = append(body, rec.Data...)
+		body = append(body, rec.Meta...)
+	}
+	return body, nil
+}
+
+// ParseBatchReply decodes a BatchReply frame body. Record slices alias body.
+func ParseBatchReply(body []byte, txnSize, metaBytes int) (BatchReply, error) {
+	stats, rest, err := ParseBatchStats(body)
+	if err != nil {
+		return BatchReply{}, err
+	}
+	rec := txnSize + metaBytes
+	if rec <= 0 || len(rest)%rec != 0 {
+		return BatchReply{}, fmt.Errorf("%w: %d reply bytes do not divide into %d-byte records", ErrBadFrame, len(rest), rec)
+	}
+	n := len(rest) / rec
+	if uint32(n) != stats.Transactions {
+		return BatchReply{}, fmt.Errorf("%w: reply carries %d records, stats claim %d", ErrBadFrame, n, stats.Transactions)
+	}
+	out := BatchReply{Stats: stats, Records: make([]EncodedRecord, n)}
+	for i := 0; i < n; i++ {
+		out.Records[i] = EncodedRecord{
+			Data: rest[i*rec : i*rec+txnSize],
+			Meta: rest[i*rec+txnSize : (i+1)*rec],
+		}
+	}
+	return out, nil
+}

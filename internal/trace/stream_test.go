@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bodies := [][]byte{{}, {1, 2, 3}, bytes.Repeat([]byte{0xAB}, 1000)}
+	types := []FrameType{FrameHello, FrameBatch, FrameError}
+	for i, b := range bodies {
+		if err := WriteFrame(&buf, types[i], b); err != nil {
+			t.Fatalf("WriteFrame %d: %v", i, err)
+		}
+	}
+	var scratch []byte
+	for i, want := range bodies {
+		ft, body, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if ft != types[i] || !bytes.Equal(body, want) {
+			t.Fatalf("frame %d: got type %#x body %v", i, ft, body)
+		}
+	}
+	if _, _, err := ReadFrame(&buf, scratch); err != io.EOF {
+		t.Fatalf("ReadFrame on empty stream: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameErrors(t *testing.T) {
+	// Truncated header.
+	_, _, err := ReadFrame(bytes.NewReader([]byte{1, 0}), nil)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Errorf("truncated header: %v, want ErrBadFrame", err)
+	}
+	// Zero-length frame (no type byte).
+	_, _, err = ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), nil)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Errorf("zero-length frame: %v, want ErrBadFrame", err)
+	}
+	// Hostile length prefix.
+	_, _, err = ReadFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF}), nil)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Errorf("hostile length: %v, want ErrBadFrame", err)
+	}
+	// Truncated body.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameBatch, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	short := buf.Bytes()[:buf.Len()-1]
+	_, _, err = ReadFrame(bytes.NewReader(short), nil)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Errorf("truncated body: %v, want ErrBadFrame", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Version: ProtocolVersion, TxnSize: 32, Scheme: "universal"}
+	body, err := MarshalHello(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("ParseHello = %+v, want %+v", got, h)
+	}
+
+	for _, bad := range []Hello{
+		{TxnSize: 0, Scheme: "x"},
+		{TxnSize: MaxTxnBytes + 1, Scheme: "x"},
+		{TxnSize: 32, Scheme: ""},
+	} {
+		if _, err := MarshalHello(bad); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("MarshalHello(%+v): %v, want ErrBadFrame", bad, err)
+		}
+	}
+	if _, err := ParseHello([]byte("nope")); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short hello: %v, want ErrBadFrame", err)
+	}
+	body[0] = 'Z'
+	if _, err := ParseHello(body); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad magic: %v, want ErrBadFrame", err)
+	}
+}
+
+func TestHelloOKRoundTrip(t *testing.T) {
+	ok := HelloOK{Version: ProtocolVersion, MetaBits: 64, BatchLimit: 4096}
+	got, err := ParseHelloOK(MarshalHelloOK(ok))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ok {
+		t.Fatalf("ParseHelloOK = %+v, want %+v", got, ok)
+	}
+	if _, err := ParseHelloOK([]byte{1, 2}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short hello-ok: %v, want ErrBadFrame", err)
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	const txnSize = 32
+	txns := make([]Transaction, 5)
+	for i := range txns {
+		data := make([]byte, txnSize)
+		for j := range data {
+			data[j] = byte(i*txnSize + j)
+		}
+		txns[i] = Transaction{Addr: uint64(i) * 32, Kind: Kind(i % 2), Data: data}
+	}
+	body, err := MarshalBatch(txns, txnSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseBatch(body, txnSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(txns) {
+		t.Fatalf("ParseBatch returned %d txns, want %d", len(got), len(txns))
+	}
+	for i := range txns {
+		if got[i].Addr != txns[i].Addr || got[i].Kind != txns[i].Kind || !bytes.Equal(got[i].Data, txns[i].Data) {
+			t.Fatalf("txn %d mismatch: %+v != %+v", i, got[i], txns[i])
+		}
+	}
+
+	// Count/length mismatch.
+	if _, err := ParseBatch(body[:len(body)-1], txnSize, nil); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short batch: %v, want ErrBadFrame", err)
+	}
+	// Payload length mismatch at marshal time.
+	bad := []Transaction{{Data: make([]byte, 16)}}
+	if _, err := MarshalBatch(bad, txnSize); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad payload size: %v, want ErrBadFrame", err)
+	}
+	// Invalid kind byte inside a record.
+	body[4+8] = 9
+	if _, err := ParseBatch(body, txnSize, nil); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("bad kind: %v, want ErrBadFrame", err)
+	}
+}
+
+func TestBatchReplyRoundTrip(t *testing.T) {
+	const txnSize, metaBytes = 32, 4
+	reply := BatchReply{
+		Stats: BatchStats{
+			Transactions: 2, DataBits: 512,
+			OnesBefore: 100, OnesAfter: 40,
+			TogglesBefore: 80, TogglesAfter: 50,
+			BaselinePJ: 123.5, EncodedPJ: 99.25,
+		},
+	}
+	for i := 0; i < 2; i++ {
+		data := bytes.Repeat([]byte{byte(i + 1)}, txnSize)
+		meta := bytes.Repeat([]byte{byte(0xF0 | i)}, metaBytes)
+		reply.Records = append(reply.Records, EncodedRecord{Data: data, Meta: meta})
+	}
+	body, err := MarshalBatchReply(reply, txnSize, metaBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseBatchReply(body, txnSize, metaBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != reply.Stats {
+		t.Fatalf("stats mismatch: %+v != %+v", got.Stats, reply.Stats)
+	}
+	for i := range reply.Records {
+		if !bytes.Equal(got.Records[i].Data, reply.Records[i].Data) ||
+			!bytes.Equal(got.Records[i].Meta, reply.Records[i].Meta) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+
+	if _, err := ParseBatchReply(body[:10], txnSize, metaBytes); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short reply: %v, want ErrBadFrame", err)
+	}
+	if _, err := ParseBatchReply(body, txnSize, metaBytes+1); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("misaligned records: %v, want ErrBadFrame", err)
+	}
+}
+
+func TestBatchStatsHelpers(t *testing.T) {
+	s := BatchStats{OnesBefore: 10, OnesAfter: 4, BaselinePJ: 7, EncodedPJ: 5}
+	if s.OnesSaved() != 6 {
+		t.Errorf("OnesSaved = %d, want 6", s.OnesSaved())
+	}
+	if s.EnergySavedPJ() != 2 {
+		t.Errorf("EnergySavedPJ = %v, want 2", s.EnergySavedPJ())
+	}
+	worse := BatchStats{OnesBefore: 4, OnesAfter: 10}
+	if worse.OnesSaved() != 0 {
+		t.Errorf("OnesSaved on regression = %d, want 0", worse.OnesSaved())
+	}
+	var sum BatchStats
+	sum.Add(s)
+	sum.Add(s)
+	if sum.OnesBefore != 20 || sum.BaselinePJ != 14 {
+		t.Errorf("Add accumulated %+v", sum)
+	}
+}

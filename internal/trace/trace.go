@@ -119,7 +119,9 @@ type Reader struct {
 	txnSize int
 }
 
-// ErrBadTrace reports a malformed trace stream.
+// ErrBadTrace reports a malformed trace stream. Reader errors wrap both
+// this sentinel and the underlying cause (e.g. io.ErrUnexpectedEOF), so
+// callers can check either with errors.Is.
 var ErrBadTrace = errors.New("trace: malformed trace")
 
 // NewReader parses the header and returns a Reader.
@@ -127,7 +129,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
 	hdr := make([]byte, len(magic)+5)
 	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, fmt.Errorf("%w: short header: %v", ErrBadTrace, err)
+		return nil, fmt.Errorf("%w: short header: %w", ErrBadTrace, err)
 	}
 	if string(hdr[:4]) != magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, hdr[:4])
@@ -152,7 +154,10 @@ func (r *Reader) Read() (Transaction, error) {
 		if err == io.EOF {
 			return Transaction{}, io.EOF
 		}
-		return Transaction{}, fmt.Errorf("%w: truncated record: %v", ErrBadTrace, err)
+		return Transaction{}, fmt.Errorf("%w: truncated record: %w", ErrBadTrace, err)
+	}
+	if k := Kind(rec[8]); k != Read && k != Write {
+		return Transaction{}, fmt.Errorf("%w: invalid transaction kind %d", ErrBadTrace, rec[8])
 	}
 	t := Transaction{
 		Addr: binary.LittleEndian.Uint64(rec[:8]),
@@ -160,7 +165,7 @@ func (r *Reader) Read() (Transaction, error) {
 		Data: make([]byte, r.txnSize),
 	}
 	if _, err := io.ReadFull(r.r, t.Data); err != nil {
-		return Transaction{}, fmt.Errorf("%w: truncated payload: %v", ErrBadTrace, err)
+		return Transaction{}, fmt.Errorf("%w: truncated payload: %w", ErrBadTrace, err)
 	}
 	return t, nil
 }
