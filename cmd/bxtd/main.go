@@ -1,12 +1,14 @@
 // Command bxtd is the Base+XOR transcoding gateway: a TCP daemon that
 // encodes transaction batches with any registry scheme and reports
 // wire-level activity and energy accounting per batch, with Prometheus
-// metrics and health on a second port.
+// metrics, health, and optional pprof/event debugging on a second port.
 //
 // Usage:
 //
 //	bxtd                                   # defaults: :9650 serving, :9651 metrics
 //	bxtd -listen :7000 -metrics :7001 -workers 16
+//	bxtd -log-level debug -log-format json # structured logs to stderr
+//	bxtd -debug=false                      # disable /debug/pprof and /debug/events
 //	bxtd -schemes                          # list servable scheme names
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
@@ -18,7 +20,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"syscall"
@@ -30,9 +31,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("bxtd: ")
-
 	def := config.DefaultServer()
 	listen := flag.String("listen", def.ListenAddr, "transcoding listen address")
 	metrics := flag.String("metrics", def.MetricsAddr, "metrics/health listen address")
@@ -46,6 +44,11 @@ func main() {
 	baseSize := flag.Int("base", def.BaseSize, "element size in bytes for Base+XOR family schemes")
 	stages := flag.Int("stages", def.Stages, "halving stages for the universal scheme")
 	width := flag.Int("width", def.ChannelWidthBits, "channel width in bits")
+	logLevel := flag.String("log-level", def.LogLevel, "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", def.LogFormat, "log handler: text or json")
+	slowBatch := flag.Duration("slow-batch", def.SlowBatch, "processing time above which a batch is logged as slow")
+	debug := flag.Bool("debug", def.Debug, "serve /debug/pprof/ and /debug/events on the metrics port")
+	events := flag.Int("events", def.EventBuffer, "lifecycle events retained by /debug/events")
 	listSchemes := flag.Bool("schemes", false, "list servable scheme names")
 	flag.Parse()
 
@@ -69,29 +72,40 @@ func main() {
 		BaseSize:         *baseSize,
 		Stages:           *stages,
 		ChannelWidthBits: *width,
+		LogLevel:         *logLevel,
+		LogFormat:        *logFormat,
+		SlowBatch:        *slowBatch,
+		Debug:            *debug,
+		EventBuffer:      *events,
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(os.Stderr, "bxtd:", err)
+		os.Exit(1)
 	}
+	logger := srv.Logger()
 	if err := srv.Start(); err != nil {
-		log.Fatal(err)
+		logger.Error("start failed", "err", err)
+		os.Exit(1)
 	}
-	log.Printf("serving on %s (metrics on %s), default scheme %s",
-		srv.Addr(), srv.MetricsAddr(), cfg.DefaultScheme)
+	logger.Info("serving",
+		"addr", srv.Addr(),
+		"metrics_addr", srv.MetricsAddr(),
+		"default_scheme", cfg.DefaultScheme,
+		"debug", cfg.Debug)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	got := <-sig
-	log.Printf("received %s, draining (budget %s)", got, cfg.DrainTimeout)
+	logger.Info("signal received, draining", "signal", got.String(), "budget", cfg.DrainTimeout.String())
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
 	defer cancel()
 	start := time.Now()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("drain incomplete after %s: %v", time.Since(start).Round(time.Millisecond), err)
+		logger.Error("drain incomplete", "after", time.Since(start).Round(time.Millisecond).String(), "err", err)
 	} else {
-		log.Printf("drained in %s", time.Since(start).Round(time.Millisecond))
+		logger.Info("drained", "took", time.Since(start).Round(time.Millisecond).String())
 	}
 	srv.Close()
 }

@@ -1,35 +1,84 @@
 // Command bxtload is a closed-loop load generator for bxtd: it opens a
 // configurable number of concurrent sessions, streams workload-model
 // transaction batches as fast as the gateway answers, and reports
-// throughput, batch latency percentiles, and the encoding savings the
-// gateway measured.
+// throughput, batch latency percentiles, client-side stage timings, and
+// the encoding savings the gateway measured.
 //
 // Usage:
 //
 //	bxtload -addr 127.0.0.1:9650 -scheme universal -conns 8 -txns 100000
 //	bxtload -workload rodinia-hotspot -scheme bdenc
+//	bxtload -scheme universal -json out.json   # machine-readable summary
 //	bxtload -workloads                 # list workload names
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
 	"github.com/hpca18/bxt/internal/client"
-	"github.com/hpca18/bxt/internal/stats"
+	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/trace"
 	"github.com/hpca18/bxt/internal/workload"
 )
 
 // connResult is one session's closed-loop tally.
 type connResult struct {
-	latencies stats.Recorder
+	latencies *obs.Histogram
 	stats     trace.BatchStats
 	err       error
+}
+
+// latencyQuantiles summarizes one latency distribution in milliseconds.
+type latencyQuantiles struct {
+	Count  uint64  `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+func quantiles(h *obs.Histogram) latencyQuantiles {
+	return latencyQuantiles{
+		Count:  h.Count(),
+		P50MS:  h.Quantile(0.50) * 1e3,
+		P95MS:  h.Quantile(0.95) * 1e3,
+		P99MS:  h.Quantile(0.99) * 1e3,
+		MeanMS: h.Mean() * 1e3,
+	}
+}
+
+// summary is the -json document: one run's throughput, latency, and
+// savings, the seed format for benchmark trajectory files.
+type summary struct {
+	Scheme            string  `json:"scheme"`
+	Connections       int     `json:"connections"`
+	FailedConnections int     `json:"failed_connections"`
+	BatchSize         int     `json:"batch_size"`
+	TxnSizeBytes      int     `json:"txn_size_bytes"`
+	Transactions      uint64  `json:"transactions"`
+	ElapsedSeconds    float64 `json:"elapsed_seconds"`
+	TxnPerSecond      float64 `json:"txn_per_second"`
+	MBPerSecond       float64 `json:"mb_per_second"`
+
+	BatchLatency latencyQuantiles `json:"batch_latency"`
+	// Stages holds the client-side obs stage timings (frame_write is the
+	// request send, frame_read the reply wait), keyed by stage name.
+	Stages map[string]latencyQuantiles `json:"stages"`
+
+	OnesBefore    uint64  `json:"ones_before"`
+	OnesAfter     uint64  `json:"ones_after"`
+	TogglesBefore uint64  `json:"toggles_before"`
+	TogglesAfter  uint64  `json:"toggles_after"`
+	BaselinePJ    float64 `json:"baseline_pj"`
+	EncodedPJ     float64 `json:"encoded_pj"`
+	SavedPJ       float64 `json:"saved_pj"`
 }
 
 func main() {
@@ -43,6 +92,7 @@ func main() {
 	total := flag.Int("txns", 100000, "transactions per connection")
 	txnSize := flag.Int("txn-size", 32, "transaction size in bytes")
 	workloadName := flag.String("workload", "", "workload app to replay (default: mixed GPU suite)")
+	jsonOut := flag.String("json", "", "write a machine-readable summary to this file")
 	listWorkloads := flag.Bool("workloads", false, "list workload names")
 	flag.Parse()
 
@@ -61,6 +111,9 @@ func main() {
 		log.Fatalf("no %d-byte workloads match %q", *txnSize, *workloadName)
 	}
 
+	// One tracer shared by every connection: client-side stage timings
+	// aggregate per (scheme, stage) exactly like the gateway's.
+	tracer := obs.NewHistogramTracer(nil)
 	results := make([]connResult, *conns)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -69,13 +122,13 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			app := apps[i%len(apps)]
-			results[i] = drive(*addr, *schemeName, app, *total, *batch, *txnSize, int64(i))
+			results[i] = drive(*addr, *schemeName, app, *total, *batch, *txnSize, int64(i), tracer)
 		}(i)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	var lat stats.Recorder
+	lat := obs.NewLatencyHistogram()
 	var sum trace.BatchStats
 	failed := 0
 	for i := range results {
@@ -85,7 +138,7 @@ func main() {
 			log.Printf("connection %d: %v", i, r.err)
 			continue
 		}
-		lat.Merge(&r.latencies)
+		lat.Merge(r.latencies)
 		sum.Add(r.stats)
 	}
 	if failed == *conns {
@@ -100,8 +153,12 @@ func main() {
 		float64(txns)/elapsed.Seconds(),
 		float64(txns**txnSize)/elapsed.Seconds()/1e6)
 	fmt.Printf("batch latency: p50 %s  p95 %s  p99 %s  mean %s (%d batches)\n",
-		durMs(lat.Percentile(0.50)), durMs(lat.Percentile(0.95)),
-		durMs(lat.Percentile(0.99)), durMs(lat.Mean()), lat.Count())
+		durSec(lat.Quantile(0.50)), durSec(lat.Quantile(0.95)),
+		durSec(lat.Quantile(0.99)), durSec(lat.Mean()), lat.Count())
+	tracer.Each(func(_ string, stage obs.Stage, h *obs.Histogram) {
+		fmt.Printf("stage %-12s p50 %s  p99 %s  mean %s\n",
+			stage, durSec(h.Quantile(0.50)), durSec(h.Quantile(0.99)), durSec(h.Mean()))
+	})
 	if sum.OnesBefore > 0 {
 		fmt.Printf("1 values:     %d -> %d (%.1f%%)\n", sum.OnesBefore, sum.OnesAfter,
 			100*float64(sum.OnesAfter)/float64(sum.OnesBefore))
@@ -110,6 +167,40 @@ func main() {
 		fmt.Printf("energy:       %.3g -> %.3g uJ (%.1f%% saved)\n",
 			sum.BaselinePJ/1e6, sum.EncodedPJ/1e6,
 			100*sum.EnergySavedPJ()/sum.BaselinePJ)
+	}
+
+	if *jsonOut != "" {
+		doc := summary{
+			Scheme:            *schemeName,
+			Connections:       *conns,
+			FailedConnections: failed,
+			BatchSize:         *batch,
+			TxnSizeBytes:      *txnSize,
+			Transactions:      uint64(txns),
+			ElapsedSeconds:    elapsed.Seconds(),
+			TxnPerSecond:      float64(txns) / elapsed.Seconds(),
+			MBPerSecond:       float64(txns**txnSize) / elapsed.Seconds() / 1e6,
+			BatchLatency:      quantiles(lat),
+			Stages:            map[string]latencyQuantiles{},
+			OnesBefore:        sum.OnesBefore,
+			OnesAfter:         sum.OnesAfter,
+			TogglesBefore:     sum.TogglesBefore,
+			TogglesAfter:      sum.TogglesAfter,
+			BaselinePJ:        sum.BaselinePJ,
+			EncodedPJ:         sum.EncodedPJ,
+			SavedPJ:           sum.EnergySavedPJ(),
+		}
+		tracer.Each(func(_ string, stage obs.Stage, h *obs.Histogram) {
+			doc.Stages[string(stage)] = quantiles(h)
+		})
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			log.Fatalf("marshalling summary: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("summary:      wrote %s\n", *jsonOut)
 	}
 	if failed > 0 {
 		log.Fatalf("%d of %d connections failed", failed, *conns)
@@ -139,10 +230,11 @@ func pickApps(name string, txnSize int) []workload.App {
 }
 
 // drive runs one closed-loop session: it replays the app's trace (cycling
-// as needed) in fixed batches, timing each round trip.
-func drive(addr, schemeName string, app workload.App, total, batchSize, txnSize int, seed int64) connResult {
-	var res connResult
-	c, err := client.Dial(addr, schemeName, txnSize)
+// as needed) in fixed batches, timing each round trip into a shared-geometry
+// latency histogram.
+func drive(addr, schemeName string, app workload.App, total, batchSize, txnSize int, seed int64, tracer obs.Tracer) connResult {
+	res := connResult{latencies: obs.NewLatencyHistogram()}
+	c, err := client.DialConfig(addr, schemeName, txnSize, client.Config{Tracer: tracer})
 	if err != nil {
 		res.err = err
 		return res
@@ -173,14 +265,14 @@ func drive(addr, schemeName string, app workload.App, total, batchSize, txnSize 
 			res.err = fmt.Errorf("after %d transactions: %w", sent, err)
 			return res
 		}
-		res.latencies.Add(float64(time.Since(t0)))
+		res.latencies.ObserveDuration(time.Since(t0))
 		res.stats.Add(reply.Stats)
 		sent += n
 	}
 	return res
 }
 
-// durMs renders a float64 nanosecond duration.
-func durMs(ns float64) time.Duration {
-	return time.Duration(ns).Round(10 * time.Microsecond)
+// durSec renders a float64 second duration.
+func durSec(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second)).Round(10 * time.Microsecond)
 }

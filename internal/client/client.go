@@ -6,11 +6,13 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"time"
 
+	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/trace"
 )
 
@@ -23,6 +25,12 @@ type Config struct {
 	DialTimeout time.Duration
 	// IOTimeout bounds each frame read or write (default 30s).
 	IOTimeout time.Duration
+	// Tracer, when non-nil, receives the client-side stage timings of
+	// every Transcode call: obs.StageFrameWrite for marshalling and
+	// sending the batch, obs.StageFrameRead for awaiting and reading the
+	// reply. The same stage vocabulary the gateway exposes, seen from
+	// the other end of the wire.
+	Tracer obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -31,6 +39,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IOTimeout <= 0 {
 		c.IOTimeout = 30 * time.Second
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NopTracer{}
 	}
 	return c
 }
@@ -57,10 +68,19 @@ func Dial(addr, scheme string, txnSize int) (*Client, error) {
 	return DialConfig(addr, scheme, txnSize, Config{})
 }
 
-// DialConfig is Dial with explicit timeouts.
+// DialConfig is Dial with explicit configuration.
 func DialConfig(addr, scheme string, txnSize int, cfg Config) (*Client, error) {
+	return DialContext(context.Background(), addr, scheme, txnSize, cfg)
+}
+
+// DialContext is DialConfig with cancelable connection establishment: a
+// canceled or expired ctx aborts the dial (the shorter of ctx and
+// cfg.DialTimeout applies). The context only governs the dial and the
+// handshake deadline derivation, not the lifetime of the session.
+func DialContext(ctx context.Context, addr, scheme string, txnSize int, cfg Config) (*Client, error) {
 	cfg = cfg.withDefaults()
-	conn, err := net.DialTimeout("tcp", addr, cfg.DialTimeout)
+	d := net.Dialer{Timeout: cfg.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 	}
@@ -149,6 +169,7 @@ func (c *Client) Transcode(txns []trace.Transaction) (trace.BatchReply, error) {
 	if c.batchLimit > 0 && len(txns) > c.batchLimit {
 		return trace.BatchReply{}, fmt.Errorf("%w: batch of %d exceeds server limit %d", trace.ErrBadFrame, len(txns), c.batchLimit)
 	}
+	writeStart := time.Now()
 	body, err := trace.MarshalBatch(txns, c.txnSize)
 	if err != nil {
 		return trace.BatchReply{}, err
@@ -160,10 +181,13 @@ func (c *Client) Transcode(txns []trace.Transaction) (trace.BatchReply, error) {
 	if err := c.bw.Flush(); err != nil {
 		return trace.BatchReply{}, fmt.Errorf("client: sending batch: %w", err)
 	}
+	readStart := time.Now()
+	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageFrameWrite, readStart.Sub(writeStart))
 	ft, rbody, err := c.readFrame()
 	if err != nil {
 		return trace.BatchReply{}, fmt.Errorf("client: reading reply: %w", err)
 	}
+	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageFrameRead, time.Since(readStart))
 	switch ft {
 	case trace.FrameBatchReply:
 		return trace.ParseBatchReply(rbody, c.txnSize, c.metaBytes)

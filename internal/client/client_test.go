@@ -1,0 +1,113 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/hpca18/bxt/internal/client"
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/obs"
+	"github.com/hpca18/bxt/internal/server"
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// startGateway runs a loopback bxtd for the client to talk to.
+func startGateway(t *testing.T) *server.Server {
+	t.Helper()
+	cfg := config.DefaultServer()
+	cfg.ListenAddr = "127.0.0.1:0"
+	cfg.MetricsAddr = "127.0.0.1:0"
+	cfg.LogLevel = "error"
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("server.Start: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestDialContextCanceled verifies a canceled context aborts connection
+// establishment instead of waiting out the dial timeout.
+func TestDialContextCanceled(t *testing.T) {
+	// A listener that never accepts: the dial itself would succeed, so
+	// cancel before dialing to exercise the context path deterministically.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err = client.DialContext(ctx, ln.Addr().String(), "universal", 32, client.Config{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("DialContext = %v, want context.Canceled", err)
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Errorf("canceled dial took %v, want immediate return", waited)
+	}
+}
+
+// TestDialContextExpires verifies a context deadline bounds the dial even
+// when cfg.DialTimeout is longer.
+func TestDialContextExpires(t *testing.T) {
+	// RFC 5737 TEST-NET-1 address: connect attempts hang until a timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.DialContext(ctx, "192.0.2.1:9650", "universal", 32,
+		client.Config{DialTimeout: time.Hour})
+	if err == nil {
+		t.Fatal("DialContext to a black-hole address succeeded")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("expired dial took %v, want ~50ms", waited)
+	}
+}
+
+// TestDialWrappersAndTracer checks Dial/DialConfig still work as thin
+// wrappers and that a configured Tracer sees one frame_write and one
+// frame_read observation per Transcode.
+func TestDialWrappersAndTracer(t *testing.T) {
+	srv := startGateway(t)
+
+	c, err := client.Dial(srv.Addr(), "universal", 32)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	c.Close()
+
+	tr := obs.NewHistogramTracer(nil)
+	c, err = client.DialConfig(srv.Addr(), "universal", 32, client.Config{Tracer: tr})
+	if err != nil {
+		t.Fatalf("DialConfig: %v", err)
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	const batches = 5
+	for b := 0; b < batches; b++ {
+		txns := make([]trace.Transaction, 16)
+		for i := range txns {
+			data := make([]byte, 32)
+			rng.Read(data)
+			txns[i] = trace.Transaction{Addr: uint64(i * 32), Kind: trace.Read, Data: data}
+		}
+		if _, err := c.Transcode(txns); err != nil {
+			t.Fatalf("Transcode %d: %v", b, err)
+		}
+	}
+	for _, stage := range []obs.Stage{obs.StageFrameWrite, obs.StageFrameRead} {
+		if got := tr.Hist("universal", stage).Count(); got != batches {
+			t.Errorf("tracer %s count = %d, want %d", stage, got, batches)
+		}
+	}
+}

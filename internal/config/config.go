@@ -8,8 +8,10 @@ package config
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
+	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/scheme"
 )
 
@@ -127,6 +129,18 @@ type Server struct {
 	// ChannelWidthBits is the modeled bus width for per-session wire
 	// activity accounting.
 	ChannelWidthBits int
+	// LogLevel and LogFormat select the gateway's structured-log
+	// verbosity (debug, info, warn, error) and handler (text, json).
+	LogLevel  string
+	LogFormat string
+	// SlowBatch is the server-side processing time (encode + accounting)
+	// above which a batch is logged and recorded as a slow_batch event.
+	SlowBatch time.Duration
+	// Debug mounts /debug/pprof/ and /debug/events on the metrics
+	// listener. When false those paths answer 404.
+	Debug bool
+	// EventBuffer is how many lifecycle events /debug/events retains.
+	EventBuffer int
 }
 
 // DefaultServer returns the gateway's default configuration: the paper's
@@ -145,6 +159,11 @@ func DefaultServer() Server {
 		BaseSize:         4,
 		Stages:           3,
 		ChannelWidthBits: TitanX().ChannelWidthBits,
+		LogLevel:         "info",
+		LogFormat:        "text",
+		SlowBatch:        250 * time.Millisecond,
+		Debug:            true,
+		EventBuffer:      256,
 	}
 }
 
@@ -184,6 +203,18 @@ func (s Server) Validate() error {
 	}
 	if s.ChannelWidthBits <= 0 || s.ChannelWidthBits%8 != 0 {
 		return fmt.Errorf("config: channel width %d is not a positive multiple of 8", s.ChannelWidthBits)
+	}
+	if _, err := obs.ParseLevel(s.LogLevel); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if f := strings.ToLower(s.LogFormat); f != "text" && f != "json" {
+		return fmt.Errorf("config: unknown log format %q (want text or json)", s.LogFormat)
+	}
+	if s.SlowBatch <= 0 {
+		return fmt.Errorf("config: slow-batch threshold %v is not positive", s.SlowBatch)
+	}
+	if s.EventBuffer <= 0 {
+		return fmt.Errorf("config: event buffer size %d is not positive", s.EventBuffer)
 	}
 	return nil
 }

@@ -51,6 +51,11 @@ func TestServerValidate(t *testing.T) {
 		{"zero drain timeout", func(s *Server) { s.DrainTimeout = 0 }, "drain timeout"},
 		{"zero channel width", func(s *Server) { s.ChannelWidthBits = 0 }, "channel width"},
 		{"ragged channel width", func(s *Server) { s.ChannelWidthBits = 30 }, "channel width"},
+		{"bad log level", func(s *Server) { s.LogLevel = "loud" }, "log level"},
+		{"empty log level", func(s *Server) { s.LogLevel = "" }, "log level"},
+		{"bad log format", func(s *Server) { s.LogFormat = "xml" }, "log format"},
+		{"zero slow-batch threshold", func(s *Server) { s.SlowBatch = 0 }, "slow-batch"},
+		{"zero event buffer", func(s *Server) { s.EventBuffer = 0 }, "event buffer"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

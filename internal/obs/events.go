@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Event is one entry on the /debug/events surface: a connection or batch
+// lifecycle moment with enough labels to correlate against logs and
+// metrics.
+type Event struct {
+	Time       time.Time `json:"time"`
+	Type       string    `json:"type"`
+	Session    uint64    `json:"session,omitempty"`
+	Scheme     string    `json:"scheme,omitempty"`
+	Detail     string    `json:"detail,omitempty"`
+	Txns       int       `json:"txns,omitempty"`
+	Batches    uint64    `json:"batches,omitempty"`
+	DurationMS float64   `json:"duration_ms,omitempty"`
+}
+
+// Well-known event types recorded by the gateway.
+const (
+	EventSessionOpen     = "session_open"
+	EventSessionClose    = "session_close"
+	EventHandshakeFailed = "handshake_failed"
+	EventConnRefused     = "conn_refused"
+	EventSlowBatch       = "slow_batch"
+	EventDrainBegin      = "drain_begin"
+)
+
+// EventBuffer retains the most recent events in a fixed ring. It is safe
+// for concurrent use; Add is one short mutex hold, so it can sit on
+// lifecycle paths (not per-transaction paths) without contention.
+type EventBuffer struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total uint64
+}
+
+// NewEventBuffer retains the last n events.
+func NewEventBuffer(n int) *EventBuffer {
+	if n <= 0 {
+		n = 1
+	}
+	return &EventBuffer{ring: make([]Event, 0, n)}
+}
+
+// Add appends one event, evicting the oldest when full. A zero Time is
+// stamped with the current time.
+func (b *EventBuffer) Add(e Event) {
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	b.mu.Lock()
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, e)
+	} else {
+		b.ring[b.next] = e
+		b.next = (b.next + 1) % cap(b.ring)
+	}
+	b.total++
+	b.mu.Unlock()
+}
+
+// Total returns the number of events ever added (retained or evicted).
+func (b *EventBuffer) Total() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Snapshot returns the retained events, oldest first.
+func (b *EventBuffer) Snapshot() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, 0, len(b.ring))
+	out = append(out, b.ring[b.next:]...)
+	out = append(out, b.ring[:b.next]...)
+	return out
+}
+
+// ServeHTTP answers with a JSON document: total event count plus the
+// retained window, oldest first.
+func (b *EventBuffer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}{b.Total(), b.Snapshot()})
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogLevels lists the accepted level names, least to most severe.
+func LogLevels() []string { return []string{"debug", "info", "warn", "error"} }
+
+// LogFormats lists the accepted handler formats.
+func LogFormats() []string { return []string{"text", "json"} }
+
+// ParseLevel maps a level name (case-insensitive) to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want one of %s)", s, strings.Join(LogLevels(), ", "))
+}
+
+// NewLogger builds a structured logger writing to w with the named level
+// and format ("text" or "json").
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lv, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want one of %s)", format, strings.Join(LogFormats(), ", "))
+}

@@ -1,0 +1,50 @@
+// Package obs is the serving stack's observability layer: structured
+// logging (log/slog factories), per-stage latency histograms in Prometheus
+// exposition format, Go runtime gauges, and a bounded ring buffer of
+// lifecycle events for the /debug/events surface.
+//
+// The package deliberately has no Prometheus client dependency: histograms
+// are built on internal/stats fixed-bucket bins (log-spaced over the
+// latency range) and rendered as text-format series, which keeps the hot
+// path to one mutex and one bucket increment per observation.
+package obs
+
+import "time"
+
+// Stage names one section of the batch-serving pipeline. The same stage
+// vocabulary is used by the gateway, the client, and the load generator so
+// their histograms line up in dashboards.
+type Stage string
+
+const (
+	// StageFrameRead is the wait for and read of one request frame. On
+	// the server this includes the idle time until the client's next
+	// batch arrives; on the client it is the wait for the reply.
+	StageFrameRead Stage = "frame_read"
+	// StageEncode is the codec encode pass over one batch.
+	StageEncode Stage = "codec_encode"
+	// StageAccount is the PHY/energy accounting pass: baseline and
+	// encoded bus transfers plus the power-model estimate.
+	StageAccount Stage = "phy_account"
+	// StageFrameWrite is the serialization and flush of one reply frame
+	// (on the client: of one request frame).
+	StageFrameWrite Stage = "frame_write"
+)
+
+// Stages returns the pipeline stages in serving order.
+func Stages() []Stage {
+	return []Stage{StageFrameRead, StageEncode, StageAccount, StageFrameWrite}
+}
+
+// Tracer receives per-stage timings. Implementations must be safe for
+// concurrent use; the gateway, client, and load generator all call it from
+// multiple goroutines.
+type Tracer interface {
+	ObserveStage(scheme string, stage Stage, d time.Duration)
+}
+
+// NopTracer discards every observation.
+type NopTracer struct{}
+
+// ObserveStage implements Tracer.
+func (NopTracer) ObserveStage(string, Stage, time.Duration) {}

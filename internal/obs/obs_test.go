@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBuckets pins the bucket math: cumulative counts are
+// monotone, below-range values land in the first bucket, above-range
+// values only in +Inf, and count/sum are exact.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1e-6, 10, 2) // 14 buckets
+	s := h.Snapshot()
+	if len(s.Bounds) != 14 {
+		t.Fatalf("got %d buckets, want 14", len(s.Bounds))
+	}
+	if got := s.Bounds[len(s.Bounds)-1]; got != 10 {
+		t.Errorf("last bound = %g, want exactly 10", got)
+	}
+	for i := 1; i < len(s.Bounds); i++ {
+		ratio := s.Bounds[i] / s.Bounds[i-1]
+		if math.Abs(ratio-math.Sqrt(10)) > 1e-9 {
+			t.Errorf("bound ratio %d = %g, want sqrt(10)", i, ratio)
+		}
+	}
+
+	h.Observe(1e-9) // below range: first bucket
+	h.Observe(5e-4)
+	h.Observe(5e-4)
+	h.Observe(99) // above range: +Inf only
+	s = h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("count = %d, want 4", s.Count)
+	}
+	if want := 1e-9 + 5e-4 + 5e-4 + 99; math.Abs(s.Sum-want) > 1e-12 {
+		t.Errorf("sum = %g, want %g", s.Sum, want)
+	}
+	if s.Cumulative[0] != 1 {
+		t.Errorf("first bucket cumulative = %d, want 1 (clamped underflow)", s.Cumulative[0])
+	}
+	if last := s.Cumulative[len(s.Cumulative)-1]; last != 3 {
+		t.Errorf("last finite bucket = %d, want 3 (overflow only in +Inf)", last)
+	}
+	for i := 1; i < len(s.Cumulative); i++ {
+		if s.Cumulative[i] < s.Cumulative[i-1] {
+			t.Fatalf("cumulative counts not monotone at %d", i)
+		}
+	}
+}
+
+// TestHistogramQuantile checks interpolated quantiles bracket the
+// observed values and empty histograms report zero.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewLatencyHistogram()
+	if q := h.Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %g, want 0", q)
+	}
+	for i := 0; i < 1000; i++ {
+		h.Observe(1e-3) // all in one bucket
+	}
+	q := h.Quantile(0.5)
+	// The true value must lie within its owning bucket.
+	if q < 1e-3/math.Sqrt(10) || q > 1e-3*math.Sqrt(10) {
+		t.Errorf("Quantile(0.5) = %g, want within the 1ms bucket", q)
+	}
+	if h.Quantile(0.99) < h.Quantile(0.01) {
+		t.Error("quantiles not monotone")
+	}
+	if got := h.Mean(); math.Abs(got-1e-3) > 1e-12 {
+		t.Errorf("Mean = %g, want 1e-3", got)
+	}
+}
+
+// TestHistogramMerge folds two histograms and checks totals.
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewLatencyHistogram(), NewLatencyHistogram()
+	a.Observe(1e-4)
+	b.Observe(1e-2)
+	b.Observe(50) // overflow
+	a.Merge(b)
+	if got := a.Count(); got != 3 {
+		t.Fatalf("merged count = %d, want 3", got)
+	}
+	s := a.Snapshot()
+	if last := s.Cumulative[len(s.Cumulative)-1]; last != 2 {
+		t.Errorf("merged finite observations = %d, want 2", last)
+	}
+}
+
+// TestHistogramPrometheusText checks the exposition shape of one family.
+func TestHistogramPrometheusText(t *testing.T) {
+	h := NewHistogram(1e-3, 1, 1) // 3 buckets: 1e-2, 1e-1, 1
+	h.Observe(5e-3)
+	var buf bytes.Buffer
+	h.WritePrometheus(&buf, "x_seconds", `scheme="s",stage="codec_encode"`)
+	out := buf.String()
+	for _, want := range []string{
+		`x_seconds_bucket{scheme="s",stage="codec_encode",le="0.01"} 1`,
+		`x_seconds_bucket{scheme="s",stage="codec_encode",le="+Inf"} 1`,
+		`x_seconds_sum{scheme="s",stage="codec_encode"} 0.005`,
+		`x_seconds_count{scheme="s",stage="codec_encode"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestHistogramTracer exercises concurrent observation and ordered
+// iteration.
+func TestHistogramTracer(t *testing.T) {
+	tr := NewHistogramTracer(nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tr.ObserveStage("universal", StageEncode, time.Millisecond)
+				tr.ObserveStage("bdenc", StageFrameWrite, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Hist("universal", StageEncode).Count(); got != 800 {
+		t.Errorf("universal encode count = %d, want 800", got)
+	}
+	var order []string
+	tr.Each(func(scheme string, stage Stage, h *Histogram) {
+		order = append(order, scheme+"/"+string(stage))
+	})
+	want := []string{"bdenc/frame_write", "universal/codec_encode"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("Each order = %v, want %v", order, want)
+	}
+}
+
+// TestEventBufferRing checks wraparound ordering and totals.
+func TestEventBufferRing(t *testing.T) {
+	b := NewEventBuffer(3)
+	for i := 1; i <= 5; i++ {
+		b.Add(Event{Type: fmt.Sprintf("e%d", i)})
+	}
+	if b.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", b.Total())
+	}
+	snap := b.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("retained %d events, want 3", len(snap))
+	}
+	for i, want := range []string{"e3", "e4", "e5"} {
+		if snap[i].Type != want {
+			t.Errorf("event %d = %s, want %s (oldest first)", i, snap[i].Type, want)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	b.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc struct {
+		Total  uint64  `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("response is not JSON: %v", err)
+	}
+	if doc.Total != 5 || len(doc.Events) != 3 {
+		t.Errorf("JSON total=%d events=%d, want 5/3", doc.Total, len(doc.Events))
+	}
+}
+
+// TestLoggerFactory covers level/format parsing and that levels filter.
+func TestLoggerFactory(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "warn", "json")
+	if err != nil {
+		t.Fatalf("NewLogger: %v", err)
+	}
+	lg.Info("hidden")
+	lg.Warn("shown", "k", 1)
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Error("info line emitted at warn level")
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(out), &line); err != nil {
+		t.Fatalf("log line is not JSON: %v\n%s", err, out)
+	}
+	if line["msg"] != "shown" || line["k"] != float64(1) {
+		t.Errorf("unexpected JSON line %v", line)
+	}
+
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Error("NewLogger accepted bad level")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("NewLogger accepted bad format")
+	}
+	if lv, err := ParseLevel("DEBUG"); err != nil || lv != slog.LevelDebug {
+		t.Errorf("ParseLevel(DEBUG) = %v, %v", lv, err)
+	}
+}
+
+// TestWriteRuntimeMetrics checks every gauge family appears with the
+// prefix.
+func TestWriteRuntimeMetrics(t *testing.T) {
+	var buf bytes.Buffer
+	WriteRuntimeMetrics(&buf, "bxtd")
+	for _, want := range []string{
+		"bxtd_go_goroutines ",
+		"bxtd_go_heap_alloc_bytes ",
+		"bxtd_go_heap_objects ",
+		"bxtd_go_sys_bytes ",
+		"bxtd_go_gc_cycles_total ",
+		"bxtd_go_gc_pause_seconds_total ",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("runtime metrics missing %q:\n%s", want, buf.String())
+		}
+	}
+}

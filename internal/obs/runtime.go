@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// WriteRuntimeMetrics emits Go runtime gauges in Prometheus text format,
+// each metric name prefixed (e.g. prefix "bxtd" yields
+// bxtd_go_goroutines). ReadMemStats costs one brief stop-the-world, which
+// is fine at scrape frequency.
+func WriteRuntimeMetrics(w io.Writer, prefix string) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(w, "%s_go_goroutines %d\n", prefix, runtime.NumGoroutine())
+	fmt.Fprintf(w, "%s_go_heap_alloc_bytes %d\n", prefix, ms.HeapAlloc)
+	fmt.Fprintf(w, "%s_go_heap_objects %d\n", prefix, ms.HeapObjects)
+	fmt.Fprintf(w, "%s_go_sys_bytes %d\n", prefix, ms.Sys)
+	fmt.Fprintf(w, "%s_go_gc_cycles_total %d\n", prefix, ms.NumGC)
+	fmt.Fprintf(w, "%s_go_gc_pause_seconds_total %g\n", prefix, float64(ms.PauseTotalNs)/1e9)
+}

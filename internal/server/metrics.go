@@ -2,11 +2,12 @@ package server
 
 import (
 	"fmt"
-	"net/http"
+	"io"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/trace"
 )
 
@@ -70,19 +71,28 @@ func (c *schemeCounters) snapshot() schemeSnapshot {
 	}
 }
 
-// metrics is the gateway's observability state: connection gauges plus
-// per-scheme serving counters, exposed in Prometheus text format.
+// metrics is the gateway's observability state: connection gauges,
+// per-scheme serving counters, and per-(scheme, stage) latency
+// histograms, exposed in Prometheus text format.
 type metrics struct {
 	connsActive   atomic.Int64
 	connsTotal    atomic.Uint64
 	connsRejected atomic.Uint64
+
+	// stages holds the bxtd_stage_seconds{scheme,stage} histograms.
+	// Sessions resolve their four histograms once at handshake, so the
+	// per-batch cost is one mutex per stage observation.
+	stages *obs.HistogramTracer
 
 	mu      sync.Mutex
 	schemes map[string]*schemeCounters
 }
 
 func newMetrics() *metrics {
-	return &metrics{schemes: make(map[string]*schemeCounters)}
+	return &metrics{
+		stages:  obs.NewHistogramTracer(nil),
+		schemes: make(map[string]*schemeCounters),
+	}
 }
 
 // scheme returns (creating on first use) the counters for name.
@@ -97,56 +107,47 @@ func (m *metrics) scheme(name string) *schemeCounters {
 	return c
 }
 
-// handler serves /metrics and /healthz. draining reports the server's
-// shutdown state: a draining gateway answers /healthz with 503 so load
-// balancers stop routing to it while in-flight batches finish.
-func (m *metrics) handler(draining func() bool) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if draining() {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		d := 0
-		if draining() {
-			d = 1
-		}
-		fmt.Fprintf(w, "bxtd_draining %d\n", d)
-		fmt.Fprintf(w, "bxtd_connections_active %d\n", m.connsActive.Load())
-		fmt.Fprintf(w, "bxtd_connections_total %d\n", m.connsTotal.Load())
-		fmt.Fprintf(w, "bxtd_connections_rejected_total %d\n", m.connsRejected.Load())
+// writeExposition renders the full /metrics document: serving state,
+// per-scheme counters, per-stage latency histograms, and Go runtime
+// gauges.
+func (m *metrics) writeExposition(w io.Writer, draining bool) {
+	d := 0
+	if draining {
+		d = 1
+	}
+	fmt.Fprintf(w, "bxtd_draining %d\n", d)
+	fmt.Fprintf(w, "bxtd_connections_active %d\n", m.connsActive.Load())
+	fmt.Fprintf(w, "bxtd_connections_total %d\n", m.connsTotal.Load())
+	fmt.Fprintf(w, "bxtd_connections_rejected_total %d\n", m.connsRejected.Load())
 
-		m.mu.Lock()
-		names := make([]string, 0, len(m.schemes))
-		for n := range m.schemes {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		snaps := make(map[string]schemeSnapshot, len(names))
-		for _, n := range names {
-			snaps[n] = m.schemes[n].snapshot()
-		}
-		m.mu.Unlock()
+	m.mu.Lock()
+	names := make([]string, 0, len(m.schemes))
+	for n := range m.schemes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	snaps := make(map[string]schemeSnapshot, len(names))
+	for _, n := range names {
+		snaps[n] = m.schemes[n].snapshot()
+	}
+	m.mu.Unlock()
 
-		for _, n := range names {
-			c := snaps[n]
-			fmt.Fprintf(w, "bxtd_transactions_total{scheme=%q} %d\n", n, c.transactions)
-			fmt.Fprintf(w, "bxtd_bytes_total{scheme=%q} %d\n", n, c.bytes)
-			fmt.Fprintf(w, "bxtd_batches_total{scheme=%q} %d\n", n, c.batches)
-			fmt.Fprintf(w, "bxtd_ones_total{scheme=%q,leg=\"baseline\"} %d\n", n, c.onesBefore)
-			fmt.Fprintf(w, "bxtd_ones_total{scheme=%q,leg=\"encoded\"} %d\n", n, c.onesAfter)
-			saved := int64(c.onesBefore) - int64(c.onesAfter)
-			fmt.Fprintf(w, "bxtd_ones_saved_total{scheme=%q} %d\n", n, saved)
-			fmt.Fprintf(w, "bxtd_toggles_total{scheme=%q,leg=\"baseline\"} %d\n", n, c.togglesBefore)
-			fmt.Fprintf(w, "bxtd_toggles_total{scheme=%q,leg=\"encoded\"} %d\n", n, c.togglesAfter)
-			fmt.Fprintf(w, "bxtd_estimated_picojoules_total{scheme=%q,leg=\"baseline\"} %g\n", n, c.baselinePJ)
-			fmt.Fprintf(w, "bxtd_estimated_picojoules_total{scheme=%q,leg=\"encoded\"} %g\n", n, c.encodedPJ)
-			fmt.Fprintf(w, "bxtd_estimated_picojoules_saved_total{scheme=%q} %g\n", n, c.baselinePJ-c.encodedPJ)
-		}
-	})
-	return mux
+	for _, n := range names {
+		c := snaps[n]
+		fmt.Fprintf(w, "bxtd_transactions_total{scheme=%q} %d\n", n, c.transactions)
+		fmt.Fprintf(w, "bxtd_bytes_total{scheme=%q} %d\n", n, c.bytes)
+		fmt.Fprintf(w, "bxtd_batches_total{scheme=%q} %d\n", n, c.batches)
+		fmt.Fprintf(w, "bxtd_ones_total{scheme=%q,leg=\"baseline\"} %d\n", n, c.onesBefore)
+		fmt.Fprintf(w, "bxtd_ones_total{scheme=%q,leg=\"encoded\"} %d\n", n, c.onesAfter)
+		saved := int64(c.onesBefore) - int64(c.onesAfter)
+		fmt.Fprintf(w, "bxtd_ones_saved_total{scheme=%q} %d\n", n, saved)
+		fmt.Fprintf(w, "bxtd_toggles_total{scheme=%q,leg=\"baseline\"} %d\n", n, c.togglesBefore)
+		fmt.Fprintf(w, "bxtd_toggles_total{scheme=%q,leg=\"encoded\"} %d\n", n, c.togglesAfter)
+		fmt.Fprintf(w, "bxtd_estimated_picojoules_total{scheme=%q,leg=\"baseline\"} %g\n", n, c.baselinePJ)
+		fmt.Fprintf(w, "bxtd_estimated_picojoules_total{scheme=%q,leg=\"encoded\"} %g\n", n, c.encodedPJ)
+		fmt.Fprintf(w, "bxtd_estimated_picojoules_saved_total{scheme=%q} %g\n", n, c.baselinePJ-c.encodedPJ)
+	}
+
+	m.stages.WritePrometheus(w, "bxtd_stage_seconds")
+	obs.WriteRuntimeMetrics(w, "bxtd")
 }

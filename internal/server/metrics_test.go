@@ -1,0 +1,367 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hpca18/bxt/internal/client"
+	"github.com/hpca18/bxt/internal/obs"
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm parses a Prometheus text-format document, failing the test on
+// any malformed line. It returns every sample.
+func parseProm(t *testing.T, body string) []promSample {
+	t.Helper()
+	var samples []promSample
+	for ln, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d has no value: %q", ln+1, line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d value %q: %v", ln+1, valStr, err)
+		}
+		s := promSample{labels: map[string]string{}, value: val}
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("line %d has unterminated labels: %q", ln+1, line)
+			}
+			s.name = series[:i]
+			for _, kv := range strings.Split(series[i+1:len(series)-1], ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					t.Fatalf("line %d label %q has no =", ln+1, kv)
+				}
+				unq, err := strconv.Unquote(v)
+				if err != nil {
+					t.Fatalf("line %d label value %q: %v", ln+1, v, err)
+				}
+				s.labels[k] = unq
+			}
+		} else {
+			s.name = series
+		}
+		if s.name == "" {
+			t.Fatalf("line %d has empty metric name: %q", ln+1, line)
+		}
+		samples = append(samples, s)
+	}
+	return samples
+}
+
+// find returns the samples of one family, optionally filtered by labels.
+func find(samples []promSample, name string, labels map[string]string) []promSample {
+	var out []promSample
+next:
+	for _, s := range samples {
+		if s.name != name {
+			continue
+		}
+		for k, v := range labels {
+			if s.labels[k] != v {
+				continue next
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// one returns the single sample of a family+labels, or fails.
+func one(t *testing.T, samples []promSample, name string, labels map[string]string) promSample {
+	t.Helper()
+	got := find(samples, name, labels)
+	if len(got) != 1 {
+		t.Fatalf("%s%v: got %d samples, want 1", name, labels, len(got))
+	}
+	return got[0]
+}
+
+// TestMetricsExposition drives traffic through one scheme, scrapes
+// /metrics, and parses every emitted family: the exposition must be
+// well-formed text format with the documented Content-Type, carry the
+// per-scheme counters, a complete per-stage histogram set, and the Go
+// runtime gauges.
+func TestMetricsExposition(t *testing.T) {
+	srv := startServer(t, testConfig())
+	const total, batch = 2000, 250
+	if err := streamAndVerify(srv.Addr(), "universal", 7, total, batch, 32); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get("http://" + srv.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4" {
+		t.Errorf("Content-Type = %q, want text/plain; version=0.0.4", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	samples := parseProm(t, string(raw))
+
+	// Serving gauges and per-scheme counters.
+	for _, name := range []string{
+		"bxtd_draining", "bxtd_connections_active",
+		"bxtd_connections_total", "bxtd_connections_rejected_total",
+	} {
+		one(t, samples, name, nil)
+	}
+	sl := map[string]string{"scheme": "universal"}
+	if got := one(t, samples, "bxtd_transactions_total", sl).value; got != total {
+		t.Errorf("transactions_total = %g, want %d", got, total)
+	}
+	if got := one(t, samples, "bxtd_batches_total", sl).value; got != total/batch {
+		t.Errorf("batches_total = %g, want %d", got, total/batch)
+	}
+	for _, name := range []string{"bxtd_bytes_total", "bxtd_ones_saved_total", "bxtd_estimated_picojoules_saved_total"} {
+		one(t, samples, name, sl)
+	}
+	for _, leg := range []string{"baseline", "encoded"} {
+		ll := map[string]string{"scheme": "universal", "leg": leg}
+		one(t, samples, "bxtd_ones_total", ll)
+		one(t, samples, "bxtd_toggles_total", ll)
+		one(t, samples, "bxtd_estimated_picojoules_total", ll)
+	}
+
+	// Per-stage histograms: every pipeline stage present, cumulative
+	// buckets monotone and capped by _count, batch-paced stages counting
+	// exactly the replied batches.
+	for _, stage := range obs.Stages() {
+		hl := map[string]string{"scheme": "universal", "stage": string(stage)}
+		count := one(t, samples, "bxtd_stage_seconds_count", hl)
+		sum := one(t, samples, "bxtd_stage_seconds_sum", hl)
+		if count.value != total/batch {
+			t.Errorf("stage %s count = %g, want %d", stage, count.value, total/batch)
+		}
+		if sum.value <= 0 {
+			t.Errorf("stage %s sum = %g, want > 0", stage, sum.value)
+		}
+		buckets := find(samples, "bxtd_stage_seconds_bucket", hl)
+		if len(buckets) < 2 {
+			t.Fatalf("stage %s has %d buckets", stage, len(buckets))
+		}
+		sort.Slice(buckets, func(i, j int) bool {
+			return leBound(t, buckets[i]) < leBound(t, buckets[j])
+		})
+		prev := -1.0
+		for _, b := range buckets {
+			if b.value < prev {
+				t.Errorf("stage %s bucket le=%s not cumulative", stage, b.labels["le"])
+			}
+			prev = b.value
+		}
+		last := buckets[len(buckets)-1]
+		if last.labels["le"] != "+Inf" || last.value != count.value {
+			t.Errorf("stage %s +Inf bucket = %v, want le=+Inf value %g", stage, last, count.value)
+		}
+	}
+
+	// Runtime gauges.
+	for _, name := range []string{
+		"bxtd_go_goroutines", "bxtd_go_heap_alloc_bytes", "bxtd_go_heap_objects",
+		"bxtd_go_sys_bytes", "bxtd_go_gc_cycles_total", "bxtd_go_gc_pause_seconds_total",
+	} {
+		if one(t, samples, name, nil).value < 0 {
+			t.Errorf("%s is negative", name)
+		}
+	}
+}
+
+// leBound parses a bucket's le label for sorting (+Inf sorts last).
+func leBound(t *testing.T, s promSample) float64 {
+	t.Helper()
+	le := s.labels["le"]
+	if le == "+Inf" {
+		return 1e300
+	}
+	v, err := strconv.ParseFloat(le, 64)
+	if err != nil {
+		t.Fatalf("unparseable le %q", le)
+	}
+	return v
+}
+
+// eventsDoc mirrors the /debug/events JSON document.
+type eventsDoc struct {
+	Total  uint64      `json:"total"`
+	Events []obs.Event `json:"events"`
+}
+
+// getEvents fetches and decodes /debug/events.
+func getEvents(t *testing.T, metricsAddr string) eventsDoc {
+	t.Helper()
+	resp, err := http.Get("http://" + metricsAddr + "/debug/events")
+	if err != nil {
+		t.Fatalf("GET /debug/events: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/events: status %d", resp.StatusCode)
+	}
+	var doc eventsDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding events: %v", err)
+	}
+	return doc
+}
+
+// TestDebugEndpointsGated verifies the pprof and event surfaces respond
+// when cfg.Debug is set and 404 when it is not.
+func TestDebugEndpointsGated(t *testing.T) {
+	paths := []string{"/debug/events", "/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"}
+
+	cfg := testConfig()
+	cfg.Debug = true
+	srv := startServer(t, cfg)
+	for _, p := range paths {
+		resp, err := http.Get("http://" + srv.MetricsAddr() + p)
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d with Debug on, want 200", p, resp.StatusCode)
+		}
+	}
+	if doc := getEvents(t, srv.MetricsAddr()); doc.Total != 0 || len(doc.Events) != 0 {
+		t.Errorf("fresh server events = %+v, want empty", doc)
+	}
+
+	cfg = testConfig()
+	cfg.Debug = false
+	srv2 := startServer(t, cfg)
+	for _, p := range paths {
+		resp, err := http.Get("http://" + srv2.MetricsAddr() + p)
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d with Debug off, want 404", p, resp.StatusCode)
+		}
+	}
+}
+
+// TestDrainUnderLoadConsistency runs concurrent closed-loop clients,
+// shuts the server down mid-stream, and asserts the observability layer
+// stayed consistent through the drain: every batch observed by the encode
+// stage was replied (frame_write count and batches_total match), the
+// client-side reply tally agrees, and every session_open has a matching
+// session_close event plus one drain_begin.
+func TestDrainUnderLoadConsistency(t *testing.T) {
+	const conns = 6
+	cfg := testConfig()
+	cfg.EventBuffer = 1024
+	srv := startServer(t, cfg)
+
+	var replies atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := client.Dial(srv.Addr(), "universal", 32)
+			if err != nil {
+				t.Errorf("conn %d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(i)))
+			txns := makeTxns(rng, 64, 32)
+			for {
+				if _, err := c.Transcode(txns); err != nil {
+					return // the drain tears the session down
+				}
+				replies.Add(1)
+			}
+		}(i)
+	}
+
+	// Let the load run, then drain mid-stream.
+	time.Sleep(150 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+
+	if replies.Load() == 0 {
+		t.Fatal("no batches completed before the drain")
+	}
+
+	// The metrics endpoint stays up until Close: scrape post-drain state.
+	samples := parseProm(t, httpGet(t, "http://"+srv.MetricsAddr()+"/metrics"))
+	if one(t, samples, "bxtd_draining", nil).value != 1 {
+		t.Error("bxtd_draining != 1 after Shutdown")
+	}
+	sl := map[string]string{"scheme": "universal"}
+	batches := one(t, samples, "bxtd_batches_total", sl).value
+	encodes := one(t, samples, "bxtd_stage_seconds_count",
+		map[string]string{"scheme": "universal", "stage": "codec_encode"}).value
+	writes := one(t, samples, "bxtd_stage_seconds_count",
+		map[string]string{"scheme": "universal", "stage": "frame_write"}).value
+	if got := float64(replies.Load()); batches != got || encodes != got || writes != got {
+		t.Errorf("batches observed != batches replied: clients got %g replies, batches_total %g, encode count %g, write count %g",
+			got, batches, encodes, writes)
+	}
+
+	// Lifecycle events: one open and one close per session, one drain.
+	doc := getEvents(t, srv.MetricsAddr())
+	byType := map[string][]obs.Event{}
+	for _, e := range doc.Events {
+		byType[e.Type] = append(byType[e.Type], e)
+	}
+	if n := len(byType[obs.EventSessionOpen]); n != conns {
+		t.Errorf("%d session_open events, want %d", n, conns)
+	}
+	if n := len(byType[obs.EventSessionClose]); n != conns {
+		t.Errorf("%d session_close events, want %d", n, conns)
+	}
+	if n := len(byType[obs.EventDrainBegin]); n != 1 {
+		t.Errorf("%d drain_begin events, want 1", n)
+	}
+	var closedBatches uint64
+	closedSessions := map[uint64]bool{}
+	for _, e := range byType[obs.EventSessionClose] {
+		if e.Scheme != "universal" {
+			t.Errorf("session_close for scheme %q", e.Scheme)
+		}
+		closedBatches += e.Batches
+		closedSessions[e.Session] = true
+	}
+	for _, e := range byType[obs.EventSessionOpen] {
+		if !closedSessions[e.Session] {
+			t.Errorf("session %d opened but never closed", e.Session)
+		}
+	}
+	if closedBatches != uint64(replies.Load()) {
+		t.Errorf("session_close events account %d batches, clients got %d replies", closedBatches, replies.Load())
+	}
+}

@@ -12,27 +12,42 @@
 // so a stalled or malicious client costs one connection slot, never a pool
 // worker. Shutdown drains: the listener closes, /healthz flips to
 // draining, in-flight batches complete and flush, then sessions close.
+//
+// Observability (internal/obs): structured slog logging with per-session
+// IDs, per-(scheme, stage) latency histograms and Go runtime gauges on
+// /metrics, and — when config.Server.Debug is set — net/http/pprof plus a
+// /debug/events ring of recent lifecycle events on the metrics listener.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/power"
 	"github.com/hpca18/bxt/internal/trace"
 )
 
 // Server is a bxtd gateway instance.
 type Server struct {
-	cfg   config.Server
-	met   *metrics
-	model *power.Model
+	cfg    config.Server
+	met    *metrics
+	log    *slog.Logger
+	events *obs.EventBuffer
+	model  *power.Model
+	// sessionIDs hands out the per-connection IDs that correlate logs,
+	// events and errors for one session.
+	sessionIDs atomic.Uint64
 	// slots is the worker pool: holding a token admits one batch encode.
 	slots chan struct{}
 
@@ -51,18 +66,67 @@ type Server struct {
 	testHookBatch func()
 }
 
-// New validates cfg and returns an unstarted server.
+// New validates cfg and returns an unstarted server. The structured
+// logger (level and format from cfg) writes to stderr; swap it with
+// SetLogger before Start.
 func New(cfg config.Server) (*Server, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	logger, err := obs.NewLogger(os.Stderr, cfg.LogLevel, cfg.LogFormat)
+	if err != nil {
+		return nil, err // unreachable after Validate, but keep the contract
+	}
 	return &Server{
 		cfg:      cfg,
 		met:      newMetrics(),
+		log:      logger,
+		events:   obs.NewEventBuffer(cfg.EventBuffer),
 		model:    power.NewModel(),
 		slots:    make(chan struct{}, cfg.Workers),
 		sessions: make(map[*session]struct{}),
 	}, nil
+}
+
+// Logger returns the server's structured logger, so the embedding command
+// logs through the same handler.
+func (s *Server) Logger() *slog.Logger { return s.log }
+
+// SetLogger replaces the logger; call before Start.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l != nil {
+		s.log = l
+	}
+}
+
+// Tracer returns the per-(scheme, stage) latency tracer backing the
+// bxtd_stage_seconds exposition.
+func (s *Server) Tracer() obs.Tracer { return s.met.stages }
+
+// buildMux assembles the metrics listener's handler: health, metrics,
+// and — only when cfg.Debug — the pprof and event-ring debug surfaces.
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.isDraining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.met.writeExposition(w, s.isDraining())
+	})
+	if s.cfg.Debug {
+		mux.Handle("/debug/events", s.events)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
 }
 
 // Start opens both listeners and begins serving. It returns immediately;
@@ -83,8 +147,14 @@ func (s *Server) Start() error {
 		return fmt.Errorf("server: listen %s: %w", s.cfg.MetricsAddr, err)
 	}
 	s.ln, s.httpLn = ln, httpLn
-	s.httpSrv = &http.Server{Handler: s.met.handler(s.isDraining)}
+	s.httpSrv = &http.Server{Handler: s.buildMux()}
 	s.started = true
+	s.log.Info("listening",
+		"addr", ln.Addr().String(),
+		"metrics_addr", httpLn.Addr().String(),
+		"debug", s.cfg.Debug,
+		"workers", s.cfg.Workers,
+		"max_conns", s.cfg.MaxConns)
 
 	go s.httpSrv.Serve(httpLn) //nolint:errcheck // returns on Close
 	s.wg.Add(1)
@@ -152,6 +222,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 
 // refuse answers conn with an error frame and closes it.
 func (s *Server) refuse(conn net.Conn, msg string) {
+	s.log.Warn("connection refused", "remote", conn.RemoteAddr().String(), "reason", msg)
+	s.events.Add(obs.Event{Type: obs.EventConnRefused, Detail: msg})
 	conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	_ = trace.WriteFrame(conn, trace.FrameError, []byte(msg))
 	conn.Close()
@@ -166,6 +238,7 @@ func (s *Server) newSession(conn net.Conn) *session {
 	}
 	ss := &session{
 		srv:  s,
+		id:   s.sessionIDs.Add(1),
 		conn: conn,
 		br:   newReader(conn),
 		bw:   newWriter(conn),
@@ -200,6 +273,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		sessions = append(sessions, ss)
 	}
 	s.mu.Unlock()
+
+	if !already {
+		s.log.Info("draining", "open_sessions", len(sessions))
+		s.events.Add(obs.Event{Type: obs.EventDrainBegin, Detail: fmt.Sprintf("%d open sessions", len(sessions))})
+	}
 
 	if !already && ln != nil {
 		ln.Close()

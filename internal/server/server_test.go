@@ -28,6 +28,7 @@ func testConfig() config.Server {
 	cfg.ListenAddr = "127.0.0.1:0"
 	cfg.MetricsAddr = "127.0.0.1:0"
 	cfg.Workers = 4
+	cfg.LogLevel = "error" // keep test output quiet
 	cfg.ReadTimeout = 5 * time.Second
 	cfg.WriteTimeout = 5 * time.Second
 	cfg.DrainTimeout = 10 * time.Second

@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"time"
 
 	"github.com/hpca18/bxt/internal/bus"
 	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/scheme"
 	"github.com/hpca18/bxt/internal/trace"
 )
@@ -27,6 +29,7 @@ type outFrame struct {
 // batches in arrival order.
 type session struct {
 	srv  *Server
+	id   uint64
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
@@ -34,8 +37,15 @@ type session struct {
 	schemeName string
 	codec      core.Codec
 	txnSize    int
+	metaBits   int
 	metaBytes  int
 	counters   *schemeCounters
+	log        *slog.Logger
+
+	// Stage histograms, resolved once at handshake so per-batch
+	// observation is one mutex on the (scheme, stage) histogram.
+	readH, encH, accH, writeH *obs.Histogram
+	batches                   uint64
 
 	// baseBus and encBus carry the session's wire state for baseline and
 	// encoded transfers; their divergence is the value the gateway reports.
@@ -61,6 +71,9 @@ func (ss *session) run() {
 	defer ss.conn.Close()
 
 	if err := ss.handshake(); err != nil {
+		ss.srv.log.Warn("handshake failed",
+			"session", ss.id, "remote", ss.conn.RemoteAddr().String(), "err", err)
+		ss.srv.events.Add(obs.Event{Type: obs.EventHandshakeFailed, Session: ss.id, Detail: err.Error()})
 		// Handshake failures are written synchronously: the writer
 		// goroutine does not exist yet.
 		ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
@@ -68,6 +81,7 @@ func (ss *session) run() {
 		_ = ss.bw.Flush()
 		return
 	}
+	opened := time.Now()
 
 	ss.out = make(chan outFrame, 4)
 	ss.writerDone = make(chan struct{})
@@ -75,6 +89,15 @@ func (ss *session) run() {
 	ss.readLoop()
 	close(ss.out)
 	<-ss.writerDone
+
+	ss.log.Info("session closed", "batches", ss.batches, "age", time.Since(opened).Round(time.Millisecond).String())
+	ss.srv.events.Add(obs.Event{
+		Type:       obs.EventSessionClose,
+		Session:    ss.id,
+		Scheme:     ss.schemeName,
+		Batches:    ss.batches,
+		DurationMS: float64(time.Since(opened)) / float64(time.Millisecond),
+	})
 }
 
 // handshake reads and answers the Hello frame.
@@ -118,10 +141,25 @@ func (ss *session) handshake() error {
 	ss.schemeName = name
 	ss.codec = codec
 	ss.txnSize = h.TxnSize
-	ss.metaBytes = (codec.MetaBits(h.TxnSize) + 7) / 8
+	ss.metaBits = codec.MetaBits(h.TxnSize)
+	ss.metaBytes = (ss.metaBits + 7) / 8
 	ss.counters = ss.srv.met.scheme(name)
 	ss.baseBus = bus.New(ss.srv.cfg.ChannelWidthBits)
 	ss.encBus = bus.New(ss.srv.cfg.ChannelWidthBits)
+
+	stages := ss.srv.met.stages
+	ss.readH = stages.Hist(name, obs.StageFrameRead)
+	ss.encH = stages.Hist(name, obs.StageEncode)
+	ss.accH = stages.Hist(name, obs.StageAccount)
+	ss.writeH = stages.Hist(name, obs.StageFrameWrite)
+	ss.log = ss.srv.log.With("session", ss.id, "scheme", name)
+	ss.log.Info("session open", "remote", ss.conn.RemoteAddr().String(), "txn_size", h.TxnSize)
+	ss.srv.events.Add(obs.Event{
+		Type:    obs.EventSessionOpen,
+		Session: ss.id,
+		Scheme:  name,
+		Detail:  ss.conn.RemoteAddr().String(),
+	})
 
 	okBody := trace.MarshalHelloOK(trace.HelloOK{
 		Version:    trace.ProtocolVersion,
@@ -146,6 +184,7 @@ func (ss *session) readLoop() {
 			return
 		}
 		ss.conn.SetReadDeadline(time.Now().Add(ss.srv.cfg.ReadTimeout))
+		readStart := time.Now()
 		ft, body, err := trace.ReadFrame(ss.br, fbuf)
 		if err != nil {
 			if err == io.EOF {
@@ -166,6 +205,9 @@ func (ss *session) readLoop() {
 		}
 		switch ft {
 		case trace.FrameBatch:
+			// The frame_read stage includes the wait for the client's
+			// next batch, so it reflects arrival gaps, not just parsing.
+			ss.readH.ObserveDuration(time.Since(readStart))
 			txns, err := trace.ParseBatch(body, ss.txnSize, ss.txns[:0])
 			if err != nil {
 				ss.fail(err.Error())
@@ -196,26 +238,44 @@ func (ss *session) readLoop() {
 
 // processBatch encodes one batch with the session codec, drives the
 // baseline and encoded transfers over the session's bus models, and builds
-// the BatchReply frame body.
+// the BatchReply frame body. The two passes are timed separately: pass one
+// is the codec_encode stage, pass two (bus transfers + power estimate) the
+// phy_account stage.
 func (ss *session) processBatch(txns []trace.Transaction) ([]byte, error) {
 	if hook := ss.srv.testHookBatch; hook != nil {
 		hook()
 	}
+	encStart := time.Now()
 	ss.recBuf = ss.recBuf[:0]
 	for i := range txns {
 		t := &txns[i]
 		if err := ss.codec.Encode(&ss.enc, t.Data); err != nil {
 			return nil, fmt.Errorf("scheme %s: encoding transaction %#x: %v", ss.schemeName, t.Addr, err)
 		}
-		raw := core.Encoded{Data: t.Data}
+		ss.recBuf = append(ss.recBuf, ss.enc.Data...)
+		ss.recBuf = append(ss.recBuf, ss.enc.Meta...)
+	}
+	accStart := time.Now()
+	ss.encH.ObserveDuration(accStart.Sub(encStart))
+
+	// Accounting replays the records just built (the encoded payload is
+	// txnSize bytes plus metaBytes of side-band per record, the same fixed
+	// geometry the client parses).
+	recLen := ss.txnSize + ss.metaBytes
+	if len(ss.recBuf) != len(txns)*recLen {
+		return nil, fmt.Errorf("scheme %s: produced %d record bytes for %d transactions, want %d",
+			ss.schemeName, len(ss.recBuf), len(txns), len(txns)*recLen)
+	}
+	for i := range txns {
+		raw := core.Encoded{Data: txns[i].Data}
 		if err := ss.baseBus.Transfer(&raw); err != nil {
 			return nil, err
 		}
-		if err := ss.encBus.Transfer(&ss.enc); err != nil {
+		rec := ss.recBuf[i*recLen : (i+1)*recLen]
+		enc := core.Encoded{Data: rec[:ss.txnSize], Meta: rec[ss.txnSize:], MetaBits: ss.metaBits}
+		if err := ss.encBus.Transfer(&enc); err != nil {
 			return nil, err
 		}
-		ss.recBuf = append(ss.recBuf, ss.enc.Data...)
-		ss.recBuf = append(ss.recBuf, ss.enc.Meta...)
 	}
 
 	baseNow, encNow := ss.baseBus.Stats(), ss.encBus.Stats()
@@ -234,6 +294,22 @@ func (ss *session) processBatch(txns []trace.Transaction) ([]byte, error) {
 		EncodedPJ:     ss.srv.model.Estimate(encDelta).Total() * 1e12,
 	}
 	ss.counters.observe(stats)
+	done := time.Now()
+	ss.accH.ObserveDuration(done.Sub(accStart))
+	ss.batches++
+
+	if total := done.Sub(encStart); total >= ss.srv.cfg.SlowBatch {
+		ss.log.Warn("slow batch", "txns", len(txns), "took", total.Round(time.Microsecond).String())
+		ss.srv.events.Add(obs.Event{
+			Type:       obs.EventSlowBatch,
+			Session:    ss.id,
+			Scheme:     ss.schemeName,
+			Txns:       len(txns),
+			DurationMS: float64(total) / float64(time.Millisecond),
+		})
+	} else {
+		ss.log.Debug("batch", "txns", len(txns), "took", total.Round(time.Microsecond).String())
+	}
 
 	body := trace.AppendBatchStats(make([]byte, 0, len(ss.recBuf)+64), stats)
 	return append(body, ss.recBuf...), nil
@@ -257,6 +333,7 @@ func (ss *session) writeLoop() {
 			continue // drain the queue so the reader never blocks
 		}
 		ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
+		writeStart := time.Now()
 		if err := trace.WriteFrame(ss.bw, f.t, f.body); err != nil {
 			broken = true
 			ss.conn.Close()
@@ -266,7 +343,13 @@ func (ss *session) writeLoop() {
 			if err := ss.bw.Flush(); err != nil {
 				broken = true
 				ss.conn.Close()
+				continue
 			}
+		}
+		// Only batch replies feed the frame_write histogram, so its count
+		// matches codec_encode's: batches observed == batches replied.
+		if f.t == trace.FrameBatchReply {
+			ss.writeH.ObserveDuration(time.Since(writeStart))
 		}
 	}
 	if !broken {
