@@ -1,10 +1,13 @@
-// Command bxtbench regenerates the paper's tables and figures.
+// Command bxtbench regenerates the paper's tables and figures, and
+// benchmarks the implementation itself.
 //
 // Usage:
 //
 //	bxtbench            # run every experiment in publication order
 //	bxtbench -list      # list experiment IDs
 //	bxtbench -run fig15 # run one experiment
+//	bxtbench -codec     # benchmark the codec + gateway hot paths into
+//	                    # BENCH_codec.json (ns/op, MB/s, allocs/op)
 package main
 
 import (
@@ -18,9 +21,16 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	run := flag.String("run", "", "run a single experiment by ID (e.g. fig15)")
+	codec := flag.Bool("codec", false, "benchmark codec and gateway hot paths, write a JSON report")
+	out := flag.String("o", "BENCH_codec.json", "output path for -codec (\"-\" for stdout)")
 	flag.Parse()
 
 	switch {
+	case *codec:
+		if err := runCodecBench(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "bxtbench:", err)
+			os.Exit(1)
+		}
 	case *list:
 		for _, e := range experiments.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)

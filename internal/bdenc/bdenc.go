@@ -14,7 +14,9 @@
 package bdenc
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"github.com/hpca18/bxt/internal/core"
 )
@@ -44,10 +46,13 @@ type BD struct {
 	// differences.
 	Threshold int
 
-	repo     [RepositoryEntries][WordBytes]byte
+	// Repositories hold each 8-byte word as a uint64 so the 64-entry
+	// nearest-neighbour scan is one XOR + popcount per entry — the same
+	// word-parallel comparator array the scheme's hardware would use.
+	repo     [RepositoryEntries]uint64
 	valid    [RepositoryEntries]bool
 	next     int // FIFO insertion cursor
-	decRepo  [RepositoryEntries][WordBytes]byte
+	decRepo  [RepositoryEntries]uint64
 	decValid [RepositoryEntries]bool
 	decNext  int
 }
@@ -83,13 +88,13 @@ func (b *BD) check(n int) error {
 // closest returns the index of the valid repository entry with minimal
 // Hamming distance to word, or -1 if the repository is empty. Ties break to
 // the lowest index so encoder and decoder stay deterministic.
-func (b *BD) closest(word []byte) (idx, dist int) {
+func (b *BD) closest(word uint64) (idx, dist int) {
 	idx, dist = -1, WordBytes*8+1
 	for i := range b.repo {
 		if !b.valid[i] {
 			continue
 		}
-		if d := core.HammingDistance(word, b.repo[i][:]); d < dist {
+		if d := bits.OnesCount64(word ^ b.repo[i]); d < dist {
 			idx, dist = i, d
 		}
 	}
@@ -97,15 +102,15 @@ func (b *BD) closest(word []byte) (idx, dist int) {
 }
 
 // insert FIFO-inserts word into the encoder repository.
-func (b *BD) insert(word []byte) {
-	copy(b.repo[b.next][:], word)
+func (b *BD) insert(word uint64) {
+	b.repo[b.next] = word
 	b.valid[b.next] = true
 	b.next = (b.next + 1) % RepositoryEntries
 }
 
 // insertDec mirrors insert for the decoder repository.
-func (b *BD) insertDec(word []byte) {
-	copy(b.decRepo[b.decNext][:], word)
+func (b *BD) insertDec(word uint64) {
+	b.decRepo[b.decNext] = word
 	b.decValid[b.decNext] = true
 	b.decNext = (b.decNext + 1) % RepositoryEntries
 }
@@ -118,19 +123,17 @@ func (b *BD) Encode(dst *core.Encoded, src []byte) error {
 	}
 	dst.Resize(len(src), b.MetaBits(len(src)))
 	for w := 0; w*WordBytes < len(src); w++ {
-		word := src[w*WordBytes : (w+1)*WordBytes]
-		out := dst.Data[w*WordBytes : (w+1)*WordBytes]
+		word := binary.LittleEndian.Uint64(src[w*WordBytes:])
+		out := word
 		idx, dist := b.closest(word)
 		if idx >= 0 && dist < b.Threshold {
 			// Hit: transfer the bitwise difference plus the index.
-			for i := range out {
-				out[i] = word[i] ^ b.repo[idx][i]
-			}
+			out = word ^ b.repo[idx]
 			dst.Meta[w] = 0x80 | byte(idx)
 		} else {
-			copy(out, word)
 			dst.Meta[w] = 0
 		}
+		binary.LittleEndian.PutUint64(dst.Data[w*WordBytes:], out)
 		b.insert(word)
 	}
 	return nil
@@ -145,20 +148,17 @@ func (b *BD) Decode(dst []byte, src *core.Encoded) error {
 		return err
 	}
 	for w := 0; w*WordBytes < len(dst); w++ {
-		enc := src.Data[w*WordBytes : (w+1)*WordBytes]
-		out := dst[w*WordBytes : (w+1)*WordBytes]
+		enc := binary.LittleEndian.Uint64(src.Data[w*WordBytes:])
+		out := enc
 		meta := src.Meta[w]
 		if meta&0x80 != 0 {
 			idx := int(meta & 0x3f)
 			if !b.decValid[idx] {
 				return fmt.Errorf("bdenc: metadata references empty repository entry %d", idx)
 			}
-			for i := range out {
-				out[i] = enc[i] ^ b.decRepo[idx][i]
-			}
-		} else {
-			copy(out, enc)
+			out = enc ^ b.decRepo[idx]
 		}
+		binary.LittleEndian.PutUint64(dst[w*WordBytes:], out)
 		b.insertDec(out)
 	}
 	return nil

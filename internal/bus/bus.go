@@ -11,7 +11,9 @@
 package bus
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"github.com/hpca18/bxt/internal/core"
 )
@@ -126,9 +128,13 @@ func (b *Bus) Transfer(e *core.Encoded) error {
 
 	for beat := 0; beat < beats; beat++ {
 		data := e.Data[beat*b.beatBytes : (beat+1)*b.beatBytes]
-		b.stats.DataOnes += core.OnesCount(data)
+		// One fused walk per beat: the 1-value count and the Hamming
+		// toggle count against the previous beat come out of the same
+		// word loads, instead of two separate slice passes.
+		ones, toggles := onesAndToggles(data, b.lastData)
+		b.stats.DataOnes += ones
 		if b.haveState {
-			b.stats.DataToggles += core.HammingDistance(data, b.lastData)
+			b.stats.DataToggles += toggles
 		}
 		copy(b.lastData, data)
 
@@ -149,6 +155,31 @@ func (b *Bus) Transfer(e *core.Encoded) error {
 	b.stats.DataBits += n * 8
 	b.stats.MetaBits += e.MetaBits
 	return nil
+}
+
+// onesAndToggles returns the number of 1 bits in cur and the number of bit
+// positions at which cur and last differ, from a single walk in uint64 (then
+// uint32, then byte) lanes. The slices must have equal length.
+func onesAndToggles(cur, last []byte) (ones, toggles int) {
+	i := 0
+	for ; i+8 <= len(cur); i += 8 {
+		c := binary.LittleEndian.Uint64(cur[i:])
+		l := binary.LittleEndian.Uint64(last[i:])
+		ones += bits.OnesCount64(c)
+		toggles += bits.OnesCount64(c ^ l)
+	}
+	if i+4 <= len(cur) {
+		c := binary.LittleEndian.Uint32(cur[i:])
+		l := binary.LittleEndian.Uint32(last[i:])
+		ones += bits.OnesCount32(c)
+		toggles += bits.OnesCount32(c ^ l)
+		i += 4
+	}
+	for ; i < len(cur); i++ {
+		ones += bits.OnesCount8(cur[i])
+		toggles += bits.OnesCount8(cur[i] ^ last[i])
+	}
+	return ones, toggles
 }
 
 // Idle drives n idle beats: between bursts the terminated bus parks at VDD

@@ -60,6 +60,10 @@ type Client struct {
 	metaBytes  int
 	batchLimit int
 	fbuf       []byte
+	// bbuf and recs are reused across Transcode calls so a steady-state
+	// streaming client allocates nothing per batch.
+	bbuf []byte
+	recs []trace.EncodedRecord
 }
 
 // Dial connects to a gateway and opens a session running the named scheme
@@ -170,10 +174,11 @@ func (c *Client) Transcode(txns []trace.Transaction) (trace.BatchReply, error) {
 		return trace.BatchReply{}, fmt.Errorf("%w: batch of %d exceeds server limit %d", trace.ErrBadFrame, len(txns), c.batchLimit)
 	}
 	writeStart := time.Now()
-	body, err := trace.MarshalBatch(txns, c.txnSize)
+	body, err := trace.AppendBatch(c.bbuf[:0], txns, c.txnSize)
 	if err != nil {
 		return trace.BatchReply{}, err
 	}
+	c.bbuf = body[:0]
 	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.IOTimeout))
 	if err := trace.WriteFrame(c.bw, trace.FrameBatch, body); err != nil {
 		return trace.BatchReply{}, fmt.Errorf("client: sending batch: %w", err)
@@ -190,7 +195,11 @@ func (c *Client) Transcode(txns []trace.Transaction) (trace.BatchReply, error) {
 	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageFrameRead, time.Since(readStart))
 	switch ft {
 	case trace.FrameBatchReply:
-		return trace.ParseBatchReply(rbody, c.txnSize, c.metaBytes)
+		reply, err := trace.ParseBatchReplyInto(rbody, c.txnSize, c.metaBytes, c.recs)
+		if err == nil {
+			c.recs = reply.Records
+		}
+		return reply, err
 	case trace.FrameError:
 		return trace.BatchReply{}, fmt.Errorf("%w: %s", ErrServer, rbody)
 	default:

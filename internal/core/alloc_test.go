@@ -1,0 +1,51 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCodecZeroAlloc pins the zero-allocation contract of the transaction
+// hot path: after the first Encode sizes the destination, steady-state
+// Encode and Decode must not allocate, on both the word kernels and the
+// byte-generic reference.
+func TestCodecZeroAlloc(t *testing.T) {
+	codecs := []Codec{
+		NewBaseXOR(2), NewBaseXOR(4), NewBaseXOR(8),
+		&BaseXOR{BaseSize: 16, ZDR: true},
+		&BaseXOR{BaseSize: 4, ZDR: true, Mode: FixedBase},
+		&BaseXOR{BaseSize: 4, ZDR: true, forceRef: true},
+		NewSILENT(4),
+		NewUniversal(3),
+		&Universal{Stages: 4, ZDR: true},
+		&Universal{Stages: 3, ZDR: true, forceRef: true},
+		NewOracleBase(),
+	}
+	rng := rand.New(rand.NewSource(3))
+	src := make([]byte, 32)
+	rng.Read(src)
+	for _, c := range codecs {
+		t.Run(c.Name(), func(t *testing.T) {
+			var enc Encoded
+			dst := make([]byte, len(src))
+			// Warm up: sizes enc.Data/Meta and any cached kernel plan.
+			if err := c.Encode(&enc, src); err != nil {
+				t.Fatal(err)
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if err := c.Encode(&enc, src); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("Encode allocates %.1f times per transaction, want 0", avg)
+			}
+			if avg := testing.AllocsPerRun(100, func() {
+				if err := c.Decode(dst, &enc); err != nil {
+					t.Fatal(err)
+				}
+			}); avg != 0 {
+				t.Errorf("Decode allocates %.1f times per transaction, want 0", avg)
+			}
+		})
+	}
+}

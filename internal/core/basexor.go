@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // BaseMode selects which element each XORed element is differenced against
 // (§V-B discusses both implementations).
@@ -55,8 +58,27 @@ type BaseXOR struct {
 	// powers of two collide with common data offsets.
 	ZDRConst []byte
 
-	cnst []byte // resolved constant
+	cnst        []byte // resolved constant (a copy, so mutation is detected)
+	cnstDefault bool   // cnst was derived from DefaultZDRConst
+	cnstWord    uint64 // little-endian word form for the specialized kernels
+	kern        bxKernel
+	kernSize    int // BaseSize the kernel and cnstWord were derived for
+
+	// forceRef pins the byte-generic reference path; the differential
+	// tests use it to check the word kernels against it.
+	forceRef bool
 }
+
+// bxKernel names the datapath check() selected for the current BaseSize.
+type bxKernel int
+
+const (
+	bxRef   bxKernel = iota // byte-generic reference (odd widths, forceRef)
+	bxW2                    // uint16 whole-transaction kernel
+	bxW4                    // uint32 whole-transaction kernel
+	bxW8                    // uint64 whole-transaction kernel
+	bxWords                 // per-element multiword kernel (width % 8 == 0)
+)
 
 var _ Codec = &BaseXOR{}
 
@@ -88,8 +110,14 @@ func (c *BaseXOR) Name() string {
 // MetaBits implements Codec; Base+XOR Transfer requires no metadata.
 func (c *BaseXOR) MetaBits(int) int { return 0 }
 
-// Reset implements Codec; BaseXOR is stateless across transactions.
-func (c *BaseXOR) Reset() {}
+// Reset implements Codec; BaseXOR carries no inter-transaction state, but
+// Reset drops the resolved-constant cache so a reconfigured codec starts
+// clean.
+func (c *BaseXOR) Reset() {
+	c.cnst = nil
+	c.cnstDefault = false
+	c.kernSize = 0
+}
 
 func (c *BaseXOR) check(n int) error {
 	if c.BaseSize < 1 || n < c.BaseSize || n%c.BaseSize != 0 {
@@ -99,11 +127,38 @@ func (c *BaseXOR) check(n int) error {
 		return fmt.Errorf("core: %s: ZDR constant has %d bytes, want %d",
 			c.Name(), len(c.ZDRConst), c.BaseSize)
 	}
-	if c.cnst == nil {
-		if c.ZDRConst != nil {
-			c.cnst = c.ZDRConst
-		} else {
-			c.cnst = DefaultZDRConst(c.BaseSize)
+	// (Re-)resolve the constant. A ZDRConst assigned — or mutated in
+	// place — after first use must take effect, so compare against the
+	// resolved copy instead of caching forever.
+	if c.ZDRConst != nil {
+		if c.cnstDefault || !equal(c.cnst, c.ZDRConst) {
+			c.cnst = append(c.cnst[:0], c.ZDRConst...)
+			c.cnstDefault = false
+			c.kernSize = 0 // re-derive kernel state below
+		}
+	} else if !c.cnstDefault || len(c.cnst) != c.BaseSize {
+		c.cnst = DefaultZDRConst(c.BaseSize)
+		c.cnstDefault = true
+		c.kernSize = 0
+	}
+	if c.kernSize != c.BaseSize {
+		c.kernSize = c.BaseSize
+		switch {
+		case c.forceRef:
+			c.kern = bxRef
+		case c.BaseSize == 2:
+			c.kern = bxW2
+			c.cnstWord = uint64(binary.LittleEndian.Uint16(c.cnst))
+		case c.BaseSize == 4:
+			c.kern = bxW4
+			c.cnstWord = uint64(binary.LittleEndian.Uint32(c.cnst))
+		case c.BaseSize == 8:
+			c.kern = bxW8
+			c.cnstWord = binary.LittleEndian.Uint64(c.cnst)
+		case c.BaseSize%8 == 0:
+			c.kern = bxWords
+		default:
+			c.kern = bxRef
 		}
 	}
 	return nil
@@ -116,6 +171,33 @@ func (c *BaseXOR) Encode(dst *Encoded, src []byte) error {
 	}
 	dst.grow(len(src), 0)
 	out := dst.Data
+	fixed := c.Mode == FixedBase
+	switch c.kern {
+	case bxW2:
+		encodeBaseXOR2(out, src, uint16(c.cnstWord), c.ZDR, fixed)
+	case bxW4:
+		encodeBaseXOR4(out, src, uint32(c.cnstWord), c.ZDR, fixed)
+	case bxW8:
+		encodeBaseXOR8(out, src, c.cnstWord, c.ZDR, fixed)
+	case bxWords:
+		bs := c.BaseSize
+		copy(out[:bs], src[:bs])
+		for off := bs; off < len(src); off += bs {
+			base := src[off-bs : off]
+			if fixed {
+				base = src[:bs]
+			}
+			encodeElemWords(out[off:off+bs], src[off:off+bs], base, c.cnst, c.ZDR)
+		}
+	default:
+		c.encodeRef(out, src)
+	}
+	return nil
+}
+
+// encodeRef is the byte-generic reference Encode datapath, retained for odd
+// element widths and as the oracle the word kernels are tested against.
+func (c *BaseXOR) encodeRef(out, src []byte) {
 	bs := c.BaseSize
 	// Element 0 is the base element, transferred unchanged.
 	copy(out[:bs], src[:bs])
@@ -129,7 +211,6 @@ func (c *BaseXOR) Encode(dst *Encoded, src []byte) error {
 		}
 		encodeElement(out[off:off+bs], in, base, c.cnst, c.ZDR)
 	}
-	return nil
 }
 
 // Decode implements Codec.
@@ -140,22 +221,47 @@ func (c *BaseXOR) Decode(dst []byte, src *Encoded) error {
 	if err := c.check(len(dst)); err != nil {
 		return err
 	}
+	fixed := c.Mode == FixedBase
+	switch c.kern {
+	case bxW2:
+		decodeBaseXOR2(dst, src.Data, uint16(c.cnstWord), c.ZDR, fixed)
+	case bxW4:
+		decodeBaseXOR4(dst, src.Data, uint32(c.cnstWord), c.ZDR, fixed)
+	case bxW8:
+		decodeBaseXOR8(dst, src.Data, c.cnstWord, c.ZDR, fixed)
+	case bxWords:
+		bs := c.BaseSize
+		copy(dst[:bs], src.Data[:bs])
+		for off := bs; off < len(dst); off += bs {
+			// Adjacent mode uses the *decoded* left neighbour, which
+			// is why the decode critical path is a serial chain
+			// (§V-B, Table II).
+			base := dst[off-bs : off]
+			if fixed {
+				base = dst[:bs]
+			}
+			decodeElemWords(dst[off:off+bs], src.Data[off:off+bs], base, c.cnst, c.ZDR)
+		}
+	default:
+		c.decodeRef(dst, src.Data)
+	}
+	return nil
+}
+
+// decodeRef is the byte-generic reference Decode datapath.
+func (c *BaseXOR) decodeRef(dst, data []byte) {
 	bs := c.BaseSize
-	copy(dst[:bs], src.Data[:bs])
+	copy(dst[:bs], data[:bs])
 	for off := bs; off < len(dst); off += bs {
-		enc := src.Data[off : off+bs]
+		enc := data[off : off+bs]
 		var base []byte
 		if c.Mode == FixedBase {
 			base = dst[:bs]
 		} else {
-			// Adjacent mode must use the *decoded* left neighbour,
-			// which is why the decode critical path is a serial
-			// chain (§V-B, Table II).
 			base = dst[off-bs : off]
 		}
 		decodeElement(dst[off:off+bs], enc, base, c.cnst, c.ZDR)
 	}
-	return nil
 }
 
 // encodeElement writes the encoded form of element in (with left/base

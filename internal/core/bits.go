@@ -23,6 +23,10 @@ func OnesCount(b []byte) int {
 	for ; i+8 <= len(b); i += 8 {
 		n += bits.OnesCount64(binary.LittleEndian.Uint64(b[i:]))
 	}
+	if i+4 <= len(b) {
+		n += bits.OnesCount32(binary.LittleEndian.Uint32(b[i:]))
+		i += 4
+	}
 	for ; i < len(b); i++ {
 		n += bits.OnesCount8(b[i])
 	}
@@ -40,6 +44,10 @@ func HammingDistance(a, b []byte) int {
 	i := 0
 	for ; i+8 <= len(a); i += 8 {
 		n += bits.OnesCount64(binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:]))
+	}
+	if i+4 <= len(a) {
+		n += bits.OnesCount32(binary.LittleEndian.Uint32(a[i:]) ^ binary.LittleEndian.Uint32(b[i:]))
+		i += 4
 	}
 	for ; i < len(a); i++ {
 		n += bits.OnesCount8(a[i] ^ b[i])

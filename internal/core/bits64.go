@@ -1,0 +1,365 @@
+package core
+
+// Word-parallel codec kernels. The byte-generic helpers in bits.go remain
+// the reference implementation (and the fallback for element widths with no
+// machine-word shape); everything in this file recomputes the same functions
+// in uint16/uint32/uint64 lanes so that a whole element — or a whole
+// transaction — moves through registers instead of byte loops. This mirrors
+// the paper's hardware (Fig 10), where zero detection and the base compare
+// are single parallel comparators over the element, not per-bit scans.
+//
+// Two kernel shapes exist:
+//
+//   - Whole-transaction kernels for the common 2/4/8-byte bases
+//     (encodeBaseXOR{2,4,8} / decodeBaseXOR{2,4,8}): one load per element,
+//     the running base kept in a register, and ZDR symbol detection as two
+//     word compares.
+//   - Multiword element kernels for any width that is a multiple of 8
+//     bytes (encodeElemWords / decodeElemWords): a single fused pass that
+//     XORs and accumulates the ZDR detection masks together, so the
+//     branchy per-byte early-exit compares of the reference path become
+//     two branch-free OR-reductions checked once per element.
+//
+// All kernels assume little-endian byte<->word views; encoding/binary's
+// fixed-offset loads compile to single MOVs on amd64/arm64 and byte-swapped
+// loads elsewhere, so results are identical on every platform.
+
+import "encoding/binary"
+
+// encodeBaseXOR2 is the whole-transaction Encode kernel for 2-byte bases.
+// len(src) == len(out), a positive multiple of 2; out must not alias src.
+func encodeBaseXOR2(out, src []byte, cnst uint16, zdr, fixed bool) {
+	base := binary.LittleEndian.Uint16(src)
+	binary.LittleEndian.PutUint16(out, base)
+	for off := 2; off < len(src); off += 2 {
+		in := binary.LittleEndian.Uint16(src[off:])
+		o := in ^ base
+		if zdr {
+			if in == 0 {
+				o = cnst
+			} else if in == base^cnst {
+				o = base
+			}
+		}
+		binary.LittleEndian.PutUint16(out[off:], o)
+		if !fixed {
+			base = in
+		}
+	}
+}
+
+// decodeBaseXOR2 inverts encodeBaseXOR2. dst must not alias enc.
+func decodeBaseXOR2(dst, enc []byte, cnst uint16, zdr, fixed bool) {
+	base := binary.LittleEndian.Uint16(enc)
+	binary.LittleEndian.PutUint16(dst, base)
+	for off := 2; off < len(dst); off += 2 {
+		e := binary.LittleEndian.Uint16(enc[off:])
+		o := e ^ base
+		if zdr {
+			if e == cnst {
+				o = 0
+			} else if e == base {
+				o = base ^ cnst
+			}
+		}
+		binary.LittleEndian.PutUint16(dst[off:], o)
+		if !fixed {
+			base = o
+		}
+	}
+}
+
+// encodeBaseXOR4 is the whole-transaction Encode kernel for 4-byte bases.
+func encodeBaseXOR4(out, src []byte, cnst uint32, zdr, fixed bool) {
+	base := binary.LittleEndian.Uint32(src)
+	binary.LittleEndian.PutUint32(out, base)
+	for off := 4; off < len(src); off += 4 {
+		in := binary.LittleEndian.Uint32(src[off:])
+		o := in ^ base
+		if zdr {
+			if in == 0 {
+				o = cnst
+			} else if in == base^cnst {
+				o = base
+			}
+		}
+		binary.LittleEndian.PutUint32(out[off:], o)
+		if !fixed {
+			base = in
+		}
+	}
+}
+
+// decodeBaseXOR4 inverts encodeBaseXOR4.
+func decodeBaseXOR4(dst, enc []byte, cnst uint32, zdr, fixed bool) {
+	base := binary.LittleEndian.Uint32(enc)
+	binary.LittleEndian.PutUint32(dst, base)
+	for off := 4; off < len(dst); off += 4 {
+		e := binary.LittleEndian.Uint32(enc[off:])
+		o := e ^ base
+		if zdr {
+			if e == cnst {
+				o = 0
+			} else if e == base {
+				o = base ^ cnst
+			}
+		}
+		binary.LittleEndian.PutUint32(dst[off:], o)
+		if !fixed {
+			base = o
+		}
+	}
+}
+
+// encodeBaseXOR8 is the whole-transaction Encode kernel for 8-byte bases.
+func encodeBaseXOR8(out, src []byte, cnst uint64, zdr, fixed bool) {
+	base := binary.LittleEndian.Uint64(src)
+	binary.LittleEndian.PutUint64(out, base)
+	for off := 8; off < len(src); off += 8 {
+		in := binary.LittleEndian.Uint64(src[off:])
+		o := in ^ base
+		if zdr {
+			if in == 0 {
+				o = cnst
+			} else if in == base^cnst {
+				o = base
+			}
+		}
+		binary.LittleEndian.PutUint64(out[off:], o)
+		if !fixed {
+			base = in
+		}
+	}
+}
+
+// decodeBaseXOR8 inverts encodeBaseXOR8.
+func decodeBaseXOR8(dst, enc []byte, cnst uint64, zdr, fixed bool) {
+	base := binary.LittleEndian.Uint64(enc)
+	binary.LittleEndian.PutUint64(dst, base)
+	for off := 8; off < len(dst); off += 8 {
+		e := binary.LittleEndian.Uint64(enc[off:])
+		o := e ^ base
+		if zdr {
+			if e == cnst {
+				o = 0
+			} else if e == base {
+				o = base ^ cnst
+			}
+		}
+		binary.LittleEndian.PutUint64(dst[off:], o)
+		if !fixed {
+			base = o
+		}
+	}
+}
+
+// encodeElemWords encodes one element whose width is a multiple of 8 bytes,
+// equivalent to encodeElement. The common case (no ZDR remap fires) is a
+// single pass that writes in^base while OR-accumulating the two detection
+// masks; the rare remap cases overwrite the element afterwards. out must not
+// alias in or base.
+func encodeElemWords(out, in, base, cnst []byte, zdr bool) {
+	if !zdr {
+		xorWords(out, in, base)
+		return
+	}
+	var accZero, accConst uint64
+	for off := 0; off+8 <= len(in); off += 8 {
+		iw := binary.LittleEndian.Uint64(in[off:])
+		bw := binary.LittleEndian.Uint64(base[off:])
+		cw := binary.LittleEndian.Uint64(cnst[off:])
+		accZero |= iw
+		accConst |= iw ^ bw ^ cw
+		binary.LittleEndian.PutUint64(out[off:], iw^bw)
+	}
+	if accZero == 0 {
+		copy(out, cnst)
+	} else if accConst == 0 {
+		copy(out, base)
+	}
+}
+
+// decodeElemWords inverts encodeElemWords. out may alias enc (in-place
+// decode): each word is read before the same word is written, and the remap
+// fix-ups depend only on base and cnst. out must not alias base.
+func decodeElemWords(out, enc, base, cnst []byte, zdr bool) {
+	if !zdr {
+		xorWords(out, enc, base)
+		return
+	}
+	var accConst, accBase uint64
+	for off := 0; off+8 <= len(enc); off += 8 {
+		ew := binary.LittleEndian.Uint64(enc[off:])
+		bw := binary.LittleEndian.Uint64(base[off:])
+		cw := binary.LittleEndian.Uint64(cnst[off:])
+		accConst |= ew ^ cw
+		accBase |= ew ^ bw
+		binary.LittleEndian.PutUint64(out[off:], ew^bw)
+	}
+	if accConst == 0 {
+		for i := range out {
+			out[i] = 0
+		}
+	} else if accBase == 0 {
+		xorWords(out, base, cnst)
+	}
+}
+
+// xorWords stores a XOR b into dst in 8-byte lanes. All slices have the same
+// length, a multiple of 8; dst may alias a or b.
+func xorWords(dst, a, b []byte) {
+	for off := 0; off+8 <= len(dst); off += 8 {
+		binary.LittleEndian.PutUint64(dst[off:],
+			binary.LittleEndian.Uint64(a[off:])^binary.LittleEndian.Uint64(b[off:]))
+	}
+}
+
+// encodeUniversal32x3 is the whole-transaction Universal kernel for the
+// paper's dominant shape: a 32-byte sector through 3 halving stages (Table
+// II). The entire transaction lives in four uint64 registers; every stage's
+// ZDR symbol detection is one or two word compares, exactly the parallel
+// comparator tree of Fig 10. Stage constants are the defaults (0x40 00 …),
+// whose little-endian word form is just 0x40. out must not alias src.
+func encodeUniversal32x3(out, src []byte, zdr bool) {
+	w0 := binary.LittleEndian.Uint64(src)
+	w1 := binary.LittleEndian.Uint64(src[8:])
+	w2 := binary.LittleEndian.Uint64(src[16:])
+	w3 := binary.LittleEndian.Uint64(src[24:])
+	const k = uint64(zdrConstByte)
+	// Stage 1: 16-byte halves, base (w0,w1), constant (k,0).
+	o2, o3 := w2^w0, w3^w1
+	if zdr {
+		if w2|w3 == 0 {
+			o2, o3 = k, 0
+		} else if o2 == k && o3 == 0 { // in == base^const
+			o2, o3 = w0, w1
+		}
+	}
+	// Stage 2: 8-byte halves, base w0, constant k.
+	o1 := w1 ^ w0
+	if zdr {
+		if w1 == 0 {
+			o1 = k
+		} else if o1 == k {
+			o1 = w0
+		}
+	}
+	// Stage 3: 4-byte halves inside w0 (low word is the effective base).
+	lo, hi := uint32(w0), uint32(w0>>32)
+	oh := hi ^ lo
+	if zdr {
+		if hi == 0 {
+			oh = uint32(k)
+		} else if oh == uint32(k) {
+			oh = lo
+		}
+	}
+	binary.LittleEndian.PutUint64(out, uint64(lo)|uint64(oh)<<32)
+	binary.LittleEndian.PutUint64(out[8:], o1)
+	binary.LittleEndian.PutUint64(out[16:], o2)
+	binary.LittleEndian.PutUint64(out[24:], o3)
+}
+
+// decodeUniversal32x3 inverts encodeUniversal32x3, unwinding the stages
+// innermost-first. dst must not alias enc.
+func decodeUniversal32x3(dst, enc []byte, zdr bool) {
+	e0 := binary.LittleEndian.Uint64(enc)
+	e1 := binary.LittleEndian.Uint64(enc[8:])
+	e2 := binary.LittleEndian.Uint64(enc[16:])
+	e3 := binary.LittleEndian.Uint64(enc[24:])
+	const k = uint64(zdrConstByte)
+	// Stage 3: recover the high 4-byte half of word 0.
+	lo, hi := uint32(e0), uint32(e0>>32)
+	dh := hi ^ lo
+	if zdr {
+		if hi == uint32(k) {
+			dh = 0
+		} else if hi == lo {
+			dh = lo ^ uint32(k)
+		}
+	}
+	w0 := uint64(lo) | uint64(dh)<<32
+	// Stage 2: recover word 1 against the decoded word 0.
+	w1 := e1 ^ w0
+	if zdr {
+		if e1 == k {
+			w1 = 0
+		} else if e1 == w0 {
+			w1 = w0 ^ k
+		}
+	}
+	// Stage 1: recover words 2 and 3 against the decoded (w0,w1).
+	w2, w3 := e2^w0, e3^w1
+	if zdr {
+		if e2 == k && e3 == 0 {
+			w2, w3 = 0, 0
+		} else if e2 == w0 && e3 == w1 {
+			w2, w3 = w0^k, w1
+		}
+	}
+	binary.LittleEndian.PutUint64(dst, w0)
+	binary.LittleEndian.PutUint64(dst[8:], w1)
+	binary.LittleEndian.PutUint64(dst[16:], w2)
+	binary.LittleEndian.PutUint64(dst[24:], w3)
+}
+
+// encodeElemU32 encodes one 4-byte element in a single uint32 lane,
+// equivalent to encodeElement. out must not alias in or base.
+func encodeElemU32(out, in, base []byte, cnst uint32, zdr bool) {
+	iw := binary.LittleEndian.Uint32(in)
+	bw := binary.LittleEndian.Uint32(base)
+	o := iw ^ bw
+	if zdr {
+		if iw == 0 {
+			o = cnst
+		} else if iw == bw^cnst {
+			o = bw
+		}
+	}
+	binary.LittleEndian.PutUint32(out, o)
+}
+
+// decodeElemU32 inverts encodeElemU32; out may alias enc.
+func decodeElemU32(out, enc, base []byte, cnst uint32, zdr bool) {
+	ew := binary.LittleEndian.Uint32(enc)
+	bw := binary.LittleEndian.Uint32(base)
+	o := ew ^ bw
+	if zdr {
+		if ew == cnst {
+			o = 0
+		} else if ew == bw {
+			o = bw ^ cnst
+		}
+	}
+	binary.LittleEndian.PutUint32(out, o)
+}
+
+// encodeElemU16 encodes one 2-byte element in a single uint16 lane.
+func encodeElemU16(out, in, base []byte, cnst uint16, zdr bool) {
+	iw := binary.LittleEndian.Uint16(in)
+	bw := binary.LittleEndian.Uint16(base)
+	o := iw ^ bw
+	if zdr {
+		if iw == 0 {
+			o = cnst
+		} else if iw == bw^cnst {
+			o = bw
+		}
+	}
+	binary.LittleEndian.PutUint16(out, o)
+}
+
+// decodeElemU16 inverts encodeElemU16; out may alias enc.
+func decodeElemU16(out, enc, base []byte, cnst uint16, zdr bool) {
+	ew := binary.LittleEndian.Uint16(enc)
+	bw := binary.LittleEndian.Uint16(base)
+	o := ew ^ bw
+	if zdr {
+		if ew == cnst {
+			o = 0
+		} else if ew == bw {
+			o = bw ^ cnst
+		}
+	}
+	binary.LittleEndian.PutUint16(out, o)
+}

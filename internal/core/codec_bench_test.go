@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Codec microbenchmarks at the paper's 32-byte transaction size and at 64
+// bytes (a full cache line on the evaluated system). The CI bench smoke
+// step and cmd/bxtbench -codec both run these shapes; bench_test.go at the
+// repo root keeps the original cross-package trajectory numbers.
+
+func benchPayload(n int) []byte {
+	src := make([]byte, n)
+	rand.New(rand.NewSource(77)).Read(src)
+	return src
+}
+
+func benchEncode(b *testing.B, c Codec, n int) {
+	src := benchPayload(n)
+	var enc Encoded
+	if err := c.Encode(&enc, src); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(&enc, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecode(b *testing.B, c Codec, n int) {
+	src := benchPayload(n)
+	var enc Encoded
+	if err := c.Encode(&enc, src); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Decode(dst, &enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCodecs pairs each benchmarked configuration with its reference twin
+// so the word-kernel speedup is visible in one -bench run.
+func benchCodecs() []struct {
+	name string
+	c    Codec
+} {
+	return []struct {
+		name string
+		c    Codec
+	}{
+		{"basexor2", NewBaseXOR(2)},
+		{"basexor4", NewBaseXOR(4)},
+		{"basexor8", NewBaseXOR(8)},
+		{"basexor4-ref", &BaseXOR{BaseSize: 4, ZDR: true, forceRef: true}},
+		{"silent4", NewSILENT(4)},
+		{"universal", NewUniversal(3)},
+		{"universal-ref", &Universal{Stages: 3, ZDR: true, forceRef: true}},
+	}
+}
+
+func BenchmarkCodecEncode32(b *testing.B) {
+	for _, bc := range benchCodecs() {
+		b.Run(bc.name, func(b *testing.B) { benchEncode(b, bc.c, 32) })
+	}
+}
+
+func BenchmarkCodecDecode32(b *testing.B) {
+	for _, bc := range benchCodecs() {
+		b.Run(bc.name, func(b *testing.B) { benchDecode(b, bc.c, 32) })
+	}
+}
+
+func BenchmarkCodecEncode64(b *testing.B) {
+	for _, bc := range benchCodecs() {
+		b.Run(bc.name, func(b *testing.B) { benchEncode(b, bc.c, 64) })
+	}
+}
+
+func BenchmarkCodecDecode64(b *testing.B) {
+	for _, bc := range benchCodecs() {
+		b.Run(bc.name, func(b *testing.B) { benchDecode(b, bc.c, 64) })
+	}
+}

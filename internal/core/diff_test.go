@@ -1,0 +1,259 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The word-parallel kernels in bits64.go must be observationally identical
+// to the retained byte-generic reference datapath: same encoded bytes, same
+// decoded bytes, for every transaction. These tests drive both paths of the
+// same configuration via the forceRef switch and compare output
+// byte-for-byte across random and structured payloads.
+
+// diffPayloads builds payload shapes that hit every branch of the ZDR
+// datapath: plain XOR, the zero→const remap, and the base^const→base remap,
+// at element boundaries and across them.
+func diffPayloads(rng *rand.Rand, n, elem int, cnst []byte) [][]byte {
+	pick := func(fill func(p []byte)) []byte {
+		p := make([]byte, n)
+		fill(p)
+		return p
+	}
+	ps := [][]byte{
+		pick(func(p []byte) {}),                     // all zero
+		pick(func(p []byte) { rng.Read(p) }),        // random
+		pick(func(p []byte) { rng.Read(p[:elem]) }), // base element only
+		pick(func(p []byte) { rng.Read(p[elem:]) }), // zero base
+	}
+	// Repeated element: every XOR vanishes (or remaps under ZDR).
+	ps = append(ps, pick(func(p []byte) {
+		rng.Read(p[:elem])
+		for off := elem; off+elem <= n; off += elem {
+			copy(p[off:], p[:elem])
+		}
+	}))
+	// base ^ const elements: the second ZDR remap fires.
+	ps = append(ps, pick(func(p []byte) {
+		rng.Read(p[:elem])
+		for off := elem; off+elem <= n; off += elem {
+			for i := 0; i < elem; i++ {
+				p[off+i] = p[off-elem+i] ^ cnst[i%len(cnst)]
+			}
+		}
+	}))
+	// Alternating zero / repeated / random elements.
+	ps = append(ps, pick(func(p []byte) {
+		rng.Read(p)
+		for off := 0; off+elem <= n; off += 2 * elem {
+			for i := 0; i < elem; i++ {
+				p[off+i] = 0
+			}
+		}
+	}))
+	// Payloads that *are* the constant, so encoded symbols collide with it.
+	ps = append(ps, pick(func(p []byte) {
+		for i := range p {
+			p[i] = cnst[i%len(cnst)]
+		}
+	}))
+	for i := 0; i < 16; i++ {
+		ps = append(ps, pick(func(p []byte) { rng.Read(p) }))
+	}
+	return ps
+}
+
+// diffCheck encodes and decodes src through both codecs and fails on any
+// byte diverging. ref must be the forceRef twin of fast.
+func diffCheck(t *testing.T, fast, ref Codec, src []byte) {
+	t.Helper()
+	var encFast, encRef Encoded
+	if err := fast.Encode(&encFast, src); err != nil {
+		t.Fatalf("%s: kernel encode: %v", fast.Name(), err)
+	}
+	if err := ref.Encode(&encRef, src); err != nil {
+		t.Fatalf("%s: reference encode: %v", ref.Name(), err)
+	}
+	if !bytes.Equal(encFast.Data, encRef.Data) {
+		t.Fatalf("%s: encode diverges for %x:\nkernel    %x\nreference %x",
+			fast.Name(), src, encFast.Data, encRef.Data)
+	}
+	gotFast := make([]byte, len(src))
+	gotRef := make([]byte, len(src))
+	if err := fast.Decode(gotFast, &encRef); err != nil {
+		t.Fatalf("%s: kernel decode: %v", fast.Name(), err)
+	}
+	if err := ref.Decode(gotRef, &encRef); err != nil {
+		t.Fatalf("%s: reference decode: %v", ref.Name(), err)
+	}
+	if !bytes.Equal(gotFast, gotRef) {
+		t.Fatalf("%s: decode diverges for encoded %x:\nkernel    %x\nreference %x",
+			fast.Name(), encRef.Data, gotFast, gotRef)
+	}
+	if !bytes.Equal(gotFast, src) {
+		t.Fatalf("%s: round trip mismatch for %x", fast.Name(), src)
+	}
+}
+
+// TestBaseXORKernelsMatchReference sweeps the specialized BaseXOR kernels
+// (uint16/uint32/uint64 whole-transaction, multiword per-element) against
+// the byte-generic reference across element widths, transaction lengths,
+// base modes, ZDR on/off, and overridden ZDR constants.
+func TestBaseXORKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	customConst := func(bs int) []byte {
+		c := make([]byte, bs)
+		rng.Read(c)
+		return c
+	}
+	for _, bs := range []int{2, 4, 8, 16, 24} {
+		lengths := []int{bs, 2 * bs, 4 * bs, 8 * bs}
+		for _, n := range lengths {
+			for _, mode := range []BaseMode{AdjacentBase, FixedBase} {
+				for _, zdr := range []bool{false, true} {
+					consts := [][]byte{nil}
+					if zdr {
+						consts = append(consts, customConst(bs))
+					}
+					for ci, cnst := range consts {
+						name := fmt.Sprintf("bs%d/n%d/%s/zdr%v/const%d", bs, n, mode, zdr, ci)
+						t.Run(name, func(t *testing.T) {
+							fast := &BaseXOR{BaseSize: bs, ZDR: zdr, Mode: mode, ZDRConst: cnst}
+							ref := &BaseXOR{BaseSize: bs, ZDR: zdr, Mode: mode, ZDRConst: cnst, forceRef: true}
+							eff := cnst
+							if eff == nil {
+								eff = DefaultZDRConst(bs)
+							}
+							for _, p := range diffPayloads(rng, n, bs, eff) {
+								diffCheck(t, fast, ref, p)
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUniversalKernelsMatchReference sweeps the Universal stage kernels
+// (the register-resident 32B/3-stage fast path, multiword, uint32 and
+// uint16 lanes) against the byte-generic reference.
+func TestUniversalKernelsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xcafe))
+	cases := []struct{ n, stages int }{
+		{32, 3}, // fast32 register kernel; halves 16/8/4
+		{32, 4}, // halves 16/8/4/2
+		{32, 1},
+		{64, 3}, // halves 32/16/8 — all multiword
+		{64, 4},
+		{16, 3}, // halves 8/4/2
+		{8, 2},  // halves 4/2
+		{96, 3}, // halves 48/24/12 — 12 exercises the byte reference stage
+		{128, 5},
+	}
+	for _, tc := range cases {
+		for _, zdr := range []bool{false, true} {
+			name := fmt.Sprintf("n%d/stages%d/zdr%v", tc.n, tc.stages, zdr)
+			t.Run(name, func(t *testing.T) {
+				fast := &Universal{Stages: tc.stages, ZDR: zdr}
+				ref := &Universal{Stages: tc.stages, ZDR: zdr, forceRef: true}
+				half := tc.n >> 1
+				for _, p := range diffPayloads(rng, tc.n, half, DefaultZDRConst(half)) {
+					diffCheck(t, fast, ref, p)
+				}
+				// Also stress the innermost-stage granularity.
+				inner := tc.n >> uint(tc.stages)
+				for _, p := range diffPayloads(rng, tc.n, inner, DefaultZDRConst(inner)) {
+					diffCheck(t, fast, ref, p)
+				}
+			})
+		}
+	}
+}
+
+// TestKernelReconfigure verifies the cached kernel plan tracks field
+// mutation: reusing one codec value across BaseSize, mode, constant, and
+// length changes must re-derive the datapath, not reuse a stale one.
+func TestKernelReconfigure(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xd00d))
+	c := &BaseXOR{BaseSize: 4, ZDR: true}
+	ref := &BaseXOR{forceRef: true}
+	src := make([]byte, 64)
+	step := func() {
+		ref.BaseSize, ref.ZDR, ref.Mode, ref.ZDRConst = c.BaseSize, c.ZDR, c.Mode, c.ZDRConst
+		rng.Read(src)
+		diffCheck(t, c, ref, src)
+	}
+	step()
+	c.BaseSize = 8
+	step()
+	c.ZDRConst = []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	step()
+	c.ZDRConst[0] = 0xff // in-place mutation must be picked up
+	step()
+	c.Mode = FixedBase
+	step()
+	c.BaseSize, c.ZDRConst = 2, nil
+	step()
+
+	u := &Universal{Stages: 3, ZDR: true}
+	uref := &Universal{Stages: 3, ZDR: true, forceRef: true}
+	for _, n := range []int{32, 64, 32, 96, 32} { // flip fast32 on/off/on
+		p := make([]byte, n)
+		rng.Read(p)
+		diffCheck(t, u, uref, p)
+	}
+	u.Stages, uref.Stages = 4, 4
+	p := make([]byte, 32)
+	rng.Read(p)
+	diffCheck(t, u, uref, p)
+}
+
+// FuzzKernelDifferential lets the fuzzer hunt for payloads where any
+// specialized kernel and the byte-generic reference disagree.
+func FuzzKernelDifferential(f *testing.F) {
+	seedCorpus(f)
+	type pair struct{ fast, ref Codec }
+	pairs := []pair{
+		{&BaseXOR{BaseSize: 2, ZDR: true}, &BaseXOR{BaseSize: 2, ZDR: true, forceRef: true}},
+		{&BaseXOR{BaseSize: 4, ZDR: true}, &BaseXOR{BaseSize: 4, ZDR: true, forceRef: true}},
+		{&BaseXOR{BaseSize: 8, ZDR: true}, &BaseXOR{BaseSize: 8, ZDR: true, forceRef: true}},
+		{&BaseXOR{BaseSize: 4}, &BaseXOR{BaseSize: 4, forceRef: true}},
+		{&BaseXOR{BaseSize: 4, ZDR: true, Mode: FixedBase}, &BaseXOR{BaseSize: 4, ZDR: true, Mode: FixedBase, forceRef: true}},
+		{&BaseXOR{BaseSize: 16, ZDR: true}, &BaseXOR{BaseSize: 16, ZDR: true, forceRef: true}},
+		{&Universal{Stages: 3, ZDR: true}, &Universal{Stages: 3, ZDR: true, forceRef: true}},
+		{&Universal{Stages: 3}, &Universal{Stages: 3, forceRef: true}},
+		{&Universal{Stages: 4, ZDR: true}, &Universal{Stages: 4, ZDR: true, forceRef: true}},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 32 {
+			return
+		}
+		txn := data[:32]
+		for _, pr := range pairs {
+			var encFast, encRef Encoded
+			if err := pr.fast.Encode(&encFast, txn); err != nil {
+				t.Fatal(err)
+			}
+			if err := pr.ref.Encode(&encRef, txn); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(encFast.Data, encRef.Data) {
+				t.Fatalf("%s: encode diverges for %x", pr.fast.Name(), txn)
+			}
+			gotFast := make([]byte, len(txn))
+			gotRef := make([]byte, len(txn))
+			if err := pr.fast.Decode(gotFast, &encRef); err != nil {
+				t.Fatal(err)
+			}
+			if err := pr.ref.Decode(gotRef, &encRef); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotFast, gotRef) || !bytes.Equal(gotFast, txn) {
+				t.Fatalf("%s: decode diverges for %x", pr.fast.Name(), txn)
+			}
+		}
+	})
+}

@@ -26,7 +26,9 @@ type OracleBase struct {
 	BeatBytes int
 
 	codecs []*BaseXOR
-	tmp    Encoded
+	// tmp receives each candidate's encoding; best retains the winner so
+	// far, so the winning candidate is never encoded twice.
+	tmp, best Encoded
 }
 
 var _ Codec = (*OracleBase)(nil)
@@ -76,24 +78,24 @@ func (o *OracleBase) Encode(dst *Encoded, src []byte) error {
 	if err := o.init(); err != nil {
 		return err
 	}
-	best, bestOnes := -1, int(^uint(0)>>1)
+	bestIdx, bestOnes := -1, int(^uint(0)>>1)
 	for i, c := range o.codecs {
 		if err := c.Encode(&o.tmp, src); err != nil {
 			return err
 		}
 		if ones := OnesCount(o.tmp.Data); ones < bestOnes {
-			best, bestOnes = i, ones
+			bestIdx, bestOnes = i, ones
+			// Keep the winner by swapping buffers instead of re-running
+			// its Encode at the end.
+			o.tmp, o.best = o.best, o.tmp
 		}
 	}
-	if err := o.codecs[best].Encode(&o.tmp, src); err != nil {
-		return err
-	}
 	dst.grow(len(src), o.MetaBits(len(src)))
-	copy(dst.Data, o.tmp.Data)
+	copy(dst.Data, o.best.Data)
 	// Selector bits ride the first two beats of the metadata wire.
-	dst.SetMetaBit(0, best&1 != 0)
+	dst.SetMetaBit(0, bestIdx&1 != 0)
 	if dst.MetaBits > 1 {
-		dst.SetMetaBit(1, best&2 != 0)
+		dst.SetMetaBit(1, bestIdx&2 != 0)
 	}
 	return nil
 }

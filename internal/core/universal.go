@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // Universal is Universal Base+XOR Transfer (§IV-C): a multi-stage halving
 // encoder that extracts intra-transaction similarity at every power-of-two
@@ -28,6 +31,40 @@ type Universal struct {
 
 	// consts caches per-stage remapping constants, keyed by half-width.
 	consts map[int][]byte
+
+	// plan caches the per-stage kernel selection and resolved constants
+	// for the last transaction length, so the hot path runs with no map
+	// lookups or dispatch recomputation.
+	plan     []uStage
+	planLen  int
+	planRef  bool
+	planStgs int
+	// fast32 selects the fully register-resident kernel for the paper's
+	// 32-byte / 3-stage configuration.
+	fast32 bool
+
+	// forceRef pins the byte-generic reference path; the differential
+	// tests use it to check the word kernels against it.
+	forceRef bool
+}
+
+// uKernel names the datapath one Universal stage runs on.
+type uKernel int
+
+const (
+	uRef   uKernel = iota // byte-generic reference
+	uWords                // multiword kernel (half % 8 == 0)
+	uU32                  // single uint32 lane (half == 4)
+	uU16                  // single uint16 lane (half == 2)
+)
+
+// uStage is one resolved halving stage: the surviving region is the first
+// 2*half bytes, the stage rewrites its upper half.
+type uStage struct {
+	half  int
+	kern  uKernel
+	cnst  []byte
+	cnstW uint32 // first-word form for the single-lane kernels
 }
 
 var _ Codec = &Universal{}
@@ -73,6 +110,28 @@ func (c *Universal) check(n int) error {
 	if n>>uint(c.Stages) < 1 || n%(1<<uint(c.Stages)) != 0 {
 		return badLength(c.Name(), n)
 	}
+	if c.planLen != n || c.planStgs != c.Stages || c.planRef != c.forceRef {
+		c.plan = c.plan[:0]
+		for s := 0; s < c.Stages; s++ {
+			half := n >> uint(s+1)
+			st := uStage{half: half, kern: uRef, cnst: c.constFor(half)}
+			switch {
+			case c.forceRef:
+				// keep uRef
+			case half%8 == 0:
+				st.kern = uWords
+			case half == 4:
+				st.kern = uU32
+				st.cnstW = binary.LittleEndian.Uint32(st.cnst)
+			case half == 2:
+				st.kern = uU16
+				st.cnstW = uint32(binary.LittleEndian.Uint16(st.cnst))
+			}
+			c.plan = append(c.plan, st)
+		}
+		c.planLen, c.planStgs, c.planRef = n, c.Stages, c.forceRef
+		c.fast32 = !c.forceRef && n == 32 && c.Stages == 3
+	}
 	return nil
 }
 
@@ -85,17 +144,34 @@ func (c *Universal) Encode(dst *Encoded, src []byte) error {
 		return err
 	}
 	dst.grow(len(src), 0)
+	if c.fast32 {
+		encodeUniversal32x3(dst.Data, src, c.ZDR)
+		return nil
+	}
 	copy(dst.Data, src)
 	// The surviving region is always a prefix of the transaction: stage s
-	// operates on the first len(src)>>s bytes.
-	for s := 0; s < c.Stages; s++ {
-		size := len(src) >> uint(s)
-		half := size / 2
+	// operates on the first len(src)>>s bytes. Each stage runs the widest
+	// kernel its half-width allows (resolved in check); odd widths —
+	// possible when len(src) is not a power of two — fall back to the
+	// byte-generic reference.
+	for i := range c.plan {
+		st := &c.plan[i]
+		half := st.half
 		left := dst.Data[:half]
-		right := dst.Data[half:size]
+		right := dst.Data[half : 2*half]
+		in := src[half : 2*half]
 		// left still equals src[:half] here — no stage has touched it
 		// yet — so it is a valid base for the hardware's parallel view.
-		encodeElement(right, src[half:size], left, c.constFor(half), c.ZDR)
+		switch st.kern {
+		case uWords:
+			encodeElemWords(right, in, left, st.cnst, c.ZDR)
+		case uU32:
+			encodeElemU32(right, in, left, st.cnstW, c.ZDR)
+		case uU16:
+			encodeElemU16(right, in, left, uint16(st.cnstW), c.ZDR)
+		default:
+			encodeElement(right, in, left, st.cnst, c.ZDR)
+		}
 	}
 	return nil
 }
@@ -110,16 +186,29 @@ func (c *Universal) Decode(dst []byte, src *Encoded) error {
 	if err := c.check(len(dst)); err != nil {
 		return err
 	}
+	if c.fast32 {
+		decodeUniversal32x3(dst, src.Data, c.ZDR)
+		return nil
+	}
 	copy(dst, src.Data)
 	// Region sizes grow from the innermost stage outward.
-	for s := c.Stages - 1; s >= 0; s-- {
-		size := len(dst) >> uint(s)
-		region := dst[:size]
-		half := size / 2
-		left, right := region[:half], region[half:]
+	for s := len(c.plan) - 1; s >= 0; s-- {
+		st := &c.plan[s]
+		half := st.half
+		left := dst[:half]
+		right := dst[half : 2*half]
 		// left is already fully decoded (inner stages ran first);
 		// decode right in place against it.
-		decodeElementInPlace(right, left, c.constFor(half), c.ZDR)
+		switch st.kern {
+		case uWords:
+			decodeElemWords(right, right, left, st.cnst, c.ZDR)
+		case uU32:
+			decodeElemU32(right, right, left, st.cnstW, c.ZDR)
+		case uU16:
+			decodeElemU16(right, right, left, uint16(st.cnstW), c.ZDR)
+		default:
+			decodeElementInPlace(right, left, st.cnst, c.ZDR)
+		}
 	}
 	return nil
 }

@@ -11,7 +11,9 @@
 package dbi
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"github.com/hpca18/bxt/internal/core"
 )
@@ -117,12 +119,13 @@ func (d *DBI) Encode(dst *core.Encoded, src []byte) error {
 		switch d.Mode {
 		case DC:
 			// Invert when strictly more than half the bits are 1,
-			// guaranteeing ≤ n/2 ones in the result (§II-B).
-			invert = core.OnesCount(group) > half
+			// guaranteeing ≤ n/2 ones in the result (§II-B). The group
+			// cost is one popcount on a machine word, not a byte scan.
+			invert = onesGroup(group) > half
 		case AC:
 			if d.prevValid {
 				prev := d.prevBeat[off%d.BeatBytes : off%d.BeatBytes+d.GroupBytes]
-				invert = core.HammingDistance(group, prev) > half
+				invert = hammingGroup(group, prev) > half
 			}
 		}
 		if invert {
@@ -140,6 +143,37 @@ func (d *DBI) Encode(dst *core.Encoded, src []byte) error {
 		}
 	}
 	return nil
+}
+
+// onesGroup is core.OnesCount specialized to DBI's word-shaped group sizes:
+// a 1/2/4/8-byte group costs a single load + popcount.
+func onesGroup(g []byte) int {
+	switch len(g) {
+	case 1:
+		return bits.OnesCount8(g[0])
+	case 2:
+		return bits.OnesCount16(binary.LittleEndian.Uint16(g))
+	case 4:
+		return bits.OnesCount32(binary.LittleEndian.Uint32(g))
+	case 8:
+		return bits.OnesCount64(binary.LittleEndian.Uint64(g))
+	}
+	return core.OnesCount(g)
+}
+
+// hammingGroup is core.HammingDistance specialized the same way.
+func hammingGroup(a, b []byte) int {
+	switch len(a) {
+	case 1:
+		return bits.OnesCount8(a[0] ^ b[0])
+	case 2:
+		return bits.OnesCount16(binary.LittleEndian.Uint16(a) ^ binary.LittleEndian.Uint16(b))
+	case 4:
+		return bits.OnesCount32(binary.LittleEndian.Uint32(a) ^ binary.LittleEndian.Uint32(b))
+	case 8:
+		return bits.OnesCount64(binary.LittleEndian.Uint64(a) ^ binary.LittleEndian.Uint64(b))
+	}
+	return core.HammingDistance(a, b)
 }
 
 // Decode implements core.Codec: each group whose polarity bit is set is

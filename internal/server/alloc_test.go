@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/bus"
+	"github.com/hpca18/bxt/internal/client"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/obs"
+	"github.com/hpca18/bxt/internal/scheme"
+)
+
+// newBenchSession wires a session the way handshake does, minus the
+// network, so the per-batch path can be driven directly.
+func newBenchSession(t testing.TB, schemeName string, txnSize int) *session {
+	t.Helper()
+	srv, err := New(testConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	codec, err := scheme.Build(schemeName, srv.cfg.SchemeOptions())
+	if err != nil {
+		t.Fatalf("Build(%s): %v", schemeName, err)
+	}
+	ss := &session{
+		srv:        srv,
+		id:         1,
+		schemeName: schemeName,
+		codec:      codec,
+		txnSize:    txnSize,
+		metaBits:   codec.MetaBits(txnSize),
+		counters:   srv.met.scheme(schemeName),
+		baseBus:    bus.New(srv.cfg.ChannelWidthBits),
+		encBus:     bus.New(srv.cfg.ChannelWidthBits),
+		log:        srv.log.With("session", 1),
+		readH:      srv.met.stages.Hist(schemeName, obs.StageFrameRead),
+		encH:       srv.met.stages.Hist(schemeName, obs.StageEncode),
+		accH:       srv.met.stages.Hist(schemeName, obs.StageAccount),
+		writeH:     srv.met.stages.Hist(schemeName, obs.StageFrameWrite),
+		replyFree:  make(chan []byte, 6),
+	}
+	ss.metaBytes = (ss.metaBits + 7) / 8
+	return ss
+}
+
+// TestProcessBatchZeroAlloc is the serving-side zero-allocation regression
+// test: after warm-up, one batch through encode + bus accounting + reply
+// assembly must not allocate, for metadata-free and metadata-carrying
+// schemes alike.
+func TestProcessBatchZeroAlloc(t *testing.T) {
+	for _, schemeName := range []string{"universal", "basexor", "bdenc"} {
+		t.Run(schemeName, func(t *testing.T) {
+			ss := newBenchSession(t, schemeName, 32)
+			txns := makeTxns(rand.New(rand.NewSource(7)), 64, 32)
+			run := func() {
+				reply, err := ss.processBatch(txns)
+				if err != nil {
+					t.Fatalf("processBatch: %v", err)
+				}
+				// Return the body the way writeLoop does once the frame
+				// is on the wire.
+				select {
+				case ss.replyFree <- reply:
+				default:
+				}
+			}
+			// Warm up buffer growth (recBuf, reply body free list).
+			for i := 0; i < 8; i++ {
+				run()
+			}
+			if avg := testing.AllocsPerRun(100, run); avg != 0 {
+				t.Fatalf("processBatch allocates %.1f times per batch, want 0", avg)
+			}
+		})
+	}
+}
+
+// TestTranscodeReplyReuse verifies the pipeline still round-trips when the
+// client reuses its marshalling and reply buffers across batches (the
+// returned record slices alias the previous reply's storage).
+func TestTranscodeReplyReuse(t *testing.T) {
+	srv := startServer(t, testConfig())
+	c, err := client.Dial(srv.Addr(), "universal", 32)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	dec, err := scheme.Build("universal", srv.cfg.SchemeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	decoded := make([]byte, 32)
+	for i := 0; i < 5; i++ {
+		txns := makeTxns(rng, 32, 32)
+		reply, err := c.Transcode(txns)
+		if err != nil {
+			t.Fatalf("Transcode: %v", err)
+		}
+		if got, want := len(reply.Records), len(txns); got != want {
+			t.Fatalf("batch %d: %d records, want %d", i, got, want)
+		}
+		for j, rec := range reply.Records {
+			e := core.Encoded{Data: rec.Data, Meta: rec.Meta, MetaBits: c.MetaBits()}
+			if err := dec.Decode(decoded, &e); err != nil {
+				t.Fatalf("decode record %d: %v", j, err)
+			}
+			if !bytes.Equal(decoded, txns[j].Data) {
+				t.Fatalf("batch %d record %d does not round-trip", i, j)
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -56,6 +57,12 @@ type session struct {
 	recBuf            []byte
 
 	out chan outFrame
+	// replyFree recycles BatchReply body buffers between processBatch
+	// (which builds them) and writeLoop (which returns them once the
+	// frame is on the wire), so the steady-state batch path allocates
+	// nothing. Capacity exceeds every body that can be in flight at
+	// once: cap(out) queued + one being written + one being built.
+	replyFree chan []byte
 	// writerDone closes when the write goroutine has flushed and exited.
 	writerDone chan struct{}
 }
@@ -84,6 +91,7 @@ func (ss *session) run() {
 	opened := time.Now()
 
 	ss.out = make(chan outFrame, 4)
+	ss.replyFree = make(chan []byte, cap(ss.out)+2)
 	ss.writerDone = make(chan struct{})
 	go ss.writeLoop()
 	ss.readLoop()
@@ -307,11 +315,23 @@ func (ss *session) processBatch(txns []trace.Transaction) ([]byte, error) {
 			Txns:       len(txns),
 			DurationMS: float64(total) / float64(time.Millisecond),
 		})
-	} else {
+	} else if ss.log.Enabled(context.Background(), slog.LevelDebug) {
+		// Gated so the duration formatting does not allocate on every
+		// batch at the default info level.
 		ss.log.Debug("batch", "txns", len(txns), "took", total.Round(time.Microsecond).String())
 	}
 
-	body := trace.AppendBatchStats(make([]byte, 0, len(ss.recBuf)+64), stats)
+	// Reuse a recycled reply body if the writer has returned one; the
+	// first few batches (and any burst deeper than the free list)
+	// allocate, then the session reaches a steady state of zero
+	// allocations per batch.
+	var body []byte
+	select {
+	case body = <-ss.replyFree:
+		body = body[:0]
+	default:
+	}
+	body = trace.AppendBatchStats(body, stats)
 	return append(body, ss.recBuf...), nil
 }
 
@@ -350,6 +370,13 @@ func (ss *session) writeLoop() {
 		// matches codec_encode's: batches observed == batches replied.
 		if f.t == trace.FrameBatchReply {
 			ss.writeH.ObserveDuration(time.Since(writeStart))
+			// The frame is on the wire (or in bufio's copy); hand the
+			// body back for reuse. Dropping it when the free list is
+			// full is fine — that buffer is simply re-allocated later.
+			select {
+			case ss.replyFree <- f.body:
+			default:
+			}
 		}
 	}
 	if !broken {

@@ -219,15 +219,20 @@ func ParseTransaction(b []byte, txnSize int) (Transaction, []byte, error) {
 // MarshalBatch encodes txns as a Batch frame body. Every payload must be
 // txnSize bytes.
 func MarshalBatch(txns []Transaction, txnSize int) ([]byte, error) {
-	body := make([]byte, 0, 4+len(txns)*(recordHeaderBytes+txnSize))
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(txns)))
+	return AppendBatch(make([]byte, 0, 4+len(txns)*(recordHeaderBytes+txnSize)), txns, txnSize)
+}
+
+// AppendBatch is MarshalBatch into a caller-provided buffer, so a streaming
+// client can reuse one body allocation across batches.
+func AppendBatch(dst []byte, txns []Transaction, txnSize int) ([]byte, error) {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(txns)))
 	for i, t := range txns {
 		if len(t.Data) != txnSize {
 			return nil, fmt.Errorf("%w: transaction %d has %d bytes, batch expects %d", ErrBadFrame, i, len(t.Data), txnSize)
 		}
-		body = AppendTransaction(body, t)
+		dst = AppendTransaction(dst, t)
 	}
-	return body, nil
+	return dst, nil
 }
 
 // ParseBatch decodes a Batch frame body into dst (reused when it has
@@ -362,6 +367,13 @@ func MarshalBatchReply(r BatchReply, txnSize, metaBytes int) ([]byte, error) {
 
 // ParseBatchReply decodes a BatchReply frame body. Record slices alias body.
 func ParseBatchReply(body []byte, txnSize, metaBytes int) (BatchReply, error) {
+	return ParseBatchReplyInto(body, txnSize, metaBytes, nil)
+}
+
+// ParseBatchReplyInto is ParseBatchReply reusing records' capacity for the
+// decoded record headers, so a streaming client allocates per session, not
+// per batch. Record slices alias body.
+func ParseBatchReplyInto(body []byte, txnSize, metaBytes int, records []EncodedRecord) (BatchReply, error) {
 	stats, rest, err := ParseBatchStats(body)
 	if err != nil {
 		return BatchReply{}, err
@@ -374,12 +386,12 @@ func ParseBatchReply(body []byte, txnSize, metaBytes int) (BatchReply, error) {
 	if uint32(n) != stats.Transactions {
 		return BatchReply{}, fmt.Errorf("%w: reply carries %d records, stats claim %d", ErrBadFrame, n, stats.Transactions)
 	}
-	out := BatchReply{Stats: stats, Records: make([]EncodedRecord, n)}
+	records = records[:0]
 	for i := 0; i < n; i++ {
-		out.Records[i] = EncodedRecord{
+		records = append(records, EncodedRecord{
 			Data: rest[i*rec : i*rec+txnSize],
 			Meta: rest[i*rec+txnSize : (i+1)*rec],
-		}
+		})
 	}
-	return out, nil
+	return BatchReply{Stats: stats, Records: records}, nil
 }
