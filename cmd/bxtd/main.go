@@ -9,6 +9,7 @@
 //	bxtd -listen :7000 -metrics :7001 -workers 16
 //	bxtd -log-level debug -log-format json # structured logs to stderr
 //	bxtd -debug=false                      # disable /debug/pprof and /debug/events
+//	bxtd -chaos seed=7,corrupt=0.01        # fault drill: sabotage own serving path
 //	bxtd -schemes                          # list servable scheme names
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/faults"
 	"github.com/hpca18/bxt/internal/scheme"
 	"github.com/hpca18/bxt/internal/server"
 )
@@ -49,6 +51,10 @@ func main() {
 	slowBatch := flag.Duration("slow-batch", def.SlowBatch, "processing time above which a batch is logged as slow")
 	debug := flag.Bool("debug", def.Debug, "serve /debug/pprof/ and /debug/events on the metrics port")
 	events := flag.Int("events", def.EventBuffer, "lifecycle events retained by /debug/events")
+	faultBudget := flag.Int("fault-budget", def.FaultBudget, "recoverable batch faults tolerated per session before disconnect")
+	admitTimeout := flag.Duration("admit-timeout", def.AdmitTimeout, "worker-slot wait above which a batch is shed with a Busy reply")
+	maxPending := flag.Int("max-pending", def.MaxPending, "batches waiting for workers before immediate shedding")
+	chaos := flag.String("chaos", "", "self-sabotage for fault drills: inject faults per this spec, e.g. seed=7,corrupt=0.01,panic=0.001 (keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms, err, panic)")
 	listSchemes := flag.Bool("schemes", false, "list servable scheme names")
 	flag.Parse()
 
@@ -77,11 +83,28 @@ func main() {
 		SlowBatch:        *slowBatch,
 		Debug:            *debug,
 		EventBuffer:      *events,
+		FaultBudget:      *faultBudget,
+		AdmitTimeout:     *admitTimeout,
+		MaxPending:       *maxPending,
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bxtd:", err)
 		os.Exit(1)
+	}
+	var inj *faults.Injector
+	if *chaos != "" {
+		fcfg, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bxtd:", err)
+			os.Exit(1)
+		}
+		inj, err = faults.New(fcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bxtd:", err)
+			os.Exit(1)
+		}
+		srv.SetFaults(inj)
 	}
 	logger := srv.Logger()
 	if err := srv.Start(); err != nil {
@@ -93,6 +116,9 @@ func main() {
 		"metrics_addr", srv.MetricsAddr(),
 		"default_scheme", cfg.DefaultScheme,
 		"debug", cfg.Debug)
+	if inj != nil {
+		logger.Warn("chaos mode: injecting faults into own serving path", "spec", *chaos)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -108,4 +134,7 @@ func main() {
 		logger.Info("drained", "took", time.Since(start).Round(time.Millisecond).String())
 	}
 	srv.Close()
+	if inj != nil {
+		logger.Info("chaos totals", "injected", inj.Counts().String())
+	}
 }

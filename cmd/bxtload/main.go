@@ -9,20 +9,24 @@
 //	bxtload -addr 127.0.0.1:9650 -scheme universal -conns 8 -txns 100000
 //	bxtload -workload rodinia-hotspot -scheme bdenc
 //	bxtload -scheme universal -json out.json   # machine-readable summary
+//	bxtload -retries 8 -chaos seed=7,corrupt=0.01  # fault drill with recovery
 //	bxtload -workloads                 # list workload names
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 	"os"
 	"sync"
 	"time"
 
 	"github.com/hpca18/bxt/internal/client"
+	"github.com/hpca18/bxt/internal/faults"
 	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/trace"
 	"github.com/hpca18/bxt/internal/workload"
@@ -32,6 +36,7 @@ import (
 type connResult struct {
 	latencies *obs.Histogram
 	stats     trace.BatchStats
+	retry     client.RetryStats
 	err       error
 }
 
@@ -72,6 +77,10 @@ type summary struct {
 	// request send, frame_read the reply wait), keyed by stage name.
 	Stages map[string]latencyQuantiles `json:"stages"`
 
+	// Recovery aggregates the fault-recovery work across all connections;
+	// all-zero on a clean run with no retries configured.
+	Recovery client.RetryStats `json:"recovery"`
+
 	OnesBefore    uint64  `json:"ones_before"`
 	OnesAfter     uint64  `json:"ones_after"`
 	TogglesBefore uint64  `json:"toggles_before"`
@@ -93,6 +102,9 @@ func main() {
 	txnSize := flag.Int("txn-size", 32, "transaction size in bytes")
 	workloadName := flag.String("workload", "", "workload app to replay (default: mixed GPU suite)")
 	jsonOut := flag.String("json", "", "write a machine-readable summary to this file")
+	retries := flag.Int("retries", 0, "retries per batch on recoverable failures (Busy, BatchError, broken connection)")
+	backoff := flag.Duration("retry-backoff", 25*time.Millisecond, "first retry backoff (doubles with jitter)")
+	chaos := flag.String("chaos", "", "inject client-side transport faults per this spec, e.g. seed=7,corrupt=0.01 (keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms)")
 	listWorkloads := flag.Bool("workloads", false, "list workload names")
 	flag.Parse()
 
@@ -111,9 +123,33 @@ func main() {
 		log.Fatalf("no %d-byte workloads match %q", *txnSize, *workloadName)
 	}
 
+	ccfg := client.Config{MaxRetries: *retries, RetryBackoff: *backoff}
+	var inj *faults.Injector
+	if *chaos != "" {
+		fcfg, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if fcfg.ErrRate > 0 || fcfg.PanicRate > 0 {
+			log.Fatal("codec faults (err, panic) are server-side; use bxtd -chaos for those")
+		}
+		inj, err = faults.New(fcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ccfg.Dialer = func(ctx context.Context, addr string) (net.Conn, error) {
+			conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return inj.WrapConn(conn), nil
+		}
+	}
+
 	// One tracer shared by every connection: client-side stage timings
 	// aggregate per (scheme, stage) exactly like the gateway's.
 	tracer := obs.NewHistogramTracer(nil)
+	ccfg.Tracer = tracer
 	results := make([]connResult, *conns)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -122,7 +158,7 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			app := apps[i%len(apps)]
-			results[i] = drive(*addr, *schemeName, app, *total, *batch, *txnSize, int64(i), tracer)
+			results[i] = drive(*addr, *schemeName, app, *total, *batch, *txnSize, int64(i), ccfg)
 		}(i)
 	}
 	wg.Wait()
@@ -130,9 +166,14 @@ func main() {
 
 	lat := obs.NewLatencyHistogram()
 	var sum trace.BatchStats
+	var retry client.RetryStats
 	failed := 0
 	for i := range results {
 		r := &results[i]
+		retry.Retries += r.retry.Retries
+		retry.Reconnects += r.retry.Reconnects
+		retry.Busy += r.retry.Busy
+		retry.BatchErrors += r.retry.BatchErrors
 		if r.err != nil {
 			failed++
 			log.Printf("connection %d: %v", i, r.err)
@@ -159,6 +200,13 @@ func main() {
 		fmt.Printf("stage %-12s p50 %s  p99 %s  mean %s\n",
 			stage, durSec(h.Quantile(0.50)), durSec(h.Quantile(0.99)), durSec(h.Mean()))
 	})
+	if retry != (client.RetryStats{}) {
+		fmt.Printf("recovery:     %d retries, %d reconnects, %d busy sheds, %d batch errors\n",
+			retry.Retries, retry.Reconnects, retry.Busy, retry.BatchErrors)
+	}
+	if inj != nil {
+		fmt.Printf("chaos:        %s\n", inj.Counts())
+	}
 	if sum.OnesBefore > 0 {
 		fmt.Printf("1 values:     %d -> %d (%.1f%%)\n", sum.OnesBefore, sum.OnesAfter,
 			100*float64(sum.OnesAfter)/float64(sum.OnesBefore))
@@ -182,6 +230,7 @@ func main() {
 			MBPerSecond:       float64(txns**txnSize) / elapsed.Seconds() / 1e6,
 			BatchLatency:      quantiles(lat),
 			Stages:            map[string]latencyQuantiles{},
+			Recovery:          retry,
 			OnesBefore:        sum.OnesBefore,
 			OnesAfter:         sum.OnesAfter,
 			TogglesBefore:     sum.TogglesBefore,
@@ -232,14 +281,18 @@ func pickApps(name string, txnSize int) []workload.App {
 // drive runs one closed-loop session: it replays the app's trace (cycling
 // as needed) in fixed batches, timing each round trip into a shared-geometry
 // latency histogram.
-func drive(addr, schemeName string, app workload.App, total, batchSize, txnSize int, seed int64, tracer obs.Tracer) connResult {
-	res := connResult{latencies: obs.NewLatencyHistogram()}
-	c, err := client.DialConfig(addr, schemeName, txnSize, client.Config{Tracer: tracer})
+func drive(addr, schemeName string, app workload.App, total, batchSize, txnSize int, seed int64, ccfg client.Config) (res connResult) {
+	res.latencies = obs.NewLatencyHistogram()
+	c, err := client.DialConfig(addr, schemeName, txnSize, ccfg)
 	if err != nil {
 		res.err = err
 		return res
 	}
-	defer c.Close()
+	// Named result: the deferred read lands in what the caller receives.
+	defer func() {
+		res.retry = c.RetryStats()
+		c.Close()
+	}()
 	if lim := c.BatchLimit(); batchSize > lim {
 		res.err = fmt.Errorf("batch %d exceeds server limit %d", batchSize, lim)
 		return res

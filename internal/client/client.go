@@ -2,6 +2,16 @@
 // gateway: it opens a session for one scheme and transaction size, streams
 // transaction batches, and returns the gateway's encoded records and
 // per-batch activity/energy accounting.
+//
+// Fault tolerance: every batch carries a protocol v2 envelope (batch id +
+// CRC-32C), so a corrupted request or reply is detected instead of decoded
+// into garbage. When Config.MaxRetries is set, Transcode transparently
+// retries recoverable failures — Busy sheds (waiting out the server's
+// hint), BatchError replies, and broken connections (redialing with
+// exponential backoff) — and replies are matched to the in-flight batch id
+// so a retry is never double-applied. Callers running stateful schemes
+// must watch Epoch: whenever it changes, the server-side codec restarted,
+// and the caller's decoder must be reset before decoding the next reply.
 package client
 
 import (
@@ -9,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
@@ -19,6 +30,14 @@ import (
 // ErrServer wraps error messages returned by the gateway.
 var ErrServer = errors.New("client: server error")
 
+// ErrBusy wraps a Busy reply: the gateway shed the batch under load and
+// the batch may be retried after the returned hint.
+var ErrBusy = errors.New("client: server busy")
+
+// ErrBatchFault wraps a BatchError reply: the gateway rejected this batch
+// (malformed, corrupt, or a codec failure) but kept the session alive.
+var ErrBatchFault = errors.New("client: batch rejected")
+
 // Config tunes a client connection. The zero value selects the defaults.
 type Config struct {
 	// DialTimeout bounds connection establishment (default 5s).
@@ -28,9 +47,24 @@ type Config struct {
 	// Tracer, when non-nil, receives the client-side stage timings of
 	// every Transcode call: obs.StageFrameWrite for marshalling and
 	// sending the batch, obs.StageFrameRead for awaiting and reading the
-	// reply. The same stage vocabulary the gateway exposes, seen from
-	// the other end of the wire.
+	// reply, plus obs.StageRetryBackoff and obs.StageReconnect on the
+	// fault-recovery paths. The same stage vocabulary the gateway
+	// exposes, seen from the other end of the wire.
 	Tracer obs.Tracer
+	// MaxRetries bounds how many additional attempts one Transcode call
+	// makes after a recoverable failure (Busy shed, BatchError reply, or
+	// broken connection). The default 0 disables retries entirely: the
+	// first failure surfaces to the caller.
+	MaxRetries int
+	// RetryBackoff is the first retry's backoff; it doubles per attempt
+	// with jitter up to RetryBackoffMax (defaults 25ms and 1s). A Busy
+	// reply's retry-after hint overrides a shorter backoff.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// Dialer, when non-nil, replaces the default TCP dialer for both the
+	// initial dial and retry reconnects. Fault injectors and proxies
+	// hook in here.
+	Dialer func(ctx context.Context, addr string) (net.Conn, error)
 }
 
 func (c Config) withDefaults() Config {
@@ -43,7 +77,29 @@ func (c Config) withDefaults() Config {
 	if c.Tracer == nil {
 		c.Tracer = obs.NopTracer{}
 	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.RetryBackoffMax < c.RetryBackoff {
+		c.RetryBackoffMax = time.Second
+	}
 	return c
+}
+
+// RetryStats counts the fault-recovery work a client has done.
+type RetryStats struct {
+	// Retries is the number of re-attempted batch exchanges.
+	Retries uint64 `json:"retries"`
+	// Reconnects is the number of successful redials (each one implies
+	// a fresh server-side codec, so Epoch advanced).
+	Reconnects uint64 `json:"reconnects"`
+	// Busy counts Busy sheds received; BatchErrors counts BatchError
+	// replies received.
+	Busy        uint64 `json:"busy"`
+	BatchErrors uint64 `json:"batch_errors"`
 }
 
 // Client is one bxtd session. It is not safe for concurrent use; open one
@@ -53,6 +109,7 @@ type Client struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 	cfg  Config
+	addr string
 
 	scheme     string
 	txnSize    int
@@ -64,6 +121,16 @@ type Client struct {
 	// streaming client allocates nothing per batch.
 	bbuf []byte
 	recs []trace.EncodedRecord
+
+	// id numbers outgoing batches; replies are matched against it so a
+	// retry can never be double-applied.
+	id uint64
+	// epoch advances whenever the server-side codec restarted: on every
+	// reconnect (a new session starts a fresh codec) and on a BatchError
+	// carrying the reset flag. Stateful-scheme callers reset their
+	// decoder when Epoch changes.
+	epoch uint64
+	stats RetryStats
 }
 
 // Dial connects to a gateway and opens a session running the named scheme
@@ -78,32 +145,69 @@ func DialConfig(addr, scheme string, txnSize int, cfg Config) (*Client, error) {
 }
 
 // DialContext is DialConfig with cancelable connection establishment: a
-// canceled or expired ctx aborts the dial (the shorter of ctx and
-// cfg.DialTimeout applies). The context only governs the dial and the
-// handshake deadline derivation, not the lifetime of the session.
+// canceled or expired ctx aborts the dial and the handshake (the shorter
+// of ctx and cfg.DialTimeout applies to the dial), closing the socket
+// rather than leaking it. The context does not govern the lifetime of the
+// established session.
 func DialContext(ctx context.Context, addr, scheme string, txnSize int, cfg Config) (*Client, error) {
-	cfg = cfg.withDefaults()
-	d := net.Dialer{Timeout: cfg.DialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
-	}
 	c := &Client{
-		conn:    conn,
-		br:      bufio.NewReaderSize(conn, 64<<10),
-		bw:      bufio.NewWriterSize(conn, 64<<10),
-		cfg:     cfg,
+		cfg:     cfg.withDefaults(),
+		addr:    addr,
 		scheme:  scheme,
 		txnSize: txnSize,
 	}
-	if err := c.handshake(); err != nil {
-		conn.Close()
+	if err := c.connect(ctx); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-func (c *Client) handshake() error {
+// connect dials and handshakes one session onto c. On any failure —
+// including ctx canceling mid-handshake — the socket is closed before
+// connect returns, never leaked.
+func (c *Client) connect(ctx context.Context) error {
+	dial := c.cfg.Dialer
+	if dial == nil {
+		d := net.Dialer{Timeout: c.cfg.DialTimeout}
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	conn, err := dial(ctx, c.addr)
+	if err != nil {
+		return fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	// The dialer honors ctx, but the handshake I/O below does not by
+	// itself: closing the socket on cancellation fails that I/O promptly
+	// and guarantees no leaked connection either way.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	c.conn = conn
+	if c.br == nil {
+		c.br = bufio.NewReaderSize(conn, 64<<10)
+		c.bw = bufio.NewWriterSize(conn, 64<<10)
+	} else {
+		c.br.Reset(conn)
+		c.bw.Reset(conn)
+	}
+	if err := c.handshake(ctx); err != nil {
+		conn.Close()
+		c.conn = nil
+		if ctx.Err() != nil {
+			return fmt.Errorf("client: handshake: %w", ctx.Err())
+		}
+		return err
+	}
+	if !stop() {
+		// ctx fired during the handshake and already closed the socket.
+		c.conn = nil
+		return fmt.Errorf("client: handshake: %w", ctx.Err())
+	}
+	return nil
+}
+
+func (c *Client) handshake(ctx context.Context) error {
 	body, err := trace.MarshalHello(trace.Hello{
 		Version: trace.ProtocolVersion,
 		TxnSize: c.txnSize,
@@ -112,14 +216,18 @@ func (c *Client) handshake() error {
 	if err != nil {
 		return err
 	}
-	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.IOTimeout))
+	c.conn.SetWriteDeadline(c.handshakeDeadline(ctx))
 	if err := trace.WriteFrame(c.bw, trace.FrameHello, body); err != nil {
 		return fmt.Errorf("client: sending hello: %w", err)
 	}
 	if err := c.bw.Flush(); err != nil {
 		return fmt.Errorf("client: sending hello: %w", err)
 	}
-	ft, rbody, err := c.readFrame()
+	c.conn.SetReadDeadline(c.handshakeDeadline(ctx))
+	ft, rbody, err := trace.ReadFrame(c.br, c.fbuf)
+	if cap(rbody)+1 > cap(c.fbuf) {
+		c.fbuf = make([]byte, cap(rbody)+1)
+	}
 	if err != nil {
 		return fmt.Errorf("client: reading hello-ok: %w", err)
 	}
@@ -128,6 +236,10 @@ func (c *Client) handshake() error {
 		ok, err := trace.ParseHelloOK(rbody)
 		if err != nil {
 			return err
+		}
+		if ok.Version != trace.ProtocolVersion {
+			return fmt.Errorf("%w: server negotiated protocol version %d, need %d",
+				ErrServer, ok.Version, trace.ProtocolVersion)
 		}
 		c.metaBits = ok.MetaBits
 		c.metaBytes = (ok.MetaBits + 7) / 8
@@ -138,6 +250,16 @@ func (c *Client) handshake() error {
 	default:
 		return fmt.Errorf("%w: unexpected frame type %#x in handshake", trace.ErrBadFrame, ft)
 	}
+}
+
+// handshakeDeadline is the earlier of ctx's deadline and IOTimeout from
+// now, so a context-bounded DialContext bounds the handshake too.
+func (c *Client) handshakeDeadline(ctx context.Context) time.Time {
+	dl := time.Now().Add(c.cfg.IOTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(dl) {
+		dl = d
+	}
+	return dl
 }
 
 func (c *Client) readFrame() (trace.FrameType, []byte, error) {
@@ -163,9 +285,30 @@ func (c *Client) MetaBits() int { return c.metaBits }
 // BatchLimit returns the server's maximum batch size.
 func (c *Client) BatchLimit() int { return c.batchLimit }
 
-// Transcode sends one batch and waits for its reply. Every transaction
-// must carry TxnSize bytes and len(txns) must not exceed BatchLimit. The
-// returned reply's record slices are only valid until the next call.
+// Epoch returns the codec epoch: it advances every time the server-side
+// codec restarted (reconnect, or a BatchError with the reset flag).
+// Callers decoding a stateful scheme must reset their decoder whenever
+// Epoch differs from the value they last observed.
+func (c *Client) Epoch() uint64 { return c.epoch }
+
+// RetryStats returns the fault-recovery counters accumulated so far.
+func (c *Client) RetryStats() RetryStats { return c.stats }
+
+// exchangeKind classifies one batch exchange's outcome.
+type exchangeKind int
+
+const (
+	exchangeOK     exchangeKind = iota
+	exchangeBusy                // retryable on the same connection, after the hint
+	exchangeFault               // BatchError: retryable on the same connection
+	exchangeBroken              // the session is unusable; redial before retrying
+	exchangeCaller              // caller error (bad batch); never retried
+)
+
+// Transcode sends one batch and waits for its reply, retrying recoverable
+// failures up to Config.MaxRetries times. Every transaction must carry
+// TxnSize bytes and len(txns) must not exceed BatchLimit. The returned
+// reply's record slices are only valid until the next call.
 func (c *Client) Transcode(txns []trace.Transaction) (trace.BatchReply, error) {
 	if len(txns) == 0 {
 		return trace.BatchReply{}, fmt.Errorf("%w: empty batch", trace.ErrBadFrame)
@@ -173,39 +316,161 @@ func (c *Client) Transcode(txns []trace.Transaction) (trace.BatchReply, error) {
 	if c.batchLimit > 0 && len(txns) > c.batchLimit {
 		return trace.BatchReply{}, fmt.Errorf("%w: batch of %d exceeds server limit %d", trace.ErrBadFrame, len(txns), c.batchLimit)
 	}
+	c.id++
+	id := c.id
+	var lastErr error
+	var hint time.Duration
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.stats.Retries++
+			c.backoffWait(attempt, hint)
+			hint = 0
+		}
+		if c.conn == nil {
+			if err := c.redial(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		reply, h, kind, err := c.exchange(id, txns)
+		switch kind {
+		case exchangeOK:
+			return reply, nil
+		case exchangeCaller:
+			return trace.BatchReply{}, err
+		case exchangeBusy:
+			c.stats.Busy++
+			hint = h
+		case exchangeFault:
+			c.stats.BatchErrors++
+		case exchangeBroken:
+			c.dropConn()
+		}
+		lastErr = err
+	}
+	return trace.BatchReply{}, lastErr
+}
+
+// exchange performs one send/receive of batch id. It returns the reply,
+// the server's retry-after hint (Busy only), the outcome class, and the
+// error for every class but exchangeOK.
+func (c *Client) exchange(id uint64, txns []trace.Transaction) (trace.BatchReply, time.Duration, exchangeKind, error) {
 	writeStart := time.Now()
-	body, err := trace.AppendBatch(c.bbuf[:0], txns, c.txnSize)
+	body, err := trace.AppendBatch(trace.AppendBatchEnvelope(c.bbuf[:0], id), txns, c.txnSize)
 	if err != nil {
-		return trace.BatchReply{}, err
+		return trace.BatchReply{}, 0, exchangeCaller, err
 	}
 	c.bbuf = body[:0]
+	if err := trace.SealBatchEnvelope(body); err != nil {
+		return trace.BatchReply{}, 0, exchangeCaller, err // unreachable: envelope present
+	}
 	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.IOTimeout))
 	if err := trace.WriteFrame(c.bw, trace.FrameBatch, body); err != nil {
-		return trace.BatchReply{}, fmt.Errorf("client: sending batch: %w", err)
+		return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("client: sending batch: %w", err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return trace.BatchReply{}, fmt.Errorf("client: sending batch: %w", err)
+		return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("client: sending batch: %w", err)
 	}
 	readStart := time.Now()
 	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageFrameWrite, readStart.Sub(writeStart))
 	ft, rbody, err := c.readFrame()
 	if err != nil {
-		return trace.BatchReply{}, fmt.Errorf("client: reading reply: %w", err)
+		return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("client: reading reply: %w", err)
 	}
 	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageFrameRead, time.Since(readStart))
 	switch ft {
 	case trace.FrameBatchReply:
-		reply, err := trace.ParseBatchReplyInto(rbody, c.txnSize, c.metaBytes, c.recs)
-		if err == nil {
-			c.recs = reply.Records
+		rid, payload, err := trace.OpenBatchEnvelope(rbody)
+		if err != nil {
+			// A CRC failure here is wire damage on the reply path; the
+			// server already applied the batch, so the session's codec
+			// stream is unusable — reconnect for a clean epoch.
+			return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("client: reply for batch %d: %w", id, err)
 		}
-		return reply, err
+		if rid != id {
+			return trace.BatchReply{}, 0, exchangeBroken,
+				fmt.Errorf("client: reply names batch %d, expected %d (stream desynchronized)", rid, id)
+		}
+		reply, err := trace.ParseBatchReplyInto(payload, c.txnSize, c.metaBytes, c.recs)
+		if err != nil {
+			return trace.BatchReply{}, 0, exchangeBroken, err
+		}
+		c.recs = reply.Records
+		return reply, 0, exchangeOK, nil
+	case trace.FrameBusy:
+		rid, after, err := trace.ParseBusy(rbody)
+		if err != nil || rid != id {
+			return trace.BatchReply{}, 0, exchangeBroken,
+				fmt.Errorf("client: malformed busy reply for batch %d (id %d, err %v)", id, rid, err)
+		}
+		return trace.BatchReply{}, after, exchangeBusy,
+			fmt.Errorf("%w: batch %d shed, retry after %v", ErrBusy, id, after)
+	case trace.FrameBatchError:
+		rid, reset, msg, err := trace.ParseBatchError(rbody)
+		if err != nil || rid != id {
+			return trace.BatchReply{}, 0, exchangeBroken,
+				fmt.Errorf("client: malformed batch-error reply for batch %d (id %d, err %v)", id, rid, err)
+		}
+		if reset {
+			// The server restarted its codec; any decoder tracking this
+			// session's stream must restart with it.
+			c.epoch++
+		}
+		return trace.BatchReply{}, 0, exchangeFault, fmt.Errorf("%w: %s", ErrBatchFault, msg)
 	case trace.FrameError:
-		return trace.BatchReply{}, fmt.Errorf("%w: %s", ErrServer, rbody)
+		// A session-fatal server error: the server is closing the
+		// connection behind this frame.
+		return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("%w: %s", ErrServer, rbody)
 	default:
-		return trace.BatchReply{}, fmt.Errorf("%w: unexpected frame type %#x", trace.ErrBadFrame, ft)
+		return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("%w: unexpected frame type %#x", trace.ErrBadFrame, ft)
 	}
 }
 
+// dropConn discards the broken session. The next attempt redials; the
+// epoch advances now so even a caller that sees only the final error
+// knows the codec stream it was tracking is gone.
+func (c *Client) dropConn() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.epoch++
+}
+
+// redial opens a replacement session for a dropped connection.
+func (c *Client) redial() error {
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.DialTimeout)
+	defer cancel()
+	if err := c.connect(ctx); err != nil {
+		return err
+	}
+	c.stats.Reconnects++
+	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageReconnect, time.Since(start))
+	return nil
+}
+
+// backoffWait sleeps the retry backoff: exponential with jitter, floored
+// by the server's Busy hint when one was given.
+func (c *Client) backoffWait(attempt int, hint time.Duration) {
+	d := c.cfg.RetryBackoff << (attempt - 1)
+	if d <= 0 || d > c.cfg.RetryBackoffMax {
+		d = c.cfg.RetryBackoffMax
+	}
+	// Jitter into [d/2, d] so synchronized clients don't retry in phase.
+	d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	if hint > d {
+		d = hint
+	}
+	start := time.Now()
+	time.Sleep(d)
+	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageRetryBackoff, time.Since(start))
+}
+
 // Close tears the session down.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	return c.conn.Close()
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"math/rand"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -70,6 +72,92 @@ func TestDialContextExpires(t *testing.T) {
 	}
 	if waited := time.Since(start); waited > 5*time.Second {
 		t.Errorf("expired dial took %v, want ~50ms", waited)
+	}
+}
+
+// notifyConn counts itself closed exactly once, however many times the
+// client's cleanup paths call Close.
+type notifyConn struct {
+	net.Conn
+	once   sync.Once
+	closed *atomic.Int32
+}
+
+func (c *notifyConn) Close() error {
+	c.once.Do(func() { c.closed.Add(1) })
+	return c.Conn.Close()
+}
+
+// TestDialContextCancelMidHandshake cancels the context after the TCP dial
+// succeeded but while the handshake is stuck awaiting a HelloOK that never
+// comes. DialContext must return promptly with context.Canceled and every
+// connection the dialer opened must be closed — the socket-leak regression
+// this test pins down.
+func TestDialContextCancelMidHandshake(t *testing.T) {
+	// A server that accepts and then stays silent: the client's Hello
+	// write succeeds, and the handshake blocks reading the reply.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	var opened, closed atomic.Int32
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := client.Config{
+		// Only the context may end the handshake; a short IOTimeout
+		// would mask a missing cancellation path.
+		IOTimeout: time.Hour,
+		Dialer: func(ctx context.Context, addr string) (net.Conn, error) {
+			conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			opened.Add(1)
+			return &notifyConn{Conn: conn, closed: &closed}, nil
+		},
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := client.DialContext(ctx, ln.Addr().String(), "universal", 32, cfg)
+		errCh <- err
+	}()
+	// Wait for the dial to land so the cancel strikes mid-handshake.
+	for deadline := time.Now().Add(5 * time.Second); opened.Load() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("dialer never opened a connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("DialContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("DialContext still blocked 5s after cancellation")
+	}
+	// The AfterFunc close runs on its own goroutine; give it a moment.
+	deadline := time.Now().Add(5 * time.Second)
+	for closed.Load() != opened.Load() {
+		if time.Now().After(deadline) {
+			t.Fatalf("%d of %d connections closed; the rest leaked",
+				closed.Load(), opened.Load())
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

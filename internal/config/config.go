@@ -141,6 +141,18 @@ type Server struct {
 	Debug bool
 	// EventBuffer is how many lifecycle events /debug/events retains.
 	EventBuffer int
+	// FaultBudget is how many recoverable batch faults (malformed or
+	// corrupt batches, codec errors, codec panics) one session may
+	// accumulate before the gateway disconnects the peer as abusive.
+	FaultBudget int
+	// AdmitTimeout bounds how long a parsed batch may wait for a worker
+	// slot before the gateway sheds it with a retryable Busy reply
+	// (protocol v2 sessions; v1 sessions block as before).
+	AdmitTimeout time.Duration
+	// MaxPending caps batches queued for worker slots across all
+	// sessions; beyond it batches are shed immediately instead of
+	// deepening the queue.
+	MaxPending int
 }
 
 // DefaultServer returns the gateway's default configuration: the paper's
@@ -164,6 +176,9 @@ func DefaultServer() Server {
 		SlowBatch:        250 * time.Millisecond,
 		Debug:            true,
 		EventBuffer:      256,
+		FaultBudget:      16,
+		AdmitTimeout:     500 * time.Millisecond,
+		MaxPending:       32,
 	}
 }
 
@@ -215,6 +230,15 @@ func (s Server) Validate() error {
 	}
 	if s.EventBuffer <= 0 {
 		return fmt.Errorf("config: event buffer size %d is not positive", s.EventBuffer)
+	}
+	if s.FaultBudget <= 0 {
+		return fmt.Errorf("config: fault budget %d is not positive", s.FaultBudget)
+	}
+	if s.AdmitTimeout <= 0 {
+		return fmt.Errorf("config: admit timeout %v is not positive", s.AdmitTimeout)
+	}
+	if s.MaxPending <= 0 {
+		return fmt.Errorf("config: pending batch limit %d is not positive", s.MaxPending)
 	}
 	return nil
 }

@@ -56,6 +56,10 @@ func TestServerValidate(t *testing.T) {
 		{"bad log format", func(s *Server) { s.LogFormat = "xml" }, "log format"},
 		{"zero slow-batch threshold", func(s *Server) { s.SlowBatch = 0 }, "slow-batch"},
 		{"zero event buffer", func(s *Server) { s.EventBuffer = 0 }, "event buffer"},
+		{"zero fault budget", func(s *Server) { s.FaultBudget = 0 }, "fault budget"},
+		{"negative fault budget", func(s *Server) { s.FaultBudget = -1 }, "fault budget"},
+		{"zero admit timeout", func(s *Server) { s.AdmitTimeout = 0 }, "admit timeout"},
+		{"zero pending limit", func(s *Server) { s.MaxPending = 0 }, "pending batch limit"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -29,6 +29,21 @@ const (
 	EventConnRefused     = "conn_refused"
 	EventSlowBatch       = "slow_batch"
 	EventDrainBegin      = "drain_begin"
+	// EventBatchFault is one recoverable batch failure (malformed or
+	// corrupt batch, codec error or panic) answered with a BatchError
+	// frame instead of a disconnect.
+	EventBatchFault = "batch_fault"
+	// EventCodecPanic is a recovered codec panic; the offending batch
+	// bytes are quarantined on the poison ring.
+	EventCodecPanic = "codec_panic"
+	// EventBusy is one batch shed by the admission gate with a Busy reply.
+	EventBusy = "busy"
+	// EventFaultBudget is a session disconnected for exhausting its
+	// recoverable-fault budget.
+	EventFaultBudget = "fault_budget_disconnect"
+	// EventSlowClient is a session torn down because a reply write
+	// exhausted the write deadline (the peer stopped reading).
+	EventSlowClient = "slow_client"
 )
 
 // EventBuffer retains the most recent events in a fixed ring. It is safe

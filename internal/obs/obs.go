@@ -29,9 +29,20 @@ const (
 	// StageFrameWrite is the serialization and flush of one reply frame
 	// (on the client: of one request frame).
 	StageFrameWrite Stage = "frame_write"
+
+	// StageRetryBackoff is the client-side wait before a batch retry
+	// (Busy shed, BatchError, or transport failure); its histogram count
+	// is the retry counter.
+	StageRetryBackoff Stage = "retry_backoff"
+	// StageReconnect is the client-side redial plus re-handshake after a
+	// broken session; its histogram count is the reconnect counter.
+	StageReconnect Stage = "reconnect"
 )
 
-// Stages returns the pipeline stages in serving order.
+// Stages returns the per-batch pipeline stages in serving order. The
+// fault-recovery stages (retry_backoff, reconnect) are not listed: they
+// fire per fault, not per batch, so their counts are not expected to match
+// the pipeline's.
 func Stages() []Stage {
 	return []Stage{StageFrameRead, StageEncode, StageAccount, StageFrameWrite}
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/hpca18/bxt/internal/core"
 	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/scheme"
+	"github.com/hpca18/bxt/internal/trace"
 )
 
 // newBenchSession wires a session the way handshake does, minus the
@@ -27,6 +28,7 @@ func newBenchSession(t testing.TB, schemeName string, txnSize int) *session {
 	ss := &session{
 		srv:        srv,
 		id:         1,
+		version:    trace.ProtocolVersion, // exercise the envelope (v2) reply path
 		schemeName: schemeName,
 		codec:      codec,
 		txnSize:    txnSize,
@@ -54,8 +56,10 @@ func TestProcessBatchZeroAlloc(t *testing.T) {
 		t.Run(schemeName, func(t *testing.T) {
 			ss := newBenchSession(t, schemeName, 32)
 			txns := makeTxns(rand.New(rand.NewSource(7)), 64, 32)
+			var id uint64
 			run := func() {
-				reply, err := ss.processBatch(txns)
+				id++
+				reply, err := ss.processBatch(id, txns)
 				if err != nil {
 					t.Fatalf("processBatch: %v", err)
 				}

@@ -79,6 +79,20 @@ type metrics struct {
 	connsTotal    atomic.Uint64
 	connsRejected atomic.Uint64
 
+	// Fault-tolerance counters. batchFaults counts every recoverable
+	// batch failure answered with a BatchError frame; codecPanics and
+	// poisonBatches count recovered codec panics and the batches
+	// quarantined for them; busyShed counts batches shed by the admission
+	// gate; budgetKills counts sessions disconnected for exhausting their
+	// fault budget; slowClients counts sessions torn down by a reply
+	// write deadline.
+	batchFaults   atomic.Uint64
+	codecPanics   atomic.Uint64
+	poisonBatches atomic.Uint64
+	busyShed      atomic.Uint64
+	budgetKills   atomic.Uint64
+	slowClients   atomic.Uint64
+
 	// stages holds the bxtd_stage_seconds{scheme,stage} histograms.
 	// Sessions resolve their four histograms once at handshake, so the
 	// per-batch cost is one mutex per stage observation.
@@ -119,6 +133,12 @@ func (m *metrics) writeExposition(w io.Writer, draining bool) {
 	fmt.Fprintf(w, "bxtd_connections_active %d\n", m.connsActive.Load())
 	fmt.Fprintf(w, "bxtd_connections_total %d\n", m.connsTotal.Load())
 	fmt.Fprintf(w, "bxtd_connections_rejected_total %d\n", m.connsRejected.Load())
+	fmt.Fprintf(w, "bxtd_batch_faults_total %d\n", m.batchFaults.Load())
+	fmt.Fprintf(w, "bxtd_codec_panics_total %d\n", m.codecPanics.Load())
+	fmt.Fprintf(w, "bxtd_poison_batches_total %d\n", m.poisonBatches.Load())
+	fmt.Fprintf(w, "bxtd_busy_total %d\n", m.busyShed.Load())
+	fmt.Fprintf(w, "bxtd_fault_budget_disconnects_total %d\n", m.budgetKills.Load())
+	fmt.Fprintf(w, "bxtd_slow_client_disconnects_total %d\n", m.slowClients.Load())
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.schemes))

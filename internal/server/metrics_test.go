@@ -234,7 +234,7 @@ func getEvents(t *testing.T, metricsAddr string) eventsDoc {
 // TestDebugEndpointsGated verifies the pprof and event surfaces respond
 // when cfg.Debug is set and 404 when it is not.
 func TestDebugEndpointsGated(t *testing.T) {
-	paths := []string{"/debug/events", "/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"}
+	paths := []string{"/debug/events", "/debug/poison", "/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"}
 
 	cfg := testConfig()
 	cfg.Debug = true

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// poisonPrefixBytes bounds how much of a quarantined batch the ring
+// retains; enough to identify the batch and reproduce the panic offline
+// without letting hostile batches pin megabytes of heap.
+const poisonPrefixBytes = 128
+
+// poisonEntry is one quarantined batch: a batch whose codec encode
+// panicked. The raw prefix is kept hex-encoded so the JSON surface is
+// always printable.
+type poisonEntry struct {
+	Time      time.Time `json:"time"`
+	Session   uint64    `json:"session"`
+	Scheme    string    `json:"scheme"`
+	BatchID   uint64    `json:"batch_id"`
+	Txns      int       `json:"txns"`
+	BodyBytes int       `json:"body_bytes"`
+	Prefix    string    `json:"prefix_hex"`
+	Panic     string    `json:"panic"`
+}
+
+// poisonRing retains the most recent quarantined batches for the
+// /debug/poison surface. Quarantining happens only on the (rare, already
+// expensive) panic-recovery path, so one mutex is plenty.
+type poisonRing struct {
+	mu    sync.Mutex
+	ring  []poisonEntry
+	next  int
+	total uint64
+}
+
+func newPoisonRing(n int) *poisonRing {
+	if n <= 0 {
+		n = 1
+	}
+	return &poisonRing{ring: make([]poisonEntry, 0, n)}
+}
+
+// add quarantines one batch, copying at most poisonPrefixBytes of body.
+func (p *poisonRing) add(session uint64, scheme string, batchID uint64, txns int, body []byte, panicMsg string) {
+	prefix := body
+	if len(prefix) > poisonPrefixBytes {
+		prefix = prefix[:poisonPrefixBytes]
+	}
+	e := poisonEntry{
+		Time:      time.Now(),
+		Session:   session,
+		Scheme:    scheme,
+		BatchID:   batchID,
+		Txns:      txns,
+		BodyBytes: len(body),
+		Prefix:    hex.EncodeToString(prefix),
+		Panic:     panicMsg,
+	}
+	p.mu.Lock()
+	if len(p.ring) < cap(p.ring) {
+		p.ring = append(p.ring, e)
+	} else {
+		p.ring[p.next] = e
+		p.next = (p.next + 1) % cap(p.ring)
+	}
+	p.total++
+	p.mu.Unlock()
+}
+
+// snapshot returns the retained entries, oldest first, plus the lifetime
+// quarantine count.
+func (p *poisonRing) snapshot() (uint64, []poisonEntry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]poisonEntry, 0, len(p.ring))
+	out = append(out, p.ring[p.next:]...)
+	out = append(out, p.ring[:p.next]...)
+	return p.total, out
+}
+
+// ServeHTTP answers with the quarantine window as JSON, oldest first.
+func (p *poisonRing) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	total, entries := p.snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(struct {
+		Total   uint64        `json:"total"`
+		Batches []poisonEntry `json:"batches"`
+	}{total, entries})
+}

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/faults"
 	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/power"
 	"github.com/hpca18/bxt/internal/trace"
@@ -50,6 +51,17 @@ type Server struct {
 	sessionIDs atomic.Uint64
 	// slots is the worker pool: holding a token admits one batch encode.
 	slots chan struct{}
+	// pending counts batches waiting for a worker slot across all
+	// sessions; beyond cfg.MaxPending the admission gate sheds instead of
+	// queueing deeper.
+	pending atomic.Int64
+	// poison quarantines batches whose codec encode panicked, for the
+	// /debug/poison surface.
+	poison *poisonRing
+	// inj, when non-nil (the hidden -chaos flag, or tests), injects
+	// transport faults into every accepted connection and codec faults
+	// into every session codec.
+	inj *faults.Injector
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -84,9 +96,48 @@ func New(cfg config.Server) (*Server, error) {
 		events:   obs.NewEventBuffer(cfg.EventBuffer),
 		model:    power.NewModel(),
 		slots:    make(chan struct{}, cfg.Workers),
+		poison:   newPoisonRing(16),
 		sessions: make(map[*session]struct{}),
 	}, nil
 }
+
+// SetFaults arms the chaos injector: every subsequently accepted
+// connection's byte stream and every session codec run through it. Call
+// before Start; a nil injector disables injection.
+func (s *Server) SetFaults(in *faults.Injector) { s.inj = in }
+
+// admit acquires a worker slot for one batch encode. When canShed is set
+// (protocol v2 sessions) the wait is bounded: a queue already MaxPending
+// deep, or a slot not freeing within AdmitTimeout, returns false and the
+// caller answers with a retryable Busy frame. v1 sessions cannot be told
+// to retry, so they block until a slot frees, as the gateway always did.
+func (s *Server) admit(canShed bool) bool {
+	if !canShed {
+		s.slots <- struct{}{}
+		return true
+	}
+	select {
+	case s.slots <- struct{}{}:
+		return true // uncontended fast path: no queueing, no timer
+	default:
+	}
+	if int(s.pending.Add(1)) > s.cfg.MaxPending {
+		s.pending.Add(-1)
+		return false
+	}
+	defer s.pending.Add(-1)
+	t := time.NewTimer(s.cfg.AdmitTimeout)
+	defer t.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// release returns a worker slot.
+func (s *Server) release() { <-s.slots }
 
 // Logger returns the server's structured logger, so the embedding command
 // logs through the same handler.
@@ -120,6 +171,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	})
 	if s.cfg.Debug {
 		mux.Handle("/debug/events", s.events)
+		mux.Handle("/debug/poison", s.poison)
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -203,6 +255,9 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			s.met.connsRejected.Add(1)
 			s.refuse(conn, "server at connection capacity")
 			continue
+		}
+		if s.inj != nil {
+			conn = s.inj.WrapConn(conn)
 		}
 		ss := s.newSession(conn)
 		if ss == nil {

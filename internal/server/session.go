@@ -42,6 +42,14 @@ type session struct {
 	metaBytes  int
 	counters   *schemeCounters
 	log        *slog.Logger
+	// version is the negotiated protocol revision. v2 sessions carry
+	// batch ids and CRCs, may be shed with Busy, and survive batch
+	// faults via BatchError replies; v1 sessions keep the original
+	// fatal-error semantics.
+	version uint8
+	// faults counts this session's recoverable batch faults against the
+	// configured budget. Only the read goroutine touches it.
+	faults int
 
 	// Stage histograms, resolved once at handshake so per-batch
 	// observation is one mutex on the (scheme, stage) histogram.
@@ -69,6 +77,10 @@ type session struct {
 
 // errSession wraps client-visible protocol failures.
 var errSession = errors.New("server: session error")
+
+// errCodecPanic marks a batch whose codec encode panicked; the panic was
+// recovered, the batch quarantined, and the session codec reset.
+var errCodecPanic = errors.New("server: codec panic")
 
 func newReader(c net.Conn) *bufio.Reader { return bufio.NewReaderSize(c, 64<<10) }
 func newWriter(c net.Conn) *bufio.Writer { return bufio.NewWriterSize(c, 64<<10) }
@@ -122,9 +134,11 @@ func (ss *session) handshake() error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", errSession, err)
 	}
-	if h.Version != trace.ProtocolVersion {
-		return fmt.Errorf("%w: unsupported protocol version %d", errSession, h.Version)
+	if h.Version < trace.MinProtocolVersion || h.Version > trace.ProtocolVersion {
+		return fmt.Errorf("%w: unsupported protocol version %d (serving %d..%d)",
+			errSession, h.Version, trace.MinProtocolVersion, trace.ProtocolVersion)
 	}
+	ss.version = h.Version
 	name := h.Scheme
 	if name == "default" {
 		name = ss.srv.cfg.DefaultScheme
@@ -145,6 +159,11 @@ func (ss *session) handshake() error {
 		return fmt.Errorf("%w: scheme %q does not fit a %d-bit channel: %v", errSession, name, ss.srv.cfg.ChannelWidthBits, err)
 	}
 	codec.Reset()
+	// Chaos injection wraps the codec after the probe, so a configured
+	// fault cannot fail an otherwise valid handshake.
+	if ss.srv.inj != nil {
+		codec = ss.srv.inj.WrapCodec(codec)
+	}
 
 	ss.schemeName = name
 	ss.codec = codec
@@ -161,7 +180,7 @@ func (ss *session) handshake() error {
 	ss.accH = stages.Hist(name, obs.StageAccount)
 	ss.writeH = stages.Hist(name, obs.StageFrameWrite)
 	ss.log = ss.srv.log.With("session", ss.id, "scheme", name)
-	ss.log.Info("session open", "remote", ss.conn.RemoteAddr().String(), "txn_size", h.TxnSize)
+	ss.log.Info("session open", "remote", ss.conn.RemoteAddr().String(), "txn_size", h.TxnSize, "version", ss.version)
 	ss.srv.events.Add(obs.Event{
 		Type:    obs.EventSessionOpen,
 		Session: ss.id,
@@ -169,8 +188,10 @@ func (ss *session) handshake() error {
 		Detail:  ss.conn.RemoteAddr().String(),
 	})
 
+	// Echo the negotiated version: a v1 client keeps v1 framing and
+	// semantics, a v2 client gets ids, CRCs, Busy, and BatchError.
 	okBody := trace.MarshalHelloOK(trace.HelloOK{
-		Version:    trace.ProtocolVersion,
+		Version:    ss.version,
 		MetaBits:   codec.MetaBits(h.TxnSize),
 		BatchLimit: ss.srv.cfg.BatchLimit,
 	})
@@ -216,27 +237,9 @@ func (ss *session) readLoop() {
 			// The frame_read stage includes the wait for the client's
 			// next batch, so it reflects arrival gaps, not just parsing.
 			ss.readH.ObserveDuration(time.Since(readStart))
-			txns, err := trace.ParseBatch(body, ss.txnSize, ss.txns[:0])
-			if err != nil {
-				ss.fail(err.Error())
+			if ss.handleBatch(body) {
 				return
 			}
-			ss.txns = txns
-			if len(txns) == 0 || len(txns) > ss.srv.cfg.BatchLimit {
-				ss.fail(fmt.Sprintf("batch of %d transactions outside [1, %d]", len(txns), ss.srv.cfg.BatchLimit))
-				return
-			}
-			// The worker pool bounds concurrent encodes across all
-			// sessions; draining does not abort the acquire, so
-			// batches already read always complete.
-			ss.srv.slots <- struct{}{}
-			reply, err := ss.processBatch(txns)
-			<-ss.srv.slots
-			if err != nil {
-				ss.fail(err.Error())
-				return
-			}
-			ss.out <- outFrame{trace.FrameBatchReply, reply}
 		default:
 			ss.fail(fmt.Sprintf("unexpected frame type %#x", ft))
 			return
@@ -244,24 +247,106 @@ func (ss *session) readLoop() {
 	}
 }
 
+// handleBatch runs one Batch frame body through envelope validation,
+// parsing, admission, and encoding, queueing whatever reply the outcome
+// calls for. It returns true when the session must close (v1 semantics,
+// or a v2 fault budget exhausted).
+func (ss *session) handleBatch(body []byte) (fatal bool) {
+	var id uint64
+	payload := body
+	if ss.version >= 2 {
+		var err error
+		id, payload, err = trace.OpenBatchEnvelope(body)
+		if err != nil {
+			// OpenBatchEnvelope keeps the id on CRC failures, so the
+			// client can retry the exact batch that arrived corrupt.
+			return ss.softFail(id, false, err.Error())
+		}
+	}
+	txns, err := trace.ParseBatch(payload, ss.txnSize, ss.txns[:0])
+	if err != nil {
+		return ss.softFail(id, false, err.Error())
+	}
+	ss.txns = txns
+	if len(txns) == 0 || len(txns) > ss.srv.cfg.BatchLimit {
+		return ss.softFail(id, false, fmt.Sprintf("batch of %d transactions outside [1, %d]", len(txns), ss.srv.cfg.BatchLimit))
+	}
+	// The worker pool bounds concurrent encodes across all sessions.
+	// v2 sessions wait a bounded time and may be shed with a retryable
+	// Busy reply; v1 sessions block until a slot frees (draining does
+	// not abort the acquire, so batches already read always complete).
+	if !ss.srv.admit(ss.version >= 2) {
+		ss.srv.met.busyShed.Add(1)
+		ss.srv.events.Add(obs.Event{Type: obs.EventBusy, Session: ss.id, Scheme: ss.schemeName, Txns: len(txns)})
+		ss.out <- outFrame{trace.FrameBusy, trace.MarshalBusy(id, ss.srv.cfg.AdmitTimeout)}
+		return false
+	}
+	reply, err := ss.processBatch(id, txns)
+	ss.srv.release()
+	if err != nil {
+		if errors.Is(err, errCodecPanic) {
+			ss.quarantine(id, len(txns), payload, err)
+		}
+		// Encoding began, so the codec was reset (recoverBatch); a v2
+		// client learns via the reset flag to restart its decoder.
+		return ss.softFail(id, true, err.Error())
+	}
+	ss.out <- outFrame{trace.FrameBatchReply, reply}
+	return false
+}
+
+// softFail records one recoverable batch fault. A v1 session cannot be
+// told to retry, so the fault stays fatal: error frame, then close. A v2
+// session is answered with a BatchError reply and lives on — until its
+// fault budget runs out, at which point the gateway disconnects the peer
+// as abusive.
+func (ss *session) softFail(id uint64, reset bool, cause string) (fatal bool) {
+	if ss.version < 2 {
+		ss.fail(cause)
+		return true
+	}
+	ss.faults++
+	ss.srv.met.batchFaults.Add(1)
+	ss.log.Warn("batch fault", "batch_id", id, "codec_reset", reset, "err", cause)
+	ss.srv.events.Add(obs.Event{Type: obs.EventBatchFault, Session: ss.id, Scheme: ss.schemeName, Detail: cause})
+	ss.out <- outFrame{trace.FrameBatchError, trace.MarshalBatchError(id, reset, cause)}
+	if ss.faults >= ss.srv.cfg.FaultBudget {
+		msg := fmt.Sprintf("fault budget exhausted after %d recoverable faults", ss.faults)
+		ss.log.Warn("disconnecting", "reason", msg)
+		ss.srv.met.budgetKills.Add(1)
+		ss.srv.events.Add(obs.Event{Type: obs.EventFaultBudget, Session: ss.id, Scheme: ss.schemeName, Detail: msg})
+		ss.fail(msg)
+		return true
+	}
+	return false
+}
+
+// quarantine records a batch whose codec encode panicked: the poison ring
+// keeps a bounded prefix of the raw payload for offline reproduction.
+func (ss *session) quarantine(id uint64, txns int, payload []byte, err error) {
+	ss.srv.met.codecPanics.Add(1)
+	ss.srv.met.poisonBatches.Add(1)
+	ss.srv.poison.add(ss.id, ss.schemeName, id, txns, payload, err.Error())
+	ss.log.Warn("codec panic recovered; batch quarantined", "batch_id", id, "txns", txns, "err", err)
+	ss.srv.events.Add(obs.Event{Type: obs.EventCodecPanic, Session: ss.id, Scheme: ss.schemeName, Txns: txns, Detail: err.Error()})
+}
+
 // processBatch encodes one batch with the session codec, drives the
 // baseline and encoded transfers over the session's bus models, and builds
 // the BatchReply frame body. The two passes are timed separately: pass one
 // is the codec_encode stage, pass two (bus transfers + power estimate) the
-// phy_account stage.
-func (ss *session) processBatch(txns []trace.Transaction) ([]byte, error) {
+// phy_account stage. Any error return leaves the session serviceable:
+// recoverBatch has reset the codec and discarded the partial batch's bus
+// deltas (the caller relays the reset to v2 clients).
+func (ss *session) processBatch(id uint64, txns []trace.Transaction) ([]byte, error) {
 	if hook := ss.srv.testHookBatch; hook != nil {
 		hook()
 	}
 	encStart := time.Now()
 	ss.recBuf = ss.recBuf[:0]
-	for i := range txns {
-		t := &txns[i]
-		if err := ss.codec.Encode(&ss.enc, t.Data); err != nil {
-			return nil, fmt.Errorf("scheme %s: encoding transaction %#x: %v", ss.schemeName, t.Addr, err)
-		}
-		ss.recBuf = append(ss.recBuf, ss.enc.Data...)
-		ss.recBuf = append(ss.recBuf, ss.enc.Meta...)
+	if err := ss.encodeAll(txns); err != nil {
+		ss.recoverBatch()
+		return nil, err
 	}
 	accStart := time.Now()
 	ss.encH.ObserveDuration(accStart.Sub(encStart))
@@ -271,17 +356,20 @@ func (ss *session) processBatch(txns []trace.Transaction) ([]byte, error) {
 	// geometry the client parses).
 	recLen := ss.txnSize + ss.metaBytes
 	if len(ss.recBuf) != len(txns)*recLen {
+		ss.recoverBatch()
 		return nil, fmt.Errorf("scheme %s: produced %d record bytes for %d transactions, want %d",
 			ss.schemeName, len(ss.recBuf), len(txns), len(txns)*recLen)
 	}
 	for i := range txns {
 		raw := core.Encoded{Data: txns[i].Data}
 		if err := ss.baseBus.Transfer(&raw); err != nil {
+			ss.recoverBatch()
 			return nil, err
 		}
 		rec := ss.recBuf[i*recLen : (i+1)*recLen]
 		enc := core.Encoded{Data: rec[:ss.txnSize], Meta: rec[ss.txnSize:], MetaBits: ss.metaBits}
 		if err := ss.encBus.Transfer(&enc); err != nil {
+			ss.recoverBatch()
 			return nil, err
 		}
 	}
@@ -331,8 +419,47 @@ func (ss *session) processBatch(txns []trace.Transaction) ([]byte, error) {
 		body = body[:0]
 	default:
 	}
+	if ss.version >= 2 {
+		body = trace.AppendBatchEnvelope(body, id)
+	}
 	body = trace.AppendBatchStats(body, stats)
-	return append(body, ss.recBuf...), nil
+	body = append(body, ss.recBuf...)
+	if ss.version >= 2 {
+		if err := trace.SealBatchEnvelope(body); err != nil {
+			return nil, err // unreachable: the envelope was just appended
+		}
+	}
+	return body, nil
+}
+
+// encodeAll runs the codec over every transaction, converting a codec
+// panic into errCodecPanic so one poisonous batch cannot take down the
+// process (or even the session).
+func (ss *session) encodeAll(txns []trace.Transaction) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", errCodecPanic, r)
+		}
+	}()
+	for i := range txns {
+		t := &txns[i]
+		if e := ss.codec.Encode(&ss.enc, t.Data); e != nil {
+			return fmt.Errorf("scheme %s: encoding transaction %#x: %v", ss.schemeName, t.Addr, e)
+		}
+		ss.recBuf = append(ss.recBuf, ss.enc.Data...)
+		ss.recBuf = append(ss.recBuf, ss.enc.Meta...)
+	}
+	return nil
+}
+
+// recoverBatch returns the session to a clean state after a failed batch:
+// the codec restarts from scratch (stateful codecs may have advanced
+// mid-batch; the client is told via the BatchError reset flag) and the
+// bus accounting baselines resync so the partial batch's transfers never
+// reach a BatchStats delta.
+func (ss *session) recoverBatch() {
+	ss.codec.Reset()
+	ss.prevBase, ss.prevEnc = ss.baseBus.Stats(), ss.encBus.Stats()
 }
 
 // fail queues an error frame for the client; the writer flushes it before
@@ -356,12 +483,14 @@ func (ss *session) writeLoop() {
 		writeStart := time.Now()
 		if err := trace.WriteFrame(ss.bw, f.t, f.body); err != nil {
 			broken = true
+			ss.noteWriteFailure(err)
 			ss.conn.Close()
 			continue
 		}
 		if len(ss.out) == 0 {
 			if err := ss.bw.Flush(); err != nil {
 				broken = true
+				ss.noteWriteFailure(err)
 				ss.conn.Close()
 				continue
 			}
@@ -383,4 +512,18 @@ func (ss *session) writeLoop() {
 		ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
 		_ = ss.bw.Flush()
 	}
+}
+
+// noteWriteFailure classifies a reply-write failure: a deadline expiry
+// means the peer stopped reading (a slow or stuck client), which is worth
+// a dedicated counter and lifecycle event; other errors are the ordinary
+// death of an already-gone connection.
+func (ss *session) noteWriteFailure(err error) {
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		return
+	}
+	ss.srv.met.slowClients.Add(1)
+	ss.log.Warn("slow client: reply write deadline expired", "err", err)
+	ss.srv.events.Add(obs.Event{Type: obs.EventSlowClient, Session: ss.id, Scheme: ss.schemeName, Detail: err.Error()})
 }

@@ -72,6 +72,13 @@ func FuzzReader(f *testing.F) {
 	binary.LittleEndian.PutUint32(hugeSize[5:], 1<<30)
 	f.Add(hugeSize)
 
+	// A length prefix just past MaxTxnBytes: small enough that a missing
+	// bound would let the allocation happen, so the fuzz target exercises
+	// the rejection path rather than the allocator.
+	overSize := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(overSize[5:], MaxTxnBytes+1)
+	f.Add(overSize)
+
 	badKind := append([]byte(nil), valid...)
 	badKind[9+8] = 7 // first record's kind byte
 	f.Add(badKind)

@@ -18,14 +18,30 @@
 // records, every record carrying the encoded payload plus the scheme's
 // side-band metadata bytes). Errors travel as Error frames with a UTF-8
 // message and terminate the session.
+//
+// Protocol version 2 adds the fault-tolerance envelope. Batch and
+// BatchReply bodies gain a fixed prefix — uint64 batch id, then a uint32
+// CRC-32C of everything after the CRC field — so a retrying client can
+// match replies to attempts (never applying one twice) and either side can
+// detect payload corruption without trusting the transport. Two
+// server-to-client frames join the vocabulary: Busy (batch id + retry-after
+// hint) sheds a batch under overload without processing it, and BatchError
+// (batch id + flags + message) reports one failed batch while the session
+// stays up; bit 0 of the flags byte tells the client the server reset the
+// session codec's inter-transaction state, so the client must reset its
+// decoder before decoding later replies. Version 1 peers keep the original
+// wire format and semantics (no ids, no CRC, no Busy/BatchError: any batch
+// failure is a fatal Error frame); the server negotiates down in HelloOK.
 package trace
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
+	"time"
 )
 
 // FrameType identifies a protocol frame.
@@ -37,6 +53,12 @@ const (
 	FrameBatch      FrameType = 0x02
 	FrameHelloOK    FrameType = 0x81
 	FrameBatchReply FrameType = 0x82
+	// FrameBusy (v2) sheds one batch under overload: the server did not
+	// process it and the client should retry after the carried hint.
+	FrameBusy FrameType = 0x83
+	// FrameBatchError (v2) reports one failed batch without closing the
+	// session.
+	FrameBatchError FrameType = 0x84
 	FrameError      FrameType = 0xFF
 )
 
@@ -45,19 +67,122 @@ const (
 	// ProtocolMagic opens every Hello body.
 	ProtocolMagic = "BXTP"
 	// ProtocolVersion is the current protocol revision.
-	ProtocolVersion = 1
+	ProtocolVersion = 2
+	// MinProtocolVersion is the oldest revision the gateway still speaks;
+	// version 1 sessions use the pre-fault-tolerance framing (no batch
+	// ids, no CRC, no Busy/BatchError frames).
+	MinProtocolVersion = 1
 	// MaxFrameBytes bounds a frame body so a corrupt or hostile length
 	// prefix cannot drive unbounded allocation.
 	MaxFrameBytes = 1 << 24
-	// MaxTxnBytes bounds the negotiated transaction size.
+	// MaxTxnBytes bounds the negotiated transaction size, on the wire and
+	// in trace files alike.
 	MaxTxnBytes = 1 << 12
 	// recordHeaderBytes is addr (8) + kind (1), shared with the on-disk
 	// record encoding.
 	recordHeaderBytes = 9
+	// batchEnvelopeBytes is the v2 Batch/BatchReply body prefix: uint64
+	// batch id + uint32 CRC-32C of everything after the CRC field.
+	batchEnvelopeBytes = 8 + 4
 )
 
 // ErrBadFrame reports a malformed protocol frame or message body.
 var ErrBadFrame = errors.New("trace: malformed protocol frame")
+
+// ErrCRC reports a v2 batch envelope whose payload CRC does not match:
+// the frame arrived intact at the framing layer but its content was
+// corrupted in transit. ErrCRC wraps ErrBadFrame, so errors.Is works for
+// either sentinel.
+var ErrCRC = fmt.Errorf("%w: payload crc mismatch", ErrBadFrame)
+
+// castagnoli is the CRC-32C table used by the v2 batch envelope.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendBatchEnvelope appends the v2 batch envelope prefix (batch id and a
+// zero CRC placeholder) to dst. The caller appends the payload and then
+// calls SealBatchEnvelope on the complete body.
+func AppendBatchEnvelope(dst []byte, id uint64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, id)
+	return append(dst, 0, 0, 0, 0)
+}
+
+// SealBatchEnvelope stamps the CRC-32C of body's payload (everything after
+// the envelope prefix) into the envelope written by AppendBatchEnvelope.
+func SealBatchEnvelope(body []byte) error {
+	if len(body) < batchEnvelopeBytes {
+		return fmt.Errorf("%w: %d-byte body has no batch envelope", ErrBadFrame, len(body))
+	}
+	crc := crc32.Checksum(body[batchEnvelopeBytes:], castagnoli)
+	binary.LittleEndian.PutUint32(body[8:batchEnvelopeBytes], crc)
+	return nil
+}
+
+// OpenBatchEnvelope splits a v2 Batch or BatchReply body into its batch id
+// and payload, verifying the payload CRC. On a CRC mismatch it still
+// returns the carried id (best effort — the id bytes may themselves be
+// corrupt) together with ErrCRC, so the receiver can answer the right
+// attempt.
+func OpenBatchEnvelope(body []byte) (id uint64, payload []byte, err error) {
+	if len(body) < batchEnvelopeBytes {
+		return 0, nil, fmt.Errorf("%w: %d-byte body is shorter than the batch envelope", ErrBadFrame, len(body))
+	}
+	id = binary.LittleEndian.Uint64(body[:8])
+	want := binary.LittleEndian.Uint32(body[8:batchEnvelopeBytes])
+	payload = body[batchEnvelopeBytes:]
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return id, nil, fmt.Errorf("%w: got %#x, frame claims %#x", ErrCRC, got, want)
+	}
+	return id, payload, nil
+}
+
+// MarshalBusy encodes a v2 Busy frame body: the shed batch's id and a
+// retry-after hint (rounded to milliseconds, capped at ~49 days).
+func MarshalBusy(id uint64, retryAfter time.Duration) []byte {
+	ms := retryAfter.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > math.MaxUint32 {
+		ms = math.MaxUint32
+	}
+	body := binary.LittleEndian.AppendUint64(make([]byte, 0, 12), id)
+	return binary.LittleEndian.AppendUint32(body, uint32(ms))
+}
+
+// ParseBusy decodes a Busy frame body.
+func ParseBusy(body []byte) (id uint64, retryAfter time.Duration, err error) {
+	if len(body) != 12 {
+		return 0, 0, fmt.Errorf("%w: busy body %d bytes, want 12", ErrBadFrame, len(body))
+	}
+	id = binary.LittleEndian.Uint64(body[:8])
+	ms := binary.LittleEndian.Uint32(body[8:12])
+	return id, time.Duration(ms) * time.Millisecond, nil
+}
+
+// batchErrorReset is the BatchError flag bit reporting that the server
+// reset the session codec's inter-transaction state.
+const batchErrorReset = 1 << 0
+
+// MarshalBatchError encodes a v2 BatchError frame body: the failed batch's
+// id, a flags byte, and a UTF-8 message.
+func MarshalBatchError(id uint64, codecReset bool, msg string) []byte {
+	body := binary.LittleEndian.AppendUint64(make([]byte, 0, 9+len(msg)), id)
+	var flags byte
+	if codecReset {
+		flags |= batchErrorReset
+	}
+	body = append(body, flags)
+	return append(body, msg...)
+}
+
+// ParseBatchError decodes a BatchError frame body.
+func ParseBatchError(body []byte) (id uint64, codecReset bool, msg string, err error) {
+	if len(body) < 9 {
+		return 0, false, "", fmt.Errorf("%w: batch-error body %d bytes, want >= 9", ErrBadFrame, len(body))
+	}
+	id = binary.LittleEndian.Uint64(body[:8])
+	return id, body[8]&batchErrorReset != 0, string(body[9:]), nil
+}
 
 // WriteFrame writes one frame (length prefix, type byte, body) to w.
 func WriteFrame(w io.Writer, t FrameType, body []byte) error {

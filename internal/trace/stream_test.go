@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"testing"
+	"time"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -206,5 +207,81 @@ func TestBatchStatsHelpers(t *testing.T) {
 	sum.Add(s)
 	if sum.OnesBefore != 20 || sum.BaselinePJ != 14 {
 		t.Errorf("Add accumulated %+v", sum)
+	}
+}
+
+// TestBatchEnvelopeRoundTrip covers the v2 batch envelope: seal + open
+// round-trips, every flipped payload or envelope bit is caught (ErrCRC on
+// payload corruption, with the carried id still returned best-effort), and
+// short bodies are rejected.
+func TestBatchEnvelopeRoundTrip(t *testing.T) {
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	body := AppendBatchEnvelope(nil, 0xDEADBEEFCAFE)
+	body = append(body, payload...)
+	if err := SealBatchEnvelope(body); err != nil {
+		t.Fatalf("SealBatchEnvelope: %v", err)
+	}
+	id, got, err := OpenBatchEnvelope(body)
+	if err != nil {
+		t.Fatalf("OpenBatchEnvelope: %v", err)
+	}
+	if id != 0xDEADBEEFCAFE || !bytes.Equal(got, payload) {
+		t.Fatalf("OpenBatchEnvelope = id %#x payload %v", id, got)
+	}
+
+	// Every single-bit payload corruption must be detected.
+	for bit := 0; bit < len(payload)*8; bit++ {
+		c := append([]byte(nil), body...)
+		c[12+bit/8] ^= 1 << (bit % 8)
+		if _, _, err := OpenBatchEnvelope(c); !errors.Is(err, ErrCRC) || !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("corrupt payload bit %d: err = %v, want ErrCRC wrapping ErrBadFrame", bit, err)
+		}
+	}
+	// A corrupt CRC field is also a CRC mismatch, and the id survives.
+	c := append([]byte(nil), body...)
+	c[9] ^= 0x40
+	if id, _, err := OpenBatchEnvelope(c); !errors.Is(err, ErrCRC) || id != 0xDEADBEEFCAFE {
+		t.Fatalf("corrupt crc: id %#x err %v", id, err)
+	}
+	// Bodies shorter than the envelope are malformed, not CRC mismatches.
+	for n := 0; n < 12; n++ {
+		if _, _, err := OpenBatchEnvelope(body[:n]); !errors.Is(err, ErrBadFrame) || errors.Is(err, ErrCRC) {
+			t.Fatalf("%d-byte body: err = %v, want plain ErrBadFrame", n, err)
+		}
+		if err := SealBatchEnvelope(body[:n]); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("SealBatchEnvelope on %d bytes: %v, want ErrBadFrame", n, err)
+		}
+	}
+}
+
+// TestBusyRoundTrip covers the v2 Busy frame body, including hint
+// saturation at the uint32 millisecond ceiling and negative clamping.
+func TestBusyRoundTrip(t *testing.T) {
+	id, after, err := ParseBusy(MarshalBusy(42, 1500*time.Millisecond))
+	if err != nil || id != 42 || after != 1500*time.Millisecond {
+		t.Fatalf("ParseBusy = (%d, %v, %v)", id, after, err)
+	}
+	if _, after, _ = ParseBusy(MarshalBusy(1, -time.Second)); after != 0 {
+		t.Errorf("negative hint round-tripped to %v, want 0", after)
+	}
+	if _, after, _ = ParseBusy(MarshalBusy(1, 100*24*time.Hour)); after != time.Duration(1<<32-1)*time.Millisecond {
+		t.Errorf("huge hint round-tripped to %v, want saturation at the uint32 ms ceiling", after)
+	}
+	if _, _, err := ParseBusy([]byte{1, 2, 3}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short busy body: %v, want ErrBadFrame", err)
+	}
+}
+
+// TestBatchErrorRoundTrip covers the v2 BatchError frame body and its
+// codec-reset flag.
+func TestBatchErrorRoundTrip(t *testing.T) {
+	for _, reset := range []bool{false, true} {
+		id, gotReset, msg, err := ParseBatchError(MarshalBatchError(7, reset, "scheme bdenc panicked"))
+		if err != nil || id != 7 || gotReset != reset || msg != "scheme bdenc panicked" {
+			t.Fatalf("ParseBatchError(reset=%v) = (%d, %v, %q, %v)", reset, id, gotReset, msg, err)
+		}
+	}
+	if _, _, _, err := ParseBatchError([]byte{1, 2}); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short batch-error body: %v, want ErrBadFrame", err)
 	}
 }

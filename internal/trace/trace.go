@@ -137,9 +137,13 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if hdr[4] != version {
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadTrace, hdr[4])
 	}
+	// The header's length prefix drives the per-record allocation in Read,
+	// so it is capped at the same MaxTxnBytes the wire protocol enforces: a
+	// hostile or corrupt header cannot make the reader allocate more than
+	// one legal transaction's worth of bytes.
 	size := int(binary.LittleEndian.Uint32(hdr[5:]))
-	if size <= 0 || size > 1<<20 {
-		return nil, fmt.Errorf("%w: implausible transaction size %d", ErrBadTrace, size)
+	if size <= 0 || size > MaxTxnBytes {
+		return nil, fmt.Errorf("%w: implausible transaction size %d (limit %d)", ErrBadTrace, size, MaxTxnBytes)
 	}
 	return &Reader{r: br, txnSize: size}, nil
 }

@@ -80,6 +80,9 @@ func TestMalformed(t *testing.T) {
 		"bad magic":    []byte("NOPE\x01\x20\x00\x00\x00"),
 		"bad version":  []byte("BXTT\x07\x20\x00\x00\x00"),
 		"zero size":    []byte("BXTT\x01\x00\x00\x00\x00"),
+		// One past the MaxTxnBytes allocation cap: a hostile length prefix
+		// must be refused before the reader sizes its record buffer.
+		"oversized txn": []byte("BXTT\x01\x01\x10\x00\x00"),
 	}
 	for name, data := range cases {
 		if _, err := NewReader(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
