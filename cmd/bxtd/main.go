@@ -54,6 +54,7 @@ func main() {
 	faultBudget := flag.Int("fault-budget", def.FaultBudget, "recoverable batch faults tolerated per session before disconnect")
 	admitTimeout := flag.Duration("admit-timeout", def.AdmitTimeout, "worker-slot wait above which a batch is shed with a Busy reply")
 	maxPending := flag.Int("max-pending", def.MaxPending, "batches waiting for workers before immediate shedding")
+	maxProtocol := flag.Int("max-protocol", def.MaxProtocol, "highest BXTP revision to negotiate (compatibility drills)")
 	chaos := flag.String("chaos", "", "self-sabotage for fault drills: inject faults per this spec, e.g. seed=7,corrupt=0.01,panic=0.001 (keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms, err, panic)")
 	listSchemes := flag.Bool("schemes", false, "list servable scheme names")
 	flag.Parse()
@@ -86,6 +87,7 @@ func main() {
 		FaultBudget:      *faultBudget,
 		AdmitTimeout:     *admitTimeout,
 		MaxPending:       *maxPending,
+		MaxProtocol:      *maxProtocol,
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

@@ -137,13 +137,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ccfg.Dialer = func(ctx context.Context, addr string) (net.Conn, error) {
-			conn, err := (&net.Dialer{}).DialContext(ctx, "tcp", addr)
-			if err != nil {
-				return nil, err
-			}
-			return inj.WrapConn(conn), nil
-		}
+		ccfg.Dialer = inj.WrapDialer(func(ctx context.Context, addr string) (net.Conn, error) {
+			return (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+		})
 	}
 
 	// One tracer shared by every connection: client-side stage timings

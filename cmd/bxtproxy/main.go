@@ -1,0 +1,135 @@
+// Command bxtproxy is the sharded serving tier in front of a bxtd fleet:
+// a BXTP-speaking proxy that accepts client sessions and fans their
+// batches across N transcoding backends, with health-checked routing,
+// session pinning for decode-stateful schemes, and failover that converts
+// dead-backend batches into recoverable replies instead of disconnects.
+//
+// Usage:
+//
+//	bxtproxy -backends 10.0.0.1:9650,10.0.0.2:9650,10.0.0.3:9650
+//	bxtproxy -listen :9660 -metrics :9661
+//	bxtproxy -chaos seed=7,corrupt=0.01       # sabotage the backend leg
+//
+// The proxy drains gracefully on SIGINT/SIGTERM: the listener closes,
+// /healthz flips to 503 draining, in-flight batches complete, then it
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/faults"
+	"github.com/hpca18/bxt/internal/proxy"
+)
+
+func main() {
+	def := config.DefaultProxy()
+	listen := flag.String("listen", def.ListenAddr, "client-facing BXTP listen address")
+	metrics := flag.String("metrics", def.MetricsAddr, "metrics/health listen address")
+	backends := flag.String("backends", strings.Join(def.Backends, ","), "comma-separated bxtd backend addresses")
+	maxConns := flag.Int("max-conns", def.MaxConns, "client connection limit")
+	readTimeout := flag.Duration("read-timeout", def.ReadTimeout, "per-frame client read deadline")
+	writeTimeout := flag.Duration("write-timeout", def.WriteTimeout, "per-frame client write deadline")
+	dialTimeout := flag.Duration("dial-timeout", def.DialTimeout, "backend dial + handshake deadline")
+	exchangeTimeout := flag.Duration("exchange-timeout", def.ExchangeTimeout, "backend batch round-trip deadline")
+	drainTimeout := flag.Duration("drain-timeout", def.DrainTimeout, "shutdown drain budget")
+	healthInterval := flag.Duration("health-interval", def.HealthInterval, "gap between backend Hello probes")
+	probeScheme := flag.String("probe-scheme", def.ProbeScheme, "registry scheme health probes handshake with")
+	ejectThreshold := flag.Int("eject-threshold", def.EjectThreshold, "consecutive failures that eject a backend")
+	poolSize := flag.Int("pool-size", def.PoolSize, "idle upstream sessions kept per backend")
+	retryHint := flag.Duration("retry-hint", def.RetryHint, "retry-after carried by failover Busy replies")
+	logLevel := flag.String("log-level", def.LogLevel, "log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", def.LogFormat, "log handler: text or json")
+	debug := flag.Bool("debug", def.Debug, "serve /debug/pprof/ on the metrics port")
+	chaos := flag.String("chaos", "", "fault drill: inject faults into the backend leg per this spec, e.g. seed=7,corrupt=0.01 (keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms, err, panic)")
+	flag.Parse()
+
+	cfg := config.Proxy{
+		ListenAddr:      *listen,
+		MetricsAddr:     *metrics,
+		Backends:        splitBackends(*backends),
+		MaxConns:        *maxConns,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		DialTimeout:     *dialTimeout,
+		ExchangeTimeout: *exchangeTimeout,
+		DrainTimeout:    *drainTimeout,
+		HealthInterval:  *healthInterval,
+		ProbeScheme:     *probeScheme,
+		EjectThreshold:  *ejectThreshold,
+		PoolSize:        *poolSize,
+		RetryHint:       *retryHint,
+		LogLevel:        *logLevel,
+		LogFormat:       *logFormat,
+		Debug:           *debug,
+	}
+	px, err := proxy.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bxtproxy:", err)
+		os.Exit(1)
+	}
+	var inj *faults.Injector
+	if *chaos != "" {
+		fcfg, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bxtproxy:", err)
+			os.Exit(1)
+		}
+		inj, err = faults.New(fcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bxtproxy:", err)
+			os.Exit(1)
+		}
+		px.SetFaults(inj)
+	}
+	logger := px.Logger()
+	if err := px.Start(); err != nil {
+		logger.Error("start failed", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("proxying",
+		"addr", px.Addr(),
+		"metrics_addr", px.MetricsAddr(),
+		"backends", cfg.Backends)
+	if inj != nil {
+		logger.Warn("chaos mode: injecting faults into the backend leg", "spec", *chaos)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	logger.Info("signal received, draining", "signal", got.String(), "budget", cfg.DrainTimeout.String())
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer cancel()
+	start := time.Now()
+	if err := px.Shutdown(ctx); err != nil {
+		logger.Error("drain incomplete", "after", time.Since(start).Round(time.Millisecond).String(), "err", err)
+	} else {
+		logger.Info("drained", "took", time.Since(start).Round(time.Millisecond).String())
+	}
+	px.Close()
+	if inj != nil {
+		logger.Info("chaos totals", "injected", inj.Counts().String())
+	}
+}
+
+// splitBackends parses the -backends flag, dropping empty entries so
+// trailing commas don't become invalid addresses.
+func splitBackends(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}

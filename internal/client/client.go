@@ -65,6 +65,13 @@ type Config struct {
 	// initial dial and retry reconnects. Fault injectors and proxies
 	// hook in here.
 	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+	// Protocol caps the BXTP revision the client requests (default: the
+	// current trace.ProtocolVersion). The server may negotiate further
+	// down; the session then runs the negotiated revision's wire
+	// semantics — a v1 session carries no batch envelope, cannot be shed
+	// with Busy, and treats any batch failure as fatal. Version reports
+	// what was agreed.
+	Protocol uint8
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +92,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoffMax < c.RetryBackoff {
 		c.RetryBackoffMax = time.Second
+	}
+	if c.Protocol < trace.MinProtocolVersion || c.Protocol > trace.ProtocolVersion {
+		c.Protocol = trace.ProtocolVersion
 	}
 	return c
 }
@@ -116,7 +126,10 @@ type Client struct {
 	metaBits   int
 	metaBytes  int
 	batchLimit int
-	fbuf       []byte
+	// version is the negotiated protocol revision: the configured cap, or
+	// lower if the server negotiated down in HelloOK.
+	version uint8
+	fbuf    []byte
 	// bbuf and recs are reused across Transcode calls so a steady-state
 	// streaming client allocates nothing per batch.
 	bbuf []byte
@@ -209,7 +222,7 @@ func (c *Client) connect(ctx context.Context) error {
 
 func (c *Client) handshake(ctx context.Context) error {
 	body, err := trace.MarshalHello(trace.Hello{
-		Version: trace.ProtocolVersion,
+		Version: c.cfg.Protocol,
 		TxnSize: c.txnSize,
 		Scheme:  c.scheme,
 	})
@@ -237,10 +250,11 @@ func (c *Client) handshake(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		if ok.Version != trace.ProtocolVersion {
-			return fmt.Errorf("%w: server negotiated protocol version %d, need %d",
-				ErrServer, ok.Version, trace.ProtocolVersion)
+		if ok.Version < trace.MinProtocolVersion || ok.Version > c.cfg.Protocol {
+			return fmt.Errorf("%w: server negotiated protocol version %d, requested <= %d",
+				ErrServer, ok.Version, c.cfg.Protocol)
 		}
+		c.version = ok.Version
 		c.metaBits = ok.MetaBits
 		c.metaBytes = (ok.MetaBits + 7) / 8
 		c.batchLimit = ok.BatchLimit
@@ -284,6 +298,10 @@ func (c *Client) MetaBits() int { return c.metaBits }
 
 // BatchLimit returns the server's maximum batch size.
 func (c *Client) BatchLimit() int { return c.batchLimit }
+
+// Version returns the negotiated BXTP revision: Config.Protocol, or lower
+// if the server negotiated the session down in HelloOK.
+func (c *Client) Version() uint8 { return c.version }
 
 // Epoch returns the codec epoch: it advances every time the server-side
 // codec restarted (reconnect, or a BatchError with the reset flag).
@@ -356,13 +374,22 @@ func (c *Client) Transcode(txns []trace.Transaction) (trace.BatchReply, error) {
 // error for every class but exchangeOK.
 func (c *Client) exchange(id uint64, txns []trace.Transaction) (trace.BatchReply, time.Duration, exchangeKind, error) {
 	writeStart := time.Now()
-	body, err := trace.AppendBatch(trace.AppendBatchEnvelope(c.bbuf[:0], id), txns, c.txnSize)
+	var body []byte
+	var err error
+	if c.version >= 2 {
+		body, err = trace.AppendBatch(trace.AppendBatchEnvelope(c.bbuf[:0], id), txns, c.txnSize)
+	} else {
+		// v1 framing: no batch envelope on either direction.
+		body, err = trace.AppendBatch(c.bbuf[:0], txns, c.txnSize)
+	}
 	if err != nil {
 		return trace.BatchReply{}, 0, exchangeCaller, err
 	}
 	c.bbuf = body[:0]
-	if err := trace.SealBatchEnvelope(body); err != nil {
-		return trace.BatchReply{}, 0, exchangeCaller, err // unreachable: envelope present
+	if c.version >= 2 {
+		if err := trace.SealBatchEnvelope(body); err != nil {
+			return trace.BatchReply{}, 0, exchangeCaller, err // unreachable: envelope present
+		}
 	}
 	c.conn.SetWriteDeadline(time.Now().Add(c.cfg.IOTimeout))
 	if err := trace.WriteFrame(c.bw, trace.FrameBatch, body); err != nil {
@@ -380,16 +407,20 @@ func (c *Client) exchange(id uint64, txns []trace.Transaction) (trace.BatchReply
 	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageFrameRead, time.Since(readStart))
 	switch ft {
 	case trace.FrameBatchReply:
-		rid, payload, err := trace.OpenBatchEnvelope(rbody)
-		if err != nil {
-			// A CRC failure here is wire damage on the reply path; the
-			// server already applied the batch, so the session's codec
-			// stream is unusable — reconnect for a clean epoch.
-			return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("client: reply for batch %d: %w", id, err)
-		}
-		if rid != id {
-			return trace.BatchReply{}, 0, exchangeBroken,
-				fmt.Errorf("client: reply names batch %d, expected %d (stream desynchronized)", rid, id)
+		payload := rbody
+		if c.version >= 2 {
+			rid, p, err := trace.OpenBatchEnvelope(rbody)
+			if err != nil {
+				// A CRC failure here is wire damage on the reply path; the
+				// server already applied the batch, so the session's codec
+				// stream is unusable — reconnect for a clean epoch.
+				return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("client: reply for batch %d: %w", id, err)
+			}
+			if rid != id {
+				return trace.BatchReply{}, 0, exchangeBroken,
+					fmt.Errorf("client: reply names batch %d, expected %d (stream desynchronized)", rid, id)
+			}
+			payload = p
 		}
 		reply, err := trace.ParseBatchReplyInto(payload, c.txnSize, c.metaBytes, c.recs)
 		if err != nil {
@@ -398,6 +429,10 @@ func (c *Client) exchange(id uint64, txns []trace.Transaction) (trace.BatchReply
 		c.recs = reply.Records
 		return reply, 0, exchangeOK, nil
 	case trace.FrameBusy:
+		if c.version < 2 {
+			return trace.BatchReply{}, 0, exchangeBroken,
+				fmt.Errorf("%w: busy frame on a v1 session", trace.ErrBadFrame)
+		}
 		rid, after, err := trace.ParseBusy(rbody)
 		if err != nil || rid != id {
 			return trace.BatchReply{}, 0, exchangeBroken,
@@ -406,6 +441,10 @@ func (c *Client) exchange(id uint64, txns []trace.Transaction) (trace.BatchReply
 		return trace.BatchReply{}, after, exchangeBusy,
 			fmt.Errorf("%w: batch %d shed, retry after %v", ErrBusy, id, after)
 	case trace.FrameBatchError:
+		if c.version < 2 {
+			return trace.BatchReply{}, 0, exchangeBroken,
+				fmt.Errorf("%w: batch-error frame on a v1 session", trace.ErrBadFrame)
+		}
 		rid, reset, msg, err := trace.ParseBatchError(rbody)
 		if err != nil || rid != id {
 			return trace.BatchReply{}, 0, exchangeBroken,

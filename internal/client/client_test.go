@@ -14,12 +14,14 @@ import (
 	"github.com/hpca18/bxt/internal/config"
 	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/server"
+	"github.com/hpca18/bxt/internal/testutil"
 	"github.com/hpca18/bxt/internal/trace"
 )
 
 // startGateway runs a loopback bxtd for the client to talk to.
 func startGateway(t *testing.T) *server.Server {
 	t.Helper()
+	testutil.VerifyNoLeaks(t)
 	cfg := config.DefaultServer()
 	cfg.ListenAddr = "127.0.0.1:0"
 	cfg.MetricsAddr = "127.0.0.1:0"

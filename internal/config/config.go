@@ -13,6 +13,7 @@ import (
 
 	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/scheme"
+	"github.com/hpca18/bxt/internal/trace"
 )
 
 // GPU describes the GPU system under evaluation (Table I).
@@ -153,6 +154,12 @@ type Server struct {
 	// sessions; beyond it batches are shed immediately instead of
 	// deepening the queue.
 	MaxPending int
+	// MaxProtocol caps the BXTP revision the gateway negotiates: clients
+	// asking for a newer revision are answered at this one and must run
+	// its wire semantics. The default is the current revision; setting 1
+	// forces the pre-fault-tolerance framing fleet-wide, which exists for
+	// compatibility drills and staged protocol rollouts.
+	MaxProtocol int
 }
 
 // DefaultServer returns the gateway's default configuration: the paper's
@@ -179,6 +186,7 @@ func DefaultServer() Server {
 		FaultBudget:      16,
 		AdmitTimeout:     500 * time.Millisecond,
 		MaxPending:       32,
+		MaxProtocol:      trace.ProtocolVersion,
 	}
 }
 
@@ -239,6 +247,143 @@ func (s Server) Validate() error {
 	}
 	if s.MaxPending <= 0 {
 		return fmt.Errorf("config: pending batch limit %d is not positive", s.MaxPending)
+	}
+	if s.MaxProtocol < trace.MinProtocolVersion || s.MaxProtocol > trace.ProtocolVersion {
+		return fmt.Errorf("config: max protocol %d outside [%d, %d]",
+			s.MaxProtocol, trace.MinProtocolVersion, trace.ProtocolVersion)
+	}
+	return nil
+}
+
+// Proxy configures bxtproxy, the sharded serving tier that fronts a fleet
+// of bxtd backends: the client-facing BXTP listener, the metrics endpoint,
+// the backend set, health probing and outlier ejection, the idle upstream
+// connection pool, and the conversion hint returned when a dead backend's
+// in-flight batch is bounced back to the client as retryable.
+type Proxy struct {
+	// ListenAddr is the client-facing BXTP listener's TCP address.
+	ListenAddr string
+	// MetricsAddr is the HTTP /metrics + /healthz listener's address.
+	MetricsAddr string
+	// Backends are the bxtd transcoding addresses batches fan out across.
+	Backends []string
+	// MaxConns caps simultaneous client sessions.
+	MaxConns int
+	// ReadTimeout bounds the wait for one frame from an idle client;
+	// WriteTimeout bounds one reply write toward a slow client.
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	// DialTimeout bounds one backend dial plus handshake; ExchangeTimeout
+	// bounds one full batch round trip on the backend leg. Keep
+	// ExchangeTimeout below the clients' IO timeout: the proxy must give
+	// up on a stalled backend and answer with a recoverable reply while
+	// the client is still listening, or the client breaks the connection
+	// the failover machinery exists to preserve.
+	DialTimeout     time.Duration
+	ExchangeTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown.
+	DrainTimeout time.Duration
+	// HealthInterval is the gap between BXTP Hello probes of each backend;
+	// ProbeScheme is the registry scheme the probe handshakes with.
+	HealthInterval time.Duration
+	ProbeScheme    string
+	// EjectThreshold is how many consecutive failures (probes or live
+	// traffic) eject a backend from routing. A later successful probe
+	// restores it.
+	EjectThreshold int
+	// PoolSize caps the idle upstream sessions kept per backend for reuse
+	// across client sessions (decode-stateless schemes only; pinned
+	// sessions always get a fresh upstream codec).
+	PoolSize int
+	// RetryHint is the retry-after carried by the Busy reply that converts
+	// a dead backend's in-flight batch into a client-side retry.
+	RetryHint time.Duration
+	// LogLevel and LogFormat select the structured-log verbosity and
+	// handler, as on the gateway.
+	LogLevel  string
+	LogFormat string
+	// Debug mounts /debug/pprof/ on the metrics listener.
+	Debug bool
+}
+
+// DefaultProxy returns the proxy tier's default configuration: one local
+// backend, half-second health probes, ejection after three straight
+// failures, and a four-deep idle pool per backend.
+func DefaultProxy() Proxy {
+	return Proxy{
+		ListenAddr:      "127.0.0.1:9660",
+		MetricsAddr:     "127.0.0.1:9661",
+		Backends:        []string{"127.0.0.1:9650"},
+		MaxConns:        256,
+		ReadTimeout:     30 * time.Second,
+		WriteTimeout:    30 * time.Second,
+		DialTimeout:     5 * time.Second,
+		ExchangeTimeout: 15 * time.Second,
+		DrainTimeout:    10 * time.Second,
+		HealthInterval:  500 * time.Millisecond,
+		ProbeScheme:     "baseline",
+		EjectThreshold:  3,
+		PoolSize:        4,
+		RetryHint:       25 * time.Millisecond,
+		LogLevel:        "info",
+		LogFormat:       "text",
+		Debug:           true,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (p Proxy) Validate() error {
+	if p.ListenAddr == "" {
+		return fmt.Errorf("config: empty proxy listen address")
+	}
+	if p.MetricsAddr == "" {
+		return fmt.Errorf("config: empty proxy metrics address")
+	}
+	if len(p.Backends) == 0 {
+		return fmt.Errorf("config: proxy has no backends")
+	}
+	seen := make(map[string]bool, len(p.Backends))
+	for _, b := range p.Backends {
+		if b == "" {
+			return fmt.Errorf("config: empty backend address")
+		}
+		if seen[b] {
+			return fmt.Errorf("config: duplicate backend %q", b)
+		}
+		seen[b] = true
+	}
+	if p.MaxConns <= 0 {
+		return fmt.Errorf("config: connection limit %d is not positive", p.MaxConns)
+	}
+	if p.ReadTimeout <= 0 || p.WriteTimeout <= 0 {
+		return fmt.Errorf("config: read/write timeouts must be positive (got %v, %v)", p.ReadTimeout, p.WriteTimeout)
+	}
+	if p.DialTimeout <= 0 || p.ExchangeTimeout <= 0 {
+		return fmt.Errorf("config: dial/exchange timeouts must be positive (got %v, %v)", p.DialTimeout, p.ExchangeTimeout)
+	}
+	if p.DrainTimeout <= 0 {
+		return fmt.Errorf("config: drain timeout %v is not positive", p.DrainTimeout)
+	}
+	if p.HealthInterval <= 0 {
+		return fmt.Errorf("config: health interval %v is not positive", p.HealthInterval)
+	}
+	if !scheme.Known(p.ProbeScheme) {
+		return fmt.Errorf("config: unknown probe scheme %q", p.ProbeScheme)
+	}
+	if p.EjectThreshold <= 0 {
+		return fmt.Errorf("config: eject threshold %d is not positive", p.EjectThreshold)
+	}
+	if p.PoolSize < 0 {
+		return fmt.Errorf("config: pool size %d is negative", p.PoolSize)
+	}
+	if p.RetryHint <= 0 {
+		return fmt.Errorf("config: retry hint %v is not positive", p.RetryHint)
+	}
+	if _, err := obs.ParseLevel(p.LogLevel); err != nil {
+		return fmt.Errorf("config: %w", err)
+	}
+	if f := strings.ToLower(p.LogFormat); f != "text" && f != "json" {
+		return fmt.Errorf("config: unknown log format %q (want text or json)", p.LogFormat)
 	}
 	return nil
 }

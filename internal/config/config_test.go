@@ -76,6 +76,50 @@ func TestServerValidate(t *testing.T) {
 	}
 }
 
+func TestProxyValidate(t *testing.T) {
+	if err := DefaultProxy().Validate(); err != nil {
+		t.Fatalf("DefaultProxy().Validate() = %v, want nil", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*Proxy)
+		wantSub string
+	}{
+		{"empty listen addr", func(p *Proxy) { p.ListenAddr = "" }, "listen address"},
+		{"empty metrics addr", func(p *Proxy) { p.MetricsAddr = "" }, "metrics address"},
+		{"no backends", func(p *Proxy) { p.Backends = nil }, "no backends"},
+		{"empty backend addr", func(p *Proxy) { p.Backends = []string{"127.0.0.1:9650", ""} }, "empty backend"},
+		{"duplicate backend", func(p *Proxy) { p.Backends = []string{"a:1", "b:2", "a:1"} }, "duplicate backend"},
+		{"zero conn limit", func(p *Proxy) { p.MaxConns = 0 }, "connection limit"},
+		{"zero read timeout", func(p *Proxy) { p.ReadTimeout = 0 }, "timeouts"},
+		{"negative write timeout", func(p *Proxy) { p.WriteTimeout = -time.Second }, "timeouts"},
+		{"zero dial timeout", func(p *Proxy) { p.DialTimeout = 0 }, "timeouts"},
+		{"zero exchange timeout", func(p *Proxy) { p.ExchangeTimeout = 0 }, "timeouts"},
+		{"zero drain timeout", func(p *Proxy) { p.DrainTimeout = 0 }, "drain timeout"},
+		{"zero health interval", func(p *Proxy) { p.HealthInterval = 0 }, "health interval"},
+		{"bad probe scheme", func(p *Proxy) { p.ProbeScheme = "turbo-xor" }, "probe scheme"},
+		{"empty probe scheme", func(p *Proxy) { p.ProbeScheme = "" }, "probe scheme"},
+		{"zero eject threshold", func(p *Proxy) { p.EjectThreshold = 0 }, "eject threshold"},
+		{"negative pool size", func(p *Proxy) { p.PoolSize = -1 }, "pool size"},
+		{"zero retry hint", func(p *Proxy) { p.RetryHint = 0 }, "retry hint"},
+		{"bad log level", func(p *Proxy) { p.LogLevel = "loud" }, "log level"},
+		{"bad log format", func(p *Proxy) { p.LogFormat = "xml" }, "log format"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultProxy()
+			tc.mutate(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate() = nil, want error mentioning %q", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("Validate() = %q, want mention of %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
 // TestSPECSystemGeometry checks the §VI-G CPU configuration.
 func TestSPECSystemGeometry(t *testing.T) {
 	c := SPECSystem()

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+
+	"github.com/hpca18/bxt/internal/testutil"
 )
 
 // The word-parallel kernels in bits64.go must be observationally identical
@@ -12,58 +14,6 @@ import (
 // decoded bytes, for every transaction. These tests drive both paths of the
 // same configuration via the forceRef switch and compare output
 // byte-for-byte across random and structured payloads.
-
-// diffPayloads builds payload shapes that hit every branch of the ZDR
-// datapath: plain XOR, the zero→const remap, and the base^const→base remap,
-// at element boundaries and across them.
-func diffPayloads(rng *rand.Rand, n, elem int, cnst []byte) [][]byte {
-	pick := func(fill func(p []byte)) []byte {
-		p := make([]byte, n)
-		fill(p)
-		return p
-	}
-	ps := [][]byte{
-		pick(func(p []byte) {}),                     // all zero
-		pick(func(p []byte) { rng.Read(p) }),        // random
-		pick(func(p []byte) { rng.Read(p[:elem]) }), // base element only
-		pick(func(p []byte) { rng.Read(p[elem:]) }), // zero base
-	}
-	// Repeated element: every XOR vanishes (or remaps under ZDR).
-	ps = append(ps, pick(func(p []byte) {
-		rng.Read(p[:elem])
-		for off := elem; off+elem <= n; off += elem {
-			copy(p[off:], p[:elem])
-		}
-	}))
-	// base ^ const elements: the second ZDR remap fires.
-	ps = append(ps, pick(func(p []byte) {
-		rng.Read(p[:elem])
-		for off := elem; off+elem <= n; off += elem {
-			for i := 0; i < elem; i++ {
-				p[off+i] = p[off-elem+i] ^ cnst[i%len(cnst)]
-			}
-		}
-	}))
-	// Alternating zero / repeated / random elements.
-	ps = append(ps, pick(func(p []byte) {
-		rng.Read(p)
-		for off := 0; off+elem <= n; off += 2 * elem {
-			for i := 0; i < elem; i++ {
-				p[off+i] = 0
-			}
-		}
-	}))
-	// Payloads that *are* the constant, so encoded symbols collide with it.
-	ps = append(ps, pick(func(p []byte) {
-		for i := range p {
-			p[i] = cnst[i%len(cnst)]
-		}
-	}))
-	for i := 0; i < 16; i++ {
-		ps = append(ps, pick(func(p []byte) { rng.Read(p) }))
-	}
-	return ps
-}
 
 // diffCheck encodes and decodes src through both codecs and fails on any
 // byte diverging. ref must be the forceRef twin of fast.
@@ -126,7 +76,7 @@ func TestBaseXORKernelsMatchReference(t *testing.T) {
 							if eff == nil {
 								eff = DefaultZDRConst(bs)
 							}
-							for _, p := range diffPayloads(rng, n, bs, eff) {
+							for _, p := range testutil.Payloads(rng, n, bs, eff) {
 								diffCheck(t, fast, ref, p)
 							}
 						})
@@ -160,12 +110,12 @@ func TestUniversalKernelsMatchReference(t *testing.T) {
 				fast := &Universal{Stages: tc.stages, ZDR: zdr}
 				ref := &Universal{Stages: tc.stages, ZDR: zdr, forceRef: true}
 				half := tc.n >> 1
-				for _, p := range diffPayloads(rng, tc.n, half, DefaultZDRConst(half)) {
+				for _, p := range testutil.Payloads(rng, tc.n, half, DefaultZDRConst(half)) {
 					diffCheck(t, fast, ref, p)
 				}
 				// Also stress the innermost-stage granularity.
 				inner := tc.n >> uint(tc.stages)
-				for _, p := range diffPayloads(rng, tc.n, inner, DefaultZDRConst(inner)) {
+				for _, p := range testutil.Payloads(rng, tc.n, inner, DefaultZDRConst(inner)) {
 					diffCheck(t, fast, ref, p)
 				}
 			})

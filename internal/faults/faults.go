@@ -14,6 +14,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -305,6 +306,20 @@ func (c *conn) Write(p []byte) (int, error) {
 		return c.Conn.Write(c.scratch)
 	}
 	return c.Conn.Write(p)
+}
+
+// WrapDialer returns dial with the injector's transport faults applied to
+// every connection it produces. bxtload uses it to sabotage the client leg
+// and bxtproxy the proxy-to-backend leg, so chaos drills can target either
+// side of a tiered deployment independently.
+func (in *Injector) WrapDialer(dial func(ctx context.Context, addr string) (net.Conn, error)) func(ctx context.Context, addr string) (net.Conn, error) {
+	return func(ctx context.Context, addr string) (net.Conn, error) {
+		c, err := dial(ctx, addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.WrapConn(c), nil
+	}
 }
 
 // WrapCodec returns c with injected encode failures: ErrInjected returns at

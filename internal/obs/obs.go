@@ -30,6 +30,12 @@ const (
 	// (on the client: of one request frame).
 	StageFrameWrite Stage = "frame_write"
 
+	// StageBackend is the proxy's upstream leg: forwarding one batch to a
+	// bxtd backend and reading its reply. It sits between the proxy's
+	// frame_read and frame_write stages the way codec_encode + phy_account
+	// do on the gateway itself.
+	StageBackend Stage = "backend_exchange"
+
 	// StageRetryBackoff is the client-side wait before a batch retry
 	// (Busy shed, BatchError, or transport failure); its histogram count
 	// is the retry counter.

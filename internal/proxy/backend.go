@@ -1,0 +1,216 @@
+package proxy
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// errUpstreamReject marks a backend that answered the Hello handshake with
+// a protocol Error frame: the session parameters (scheme, transaction
+// size) are wrong, not the backend. Callers relay the message to the
+// client instead of failing over — every backend would reject the same
+// Hello.
+var errUpstreamReject = errors.New("proxy: backend rejected handshake")
+
+// backend is one bxtd upstream: routing counters, the ejection state
+// machine, and a bounded pool of idle upstream sessions keyed by
+// handshake parameters.
+type backend struct {
+	addr string
+
+	// pending counts batches in flight on this backend right now; the
+	// least-pending router reads it. batches and failures are lifetime
+	// totals for /metrics; probes counts health-check handshakes.
+	pending  atomic.Int64
+	batches  atomic.Uint64
+	failures atomic.Uint64
+	probes   atomic.Uint64
+	// pinned gauges the sessions currently consistent-hashed here.
+	pinned atomic.Int64
+
+	// consec counts consecutive failures toward ejection; any success
+	// zeroes it. ejected removes the backend from routing until a probe
+	// succeeds.
+	consec  atomic.Int64
+	ejected atomic.Bool
+
+	mu     sync.Mutex
+	pool   map[poolKey][]*upstream
+	idle   int
+	closed bool
+}
+
+func newBackend(addr string) *backend {
+	return &backend{addr: addr, pool: make(map[poolKey][]*upstream)}
+}
+
+// fail records one failure and reports whether it just crossed the
+// ejection threshold.
+func (b *backend) fail(threshold int) (ejectedNow bool) {
+	b.failures.Add(1)
+	if b.consec.Add(1) >= int64(threshold) {
+		return !b.ejected.Swap(true)
+	}
+	return false
+}
+
+// ok records one success (probe or live traffic) and reports whether it
+// just restored an ejected backend.
+func (b *backend) ok() (restored bool) {
+	b.consec.Store(0)
+	return b.ejected.Swap(false)
+}
+
+// poolKey identifies interchangeable upstream sessions: same scheme, same
+// transaction size, same negotiated protocol revision.
+type poolKey struct {
+	scheme  string
+	txnSize int
+	version uint8
+}
+
+// getPooled pops an idle upstream for k, or nil.
+func (b *backend) getPooled(k poolKey) *upstream {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	us := b.pool[k]
+	if len(us) == 0 {
+		return nil
+	}
+	u := us[len(us)-1]
+	b.pool[k] = us[:len(us)-1]
+	b.idle--
+	return u
+}
+
+// putPooled parks u for reuse and reports whether it was kept; a full or
+// closed pool returns false and the caller closes u.
+func (b *backend) putPooled(u *upstream, max int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.idle >= max {
+		return false
+	}
+	b.pool[u.key] = append(b.pool[u.key], u)
+	b.idle++
+	return true
+}
+
+// poolIdle returns the idle-session gauge.
+func (b *backend) poolIdle() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.idle
+}
+
+// drainPool empties the pool, closing every idle upstream, and refuses
+// further parking. Called once at proxy Close.
+func (b *backend) drainPool() {
+	b.mu.Lock()
+	var us []*upstream
+	for _, s := range b.pool {
+		us = append(us, s...)
+	}
+	b.pool = make(map[poolKey][]*upstream)
+	b.idle = 0
+	b.closed = true
+	b.mu.Unlock()
+	for _, u := range us {
+		u.conn.Close()
+	}
+}
+
+// upstream is one live BXTP session with a backend, handshaken for a
+// specific (scheme, txnSize, version) and usable for serial batch
+// exchanges.
+type upstream struct {
+	b    *backend
+	key  poolKey
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	// ok is the backend's HelloOK; the proxy relays MetaBits and
+	// BatchLimit to the client verbatim.
+	ok trace.HelloOK
+	// fbuf is the reply frame read buffer, grown on demand and kept.
+	fbuf []byte
+	// pooledReuse marks an upstream just taken from the idle pool whose
+	// first exchange has not succeeded yet: a failure then is more likely
+	// a backend-side idle timeout than a health problem, so it does not
+	// count toward ejection.
+	pooledReuse bool
+}
+
+// handshake runs the BXTP Hello exchange for u.key within timeout. A
+// backend Error reply surfaces as errUpstreamReject carrying the message.
+// The backend may negotiate down from the requested revision (u.ok keeps
+// the answer); anything above the request or below the floor is a hard
+// error. Callers relaying frames verbatim must check u.ok.Version against
+// the session revision — the proxy cannot translate between revisions.
+func (u *upstream) handshake(timeout time.Duration) error {
+	body, err := trace.MarshalHello(trace.Hello{
+		Version: u.key.version,
+		TxnSize: u.key.txnSize,
+		Scheme:  u.key.scheme,
+	})
+	if err != nil {
+		return err
+	}
+	u.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := trace.WriteFrame(u.bw, trace.FrameHello, body); err != nil {
+		return err
+	}
+	if err := u.bw.Flush(); err != nil {
+		return err
+	}
+	u.conn.SetReadDeadline(time.Now().Add(timeout))
+	ft, rbody, err := trace.ReadFrame(u.br, nil)
+	if err != nil {
+		return err
+	}
+	switch ft {
+	case trace.FrameHelloOK:
+		ok, err := trace.ParseHelloOK(rbody)
+		if err != nil {
+			return err
+		}
+		if ok.Version > u.key.version || ok.Version < trace.MinProtocolVersion {
+			return fmt.Errorf("proxy: backend %s negotiated protocol %d, requested <= %d", u.b.addr, ok.Version, u.key.version)
+		}
+		u.ok = ok
+		return nil
+	case trace.FrameError:
+		return fmt.Errorf("%w: %s", errUpstreamReject, rbody)
+	default:
+		return fmt.Errorf("proxy: backend %s answered hello with frame 0x%02x", u.b.addr, byte(ft))
+	}
+}
+
+// exchange forwards one Batch frame body verbatim and reads the reply
+// frame, all within timeout. The returned body aliases u.fbuf and is valid
+// until the next exchange.
+func (u *upstream) exchange(body []byte, timeout time.Duration) (trace.FrameType, []byte, error) {
+	u.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := trace.WriteFrame(u.bw, trace.FrameBatch, body); err != nil {
+		return 0, nil, err
+	}
+	if err := u.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	u.conn.SetReadDeadline(time.Now().Add(timeout))
+	ft, rbody, err := trace.ReadFrame(u.br, u.fbuf)
+	if err != nil {
+		return 0, nil, err
+	}
+	if cap(rbody) > cap(u.fbuf) {
+		u.fbuf = rbody[:cap(rbody)]
+	}
+	return ft, rbody, nil
+}

@@ -1,0 +1,118 @@
+package proxy_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/client"
+	"github.com/hpca18/bxt/internal/faults"
+	"github.com/hpca18/bxt/internal/server"
+	"github.com/hpca18/bxt/internal/testutil"
+)
+
+// TestCompatMatrix pins the protocol negotiation and wire behaviour of
+// every client/server revision pairing, both direct and through the
+// proxy: the session must land on min(client revision, server cap), data
+// must round-trip on the negotiated revision, and an injected codec fault
+// must surface with that revision's semantics — a recoverable
+// ErrBatchFault on v2 sessions, a fatal ErrServer on v1 sessions (which
+// predate recoverable faults).
+func TestCompatMatrix(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	cases := []struct {
+		clientProto uint8
+		serverMax   int
+		want        uint8
+	}{
+		{1, 1, 1},
+		{1, 2, 1},
+		{2, 1, 1},
+		{2, 2, 2},
+	}
+	for _, topology := range []string{"direct", "proxied"} {
+		for _, tc := range cases {
+			tc := tc
+			name := fmt.Sprintf("%s/v%d_client_v%d_server", topology, tc.clientProto, tc.serverMax)
+			t.Run(name, func(t *testing.T) {
+				bcfg := backendConfig()
+				bcfg.MaxProtocol = tc.serverMax
+				srv := startBackend(t, bcfg)
+				addr := srv.Addr()
+				if topology == "proxied" {
+					addr = startProxy(t, proxyConfig(srv.Addr())).Addr()
+				}
+
+				ccfg := retryClient()
+				ccfg.Protocol = tc.clientProto
+				c, err := client.DialConfig(addr, "basexor", 32, ccfg)
+				if err != nil {
+					t.Fatalf("dial: %v", err)
+				}
+				defer c.Close()
+				if c.Version() != tc.want {
+					t.Fatalf("negotiated version %d, want %d", c.Version(), tc.want)
+				}
+				rng := rand.New(rand.NewSource(int64(tc.clientProto)*10 + int64(tc.serverMax)))
+				verifySession(t, c, buildDecoder(t, "basexor", bcfg), rng, 5, 8)
+			})
+		}
+	}
+}
+
+// TestCompatFaultSemantics drives one injected codec fault through each
+// negotiated revision, direct and proxied: v2 sessions see the
+// recoverable BatchError (ErrBatchFault, connection intact), v1 sessions
+// see a fatal server Error.
+func TestCompatFaultSemantics(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	for _, topology := range []string{"direct", "proxied"} {
+		for _, proto := range []uint8{1, 2} {
+			proto := proto
+			t.Run(fmt.Sprintf("%s/v%d", topology, proto), func(t *testing.T) {
+				bcfg := backendConfig()
+				srv, err := server.New(bcfg)
+				if err != nil {
+					t.Fatalf("server.New: %v", err)
+				}
+				// Every transaction faults: the first batch always
+				// exercises the failure reply of the negotiated revision.
+				srv.SetFaults(faults.MustNew(faults.Config{Seed: 1, ErrRate: 1}))
+				if err := srv.Start(); err != nil {
+					t.Fatalf("server.Start: %v", err)
+				}
+				t.Cleanup(func() { srv.Close() })
+				addr := srv.Addr()
+				if topology == "proxied" {
+					addr = startProxy(t, proxyConfig(srv.Addr())).Addr()
+				}
+
+				ccfg := retryClient()
+				ccfg.Protocol = proto
+				ccfg.MaxRetries = 2
+				c, err := client.DialConfig(addr, "basexor", 32, ccfg)
+				if err != nil {
+					t.Fatalf("dial: %v", err)
+				}
+				defer c.Close()
+
+				rng := rand.New(rand.NewSource(int64(proto)))
+				_, err = c.Transcode(makeTxns(rng, 4, 32))
+				if err == nil {
+					t.Fatal("Transcode succeeded with every transaction faulting")
+				}
+				if proto >= 2 {
+					if !errors.Is(err, client.ErrBatchFault) {
+						t.Fatalf("v2 fault = %v, want ErrBatchFault (recoverable reply)", err)
+					}
+					if got := c.RetryStats().BatchErrors; got == 0 {
+						t.Error("v2 session counted no BatchError replies")
+					}
+				} else if !errors.Is(err, client.ErrServer) {
+					t.Fatalf("v1 fault = %v, want ErrServer (fatal semantics)", err)
+				}
+			})
+		}
+	}
+}

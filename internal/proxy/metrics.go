@@ -1,0 +1,76 @@
+package proxy
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"github.com/hpca18/bxt/internal/obs"
+)
+
+// metrics is the proxy's observability state: connection gauges, failover
+// conversion counters, and per-(scheme, stage) latency histograms, exposed
+// in Prometheus text format alongside per-backend serving counters.
+type metrics struct {
+	connsActive   atomic.Int64
+	connsTotal    atomic.Uint64
+	connsRejected atomic.Uint64
+
+	// Failover accounting. busyConverted counts dead-backend batches
+	// answered with a retryable Busy frame (stateless sessions);
+	// faultConverted counts those answered with a codec-reset BatchError
+	// (pinned sessions); v1Fatal counts upstream failures that had to
+	// become fatal Error frames because the client spoke protocol v1;
+	// relayedFaults counts backend Busy/BatchError replies passed through
+	// unchanged; repins counts pinned sessions migrated to a new backend.
+	busyConverted  atomic.Uint64
+	faultConverted atomic.Uint64
+	v1Fatal        atomic.Uint64
+	relayedFaults  atomic.Uint64
+	repins         atomic.Uint64
+
+	// stages holds the bxtproxy_stage_seconds{scheme,stage} histograms:
+	// frame_read and frame_write for the client leg, backend_exchange for
+	// the upstream round trip.
+	stages *obs.HistogramTracer
+}
+
+func newMetrics() *metrics {
+	return &metrics{stages: obs.NewHistogramTracer(nil)}
+}
+
+// writeExposition renders the full /metrics document: proxy state, one
+// series set per configured backend, stage latency histograms, and Go
+// runtime gauges.
+func (m *metrics) writeExposition(w io.Writer, backends []*backend, draining bool) {
+	d := 0
+	if draining {
+		d = 1
+	}
+	fmt.Fprintf(w, "bxtproxy_draining %d\n", d)
+	fmt.Fprintf(w, "bxtproxy_connections_active %d\n", m.connsActive.Load())
+	fmt.Fprintf(w, "bxtproxy_connections_total %d\n", m.connsTotal.Load())
+	fmt.Fprintf(w, "bxtproxy_connections_rejected_total %d\n", m.connsRejected.Load())
+	fmt.Fprintf(w, "bxtproxy_busy_converted_total %d\n", m.busyConverted.Load())
+	fmt.Fprintf(w, "bxtproxy_batch_error_converted_total %d\n", m.faultConverted.Load())
+	fmt.Fprintf(w, "bxtproxy_v1_fatal_conversions_total %d\n", m.v1Fatal.Load())
+	fmt.Fprintf(w, "bxtproxy_relayed_faults_total %d\n", m.relayedFaults.Load())
+	fmt.Fprintf(w, "bxtproxy_repins_total %d\n", m.repins.Load())
+
+	for _, b := range backends {
+		up := 1
+		if b.ejected.Load() {
+			up = 0
+		}
+		fmt.Fprintf(w, "bxtproxy_backend_up{backend=%q} %d\n", b.addr, up)
+		fmt.Fprintf(w, "bxtproxy_backend_pending{backend=%q} %d\n", b.addr, b.pending.Load())
+		fmt.Fprintf(w, "bxtproxy_backend_pinned_sessions{backend=%q} %d\n", b.addr, b.pinned.Load())
+		fmt.Fprintf(w, "bxtproxy_backend_batches_total{backend=%q} %d\n", b.addr, b.batches.Load())
+		fmt.Fprintf(w, "bxtproxy_backend_failures_total{backend=%q} %d\n", b.addr, b.failures.Load())
+		fmt.Fprintf(w, "bxtproxy_backend_probes_total{backend=%q} %d\n", b.addr, b.probes.Load())
+		fmt.Fprintf(w, "bxtproxy_backend_pool_idle{backend=%q} %d\n", b.addr, b.poolIdle())
+	}
+
+	m.stages.WritePrometheus(w, "bxtproxy_stage_seconds")
+	obs.WriteRuntimeMetrics(w, "bxtproxy")
+}

@@ -1,0 +1,470 @@
+// Package proxy implements bxtproxy, the sharded serving tier in front of
+// a fleet of bxtd gateways: a BXTP-speaking front door that accepts client
+// sessions and fans their batches across N backends.
+//
+// Routing: sessions running decode-stateless schemes (basexor, universal,
+// dbi, silent — see scheme.DecodeStateful) spread batch-by-batch onto the
+// healthy backend with the fewest in-flight batches; sessions whose codec
+// decode depends on encode order (bdenc, fve) are pinned to one backend by
+// rendezvous hashing, because splitting their stream across codecs would
+// desynchronize the client's decoder.
+//
+// Health: every backend is probed with a real BXTP Hello handshake at a
+// fixed interval; EjectThreshold consecutive failures (probe or live
+// traffic) eject it from routing until a probe succeeds again. A pinned
+// session whose backend dies re-pins to a survivor and tells the client to
+// reset its codec via a BatchError(reset) reply — the client's existing
+// Epoch machinery re-drives the batch on a fresh decoder.
+//
+// Failover: a dead backend never disconnects a protocol v2 client.
+// In-flight batches convert to recoverable Busy (stateless) or
+// BatchError(reset) (pinned) replies that client.MaxRetries re-drives;
+// only v1 sessions, which predate recoverable faults, get a fatal Error.
+//
+// The proxy relays Batch and reply frame bodies verbatim — the upstream
+// session always speaks the revision negotiated with the client, so batch
+// envelopes (ids, CRCs) pass through untouched.
+package proxy
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/faults"
+	"github.com/hpca18/bxt/internal/obs"
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// probeTxnSize is the transaction size health probes handshake with; any
+// legal value works because probes never stream a batch.
+const probeTxnSize = 64
+
+// Proxy is a bxtproxy instance.
+type Proxy struct {
+	cfg      config.Proxy
+	met      *metrics
+	log      *slog.Logger
+	backends []*backend
+	// sessionIDs hands out per-connection IDs correlating logs and the
+	// rendezvous pin placement for one session.
+	sessionIDs atomic.Uint64
+	// inj, when non-nil, injects transport faults into the proxy↔backend
+	// leg only: the client-facing socket stays clean, so chaos drills
+	// exercise failover conversion rather than client parsing.
+	inj *faults.Injector
+
+	mu         sync.Mutex
+	ln         net.Listener
+	httpLn     net.Listener
+	httpSrv    *http.Server
+	sessions   map[*session]struct{}
+	started    bool
+	draining   bool
+	stopProbes chan struct{}
+
+	wg sync.WaitGroup // accept loop + sessions + probe loops
+}
+
+// New validates cfg and returns an unstarted proxy.
+func New(cfg config.Proxy) (*Proxy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	logger, err := obs.NewLogger(os.Stderr, cfg.LogLevel, cfg.LogFormat)
+	if err != nil {
+		return nil, err // unreachable after Validate, but keep the contract
+	}
+	p := &Proxy{
+		cfg:        cfg,
+		met:        newMetrics(),
+		log:        logger,
+		sessions:   make(map[*session]struct{}),
+		stopProbes: make(chan struct{}),
+	}
+	for _, addr := range cfg.Backends {
+		p.backends = append(p.backends, newBackend(addr))
+	}
+	return p, nil
+}
+
+// SetFaults arms the chaos injector on the backend leg: every upstream
+// connection's byte stream runs through it. Call before Start.
+func (p *Proxy) SetFaults(in *faults.Injector) { p.inj = in }
+
+// Logger returns the proxy's structured logger.
+func (p *Proxy) Logger() *slog.Logger { return p.log }
+
+// SetLogger replaces the logger; call before Start.
+func (p *Proxy) SetLogger(l *slog.Logger) {
+	if l != nil {
+		p.log = l
+	}
+}
+
+// Tracer returns the per-(scheme, stage) latency tracer backing the
+// bxtproxy_stage_seconds exposition.
+func (p *Proxy) Tracer() obs.Tracer { return p.met.stages }
+
+func (p *Proxy) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if p.isDraining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		p.met.writeExposition(w, p.backends, p.isDraining())
+	})
+	if p.cfg.Debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Start opens both listeners, launches one health-probe loop per backend,
+// and begins serving. It returns immediately; use Shutdown/Close to stop.
+func (p *Proxy) Start() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return errors.New("proxy: already started")
+	}
+	ln, err := net.Listen("tcp", p.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("proxy: listen %s: %w", p.cfg.ListenAddr, err)
+	}
+	httpLn, err := net.Listen("tcp", p.cfg.MetricsAddr)
+	if err != nil {
+		ln.Close()
+		return fmt.Errorf("proxy: listen %s: %w", p.cfg.MetricsAddr, err)
+	}
+	p.ln, p.httpLn = ln, httpLn
+	p.httpSrv = &http.Server{Handler: p.buildMux()}
+	p.started = true
+	p.log.Info("listening",
+		"addr", ln.Addr().String(),
+		"metrics_addr", httpLn.Addr().String(),
+		"backends", p.cfg.Backends,
+		"max_conns", p.cfg.MaxConns)
+
+	go p.httpSrv.Serve(httpLn) //nolint:errcheck // returns on Close
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	for _, b := range p.backends {
+		p.wg.Add(1)
+		go p.probeLoop(b)
+	}
+	return nil
+}
+
+// Addr returns the client-facing listener's bound address.
+func (p *Proxy) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// MetricsAddr returns the metrics listener's bound address.
+func (p *Proxy) MetricsAddr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.httpLn == nil {
+		return ""
+	}
+	return p.httpLn.Addr().String()
+}
+
+func (p *Proxy) isDraining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+func (p *Proxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown/Close
+		}
+		p.met.connsTotal.Add(1)
+		if n := p.met.connsActive.Load(); int(n) >= p.cfg.MaxConns {
+			p.met.connsRejected.Add(1)
+			p.refuse(conn, "proxy at connection capacity")
+			continue
+		}
+		ss := p.newSession(conn)
+		if ss == nil {
+			p.refuse(conn, "proxy is draining")
+			continue
+		}
+		p.wg.Add(1)
+		p.met.connsActive.Add(1)
+		go func() {
+			defer p.wg.Done()
+			defer p.met.connsActive.Add(-1)
+			defer p.dropSession(ss)
+			ss.run()
+		}()
+	}
+}
+
+func (p *Proxy) refuse(conn net.Conn, msg string) {
+	p.log.Warn("connection refused", "remote", conn.RemoteAddr().String(), "reason", msg)
+	conn.SetWriteDeadline(time.Now().Add(p.cfg.WriteTimeout))
+	_ = trace.WriteFrame(conn, trace.FrameError, []byte(msg))
+	conn.Close()
+}
+
+func (p *Proxy) newSession(conn net.Conn) *session {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.draining {
+		return nil
+	}
+	ss := &session{
+		p:    p,
+		id:   p.sessionIDs.Add(1),
+		conn: conn,
+		ups:  make(map[*backend]*upstream),
+	}
+	p.sessions[ss] = struct{}{}
+	return ss
+}
+
+func (p *Proxy) dropSession(ss *session) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.sessions, ss)
+}
+
+// pickLeastPending returns the healthy backend with the fewest in-flight
+// batches, or nil when every candidate is ejected or excluded. Ties (the
+// common case under light load, where pending is 0 everywhere) break
+// toward the fewest lifetime batches, so serial traffic still spreads
+// instead of piling onto the first backend.
+func (p *Proxy) pickLeastPending(excluded map[*backend]bool) *backend {
+	var best *backend
+	var bestN int64
+	var bestB uint64
+	for _, b := range p.backends {
+		if b.ejected.Load() || excluded[b] {
+			continue
+		}
+		n, t := b.pending.Load(), b.batches.Load()
+		if best == nil || n < bestN || (n == bestN && t < bestB) {
+			best, bestN, bestB = b, n, t
+		}
+	}
+	return best
+}
+
+// pickPinned rendezvous-hashes key over the healthy backends: every proxy
+// session with the same key lands on the same backend, and when that
+// backend dies only its sessions move.
+func (p *Proxy) pickPinned(key uint64) *backend {
+	var best *backend
+	var bestScore uint64
+	for _, b := range p.backends {
+		if b.ejected.Load() {
+			continue
+		}
+		if s := rendezvousScore(key, b.addr); best == nil || s > bestScore {
+			best, bestScore = b, s
+		}
+	}
+	return best
+}
+
+func rendezvousScore(key uint64, addr string) uint64 {
+	h := fnv.New64a()
+	var kb [8]byte
+	for i := range kb {
+		kb[i] = byte(key >> (8 * i))
+	}
+	h.Write(kb[:])
+	h.Write([]byte(addr))
+	return h.Sum64()
+}
+
+// dialUpstream opens, wraps (chaos), and handshakes one upstream session
+// with b for k. The caller owns the returned upstream.
+func (p *Proxy) dialUpstream(b *backend, k poolKey) (*upstream, error) {
+	d := net.Dialer{Timeout: p.cfg.DialTimeout}
+	conn, err := d.Dial("tcp", b.addr)
+	if err != nil {
+		return nil, err
+	}
+	if p.inj != nil {
+		conn = p.inj.WrapConn(conn)
+	}
+	u := &upstream{
+		b:    b,
+		key:  k,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+	if err := u.handshake(p.cfg.DialTimeout); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return u, nil
+}
+
+// noteBackendFailure counts one failure against b and logs the ejection
+// transition when it crosses the threshold.
+func (p *Proxy) noteBackendFailure(b *backend, leg string, err error) {
+	if b.fail(p.cfg.EjectThreshold) {
+		p.log.Warn("backend ejected", "backend", b.addr, "leg", leg, "err", err)
+	}
+}
+
+// noteBackendOK counts one success for b and logs the restore transition.
+func (p *Proxy) noteBackendOK(b *backend) {
+	if b.ok() {
+		p.log.Info("backend restored", "backend", b.addr)
+	}
+}
+
+// probeLoop health-checks b with a BXTP Hello handshake every
+// HealthInterval until shutdown.
+func (p *Proxy) probeLoop(b *backend) {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		p.probe(b)
+		select {
+		case <-p.stopProbes:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probe runs one Hello handshake against b; success restores an ejected
+// backend, failure counts toward ejection.
+func (p *Proxy) probe(b *backend) {
+	b.probes.Add(1)
+	k := poolKey{scheme: p.cfg.ProbeScheme, txnSize: probeTxnSize, version: trace.ProtocolVersion}
+	u, err := p.dialUpstream(b, k)
+	if err != nil {
+		p.noteBackendFailure(b, "probe", err)
+		return
+	}
+	u.conn.Close()
+	p.noteBackendOK(b)
+}
+
+// Shutdown drains the proxy: it stops accepting and probing, flips
+// /healthz to draining, interrupts idle session reads, lets in-flight
+// batches complete, and waits for every session to close. The metrics
+// endpoint stays up (reporting the draining state) until Close.
+func (p *Proxy) Shutdown(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.started {
+		p.mu.Unlock()
+		return nil
+	}
+	already := p.draining
+	p.draining = true
+	ln := p.ln
+	sessions := make([]*session, 0, len(p.sessions))
+	for ss := range p.sessions {
+		sessions = append(sessions, ss)
+	}
+	p.mu.Unlock()
+
+	if !already {
+		p.log.Info("draining", "open_sessions", len(sessions))
+		close(p.stopProbes)
+		if ln != nil {
+			ln.Close()
+		}
+	}
+	// Fire every session's pending read immediately: readers blocked on an
+	// idle socket wake with a timeout, see the draining flag, and wind
+	// down after flushing whatever is in flight.
+	for _, ss := range sessions {
+		ss.conn.SetReadDeadline(time.Now())
+	}
+
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	// A session that was mid-batch when the deadlines fired re-arms its
+	// read deadline on the next loop; keep re-firing until the drain
+	// completes so no reader sits out its full idle timeout.
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(20 * time.Millisecond):
+				p.mu.Lock()
+				for ss := range p.sessions {
+					ss.conn.SetReadDeadline(time.Now())
+				}
+				p.mu.Unlock()
+			}
+		}
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		for ss := range p.sessions {
+			ss.conn.Close()
+		}
+		p.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close releases everything: an immediate drain bounded by DrainTimeout,
+// then the idle upstream pools and the metrics endpoint.
+func (p *Proxy) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.DrainTimeout)
+	defer cancel()
+	err := p.Shutdown(ctx)
+	for _, b := range p.backends {
+		b.drainPool()
+	}
+	p.mu.Lock()
+	httpSrv, httpLn := p.httpSrv, p.httpLn
+	p.httpSrv, p.httpLn = nil, nil
+	p.mu.Unlock()
+	if httpSrv != nil {
+		httpSrv.Close()
+	} else if httpLn != nil {
+		httpLn.Close()
+	}
+	return err
+}

@@ -1,0 +1,477 @@
+package proxy_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpca18/bxt/internal/client"
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/proxy"
+	"github.com/hpca18/bxt/internal/scheme"
+	"github.com/hpca18/bxt/internal/server"
+	"github.com/hpca18/bxt/internal/testutil"
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// backendConfig is a quiet loopback bxtd for proxy tests.
+func backendConfig() config.Server {
+	cfg := config.DefaultServer()
+	cfg.ListenAddr = "127.0.0.1:0"
+	cfg.MetricsAddr = "127.0.0.1:0"
+	cfg.LogLevel = "error"
+	return cfg
+}
+
+func startBackend(t *testing.T, cfg config.Server) *server.Server {
+	t.Helper()
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("server.Start: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// proxyConfig is a quiet loopback bxtproxy with intervals tightened for
+// test time: fast probes, fast ejection, a small retry hint.
+func proxyConfig(backends ...string) config.Proxy {
+	cfg := config.DefaultProxy()
+	cfg.ListenAddr = "127.0.0.1:0"
+	cfg.MetricsAddr = "127.0.0.1:0"
+	cfg.Backends = backends
+	cfg.LogLevel = "error"
+	cfg.HealthInterval = 50 * time.Millisecond
+	cfg.EjectThreshold = 2
+	cfg.RetryHint = 2 * time.Millisecond
+	cfg.ReadTimeout = 10 * time.Second
+	cfg.WriteTimeout = 5 * time.Second
+	// Below the clients' IOTimeout, so a stalled backend converts to a
+	// recoverable reply while the client is still listening.
+	cfg.ExchangeTimeout = 2 * time.Second
+	cfg.DrainTimeout = 5 * time.Second
+	return cfg
+}
+
+func startProxy(t *testing.T, cfg config.Proxy) *proxy.Proxy {
+	t.Helper()
+	px, err := proxy.New(cfg)
+	if err != nil {
+		t.Fatalf("proxy.New: %v", err)
+	}
+	if err := px.Start(); err != nil {
+		t.Fatalf("proxy.Start: %v", err)
+	}
+	t.Cleanup(func() { px.Close() })
+	return px
+}
+
+// retryClient is a client config that rides out failover conversions.
+func retryClient() client.Config {
+	return client.Config{
+		MaxRetries:      40,
+		RetryBackoff:    time.Millisecond,
+		RetryBackoffMax: 10 * time.Millisecond,
+		IOTimeout:       8 * time.Second,
+		DialTimeout:     5 * time.Second,
+	}
+}
+
+func makeTxns(rng *rand.Rand, n, size int) []trace.Transaction {
+	txns := make([]trace.Transaction, n)
+	for i := range txns {
+		data := make([]byte, size)
+		rng.Read(data)
+		kind := trace.Write
+		if rng.Intn(2) == 1 {
+			kind = trace.Read
+		}
+		txns[i] = trace.Transaction{Addr: rng.Uint64(), Kind: kind, Data: data}
+	}
+	return txns
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(b)
+}
+
+// metricValue extracts one sample from a Prometheus text exposition; name
+// must include any label set, e.g. `x_total{backend="127.0.0.1:1"}`.
+func metricValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("metric %s: bad value %q", name, rest)
+		}
+		return v
+	}
+	t.Fatalf("metric %s not found in exposition", name)
+	return 0
+}
+
+func backendMetric(t *testing.T, exposition, name, addr string) float64 {
+	t.Helper()
+	return metricValue(t, exposition, fmt.Sprintf("%s{backend=%q}", name, addr))
+}
+
+// verifySession streams batches through c and decodes every returned
+// record back against its source, resetting dec whenever the client epoch
+// advances. It fails the test on any mismatch and returns the count of
+// epoch bumps observed.
+func verifySession(t *testing.T, c *client.Client, dec core.Codec, rng *rand.Rand, batches, batchSize int) int {
+	t.Helper()
+	epochBumps := 0
+	lastEpoch := c.Epoch()
+	decoded := make([]byte, c.TxnSize())
+	for bi := 0; bi < batches; bi++ {
+		txns := makeTxns(rng, batchSize, c.TxnSize())
+		reply, err := c.Transcode(txns)
+		if err != nil {
+			t.Fatalf("batch %d: Transcode: %v", bi, err)
+		}
+		if e := c.Epoch(); e != lastEpoch {
+			dec.Reset()
+			lastEpoch = e
+			epochBumps++
+		}
+		if len(reply.Records) != len(txns) {
+			t.Fatalf("batch %d: %d records for %d transactions", bi, len(reply.Records), len(txns))
+		}
+		for j, rec := range reply.Records {
+			e := core.Encoded{Data: rec.Data, Meta: rec.Meta, MetaBits: c.MetaBits()}
+			if err := dec.Decode(decoded, &e); err != nil {
+				t.Fatalf("batch %d record %d: decode: %v", bi, j, err)
+			}
+			for k := range decoded {
+				if decoded[k] != txns[j].Data[k] {
+					t.Fatalf("batch %d record %d: decode mismatch at byte %d", bi, j, k)
+				}
+			}
+		}
+	}
+	return epochBumps
+}
+
+func buildDecoder(t *testing.T, name string, srvCfg config.Server) core.Codec {
+	t.Helper()
+	dec, err := scheme.Build(name, srvCfg.SchemeOptions())
+	if err != nil {
+		t.Fatalf("scheme.Build(%s): %v", name, err)
+	}
+	return dec
+}
+
+// TestProxyRelay proves the basic relay path: a v2 client session through
+// a one-backend proxy behaves exactly like a direct session — handshake
+// fields come from the backend, every record decodes back to its source,
+// and both tiers account the batches on /metrics.
+func TestProxyRelay(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	bcfg := backendConfig()
+	srv := startBackend(t, bcfg)
+	px := startProxy(t, proxyConfig(srv.Addr()))
+
+	c, err := client.DialConfig(px.Addr(), "basexor", 32, retryClient())
+	if err != nil {
+		t.Fatalf("dial through proxy: %v", err)
+	}
+	defer c.Close()
+	if c.Version() != trace.ProtocolVersion {
+		t.Errorf("negotiated version %d, want %d", c.Version(), trace.ProtocolVersion)
+	}
+	if c.BatchLimit() != bcfg.BatchLimit {
+		t.Errorf("BatchLimit %d did not relay from backend (want %d)", c.BatchLimit(), bcfg.BatchLimit)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	verifySession(t, c, buildDecoder(t, "basexor", bcfg), rng, 10, 16)
+
+	exp := httpGet(t, "http://"+px.MetricsAddr()+"/metrics")
+	if got := backendMetric(t, exp, "bxtproxy_backend_batches_total", srv.Addr()); got != 10 {
+		t.Errorf("bxtproxy_backend_batches_total = %v, want 10", got)
+	}
+	if got := backendMetric(t, exp, "bxtproxy_backend_up", srv.Addr()); got != 1 {
+		t.Errorf("bxtproxy_backend_up = %v, want 1", got)
+	}
+}
+
+// TestProxyStatelessSpread proves least-pending routing fans one
+// stateless session's batches across every healthy backend.
+func TestProxyStatelessSpread(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	bcfg := backendConfig()
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		addrs = append(addrs, startBackend(t, bcfg).Addr())
+	}
+	px := startProxy(t, proxyConfig(addrs...))
+
+	c, err := client.DialConfig(px.Addr(), "universal", 32, retryClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(2))
+	verifySession(t, c, buildDecoder(t, "universal", bcfg), rng, 30, 8)
+
+	exp := httpGet(t, "http://"+px.MetricsAddr()+"/metrics")
+	for _, a := range addrs {
+		if got := backendMetric(t, exp, "bxtproxy_backend_batches_total", a); got == 0 {
+			t.Errorf("backend %s served no batches; stateless traffic did not spread", a)
+		}
+	}
+}
+
+// TestProxyPinnedSession proves a decode-stateful scheme routes every
+// batch to one backend: splitting the stream would desynchronize the
+// client's decoder, so the pin gauge must show exactly one placement and
+// exactly one backend must have served the session.
+func TestProxyPinnedSession(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	bcfg := backendConfig()
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		addrs = append(addrs, startBackend(t, bcfg).Addr())
+	}
+	px := startProxy(t, proxyConfig(addrs...))
+
+	c, err := client.DialConfig(px.Addr(), "bdenc", 32, retryClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(3))
+	verifySession(t, c, buildDecoder(t, "bdenc", bcfg), rng, 30, 8)
+
+	exp := httpGet(t, "http://"+px.MetricsAddr()+"/metrics")
+	served, pinnedGauge := 0, 0.0
+	for _, a := range addrs {
+		if got := backendMetric(t, exp, "bxtproxy_backend_batches_total", a); got > 0 {
+			served++
+			if got != 30 {
+				t.Errorf("pinned backend %s served %v batches, want all 30", a, got)
+			}
+		}
+		pinnedGauge += backendMetric(t, exp, "bxtproxy_backend_pinned_sessions", a)
+	}
+	if served != 1 {
+		t.Errorf("pinned session touched %d backends, want exactly 1", served)
+	}
+	if pinnedGauge != 1 {
+		t.Errorf("pinned-session gauge sums to %v across backends, want 1", pinnedGauge)
+	}
+}
+
+// TestProxyFailoverStateless kills one of two backends mid-session: the
+// stateless client must ride the Busy conversion onto the survivor with
+// zero decode mismatches and zero reconnects.
+func TestProxyFailoverStateless(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	bcfg := backendConfig()
+	srvA := startBackend(t, bcfg)
+	srvB := startBackend(t, bcfg)
+	px := startProxy(t, proxyConfig(srvA.Addr(), srvB.Addr()))
+
+	c, err := client.DialConfig(px.Addr(), "basexor", 32, retryClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(4))
+	dec := buildDecoder(t, "basexor", bcfg)
+	verifySession(t, c, dec, rng, 10, 8)
+
+	if err := srvA.Close(); err != nil {
+		t.Fatalf("closing backend A: %v", err)
+	}
+	verifySession(t, c, dec, rng, 20, 8)
+
+	stats := c.RetryStats()
+	if stats.Reconnects != 0 {
+		t.Errorf("client reconnected %d times; failover must never cost the client its connection", stats.Reconnects)
+	}
+	exp := httpGet(t, "http://"+px.MetricsAddr()+"/metrics")
+	if got := metricValue(t, exp, "bxtproxy_busy_converted_total"); got == 0 && stats.Busy == 0 {
+		t.Log("backend died between batches; no in-flight conversion was needed")
+	}
+	if got := backendMetric(t, exp, "bxtproxy_backend_batches_total", srvB.Addr()); got < 20 {
+		t.Errorf("survivor served %v batches, want >= 20 (all post-kill traffic)", got)
+	}
+}
+
+// TestProxyFailoverPinned kills a pinned session's backend: the session
+// must re-pin to the survivor and the client must observe exactly the
+// epoch bump its decoder needs, with zero mismatches and no disconnect.
+func TestProxyFailoverPinned(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	bcfg := backendConfig()
+	srvA := startBackend(t, bcfg)
+	srvB := startBackend(t, bcfg)
+	px := startProxy(t, proxyConfig(srvA.Addr(), srvB.Addr()))
+
+	c, err := client.DialConfig(px.Addr(), "bdenc", 32, retryClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(5))
+	dec := buildDecoder(t, "bdenc", bcfg)
+	verifySession(t, c, dec, rng, 10, 8)
+
+	// Find and kill the backend the session pinned to.
+	exp := httpGet(t, "http://"+px.MetricsAddr()+"/metrics")
+	pinnedSrv, survivor := srvA, srvB
+	if backendMetric(t, exp, "bxtproxy_backend_pinned_sessions", srvB.Addr()) == 1 {
+		pinnedSrv, survivor = srvB, srvA
+	}
+	if err := pinnedSrv.Close(); err != nil {
+		t.Fatalf("closing pinned backend: %v", err)
+	}
+
+	bumps := verifySession(t, c, dec, rng, 20, 8)
+	if bumps == 0 {
+		t.Error("pin migration produced no epoch bump; the decoder would have desynchronized")
+	}
+	if got := c.RetryStats().Reconnects; got != 0 {
+		t.Errorf("client reconnected %d times; pin failover must not cost the connection", got)
+	}
+	exp = httpGet(t, "http://"+px.MetricsAddr()+"/metrics")
+	if got := metricValue(t, exp, "bxtproxy_repins_total"); got < 1 {
+		t.Errorf("bxtproxy_repins_total = %v, want >= 1", got)
+	}
+	if got := metricValue(t, exp, "bxtproxy_batch_error_converted_total"); got < 1 {
+		t.Errorf("bxtproxy_batch_error_converted_total = %v, want >= 1", got)
+	}
+	if got := backendMetric(t, exp, "bxtproxy_backend_pinned_sessions", survivor.Addr()); got != 1 {
+		t.Errorf("survivor pin gauge = %v, want 1", got)
+	}
+}
+
+// TestProxyV1Fatal proves the protocol floor: a v1 client works through
+// the proxy, but when its backend dies the proxy can only answer with a
+// fatal Error — v1 predates recoverable faults — and the failure must
+// surface as ErrServer, not a hang or a silent disconnect.
+func TestProxyV1Fatal(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	bcfg := backendConfig()
+	srv := startBackend(t, bcfg)
+	px := startProxy(t, proxyConfig(srv.Addr()))
+
+	ccfg := retryClient()
+	ccfg.Protocol = 1
+	ccfg.MaxRetries = 0
+	c, err := client.DialConfig(px.Addr(), "basexor", 32, ccfg)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if c.Version() != 1 {
+		t.Fatalf("negotiated version %d, want 1", c.Version())
+	}
+	rng := rand.New(rand.NewSource(6))
+	verifySession(t, c, buildDecoder(t, "basexor", bcfg), rng, 5, 8)
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("closing backend: %v", err)
+	}
+	if _, err := c.Transcode(makeTxns(rng, 8, 32)); err == nil {
+		t.Fatal("Transcode succeeded with every backend dead on a v1 session")
+	}
+	exp := httpGet(t, "http://"+px.MetricsAddr()+"/metrics")
+	if got := metricValue(t, exp, "bxtproxy_v1_fatal_conversions_total"); got < 1 {
+		t.Errorf("bxtproxy_v1_fatal_conversions_total = %v, want >= 1", got)
+	}
+}
+
+// TestProxyEjectAndRestore proves the health prober's ejection state
+// machine: a dead backend leaves routing (up=0), and restarting a backend
+// on the same address restores it (up=1) without operator action.
+func TestProxyEjectAndRestore(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	bcfg := backendConfig()
+	srv := startBackend(t, bcfg)
+	addr := srv.Addr()
+	px := startProxy(t, proxyConfig(addr))
+
+	waitUp := func(want float64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			exp := httpGet(t, "http://"+px.MetricsAddr()+"/metrics")
+			if backendMetric(t, exp, "bxtproxy_backend_up", addr) == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("backend up gauge never reached %v", want)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	waitUp(1)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("closing backend: %v", err)
+	}
+	waitUp(0)
+
+	bcfg2 := bcfg
+	bcfg2.ListenAddr = addr
+	startBackend(t, bcfg2)
+	waitUp(1)
+}
+
+// TestProxyDrain proves graceful shutdown: /healthz flips to 503, a
+// post-drain dial is refused, and Shutdown returns once idle sessions
+// wind down.
+func TestProxyDrain(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	bcfg := backendConfig()
+	srv := startBackend(t, bcfg)
+	px := startProxy(t, proxyConfig(srv.Addr()))
+
+	c, err := client.DialConfig(px.Addr(), "basexor", 32, retryClient())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(7))
+	verifySession(t, c, buildDecoder(t, "basexor", bcfg), rng, 3, 8)
+
+	done := make(chan error, 1)
+	go func() { done <- px.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close hung on an idle session")
+	}
+	if _, err := client.DialConfig(px.Addr(), "basexor", 32, client.Config{DialTimeout: time.Second, MaxRetries: 0}); err == nil {
+		t.Fatal("dial succeeded after Close")
+	}
+}

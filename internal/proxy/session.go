@@ -1,0 +1,405 @@
+package proxy
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"time"
+
+	"github.com/hpca18/bxt/internal/obs"
+	"github.com/hpca18/bxt/internal/scheme"
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// errNoBackend means every configured backend is ejected or unreachable.
+var errNoBackend = errors.New("proxy: no healthy backend")
+
+// session is one client connection being relayed: the client-facing
+// socket, the routing mode picked at handshake, and the live upstream
+// sessions this client's batches have opened so far.
+type session struct {
+	p    *Proxy
+	id   uint64
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	log  *slog.Logger
+
+	// version is the revision negotiated with the client; every upstream
+	// this session opens handshakes the same revision so frame bodies
+	// relay verbatim.
+	version    uint8
+	schemeName string
+	key        poolKey
+	// pinned marks a decode-stateful scheme: all batches go to one
+	// backend (pin), rendezvous-chosen, and a pin migration forces a
+	// client codec reset. Stateless sessions instead keep one upstream
+	// per backend in ups and spread batch-by-batch.
+	pinned bool
+	pin    *backend
+	ups    map[*backend]*upstream
+	// negotiable is set only between parsing the client Hello and sending
+	// HelloOK: the first upstream may still talk the whole session down to
+	// an older revision (mixed-fleet upgrades). Afterwards the revision is
+	// promised to the client and upstreams must match it exactly.
+	negotiable bool
+
+	readH, backH, writeH *obs.Histogram
+	batches              uint64
+	fbuf                 []byte
+}
+
+// run drives the session: handshake, then the relay loop.
+func (ss *session) run() {
+	defer ss.conn.Close()
+	defer ss.releaseUpstreams()
+	ss.br = bufio.NewReaderSize(ss.conn, 64<<10)
+	ss.bw = bufio.NewWriterSize(ss.conn, 64<<10)
+	ss.log = ss.p.log.With("session", ss.id, "remote", ss.conn.RemoteAddr().String())
+	if err := ss.handshake(); err != nil {
+		ss.log.Warn("handshake failed", "err", err)
+		return
+	}
+	ss.log.Info("session open", "scheme", ss.schemeName, "protocol", ss.version, "pinned", ss.pinned)
+	ss.readLoop()
+	ss.log.Info("session closed", "batches", ss.batches)
+}
+
+// handshake reads the client Hello, opens the first upstream (which also
+// validates the scheme and transaction size against a real backend), and
+// answers HelloOK with the backend's MetaBits and BatchLimit. Any failure
+// is answered with an Error frame before the connection closes.
+func (ss *session) handshake() error {
+	ss.conn.SetReadDeadline(time.Now().Add(ss.p.cfg.ReadTimeout))
+	ft, body, err := trace.ReadFrame(ss.br, nil)
+	if err != nil {
+		return err
+	}
+	if ft != trace.FrameHello {
+		err := fmt.Errorf("expected hello, got frame %#x", byte(ft))
+		ss.writeFrame(trace.FrameError, []byte(err.Error()))
+		return err
+	}
+	h, err := trace.ParseHello(body)
+	if err != nil {
+		ss.writeFrame(trace.FrameError, []byte(err.Error()))
+		return err
+	}
+	if h.Version < trace.MinProtocolVersion || h.Version > trace.ProtocolVersion {
+		err := fmt.Errorf("unsupported protocol version %d", h.Version)
+		ss.writeFrame(trace.FrameError, []byte(err.Error()))
+		return err
+	}
+	ss.version = h.Version
+	ss.schemeName = h.Scheme
+	ss.key = poolKey{scheme: h.Scheme, txnSize: h.TxnSize, version: h.Version}
+	ss.pinned = scheme.DecodeStateful(h.Scheme)
+
+	ss.negotiable = true
+	u, _, err := ss.acquireUpstream()
+	ss.negotiable = false
+	if err != nil {
+		ss.writeFrame(trace.FrameError, []byte(err.Error()))
+		return err
+	}
+	okBody := trace.MarshalHelloOK(trace.HelloOK{
+		Version:    ss.version,
+		MetaBits:   u.ok.MetaBits,
+		BatchLimit: u.ok.BatchLimit,
+	})
+	if err := ss.writeFrame(trace.FrameHelloOK, okBody); err != nil {
+		return err
+	}
+	ss.readH = ss.p.met.stages.Hist(ss.schemeName, obs.StageFrameRead)
+	ss.backH = ss.p.met.stages.Hist(ss.schemeName, obs.StageBackend)
+	ss.writeH = ss.p.met.stages.Hist(ss.schemeName, obs.StageFrameWrite)
+	return nil
+}
+
+// readLoop consumes client frames until the client closes, a protocol
+// error occurs, or the proxy starts draining (which fires the read
+// deadline).
+func (ss *session) readLoop() {
+	for {
+		if ss.p.isDraining() {
+			return
+		}
+		ss.conn.SetReadDeadline(time.Now().Add(ss.p.cfg.ReadTimeout))
+		readStart := time.Now()
+		ft, body, err := trace.ReadFrame(ss.br, ss.fbuf)
+		if err != nil {
+			if err == io.EOF {
+				return // clean client close
+			}
+			if ss.p.isDraining() {
+				return
+			}
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				ss.writeFrame(trace.FrameError, []byte("proxy: idle timeout waiting for frame"))
+				return
+			}
+			if errors.Is(err, trace.ErrBadFrame) {
+				ss.writeFrame(trace.FrameError, []byte(err.Error()))
+			}
+			return
+		}
+		if cap(body) > cap(ss.fbuf) {
+			ss.fbuf = body[:cap(body)]
+		}
+		switch ft {
+		case trace.FrameBatch:
+			ss.readH.ObserveDuration(time.Since(readStart))
+			if ss.handleBatch(body) {
+				return
+			}
+		default:
+			ss.writeFrame(trace.FrameError, []byte(fmt.Sprintf("proxy: unexpected frame type %#x", byte(ft))))
+			return
+		}
+	}
+}
+
+// handleBatch relays one Batch frame body to a backend and the reply back
+// to the client. It returns true when the session must close.
+func (ss *session) handleBatch(body []byte) (fatal bool) {
+	var id uint64
+	if ss.version >= 2 {
+		pid, _, err := trace.OpenBatchEnvelope(body)
+		if err != nil {
+			if len(body) < 12 {
+				ss.writeFrame(trace.FrameError, []byte(err.Error()))
+				return true
+			}
+			// Client-leg corruption: answer the recoverable fault here
+			// instead of burning a backend round trip; the carried id is
+			// best effort, exactly as on the gateway.
+			id = binary.LittleEndian.Uint64(body[:8])
+			return ss.writeFrame(trace.FrameBatchError, trace.MarshalBatchError(id, false, err.Error())) != nil
+		}
+		id = pid
+	}
+
+	u, b, err := ss.acquireUpstream()
+	if err != nil {
+		return ss.convertFailure(id, err)
+	}
+	b.pending.Add(1)
+	start := time.Now()
+	ft, rbody, xerr := u.exchange(body, ss.p.cfg.ExchangeTimeout)
+	b.pending.Add(-1)
+	ss.backH.ObserveDuration(time.Since(start))
+	if xerr != nil {
+		stale := u.pooledReuse
+		ss.dropUpstream(b)
+		if stale {
+			// A pooled idle session the backend had already timed out is
+			// not a health signal; just have the client retry on a fresh
+			// upstream.
+			ss.log.Debug("stale pooled upstream", "backend", b.addr, "err", xerr)
+		} else {
+			ss.p.noteBackendFailure(b, "exchange", xerr)
+		}
+		return ss.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, xerr))
+	}
+
+	switch ft {
+	case trace.FrameBatchReply:
+		if ss.version >= 2 {
+			rid, _, err := trace.OpenBatchEnvelope(rbody)
+			if err != nil || rid != id {
+				if err == nil {
+					err = fmt.Errorf("reply for batch %d, want %d", rid, id)
+				}
+				ss.dropUpstream(b)
+				ss.p.noteBackendFailure(b, "exchange", err)
+				return ss.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, err))
+			}
+		}
+		u.pooledReuse = false
+		ss.p.noteBackendOK(b)
+		b.batches.Add(1)
+		ss.batches++
+		start = time.Now()
+		if err := ss.writeFrame(trace.FrameBatchReply, rbody); err != nil {
+			return true
+		}
+		ss.writeH.ObserveDuration(time.Since(start))
+		return false
+	case trace.FrameBusy, trace.FrameBatchError:
+		// The backend shed or faulted the batch but kept the session:
+		// relay the recoverable reply verbatim — after checking it is
+		// well-formed and answers this batch, so backend-leg corruption
+		// becomes a conversion here instead of a parse error that would
+		// cost the client its connection.
+		var rid uint64
+		var perr error
+		if ft == trace.FrameBusy {
+			rid, _, perr = trace.ParseBusy(rbody)
+		} else {
+			rid, _, _, perr = trace.ParseBatchError(rbody)
+		}
+		if ss.version < 2 || perr != nil || rid != id {
+			if perr == nil {
+				perr = fmt.Errorf("fault reply for batch %d, want %d", rid, id)
+			}
+			ss.dropUpstream(b)
+			ss.p.noteBackendFailure(b, "exchange", perr)
+			return ss.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, perr))
+		}
+		u.pooledReuse = false
+		ss.p.noteBackendOK(b)
+		ss.p.met.relayedFaults.Add(1)
+		return ss.writeFrame(ft, rbody) != nil
+	case trace.FrameError:
+		// The backend ended this upstream session (fault budget, drain,
+		// refusal) but is alive enough to speak BXTP: not an ejection
+		// signal, just a failed upstream to recover from.
+		ss.dropUpstream(b)
+		return ss.convertFailure(id, fmt.Errorf("backend %s: %s", b.addr, rbody))
+	default:
+		ss.dropUpstream(b)
+		err := fmt.Errorf("backend %s answered batch with frame %#x", b.addr, byte(ft))
+		ss.p.noteBackendFailure(b, "exchange", err)
+		return ss.convertFailure(id, err)
+	}
+}
+
+// convertFailure turns an upstream failure into the strongest recovery the
+// client's protocol revision allows: Busy (retry elsewhere) for stateless
+// v2 sessions, BatchError with the codec-reset flag (retry after an Epoch
+// bump) for pinned v2 sessions — re-pinning first so the retry lands on a
+// survivor — and a fatal Error for v1 clients, which predate recoverable
+// faults.
+func (ss *session) convertFailure(id uint64, cause error) (fatal bool) {
+	if ss.version < 2 {
+		ss.p.met.v1Fatal.Add(1)
+		ss.writeFrame(trace.FrameError, []byte("proxy: "+cause.Error()))
+		return true
+	}
+	if ss.pinned {
+		ss.p.met.faultConverted.Add(1)
+		ss.pinTarget()
+		body := trace.MarshalBatchError(id, true, "proxy: backend failed, codec state lost: "+cause.Error())
+		return ss.writeFrame(trace.FrameBatchError, body) != nil
+	}
+	ss.p.met.busyConverted.Add(1)
+	return ss.writeFrame(trace.FrameBusy, trace.MarshalBusy(id, ss.p.cfg.RetryHint)) != nil
+}
+
+// acquireUpstream returns a live upstream session on the backend the
+// routing policy picks, reusing this session's open upstreams and the
+// backend's idle pool (stateless schemes only) before dialing. Dial
+// failures count toward ejection and fail over to the next candidate;
+// a handshake rejection surfaces immediately, because every backend
+// would reject the same parameters.
+func (ss *session) acquireUpstream() (*upstream, *backend, error) {
+	excluded := make(map[*backend]bool)
+	for attempt := 0; attempt <= len(ss.p.backends); attempt++ {
+		var b *backend
+		if ss.pinned {
+			b = ss.pinTarget()
+		} else {
+			b = ss.p.pickLeastPending(excluded)
+		}
+		if b == nil || excluded[b] {
+			break
+		}
+		if u := ss.ups[b]; u != nil {
+			return u, b, nil
+		}
+		if !ss.pinned {
+			if u := b.getPooled(ss.key); u != nil {
+				u.pooledReuse = true
+				ss.ups[b] = u
+				return u, b, nil
+			}
+		}
+		u, err := ss.p.dialUpstream(b, ss.key)
+		if err != nil {
+			if errors.Is(err, errUpstreamReject) {
+				return nil, nil, err
+			}
+			ss.p.noteBackendFailure(b, "dial", err)
+			excluded[b] = true
+			continue
+		}
+		if u.ok.Version != ss.key.version {
+			if !ss.negotiable {
+				// The session revision is already promised to the client;
+				// an older backend cannot serve it. Not a health signal.
+				u.conn.Close()
+				excluded[b] = true
+				continue
+			}
+			// First upstream of the session: adopt the backend's older
+			// revision before HelloOK commits one to the client.
+			ss.version = u.ok.Version
+			ss.key.version = u.ok.Version
+			u.key.version = u.ok.Version
+		}
+		ss.ups[b] = u
+		return u, b, nil
+	}
+	return nil, nil, errNoBackend
+}
+
+// pinTarget returns the backend this pinned session routes to, migrating
+// the pin (and the per-backend gauges) when the current one is ejected.
+func (ss *session) pinTarget() *backend {
+	if ss.pin != nil && !ss.pin.ejected.Load() {
+		return ss.pin
+	}
+	nb := ss.p.pickPinned(ss.id)
+	if nb == nil {
+		return nil
+	}
+	if nb != ss.pin {
+		if ss.pin != nil {
+			ss.pin.pinned.Add(-1)
+			ss.p.met.repins.Add(1)
+			ss.log.Info("session re-pinned", "from", ss.pin.addr, "to", nb.addr)
+		}
+		nb.pinned.Add(1)
+		ss.pin = nb
+	}
+	return nb
+}
+
+// dropUpstream closes and forgets this session's upstream on b.
+func (ss *session) dropUpstream(b *backend) {
+	if u := ss.ups[b]; u != nil {
+		u.conn.Close()
+		delete(ss.ups, b)
+	}
+}
+
+// releaseUpstreams parks reusable upstreams in their backend pools and
+// closes the rest. Pinned sessions never pool: their upstream codec holds
+// per-session state no other client can resume.
+func (ss *session) releaseUpstreams() {
+	for b, u := range ss.ups {
+		if !ss.pinned && !ss.p.isDraining() && b.putPooled(u, ss.p.cfg.PoolSize) {
+			continue
+		}
+		u.conn.Close()
+	}
+	ss.ups = nil
+	if ss.pin != nil {
+		ss.pin.pinned.Add(-1)
+		ss.pin = nil
+	}
+}
+
+// writeFrame writes one frame to the client under the write deadline.
+func (ss *session) writeFrame(ft trace.FrameType, body []byte) error {
+	ss.conn.SetWriteDeadline(time.Now().Add(ss.p.cfg.WriteTimeout))
+	if err := trace.WriteFrame(ss.bw, ft, body); err != nil {
+		return err
+	}
+	return ss.bw.Flush()
+}

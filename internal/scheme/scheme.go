@@ -47,35 +47,62 @@ func (o Options) Validate() error {
 	return nil
 }
 
+// entry is one registry row: a constructor plus the properties a serving
+// tier needs to route sessions safely.
+type entry struct {
+	build func(o Options) core.Codec
+	// decodeStateful marks schemes whose Decode depends on the order of
+	// previously encoded transactions (bdenc's repository, fve's adaptive
+	// table). Their whole session must stay on one codec instance; a
+	// sharding tier pins such sessions to one backend. Schemes whose
+	// *encode* carries state but whose decode reads only the record and
+	// its metadata (dbi's bus history) are not decode-stateful: records
+	// from different codec instances still decode to the source bytes.
+	decodeStateful bool
+}
+
 // builders maps registry names to constructors. Every codec here is a
 // fresh, Reset instance; stateful codecs (bdenc, fve, dbi) must not be
 // shared between streams.
-var builders = map[string]func(o Options) core.Codec{
-	"baseline": func(Options) core.Codec { return core.Identity{} },
-	"basexor":  func(o Options) core.Codec { return core.NewBaseXOR(o.BaseSize) },
-	"2b":       func(Options) core.Codec { return core.NewBaseXOR(2) },
-	"4b":       func(Options) core.Codec { return core.NewBaseXOR(4) },
-	"8b":       func(Options) core.Codec { return core.NewBaseXOR(8) },
-	"silent":   func(o Options) core.Codec { return core.NewSILENT(o.BaseSize) },
-	"universal": func(o Options) core.Codec {
+var builders = map[string]entry{
+	"baseline": {build: func(Options) core.Codec { return core.Identity{} }},
+	"basexor":  {build: func(o Options) core.Codec { return core.NewBaseXOR(o.BaseSize) }},
+	"2b":       {build: func(Options) core.Codec { return core.NewBaseXOR(2) }},
+	"4b":       {build: func(Options) core.Codec { return core.NewBaseXOR(4) }},
+	"8b":       {build: func(Options) core.Codec { return core.NewBaseXOR(8) }},
+	"silent":   {build: func(o Options) core.Codec { return core.NewSILENT(o.BaseSize) }},
+	"universal": {build: func(o Options) core.Codec {
 		return core.NewUniversal(o.Stages)
-	},
-	"dbi":   func(Options) core.Codec { return dbi.New(1) },
-	"dbi1":  func(Options) core.Codec { return dbi.New(1) },
-	"dbi2":  func(Options) core.Codec { return dbi.New(2) },
-	"dbi4":  func(Options) core.Codec { return dbi.New(4) },
-	"bdenc": func(Options) core.Codec { return bdenc.New() },
-	"bd":    func(Options) core.Codec { return bdenc.New() },
-	"fve":   func(Options) core.Codec { return fve.New() },
-	"universal+dbi1": func(o Options) core.Codec {
+	}},
+	"dbi":   {build: func(Options) core.Codec { return dbi.New(1) }},
+	"dbi1":  {build: func(Options) core.Codec { return dbi.New(1) }},
+	"dbi2":  {build: func(Options) core.Codec { return dbi.New(2) }},
+	"dbi4":  {build: func(Options) core.Codec { return dbi.New(4) }},
+	"bdenc": {build: func(Options) core.Codec { return bdenc.New() }, decodeStateful: true},
+	"bd":    {build: func(Options) core.Codec { return bdenc.New() }, decodeStateful: true},
+	"fve":   {build: func(Options) core.Codec { return fve.New() }, decodeStateful: true},
+	"universal+dbi1": {build: func(o Options) core.Codec {
 		return core.NewChain(core.NewUniversal(o.Stages), dbi.New(1))
-	},
+	}},
 }
 
 // Known reports whether name is a registered scheme.
 func Known(name string) bool {
 	_, ok := builders[name]
 	return ok
+}
+
+// DecodeStateful reports whether decoding name's output depends on the
+// order of previously encoded transactions, so the whole session must be
+// served by one codec instance. Unknown names (including the "default"
+// alias, which only a gateway can resolve) report true: a router that
+// cannot prove a scheme safe to spread must fail toward pinning.
+func DecodeStateful(name string) bool {
+	e, ok := builders[name]
+	if !ok {
+		return true
+	}
+	return e.decodeStateful
 }
 
 // Names returns the registered scheme names in sorted order.
@@ -93,11 +120,11 @@ func Build(name string, o Options) (core.Codec, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	mk, ok := builders[name]
+	e, ok := builders[name]
 	if !ok {
 		return nil, fmt.Errorf("scheme: unknown scheme %q", name)
 	}
-	return mk(o), nil
+	return e.build(o), nil
 }
 
 // New constructs a fresh codec for name with DefaultOptions.

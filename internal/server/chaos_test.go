@@ -3,7 +3,6 @@ package server
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"github.com/hpca18/bxt/internal/core"
 	"github.com/hpca18/bxt/internal/faults"
 	"github.com/hpca18/bxt/internal/scheme"
+	"github.com/hpca18/bxt/internal/testutil"
 	"github.com/hpca18/bxt/internal/trace"
 )
 
@@ -47,7 +47,7 @@ func TestChaosSoak(t *testing.T) {
 		PanicRate:    0.002, // per-transaction codec panics
 	})
 
-	baseGoroutines := runtime.NumGoroutine()
+	testutil.VerifyNoLeaks(t)
 	srv, err := New(cfg)
 	if err != nil {
 		t.Fatalf("New: %v", err)
@@ -110,21 +110,10 @@ func TestChaosSoak(t *testing.T) {
 		t.Error("no client retries under fault injection; recovery path untested")
 	}
 
-	// Tear everything down and verify no goroutine outlived its session.
+	// Tear everything down; the VerifyNoLeaks cleanup asserts no goroutine
+	// outlived its session.
 	if err := srv.Close(); err != nil {
 		t.Errorf("Close: %v", err)
-	}
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= baseGoroutines+2 {
-			break
-		} else if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutine leak: %d live, started with %d\n%s",
-				n, baseGoroutines, buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(50 * time.Millisecond)
 	}
 }
 

@@ -139,6 +139,11 @@ func (ss *session) handshake() error {
 			errSession, h.Version, trace.MinProtocolVersion, trace.ProtocolVersion)
 	}
 	ss.version = h.Version
+	// A MaxProtocol cap negotiates newer clients down; HelloOK tells them
+	// which revision's wire semantics the session runs.
+	if int(ss.version) > ss.srv.cfg.MaxProtocol {
+		ss.version = uint8(ss.srv.cfg.MaxProtocol)
+	}
 	name := h.Scheme
 	if name == "default" {
 		name = ss.srv.cfg.DefaultScheme

@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden BXTP wire fixtures under testdata/")
+
+// goldenFrame is one normative BXTP frame: a fixed logical message and the
+// exact bytes it must put on the wire (length prefix, type byte, body).
+type goldenFrame struct {
+	name string
+	typ  FrameType
+	body func(t *testing.T) []byte
+}
+
+// goldenTxns is the fixed two-transaction batch every batch-shaped vector
+// carries: one write and one read of recognizable byte patterns.
+func goldenTxns() []Transaction {
+	w := make([]byte, 32)
+	r := make([]byte, 32)
+	for i := range w {
+		w[i] = byte(i)
+		r[i] = byte(0xA0 ^ i)
+	}
+	return []Transaction{
+		{Addr: 0x0000000010002000, Kind: Write, Data: w},
+		{Addr: 0x0000000010002040, Kind: Read, Data: r},
+	}
+}
+
+// goldenStats is the fixed accounting block in the reply vectors.
+func goldenStats() BatchStats {
+	return BatchStats{
+		Transactions:  2,
+		DataBits:      512,
+		OnesBefore:    260,
+		OnesAfter:     120,
+		TogglesBefore: 300,
+		TogglesAfter:  140,
+		BaselinePJ:    1234.5,
+		EncodedPJ:     567.25,
+	}
+}
+
+// goldenReplyBody marshals the fixed reply: the stats block plus the two
+// transactions echoed back with a one-byte metadata lane each.
+func goldenReplyBody(t *testing.T) []byte {
+	t.Helper()
+	txns := goldenTxns()
+	reply := BatchReply{Stats: goldenStats()}
+	for i, txn := range txns {
+		reply.Records = append(reply.Records, EncodedRecord{
+			Data: txn.Data,
+			Meta: []byte{byte(i + 1)},
+		})
+	}
+	body, err := MarshalBatchReply(reply, 32, 1)
+	if err != nil {
+		t.Fatalf("MarshalBatchReply: %v", err)
+	}
+	return body
+}
+
+// envelope wraps payload in the v2 batch envelope for id and seals the
+// CRC, exactly as a v2 peer does before writing the frame.
+func envelope(t *testing.T, id uint64, payload []byte) []byte {
+	t.Helper()
+	body := AppendBatchEnvelope(nil, id)
+	body = append(body, payload...)
+	if err := SealBatchEnvelope(body); err != nil {
+		t.Fatalf("SealBatchEnvelope: %v", err)
+	}
+	return body
+}
+
+const goldenBatchID = 0x0102030405060708
+
+// goldenFrames enumerates the normative vectors: every frame type the
+// protocol defines, in both the v1 (bare) and v2 (enveloped) shapes where
+// the revisions differ.
+func goldenFrames() []goldenFrame {
+	marshalHello := func(h Hello) func(*testing.T) []byte {
+		return func(t *testing.T) []byte {
+			t.Helper()
+			body, err := MarshalHello(h)
+			if err != nil {
+				t.Fatalf("MarshalHello: %v", err)
+			}
+			return body
+		}
+	}
+	marshalBatch := func(envelop bool) func(*testing.T) []byte {
+		return func(t *testing.T) []byte {
+			t.Helper()
+			payload, err := MarshalBatch(goldenTxns(), 32)
+			if err != nil {
+				t.Fatalf("MarshalBatch: %v", err)
+			}
+			if !envelop {
+				return payload
+			}
+			return envelope(t, goldenBatchID, payload)
+		}
+	}
+	return []goldenFrame{
+		{"v1_hello", FrameHello, marshalHello(Hello{Version: 1, TxnSize: 32, Scheme: "basexor"})},
+		{"v2_hello", FrameHello, marshalHello(Hello{Version: 2, TxnSize: 32, Scheme: "bdenc"})},
+		{"v1_hello_ok", FrameHelloOK, func(*testing.T) []byte {
+			return MarshalHelloOK(HelloOK{Version: 1, MetaBits: 2, BatchLimit: 4096})
+		}},
+		{"v2_hello_ok", FrameHelloOK, func(*testing.T) []byte {
+			return MarshalHelloOK(HelloOK{Version: 2, MetaBits: 2, BatchLimit: 4096})
+		}},
+		{"v1_batch", FrameBatch, marshalBatch(false)},
+		{"v2_batch", FrameBatch, marshalBatch(true)},
+		{"v1_batch_reply", FrameBatchReply, goldenReplyBody},
+		{"v2_batch_reply", FrameBatchReply, func(t *testing.T) []byte {
+			return envelope(t, goldenBatchID, goldenReplyBody(t))
+		}},
+		{"v2_busy", FrameBusy, func(*testing.T) []byte {
+			return MarshalBusy(goldenBatchID, 25*1000*1000) // 25ms in ns
+		}},
+		{"v2_batch_error", FrameBatchError, func(*testing.T) []byte {
+			return MarshalBatchError(goldenBatchID, true, "codec fault: injected")
+		}},
+		{"error", FrameError, func(*testing.T) []byte {
+			return []byte("server is draining")
+		}},
+	}
+}
+
+// wireBytes renders the complete frame as it crosses the socket.
+func wireBytes(t *testing.T, g goldenFrame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, g.typ, g.body(t)); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// goldenPath is the fixture file backing one vector.
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".hex")
+}
+
+// formatHex renders wire bytes as 32-hex-digit lines, so fixture diffs are
+// readable and line-oriented.
+func formatHex(b []byte) []byte {
+	var out bytes.Buffer
+	s := hex.EncodeToString(b)
+	for len(s) > 32 {
+		fmt.Fprintln(&out, s[:32])
+		s = s[32:]
+	}
+	fmt.Fprintln(&out, s)
+	return out.Bytes()
+}
+
+func parseHex(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(string(bytes.Join(bytes.Fields(raw), nil)))
+	if err != nil {
+		t.Fatalf("bad fixture hex: %v", err)
+	}
+	return b
+}
+
+// TestGoldenWireVectors locks the BXTP encoding down byte-for-byte: every
+// frame type, in both protocol revisions, must marshal to exactly the
+// bytes recorded under testdata/. These fixtures are normative — an
+// implementation change that alters any of them is a wire format break,
+// not a refactor. Regenerate deliberately with:
+//
+//	go test ./internal/trace -run TestGoldenWireVectors -update
+func TestGoldenWireVectors(t *testing.T) {
+	for _, g := range goldenFrames() {
+		t.Run(g.name, func(t *testing.T) {
+			wire := wireBytes(t, g)
+			path := goldenPath(g.name)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, formatHex(wire), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (regenerate with -update): %v", err)
+			}
+			want := parseHex(t, raw)
+			if !bytes.Equal(wire, want) {
+				t.Fatalf("wire bytes diverge from golden fixture %s\n got: %x\nwant: %x", path, wire, want)
+			}
+		})
+	}
+}
+
+// TestGoldenVectorsParse proves the decode direction against the same
+// fixed bytes: each fixture reads back as one well-formed frame of the
+// recorded type, and the message-level parsers recover the original
+// logical content.
+func TestGoldenVectorsParse(t *testing.T) {
+	for _, g := range goldenFrames() {
+		t.Run(g.name, func(t *testing.T) {
+			raw, err := os.ReadFile(goldenPath(g.name))
+			if err != nil {
+				t.Fatalf("missing fixture (regenerate with -update): %v", err)
+			}
+			ft, body, err := ReadFrame(bytes.NewReader(parseHex(t, raw)), nil)
+			if err != nil {
+				t.Fatalf("ReadFrame: %v", err)
+			}
+			if ft != g.typ {
+				t.Fatalf("frame type = %#x, want %#x", byte(ft), byte(g.typ))
+			}
+			switch g.name {
+			case "v1_hello", "v2_hello":
+				h, err := ParseHello(body)
+				if err != nil {
+					t.Fatalf("ParseHello: %v", err)
+				}
+				if h.TxnSize != 32 {
+					t.Errorf("TxnSize = %d, want 32", h.TxnSize)
+				}
+			case "v1_hello_ok", "v2_hello_ok":
+				ok, err := ParseHelloOK(body)
+				if err != nil {
+					t.Fatalf("ParseHelloOK: %v", err)
+				}
+				if ok.BatchLimit != 4096 {
+					t.Errorf("BatchLimit = %d, want 4096", ok.BatchLimit)
+				}
+			case "v1_batch", "v2_batch":
+				if g.name == "v2_batch" {
+					id, payload, err := OpenBatchEnvelope(body)
+					if err != nil {
+						t.Fatalf("OpenBatchEnvelope: %v", err)
+					}
+					if id != goldenBatchID {
+						t.Errorf("batch id = %#x, want %#x", id, uint64(goldenBatchID))
+					}
+					body = payload
+				}
+				txns, err := ParseBatch(body, 32, nil)
+				if err != nil {
+					t.Fatalf("ParseBatch: %v", err)
+				}
+				want := goldenTxns()
+				if len(txns) != len(want) {
+					t.Fatalf("parsed %d transactions, want %d", len(txns), len(want))
+				}
+				for i := range txns {
+					if txns[i].Addr != want[i].Addr || txns[i].Kind != want[i].Kind || !bytes.Equal(txns[i].Data, want[i].Data) {
+						t.Errorf("transaction %d diverges from source", i)
+					}
+				}
+			case "v1_batch_reply", "v2_batch_reply":
+				if g.name == "v2_batch_reply" {
+					id, payload, err := OpenBatchEnvelope(body)
+					if err != nil {
+						t.Fatalf("OpenBatchEnvelope: %v", err)
+					}
+					if id != goldenBatchID {
+						t.Errorf("batch id = %#x, want %#x", id, uint64(goldenBatchID))
+					}
+					body = payload
+				}
+				reply, err := ParseBatchReply(body, 32, 1)
+				if err != nil {
+					t.Fatalf("ParseBatchReply: %v", err)
+				}
+				if reply.Stats != goldenStats() {
+					t.Errorf("stats = %+v, want %+v", reply.Stats, goldenStats())
+				}
+				if len(reply.Records) != 2 {
+					t.Fatalf("parsed %d records, want 2", len(reply.Records))
+				}
+			case "v2_busy":
+				id, retry, err := ParseBusy(body)
+				if err != nil {
+					t.Fatalf("ParseBusy: %v", err)
+				}
+				if id != goldenBatchID || retry.Milliseconds() != 25 {
+					t.Errorf("busy = (%#x, %v), want (%#x, 25ms)", id, retry, uint64(goldenBatchID))
+				}
+			case "v2_batch_error":
+				id, reset, msg, err := ParseBatchError(body)
+				if err != nil {
+					t.Fatalf("ParseBatchError: %v", err)
+				}
+				if id != goldenBatchID || !reset || msg != "codec fault: injected" {
+					t.Errorf("batch-error = (%#x, %v, %q)", id, reset, msg)
+				}
+			case "error":
+				if string(body) != "server is draining" {
+					t.Errorf("error body = %q", body)
+				}
+			}
+		})
+	}
+}

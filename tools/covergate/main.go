@@ -1,0 +1,195 @@
+// Command covergate enforces per-package statement-coverage floors.
+//
+// It parses a cover profile produced by `go test -coverprofile`, aggregates
+// statement coverage per package, and compares the packages named in the
+// baseline file against their recorded floors. Any package that falls below
+// its floor fails the gate; packages above their floor are reported so the
+// baseline can be ratcheted upward deliberately.
+//
+// Baseline lines are `<package> <percent>`, with `#` comments. Regenerate
+// with -write after an intentional coverage change:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./tools/covergate -profile cover.out -write
+//
+// -write records each gated package's current coverage minus -margin, so
+// routine run-to-run jitter (timeout paths, races won by different
+// goroutines) does not trip the gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type pkgCover struct {
+	total   int
+	covered int
+}
+
+func (p pkgCover) percent() float64 {
+	if p.total == 0 {
+		return 0
+	}
+	return 100 * float64(p.covered) / float64(p.total)
+}
+
+func main() {
+	profile := flag.String("profile", "cover.out", "cover profile from go test -coverprofile")
+	baseline := flag.String("baseline", "tools/covergate/baseline.txt", "per-package coverage floors")
+	write := flag.Bool("write", false, "rewrite the baseline from the profile instead of gating")
+	margin := flag.Float64("margin", 3.0, "percentage points subtracted when writing the baseline")
+	flag.Parse()
+
+	pkgs, err := parseProfile(*profile)
+	if err != nil {
+		fatalf("parse %s: %v", *profile, err)
+	}
+	floors, order, err := parseBaseline(*baseline)
+	if err != nil {
+		fatalf("parse %s: %v", *baseline, err)
+	}
+
+	if *write {
+		if err := writeBaseline(*baseline, order, pkgs, *margin); err != nil {
+			fatalf("write %s: %v", *baseline, err)
+		}
+		fmt.Printf("covergate: wrote %s (current minus %.1fpt)\n", *baseline, *margin)
+		return
+	}
+
+	failed := false
+	for _, name := range order {
+		cov, ok := pkgs[name]
+		if !ok {
+			fmt.Printf("FAIL %-24s no statements in profile (floor %.1f%%)\n", name, floors[name])
+			failed = true
+			continue
+		}
+		got := cov.percent()
+		if got < floors[name] {
+			fmt.Printf("FAIL %-24s %.1f%% < floor %.1f%%\n", name, got, floors[name])
+			failed = true
+		} else {
+			fmt.Printf("ok   %-24s %.1f%% (floor %.1f%%)\n", name, got, floors[name])
+		}
+	}
+	if failed {
+		fmt.Println("covergate: coverage regressed below the recorded baseline")
+		os.Exit(1)
+	}
+}
+
+// parseProfile aggregates covered/total statement counts per package
+// directory, keyed relative to the module root (e.g. "internal/trace").
+func parseProfile(name string) (map[string]pkgCover, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	pkgs := make(map[string]pkgCover)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		// github.com/hpca18/bxt/internal/trace/stream.go:10.2,12.3 2 1
+		colon := strings.LastIndexByte(line, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("malformed line %q", line)
+		}
+		fields := strings.Fields(line[colon+1:])
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("malformed line %q", line)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("statement count in %q: %v", line, err)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("hit count in %q: %v", line, err)
+		}
+		pkg := relPackage(path.Dir(line[:colon]))
+		c := pkgs[pkg]
+		c.total += stmts
+		if count > 0 {
+			c.covered += stmts
+		}
+		pkgs[pkg] = c
+	}
+	return pkgs, sc.Err()
+}
+
+// relPackage strips the module prefix so baselines stay stable if the
+// module path ever changes.
+func relPackage(importPath string) string {
+	for _, marker := range []string{"/internal/", "/cmd/", "/tools/"} {
+		if i := strings.Index(importPath, marker); i >= 0 {
+			return importPath[i+1:]
+		}
+	}
+	return importPath
+}
+
+func parseBaseline(name string) (map[string]float64, []string, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+
+	floors := make(map[string]float64)
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, nil, fmt.Errorf("malformed baseline line %q", line)
+		}
+		pct, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, nil, fmt.Errorf("floor in %q: %v", line, err)
+		}
+		floors[fields[0]] = pct
+		order = append(order, fields[0])
+	}
+	return floors, order, sc.Err()
+}
+
+func writeBaseline(name string, order []string, pkgs map[string]pkgCover, margin float64) error {
+	sort.Strings(order)
+	var b strings.Builder
+	b.WriteString("# Per-package statement-coverage floors enforced by tools/covergate.\n")
+	b.WriteString("# Regenerate: go test -coverprofile=cover.out ./... && go run ./tools/covergate -profile cover.out -write\n")
+	for _, pkg := range order {
+		cov, ok := pkgs[pkg]
+		if !ok {
+			return fmt.Errorf("package %s missing from profile", pkg)
+		}
+		floor := cov.percent() - margin
+		if floor < 0 {
+			floor = 0
+		}
+		fmt.Fprintf(&b, "%s %.1f\n", pkg, floor)
+	}
+	return os.WriteFile(name, []byte(b.String()), 0o644)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "covergate: "+format+"\n", args...)
+	os.Exit(1)
+}
