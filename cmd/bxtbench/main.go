@@ -8,6 +8,8 @@
 //	bxtbench -run fig15 # run one experiment
 //	bxtbench -codec     # benchmark the codec + gateway hot paths into
 //	                    # BENCH_codec.json (ns/op, MB/s, allocs/op)
+//	bxtbench -simcache  # benchmark the similarity cache tier into
+//	                    # BENCH_simcache.json (lookup paths + Zipf pipeline)
 package main
 
 import (
@@ -22,12 +24,26 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	run := flag.String("run", "", "run a single experiment by ID (e.g. fig15)")
 	codec := flag.Bool("codec", false, "benchmark codec and gateway hot paths, write a JSON report")
-	out := flag.String("o", "BENCH_codec.json", "output path for -codec (\"-\" for stdout)")
+	simcache := flag.Bool("simcache", false, "benchmark the similarity cache tier, write a JSON report")
+	out := flag.String("o", "", "output path for -codec/-simcache (default BENCH_<mode>.json, \"-\" for stdout)")
 	flag.Parse()
 
 	switch {
 	case *codec:
-		if err := runCodecBench(*out); err != nil {
+		path := *out
+		if path == "" {
+			path = "BENCH_codec.json"
+		}
+		if err := runCodecBench(path); err != nil {
+			fmt.Fprintln(os.Stderr, "bxtbench:", err)
+			os.Exit(1)
+		}
+	case *simcache:
+		path := *out
+		if path == "" {
+			path = "BENCH_simcache.json"
+		}
+		if err := runSimcacheBench(path); err != nil {
 			fmt.Fprintln(os.Stderr, "bxtbench:", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,328 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/hpca18/bxt/internal/client"
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/server"
+	"github.com/hpca18/bxt/internal/simcache"
+	"github.com/hpca18/bxt/internal/trace"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+// The -simcache mode measures the similarity cache tier two ways: the raw
+// lookup path per outcome (exact hit, near hit, miss, insert), and the full
+// gateway pipeline over a Zipf hot-key trace with the tier off and on — the
+// serving-latency claim the cache exists to earn.
+
+// simLookupResult is one raw cache operation measurement.
+type simLookupResult struct {
+	Outcome     string  `json:"outcome"`
+	TxnBytes    int     `json:"txn_bytes"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// simZipfResult is one scheme's gateway round trip over the Zipf trace,
+// cache off versus cache on, plus the cache counters the on-server reported.
+type simZipfResult struct {
+	Scheme        string  `json:"scheme"`
+	TxnBytes      int     `json:"txn_bytes"`
+	BatchTxns     int     `json:"batch_txns"`
+	Transactions  int     `json:"transactions"`
+	FlipBits      int     `json:"flip_bits"`
+	HitRate       float64 `json:"hit_rate"`
+	ExactHits     float64 `json:"exact_hits"`
+	NearHits      float64 `json:"near_hits"`
+	Misses        float64 `json:"misses"`
+	NsPerBatchOff float64 `json:"ns_per_batch_off"`
+	NsPerBatchOn  float64 `json:"ns_per_batch_on"`
+	SpeedupX      float64 `json:"speedup_x"`
+}
+
+// simcacheReport is the BENCH_simcache.json document.
+type simcacheReport struct {
+	Go     string            `json:"go"`
+	GOOS   string            `json:"goos"`
+	GOARCH string            `json:"goarch"`
+	Lookup []simLookupResult `json:"lookup"`
+	Zipf   []simZipfResult   `json:"zipf_pipeline"`
+}
+
+// benchSimLookups measures the cache's own hot paths against a populated
+// instance: the three lookup outcomes plus the insert path.
+func benchSimLookups(txnBytes int) ([]simLookupResult, error) {
+	c, err := simcache.New(simcache.Config{TxnBytes: txnBytes})
+	if err != nil {
+		return nil, err
+	}
+	const population = 4096
+	rng := rand.New(rand.NewSource(17))
+	p := simcache.GetProbe()
+	defer simcache.PutProbe(p)
+	cached := make([][]byte, population)
+	enc := make([]byte, txnBytes)
+	for i := range cached {
+		k := make([]byte, txnBytes)
+		rng.Read(k)
+		rng.Read(enc)
+		cached[i] = k
+		c.Insert(p, k, enc, nil)
+	}
+	near := make([][]byte, population)
+	for i, k := range cached {
+		n := append([]byte(nil), k...)
+		for f := 0; f < 3; f++ {
+			// Keep the flips out of the first word: the cache shards by the
+			// band-0 key, so diffs touching it land on another shard and
+			// would measure that (documented) recall loss, not the hit path.
+			bit := 64 + rng.Intn(txnBytes*8-64)
+			n[bit/8] ^= 1 << (bit % 8)
+		}
+		near[i] = n
+	}
+	misses := make([][]byte, population)
+	for i := range misses {
+		m := make([]byte, txnBytes)
+		rng.Read(m)
+		misses[i] = m
+	}
+
+	bench := func(outcome string, want simcache.Result, srcs [][]byte) (simLookupResult, error) {
+		if got := c.Lookup(p, srcs[0]); got != want {
+			return simLookupResult{}, fmt.Errorf("%s probe classified as %s", outcome, got)
+		}
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Lookup(p, srcs[i%population])
+			}
+		})
+		return simLookupResult{
+			Outcome:     outcome,
+			TxnBytes:    txnBytes,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+		}, nil
+	}
+	out := make([]simLookupResult, 0, 4)
+	for _, tc := range []struct {
+		outcome string
+		want    simcache.Result
+		srcs    [][]byte
+	}{
+		{"hit", simcache.HitExact, cached},
+		{"near-hit", simcache.HitNear, near},
+		{"miss", simcache.Miss, misses},
+	} {
+		r, err := bench(tc.outcome, tc.want, tc.srcs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+
+	ins := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Insert(p, misses[i%population], enc, nil)
+		}
+	})
+	out = append(out, simLookupResult{
+		Outcome:     "insert",
+		TxnBytes:    txnBytes,
+		NsPerOp:     float64(ins.T.Nanoseconds()) / float64(ins.N),
+		AllocsPerOp: ins.AllocsPerOp(),
+	})
+	return out, nil
+}
+
+// simBenchServer starts a loopback gateway with the similarity tier on or
+// off.
+func simBenchServer(enabled bool) (*server.Server, error) {
+	cfg := config.DefaultServer()
+	cfg.ListenAddr = "127.0.0.1:0"
+	cfg.MetricsAddr = "127.0.0.1:0"
+	cfg.LogLevel = "error"
+	cfg.SimCache.Enabled = enabled
+	srv, err := server.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// streamZipf drives the full trace through one session repeatedly — a warmup
+// pass that populates the cache, then several timed passes — and returns the
+// fastest pass's mean ns per batch. One pass lasts a few milliseconds, so a
+// single timing would be at the mercy of scheduler noise; the minimum over
+// repeated identical passes is the usual noise-resistant estimate.
+func streamZipf(addr, schemeName string, txns []trace.Transaction, txnBytes, batchTxns int) (float64, error) {
+	const timedPasses = 6
+	c, err := client.Dial(addr, schemeName, txnBytes)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	pass := func() (time.Duration, error) {
+		start := time.Now()
+		for off := 0; off < len(txns); off += batchTxns {
+			if _, err := c.Transcode(txns[off : off+batchTxns]); err != nil {
+				return 0, fmt.Errorf("batch at %d: %w", off, err)
+			}
+		}
+		return time.Since(start), nil
+	}
+	if _, err := pass(); err != nil {
+		return 0, err
+	}
+	var best time.Duration
+	for i := 0; i < timedPasses; i++ {
+		took, err := pass()
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || took < best {
+			best = took
+		}
+	}
+	return float64(best.Nanoseconds()) / float64(len(txns)/batchTxns), nil
+}
+
+// scrapeSimMetric pulls one bxtd_simcache_* sample for a (scheme, txnBytes)
+// instance off a gateway's /metrics document.
+func scrapeSimMetric(body, name, schemeName string, txnBytes int) (float64, error) {
+	pat := fmt.Sprintf(`(?m)^%s\{scheme=%q,txn_bytes="%d"\} (\S+)$`, name, schemeName, txnBytes)
+	m := regexp.MustCompile(pat).FindStringSubmatch(body)
+	if m == nil {
+		return 0, fmt.Errorf("metrics missing %s{scheme=%q,txn_bytes=%d}", name, schemeName, txnBytes)
+	}
+	return strconv.ParseFloat(m[1], 64)
+}
+
+// benchSimZipf measures one scheme's pipeline over a shared Zipf trace with
+// the tier off and on.
+func benchSimZipf(schemeName string, txnBytes, batchTxns, batches, flipBits int) (simZipfResult, error) {
+	res := simZipfResult{
+		Scheme:       schemeName,
+		TxnBytes:     txnBytes,
+		BatchTxns:    batchTxns,
+		Transactions: batchTxns * batches,
+		FlipBits:     flipBits,
+	}
+	g := &workload.HotSet{Base: workload.Random{}, Keys: 64, S: 1.3, RepeatProb: 0.9, FlipBits: flipBits}
+	rng := rand.New(rand.NewSource(23))
+	txns := make([]trace.Transaction, res.Transactions)
+	for i := range txns {
+		data := make([]byte, txnBytes)
+		g.Fill(data, rng)
+		txns[i] = trace.Transaction{Addr: uint64(i * txnBytes), Kind: trace.Write, Data: data}
+	}
+
+	for _, enabled := range []bool{false, true} {
+		srv, err := simBenchServer(enabled)
+		if err != nil {
+			return res, err
+		}
+		ns, err := streamZipf(srv.Addr(), schemeName, txns, txnBytes, batchTxns)
+		if err != nil {
+			srv.Close()
+			return res, err
+		}
+		if !enabled {
+			res.NsPerBatchOff = ns
+			srv.Close()
+			continue
+		}
+		res.NsPerBatchOn = ns
+		resp, err := http.Get("http://" + srv.MetricsAddr() + "/metrics")
+		if err != nil {
+			srv.Close()
+			return res, err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		srv.Close()
+		if err != nil {
+			return res, err
+		}
+		body := string(raw)
+		if res.HitRate, err = scrapeSimMetric(body, "bxtd_simcache_hit_rate", schemeName, txnBytes); err != nil {
+			return res, err
+		}
+		if res.ExactHits, err = scrapeSimMetric(body, "bxtd_simcache_hits_total", schemeName, txnBytes); err != nil {
+			return res, err
+		}
+		if res.NearHits, err = scrapeSimMetric(body, "bxtd_simcache_near_hits_total", schemeName, txnBytes); err != nil {
+			return res, err
+		}
+		if res.Misses, err = scrapeSimMetric(body, "bxtd_simcache_misses_total", schemeName, txnBytes); err != nil {
+			return res, err
+		}
+	}
+	if res.NsPerBatchOn > 0 {
+		res.SpeedupX = res.NsPerBatchOff / res.NsPerBatchOn
+	}
+	return res, nil
+}
+
+// runSimcacheBench sweeps the similarity-cache benchmarks and writes the
+// JSON report to path (or stdout for "-").
+func runSimcacheBench(path string) error {
+	rep := simcacheReport{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	lookups, err := benchSimLookups(32)
+	if err != nil {
+		return fmt.Errorf("lookup bench: %w", err)
+	}
+	rep.Lookup = lookups
+	for _, r := range lookups {
+		fmt.Fprintf(os.Stderr, "simcache %-8s 32B  %8.1f ns/op %3d allocs\n", r.Outcome, r.NsPerOp, r.AllocsPerOp)
+	}
+
+	// 16 batches of 256 transactions: with FlipBits perturbation almost
+	// every hot draw is a distinct variant, so the trace length sets the
+	// steady-state entry working set. 4096 transactions keeps it
+	// CPU-cache-resident — the hot aggregated-traffic regime the tier
+	// models; scale it up and the hit path goes memory-bound on entry
+	// lines long before the cache itself (capacity 65536) fills.
+	for _, tc := range []struct {
+		scheme   string
+		flipBits int
+	}{
+		{"universal", 0}, // exact-only path: no PatchEncoder
+		{"4b", 6},        // near-duplicate patching path
+	} {
+		r, err := benchSimZipf(tc.scheme, 32, 256, 16, tc.flipBits)
+		if err != nil {
+			return fmt.Errorf("zipf pipeline %s: %w", tc.scheme, err)
+		}
+		fmt.Fprintf(os.Stderr, "zipf %-12s 256x32B  off %9.0f ns/batch  on %9.0f ns/batch (%.2fx)  hit rate %.2f\n",
+			r.Scheme, r.NsPerBatchOff, r.NsPerBatchOn, r.SpeedupX, r.HitRate)
+		rep.Zipf = append(rep.Zipf, r)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

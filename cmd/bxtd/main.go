@@ -10,6 +10,7 @@
 //	bxtd -log-level debug -log-format json # structured logs to stderr
 //	bxtd -debug=false                      # disable /debug/pprof and /debug/events
 //	bxtd -chaos seed=7,corrupt=0.01        # fault drill: sabotage own serving path
+//	bxtd -simcache -simcache-snapshot /var/lib/bxtd/sim  # similarity cache + warm restarts
 //	bxtd -schemes                          # list servable scheme names
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
@@ -56,6 +57,12 @@ func main() {
 	maxPending := flag.Int("max-pending", def.MaxPending, "batches waiting for workers before immediate shedding")
 	maxProtocol := flag.Int("max-protocol", def.MaxProtocol, "highest BXTP revision to negotiate (compatibility drills)")
 	chaos := flag.String("chaos", "", "self-sabotage for fault drills: inject faults per this spec, e.g. seed=7,corrupt=0.01,panic=0.001 (keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms, err, panic)")
+	simcache := flag.Bool("simcache", def.SimCache.Enabled, "serve repeated and near-repeated transactions from the similarity cache (deterministic schemes only)")
+	simcacheCap := flag.Int("simcache-capacity", def.SimCache.Capacity, "similarity cache entries per (scheme, txn-size) instance (0 selects the default)")
+	simcacheThreshold := flag.Int("simcache-threshold", def.SimCache.Threshold, "Hamming bits below which a cached transaction counts as a near-duplicate (0 selects the default)")
+	simcacheBands := flag.Int("simcache-bands", def.SimCache.Bands, "LSH bands cut from the transaction signature (0 selects the default)")
+	simcacheShards := flag.Int("simcache-shards", def.SimCache.Shards, "independently locked similarity cache shards (0 selects the default)")
+	simcacheSnapshot := flag.String("simcache-snapshot", def.SimCache.SnapshotPath, "base path for similarity cache warm-restart snapshots (empty disables persistence)")
 	listSchemes := flag.Bool("schemes", false, "list servable scheme names")
 	flag.Parse()
 
@@ -88,6 +95,14 @@ func main() {
 		AdmitTimeout:     *admitTimeout,
 		MaxPending:       *maxPending,
 		MaxProtocol:      *maxProtocol,
+		SimCache: config.SimCache{
+			Enabled:      *simcache,
+			Capacity:     *simcacheCap,
+			Threshold:    *simcacheThreshold,
+			Bands:        *simcacheBands,
+			Shards:       *simcacheShards,
+			SnapshotPath: *simcacheSnapshot,
+		},
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

@@ -10,6 +10,7 @@
 //	bxtload -workload rodinia-hotspot -scheme bdenc
 //	bxtload -scheme universal -json out.json   # machine-readable summary
 //	bxtload -retries 8 -chaos seed=7,corrupt=0.01  # fault drill with recovery
+//	bxtload -dist zipf:1.3 -repeat 0.9 -flip-bits 6  # hot-key similarity traffic
 //	bxtload -workloads                 # list workload names
 package main
 
@@ -22,6 +23,8 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -62,15 +65,23 @@ func quantiles(h *obs.Histogram) latencyQuantiles {
 // summary is the -json document: one run's throughput, latency, and
 // savings, the seed format for benchmark trajectory files.
 type summary struct {
-	Scheme            string  `json:"scheme"`
-	Connections       int     `json:"connections"`
-	FailedConnections int     `json:"failed_connections"`
-	BatchSize         int     `json:"batch_size"`
-	TxnSizeBytes      int     `json:"txn_size_bytes"`
-	Transactions      uint64  `json:"transactions"`
-	ElapsedSeconds    float64 `json:"elapsed_seconds"`
-	TxnPerSecond      float64 `json:"txn_per_second"`
-	MBPerSecond       float64 `json:"mb_per_second"`
+	Scheme            string `json:"scheme"`
+	Connections       int    `json:"connections"`
+	FailedConnections int    `json:"failed_connections"`
+	BatchSize         int    `json:"batch_size"`
+	TxnSizeBytes      int    `json:"txn_size_bytes"`
+	Transactions      uint64 `json:"transactions"`
+	// Distribution describes the traffic shape: "uniform", or "zipf" with
+	// the hot-key knobs that produced the stream.
+	Distribution string  `json:"distribution"`
+	ZipfSkew     float64 `json:"zipf_skew,omitempty"`
+	HotKeys      int     `json:"hot_keys,omitempty"`
+	RepeatProb   float64 `json:"repeat_prob,omitempty"`
+	FlipBits     int     `json:"flip_bits,omitempty"`
+
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	TxnPerSecond   float64 `json:"txn_per_second"`
+	MBPerSecond    float64 `json:"mb_per_second"`
 
 	BatchLatency latencyQuantiles `json:"batch_latency"`
 	// Stages holds the client-side obs stage timings (frame_write is the
@@ -105,6 +116,10 @@ func main() {
 	retries := flag.Int("retries", 0, "retries per batch on recoverable failures (Busy, BatchError, broken connection)")
 	backoff := flag.Duration("retry-backoff", 25*time.Millisecond, "first retry backoff (doubles with jitter)")
 	chaos := flag.String("chaos", "", "inject client-side transport faults per this spec, e.g. seed=7,corrupt=0.01 (keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms)")
+	dist := flag.String("dist", "uniform", "traffic shape: uniform (replay the workload as-is) or zipf[:<skew>] (hot-key repetition, skew > 1)")
+	hotKeys := flag.Int("hot-keys", 64, "zipf: hot-set cardinality")
+	repeat := flag.Float64("repeat", 0.9, "zipf: probability a transaction re-serves a hot key")
+	flipBits := flag.Int("flip-bits", 0, "zipf: flip up to this many random bits per repeat (near-duplicates instead of exact copies)")
 	listWorkloads := flag.Bool("workloads", false, "list workload names")
 	flag.Parse()
 
@@ -121,6 +136,13 @@ func main() {
 	apps := pickApps(*workloadName, *txnSize)
 	if len(apps) == 0 {
 		log.Fatalf("no %d-byte workloads match %q", *txnSize, *workloadName)
+	}
+	skew, err := parseDist(*dist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if skew > 0 && (*hotKeys < 1 || *repeat < 0 || *repeat > 1 || *flipBits < 0) {
+		log.Fatal("zipf knobs out of range: hot-keys >= 1, repeat in [0,1], flip-bits >= 0")
 	}
 
 	ccfg := client.Config{MaxRetries: *retries, RetryBackoff: *backoff}
@@ -154,6 +176,17 @@ func main() {
 		go func(i int) {
 			defer wg.Done()
 			app := apps[i%len(apps)]
+			if skew > 0 {
+				// HotSet carries sampler state, so every connection wraps
+				// its own instance around the shared (stateless) app model.
+				app.Gen = &workload.HotSet{
+					Base:       app.Gen,
+					Keys:       *hotKeys,
+					S:          skew,
+					RepeatProb: *repeat,
+					FlipBits:   *flipBits,
+				}
+			}
 			results[i] = drive(*addr, *schemeName, app, *total, *batch, *txnSize, int64(i), ccfg)
 		}(i)
 	}
@@ -185,6 +218,10 @@ func main() {
 	txns := int(sum.Transactions)
 	fmt.Printf("scheme:       %s, %d connections x %d-txn batches, %d-byte transactions\n",
 		*schemeName, *conns-failed, *batch, *txnSize)
+	if skew > 0 {
+		fmt.Printf("traffic:      zipf s=%.2f over %d hot keys, repeat %.2f, <=%d flipped bits\n",
+			skew, *hotKeys, *repeat, *flipBits)
+	}
 	fmt.Printf("transactions: %d in %s (%.0f txn/s, %.1f MB/s)\n",
 		txns, elapsed.Round(time.Millisecond),
 		float64(txns)/elapsed.Seconds(),
@@ -221,6 +258,7 @@ func main() {
 			BatchSize:         *batch,
 			TxnSizeBytes:      *txnSize,
 			Transactions:      uint64(txns),
+			Distribution:      "uniform",
 			ElapsedSeconds:    elapsed.Seconds(),
 			TxnPerSecond:      float64(txns) / elapsed.Seconds(),
 			MBPerSecond:       float64(txns**txnSize) / elapsed.Seconds() / 1e6,
@@ -234,6 +272,13 @@ func main() {
 			BaselinePJ:        sum.BaselinePJ,
 			EncodedPJ:         sum.EncodedPJ,
 			SavedPJ:           sum.EnergySavedPJ(),
+		}
+		if skew > 0 {
+			doc.Distribution = "zipf"
+			doc.ZipfSkew = skew
+			doc.HotKeys = *hotKeys
+			doc.RepeatProb = *repeat
+			doc.FlipBits = *flipBits
 		}
 		tracer.Each(func(_ string, stage obs.Stage, h *obs.Histogram) {
 			doc.Stages[string(stage)] = quantiles(h)
@@ -319,6 +364,30 @@ func drive(addr, schemeName string, app workload.App, total, batchSize, txnSize 
 		sent += n
 	}
 	return res
+}
+
+// parseDist parses the -dist flag: "uniform" (or empty) selects the plain
+// workload replay and returns skew 0; "zipf" or "zipf:<s>" selects hot-key
+// traffic with the given skew (default 1.2; must be > 1, as the sampler
+// requires).
+func parseDist(s string) (float64, error) {
+	switch {
+	case s == "" || s == "uniform":
+		return 0, nil
+	case s == "zipf":
+		return 1.2, nil
+	case strings.HasPrefix(s, "zipf:"):
+		skew, err := strconv.ParseFloat(s[len("zipf:"):], 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad -dist %q: %v", s, err)
+		}
+		if skew <= 1 {
+			return 0, fmt.Errorf("bad -dist %q: zipf skew must be > 1", s)
+		}
+		return skew, nil
+	default:
+		return 0, fmt.Errorf("unknown -dist %q (want uniform or zipf[:<skew>])", s)
+	}
 }
 
 // durSec renders a float64 second duration.

@@ -16,7 +16,6 @@ package bdenc
 import (
 	"encoding/binary"
 	"fmt"
-	"math/bits"
 
 	"github.com/hpca18/bxt/internal/core"
 )
@@ -47,13 +46,15 @@ type BD struct {
 	Threshold int
 
 	// Repositories hold each 8-byte word as a uint64 so the 64-entry
-	// nearest-neighbour scan is one XOR + popcount per entry — the same
-	// word-parallel comparator array the scheme's hardware would use.
+	// nearest-neighbour scan (core.NearestWord) is one XOR + popcount per
+	// entry — the same word-parallel comparator array the scheme's
+	// hardware would use. FIFO insertion fills entries 0..count-1 before
+	// wrapping, so the valid entries are always the prefix repo[:count].
 	repo     [RepositoryEntries]uint64
-	valid    [RepositoryEntries]bool
+	count    int // valid entries (grows to RepositoryEntries, then stays)
 	next     int // FIFO insertion cursor
 	decRepo  [RepositoryEntries]uint64
-	decValid [RepositoryEntries]bool
+	decCount int
 	decNext  int
 }
 
@@ -73,8 +74,7 @@ func (b *BD) MetaBits(n int) int { return n / WordBytes * metaBitsPerWord }
 
 // Reset implements core.Codec, emptying both repositories.
 func (b *BD) Reset() {
-	b.valid = [RepositoryEntries]bool{}
-	b.decValid = [RepositoryEntries]bool{}
+	b.count, b.decCount = 0, 0
 	b.next, b.decNext = 0, 0
 }
 
@@ -86,32 +86,28 @@ func (b *BD) check(n int) error {
 }
 
 // closest returns the index of the valid repository entry with minimal
-// Hamming distance to word, or -1 if the repository is empty. Ties break to
-// the lowest index so encoder and decoder stay deterministic.
+// Hamming distance to word, or -1 if the repository is empty. The scan is
+// the shared core.NearestWord XOR+popcount walk; ties break to the lowest
+// index so encoder and decoder stay deterministic.
 func (b *BD) closest(word uint64) (idx, dist int) {
-	idx, dist = -1, WordBytes*8+1
-	for i := range b.repo {
-		if !b.valid[i] {
-			continue
-		}
-		if d := bits.OnesCount64(word ^ b.repo[i]); d < dist {
-			idx, dist = i, d
-		}
-	}
-	return idx, dist
+	return core.NearestWord(word, b.repo[:b.count])
 }
 
 // insert FIFO-inserts word into the encoder repository.
 func (b *BD) insert(word uint64) {
 	b.repo[b.next] = word
-	b.valid[b.next] = true
+	if b.count <= b.next {
+		b.count = b.next + 1
+	}
 	b.next = (b.next + 1) % RepositoryEntries
 }
 
 // insertDec mirrors insert for the decoder repository.
 func (b *BD) insertDec(word uint64) {
 	b.decRepo[b.decNext] = word
-	b.decValid[b.decNext] = true
+	if b.decCount <= b.decNext {
+		b.decCount = b.decNext + 1
+	}
 	b.decNext = (b.decNext + 1) % RepositoryEntries
 }
 
@@ -153,7 +149,7 @@ func (b *BD) Decode(dst []byte, src *core.Encoded) error {
 		meta := src.Meta[w]
 		if meta&0x80 != 0 {
 			idx := int(meta & 0x3f)
-			if !b.decValid[idx] {
+			if idx >= b.decCount {
 				return fmt.Errorf("bdenc: metadata references empty repository entry %d", idx)
 			}
 			out = enc ^ b.decRepo[idx]

@@ -121,10 +121,8 @@ func TestFIFOEviction(t *testing.T) {
 	if b.next != 68%RepositoryEntries {
 		t.Errorf("FIFO cursor = %d, want %d", b.next, 68%RepositoryEntries)
 	}
-	for i := range b.valid {
-		if !b.valid[i] {
-			t.Fatalf("entry %d invalid after wrap", i)
-		}
+	if b.count != RepositoryEntries {
+		t.Fatalf("valid entries = %d after wrap, want %d", b.count, RepositoryEntries)
 	}
 }
 
@@ -172,5 +170,71 @@ func TestReset(t *testing.T) {
 	}
 	if enc.Meta[0] != 0 {
 		t.Error("first word hit after Reset; repository not cleared")
+	}
+}
+
+// legacyClosest is the pre-extraction nearest-neighbour scan (per-entry
+// valid flags instead of the core.NearestWord prefix walk), retained here as
+// the oracle for the shared-scan refactor.
+func legacyClosest(word uint64, repo []uint64, valid []bool, threshold int) (idx, dist int) {
+	idx, dist = -1, WordBytes*8+1
+	for i := range repo {
+		if !valid[i] {
+			continue
+		}
+		if d := popcount64(word ^ repo[i]); d < dist {
+			idx, dist = i, d
+		}
+	}
+	_ = threshold
+	return idx, dist
+}
+
+func popcount64(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// TestSharedScanMatchesLegacy drives the shared core.NearestWord scan and an
+// inlined copy of the old valid-flag scan through the same FIFO insertion
+// stream and asserts identical (index, distance) answers at every step —
+// including the cold, partially filled, and wrapped-around repository
+// phases.
+func TestSharedScanMatchesLegacy(t *testing.T) {
+	b := New()
+	var legacyRepo [RepositoryEntries]uint64
+	var legacyValid [RepositoryEntries]bool
+	legacyNext := 0
+
+	rng := rand.New(rand.NewSource(17))
+	var prev uint64
+	for i := 0; i < 4*RepositoryEntries; i++ {
+		var word uint64
+		switch rng.Intn(3) {
+		case 0:
+			word = rng.Uint64()
+		case 1: // near-duplicate of the previous word
+			word = prev ^ 1<<uint(rng.Intn(64))
+		default: // exact repeat of an earlier word
+			if b.count > 0 {
+				word = b.repo[rng.Intn(b.count)]
+			}
+		}
+		prev = word
+
+		gotIdx, gotDist := b.closest(word)
+		wantIdx, wantDist := legacyClosest(word, legacyRepo[:], legacyValid[:], b.Threshold)
+		if gotIdx != wantIdx || gotDist != wantDist {
+			t.Fatalf("step %d: shared scan (%d, %d) != legacy scan (%d, %d)",
+				i, gotIdx, gotDist, wantIdx, wantDist)
+		}
+
+		b.insert(word)
+		legacyRepo[legacyNext] = word
+		legacyValid[legacyNext] = true
+		legacyNext = (legacyNext + 1) % RepositoryEntries
 	}
 }

@@ -1,0 +1,157 @@
+package bus
+
+import (
+	"fmt"
+
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// Summary is the content-only wire activity of one encoded transaction: the
+// 1 values and the beat-to-beat toggles *inside* the burst, plus the first
+// and last beats' wire values. Everything here is a pure function of the
+// record bytes — only the toggle from the previous burst's final beat into
+// this burst's first beat depends on bus history, and Apply computes that
+// one boundary at splice time. A similarity cache can therefore memoize a
+// record's Summary once and replay it through Apply at a fraction of the
+// cost of re-walking every beat with Transfer.
+type Summary struct {
+	// Beats is the burst length; DataBits and MetaBits the totals moved.
+	Beats    int
+	DataBits int
+	MetaBits int
+	// DataOnes counts 1 values on the data wires; DataToggles the wire
+	// transitions between consecutive beats within the burst.
+	DataOnes    int
+	DataToggles int
+	// MetaOnes and MetaToggles are the same two counts for the side-band
+	// wires; MetaWires is the side-band width.
+	MetaOnes    int
+	MetaToggles int
+	MetaWires   int
+	// First and Last hold the first and final beats' data wire values;
+	// FirstMeta and LastMeta the side-band wire values on those beats.
+	First     []byte
+	Last      []byte
+	FirstMeta []bool
+	LastMeta  []bool
+}
+
+// CopyFrom overwrites s with o, reusing s's buffers so steady-state copies
+// allocate nothing once the buffers have warmed.
+func (s *Summary) CopyFrom(o *Summary) {
+	first, last := s.First, s.Last
+	firstMeta, lastMeta := s.FirstMeta, s.LastMeta
+	*s = *o
+	s.First = append(first[:0], o.First...)
+	s.Last = append(last[:0], o.Last...)
+	s.FirstMeta = append(firstMeta[:0], o.FirstMeta...)
+	s.LastMeta = append(lastMeta[:0], o.LastMeta...)
+}
+
+// Summarize computes e's content-only activity over a channel of the given
+// data width, writing into s (buffers are reused). The geometry rules match
+// Transfer: the data must fill whole beats and the metadata bits must divide
+// evenly across them.
+func Summarize(s *Summary, e *core.Encoded, dataWires int) error {
+	if dataWires <= 0 || dataWires%8 != 0 {
+		return fmt.Errorf("bus: invalid width %d", dataWires)
+	}
+	beatBytes := dataWires / 8
+	n := len(e.Data)
+	if n%beatBytes != 0 {
+		return fmt.Errorf("bus: %d-byte transaction does not fill %d-byte beats", n, beatBytes)
+	}
+	beats := n / beatBytes
+	if beats == 0 {
+		return fmt.Errorf("bus: empty transaction")
+	}
+	if e.MetaBits%beats != 0 {
+		return fmt.Errorf("bus: %d metadata bits do not divide across %d beats", e.MetaBits, beats)
+	}
+	metaWires := e.MetaBits / beats
+
+	first, last := s.First, s.Last
+	firstMeta, lastMeta := s.FirstMeta, s.LastMeta
+	*s = Summary{
+		Beats:     beats,
+		DataBits:  n * 8,
+		MetaBits:  e.MetaBits,
+		MetaWires: metaWires,
+	}
+	s.DataOnes = core.OnesCount(e.Data)
+	for beat := 1; beat < beats; beat++ {
+		_, toggles := onesAndToggles(e.Data[beat*beatBytes:(beat+1)*beatBytes], e.Data[(beat-1)*beatBytes:beat*beatBytes])
+		s.DataToggles += toggles
+	}
+	s.First = append(first[:0], e.Data[:beatBytes]...)
+	s.Last = append(last[:0], e.Data[(beats-1)*beatBytes:]...)
+
+	s.FirstMeta = firstMeta[:0]
+	s.LastMeta = lastMeta[:0]
+	if metaWires > 0 {
+		for w := 0; w < metaWires; w++ {
+			v := e.MetaBit(w)
+			s.FirstMeta = append(s.FirstMeta, v)
+			if v {
+				s.MetaOnes++
+			}
+		}
+		// LastMeta doubles as the running previous-beat scratch; it must not
+		// alias FirstMeta, which has to survive the walk intact.
+		s.LastMeta = append(s.LastMeta, s.FirstMeta...)
+		for beat := 1; beat < beats; beat++ {
+			for w := 0; w < metaWires; w++ {
+				v := e.MetaBit(beat*metaWires + w)
+				if v {
+					s.MetaOnes++
+				}
+				if v != s.LastMeta[w] {
+					s.MetaToggles++
+				}
+				s.LastMeta[w] = v
+			}
+		}
+	}
+	return nil
+}
+
+// Apply splices a summarized burst onto the bus: it charges the one
+// boundary transition from the bus's resting wire state into the burst's
+// first beat, folds in the content-only counts, and leaves the wires at the
+// burst's final beat — byte-for-byte the statistics Transfer would have
+// accumulated for the same record.
+func (b *Bus) Apply(s *Summary) error {
+	if len(s.First) != b.beatBytes {
+		return fmt.Errorf("bus: summary beats are %d bytes, channel beats are %d", len(s.First), b.beatBytes)
+	}
+	if len(b.lastData) != b.beatBytes {
+		b.lastData = make([]byte, b.beatBytes)
+		b.haveState = false
+	}
+	if len(b.lastMeta) < s.MetaWires {
+		b.lastMeta = make([]bool, s.MetaWires)
+	}
+
+	if b.haveState {
+		_, boundary := onesAndToggles(s.First, b.lastData)
+		b.stats.DataToggles += boundary
+		for w := 0; w < s.MetaWires; w++ {
+			if s.FirstMeta[w] != b.lastMeta[w] {
+				b.stats.MetaToggles++
+			}
+		}
+	}
+	b.stats.DataOnes += s.DataOnes
+	b.stats.DataToggles += s.DataToggles
+	b.stats.MetaOnes += s.MetaOnes
+	b.stats.MetaToggles += s.MetaToggles
+	copy(b.lastData, s.Last)
+	copy(b.lastMeta, s.LastMeta)
+	b.haveState = true
+
+	b.stats.Transactions++
+	b.stats.Beats += s.Beats
+	b.stats.DataBits += s.DataBits
+	b.stats.MetaBits += s.MetaBits
+	return nil
+}

@@ -1,0 +1,159 @@
+package bus
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// randomEncoded builds a random transaction of beats×beatBytes data bytes
+// with metaWires side-band wires per beat.
+func randomEncoded(rng *rand.Rand, beats, beatBytes, metaWires int) *core.Encoded {
+	e := &core.Encoded{
+		Data:     make([]byte, beats*beatBytes),
+		MetaBits: beats * metaWires,
+	}
+	rng.Read(e.Data)
+	if e.MetaBits > 0 {
+		e.Meta = make([]byte, (e.MetaBits+7)/8)
+		rng.Read(e.Meta)
+	}
+	return e
+}
+
+// TestApplyMatchesTransfer is the load-bearing check for summary memoization:
+// over random streams — random data, random side-band widths, interleaved
+// idle gaps, and a random mix of Transfer and Summarize+Apply per step — the
+// two accounting paths must produce identical statistics after every single
+// transaction, including the history-dependent boundary toggles.
+func TestApplyMatchesTransfer(t *testing.T) {
+	for _, tc := range []struct {
+		name            string
+		width, txnBytes int
+		metaWires       int
+	}{
+		{"32bit-32B-plain", 32, 32, 0},
+		{"32bit-32B-meta1", 32, 32, 1},
+		{"64bit-32B-meta2", 64, 32, 2},
+		{"32bit-64B-plain", 32, 64, 0},
+		{"8bit-8B-meta3", 8, 8, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(41))
+			ref := New(tc.width)
+			fast := New(tc.width)
+			beats := tc.txnBytes / (tc.width / 8)
+			var s Summary
+			for i := 0; i < 400; i++ {
+				e := randomEncoded(rng, beats, tc.width/8, tc.metaWires)
+				if rng.Intn(8) == 0 {
+					// Bias toward repeats so boundary toggles see equal
+					// neighbours too.
+					for j := range e.Data {
+						e.Data[j] = 0
+					}
+				}
+				if err := ref.Transfer(e); err != nil {
+					t.Fatal(err)
+				}
+				if rng.Intn(2) == 0 {
+					if err := fast.Transfer(e); err != nil {
+						t.Fatal(err)
+					}
+				} else {
+					if err := Summarize(&s, e, tc.width); err != nil {
+						t.Fatal(err)
+					}
+					if err := fast.Apply(&s); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if ref.Stats() != fast.Stats() {
+					t.Fatalf("step %d: Apply diverged from Transfer:\n ref  %+v\n fast %+v", i, ref.Stats(), fast.Stats())
+				}
+				if rng.Intn(5) == 0 {
+					n := rng.Intn(3) + 1
+					ref.Idle(n)
+					fast.Idle(n)
+				}
+			}
+		})
+	}
+}
+
+// TestApplyColdBus checks the haveState seam: the first burst on a fresh bus
+// must charge no boundary toggle whichever path accounts it.
+func TestApplyColdBus(t *testing.T) {
+	e := &core.Encoded{Data: []byte{0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00}}
+	ref := New(32)
+	if err := ref.Transfer(e); err != nil {
+		t.Fatal(err)
+	}
+	fast := New(32)
+	var s Summary
+	if err := Summarize(&s, e, 32); err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.Apply(&s); err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats() != fast.Stats() {
+		t.Fatalf("cold-bus Apply diverged:\n ref  %+v\n fast %+v", ref.Stats(), fast.Stats())
+	}
+	if got := fast.Stats().DataToggles; got != 32 {
+		// Beat 1 (all zero) against beat 0 (all ones) toggles 32 wires;
+		// the cold boundary before beat 0 charges nothing.
+		t.Fatalf("cold bus DataToggles = %d, want 32", got)
+	}
+}
+
+// TestSummaryCopyFrom checks that a copy is deep: mutating the source must
+// not reach the copy, and the copy must reuse its destination buffers.
+func TestSummaryCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := randomEncoded(rng, 8, 4, 2)
+	var src Summary
+	if err := Summarize(&src, e, 32); err != nil {
+		t.Fatal(err)
+	}
+	var dst Summary
+	dst.CopyFrom(&src)
+	firstBuf := &dst.First[0]
+	src.First[0] ^= 0xff
+	src.LastMeta[0] = !src.LastMeta[0]
+	if dst.First[0] == src.First[0] {
+		t.Fatal("CopyFrom aliased First")
+	}
+	dst.CopyFrom(&src)
+	if &dst.First[0] != firstBuf {
+		t.Fatal("CopyFrom reallocated an adequate buffer")
+	}
+	if dst.First[0] != src.First[0] || dst.LastMeta[0] != src.LastMeta[0] {
+		t.Fatal("second CopyFrom did not refresh values")
+	}
+}
+
+// TestSummarizeGeometryErrors mirrors Transfer's geometry validation.
+func TestSummarizeGeometryErrors(t *testing.T) {
+	var s Summary
+	if err := Summarize(&s, &core.Encoded{Data: make([]byte, 30)}, 32); err == nil {
+		t.Error("30 bytes across 4-byte beats: want error")
+	}
+	if err := Summarize(&s, &core.Encoded{Data: make([]byte, 32), MetaBits: 7}, 32); err == nil {
+		t.Error("7 meta bits across 8 beats: want error")
+	}
+	if err := Summarize(&s, &core.Encoded{Data: nil}, 32); err == nil {
+		t.Error("empty transaction: want error")
+	}
+	if err := Summarize(&s, &core.Encoded{Data: make([]byte, 32)}, 12); err == nil {
+		t.Error("non-byte width: want error")
+	}
+	b := New(32)
+	if err := Summarize(&s, &core.Encoded{Data: make([]byte, 16)}, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(&s); err == nil {
+		t.Error("8-byte summary beats on a 4-byte-beat bus: want error")
+	}
+}

@@ -160,6 +160,58 @@ type Server struct {
 	// forces the pre-fault-tolerance framing fleet-wide, which exists for
 	// compatibility drills and staged protocol rollouts.
 	MaxProtocol int
+	// SimCache configures the similarity-aware transcoding cache tier.
+	SimCache SimCache
+}
+
+// SimCache configures the gateway's similarity-aware transcoding cache: an
+// optional layer that serves repeated and near-repeated transactions from
+// cached encodings instead of re-running the codec. Only schemes whose
+// encode is a pure function of the transaction (scheme.Cacheable) go through
+// it; sessions on other schemes bypass the cache entirely.
+type SimCache struct {
+	// Enabled turns the cache tier on. All other fields are ignored when
+	// false.
+	Enabled bool
+	// Capacity is the maximum cached entries per (scheme, transaction
+	// size) cache; 0 selects the simcache default (65536).
+	Capacity int
+	// Threshold is the exclusive Hamming-distance cutoff in bits for
+	// near-duplicate hits; 0 selects the simcache default (12, matching
+	// BD-Encoding's similarity cutoff).
+	Threshold int
+	// Bands is the LSH band count over the transaction signature; 0
+	// selects the simcache default (16). Near-duplicate recall within a
+	// shard is guaranteed while Threshold < Bands.
+	Bands int
+	// Shards is the lock-sharding factor; 0 selects the simcache default.
+	Shards int
+	// SnapshotPath, when non-empty, is where the gateway persists cache
+	// snapshots on shutdown and warms from on start. The path is extended
+	// with the scheme name and transaction size per cache instance.
+	SnapshotPath string
+}
+
+// Validate reports the first similarity-cache configuration error, or nil.
+// Geometry that depends on the per-session transaction size (band alignment)
+// is checked when a cache instance is built, not here.
+func (s SimCache) Validate() error {
+	if !s.Enabled {
+		return nil
+	}
+	if s.Capacity < 0 {
+		return fmt.Errorf("config: simcache capacity %d is negative", s.Capacity)
+	}
+	if s.Threshold < 0 {
+		return fmt.Errorf("config: simcache threshold %d is negative", s.Threshold)
+	}
+	if s.Bands < 0 {
+		return fmt.Errorf("config: simcache band count %d is negative", s.Bands)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("config: simcache shard count %d is negative", s.Shards)
+	}
+	return nil
 }
 
 // DefaultServer returns the gateway's default configuration: the paper's
@@ -251,6 +303,9 @@ func (s Server) Validate() error {
 	if s.MaxProtocol < trace.MinProtocolVersion || s.MaxProtocol > trace.ProtocolVersion {
 		return fmt.Errorf("config: max protocol %d outside [%d, %d]",
 			s.MaxProtocol, trace.MinProtocolVersion, trace.ProtocolVersion)
+	}
+	if err := s.SimCache.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

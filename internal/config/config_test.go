@@ -60,6 +60,18 @@ func TestServerValidate(t *testing.T) {
 		{"negative fault budget", func(s *Server) { s.FaultBudget = -1 }, "fault budget"},
 		{"zero admit timeout", func(s *Server) { s.AdmitTimeout = 0 }, "admit timeout"},
 		{"zero pending limit", func(s *Server) { s.MaxPending = 0 }, "pending batch limit"},
+		{"negative simcache capacity", func(s *Server) {
+			s.SimCache = SimCache{Enabled: true, Capacity: -1}
+		}, "simcache capacity"},
+		{"negative simcache threshold", func(s *Server) {
+			s.SimCache = SimCache{Enabled: true, Threshold: -1}
+		}, "simcache threshold"},
+		{"negative simcache bands", func(s *Server) {
+			s.SimCache = SimCache{Enabled: true, Bands: -1}
+		}, "simcache band count"},
+		{"negative simcache shards", func(s *Server) {
+			s.SimCache = SimCache{Enabled: true, Shards: -1}
+		}, "simcache shard count"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -125,5 +137,21 @@ func TestSPECSystemGeometry(t *testing.T) {
 	c := SPECSystem()
 	if c.Cores != 1 || c.CacheLineBytes != 64 || c.BusWidthBits != 64 {
 		t.Errorf("unexpected CPU system %+v", c)
+	}
+}
+
+func TestSimCacheValidate(t *testing.T) {
+	// Disabled caches skip all field checks: garbage values must not fail
+	// a deployment that never turns the tier on.
+	bad := SimCache{Enabled: false, Capacity: -5, Threshold: -5, Bands: -5, Shards: -5}
+	if err := bad.Validate(); err != nil {
+		t.Errorf("disabled simcache rejected: %v", err)
+	}
+	// Zero fields (defaults) validate when enabled.
+	if err := (SimCache{Enabled: true}).Validate(); err != nil {
+		t.Errorf("enabled simcache with defaults rejected: %v", err)
+	}
+	if err := (SimCache{Enabled: true, Capacity: 1024, Threshold: 8, Bands: 32, Shards: 4, SnapshotPath: "/tmp/x"}).Validate(); err != nil {
+		t.Errorf("fully specified simcache rejected: %v", err)
 	}
 }

@@ -264,6 +264,52 @@ func (c *BaseXOR) decodeRef(dst, data []byte) {
 	}
 }
 
+// PatchEncode implements PatchEncoder. Base+XOR output element e is a pure
+// function of input elements e and e-1 (adjacent mode) or e and 0 (fixed
+// mode), so a transaction differing from ref in a few elements needs only
+// those elements — plus, in adjacent mode, each diff's right neighbour —
+// re-run through the element datapath; every other output byte is copied
+// from refEnc. Fixed mode bails out when the base element itself changed,
+// since then every element's base changed and patching degenerates to a full
+// encode.
+func (c *BaseXOR) PatchEncode(out, src, ref, refEnc []byte) bool {
+	if len(src) != len(ref) || len(src) != len(refEnc) || len(src) != len(out) {
+		return false
+	}
+	if err := c.check(len(src)); err != nil {
+		return false
+	}
+	bs := c.BaseSize
+	fixed := c.Mode == FixedBase
+	if fixed && !equal(src[:bs], ref[:bs]) {
+		return false
+	}
+	copy(out, refEnc)
+	prevDiff := false
+	for off := 0; off < len(src); off += bs {
+		diff := !equal(src[off:off+bs], ref[off:off+bs])
+		if off == 0 {
+			// The base element is transferred unchanged.
+			if diff {
+				copy(out[:bs], src[:bs])
+			}
+			prevDiff = diff
+			continue
+		}
+		if diff || (!fixed && prevDiff) {
+			base := src[off-bs : off]
+			if fixed {
+				base = src[:bs]
+			}
+			encodeElement(out[off:off+bs], src[off:off+bs], base, c.cnst, c.ZDR)
+		}
+		prevDiff = diff
+	}
+	return true
+}
+
+var _ PatchEncoder = (*BaseXOR)(nil)
+
 // encodeElement writes the encoded form of element in (with left/base
 // element base) into out. out must not alias in or base. This is the
 // hardware datapath of Fig 10:

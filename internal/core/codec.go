@@ -100,6 +100,21 @@ type Codec interface {
 	Reset()
 }
 
+// PatchEncoder is the optional capability a stateless codec exposes when it
+// can re-encode a transaction that differs from a previously encoded
+// reference in only a few elements by patching the reference's encoding,
+// instead of re-running the full encode datapath. The similarity cache uses
+// it to serve near-duplicate hits: the patched output must be byte-identical
+// to what Encode would have produced for src.
+type PatchEncoder interface {
+	// PatchEncode writes the encoding of src into out, given a reference
+	// transaction ref and its encoding refEnc. All four slices must have
+	// the same length, and out must not alias any of the others. It
+	// reports false — leaving out unspecified — when the codec cannot
+	// patch this pair cheaply and the caller should fall back to Encode.
+	PatchEncode(out, src, ref, refEnc []byte) bool
+}
+
 // ErrBadLength reports a transaction whose size a codec cannot handle.
 var ErrBadLength = errors.New("core: unsupported transaction length")
 

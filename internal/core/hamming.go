@@ -1,0 +1,50 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// XOR+popcount Hamming-distance helpers shared by the similarity scans: the
+// BD-Encoding repository comparator array (internal/bdenc) and the
+// similarity-aware transcoding cache (internal/simcache) both rate candidate
+// matches by the number of differing bits, computed word-parallel exactly
+// like the hardware's comparator tree — one XOR and one popcount per 8-byte
+// word.
+
+// HammingWords returns the Hamming distance between two equal-length uint64
+// vectors: popcount(a[i] ^ b[i]) summed over every word. It panics when the
+// lengths differ (the callers control both sides).
+func HammingWords(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic("core: HammingWords on different-length vectors")
+	}
+	d := 0
+	for i, w := range a {
+		d += bits.OnesCount64(w ^ b[i])
+	}
+	return d
+}
+
+// NearestWord scans cands for the entry with minimal Hamming distance to w.
+// Ties break to the lowest index, so two sides replaying the same insertion
+// order agree on the winner. An empty candidate set returns (-1, 65): one
+// more than any real 64-bit distance, so `dist < threshold` comparisons
+// against sane thresholds fail closed.
+func NearestWord(w uint64, cands []uint64) (idx, dist int) {
+	idx, dist = -1, 65
+	for i, c := range cands {
+		if d := bits.OnesCount64(w ^ c); d < dist {
+			idx, dist = i, d
+		}
+	}
+	return idx, dist
+}
+
+// LoadWords fills dst with the little-endian uint64 view of src. len(src)
+// must equal 8*len(dst); the caller owns both buffers.
+func LoadWords(dst []uint64, src []byte) {
+	for i := range dst {
+		dst[i] = binary.LittleEndian.Uint64(src[i*8:])
+	}
+}

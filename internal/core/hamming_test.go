@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+func TestHammingWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(8)
+		a := make([]uint64, n)
+		b := make([]uint64, n)
+		want := 0
+		for i := range a {
+			a[i] = rng.Uint64()
+			b[i] = a[i]
+			if rng.Intn(2) == 0 {
+				flips := rng.Intn(5)
+				for f := 0; f < flips; f++ {
+					bit := uint(rng.Intn(64))
+					if b[i]&(1<<bit) == a[i]&(1<<bit) { // count each net flip once
+						want++
+					} else {
+						want--
+					}
+					b[i] ^= 1 << bit
+				}
+			}
+		}
+		if got := HammingWords(a, b); got != want {
+			t.Fatalf("HammingWords = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestHammingWordsPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	HammingWords(make([]uint64, 2), make([]uint64, 3))
+}
+
+func TestNearestWord(t *testing.T) {
+	if idx, dist := NearestWord(42, nil); idx != -1 || dist != 65 {
+		t.Fatalf("empty scan = (%d, %d), want (-1, 65)", idx, dist)
+	}
+	cands := []uint64{0xff, 0x0f, 0xf0, 0x0f} // duplicate distance: lowest index wins
+	idx, dist := NearestWord(0x1f, cands)
+	if idx != 1 || dist != bits.OnesCount64(0x1f^0x0f) {
+		t.Fatalf("NearestWord = (%d, %d), want (1, %d)", idx, dist, bits.OnesCount64(0x1f^0x0f))
+	}
+	// Exact match wins at distance 0.
+	if idx, dist := NearestWord(0xf0, cands); idx != 2 || dist != 0 {
+		t.Fatalf("exact match = (%d, %d), want (2, 0)", idx, dist)
+	}
+}
+
+func TestLoadWords(t *testing.T) {
+	src := make([]byte, 32)
+	for i := range src {
+		src[i] = byte(i * 7)
+	}
+	dst := make([]uint64, 4)
+	LoadWords(dst, src)
+	for i := range dst {
+		if want := binary.LittleEndian.Uint64(src[i*8:]); dst[i] != want {
+			t.Fatalf("word %d = %#x, want %#x", i, dst[i], want)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestPatchEncodeMatchesEncode is the differential proof behind near-hit
+// serving: for every mode, element width and ZDR setting, patching a
+// reference encoding must produce exactly the bytes a full Encode of the
+// near-duplicate would.
+func TestPatchEncodeMatchesEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, mode := range []BaseMode{AdjacentBase, FixedBase} {
+		for _, bs := range []int{1, 2, 3, 4, 8, 16} {
+			for _, zdr := range []bool{false, true} {
+				c := &BaseXOR{BaseSize: bs, ZDR: zdr, Mode: mode}
+				n := bs * 16
+				for trial := 0; trial < 200; trial++ {
+					ref := make([]byte, n)
+					switch rng.Intn(3) {
+					case 0:
+						rng.Read(ref)
+					case 1: // sparse data exercises the ZDR zero symbol
+						for i := 0; i < bs; i++ {
+							ref[rng.Intn(n)] = byte(rng.Intn(256))
+						}
+					default: // repeated elements exercise the base symbol
+						rng.Read(ref[:bs])
+						for off := bs; off < n; off += bs {
+							copy(ref[off:], ref[:bs])
+						}
+					}
+					var refEnc Encoded
+					if err := c.Encode(&refEnc, ref); err != nil {
+						t.Fatal(err)
+					}
+					encBytes := append([]byte(nil), refEnc.Data...)
+
+					src := append([]byte(nil), ref...)
+					elemDiffs := rng.Intn(5)
+					for d := 0; d < elemDiffs; d++ {
+						e := rng.Intn(n / bs)
+						switch rng.Intn(3) {
+						case 0: // single bit flip
+							src[e*bs+rng.Intn(bs)] ^= byte(1 << rng.Intn(8))
+						case 1: // zero the element (ZDR const symbol)
+							for i := 0; i < bs; i++ {
+								src[e*bs+i] = 0
+							}
+						default: // fresh random element
+							rng.Read(src[e*bs : (e+1)*bs])
+						}
+					}
+
+					var want Encoded
+					if err := c.Encode(&want, src); err != nil {
+						t.Fatal(err)
+					}
+					out := make([]byte, n)
+					ok := c.PatchEncode(out, src, ref, encBytes)
+					baseChanged := !bytes.Equal(src[:bs], ref[:bs])
+					if mode == FixedBase && baseChanged {
+						if ok {
+							t.Fatalf("bs=%d zdr=%v: fixed-base patch accepted a changed base element", bs, zdr)
+						}
+						continue
+					}
+					if !ok {
+						t.Fatalf("bs=%d zdr=%v mode=%v: PatchEncode refused a patchable pair", bs, zdr, mode)
+					}
+					if !bytes.Equal(out, want.Data) {
+						t.Fatalf("bs=%d zdr=%v mode=%v trial=%d: patched encoding differs from full Encode\n got %x\nwant %x\n ref %x\n src %x",
+							bs, zdr, mode, trial, out, want.Data, ref, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPatchEncodeRejects covers the refusal paths: mismatched slice lengths
+// and transaction sizes the codec cannot encode at all.
+func TestPatchEncodeRejects(t *testing.T) {
+	c := NewBaseXOR(4)
+	buf := make([]byte, 32)
+	if c.PatchEncode(buf, buf[:16], buf, buf) {
+		t.Error("accepted mismatched src length")
+	}
+	if c.PatchEncode(buf[:16], buf, buf, buf) {
+		t.Error("accepted mismatched out length")
+	}
+	odd := make([]byte, 30) // not a multiple of BaseSize
+	if c.PatchEncode(odd, odd, odd, odd) {
+		t.Error("accepted a transaction length Encode would reject")
+	}
+}
+
+// TestPatchEncodeIdenticalInput checks the degenerate zero-diff case: the
+// patched output must equal the reference encoding byte for byte.
+func TestPatchEncodeIdenticalInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewBaseXOR(4)
+	src := make([]byte, 64)
+	rng.Read(src)
+	var enc Encoded
+	if err := c.Encode(&enc, src); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, 64)
+	if !c.PatchEncode(out, src, src, enc.Data) {
+		t.Fatal("PatchEncode refused identical input")
+	}
+	if !bytes.Equal(out, enc.Data) {
+		t.Fatal("zero-diff patch changed the encoding")
+	}
+}

@@ -44,6 +44,16 @@ const (
 	// EventSlowClient is a session torn down because a reply write
 	// exhausted the write deadline (the peer stopped reading).
 	EventSlowClient = "slow_client"
+	// EventSimcacheWarm is a similarity cache warmed from a snapshot at
+	// creation; Txns carries the entry count.
+	EventSimcacheWarm = "simcache_warm"
+	// EventSimcacheSnapshot is a similarity cache persisted to its
+	// snapshot path at shutdown; Txns carries the entry count.
+	EventSimcacheSnapshot = "simcache_snapshot"
+	// EventSimcacheError is a similarity-cache failure the gateway
+	// degraded around: an unbuildable geometry for a session's
+	// transaction size, or a snapshot that failed to load or save.
+	EventSimcacheError = "simcache_error"
 )
 
 // EventBuffer retains the most recent events in a fixed ring. It is safe

@@ -275,11 +275,22 @@ func (t *HistogramTracer) Each(fn func(scheme string, stage Stage, h *Histogram)
 	for i, st := range Stages() {
 		order[st] = i
 	}
+	// Stages outside the pipeline (retry_backoff, simcache_lookup, …) sort
+	// after it, alphabetically, so the exposition stays deterministic.
+	rank := func(s Stage) int {
+		if r, ok := order[s]; ok {
+			return r
+		}
+		return len(order)
+	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].scheme != keys[j].scheme {
 			return keys[i].scheme < keys[j].scheme
 		}
-		return order[keys[i].stage] < order[keys[j].stage]
+		if ri, rj := rank(keys[i].stage), rank(keys[j].stage); ri != rj {
+			return ri < rj
+		}
+		return keys[i].stage < keys[j].stage
 	})
 	for _, k := range keys {
 		fn(k.scheme, k.stage, hists[k])

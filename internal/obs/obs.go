@@ -43,6 +43,12 @@ const (
 	// StageReconnect is the client-side redial plus re-handshake after a
 	// broken session; its histogram count is the reconnect counter.
 	StageReconnect Stage = "reconnect"
+
+	// StageSimcacheLookup is the similarity-cache probe over one batch on
+	// the gateway. Like the fault-recovery stages it is not listed in
+	// Stages(): it only fires for sessions on cacheable schemes with the
+	// cache enabled, so its count is not expected to match the pipeline's.
+	StageSimcacheLookup Stage = "simcache_lookup"
 )
 
 // Stages returns the per-batch pipeline stages in serving order. The

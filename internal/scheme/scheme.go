@@ -59,21 +59,28 @@ type entry struct {
 	// its metadata (dbi's bus history) are not decode-stateful: records
 	// from different codec instances still decode to the source bytes.
 	decodeStateful bool
+	// cacheable marks schemes whose Encode is a pure function of the
+	// transaction bytes: identical input always yields an identical
+	// record, in any order, on any instance. Only such schemes may be
+	// served from the similarity cache — an encode-stateful scheme
+	// (dbi's bus-history phase, bdenc's repository) would produce a
+	// record the decoder's state no longer matches.
+	cacheable bool
 }
 
 // builders maps registry names to constructors. Every codec here is a
 // fresh, Reset instance; stateful codecs (bdenc, fve, dbi) must not be
 // shared between streams.
 var builders = map[string]entry{
-	"baseline": {build: func(Options) core.Codec { return core.Identity{} }},
-	"basexor":  {build: func(o Options) core.Codec { return core.NewBaseXOR(o.BaseSize) }},
-	"2b":       {build: func(Options) core.Codec { return core.NewBaseXOR(2) }},
-	"4b":       {build: func(Options) core.Codec { return core.NewBaseXOR(4) }},
-	"8b":       {build: func(Options) core.Codec { return core.NewBaseXOR(8) }},
-	"silent":   {build: func(o Options) core.Codec { return core.NewSILENT(o.BaseSize) }},
+	"baseline": {build: func(Options) core.Codec { return core.Identity{} }, cacheable: true},
+	"basexor":  {build: func(o Options) core.Codec { return core.NewBaseXOR(o.BaseSize) }, cacheable: true},
+	"2b":       {build: func(Options) core.Codec { return core.NewBaseXOR(2) }, cacheable: true},
+	"4b":       {build: func(Options) core.Codec { return core.NewBaseXOR(4) }, cacheable: true},
+	"8b":       {build: func(Options) core.Codec { return core.NewBaseXOR(8) }, cacheable: true},
+	"silent":   {build: func(o Options) core.Codec { return core.NewSILENT(o.BaseSize) }, cacheable: true},
 	"universal": {build: func(o Options) core.Codec {
 		return core.NewUniversal(o.Stages)
-	}},
+	}, cacheable: true},
 	"dbi":   {build: func(Options) core.Codec { return dbi.New(1) }},
 	"dbi1":  {build: func(Options) core.Codec { return dbi.New(1) }},
 	"dbi2":  {build: func(Options) core.Codec { return dbi.New(2) }},
@@ -103,6 +110,18 @@ func DecodeStateful(name string) bool {
 		return true
 	}
 	return e.decodeStateful
+}
+
+// Cacheable reports whether name's Encode is a pure function of the
+// transaction bytes, making its records safe to serve from the similarity
+// cache. Unknown names report false: a cache that cannot prove a scheme
+// deterministic must fail toward encoding.
+func Cacheable(name string) bool {
+	e, ok := builders[name]
+	if !ok {
+		return false
+	}
+	return e.cacheable
 }
 
 // Names returns the registered scheme names in sorted order.

@@ -71,3 +71,68 @@ func TestKnownAndNames(t *testing.T) {
 		t.Error("Known(bogus) = true")
 	}
 }
+
+// TestCacheable checks the cacheable property against an explicit expected
+// map and proves it empirically: a cacheable scheme's Encode must produce
+// identical records for identical inputs regardless of instance or order —
+// the contract the similarity cache depends on.
+func TestCacheable(t *testing.T) {
+	want := map[string]bool{
+		"baseline": true, "basexor": true, "2b": true, "4b": true,
+		"8b": true, "silent": true, "universal": true,
+		"dbi": false, "dbi1": false, "dbi2": false, "dbi4": false,
+		"bdenc": false, "bd": false, "fve": false, "universal+dbi1": false,
+	}
+	for _, name := range Names() {
+		exp, ok := want[name]
+		if !ok {
+			t.Errorf("scheme %q has no expected cacheable value; classify it here", name)
+			continue
+		}
+		if got := Cacheable(name); got != exp {
+			t.Errorf("Cacheable(%q) = %v, want %v", name, got, exp)
+		}
+		if Cacheable(name) && DecodeStateful(name) {
+			t.Errorf("%q is both cacheable and decode-stateful", name)
+		}
+	}
+	if Cacheable("bogus") {
+		t.Error("Cacheable(bogus) = true, want false (fail toward encoding)")
+	}
+
+	rng := rand.New(rand.NewSource(31))
+	txns := make([][]byte, 16)
+	for i := range txns {
+		txns[i] = make([]byte, 32)
+		rng.Read(txns[i])
+	}
+	for _, name := range Names() {
+		if !Cacheable(name) {
+			continue
+		}
+		a, _ := New(name)
+		b, _ := New(name)
+		var ea, eb core.Encoded
+		for i := range txns {
+			if err := a.Encode(&ea, txns[i]); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			// Second instance sees the stream reversed: order must not
+			// matter for a cacheable scheme.
+			if err := b.Encode(&eb, txns[len(txns)-1-i]); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+		for i := range txns {
+			if err := a.Encode(&ea, txns[i]); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if err := b.Encode(&eb, txns[i]); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !bytes.Equal(ea.Data, eb.Data) || !bytes.Equal(ea.Meta, eb.Meta) {
+				t.Fatalf("%s: records diverge across instances/order; not cacheable", name)
+			}
+		}
+	}
+}

@@ -62,6 +62,10 @@ type Server struct {
 	// transport faults into every accepted connection and codec faults
 	// into every session codec.
 	inj *faults.Injector
+	// sc holds the similarity-cache instances (one per scheme and
+	// transaction size) that short-circuit encoding for repeated and
+	// near-repeated transactions on cacheable schemes.
+	sc simCaches
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -168,6 +172,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		s.met.writeExposition(w, s.isDraining())
+		s.writeSimcacheMetrics(w)
 	})
 	if s.cfg.Debug {
 		mux.Handle("/debug/events", s.events)
@@ -368,6 +373,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		// Every session has wound down, so no insert races the snapshot.
+		s.saveSimCaches()
 		return nil
 	case <-ctx.Done():
 		s.mu.Lock()
@@ -376,6 +383,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		}
 		s.mu.Unlock()
 		<-done
+		s.saveSimCaches()
 		return ctx.Err()
 	}
 }

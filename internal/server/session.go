@@ -14,6 +14,7 @@ import (
 	"github.com/hpca18/bxt/internal/core"
 	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/scheme"
+	"github.com/hpca18/bxt/internal/simcache"
 	"github.com/hpca18/bxt/internal/trace"
 )
 
@@ -51,6 +52,22 @@ type session struct {
 	// configured budget. Only the read goroutine touches it.
 	faults int
 
+	// cache, when non-nil, is the similarity tier for this session's
+	// (scheme, txnSize): repeated transactions are served from it without
+	// re-running the codec. patcher re-encodes near-duplicates by patching
+	// the cached reference record; it is nil when the codec cannot patch
+	// or when records carry side-band metadata a patch cannot reproduce,
+	// and lookups then skip the band scan entirely (LookupExact).
+	cache    *simcache.Cache
+	patcher  core.PatchEncoder
+	probe    *simcache.Probe
+	patchBuf []byte
+	cacheH   *obs.Histogram
+	// lookupTick strides the lookup timer: two clock reads per transaction
+	// cost about as much as a hit itself, so one lookup in
+	// lookupSampleStride is timed and scaled up for the stage histogram.
+	lookupTick uint64
+
 	// Stage histograms, resolved once at handshake so per-batch
 	// observation is one mutex on the (scheme, stage) histogram.
 	readH, encH, accH, writeH *obs.Histogram
@@ -81,6 +98,12 @@ var errSession = errors.New("server: session error")
 // errCodecPanic marks a batch whose codec encode panicked; the panic was
 // recovered, the batch quarantined, and the session codec reset.
 var errCodecPanic = errors.New("server: codec panic")
+
+// lookupSampleStride is the similarity-cache timing sample rate: every
+// stride-th lookup is timed and its duration scaled by the stride, so the
+// simcache_lookup stage histogram stays statistically faithful while the
+// other stride-1 lookups pay no clock reads.
+const lookupSampleStride = 16
 
 func newReader(c net.Conn) *bufio.Reader { return bufio.NewReaderSize(c, 64<<10) }
 func newWriter(c net.Conn) *bufio.Writer { return bufio.NewWriterSize(c, 64<<10) }
@@ -164,6 +187,10 @@ func (ss *session) handshake() error {
 		return fmt.Errorf("%w: scheme %q does not fit a %d-bit channel: %v", errSession, name, ss.srv.cfg.ChannelWidthBits, err)
 	}
 	codec.Reset()
+	// Patch re-encoding resolves against the real codec: the chaos
+	// wrapper below may perturb Encode, but a near-hit patch must
+	// reproduce the clean encoding the cache stores.
+	patcher, _ := codec.(core.PatchEncoder)
 	// Chaos injection wraps the codec after the probe, so a configured
 	// fault cannot fail an otherwise valid handshake.
 	if ss.srv.inj != nil {
@@ -184,6 +211,15 @@ func (ss *session) handshake() error {
 	ss.encH = stages.Hist(name, obs.StageEncode)
 	ss.accH = stages.Hist(name, obs.StageAccount)
 	ss.writeH = stages.Hist(name, obs.StageFrameWrite)
+	if cache := ss.srv.simCacheFor(name, h.TxnSize, ss.metaBits); cache != nil {
+		ss.cache = cache
+		ss.probe = &simcache.Probe{}
+		ss.cacheH = stages.Hist(name, obs.StageSimcacheLookup)
+		if patcher != nil && ss.metaBits == 0 {
+			ss.patcher = patcher
+			ss.patchBuf = make([]byte, h.TxnSize)
+		}
+	}
 	ss.log = ss.srv.log.With("session", ss.id, "scheme", name)
 	ss.log.Info("session open", "remote", ss.conn.RemoteAddr().String(), "txn_size", h.TxnSize, "version", ss.version)
 	ss.srv.events.Add(obs.Event{
@@ -358,24 +394,30 @@ func (ss *session) processBatch(id uint64, txns []trace.Transaction) ([]byte, er
 
 	// Accounting replays the records just built (the encoded payload is
 	// txnSize bytes plus metaBytes of side-band per record, the same fixed
-	// geometry the client parses).
+	// geometry the client parses). Similarity-cache sessions have already
+	// charged the buses during the encode pass — cache entries memoize
+	// their bus summaries, so the hit path splices them in with bus.Apply
+	// instead of re-walking every beat — leaving only the geometry check
+	// here.
 	recLen := ss.txnSize + ss.metaBytes
 	if len(ss.recBuf) != len(txns)*recLen {
 		ss.recoverBatch()
 		return nil, fmt.Errorf("scheme %s: produced %d record bytes for %d transactions, want %d",
 			ss.schemeName, len(ss.recBuf), len(txns), len(txns)*recLen)
 	}
-	for i := range txns {
-		raw := core.Encoded{Data: txns[i].Data}
-		if err := ss.baseBus.Transfer(&raw); err != nil {
-			ss.recoverBatch()
-			return nil, err
-		}
-		rec := ss.recBuf[i*recLen : (i+1)*recLen]
-		enc := core.Encoded{Data: rec[:ss.txnSize], Meta: rec[ss.txnSize:], MetaBits: ss.metaBits}
-		if err := ss.encBus.Transfer(&enc); err != nil {
-			ss.recoverBatch()
-			return nil, err
+	if ss.cache == nil {
+		for i := range txns {
+			raw := core.Encoded{Data: txns[i].Data}
+			if err := ss.baseBus.Transfer(&raw); err != nil {
+				ss.recoverBatch()
+				return nil, err
+			}
+			rec := ss.recBuf[i*recLen : (i+1)*recLen]
+			enc := core.Encoded{Data: rec[:ss.txnSize], Meta: rec[ss.txnSize:], MetaBits: ss.metaBits}
+			if err := ss.encBus.Transfer(&enc); err != nil {
+				ss.recoverBatch()
+				return nil, err
+			}
 		}
 	}
 
@@ -446,6 +488,9 @@ func (ss *session) encodeAll(txns []trace.Transaction) (err error) {
 			err = fmt.Errorf("%w: %v", errCodecPanic, r)
 		}
 	}()
+	if ss.cache != nil {
+		return ss.encodeAllCached(txns)
+	}
 	for i := range txns {
 		t := &txns[i]
 		if e := ss.codec.Encode(&ss.enc, t.Data); e != nil {
@@ -455,6 +500,85 @@ func (ss *session) encodeAll(txns []trace.Transaction) (err error) {
 		ss.recBuf = append(ss.recBuf, ss.enc.Meta...)
 	}
 	return nil
+}
+
+// encodeAllCached is the similarity-cache encode path. Exact hits append
+// the cached record verbatim; near hits re-encode by patching the cached
+// reference (only the few changed elements run through the codec datapath);
+// misses — and pairs the codec refuses to patch — fall back to a full
+// encode and populate the cache for the next repeat. The summed (sampled,
+// see lookupSampleStride) lookup time feeds the simcache_lookup stage once
+// per batch.
+//
+// Wire accounting is fused into the same pass: a hit carries the record's
+// memoized bus summaries out of the cache and an Insert leaves the freshly
+// computed pair in the probe, so either way the buses are charged with an
+// O(1-beat) splice instead of the full per-beat walk processBatch would
+// otherwise run. recoverBatch discards any partially applied deltas if the
+// batch fails midway, exactly as for partial Transfer loops.
+func (ss *session) encodeAllCached(txns []trace.Transaction) error {
+	var lookups time.Duration
+	for i := range txns {
+		t := &txns[i]
+		var lookupStart time.Time
+		sampled := ss.lookupTick%lookupSampleStride == 0
+		ss.lookupTick++
+		if sampled {
+			lookupStart = time.Now()
+		}
+		var res simcache.Result
+		if ss.patcher != nil {
+			res = ss.cache.Lookup(ss.probe, t.Data)
+		} else {
+			res = ss.cache.LookupExact(ss.probe, t.Data)
+		}
+		if sampled {
+			lookups += time.Since(lookupStart) * lookupSampleStride
+		}
+		recStart := len(ss.recBuf)
+		switch {
+		case res == simcache.HitExact:
+			ss.recBuf = append(ss.recBuf, ss.probe.Data...)
+			ss.recBuf = append(ss.recBuf, ss.probe.Meta...)
+		case res == simcache.HitNear && ss.patcher.PatchEncode(ss.patchBuf, t.Data, ss.probe.Ref, ss.probe.RefEnc):
+			ss.recBuf = append(ss.recBuf, ss.patchBuf...)
+			ss.cache.Insert(ss.probe, t.Data, ss.patchBuf, nil)
+		default:
+			if e := ss.codec.Encode(&ss.enc, t.Data); e != nil {
+				return fmt.Errorf("scheme %s: encoding transaction %#x: %v", ss.schemeName, t.Addr, e)
+			}
+			ss.recBuf = append(ss.recBuf, ss.enc.Data...)
+			ss.recBuf = append(ss.recBuf, ss.enc.Meta...)
+			ss.cache.Insert(ss.probe, t.Data, ss.enc.Data, ss.enc.Meta)
+		}
+		if err := ss.accountCached(t.Data, ss.recBuf[recStart:]); err != nil {
+			return err
+		}
+	}
+	ss.cacheH.Observe(lookups.Seconds())
+	return nil
+}
+
+// accountCached charges one just-built record to the session's buses: via
+// the probe's memoized summaries when the cache provided them, else by
+// replaying the raw transaction and record through the full Transfer walk.
+func (ss *session) accountCached(raw, rec []byte) error {
+	if ss.probe.HasSums {
+		if err := ss.baseBus.Apply(&ss.probe.RawSum); err != nil {
+			return err
+		}
+		return ss.encBus.Apply(&ss.probe.EncSum)
+	}
+	if len(rec) != ss.txnSize+ss.metaBytes {
+		return fmt.Errorf("scheme %s: produced a %d-byte record, want %d",
+			ss.schemeName, len(rec), ss.txnSize+ss.metaBytes)
+	}
+	base := core.Encoded{Data: raw}
+	if err := ss.baseBus.Transfer(&base); err != nil {
+		return err
+	}
+	enc := core.Encoded{Data: rec[:ss.txnSize], Meta: rec[ss.txnSize:], MetaBits: ss.metaBits}
+	return ss.encBus.Transfer(&enc)
 }
 
 // recoverBatch returns the session to a clean state after a failed batch:

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"github.com/hpca18/bxt/internal/obs"
+	"github.com/hpca18/bxt/internal/scheme"
+	"github.com/hpca18/bxt/internal/simcache"
+)
+
+// simCacheKey identifies one cache instance: caches are per (scheme,
+// transaction size) because a cached record is only valid for the exact
+// codec configuration and geometry that produced it.
+type simCacheKey struct {
+	scheme   string
+	txnBytes int
+}
+
+// simCaches is the gateway's similarity-cache registry: instances are
+// created lazily at session handshake (warming from their snapshot, if one
+// exists) and persisted back at shutdown.
+type simCaches struct {
+	mu     sync.Mutex
+	caches map[simCacheKey]*simcache.Cache
+	saved  bool
+}
+
+// simCacheFor returns the cache for a (scheme, txnBytes) session, creating
+// and snapshot-warming it on first use. It returns nil — meaning "serve
+// without a cache" — when the tier is disabled, the scheme is not a pure
+// function of the transaction bytes, or the geometry cannot band this
+// transaction size; the gateway always degrades to plain encoding.
+// metaBits is the scheme's side-band width at this transaction size; when
+// the channel geometry divides the record evenly, the cache also memoizes
+// per-record bus summaries so hit accounting skips the full beat walk.
+func (s *Server) simCacheFor(schemeName string, txnBytes, metaBits int) *simcache.Cache {
+	cfg := s.cfg.SimCache
+	if !cfg.Enabled || !scheme.Cacheable(schemeName) {
+		return nil
+	}
+	key := simCacheKey{schemeName, txnBytes}
+	s.sc.mu.Lock()
+	defer s.sc.mu.Unlock()
+	if s.sc.caches == nil {
+		s.sc.caches = make(map[simCacheKey]*simcache.Cache)
+	}
+	if c, ok := s.sc.caches[key]; ok {
+		return c // may be nil: a key that already failed to build stays off
+	}
+	scCfg := simcache.Config{
+		TxnBytes:  txnBytes,
+		Capacity:  cfg.Capacity,
+		Threshold: cfg.Threshold,
+		Bands:     cfg.Bands,
+		Shards:    cfg.Shards,
+	}
+	if width := s.cfg.ChannelWidthBits; width > 0 && width%8 == 0 &&
+		txnBytes%(width/8) == 0 && metaBits%(txnBytes/(width/8)) == 0 {
+		scCfg.ChannelWidthBits = width
+		scCfg.MetaBits = metaBits
+	}
+	c, err := simcache.New(scCfg)
+	if err != nil {
+		s.log.Warn("simcache disabled for session geometry", "scheme", schemeName, "txn_bytes", txnBytes, "err", err)
+		s.events.Add(obs.Event{Type: obs.EventSimcacheError, Scheme: schemeName, Detail: err.Error()})
+		s.sc.caches[key] = nil
+		return nil
+	}
+	if path := s.simSnapshotPath(key); path != "" {
+		n, err := c.LoadFile(path)
+		switch {
+		case err != nil:
+			// Load degraded the cache to cold; keep serving.
+			s.log.Warn("simcache snapshot rejected; starting cold", "path", path, "err", err)
+			s.events.Add(obs.Event{Type: obs.EventSimcacheError, Scheme: schemeName, Detail: err.Error()})
+		case n > 0:
+			s.log.Info("simcache warmed from snapshot", "scheme", schemeName, "txn_bytes", txnBytes, "entries", n)
+			s.events.Add(obs.Event{Type: obs.EventSimcacheWarm, Scheme: schemeName, Txns: n, Detail: path})
+		}
+	}
+	s.sc.caches[key] = c
+	return c
+}
+
+// simSnapshotPath derives one cache instance's snapshot file from the
+// configured base path, so every (scheme, txnBytes) cache persists
+// independently.
+func (s *Server) simSnapshotPath(key simCacheKey) string {
+	base := s.cfg.SimCache.SnapshotPath
+	if base == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s.%s.%d", base, key.scheme, key.txnBytes)
+}
+
+// saveSimCaches persists every live cache to its snapshot path. Called once
+// at the end of the drain, when no session is inserting anymore.
+func (s *Server) saveSimCaches() {
+	if s.cfg.SimCache.SnapshotPath == "" {
+		return
+	}
+	s.sc.mu.Lock()
+	if s.sc.saved {
+		s.sc.mu.Unlock()
+		return
+	}
+	s.sc.saved = true
+	caches := make(map[simCacheKey]*simcache.Cache, len(s.sc.caches))
+	for k, c := range s.sc.caches {
+		caches[k] = c
+	}
+	s.sc.mu.Unlock()
+	for key, c := range caches {
+		if c == nil {
+			continue
+		}
+		path := s.simSnapshotPath(key)
+		if err := c.SaveFile(path); err != nil {
+			s.log.Warn("simcache snapshot save failed", "path", path, "err", err)
+			s.events.Add(obs.Event{Type: obs.EventSimcacheError, Scheme: key.scheme, Detail: err.Error()})
+			continue
+		}
+		s.log.Info("simcache snapshot saved", "path", path, "entries", c.Len())
+		s.events.Add(obs.Event{Type: obs.EventSimcacheSnapshot, Scheme: key.scheme, Txns: c.Len(), Detail: path})
+	}
+}
+
+// writeSimcacheMetrics renders the similarity-cache series of the /metrics
+// document, one label set per (scheme, txn_bytes) cache instance.
+func (s *Server) writeSimcacheMetrics(w io.Writer) {
+	s.sc.mu.Lock()
+	keys := make([]simCacheKey, 0, len(s.sc.caches))
+	for k, c := range s.sc.caches {
+		if c != nil {
+			keys = append(keys, k)
+		}
+	}
+	caches := make(map[simCacheKey]*simcache.Cache, len(keys))
+	for _, k := range keys {
+		caches[k] = s.sc.caches[k]
+	}
+	s.sc.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].scheme != keys[j].scheme {
+			return keys[i].scheme < keys[j].scheme
+		}
+		return keys[i].txnBytes < keys[j].txnBytes
+	})
+	for _, k := range keys {
+		st := caches[k].Stats()
+		labels := fmt.Sprintf("scheme=%q,txn_bytes=\"%d\"", k.scheme, k.txnBytes)
+		fmt.Fprintf(w, "bxtd_simcache_hits_total{%s} %d\n", labels, st.Hits)
+		fmt.Fprintf(w, "bxtd_simcache_near_hits_total{%s} %d\n", labels, st.NearHits)
+		fmt.Fprintf(w, "bxtd_simcache_misses_total{%s} %d\n", labels, st.Misses)
+		fmt.Fprintf(w, "bxtd_simcache_evictions_total{%s} %d\n", labels, st.Evictions)
+		fmt.Fprintf(w, "bxtd_simcache_entries{%s} %d\n", labels, st.Entries)
+		fmt.Fprintf(w, "bxtd_simcache_hit_rate{%s} %g\n", labels, st.HitRate())
+		fmt.Fprintf(w, "bxtd_simcache_near_hamming_bits_avg{%s} %g\n", labels, st.AvgNearDistance())
+	}
+}

@@ -1,0 +1,197 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/client"
+	"github.com/hpca18/bxt/internal/trace"
+	"github.com/hpca18/bxt/internal/workload"
+)
+
+// makeHotTxns synthesizes a Zipf hot-key trace: most transactions re-serve
+// a small popular payload set, optionally perturbed by up to flipBits bit
+// flips (the near-duplicate traffic the similarity tier exists for).
+func makeHotTxns(seed int64, n, txnSize, flipBits int) []trace.Transaction {
+	g := &workload.HotSet{
+		Base:       workload.Random{},
+		Keys:       48,
+		S:          1.3,
+		RepeatProb: 0.9,
+		FlipBits:   flipBits,
+	}
+	rng := rand.New(rand.NewSource(seed))
+	txns := make([]trace.Transaction, n)
+	for i := range txns {
+		data := make([]byte, txnSize)
+		g.Fill(data, rng)
+		txns[i] = trace.Transaction{Addr: uint64(i * txnSize), Kind: trace.Write, Data: data}
+	}
+	return txns
+}
+
+// streamRecords runs one session over txns and returns every reply record
+// (data plus side-band) concatenated in arrival order, with each batch's
+// wire-accounting stats rendered in between — so comparing two streams
+// byte-for-byte also proves the summary-memoized accounting path reproduces
+// the full Transfer walk exactly.
+func streamRecords(t *testing.T, addr, schemeName string, txns []trace.Transaction, txnSize int) []byte {
+	t.Helper()
+	c, err := client.Dial(addr, schemeName, txnSize)
+	if err != nil {
+		t.Fatalf("dial %s: %v", schemeName, err)
+	}
+	defer c.Close()
+	var out []byte
+	const batch = 200
+	for off := 0; off < len(txns); off += batch {
+		end := off + batch
+		if end > len(txns) {
+			end = len(txns)
+		}
+		reply, err := c.Transcode(txns[off:end])
+		if err != nil {
+			t.Fatalf("transcode batch at %d: %v", off, err)
+		}
+		out = fmt.Appendf(out, "%+v\n", reply.Stats)
+		for _, rec := range reply.Records {
+			out = append(out, rec.Data...)
+			out = append(out, rec.Meta...)
+		}
+	}
+	return out
+}
+
+// simMetric scrapes one bxtd_simcache_* sample for a (scheme, txnBytes)
+// cache instance from a /metrics document.
+func simMetric(t *testing.T, body, name, schemeName string, txnBytes int) float64 {
+	t.Helper()
+	pat := fmt.Sprintf(`(?m)^%s\{scheme=%q,txn_bytes="%d"\} (\S+)$`, name, schemeName, txnBytes)
+	m := regexp.MustCompile(pat).FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("metrics missing %s for scheme=%s txn_bytes=%d:\n%s", name, schemeName, txnBytes, body)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("parsing %s sample %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+// TestSimcacheEndToEnd is the similarity tier's acceptance test: a seeded
+// Zipf trace is streamed through a cache-off gateway and a cache-on
+// gateway, and the replies must be byte-identical — cached and patched
+// records are indistinguishable from freshly encoded ones — while the
+// cache-on gateway serves the majority of transactions from the tier.
+// "4b" exercises the full path (exact hits plus near-duplicate patching);
+// "universal" exercises the exact-only path of a non-patching codec.
+func TestSimcacheEndToEnd(t *testing.T) {
+	const (
+		txnSize = 32
+		total   = 6000
+	)
+	off := startServer(t, testConfig())
+	cfgOn := testConfig()
+	cfgOn.SimCache.Enabled = true
+	on := startServer(t, cfgOn)
+
+	cases := []struct {
+		scheme   string
+		flipBits int // near-dup knob: only patching codecs can exploit flips
+		wantNear bool
+	}{
+		{"4b", 6, true},
+		{"universal", 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.scheme, func(t *testing.T) {
+			txns := makeHotTxns(99, total, txnSize, tc.flipBits)
+			plain := streamRecords(t, off.Addr(), tc.scheme, txns, txnSize)
+			cached := streamRecords(t, on.Addr(), tc.scheme, txns, txnSize)
+			if !bytes.Equal(plain, cached) {
+				t.Fatal("cache-on replies (records or accounting stats) differ from cache-off replies on the same trace")
+			}
+
+			body := httpGet(t, "http://"+on.MetricsAddr()+"/metrics")
+			hits := simMetric(t, body, "bxtd_simcache_hits_total", tc.scheme, txnSize)
+			near := simMetric(t, body, "bxtd_simcache_near_hits_total", tc.scheme, txnSize)
+			misses := simMetric(t, body, "bxtd_simcache_misses_total", tc.scheme, txnSize)
+			rate := simMetric(t, body, "bxtd_simcache_hit_rate", tc.scheme, txnSize)
+			if lookups := hits + near + misses; lookups != total {
+				t.Errorf("cache saw %v lookups, want %d", lookups, total)
+			}
+			if rate <= 0.5 {
+				t.Errorf("hit rate %.3f (hits %v, near %v, misses %v); the Zipf trace must serve mostly from cache", rate, hits, near, misses)
+			}
+			if tc.wantNear && near == 0 {
+				t.Error("patching codec saw no near hits on a bit-flipped trace")
+			}
+			if !tc.wantNear && near != 0 {
+				t.Errorf("non-patching codec recorded %v near hits; its lookups must be exact-only", near)
+			}
+			if tc.wantNear {
+				avg := simMetric(t, body, "bxtd_simcache_near_hamming_bits_avg", tc.scheme, txnSize)
+				if avg <= 0 || avg >= 12 {
+					t.Errorf("near-hit mean Hamming distance %v bits outside (0, threshold)", avg)
+				}
+			}
+		})
+	}
+}
+
+// TestSimcacheWarmRestart proves the snapshot round trip through the
+// gateway lifecycle: a first server populates its cache and persists it on
+// shutdown; a second server with the same configuration warms from the
+// snapshot and serves the same trace without a single miss.
+func TestSimcacheWarmRestart(t *testing.T) {
+	const (
+		txnSize = 32
+		total   = 2000
+	)
+	cfg := testConfig()
+	cfg.SimCache.Enabled = true
+	cfg.SimCache.SnapshotPath = filepath.Join(t.TempDir(), "simcache.snap")
+	txns := makeHotTxns(7, total, txnSize, 0)
+
+	first := startServer(t, cfg)
+	firstReplies := streamRecords(t, first.Addr(), "4b", txns, txnSize)
+	if err := first.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	snap := cfg.SimCache.SnapshotPath + ".4b.32"
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("shutdown left no snapshot at %s: %v", snap, err)
+	}
+
+	second := startServer(t, cfg)
+	secondReplies := streamRecords(t, second.Addr(), "4b", txns, txnSize)
+	if !bytes.Equal(firstReplies, secondReplies) {
+		t.Fatal("warm-restarted replies differ from the first run")
+	}
+	body := httpGet(t, "http://"+second.MetricsAddr()+"/metrics")
+	if misses := simMetric(t, body, "bxtd_simcache_misses_total", "4b", txnSize); misses != 0 {
+		t.Errorf("warm-restarted cache missed %v times; the snapshot must cover the whole trace", misses)
+	}
+}
+
+// TestSimcacheDisabledForStatefulScheme checks the gate: a scheme whose
+// decode depends on session history (dbi1 carries bus state) must never be
+// cached, even with the tier enabled.
+func TestSimcacheDisabledForStatefulScheme(t *testing.T) {
+	cfg := testConfig()
+	cfg.SimCache.Enabled = true
+	srv := startServer(t, cfg)
+	txns := makeHotTxns(5, 500, 32, 0)
+	streamRecords(t, srv.Addr(), "dbi1", txns, 32)
+	body := httpGet(t, "http://"+srv.MetricsAddr()+"/metrics")
+	if strings.Contains(body, "bxtd_simcache_hits_total{scheme=\"dbi1\"") {
+		t.Error("stateful scheme dbi1 acquired a similarity cache")
+	}
+}

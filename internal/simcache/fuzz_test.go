@@ -1,0 +1,51 @@
+package simcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad hammers the snapshot reader with arbitrary bytes: it must never
+// panic, and whatever it accepts must leave the cache internally consistent
+// (Len within capacity, still usable for lookups).
+func FuzzLoad(f *testing.F) {
+	seed, err := New(Config{TxnBytes: 32, Capacity: 16, Shards: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var p Probe
+	for i := 0; i < 4; i++ {
+		src := bytes.Repeat([]byte{byte(i)}, 32)
+		seed.Insert(&p, src, src, []byte{byte(i)})
+	}
+	var valid bytes.Buffer
+	if err := seed.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("BXSC"))
+	f.Add(valid.Bytes()[:headerLen])
+	truncated := append([]byte(nil), valid.Bytes()...)
+	f.Add(truncated[:len(truncated)-5])
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		c, err := New(Config{TxnBytes: 32, Capacity: 16, Shards: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := c.Load(bytes.NewReader(raw))
+		if err != nil && c.Len() != 0 {
+			t.Fatalf("failed load left %d entries", c.Len())
+		}
+		if n < 0 || c.Len() > 16 {
+			t.Fatalf("loaded %d, cache holds %d with capacity 16", n, c.Len())
+		}
+		var p Probe
+		probe := bytes.Repeat([]byte{0xfe}, 32)
+		c.Insert(&p, probe, probe, nil)
+		if got := c.Lookup(&p, probe); got != HitExact {
+			t.Fatalf("cache unusable after load: %v", got)
+		}
+	})
+}

@@ -1,0 +1,559 @@
+// Package simcache is the similarity-aware transcoding cache tier: it caches
+// encoded reply records keyed by transaction content so the gateway can serve
+// repeated and near-repeated transactions without re-running the codec.
+//
+// The paper's premise is that traffic aggregated from many users is highly
+// self- and cross-similar; the codec exploits that within a transaction, and
+// this tier exploits it across transactions. Exact repeats are found through
+// a 64-bit content hash; near-duplicates are found with the same XOR+popcount
+// Hamming scan the BD-Encoding repository uses (core.HammingWords), kept off
+// the critical path by LSH-style banding: the word signature is cut into
+// Bands bit ranges, each hashed into a per-band bucket table, so a lookup
+// probes O(bucket) candidates instead of scanning every entry. By the
+// pigeonhole principle, two transactions within Hamming distance d share at
+// least one identical band whenever d < Bands, so with Threshold < Bands a
+// qualifying near-duplicate in the same shard is always found — up to the
+// scan budget that bounds bucket walks under heavy hot-key clustering. The
+// scan stops at the first candidate inside the threshold: any such
+// reference patches to the identical record, so "closest" buys nothing.
+//
+// The cache is sharded by the band-0 key so exact duplicates always land on
+// the same shard (identical content, identical bands); a near-duplicate is
+// only missed when its diff happens to touch band 0, trading a small recall
+// loss for per-shard locking. Each shard runs LRU eviction with entry
+// recycling, and lookups copy results into caller-owned Probe scratch so the
+// steady-state hit path allocates nothing.
+//
+// When configured with a channel width, entries additionally memoize the
+// wire-accounting summaries (bus.Summary) of the raw transaction and the
+// encoded record. The gateway's per-record bus walk costs more than the
+// codec itself on small transactions, so a hit that returns memoized
+// summaries lets the caller charge its buses with an O(1-beat) splice
+// (bus.Apply) instead of re-walking every beat — that, not the skipped
+// encode, is where the similarity tier earns its latency win.
+package simcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/hpca18/bxt/internal/bus"
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// Defaults for the tunables config leaves zero.
+const (
+	DefaultCapacity  = 65536
+	DefaultThreshold = 12 // bits, exclusive — matches bdenc's similarity cutoff
+	DefaultBands     = 16
+	DefaultShards    = 8
+)
+
+// scanBudget caps the candidates a near scan examines before giving up.
+// Banding keeps typical buckets tiny, but hot-key traffic concentrates
+// near-duplicates of one popular payload into shared buckets; the budget
+// turns that worst case from an unbounded walk into a bounded one.
+const scanBudget = 128
+
+// Config sizes a Cache. The zero value of every field other than TxnBytes
+// selects the package default.
+type Config struct {
+	// TxnBytes is the fixed transaction size in bytes; it must be a
+	// positive multiple of 8 (the signature word width).
+	TxnBytes int
+	// Capacity is the maximum number of cached entries across all shards.
+	Capacity int
+	// Threshold is the exclusive Hamming-distance cutoff in bits for
+	// near-duplicate hits, as in BD-Encoding: entries at distance
+	// < Threshold qualify.
+	Threshold int
+	// Bands is the number of LSH bands the signature is cut into. The
+	// total signature bits (TxnBytes*8) must divide evenly into Bands,
+	// and each band must either span whole 64-bit words or divide evenly
+	// into one. Full near-duplicate recall within a shard requires
+	// Threshold < Bands.
+	Bands int
+	// Shards is the number of independently locked shards.
+	Shards int
+	// ChannelWidthBits, when non-zero, makes every entry memoize its
+	// wire-accounting summaries for a data channel of that width: one
+	// bus.Summary for the raw transaction and one for the encoded record.
+	// The width must divide the transaction into whole beats. Zero
+	// disables summary memoization; there is no default.
+	ChannelWidthBits int
+	// MetaBits is the encoded record's side-band bit count, used for the
+	// encoded-record summary; it must divide evenly across the record's
+	// beats. Only meaningful with ChannelWidthBits set.
+	MetaBits int
+}
+
+func (cfg *Config) normalize() error {
+	if cfg.TxnBytes <= 0 || cfg.TxnBytes%8 != 0 {
+		return fmt.Errorf("simcache: transaction size %d is not a positive multiple of 8", cfg.TxnBytes)
+	}
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultThreshold
+	}
+	if cfg.Bands == 0 {
+		cfg.Bands = DefaultBands
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.Capacity < 1 {
+		return fmt.Errorf("simcache: capacity %d < 1", cfg.Capacity)
+	}
+	if cfg.Threshold < 1 {
+		return fmt.Errorf("simcache: threshold %d < 1", cfg.Threshold)
+	}
+	if cfg.Shards < 1 {
+		return fmt.Errorf("simcache: shards %d < 1", cfg.Shards)
+	}
+	totalBits := cfg.TxnBytes * 8
+	if cfg.Bands < 1 || totalBits%cfg.Bands != 0 {
+		return fmt.Errorf("simcache: %d bands do not evenly divide the %d-bit signature", cfg.Bands, totalBits)
+	}
+	bandBits := totalBits / cfg.Bands
+	if bandBits%64 != 0 && 64%bandBits != 0 {
+		return fmt.Errorf("simcache: band width %d bits does not align to 64-bit words", bandBits)
+	}
+	if cfg.ChannelWidthBits != 0 {
+		if cfg.ChannelWidthBits < 0 || cfg.ChannelWidthBits%8 != 0 {
+			return fmt.Errorf("simcache: invalid channel width %d", cfg.ChannelWidthBits)
+		}
+		beatBytes := cfg.ChannelWidthBits / 8
+		if cfg.TxnBytes%beatBytes != 0 {
+			return fmt.Errorf("simcache: %d-byte transactions do not fill %d-byte beats", cfg.TxnBytes, beatBytes)
+		}
+		if cfg.MetaBits < 0 || cfg.MetaBits%(cfg.TxnBytes/beatBytes) != 0 {
+			return fmt.Errorf("simcache: %d metadata bits do not divide across %d beats",
+				cfg.MetaBits, cfg.TxnBytes/beatBytes)
+		}
+	} else if cfg.MetaBits != 0 {
+		return fmt.Errorf("simcache: MetaBits set without ChannelWidthBits")
+	}
+	return nil
+}
+
+// Result classifies a Lookup outcome.
+type Result int
+
+const (
+	// Miss: nothing cached within Threshold; encode from scratch.
+	Miss Result = iota
+	// HitExact: the exact transaction is cached; Probe.Data/Probe.Meta
+	// hold the encoded record.
+	HitExact
+	// HitNear: a near-duplicate is cached; Probe.Ref/Probe.RefEnc hold
+	// its transaction and encoded payload for patch re-encoding.
+	HitNear
+)
+
+// String returns the result's name for logs and reports.
+func (r Result) String() string {
+	switch r {
+	case Miss:
+		return "miss"
+	case HitExact:
+		return "hit"
+	case HitNear:
+		return "near-hit"
+	default:
+		return fmt.Sprintf("Result(%d)", int(r))
+	}
+}
+
+// entry is one cached transaction. Buffers are recycled in place on
+// eviction, so a warm shard at capacity allocates nothing per insert.
+type entry struct {
+	hash  uint64   // content hash over words
+	words []uint64 // little-endian word signature
+	src   []byte   // original transaction bytes (near-hit patch reference)
+	data  []byte   // cached encoded payload
+	meta  []byte   // cached side-band metadata
+
+	// rawSum and encSum memoize the wire-accounting summaries of src and
+	// (data, meta); sums reports whether they were computed (the cache was
+	// configured with a channel width and the record fit its geometry).
+	rawSum, encSum bus.Summary
+	sums           bool
+
+	keys []uint64 // band keys, for bucket removal
+
+	prev, next *entry // recency list; nil-terminated at both ends
+	ref        bool   // hit since last relink (second-chance bit)
+}
+
+// shard is one independently locked slice of the cache.
+type shard struct {
+	mu       sync.Mutex
+	exact    map[uint64]*entry
+	bands    []map[uint64][]*entry // per band: key -> candidate bucket
+	head     *entry                // most recently used
+	tail     *entry                // least recently used
+	count    int
+	capacity int
+}
+
+// Cache is a similarity-aware cache of encoded transaction records. All
+// methods are safe for concurrent use.
+type Cache struct {
+	cfg      Config
+	words    int // signature words per transaction
+	bandBits int
+	shards   []shard
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	nearHits    atomic.Uint64
+	evictions   atomic.Uint64
+	nearDistSum atomic.Uint64 // total Hamming distance over near hits
+	entries     atomic.Int64
+}
+
+// New builds a Cache for cfg, applying package defaults to zero fields.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:      cfg,
+		words:    cfg.TxnBytes / 8,
+		bandBits: cfg.TxnBytes * 8 / cfg.Bands,
+		shards:   make([]shard, cfg.Shards),
+	}
+	perShard := (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.capacity = perShard
+		sh.exact = make(map[uint64]*entry)
+		sh.bands = make([]map[uint64][]*entry, cfg.Bands)
+		for b := range sh.bands {
+			sh.bands[b] = make(map[uint64][]*entry)
+		}
+	}
+	return c, nil
+}
+
+// Config returns the normalized configuration the cache runs with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Len returns the current number of cached entries.
+func (c *Cache) Len() int { return int(c.entries.Load()) }
+
+// Lookup probes the cache for src, filling p with the outcome. p is caller
+// scratch: reusing one Probe per session keeps the hit path allocation-free
+// once its buffers have warmed. Results are copied into p under the shard
+// lock, so they stay valid regardless of concurrent eviction. A src whose
+// length differs from the configured TxnBytes is a Miss.
+func (c *Cache) Lookup(p *Probe, src []byte) Result {
+	return c.lookup(p, src, true)
+}
+
+// LookupExact probes for exact repeats only, skipping the band scan. It is
+// the right call for sessions that could not act on a near hit anyway (no
+// PatchEncoder, or metadata-carrying records): the near scan's cost and its
+// counter traffic would both be wasted.
+func (c *Cache) LookupExact(p *Probe, src []byte) Result {
+	return c.lookup(p, src, false)
+}
+
+func (c *Cache) lookup(p *Probe, src []byte, near bool) Result {
+	p.HasSums = false
+	if len(src) != c.cfg.TxnBytes {
+		c.misses.Add(1)
+		return Miss
+	}
+	p.prepareExact(c, src)
+	sh := &c.shards[c.shardFor(p.keys[0])]
+	sh.mu.Lock()
+	if e := sh.exact[p.hash]; e != nil && wordsEqual(e.words, p.words) {
+		p.Data = append(p.Data[:0], e.data...)
+		p.Meta = append(p.Meta[:0], e.meta...)
+		if e.sums {
+			p.RawSum.CopyFrom(&e.rawSum)
+			p.EncSum.CopyFrom(&e.encSum)
+			p.HasSums = true
+		}
+		e.ref = true
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return HitExact
+	}
+	if near {
+		// First qualifying candidate wins: a patch against any reference
+		// within Threshold reproduces the codec's encoding of src exactly,
+		// so hunting for the closest one would buy nothing but scan time.
+		// Hot-key traffic makes that ruinous — every near-duplicate insert
+		// shares most band keys with its popular base, so the base's
+		// buckets grow with every variant and a best-of scan walks them
+		// all. The scan budget bounds the residual worst case (no nearby
+		// candidate, clustered buckets): past it the lookup declares a
+		// miss, costing recall only under pathological bucket skew.
+		p.completeBands(c)
+		budget := scanBudget
+		for b, k := range p.keys {
+			for _, e := range sh.bands[b][k] {
+				if d := core.HammingWords(p.words, e.words); d < c.cfg.Threshold {
+					p.Ref = append(p.Ref[:0], e.src...)
+					p.RefEnc = append(p.RefEnc[:0], e.data...)
+					p.Distance = d
+					e.ref = true
+					sh.mu.Unlock()
+					c.nearHits.Add(1)
+					c.nearDistSum.Add(uint64(d))
+					return HitNear
+				}
+				if budget--; budget == 0 {
+					break
+				}
+			}
+			if budget == 0 {
+				break
+			}
+		}
+	}
+	sh.mu.Unlock()
+	c.misses.Add(1)
+	return Miss
+}
+
+// Insert caches the encoded record (data, meta) for transaction src,
+// evicting the least recently used entry if the shard is full. p is the same
+// scratch Lookup uses; its signature state is recomputed here, so Insert is
+// valid with any Probe. src, data and meta are copied. When the cache
+// memoizes summaries, Insert leaves the freshly computed pair in p (HasSums
+// true), so the caller can charge its buses without a second walk.
+func (c *Cache) Insert(p *Probe, src, data, meta []byte) {
+	p.HasSums = false
+	if len(src) != c.cfg.TxnBytes {
+		return
+	}
+	// Summarize outside the shard lock; a record whose geometry does not
+	// fit the configured channel is cached without summaries.
+	if c.cfg.ChannelWidthBits != 0 {
+		raw := core.Encoded{Data: src}
+		rec := core.Encoded{Data: data, Meta: meta, MetaBits: c.cfg.MetaBits}
+		if bus.Summarize(&p.RawSum, &raw, c.cfg.ChannelWidthBits) == nil &&
+			bus.Summarize(&p.EncSum, &rec, c.cfg.ChannelWidthBits) == nil {
+			p.HasSums = true
+		}
+	}
+	p.prepare(c, src)
+	sh := &c.shards[c.shardFor(p.keys[0])]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e := sh.exact[p.hash]; e != nil {
+		if wordsEqual(e.words, p.words) {
+			// Refresh: deterministic codecs re-encode identically, but
+			// take the caller's bytes so an updated record wins.
+			e.data = append(e.data[:0], data...)
+			e.meta = append(e.meta[:0], meta...)
+			e.setSums(p)
+			e.ref = true
+			return
+		}
+		// 64-bit hash collision between different contents: drop the
+		// incumbent and recycle it for the new entry.
+		sh.unlink(e)
+		c.evictions.Add(1)
+		c.fill(sh, e, p, src, data, meta)
+		return
+	}
+	var e *entry
+	if sh.count >= sh.capacity {
+		e = sh.evictTail()
+		c.evictions.Add(1)
+	} else {
+		e = &entry{}
+		c.entries.Add(1)
+	}
+	c.fill(sh, e, p, src, data, meta)
+}
+
+// setSums copies the probe's summary pair into the entry (or marks the entry
+// summary-less when the probe has none).
+func (e *entry) setSums(p *Probe) {
+	e.sums = p.HasSums
+	if p.HasSums {
+		e.rawSum.CopyFrom(&p.RawSum)
+		e.encSum.CopyFrom(&p.EncSum)
+	}
+}
+
+// fill populates a detached entry from the probe state and links it into the
+// shard's maps and LRU front. Called with sh.mu held.
+func (c *Cache) fill(sh *shard, e *entry, p *Probe, src, data, meta []byte) {
+	e.hash = p.hash
+	e.words = append(e.words[:0], p.words...)
+	e.src = append(e.src[:0], src...)
+	e.data = append(e.data[:0], data...)
+	e.meta = append(e.meta[:0], meta...)
+	e.setSums(p)
+	e.keys = append(e.keys[:0], p.keys...)
+	e.ref = false
+	sh.exact[e.hash] = e
+	for b, k := range e.keys {
+		sh.bands[b][k] = append(sh.bands[b][k], e)
+	}
+	sh.pushFront(e)
+	sh.count++
+}
+
+// unlink removes e from the shard's maps and LRU list, leaving it detached
+// for recycling. Called with sh.mu held.
+func (sh *shard) unlink(e *entry) {
+	if sh.exact[e.hash] == e {
+		delete(sh.exact, e.hash)
+	}
+	for b, k := range e.keys {
+		bucket := sh.bands[b][k]
+		for i, cand := range bucket {
+			if cand == e {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket[len(bucket)-1] = nil
+				bucket = bucket[:len(bucket)-1]
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(sh.bands[b], k)
+		} else {
+			sh.bands[b][k] = bucket
+		}
+	}
+	sh.remove(e)
+	sh.count--
+}
+
+func (sh *shard) pushFront(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) moveFront(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.remove(e)
+	sh.pushFront(e)
+}
+
+// evictTail detaches and returns the eviction victim. Hits do not relink —
+// a strict move-to-front would dirty both neighbor entries' cache lines on
+// every hit, which dominates the hit cost once the working set outgrows L2 —
+// they only set the entry's second-chance bit. The debt is settled here:
+// a marked tail rotates to the front (consuming its chance) and the walk
+// continues; each rotation clears a bit, so the loop terminates. Called with
+// sh.mu held and at least one entry linked.
+func (sh *shard) evictTail() *entry {
+	for {
+		e := sh.tail
+		if !e.ref {
+			sh.unlink(e)
+			return e
+		}
+		e.ref = false
+		sh.moveFront(e)
+	}
+}
+
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, w := range a {
+		if w != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	Hits        uint64 // exact hits
+	NearHits    uint64 // near-duplicate hits served by patching
+	Misses      uint64 // lookups that found nothing within Threshold
+	Evictions   uint64 // entries dropped by LRU pressure or hash collision
+	NearDistSum uint64 // total Hamming distance across near hits
+	Entries     int    // current cached entries
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:        c.hits.Load(),
+		NearHits:    c.nearHits.Load(),
+		Misses:      c.misses.Load(),
+		Evictions:   c.evictions.Load(),
+		NearDistSum: c.nearDistSum.Load(),
+		Entries:     c.Len(),
+	}
+}
+
+// HitRate returns the fraction of lookups served from the cache (exact plus
+// near), or 0 when no lookups have happened.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.NearHits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.NearHits) / float64(total)
+}
+
+// AvgNearDistance returns the mean Hamming distance of near hits in bits —
+// the measured similarity of the traffic — or 0 when none have happened.
+func (s Stats) AvgNearDistance() float64 {
+	if s.NearHits == 0 {
+		return 0
+	}
+	return float64(s.NearDistSum) / float64(s.NearHits)
+}
+
+// Clear drops every entry, returning the cache to cold. Counters are
+// retained.
+func (c *Cache) Clear() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for e := sh.head; e != nil; {
+			next := e.next
+			e.prev, e.next = nil, nil
+			e = next
+		}
+		sh.head, sh.tail = nil, nil
+		c.entries.Add(int64(-sh.count))
+		sh.count = 0
+		sh.exact = make(map[uint64]*entry)
+		for b := range sh.bands {
+			sh.bands[b] = make(map[uint64][]*entry)
+		}
+		sh.mu.Unlock()
+	}
+}
