@@ -56,6 +56,7 @@ func main() {
 	admitTimeout := flag.Duration("admit-timeout", def.AdmitTimeout, "worker-slot wait above which a batch is shed with a Busy reply")
 	maxPending := flag.Int("max-pending", def.MaxPending, "batches waiting for workers before immediate shedding")
 	maxProtocol := flag.Int("max-protocol", def.MaxProtocol, "highest BXTP revision to negotiate (compatibility drills)")
+	traceBuffer := flag.Int("trace-buffer", def.TraceBuffer, "batch spans retained by /debug/trace")
 	chaos := flag.String("chaos", "", "self-sabotage for fault drills: inject faults per this spec, e.g. seed=7,corrupt=0.01,panic=0.001 (keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms, err, panic)")
 	simcache := flag.Bool("simcache", def.SimCache.Enabled, "serve repeated and near-repeated transactions from the similarity cache (deterministic schemes only)")
 	simcacheCap := flag.Int("simcache-capacity", def.SimCache.Capacity, "similarity cache entries per (scheme, txn-size) instance (0 selects the default)")
@@ -95,6 +96,7 @@ func main() {
 		AdmitTimeout:     *admitTimeout,
 		MaxPending:       *maxPending,
 		MaxProtocol:      *maxProtocol,
+		TraceBuffer:      *traceBuffer,
 		SimCache: config.SimCache{
 			Enabled:      *simcache,
 			Capacity:     *simcacheCap,

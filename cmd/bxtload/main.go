@@ -52,6 +52,26 @@ type latencyQuantiles struct {
 	MeanMS float64 `json:"mean_ms"`
 }
 
+// traceSummary is the -json rendering of one recorded client span.
+type traceSummary struct {
+	TraceID string             `json:"trace_id"`
+	TotalMS float64            `json:"total_ms"`
+	Stages  map[string]float64 `json:"stages_ms"`
+}
+
+// slowestSpan returns the recorded span with the largest summed stage
+// time, or false when the ring is empty.
+func slowestSpan(ring *obs.TraceRing) (obs.Span, bool) {
+	var worst obs.Span
+	found := false
+	for _, sp := range ring.Snapshot() {
+		if !found || sp.Total() > worst.Total() {
+			worst, found = sp, true
+		}
+	}
+	return worst, found
+}
+
 func quantiles(h *obs.Histogram) latencyQuantiles {
 	return latencyQuantiles{
 		Count:  h.Count(),
@@ -92,6 +112,11 @@ type summary struct {
 	// all-zero on a clean run with no retries configured.
 	Recovery client.RetryStats `json:"recovery"`
 
+	// SlowestTrace identifies the slowest batch of a -trace run: its trace
+	// id is the key to the gateway's (and any proxy's) /debug/trace
+	// surface, where the server-side legs of the same batch live.
+	SlowestTrace *traceSummary `json:"slowest_trace,omitempty"`
+
 	OnesBefore    uint64  `json:"ones_before"`
 	OnesAfter     uint64  `json:"ones_after"`
 	TogglesBefore uint64  `json:"toggles_before"`
@@ -120,6 +145,7 @@ func main() {
 	hotKeys := flag.Int("hot-keys", 64, "zipf: hot-set cardinality")
 	repeat := flag.Float64("repeat", 0.9, "zipf: probability a transaction re-serves a hot key")
 	flipBits := flag.Int("flip-bits", 0, "zipf: flip up to this many random bits per repeat (near-duplicates instead of exact copies)")
+	traceSpans := flag.Bool("trace", false, "record client-side batch spans and report the slowest batch's trace id")
 	listWorkloads := flag.Bool("workloads", false, "list workload names")
 	flag.Parse()
 
@@ -168,6 +194,13 @@ func main() {
 	// aggregate per (scheme, stage) exactly like the gateway's.
 	tracer := obs.NewHistogramTracer(nil)
 	ccfg.Tracer = tracer
+	var ring *obs.TraceRing
+	if *traceSpans {
+		// One ring shared by every connection, sized for the whole run so
+		// the slowest batch is never evicted before the report.
+		ring = obs.NewTraceRing(*conns * (*total + *batch - 1) / *batch)
+		ccfg.Trace = ring
+	}
 	results := make([]connResult, *conns)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -249,6 +282,26 @@ func main() {
 			sum.BaselinePJ/1e6, sum.EncodedPJ/1e6,
 			100*sum.EnergySavedPJ()/sum.BaselinePJ)
 	}
+	var slowest *traceSummary
+	if ring != nil {
+		if sp, ok := slowestSpan(ring); ok {
+			slowest = &traceSummary{
+				TraceID: obs.FormatTraceID(sp.TraceID),
+				TotalMS: float64(sp.Total()) / 1e6,
+				Stages:  map[string]float64{},
+			}
+			fmt.Printf("slowest batch: trace %s, %s total (", slowest.TraceID, sp.Total().Round(10*time.Microsecond))
+			for i, st := range sp.Stages() {
+				slowest.Stages[string(st.Stage)] = float64(st.Nanos) / 1e6
+				if i > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Printf("%s %s", st.Stage, time.Duration(st.Nanos).Round(10*time.Microsecond))
+			}
+			fmt.Println(")")
+			fmt.Printf("               query the fleet with /debug/trace?trace=%s\n", slowest.TraceID)
+		}
+	}
 
 	if *jsonOut != "" {
 		doc := summary{
@@ -272,6 +325,7 @@ func main() {
 			BaselinePJ:        sum.BaselinePJ,
 			EncodedPJ:         sum.EncodedPJ,
 			SavedPJ:           sum.EnergySavedPJ(),
+			SlowestTrace:      slowest,
 		}
 		if skew > 0 {
 			doc.Distribution = "zipf"

@@ -48,7 +48,8 @@ func main() {
 	retryHint := flag.Duration("retry-hint", def.RetryHint, "retry-after carried by failover Busy replies")
 	logLevel := flag.String("log-level", def.LogLevel, "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", def.LogFormat, "log handler: text or json")
-	debug := flag.Bool("debug", def.Debug, "serve /debug/pprof/ on the metrics port")
+	debug := flag.Bool("debug", def.Debug, "serve /debug/pprof/ and /debug/trace on the metrics port")
+	traceBuffer := flag.Int("trace-buffer", def.TraceBuffer, "relay spans retained by /debug/trace")
 	chaos := flag.String("chaos", "", "fault drill: inject faults into the backend leg per this spec, e.g. seed=7,corrupt=0.01 (keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms, err, panic)")
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 		LogLevel:        *logLevel,
 		LogFormat:       *logFormat,
 		Debug:           *debug,
+		TraceBuffer:     *traceBuffer,
 	}
 	px, err := proxy.New(cfg)
 	if err != nil {

@@ -72,6 +72,13 @@ type Config struct {
 	// with Busy, and treats any batch failure as fatal. Version reports
 	// what was agreed.
 	Protocol uint8
+	// Trace, when non-nil, records one client-side span per successful
+	// Transcode (frame_write and frame_read stages plus the reply's wire
+	// accounting) into the given ring. On protocol v3 sessions the span
+	// carries the batch's end-to-end trace id — the same id the gateway
+	// and any proxy record their legs under — so one LastTraceID value
+	// correlates all three /debug/trace surfaces.
+	Trace *obs.TraceRing
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +145,11 @@ type Client struct {
 	// id numbers outgoing batches; replies are matched against it so a
 	// retry can never be double-applied.
 	id uint64
+	// traceID is the current batch's end-to-end trace id: drawn fresh
+	// (and nonzero) per Transcode call, stable across that call's
+	// retries so every attempt of one logical batch shares one trace.
+	// Carried on the wire only by protocol v3 sessions.
+	traceID uint64
 	// epoch advances whenever the server-side codec restarted: on every
 	// reconnect (a new session starts a fresh codec) and on a BatchError
 	// carrying the reset flag. Stateful-scheme callers reset their
@@ -312,6 +324,22 @@ func (c *Client) Epoch() uint64 { return c.epoch }
 // RetryStats returns the fault-recovery counters accumulated so far.
 func (c *Client) RetryStats() RetryStats { return c.stats }
 
+// LastTraceID returns the trace id of the most recent Transcode call
+// (zero before the first call). On protocol v3 sessions the same id
+// labels the gateway's and any proxy's spans for that batch, so it is
+// the key to query their /debug/trace surfaces with.
+func (c *Client) LastTraceID() uint64 { return c.traceID }
+
+// newTraceID draws a nonzero trace id; zero is reserved to mean
+// "untraced" throughout the stack.
+func newTraceID() uint64 {
+	for {
+		if id := rand.Uint64(); id != 0 {
+			return id
+		}
+	}
+}
+
 // exchangeKind classifies one batch exchange's outcome.
 type exchangeKind int
 
@@ -336,6 +364,9 @@ func (c *Client) Transcode(txns []trace.Transaction) (trace.BatchReply, error) {
 	}
 	c.id++
 	id := c.id
+	// One trace id per logical batch: retries of this call reuse it, so
+	// every attempt's spans line up under a single trace.
+	c.traceID = newTraceID()
 	var lastErr error
 	var hint time.Duration
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
@@ -376,9 +407,12 @@ func (c *Client) exchange(id uint64, txns []trace.Transaction) (trace.BatchReply
 	writeStart := time.Now()
 	var body []byte
 	var err error
-	if c.version >= 2 {
+	switch {
+	case c.version >= 3:
+		body, err = trace.AppendBatch(trace.AppendTraceEnvelope(c.bbuf[:0], id, c.traceID), txns, c.txnSize)
+	case c.version >= 2:
 		body, err = trace.AppendBatch(trace.AppendBatchEnvelope(c.bbuf[:0], id), txns, c.txnSize)
-	} else {
+	default:
 		// v1 framing: no batch envelope on either direction.
 		body, err = trace.AppendBatch(c.bbuf[:0], txns, c.txnSize)
 	}
@@ -399,17 +433,30 @@ func (c *Client) exchange(id uint64, txns []trace.Transaction) (trace.BatchReply
 		return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("client: sending batch: %w", err)
 	}
 	readStart := time.Now()
-	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageFrameWrite, readStart.Sub(writeStart))
+	writeDur := readStart.Sub(writeStart)
+	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageFrameWrite, writeDur)
 	ft, rbody, err := c.readFrame()
 	if err != nil {
 		return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("client: reading reply: %w", err)
 	}
-	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageFrameRead, time.Since(readStart))
+	readDur := time.Since(readStart)
+	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageFrameRead, readDur)
 	switch ft {
 	case trace.FrameBatchReply:
 		payload := rbody
 		if c.version >= 2 {
-			rid, p, err := trace.OpenBatchEnvelope(rbody)
+			var rid uint64
+			var p []byte
+			if c.version >= 3 {
+				var rtrace uint64
+				rid, rtrace, p, err = trace.OpenTraceEnvelope(rbody)
+				if err == nil && rtrace != c.traceID {
+					return trace.BatchReply{}, 0, exchangeBroken,
+						fmt.Errorf("client: reply carries trace %#x, expected %#x (stream desynchronized)", rtrace, c.traceID)
+				}
+			} else {
+				rid, p, err = trace.OpenBatchEnvelope(rbody)
+			}
 			if err != nil {
 				// A CRC failure here is wire damage on the reply path; the
 				// server already applied the batch, so the session's codec
@@ -427,6 +474,17 @@ func (c *Client) exchange(id uint64, txns []trace.Transaction) (trace.BatchReply
 			return trace.BatchReply{}, 0, exchangeBroken, err
 		}
 		c.recs = reply.Records
+		if c.cfg.Trace != nil {
+			var sp obs.Span
+			sp.Reset(c.traceID, id, 0, c.scheme)
+			sp.Observe(obs.StageFrameWrite, writeDur)
+			sp.Observe(obs.StageFrameRead, readDur)
+			sp.Txns = int(reply.Stats.Transactions)
+			sp.DataBits = reply.Stats.DataBits
+			sp.BaseOnes, sp.EncOnes = reply.Stats.OnesBefore, reply.Stats.OnesAfter
+			sp.BaseToggles, sp.EncToggles = reply.Stats.TogglesBefore, reply.Stats.TogglesAfter
+			c.cfg.Trace.Add(&sp)
+		}
 		return reply, 0, exchangeOK, nil
 	case trace.FrameBusy:
 		if c.version < 2 {

@@ -160,6 +160,8 @@ type Server struct {
 	// forces the pre-fault-tolerance framing fleet-wide, which exists for
 	// compatibility drills and staged protocol rollouts.
 	MaxProtocol int
+	// TraceBuffer is how many batch spans the /debug/trace ring retains.
+	TraceBuffer int
 	// SimCache configures the similarity-aware transcoding cache tier.
 	SimCache SimCache
 }
@@ -239,6 +241,7 @@ func DefaultServer() Server {
 		AdmitTimeout:     500 * time.Millisecond,
 		MaxPending:       32,
 		MaxProtocol:      trace.ProtocolVersion,
+		TraceBuffer:      2048,
 	}
 }
 
@@ -304,6 +307,9 @@ func (s Server) Validate() error {
 		return fmt.Errorf("config: max protocol %d outside [%d, %d]",
 			s.MaxProtocol, trace.MinProtocolVersion, trace.ProtocolVersion)
 	}
+	if s.TraceBuffer <= 0 {
+		return fmt.Errorf("config: trace buffer size %d is not positive", s.TraceBuffer)
+	}
 	if err := s.SimCache.Validate(); err != nil {
 		return err
 	}
@@ -357,8 +363,10 @@ type Proxy struct {
 	// handler, as on the gateway.
 	LogLevel  string
 	LogFormat string
-	// Debug mounts /debug/pprof/ on the metrics listener.
+	// Debug mounts /debug/pprof/ and /debug/trace on the metrics listener.
 	Debug bool
+	// TraceBuffer is how many relay spans the /debug/trace ring retains.
+	TraceBuffer int
 }
 
 // DefaultProxy returns the proxy tier's default configuration: one local
@@ -383,6 +391,7 @@ func DefaultProxy() Proxy {
 		LogLevel:        "info",
 		LogFormat:       "text",
 		Debug:           true,
+		TraceBuffer:     2048,
 	}
 }
 
@@ -439,6 +448,9 @@ func (p Proxy) Validate() error {
 	}
 	if f := strings.ToLower(p.LogFormat); f != "text" && f != "json" {
 		return fmt.Errorf("config: unknown log format %q (want text or json)", p.LogFormat)
+	}
+	if p.TraceBuffer <= 0 {
+		return fmt.Errorf("config: trace buffer size %d is not positive", p.TraceBuffer)
 	}
 	return nil
 }

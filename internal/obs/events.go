@@ -3,22 +3,84 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
 
 // Event is one entry on the /debug/events surface: a connection or batch
 // lifecycle moment with enough labels to correlate against logs and
-// metrics.
+// metrics. Level is the event's severity (a zero Level is stamped with the
+// type's default on Add); TraceID, when nonzero, links the event to its
+// batch's spans on /debug/trace.
 type Event struct {
 	Time       time.Time `json:"time"`
 	Type       string    `json:"type"`
+	Level      Level     `json:"level,omitempty"`
 	Session    uint64    `json:"session,omitempty"`
 	Scheme     string    `json:"scheme,omitempty"`
 	Detail     string    `json:"detail,omitempty"`
 	Txns       int       `json:"txns,omitempty"`
 	Batches    uint64    `json:"batches,omitempty"`
 	DurationMS float64   `json:"duration_ms,omitempty"`
+	TraceID    uint64    `json:"trace_id,omitempty"`
+}
+
+// Level is an event severity, ordered debug < info < warn < error.
+type Level string
+
+// Event severities.
+const (
+	LevelDebug Level = "debug"
+	LevelInfo  Level = "info"
+	LevelWarn  Level = "warn"
+	LevelError Level = "error"
+)
+
+// levelRank orders severities for min_level filtering; unknown levels rank
+// below debug so a typo filters nothing out by accident.
+func levelRank(l Level) int {
+	switch l {
+	case LevelDebug:
+		return 1
+	case LevelInfo:
+		return 2
+	case LevelWarn:
+		return 3
+	case LevelError:
+		return 4
+	}
+	return 0
+}
+
+// ParseEventLevel resolves a severity name, accepting "warning" for warn.
+func ParseEventLevel(s string) (Level, bool) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, true
+	case "info":
+		return LevelInfo, true
+	case "warn", "warning":
+		return LevelWarn, true
+	case "error":
+		return LevelError, true
+	}
+	return "", false
+}
+
+// defaultLevel maps each well-known event type to its severity; types this
+// package does not know default to info.
+func defaultLevel(eventType string) Level {
+	switch eventType {
+	case EventSlowBatch, EventBusy:
+		return LevelDebug
+	case EventHandshakeFailed, EventConnRefused, EventBatchFault,
+		EventSlowClient, EventSimcacheError:
+		return LevelWarn
+	case EventCodecPanic, EventFaultBudget:
+		return LevelError
+	}
+	return LevelInfo
 }
 
 // Well-known event types recorded by the gateway.
@@ -75,10 +137,13 @@ func NewEventBuffer(n int) *EventBuffer {
 }
 
 // Add appends one event, evicting the oldest when full. A zero Time is
-// stamped with the current time.
+// stamped with the current time; a zero Level with the type's default.
 func (b *EventBuffer) Add(e Event) {
 	if e.Time.IsZero() {
 		e.Time = time.Now()
+	}
+	if e.Level == "" {
+		e.Level = defaultLevel(e.Type)
 	}
 	b.mu.Lock()
 	if len(b.ring) < cap(b.ring) {
@@ -109,13 +174,54 @@ func (b *EventBuffer) Snapshot() []Event {
 }
 
 // ServeHTTP answers with a JSON document: total event count plus the
-// retained window, oldest first.
+// retained window, oldest first. Query parameters filter the window (not
+// the total): ?kind= keeps only the named event types (comma-separated),
+// ?min_level= drops events below the given severity, ?trace= keeps one
+// trace id's events.
 func (b *EventBuffer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	events := b.Snapshot()
+
+	if v := q.Get("kind"); v != "" {
+		keep := make(map[string]bool)
+		for _, k := range strings.Split(v, ",") {
+			keep[strings.TrimSpace(k)] = true
+		}
+		events = filterEvents(events, func(e *Event) bool { return keep[e.Type] })
+	}
+	if v := q.Get("min_level"); v != "" {
+		min, ok := ParseEventLevel(v)
+		if !ok {
+			http.Error(w, "bad min_level (want debug|info|warn|error)", http.StatusBadRequest)
+			return
+		}
+		rank := levelRank(min)
+		events = filterEvents(events, func(e *Event) bool { return levelRank(e.Level) >= rank })
+	}
+	if v := q.Get("trace"); v != "" {
+		id, err := ParseTraceID(v)
+		if err != nil {
+			http.Error(w, "bad trace id: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		events = filterEvents(events, func(e *Event) bool { return e.TraceID == id })
+	}
+
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(struct {
 		Total  uint64  `json:"total"`
 		Events []Event `json:"events"`
-	}{b.Total(), b.Snapshot()})
+	}{b.Total(), events})
+}
+
+func filterEvents(events []Event, keep func(*Event) bool) []Event {
+	out := events[:0]
+	for i := range events {
+		if keep(&events[i]) {
+			out = append(out, events[i])
+		}
+	}
+	return out
 }

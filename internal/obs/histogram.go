@@ -28,6 +28,11 @@ type Histogram struct {
 	count  uint64
 	// overflow counts observations >= hi; they appear only in +Inf.
 	overflow uint64
+	// exMax and exTrace are the slow-batch exemplar: the largest traced
+	// observation so far and the trace id that caused it, linking the
+	// histogram's tail to a span on the /debug/trace surface.
+	exMax   float64
+	exTrace uint64
 }
 
 // NewHistogram builds a histogram spanning [lo, hi) seconds with
@@ -64,7 +69,11 @@ func NewLatencyHistogram() *Histogram {
 }
 
 // Observe records one value in seconds.
-func (h *Histogram) Observe(sec float64) {
+func (h *Histogram) Observe(sec float64) { h.ObserveEx(sec, 0) }
+
+// ObserveEx is Observe carrying the observation's trace id; a nonzero id
+// that sets a new maximum becomes the histogram's slow-batch exemplar.
+func (h *Histogram) ObserveEx(sec float64, traceID uint64) {
 	h.mu.Lock()
 	h.sum += sec
 	h.count++
@@ -73,11 +82,27 @@ func (h *Histogram) Observe(sec float64) {
 	} else {
 		h.bins.Add(math.Log10(math.Max(sec, h.lo)))
 	}
+	if traceID != 0 && sec >= h.exMax {
+		h.exMax, h.exTrace = sec, traceID
+	}
 	h.mu.Unlock()
 }
 
 // ObserveDuration records one duration.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveDurationEx is ObserveDuration carrying the observation's trace id.
+func (h *Histogram) ObserveDurationEx(d time.Duration, traceID uint64) {
+	h.ObserveEx(d.Seconds(), traceID)
+}
+
+// Exemplar returns the slowest traced observation and its trace id (zero
+// when no traced observation has been recorded).
+func (h *Histogram) Exemplar() (sec float64, traceID uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.exMax, h.exTrace
+}
 
 // HistogramSnapshot is a consistent copy of a histogram for exposition.
 type HistogramSnapshot struct {

@@ -21,6 +21,12 @@ const (
 	// the server this includes the idle time until the client's next
 	// batch arrives; on the client it is the wait for the reply.
 	StageFrameRead Stage = "frame_read"
+	// StageAdmission is the wait for a worker-pool slot at the gateway's
+	// admission gate. Like simcache_lookup it is not listed in Stages():
+	// batches that fault before admission (envelope or parse errors)
+	// never reach the gate, so its count tracks admitted batches, not
+	// frames read.
+	StageAdmission Stage = "admission"
 	// StageEncode is the codec encode pass over one batch.
 	StageEncode Stage = "codec_encode"
 	// StageAccount is the PHY/energy accounting pass: baseline and

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MetricPoint is one parsed Prometheus text-format sample.
+type MetricPoint struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns one label value ("" when absent).
+func (p *MetricPoint) Label(name string) string { return p.Labels[name] }
+
+// ParsePromText parses a Prometheus text-format (0.0.4) exposition into its
+// samples. It understands exactly what this repository's expositions emit —
+// optional # comment lines, `name{label="value",...} value` samples with
+// backslash-escaped label values, and bare `name value` samples — which is
+// all bxtstat and the scrape tests need; it is not a general OpenMetrics
+// parser. Timestamps are rejected: the stack never emits them.
+func ParsePromText(r io.Reader) ([]MetricPoint, error) {
+	var out []MetricPoint
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p, err := parsePromLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("obs: metrics line %d: %w", lineNo, err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parsePromLine(line string) (MetricPoint, error) {
+	var p MetricPoint
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return p, fmt.Errorf("sample %q has no value", line)
+	} else {
+		p.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if p.Name == "" {
+		return p, fmt.Errorf("sample %q has no metric name", line)
+	}
+	if rest[0] == '{' {
+		labels, tail, err := parsePromLabels(rest)
+		if err != nil {
+			return p, err
+		}
+		p.Labels = labels
+		rest = tail
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return p, fmt.Errorf("sample %q: want exactly one value, got %d fields", line, len(fields))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return p, fmt.Errorf("sample %q: bad value: %w", line, err)
+	}
+	p.Value = v
+	return p, nil
+}
+
+// parsePromLabels consumes a {name="value",...} block, returning the labels
+// and the remaining text after the closing brace.
+func parsePromLabels(s string) (map[string]string, string, error) {
+	labels := make(map[string]string)
+	s = s[1:] // past '{'
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return nil, "", fmt.Errorf("unterminated label block")
+		}
+		if s[0] == '}' {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if name == "" || len(s) == 0 || s[0] != '"' {
+			return nil, "", fmt.Errorf("malformed label %q", name)
+		}
+		val, tail, err := unquotePromString(s)
+		if err != nil {
+			return nil, "", err
+		}
+		labels[name] = val
+		s = strings.TrimLeft(tail, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+		}
+	}
+}
+
+// unquotePromString consumes a leading double-quoted string with the text
+// format's escapes (\\, \", \n) and returns the decoded value and the tail.
+func unquotePromString(s string) (string, string, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			return b.String(), s[i+1:], nil
+		case '\\':
+			i++
+			if i >= len(s) {
+				return "", "", fmt.Errorf("truncated escape in label value")
+			}
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				b.WriteByte(s[i])
+			}
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", "", fmt.Errorf("unterminated label value")
+}
+
+// FindMetric returns the first sample matching name and every given label
+// pair, or nil.
+func FindMetric(points []MetricPoint, name string, labelPairs ...string) *MetricPoint {
+	if len(labelPairs)%2 != 0 {
+		panic("obs: FindMetric needs name/value pairs")
+	}
+next:
+	for i := range points {
+		p := &points[i]
+		if p.Name != name {
+			continue
+		}
+		for j := 0; j < len(labelPairs); j += 2 {
+			if p.Labels[labelPairs[j]] != labelPairs[j+1] {
+				continue next
+			}
+		}
+		return p
+	}
+	return nil
+}
+
+// SumMetric sums every sample matching name and the given label pairs.
+func SumMetric(points []MetricPoint, name string, labelPairs ...string) float64 {
+	if len(labelPairs)%2 != 0 {
+		panic("obs: SumMetric needs name/value pairs")
+	}
+	var sum float64
+next:
+	for i := range points {
+		p := &points[i]
+		if p.Name != name {
+			continue
+		}
+		for j := 0; j < len(labelPairs); j += 2 {
+			if p.Labels[labelPairs[j]] != labelPairs[j+1] {
+				continue next
+			}
+		}
+		sum += p.Value
+	}
+	return sum
+}

@@ -16,6 +16,7 @@ package power
 import (
 	"github.com/hpca18/bxt/internal/bus"
 	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/phy"
 )
 
@@ -91,6 +92,40 @@ func (m *Model) Estimate(s bus.Stats) Breakdown {
 		IOStatic:      IOStaticEnergyPerBit * dataBits,
 		IOTermination: m.PHY.TerminationEnergyPerOne() * float64(s.Ones()),
 		IOSwitching:   m.PHY.ToggleEnergy() * float64(s.Toggles()),
+	}
+}
+
+// Component names for the telemetry exposition, in Breakdown field order.
+const (
+	ComponentBackground    = "background"
+	ComponentActivate      = "activate"
+	ComponentCoreAccess    = "core_access"
+	ComponentIOStatic      = "io_static"
+	ComponentIOTermination = "io_termination"
+	ComponentIOSwitching   = "io_switching"
+)
+
+// Components decomposes b into named terms in canonical order.
+func (b Breakdown) Components() []obs.EnergyComponent {
+	return []obs.EnergyComponent{
+		{Name: ComponentBackground, Joules: b.Background},
+		{Name: ComponentActivate, Joules: b.Activate},
+		{Name: ComponentCoreAccess, Joules: b.CoreAccess},
+		{Name: ComponentIOStatic, Joules: b.IOStatic},
+		{Name: ComponentIOTermination, Joules: b.IOTermination},
+		{Name: ComponentIOSwitching, Joules: b.IOSwitching},
+	}
+}
+
+// Estimator adapts the model to the obs energy-telemetry pipeline. The
+// returned function is pure in the model's configuration, so evaluating it
+// over the same integer wire statistics always reproduces the same
+// float64 joules — the property the live-vs-offline differential test
+// checks. (obs cannot import this package — power depends on config, which
+// depends on obs — hence the callback indirection.)
+func (m *Model) Estimator() obs.EnergyEstimator {
+	return func(s bus.Stats) []obs.EnergyComponent {
+		return m.Estimate(s).Components()
 	}
 }
 

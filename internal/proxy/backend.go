@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/trace"
 )
 
@@ -40,6 +41,11 @@ type backend struct {
 	// succeeds.
 	consec  atomic.Int64
 	ejected atomic.Bool
+
+	// energy accumulates the wire activity this backend reported in its
+	// relayed BatchStats replies, feeding the proxy's per-backend
+	// bxtproxy_wire_* and bxtproxy_energy_* families. Set once at New.
+	energy *obs.EnergyCounter
 
 	mu     sync.Mutex
 	pool   map[poolKey][]*upstream

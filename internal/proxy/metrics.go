@@ -33,24 +33,40 @@ type metrics struct {
 	// frame_read and frame_write for the client leg, backend_exchange for
 	// the upstream round trip.
 	stages *obs.HistogramTracer
+
+	// energy holds the per-backend wire-activity counters rebuilt from
+	// relayed BatchStats replies; est evaluates them through the power
+	// model at exposition. traces is the relay-span ring behind
+	// /debug/trace.
+	energy *obs.EnergyMeter
+	est    obs.EnergyEstimator
+	traces *obs.TraceRing
 }
 
-func newMetrics() *metrics {
-	return &metrics{stages: obs.NewHistogramTracer(nil)}
+func newMetrics(traceBuffer int, est obs.EnergyEstimator) *metrics {
+	return &metrics{
+		stages: obs.NewHistogramTracer(nil),
+		energy: obs.NewEnergyMeter(0, 0),
+		est:    est,
+		traces: obs.NewTraceRing(traceBuffer),
+	}
 }
 
 // writeExposition renders the full /metrics document: proxy state, one
-// series set per configured backend, stage latency histograms, and Go
-// runtime gauges.
+// series set per configured backend (including the wire and energy
+// families aggregated per backend from relayed BatchStats), stage latency
+// histograms, and Go runtime gauges. The connection, wire, and energy
+// families render through the obs.Expo registry shared with bxtd.
 func (m *metrics) writeExposition(w io.Writer, backends []*backend, draining bool) {
-	d := 0
+	e := obs.Expo{W: w, Prefix: "bxtproxy_"}
+	d := int64(0)
 	if draining {
 		d = 1
 	}
-	fmt.Fprintf(w, "bxtproxy_draining %d\n", d)
-	fmt.Fprintf(w, "bxtproxy_connections_active %d\n", m.connsActive.Load())
-	fmt.Fprintf(w, "bxtproxy_connections_total %d\n", m.connsTotal.Load())
-	fmt.Fprintf(w, "bxtproxy_connections_rejected_total %d\n", m.connsRejected.Load())
+	e.Int(obs.FamDraining, "", d)
+	e.Int(obs.FamConnsActive, "", m.connsActive.Load())
+	e.Uint(obs.FamConnsTotal, "", m.connsTotal.Load())
+	e.Uint(obs.FamConnsRejected, "", m.connsRejected.Load())
 	fmt.Fprintf(w, "bxtproxy_busy_converted_total %d\n", m.busyConverted.Load())
 	fmt.Fprintf(w, "bxtproxy_batch_error_converted_total %d\n", m.faultConverted.Load())
 	fmt.Fprintf(w, "bxtproxy_v1_fatal_conversions_total %d\n", m.v1Fatal.Load())
@@ -70,6 +86,9 @@ func (m *metrics) writeExposition(w io.Writer, backends []*backend, draining boo
 		fmt.Fprintf(w, "bxtproxy_backend_probes_total{backend=%q} %d\n", b.addr, b.probes.Load())
 		fmt.Fprintf(w, "bxtproxy_backend_pool_idle{backend=%q} %d\n", b.addr, b.poolIdle())
 	}
+
+	obs.WriteEnergyMetrics(e, "backend", m.energy, m.est)
+	e.Uint(obs.FamTraceSpans, "", m.traces.Total())
 
 	m.stages.WritePrometheus(w, "bxtproxy_stage_seconds")
 	obs.WriteRuntimeMetrics(w, "bxtproxy")

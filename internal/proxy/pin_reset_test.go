@@ -1,0 +1,158 @@
+package proxy
+
+import (
+	"testing"
+	"time"
+
+	"github.com/hpca18/bxt/internal/client"
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/scheme"
+	"github.com/hpca18/bxt/internal/server"
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// TestEjectedPinForcesCodecReset stages the race the chaos drill only
+// sometimes produces: a pinned session whose backend is marked ejected
+// (by the prober or another session's failure count) while the session's
+// own upstream connection is still perfectly alive. The proxy must NOT
+// silently migrate the pin and keep serving — the fresh backend's codec
+// repository starts empty, so the client's decode-stateful bdenc state
+// would desynchronize on the next repository hit. Instead the batch must
+// convert to a BatchError with the codec-reset flag, bumping the client
+// epoch before anything lands on the replacement pin.
+func TestEjectedPinForcesCodecReset(t *testing.T) {
+	bcfg := config.DefaultServer()
+	bcfg.ListenAddr = "127.0.0.1:0"
+	bcfg.MetricsAddr = "127.0.0.1:0"
+	bcfg.LogLevel = "error"
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, err := server.New(bcfg)
+		if err != nil {
+			t.Fatalf("server.New: %v", err)
+		}
+		if err := srv.Start(); err != nil {
+			t.Fatalf("server.Start: %v", err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs = append(addrs, srv.Addr())
+	}
+
+	pcfg := config.DefaultProxy()
+	pcfg.ListenAddr = "127.0.0.1:0"
+	pcfg.MetricsAddr = "127.0.0.1:0"
+	pcfg.Backends = addrs
+	pcfg.LogLevel = "error"
+	// Keep the prober out of the picture: the test flips the ejected flag
+	// by hand and nothing must restore it mid-flight.
+	pcfg.HealthInterval = 10 * time.Second
+	px, err := New(pcfg)
+	if err != nil {
+		t.Fatalf("proxy.New: %v", err)
+	}
+	if err := px.Start(); err != nil {
+		t.Fatalf("proxy.Start: %v", err)
+	}
+	t.Cleanup(func() { px.Close() })
+
+	const txnSize = 32
+	c, err := client.DialConfig(px.Addr(), "bdenc", txnSize, client.Config{
+		MaxRetries:   10,
+		RetryBackoff: time.Millisecond,
+		IOTimeout:    5 * time.Second,
+		DialTimeout:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("DialConfig: %v", err)
+	}
+	defer c.Close()
+	dec, err := scheme.Build("bdenc", bcfg.SchemeOptions())
+	if err != nil {
+		t.Fatalf("scheme.Build: %v", err)
+	}
+
+	// Low-entropy traffic: every 8-byte word is a one-bit flip of a
+	// shared base, so bdenc takes repository hits — the payload silent
+	// migration corrupts and a proper codec reset keeps intact.
+	makeBatch := func(round int) []trace.Transaction {
+		txns := make([]trace.Transaction, 16)
+		for i := range txns {
+			data := make([]byte, txnSize)
+			for w := 0; w < txnSize/8; w++ {
+				data[w*8] = 0xA5
+				data[w*8+3] = byte(1 << uint((round+i+w)%8))
+			}
+			txns[i] = trace.Transaction{Addr: uint64(round*100 + i), Kind: trace.Write, Data: data}
+		}
+		return txns
+	}
+	decodeVerify := func(round int, txns []trace.Transaction, reply trace.BatchReply) {
+		t.Helper()
+		decoded := make([]byte, txnSize)
+		for j, rec := range reply.Records {
+			e := core.Encoded{Data: rec.Data, Meta: rec.Meta, MetaBits: c.MetaBits()}
+			if err := dec.Decode(decoded, &e); err != nil {
+				t.Fatalf("round %d record %d: decode: %v", round, j, err)
+			}
+			for k := range decoded {
+				if decoded[k] != txns[j].Data[k] {
+					t.Fatalf("round %d record %d: decode mismatch at byte %d", round, j, k)
+				}
+			}
+		}
+	}
+	verify := func(round int) {
+		t.Helper()
+		txns := makeBatch(round)
+		reply, err := c.Transcode(txns)
+		if err != nil {
+			t.Fatalf("round %d: Transcode: %v", round, err)
+		}
+		decodeVerify(round, txns, reply)
+	}
+
+	verify(0)
+	epoch := c.Epoch()
+
+	var pin *backend
+	for _, b := range px.backends {
+		if b.pinned.Load() > 0 {
+			pin = b
+		}
+	}
+	if pin == nil {
+		t.Fatal("no backend carries the pinned session")
+	}
+	pin.ejected.Store(true)
+
+	// The next batch must arrive as a BatchError with the reset flag —
+	// never as a silently relayed reply from the new pin. The client
+	// retries internally, so the records it finally returns were encoded
+	// by the replacement pin's post-reset codec.
+	txns1 := makeBatch(1)
+	reply1, err := c.Transcode(txns1)
+	if err != nil {
+		t.Fatalf("post-ejection Transcode: %v", err)
+	}
+	if got := c.Epoch(); got != epoch+1 {
+		t.Fatalf("client epoch = %d after pin ejection, want %d", got, epoch+1)
+	}
+	dec.Reset()
+	decodeVerify(1, txns1, reply1)
+	if got := px.met.faultConverted.Load(); got < 1 {
+		t.Fatalf("faultConverted = %d, want >= 1 (ejected pin must convert, not migrate silently)", got)
+	}
+	if got := px.met.repins.Load(); got < 1 {
+		t.Fatalf("repins = %d, want >= 1", got)
+	}
+
+	// After the reset the session streams correct batches from the new
+	// pin, including repository hits built from post-reset state only.
+	for round := 2; round < 6; round++ {
+		verify(round)
+	}
+	if pin.pinned.Load() != 0 {
+		t.Fatalf("ejected backend still carries %d pinned sessions", pin.pinned.Load())
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"github.com/hpca18/bxt/internal/config"
 	"github.com/hpca18/bxt/internal/faults"
 	"github.com/hpca18/bxt/internal/obs"
+	"github.com/hpca18/bxt/internal/power"
 	"github.com/hpca18/bxt/internal/trace"
 )
 
@@ -87,14 +88,19 @@ func New(cfg config.Proxy) (*Proxy, error) {
 		return nil, err // unreachable after Validate, but keep the contract
 	}
 	p := &Proxy{
-		cfg:        cfg,
-		met:        newMetrics(),
+		cfg: cfg,
+		// The proxy runs the same power model as the gateways it fronts,
+		// so its per-backend energy aggregation (rebuilt from relayed
+		// BatchStats wire counters) is commensurate with theirs.
+		met:        newMetrics(cfg.TraceBuffer, power.NewModel().Estimator()),
 		log:        logger,
 		sessions:   make(map[*session]struct{}),
 		stopProbes: make(chan struct{}),
 	}
 	for _, addr := range cfg.Backends {
-		p.backends = append(p.backends, newBackend(addr))
+		b := newBackend(addr)
+		b.energy = p.met.energy.Counter(addr)
+		p.backends = append(p.backends, b)
 	}
 	return p, nil
 }
@@ -131,6 +137,7 @@ func (p *Proxy) buildMux() *http.ServeMux {
 		p.met.writeExposition(w, p.backends, p.isDraining())
 	})
 	if p.cfg.Debug {
+		mux.Handle("/debug/trace", obs.TraceHandler(p.met.traces, p.met.stages))
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

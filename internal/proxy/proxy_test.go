@@ -217,6 +217,25 @@ func TestProxyRelay(t *testing.T) {
 	if got := backendMetric(t, exp, "bxtproxy_backend_up", srv.Addr()); got != 1 {
 		t.Errorf("bxtproxy_backend_up = %v, want 1", got)
 	}
+
+	// The proxy's per-backend wire telemetry is rebuilt from the relayed
+	// BatchStats, so its ones counters must equal the gateway's own
+	// unified families for the same traffic.
+	bexp := httpGet(t, "http://"+srv.MetricsAddr()+"/metrics")
+	for _, leg := range []string{"baseline", "encoded"} {
+		got := metricValue(t, exp, fmt.Sprintf("bxtproxy_wire_ones_total{backend=%q,leg=%q}", srv.Addr(), leg))
+		want := metricValue(t, bexp, fmt.Sprintf(`bxtd_wire_ones_total{scheme="basexor",leg=%q}`, leg))
+		if got != want {
+			t.Errorf("bxtproxy_wire_ones_total{leg=%q} = %v, backend accounts %v", leg, got, want)
+		}
+		metricValue(t, exp, fmt.Sprintf("bxtproxy_energy_joules_per_byte{backend=%q,leg=%q}", srv.Addr(), leg))
+	}
+	// Random traffic through basexor need not save energy; only require
+	// the family to be present and parseable.
+	metricValue(t, exp, fmt.Sprintf("bxtproxy_energy_saved_joules_total{backend=%q}", srv.Addr()))
+	if got := metricValue(t, exp, "bxtproxy_trace_spans_total"); got != 10 {
+		t.Errorf("bxtproxy_trace_spans_total = %v, want 10", got)
+	}
 }
 
 // TestProxyStatelessSpread proves least-pending routing fans one

@@ -18,6 +18,11 @@ import (
 // errNoBackend means every configured backend is ejected or unreachable.
 var errNoBackend = errors.New("proxy: no healthy backend")
 
+// errPinLost means a pinned session's backend was ejected before this
+// batch reached it, so the upstream codec state is gone and the client
+// must reset before any batch lands on the replacement pin.
+var errPinLost = errors.New("pinned backend ejected, upstream codec state lost")
+
 // session is one client connection being relayed: the client-facing
 // socket, the routing mode picked at handshake, and the live upstream
 // sessions this client's batches have opened so far.
@@ -51,6 +56,13 @@ type session struct {
 	readH, backH, writeH *obs.Histogram
 	batches              uint64
 	fbuf                 []byte
+
+	// traceID is the current batch's end-to-end trace id (zero below
+	// protocol v3); span is its relay-leg record — frame_read,
+	// backend_exchange, frame_write — fed to the proxy's /debug/trace
+	// ring. Both are owned by the session goroutine.
+	traceID uint64
+	span    obs.Span
 }
 
 // run drives the session: handshake, then the relay loop.
@@ -153,8 +165,9 @@ func (ss *session) readLoop() {
 		}
 		switch ft {
 		case trace.FrameBatch:
-			ss.readH.ObserveDuration(time.Since(readStart))
-			if ss.handleBatch(body) {
+			// handleBatch observes frame_read so the sample can carry
+			// the batch's trace id once the envelope is open.
+			if ss.handleBatch(body, time.Since(readStart)) {
 				return
 			}
 		default:
@@ -166,11 +179,20 @@ func (ss *session) readLoop() {
 
 // handleBatch relays one Batch frame body to a backend and the reply back
 // to the client. It returns true when the session must close.
-func (ss *session) handleBatch(body []byte) (fatal bool) {
+func (ss *session) handleBatch(body []byte, readDur time.Duration) (fatal bool) {
 	var id uint64
+	ss.traceID = 0
 	if ss.version >= 2 {
-		pid, _, err := trace.OpenBatchEnvelope(body)
+		var err error
+		if ss.version >= 3 {
+			// The trace id rides the envelope payload; the body still
+			// relays verbatim, the proxy only reads it for its own spans.
+			id, ss.traceID, _, err = trace.OpenTraceEnvelope(body)
+		} else {
+			id, _, err = trace.OpenBatchEnvelope(body)
+		}
 		if err != nil {
+			ss.readH.ObserveDuration(readDur)
 			if len(body) < 12 {
 				ss.writeFrame(trace.FrameError, []byte(err.Error()))
 				return true
@@ -181,8 +203,10 @@ func (ss *session) handleBatch(body []byte) (fatal bool) {
 			id = binary.LittleEndian.Uint64(body[:8])
 			return ss.writeFrame(trace.FrameBatchError, trace.MarshalBatchError(id, false, err.Error())) != nil
 		}
-		id = pid
 	}
+	ss.readH.ObserveDurationEx(readDur, ss.traceID)
+	ss.span.Reset(ss.traceID, id, ss.id, ss.schemeName)
+	ss.span.Observe(obs.StageFrameRead, readDur)
 
 	u, b, err := ss.acquireUpstream()
 	if err != nil {
@@ -192,7 +216,9 @@ func (ss *session) handleBatch(body []byte) (fatal bool) {
 	start := time.Now()
 	ft, rbody, xerr := u.exchange(body, ss.p.cfg.ExchangeTimeout)
 	b.pending.Add(-1)
-	ss.backH.ObserveDuration(time.Since(start))
+	backDur := time.Since(start)
+	ss.backH.ObserveDurationEx(backDur, ss.traceID)
+	ss.span.Observe(obs.StageBackend, backDur)
 	if xerr != nil {
 		stale := u.pooledReuse
 		ss.dropUpstream(b)
@@ -209,26 +235,56 @@ func (ss *session) handleBatch(body []byte) (fatal bool) {
 
 	switch ft {
 	case trace.FrameBatchReply:
+		statsBody := rbody
 		if ss.version >= 2 {
-			rid, _, err := trace.OpenBatchEnvelope(rbody)
-			if err != nil || rid != id {
-				if err == nil {
-					err = fmt.Errorf("reply for batch %d, want %d", rid, id)
+			var rid uint64
+			var payload []byte
+			var err error
+			if ss.version >= 3 {
+				var rtrace uint64
+				rid, rtrace, payload, err = trace.OpenTraceEnvelope(rbody)
+				if err == nil && rtrace != ss.traceID {
+					err = fmt.Errorf("reply carries trace %#x, want %#x", rtrace, ss.traceID)
 				}
+			} else {
+				rid, payload, err = trace.OpenBatchEnvelope(rbody)
+			}
+			if err == nil && rid != id {
+				err = fmt.Errorf("reply for batch %d, want %d", rid, id)
+			}
+			if err != nil {
 				ss.dropUpstream(b)
 				ss.p.noteBackendFailure(b, "exchange", err)
 				return ss.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, err))
 			}
+			statsBody = payload
 		}
 		u.pooledReuse = false
 		ss.p.noteBackendOK(b)
 		b.batches.Add(1)
 		ss.batches++
+		// The relayed BatchStats prefix carries the backend's wire
+		// accounting for this batch; fold it into the per-backend energy
+		// counter and the relay span so the proxy's telemetry aggregates
+		// what its fleet actually moved.
+		if stats, _, serr := trace.ParseBatchStats(statsBody); serr == nil {
+			b.energy.Observe(
+				obs.SyntheticStats(int(stats.Transactions), stats.DataBits, stats.OnesBefore, stats.TogglesBefore),
+				obs.SyntheticStats(int(stats.Transactions), stats.DataBits, stats.OnesAfter, stats.TogglesAfter),
+			)
+			ss.span.Txns = int(stats.Transactions)
+			ss.span.DataBits = stats.DataBits
+			ss.span.BaseOnes, ss.span.EncOnes = stats.OnesBefore, stats.OnesAfter
+			ss.span.BaseToggles, ss.span.EncToggles = stats.TogglesBefore, stats.TogglesAfter
+		}
 		start = time.Now()
 		if err := ss.writeFrame(trace.FrameBatchReply, rbody); err != nil {
 			return true
 		}
-		ss.writeH.ObserveDuration(time.Since(start))
+		writeDur := time.Since(start)
+		ss.writeH.ObserveDurationEx(writeDur, ss.traceID)
+		ss.span.Observe(obs.StageFrameWrite, writeDur)
+		ss.p.met.traces.Add(&ss.span)
 		return false
 	case trace.FrameBusy, trace.FrameBatchError:
 		// The backend shed or faulted the batch but kept the session:
@@ -302,7 +358,18 @@ func (ss *session) acquireUpstream() (*upstream, *backend, error) {
 	for attempt := 0; attempt <= len(ss.p.backends); attempt++ {
 		var b *backend
 		if ss.pinned {
+			prev := ss.pin
 			b = ss.pinTarget()
+			if b != nil && prev != nil && b != prev {
+				// The pin was ejected (prober or failure-count) before
+				// this batch's exchange could fail on it. Serving the
+				// batch from the fresh pin would silently desynchronize
+				// the client's decode-stateful codec, so surface the
+				// migration as a failure: the caller converts it to a
+				// BatchError with the codec-reset flag, exactly as if
+				// the exchange itself had died.
+				return nil, nil, errPinLost
+			}
 		} else {
 			b = ss.p.pickLeastPending(excluded)
 		}

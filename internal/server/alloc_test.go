@@ -34,10 +34,12 @@ func newBenchSession(t testing.TB, schemeName string, txnSize int) *session {
 		txnSize:    txnSize,
 		metaBits:   codec.MetaBits(txnSize),
 		counters:   srv.met.scheme(schemeName),
+		energy:     srv.met.energy.Counter(schemeName),
 		baseBus:    bus.New(srv.cfg.ChannelWidthBits),
 		encBus:     bus.New(srv.cfg.ChannelWidthBits),
 		log:        srv.log.With("session", 1),
 		readH:      srv.met.stages.Hist(schemeName, obs.StageFrameRead),
+		admH:       srv.met.stages.Hist(schemeName, obs.StageAdmission),
 		encH:       srv.met.stages.Hist(schemeName, obs.StageEncode),
 		accH:       srv.met.stages.Hist(schemeName, obs.StageAccount),
 		writeH:     srv.met.stages.Hist(schemeName, obs.StageFrameWrite),

@@ -73,10 +73,23 @@ func (r *rawClient) recv() (trace.FrameType, []byte) {
 	return ft, body
 }
 
-// sealedBatch builds a valid v2 Batch body for id.
-func sealedBatch(t *testing.T, id uint64, txns []trace.Transaction, txnSize int) []byte {
+// testTraceID is the fixed trace id v3-shaped test batches carry.
+const testTraceID = 0xabad1dea
+
+// startEnvelope begins a Batch body for id at the given protocol
+// revision: a v3 envelope carries the test trace id, a v2 envelope does
+// not.
+func startEnvelope(version uint8, id uint64) []byte {
+	if version >= 3 {
+		return trace.AppendTraceEnvelope(nil, id, testTraceID)
+	}
+	return trace.AppendBatchEnvelope(nil, id)
+}
+
+// sealedBatch builds a valid enveloped Batch body for id at version.
+func sealedBatch(t *testing.T, version uint8, id uint64, txns []trace.Transaction, txnSize int) []byte {
 	t.Helper()
-	body, err := trace.AppendBatch(trace.AppendBatchEnvelope(nil, id), txns, txnSize)
+	body, err := trace.AppendBatch(startEnvelope(version, id), txns, txnSize)
 	if err != nil {
 		t.Fatalf("AppendBatch: %v", err)
 	}
@@ -114,9 +127,20 @@ func expectGoodReply(t *testing.T, r *rawClient, id uint64, txnSize, n int) {
 	if ft != trace.FrameBatchReply {
 		t.Fatalf("got frame %#x (%q), want BatchReply", ft, body)
 	}
-	rid, payload, err := trace.OpenBatchEnvelope(body)
+	var rid uint64
+	var payload []byte
+	var err error
+	if r.ok.Version >= 3 {
+		var rtrace uint64
+		rid, rtrace, payload, err = trace.OpenTraceEnvelope(body)
+		if err == nil && rtrace != testTraceID {
+			t.Fatalf("reply carries trace %#x, want %#x", rtrace, uint64(testTraceID))
+		}
+	} else {
+		rid, payload, err = trace.OpenBatchEnvelope(body)
+	}
 	if err != nil {
-		t.Fatalf("OpenBatchEnvelope: %v", err)
+		t.Fatalf("opening reply envelope: %v", err)
 	}
 	if rid != id {
 		t.Fatalf("reply names batch %d, want %d", rid, id)
@@ -162,7 +186,7 @@ func TestMalformedBatchSoftFails(t *testing.T) {
 	expectBatchError(t, r, 1, "")
 
 	txns := makeTxns(rand.New(rand.NewSource(1)), 8, 32)
-	r.send(trace.FrameBatch, sealedBatch(t, 2, txns, 32))
+	r.send(trace.FrameBatch, sealedBatch(t, r.ok.Version, 2, txns, 32))
 	expectGoodReply(t, r, 2, 32, 8)
 
 	exp := httpGet(t, "http://"+srv.MetricsAddr()+"/metrics")
@@ -180,10 +204,10 @@ func TestOversizedBatchSoftFails(t *testing.T) {
 	r := dialRaw(t, srv.Addr(), "universal", 32)
 
 	rng := rand.New(rand.NewSource(2))
-	r.send(trace.FrameBatch, sealedBatch(t, 1, makeTxns(rng, 9, 32), 32))
+	r.send(trace.FrameBatch, sealedBatch(t, r.ok.Version, 1, makeTxns(rng, 9, 32), 32))
 	expectBatchError(t, r, 1, "outside")
 
-	r.send(trace.FrameBatch, sealedBatch(t, 2, makeTxns(rng, 8, 32), 32))
+	r.send(trace.FrameBatch, sealedBatch(t, r.ok.Version, 2, makeTxns(rng, 8, 32), 32))
 	expectGoodReply(t, r, 2, 32, 8)
 }
 
@@ -195,12 +219,12 @@ func TestCorruptBatchCRC(t *testing.T) {
 	r := dialRaw(t, srv.Addr(), "universal", 32)
 
 	rng := rand.New(rand.NewSource(3))
-	body := sealedBatch(t, 7, makeTxns(rng, 8, 32), 32)
+	body := sealedBatch(t, r.ok.Version, 7, makeTxns(rng, 8, 32), 32)
 	body[20] ^= 0x10 // flip one payload bit after sealing
 	r.send(trace.FrameBatch, body)
 	expectBatchError(t, r, 7, "crc")
 
-	r.send(trace.FrameBatch, sealedBatch(t, 8, makeTxns(rng, 8, 32), 32))
+	r.send(trace.FrameBatch, sealedBatch(t, r.ok.Version, 8, makeTxns(rng, 8, 32), 32))
 	expectGoodReply(t, r, 8, 32, 8)
 }
 
@@ -441,7 +465,7 @@ func TestSlowClientTeardown(t *testing.T) {
 	for start := time.Now(); time.Since(start) < 30*time.Second; {
 		id++
 		conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
-		if err := trace.WriteFrame(bw, trace.FrameBatch, sealedBatch(t, id, txns, 32)); err != nil {
+		if err := trace.WriteFrame(bw, trace.FrameBatch, sealedBatch(t, trace.ProtocolVersion, id, txns, 32)); err != nil {
 			break
 		}
 		if err := bw.Flush(); err != nil {

@@ -98,13 +98,24 @@ type metrics struct {
 	// per-batch cost is one mutex per stage observation.
 	stages *obs.HistogramTracer
 
+	// energy holds the per-scheme live wire-activity counters behind the
+	// bxtd_wire_* and bxtd_energy_* families; est is the power model's
+	// estimator evaluated over them at exposition time. traces is the
+	// span ring behind /debug/trace.
+	energy *obs.EnergyMeter
+	est    obs.EnergyEstimator
+	traces *obs.TraceRing
+
 	mu      sync.Mutex
 	schemes map[string]*schemeCounters
 }
 
-func newMetrics() *metrics {
+func newMetrics(traceBuffer int, est obs.EnergyEstimator) *metrics {
 	return &metrics{
 		stages:  obs.NewHistogramTracer(nil),
+		energy:  obs.NewEnergyMeter(0, 0),
+		est:     est,
+		traces:  obs.NewTraceRing(traceBuffer),
 		schemes: make(map[string]*schemeCounters),
 	}
 }
@@ -122,17 +133,23 @@ func (m *metrics) scheme(name string) *schemeCounters {
 }
 
 // writeExposition renders the full /metrics document: serving state,
-// per-scheme counters, per-stage latency histograms, and Go runtime
-// gauges.
+// per-scheme counters, live wire-activity and energy telemetry, per-stage
+// latency histograms, and Go runtime gauges. The connection, wire, and
+// energy families render through the obs.Expo registry shared with
+// bxtproxy, so both binaries expose one family vocabulary; the
+// pre-unification per-scheme families (bxtd_ones_total,
+// bxtd_estimated_picojoules_total, …) remain as deprecated aliases for one
+// release.
 func (m *metrics) writeExposition(w io.Writer, draining bool) {
-	d := 0
+	e := obs.Expo{W: w, Prefix: "bxtd_"}
+	d := int64(0)
 	if draining {
 		d = 1
 	}
-	fmt.Fprintf(w, "bxtd_draining %d\n", d)
-	fmt.Fprintf(w, "bxtd_connections_active %d\n", m.connsActive.Load())
-	fmt.Fprintf(w, "bxtd_connections_total %d\n", m.connsTotal.Load())
-	fmt.Fprintf(w, "bxtd_connections_rejected_total %d\n", m.connsRejected.Load())
+	e.Int(obs.FamDraining, "", d)
+	e.Int(obs.FamConnsActive, "", m.connsActive.Load())
+	e.Uint(obs.FamConnsTotal, "", m.connsTotal.Load())
+	e.Uint(obs.FamConnsRejected, "", m.connsRejected.Load())
 	fmt.Fprintf(w, "bxtd_batch_faults_total %d\n", m.batchFaults.Load())
 	fmt.Fprintf(w, "bxtd_codec_panics_total %d\n", m.codecPanics.Load())
 	fmt.Fprintf(w, "bxtd_poison_batches_total %d\n", m.poisonBatches.Load())
@@ -167,6 +184,9 @@ func (m *metrics) writeExposition(w io.Writer, draining bool) {
 		fmt.Fprintf(w, "bxtd_estimated_picojoules_total{scheme=%q,leg=\"encoded\"} %g\n", n, c.encodedPJ)
 		fmt.Fprintf(w, "bxtd_estimated_picojoules_saved_total{scheme=%q} %g\n", n, c.baselinePJ-c.encodedPJ)
 	}
+
+	obs.WriteEnergyMetrics(e, "scheme", m.energy, m.est)
+	e.Uint(obs.FamTraceSpans, "", m.traces.Total())
 
 	m.stages.WritePrometheus(w, "bxtd_stage_seconds")
 	obs.WriteRuntimeMetrics(w, "bxtd")

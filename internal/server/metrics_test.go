@@ -149,6 +149,37 @@ func TestMetricsExposition(t *testing.T) {
 		one(t, samples, "bxtd_estimated_picojoules_total", ll)
 	}
 
+	// Unified live wire/energy telemetry families (the obs.Expo vocabulary
+	// shared with bxtproxy). The wire counters must agree with the legacy
+	// per-scheme aliases they will eventually replace.
+	for _, leg := range []string{"baseline", "encoded"} {
+		ll := map[string]string{"scheme": "universal", "leg": leg}
+		ones := one(t, samples, "bxtd_wire_ones_total", ll)
+		if want := one(t, samples, "bxtd_ones_total", ll).value; ones.value != want {
+			t.Errorf("bxtd_wire_ones_total{leg=%q} = %g, legacy alias says %g", leg, ones.value, want)
+		}
+		toggles := one(t, samples, "bxtd_wire_toggles_total", ll)
+		if want := one(t, samples, "bxtd_toggles_total", ll).value; toggles.value != want {
+			t.Errorf("bxtd_wire_toggles_total{leg=%q} = %g, legacy alias says %g", leg, toggles.value, want)
+		}
+		if one(t, samples, "bxtd_wire_bits_total", ll).value <= 0 {
+			t.Errorf("bxtd_wire_bits_total{leg=%q} not positive", leg)
+		}
+		comps := find(samples, "bxtd_energy_joules_total", ll)
+		if len(comps) < 4 {
+			t.Errorf("bxtd_energy_joules_total{leg=%q}: %d components, want the power model's breakdown", leg, len(comps))
+		}
+		one(t, samples, "bxtd_energy_joules_per_byte", ll)
+	}
+	if one(t, samples, "bxtd_energy_saved_joules_total", sl).value <= 0 {
+		t.Error("bxtd_energy_saved_joules_total not positive after encoded traffic")
+	}
+	one(t, samples, "bxtd_energy_window_watts", sl)
+	one(t, samples, "bxtd_energy_window_savings_ratio", sl)
+	if got := one(t, samples, "bxtd_trace_spans_total", nil).value; got != total/batch {
+		t.Errorf("bxtd_trace_spans_total = %g, want %d", got, total/batch)
+	}
+
 	// Per-stage histograms: every pipeline stage present, cumulative
 	// buckets monotone and capped by _count, batch-paced stages counting
 	// exactly the replied batches.

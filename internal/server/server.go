@@ -14,9 +14,13 @@
 // draining, in-flight batches complete and flush, then sessions close.
 //
 // Observability (internal/obs): structured slog logging with per-session
-// IDs, per-(scheme, stage) latency histograms and Go runtime gauges on
-// /metrics, and — when config.Server.Debug is set — net/http/pprof plus a
-// /debug/events ring of recent lifecycle events on the metrics listener.
+// IDs, per-(scheme, stage) latency histograms, live wire-energy telemetry
+// (integer ones/toggles/bits counters per scheme and leg, evaluated
+// through the power model at scrape time), and Go runtime gauges on
+// /metrics, and — when config.Server.Debug is set — net/http/pprof, a
+// /debug/trace ring of per-batch pipeline spans keyed by the BXTP v3
+// trace id, and a /debug/events ring of recent lifecycle events (with
+// severity, kind, and trace filters) on the metrics listener.
 package server
 
 import (
@@ -93,12 +97,13 @@ func New(cfg config.Server) (*Server, error) {
 	if err != nil {
 		return nil, err // unreachable after Validate, but keep the contract
 	}
+	model := power.NewModel()
 	return &Server{
 		cfg:      cfg,
-		met:      newMetrics(),
+		met:      newMetrics(cfg.TraceBuffer, model.Estimator()),
 		log:      logger,
 		events:   obs.NewEventBuffer(cfg.EventBuffer),
-		model:    power.NewModel(),
+		model:    model,
 		slots:    make(chan struct{}, cfg.Workers),
 		poison:   newPoisonRing(16),
 		sessions: make(map[*session]struct{}),
@@ -177,6 +182,7 @@ func (s *Server) buildMux() *http.ServeMux {
 	if s.cfg.Debug {
 		mux.Handle("/debug/events", s.events)
 		mux.Handle("/debug/poison", s.poison)
+		mux.Handle("/debug/trace", obs.TraceHandler(s.met.traces, s.met.stages))
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -18,10 +18,15 @@ import (
 	"github.com/hpca18/bxt/internal/trace"
 )
 
-// outFrame is one queued server-to-client frame.
+// outFrame is one queued server-to-client frame. For batch replies it also
+// carries the batch's span, complete except for its frame_write stage: the
+// write goroutine owns the reply write, so it times that stage, finalizes
+// the span, and records it to the trace ring.
 type outFrame struct {
-	t    trace.FrameType
-	body []byte
+	t       trace.FrameType
+	body    []byte
+	span    obs.Span
+	hasSpan bool
 }
 
 // session is one client connection: a read goroutine parses frames and
@@ -70,8 +75,23 @@ type session struct {
 
 	// Stage histograms, resolved once at handshake so per-batch
 	// observation is one mutex on the (scheme, stage) histogram.
-	readH, encH, accH, writeH *obs.Histogram
-	batches                   uint64
+	readH, admH, encH, accH, writeH *obs.Histogram
+	batches                         uint64
+
+	// traceID is the current batch's end-to-end trace id (zero on
+	// sessions below protocol v3); span accumulates its per-stage
+	// timings and wire counters. Both are touched only by the read
+	// goroutine until the span is handed to writeLoop inside the
+	// outFrame. lookupDur is the (sampled, scaled) similarity-cache
+	// lookup time of the current batch, captured by encodeAllCached for
+	// the span.
+	traceID   uint64
+	span      obs.Span
+	lookupDur time.Duration
+	// energy is the session scheme's live wire-activity counter,
+	// resolved once at handshake; every batch folds its baseline and
+	// encoded bus deltas into it.
+	energy *obs.EnergyCounter
 
 	// baseBus and encBus carry the session's wire state for baseline and
 	// encoded transfers; their divergence is the value the gateway reports.
@@ -208,9 +228,11 @@ func (ss *session) handshake() error {
 
 	stages := ss.srv.met.stages
 	ss.readH = stages.Hist(name, obs.StageFrameRead)
+	ss.admH = stages.Hist(name, obs.StageAdmission)
 	ss.encH = stages.Hist(name, obs.StageEncode)
 	ss.accH = stages.Hist(name, obs.StageAccount)
 	ss.writeH = stages.Hist(name, obs.StageFrameWrite)
+	ss.energy = ss.srv.met.energy.Counter(name)
 	if cache := ss.srv.simCacheFor(name, h.TxnSize, ss.metaBits); cache != nil {
 		ss.cache = cache
 		ss.probe = &simcache.Probe{}
@@ -277,8 +299,9 @@ func (ss *session) readLoop() {
 		case trace.FrameBatch:
 			// The frame_read stage includes the wait for the client's
 			// next batch, so it reflects arrival gaps, not just parsing.
-			ss.readH.ObserveDuration(time.Since(readStart))
-			if ss.handleBatch(body) {
+			// handleBatch observes it so the sample can carry the
+			// batch's trace id once the envelope is open.
+			if ss.handleBatch(body, time.Since(readStart)) {
 				return
 			}
 		default:
@@ -292,18 +315,30 @@ func (ss *session) readLoop() {
 // parsing, admission, and encoding, queueing whatever reply the outcome
 // calls for. It returns true when the session must close (v1 semantics,
 // or a v2 fault budget exhausted).
-func (ss *session) handleBatch(body []byte) (fatal bool) {
+func (ss *session) handleBatch(body []byte, readDur time.Duration) (fatal bool) {
 	var id uint64
+	ss.traceID = 0
 	payload := body
-	if ss.version >= 2 {
+	if ss.version >= 3 {
+		var err error
+		id, ss.traceID, payload, err = trace.OpenTraceEnvelope(body)
+		if err != nil {
+			ss.readH.ObserveDuration(readDur)
+			return ss.softFail(id, false, err.Error())
+		}
+	} else if ss.version >= 2 {
 		var err error
 		id, payload, err = trace.OpenBatchEnvelope(body)
 		if err != nil {
 			// OpenBatchEnvelope keeps the id on CRC failures, so the
 			// client can retry the exact batch that arrived corrupt.
+			ss.readH.ObserveDuration(readDur)
 			return ss.softFail(id, false, err.Error())
 		}
 	}
+	ss.readH.ObserveDurationEx(readDur, ss.traceID)
+	ss.span.Reset(ss.traceID, id, ss.id, ss.schemeName)
+	ss.span.Observe(obs.StageFrameRead, readDur)
 	txns, err := trace.ParseBatch(payload, ss.txnSize, ss.txns[:0])
 	if err != nil {
 		return ss.softFail(id, false, err.Error())
@@ -316,12 +351,18 @@ func (ss *session) handleBatch(body []byte) (fatal bool) {
 	// v2 sessions wait a bounded time and may be shed with a retryable
 	// Busy reply; v1 sessions block until a slot frees (draining does
 	// not abort the acquire, so batches already read always complete).
+	admStart := time.Now()
 	if !ss.srv.admit(ss.version >= 2) {
 		ss.srv.met.busyShed.Add(1)
-		ss.srv.events.Add(obs.Event{Type: obs.EventBusy, Session: ss.id, Scheme: ss.schemeName, Txns: len(txns)})
-		ss.out <- outFrame{trace.FrameBusy, trace.MarshalBusy(id, ss.srv.cfg.AdmitTimeout)}
+		ss.srv.events.Add(obs.Event{Type: obs.EventBusy, Session: ss.id, Scheme: ss.schemeName, Txns: len(txns), TraceID: ss.traceID})
+		ss.out <- outFrame{t: trace.FrameBusy, body: trace.MarshalBusy(id, ss.srv.cfg.AdmitTimeout)}
 		return false
 	}
+	// Shed batches never reach here, so the admission stage counts
+	// admitted batches and its histogram reflects successful waits.
+	admDur := time.Since(admStart)
+	ss.admH.ObserveDurationEx(admDur, ss.traceID)
+	ss.span.Observe(obs.StageAdmission, admDur)
 	reply, err := ss.processBatch(id, txns)
 	ss.srv.release()
 	if err != nil {
@@ -332,7 +373,7 @@ func (ss *session) handleBatch(body []byte) (fatal bool) {
 		// client learns via the reset flag to restart its decoder.
 		return ss.softFail(id, true, err.Error())
 	}
-	ss.out <- outFrame{trace.FrameBatchReply, reply}
+	ss.out <- outFrame{t: trace.FrameBatchReply, body: reply, span: ss.span, hasSpan: true}
 	return false
 }
 
@@ -349,8 +390,8 @@ func (ss *session) softFail(id uint64, reset bool, cause string) (fatal bool) {
 	ss.faults++
 	ss.srv.met.batchFaults.Add(1)
 	ss.log.Warn("batch fault", "batch_id", id, "codec_reset", reset, "err", cause)
-	ss.srv.events.Add(obs.Event{Type: obs.EventBatchFault, Session: ss.id, Scheme: ss.schemeName, Detail: cause})
-	ss.out <- outFrame{trace.FrameBatchError, trace.MarshalBatchError(id, reset, cause)}
+	ss.srv.events.Add(obs.Event{Type: obs.EventBatchFault, Session: ss.id, Scheme: ss.schemeName, Detail: cause, TraceID: ss.traceID})
+	ss.out <- outFrame{t: trace.FrameBatchError, body: trace.MarshalBatchError(id, reset, cause)}
 	if ss.faults >= ss.srv.cfg.FaultBudget {
 		msg := fmt.Sprintf("fault budget exhausted after %d recoverable faults", ss.faults)
 		ss.log.Warn("disconnecting", "reason", msg)
@@ -390,7 +431,14 @@ func (ss *session) processBatch(id uint64, txns []trace.Transaction) ([]byte, er
 		return nil, err
 	}
 	accStart := time.Now()
-	ss.encH.ObserveDuration(accStart.Sub(encStart))
+	encDur := accStart.Sub(encStart)
+	ss.encH.ObserveDurationEx(encDur, ss.traceID)
+	if ss.cache != nil {
+		// The lookup time is buried inside the encode pass; surface it as
+		// its own span stage the way the sampled cacheH histogram does.
+		ss.span.Observe(obs.StageSimcacheLookup, ss.lookupDur)
+	}
+	ss.span.Observe(obs.StageEncode, encDur)
 
 	// Accounting replays the records just built (the encoded payload is
 	// txnSize bytes plus metaBytes of side-band per record, the same fixed
@@ -437,8 +485,15 @@ func (ss *session) processBatch(id uint64, txns []trace.Transaction) ([]byte, er
 		EncodedPJ:     ss.srv.model.Estimate(encDelta).Total() * 1e12,
 	}
 	ss.counters.observe(stats)
+	ss.energy.Observe(baseDelta, encDelta)
 	done := time.Now()
-	ss.accH.ObserveDuration(done.Sub(accStart))
+	accDur := done.Sub(accStart)
+	ss.accH.ObserveDurationEx(accDur, ss.traceID)
+	ss.span.Observe(obs.StageAccount, accDur)
+	ss.span.Txns = len(txns)
+	ss.span.DataBits = stats.DataBits
+	ss.span.BaseOnes, ss.span.EncOnes = stats.OnesBefore, stats.OnesAfter
+	ss.span.BaseToggles, ss.span.EncToggles = stats.TogglesBefore, stats.TogglesAfter
 	ss.batches++
 
 	if total := done.Sub(encStart); total >= ss.srv.cfg.SlowBatch {
@@ -449,6 +504,7 @@ func (ss *session) processBatch(id uint64, txns []trace.Transaction) ([]byte, er
 			Scheme:     ss.schemeName,
 			Txns:       len(txns),
 			DurationMS: float64(total) / float64(time.Millisecond),
+			TraceID:    ss.traceID,
 		})
 	} else if ss.log.Enabled(context.Background(), slog.LevelDebug) {
 		// Gated so the duration formatting does not allocate on every
@@ -466,7 +522,11 @@ func (ss *session) processBatch(id uint64, txns []trace.Transaction) ([]byte, er
 		body = body[:0]
 	default:
 	}
-	if ss.version >= 2 {
+	if ss.version >= 3 {
+		// Echo the trace id so the client can verify the reply belongs
+		// to the trace it started.
+		body = trace.AppendTraceEnvelope(body, id, ss.traceID)
+	} else if ss.version >= 2 {
 		body = trace.AppendBatchEnvelope(body, id)
 	}
 	body = trace.AppendBatchStats(body, stats)
@@ -555,7 +615,8 @@ func (ss *session) encodeAllCached(txns []trace.Transaction) error {
 			return err
 		}
 	}
-	ss.cacheH.Observe(lookups.Seconds())
+	ss.lookupDur = lookups
+	ss.cacheH.ObserveEx(lookups.Seconds(), ss.traceID)
 	return nil
 }
 
@@ -594,7 +655,7 @@ func (ss *session) recoverBatch() {
 // fail queues an error frame for the client; the writer flushes it before
 // the connection closes.
 func (ss *session) fail(msg string) {
-	ss.out <- outFrame{trace.FrameError, []byte(msg)}
+	ss.out <- outFrame{t: trace.FrameError, body: []byte(msg)}
 }
 
 // writeLoop owns the outbound socket half: it writes queued frames under
@@ -627,7 +688,12 @@ func (ss *session) writeLoop() {
 		// Only batch replies feed the frame_write histogram, so its count
 		// matches codec_encode's: batches observed == batches replied.
 		if f.t == trace.FrameBatchReply {
-			ss.writeH.ObserveDuration(time.Since(writeStart))
+			writeDur := time.Since(writeStart)
+			ss.writeH.ObserveDurationEx(writeDur, f.span.TraceID)
+			if f.hasSpan {
+				f.span.Observe(obs.StageFrameWrite, writeDur)
+				ss.srv.met.traces.Add(&f.span)
+			}
 			// The frame is on the wire (or in bufio's copy); hand the
 			// body back for reuse. Dropping it when the free list is
 			// full is fine — that buffer is simply re-allocated later.

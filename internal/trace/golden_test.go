@@ -82,6 +82,21 @@ func envelope(t *testing.T, id uint64, payload []byte) []byte {
 
 const goldenBatchID = 0x0102030405060708
 
+// goldenTraceID is the fixed end-to-end trace id in the v3 vectors.
+const goldenTraceID = 0xfeedc0dedeadbeef
+
+// traceEnvelope wraps payload in the v3 batch envelope (batch id + trace
+// id) and seals the CRC, exactly as a v3 peer does.
+func traceEnvelope(t *testing.T, id, traceID uint64, payload []byte) []byte {
+	t.Helper()
+	body := AppendTraceEnvelope(nil, id, traceID)
+	body = append(body, payload...)
+	if err := SealBatchEnvelope(body); err != nil {
+		t.Fatalf("SealBatchEnvelope: %v", err)
+	}
+	return body
+}
+
 // goldenFrames enumerates the normative vectors: every frame type the
 // protocol defines, in both the v1 (bare) and v2 (enveloped) shapes where
 // the revisions differ.
@@ -112,17 +127,31 @@ func goldenFrames() []goldenFrame {
 	return []goldenFrame{
 		{"v1_hello", FrameHello, marshalHello(Hello{Version: 1, TxnSize: 32, Scheme: "basexor"})},
 		{"v2_hello", FrameHello, marshalHello(Hello{Version: 2, TxnSize: 32, Scheme: "bdenc"})},
+		{"v3_hello", FrameHello, marshalHello(Hello{Version: 3, TxnSize: 32, Scheme: "universal"})},
 		{"v1_hello_ok", FrameHelloOK, func(*testing.T) []byte {
 			return MarshalHelloOK(HelloOK{Version: 1, MetaBits: 2, BatchLimit: 4096})
 		}},
 		{"v2_hello_ok", FrameHelloOK, func(*testing.T) []byte {
 			return MarshalHelloOK(HelloOK{Version: 2, MetaBits: 2, BatchLimit: 4096})
 		}},
+		{"v3_hello_ok", FrameHelloOK, func(*testing.T) []byte {
+			return MarshalHelloOK(HelloOK{Version: 3, MetaBits: 2, BatchLimit: 4096})
+		}},
 		{"v1_batch", FrameBatch, marshalBatch(false)},
 		{"v2_batch", FrameBatch, marshalBatch(true)},
+		{"v3_batch", FrameBatch, func(t *testing.T) []byte {
+			payload, err := MarshalBatch(goldenTxns(), 32)
+			if err != nil {
+				t.Fatalf("MarshalBatch: %v", err)
+			}
+			return traceEnvelope(t, goldenBatchID, goldenTraceID, payload)
+		}},
 		{"v1_batch_reply", FrameBatchReply, goldenReplyBody},
 		{"v2_batch_reply", FrameBatchReply, func(t *testing.T) []byte {
 			return envelope(t, goldenBatchID, goldenReplyBody(t))
+		}},
+		{"v3_batch_reply", FrameBatchReply, func(t *testing.T) []byte {
+			return traceEnvelope(t, goldenBatchID, goldenTraceID, goldenReplyBody(t))
 		}},
 		{"v2_busy", FrameBusy, func(*testing.T) []byte {
 			return MarshalBusy(goldenBatchID, 25*1000*1000) // 25ms in ns
@@ -224,7 +253,7 @@ func TestGoldenVectorsParse(t *testing.T) {
 				t.Fatalf("frame type = %#x, want %#x", byte(ft), byte(g.typ))
 			}
 			switch g.name {
-			case "v1_hello", "v2_hello":
+			case "v1_hello", "v2_hello", "v3_hello":
 				h, err := ParseHello(body)
 				if err != nil {
 					t.Fatalf("ParseHello: %v", err)
@@ -232,7 +261,7 @@ func TestGoldenVectorsParse(t *testing.T) {
 				if h.TxnSize != 32 {
 					t.Errorf("TxnSize = %d, want 32", h.TxnSize)
 				}
-			case "v1_hello_ok", "v2_hello_ok":
+			case "v1_hello_ok", "v2_hello_ok", "v3_hello_ok":
 				ok, err := ParseHelloOK(body)
 				if err != nil {
 					t.Fatalf("ParseHelloOK: %v", err)
@@ -240,14 +269,25 @@ func TestGoldenVectorsParse(t *testing.T) {
 				if ok.BatchLimit != 4096 {
 					t.Errorf("BatchLimit = %d, want 4096", ok.BatchLimit)
 				}
-			case "v1_batch", "v2_batch":
-				if g.name == "v2_batch" {
+			case "v1_batch", "v2_batch", "v3_batch":
+				switch g.name {
+				case "v2_batch":
 					id, payload, err := OpenBatchEnvelope(body)
 					if err != nil {
 						t.Fatalf("OpenBatchEnvelope: %v", err)
 					}
 					if id != goldenBatchID {
 						t.Errorf("batch id = %#x, want %#x", id, uint64(goldenBatchID))
+					}
+					body = payload
+				case "v3_batch":
+					id, traceID, payload, err := OpenTraceEnvelope(body)
+					if err != nil {
+						t.Fatalf("OpenTraceEnvelope: %v", err)
+					}
+					if id != goldenBatchID || traceID != goldenTraceID {
+						t.Errorf("envelope = (%#x, %#x), want (%#x, %#x)",
+							id, traceID, uint64(goldenBatchID), uint64(goldenTraceID))
 					}
 					body = payload
 				}
@@ -264,14 +304,25 @@ func TestGoldenVectorsParse(t *testing.T) {
 						t.Errorf("transaction %d diverges from source", i)
 					}
 				}
-			case "v1_batch_reply", "v2_batch_reply":
-				if g.name == "v2_batch_reply" {
+			case "v1_batch_reply", "v2_batch_reply", "v3_batch_reply":
+				switch g.name {
+				case "v2_batch_reply":
 					id, payload, err := OpenBatchEnvelope(body)
 					if err != nil {
 						t.Fatalf("OpenBatchEnvelope: %v", err)
 					}
 					if id != goldenBatchID {
 						t.Errorf("batch id = %#x, want %#x", id, uint64(goldenBatchID))
+					}
+					body = payload
+				case "v3_batch_reply":
+					id, traceID, payload, err := OpenTraceEnvelope(body)
+					if err != nil {
+						t.Fatalf("OpenTraceEnvelope: %v", err)
+					}
+					if id != goldenBatchID || traceID != goldenTraceID {
+						t.Errorf("envelope = (%#x, %#x), want (%#x, %#x)",
+							id, traceID, uint64(goldenBatchID), uint64(goldenTraceID))
 					}
 					body = payload
 				}

@@ -32,6 +32,18 @@
 // decoder before decoding later replies. Version 1 peers keep the original
 // wire format and semantics (no ids, no CRC, no Busy/BatchError: any batch
 // failure is a fatal Error frame); the server negotiates down in HelloOK.
+//
+// Protocol version 3 adds end-to-end batch tracing. Batch and BatchReply
+// bodies carry a uint64 trace id between the v2 envelope and the payload
+// (layout: id | crc | trace id | payload), assigned by the client and
+// echoed by the gateway, so one id correlates the client, proxy, and
+// backend spans of a batch on their /debug/trace surfaces. The trace id
+// sits inside the CRC-covered region, so corruption of it is detected like
+// any payload damage. The field is negotiated, never assumed: a v3 peer
+// talking to a v1 or v2 peer negotiates down in the handshake and the
+// session carries no trace field at all, leaving older peers' wire
+// behaviour byte-for-byte unchanged. Busy and BatchError frames are
+// unmodified — they correlate through the batch id they already carry.
 package trace
 
 import (
@@ -67,10 +79,11 @@ const (
 	// ProtocolMagic opens every Hello body.
 	ProtocolMagic = "BXTP"
 	// ProtocolVersion is the current protocol revision.
-	ProtocolVersion = 2
+	ProtocolVersion = 3
 	// MinProtocolVersion is the oldest revision the gateway still speaks;
 	// version 1 sessions use the pre-fault-tolerance framing (no batch
-	// ids, no CRC, no Busy/BatchError frames).
+	// ids, no CRC, no Busy/BatchError frames), version 2 sessions carry
+	// the batch envelope but no trace id.
 	MinProtocolVersion = 1
 	// MaxFrameBytes bounds a frame body so a corrupt or hostile length
 	// prefix cannot drive unbounded allocation.
@@ -84,6 +97,10 @@ const (
 	// batchEnvelopeBytes is the v2 Batch/BatchReply body prefix: uint64
 	// batch id + uint32 CRC-32C of everything after the CRC field.
 	batchEnvelopeBytes = 8 + 4
+	// traceEnvelopeBytes is the v3 trace extension: a uint64 trace id
+	// prefixed to the envelope payload. It sits after the CRC field, so
+	// the envelope checksum covers it.
+	traceEnvelopeBytes = 8
 )
 
 // ErrBadFrame reports a malformed protocol frame or message body.
@@ -133,6 +150,32 @@ func OpenBatchEnvelope(body []byte) (id uint64, payload []byte, err error) {
 		return id, nil, fmt.Errorf("%w: got %#x, frame claims %#x", ErrCRC, got, want)
 	}
 	return id, payload, nil
+}
+
+// AppendTraceEnvelope appends the v3 batch envelope prefix: the v2
+// envelope (batch id + zero CRC placeholder) followed by the trace id.
+// The caller appends the payload and then calls SealBatchEnvelope on the
+// complete body, which stamps a CRC covering the trace id and payload.
+func AppendTraceEnvelope(dst []byte, id, traceID uint64) []byte {
+	dst = AppendBatchEnvelope(dst, id)
+	return binary.LittleEndian.AppendUint64(dst, traceID)
+}
+
+// OpenTraceEnvelope splits a v3 Batch or BatchReply body into its batch
+// id, trace id, and payload, verifying the CRC exactly as
+// OpenBatchEnvelope does. On a CRC mismatch the carried batch id is still
+// returned (best effort) with ErrCRC; the trace id is not, since the
+// checksum that vouches for it failed.
+func OpenTraceEnvelope(body []byte) (id, traceID uint64, payload []byte, err error) {
+	id, payload, err = OpenBatchEnvelope(body)
+	if err != nil {
+		return id, 0, nil, err
+	}
+	if len(payload) < traceEnvelopeBytes {
+		return id, 0, nil, fmt.Errorf("%w: %d-byte envelope payload is shorter than the trace id", ErrBadFrame, len(payload))
+	}
+	traceID = binary.LittleEndian.Uint64(payload[:traceEnvelopeBytes])
+	return id, traceID, payload[traceEnvelopeBytes:], nil
 }
 
 // MarshalBusy encodes a v2 Busy frame body: the shed batch's id and a
