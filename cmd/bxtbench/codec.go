@@ -63,6 +63,7 @@ type codecReport struct {
 	GOOS     string           `json:"goos"`
 	GOARCH   string           `json:"goarch"`
 	Codecs   []codecResult    `json:"codecs"`
+	Batch    []batchResult    `json:"batch"`
 	Pipeline []pipelineResult `json:"server_pipeline"`
 }
 
@@ -235,6 +236,11 @@ func runCodecBench(path string) error {
 			rep.Codecs = append(rep.Codecs, r)
 		}
 	}
+	batch, err := runBatchBench()
+	if err != nil {
+		return err
+	}
+	rep.Batch = batch
 	for _, name := range pipelineSchemes {
 		r, err := benchPipeline(name, 32, 256)
 		if err != nil {
@@ -254,5 +260,12 @@ func runCodecBench(path string) error {
 		_, err = os.Stdout.Write(out)
 		return err
 	}
-	return os.WriteFile(path, out, 0o644)
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	// Each run also appends its headline numbers to the trajectory log, so
+	// the batch and pipeline figures can be tracked commit over commit.
+	return appendTrajectory(trajectoryPath(path), trajectoryEntry{
+		Time: nowStamp(), Go: rep.Go, Batch: rep.Batch, Pipeline: rep.Pipeline,
+	})
 }

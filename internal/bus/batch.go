@@ -1,0 +1,213 @@
+package bus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"github.com/hpca18/bxt/internal/core"
+)
+
+// TransferBatch drives len(payload)/txnBytes back-to-back metadata-free
+// transactions across the bus in one fused walk, accumulating statistics
+// bit-identical to a Transfer call per transaction. Per-txn Transfer walks
+// every beat through onesAndToggles and copies it into lastData; here the
+// whole batch is a single contiguous buffer, so the interior toggles are one
+// strided-XOR popcount pass, the 1-value count is one OnesCount pass, only
+// the boundary from the bus's resting state into the first beat consults
+// history, and only the final beat is saved back. This is the accounting
+// half of the batch mega-kernel: the per-beat state machine that dominated
+// the serving pipeline collapses into three streaming passes over data that
+// is still L1-resident from the encode walk.
+func (b *Bus) TransferBatch(payload []byte, txnBytes int) error {
+	return b.transferBatch(payload, txnBytes, false, 0, 0)
+}
+
+// TransferBatchCounted is TransferBatch for a caller that already streamed
+// payload once — typically while gathering it into the contiguous batch
+// buffer — and accumulated its 1-value count (core.OnesCount semantics) and
+// interior beat toggles (beatToggles semantics, from the second beat on).
+// The bus validates geometry, charges the boundary from its resting state,
+// adopts the counts, and saves the final beat, so payload is not walked a
+// second time. Counts that do not match what TransferBatch would compute
+// corrupt the session's statistics; only fused gather loops should use this.
+func (b *Bus) TransferBatchCounted(payload []byte, txnBytes, ones, toggles int) error {
+	return b.transferBatch(payload, txnBytes, true, ones, toggles)
+}
+
+func (b *Bus) transferBatch(payload []byte, txnBytes int, counted bool, ones, toggles int) error {
+	if txnBytes <= 0 || txnBytes%b.beatBytes != 0 {
+		return fmt.Errorf("bus: %d-byte transactions do not fill %d-byte beats", txnBytes, b.beatBytes)
+	}
+	if len(payload)%txnBytes != 0 {
+		return fmt.Errorf("bus: %d payload bytes do not divide into %d-byte transactions", len(payload), txnBytes)
+	}
+	n := len(payload) / txnBytes
+	if n == 0 {
+		return nil
+	}
+	if len(b.lastData) != b.beatBytes {
+		b.lastData = make([]byte, b.beatBytes)
+		b.haveState = false
+	}
+	if b.haveState {
+		_, boundary := onesAndToggles(payload[:b.beatBytes], b.lastData)
+		b.stats.DataToggles += boundary
+	}
+	if !counted {
+		ones, toggles = onesAndBeatToggles(payload, b.beatBytes)
+	}
+	b.stats.DataOnes += ones
+	b.stats.DataToggles += toggles
+	copy(b.lastData, payload[len(payload)-b.beatBytes:])
+	b.haveState = true
+
+	b.stats.Transactions += n
+	b.stats.Beats += len(payload) / b.beatBytes
+	b.stats.DataBits += len(payload) * 8
+	return nil
+}
+
+// onesAndBeatToggles is core.OnesCount and beatToggles fused into one walk:
+// each word is loaded once and feeds both popcount reductions, instead of the
+// payload being streamed twice (and the toggle pass re-loading each word a
+// second time at the lagged offset). This is TransferBatch's inner loop; the
+// fusion roughly halves its memory traffic. len(p) must be a multiple of
+// beatBytes.
+func onesAndBeatToggles(p []byte, beatBytes int) (ones, toggles int) {
+	// The serving configurations beat at 32 or 64 bits; there each lagged
+	// beat is available in a register carried across iterations, so the walk
+	// loads every word exactly once (no second, overlapping load at the
+	// lagged offset).
+	switch {
+	case beatBytes == 4 && len(p) >= 8 && len(p)%4 == 0:
+		// Two-wide unroll with split accumulators: the popcount reductions
+		// run on independent chains while the carried beat stays a cheap
+		// shift of the newest word.
+		x := binary.LittleEndian.Uint64(p)
+		ones0, ones1 := bits.OnesCount64(x), 0
+		tog0, tog1 := bits.OnesCount32(uint32(x>>32)^uint32(x)), 0
+		carry := x >> 32
+		i := 8
+		for ; i+16 <= len(p); i += 16 {
+			a := binary.LittleEndian.Uint64(p[i:])
+			b := binary.LittleEndian.Uint64(p[i+8:])
+			ones0 += bits.OnesCount64(a)
+			ones1 += bits.OnesCount64(b)
+			tog0 += bits.OnesCount64(a ^ (a<<32 | carry))
+			tog1 += bits.OnesCount64(b ^ (b<<32 | a>>32))
+			carry = b >> 32
+		}
+		if i+8 <= len(p) {
+			a := binary.LittleEndian.Uint64(p[i:])
+			ones0 += bits.OnesCount64(a)
+			tog0 += bits.OnesCount64(a ^ (a<<32 | carry))
+			carry = a >> 32
+			i += 8
+		}
+		if i < len(p) {
+			w := binary.LittleEndian.Uint32(p[i:])
+			ones0 += bits.OnesCount32(w)
+			tog0 += bits.OnesCount32(w ^ uint32(carry))
+		}
+		return ones0 + ones1, tog0 + tog1
+	case beatBytes == 8 && len(p) >= 8 && len(p)%8 == 0:
+		carry := binary.LittleEndian.Uint64(p)
+		ones0, ones1 := bits.OnesCount64(carry), 0
+		tog0, tog1 := 0, 0
+		i := 8
+		for ; i+16 <= len(p); i += 16 {
+			a := binary.LittleEndian.Uint64(p[i:])
+			b := binary.LittleEndian.Uint64(p[i+8:])
+			ones0 += bits.OnesCount64(a)
+			ones1 += bits.OnesCount64(b)
+			tog0 += bits.OnesCount64(a ^ carry)
+			tog1 += bits.OnesCount64(b ^ a)
+			carry = b
+		}
+		if i+8 <= len(p) {
+			a := binary.LittleEndian.Uint64(p[i:])
+			ones0 += bits.OnesCount64(a)
+			tog0 += bits.OnesCount64(a ^ carry)
+		}
+		return ones0 + ones1, tog0 + tog1
+	}
+	for j := 0; j < beatBytes && j < len(p); j++ {
+		ones += bits.OnesCount8(p[j])
+	}
+	i := beatBytes
+	for ; i+8 <= len(p); i += 8 {
+		x := binary.LittleEndian.Uint64(p[i:])
+		ones += bits.OnesCount64(x)
+		toggles += bits.OnesCount64(x ^ binary.LittleEndian.Uint64(p[i-beatBytes:]))
+	}
+	if i+4 <= len(p) {
+		x := binary.LittleEndian.Uint32(p[i:])
+		ones += bits.OnesCount32(x)
+		toggles += bits.OnesCount32(x ^ binary.LittleEndian.Uint32(p[i-beatBytes:]))
+		i += 4
+	}
+	for ; i < len(p); i++ {
+		ones += bits.OnesCount8(p[i])
+		toggles += bits.OnesCount8(p[i] ^ p[i-beatBytes])
+	}
+	return ones, toggles
+}
+
+// beatToggles counts the wire transitions between consecutive beats of p —
+// the Hamming distance between p[i] and p[i-beatBytes] summed over every
+// position from the second beat on — in uint64, then uint32, then byte lanes.
+// len(p) must be a multiple of beatBytes.
+func beatToggles(p []byte, beatBytes int) int {
+	t := 0
+	i := beatBytes
+	for ; i+8 <= len(p); i += 8 {
+		t += bits.OnesCount64(binary.LittleEndian.Uint64(p[i:]) ^ binary.LittleEndian.Uint64(p[i-beatBytes:]))
+	}
+	if i+4 <= len(p) {
+		t += bits.OnesCount32(binary.LittleEndian.Uint32(p[i:]) ^ binary.LittleEndian.Uint32(p[i-beatBytes:]))
+		i += 4
+	}
+	for ; i < len(p); i++ {
+		t += bits.OnesCount8(p[i] ^ p[i-beatBytes])
+	}
+	return t
+}
+
+// SummarizeBatch computes the content-only activity of each txnBytes-sized
+// metadata-free record in payload into sums[0:len(payload)/txnBytes], each
+// entry exactly what Summarize would produce for that record (buffers in
+// sums are reused). One call summarizes a whole encoded batch for the
+// similarity cache or for deferred in-order Apply splicing without
+// re-slicing records through the single-transaction entry point.
+func SummarizeBatch(sums []Summary, payload []byte, txnBytes, dataWires int) error {
+	if dataWires <= 0 || dataWires%8 != 0 {
+		return fmt.Errorf("bus: invalid width %d", dataWires)
+	}
+	beatBytes := dataWires / 8
+	if txnBytes <= 0 || txnBytes%beatBytes != 0 {
+		return fmt.Errorf("bus: %d-byte transactions do not fill %d-byte beats", txnBytes, beatBytes)
+	}
+	if len(payload)%txnBytes != 0 {
+		return fmt.Errorf("bus: %d payload bytes do not divide into %d-byte transactions", len(payload), txnBytes)
+	}
+	n := len(payload) / txnBytes
+	if len(sums) < n {
+		return fmt.Errorf("bus: summary batch holds %d entries, need %d", len(sums), n)
+	}
+	beats := txnBytes / beatBytes
+	for i := 0; i < n; i++ {
+		rec := payload[i*txnBytes : (i+1)*txnBytes]
+		s := &sums[i]
+		first, last := s.First, s.Last
+		firstMeta, lastMeta := s.FirstMeta, s.LastMeta
+		*s = Summary{Beats: beats, DataBits: txnBytes * 8}
+		s.DataOnes = core.OnesCount(rec)
+		s.DataToggles = beatToggles(rec, beatBytes)
+		s.First = append(first[:0], rec[:beatBytes]...)
+		s.Last = append(last[:0], rec[txnBytes-beatBytes:]...)
+		s.FirstMeta = firstMeta[:0]
+		s.LastMeta = lastMeta[:0]
+	}
+	return nil
+}

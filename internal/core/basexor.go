@@ -64,6 +64,9 @@ type BaseXOR struct {
 	kern        bxKernel
 	kernSize    int // BaseSize the kernel and cnstWord were derived for
 
+	// batchHits/batchTxns count EncodeBatch cross-transaction reuse.
+	batchHits, batchTxns uint64
+
 	// forceRef pins the byte-generic reference path; the differential
 	// tests use it to check the word kernels against it.
 	forceRef bool
@@ -170,7 +173,14 @@ func (c *BaseXOR) Encode(dst *Encoded, src []byte) error {
 		return err
 	}
 	dst.grow(len(src), 0)
-	out := dst.Data
+	c.encodeResolved(dst.Data, src)
+	return nil
+}
+
+// encodeResolved runs the kernel check() selected for len(src); callers must
+// have called check(len(src)) first and sized out to len(src). EncodeBatch
+// uses it to amortize the plan resolution over a whole batch.
+func (c *BaseXOR) encodeResolved(out, src []byte) {
 	fixed := c.Mode == FixedBase
 	switch c.kern {
 	case bxW2:
@@ -192,7 +202,6 @@ func (c *BaseXOR) Encode(dst *Encoded, src []byte) error {
 	default:
 		c.encodeRef(out, src)
 	}
-	return nil
 }
 
 // encodeRef is the byte-generic reference Encode datapath, retained for odd

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// BatchEncoder is the optional batch-granular fast path a codec exposes when
+// it can encode a whole transaction batch in one call. The serving stack
+// moves entire BXTP batches, so dispatching the word-lane kernels one
+// transaction at a time pays per-txn plan resolution, base-selection scans,
+// and interface dispatch on every record; EncodeBatch resolves the plan once,
+// keeps base registers and ZDR detection masks live across transactions, and
+// walks the batch back-to-back.
+//
+// src holds n transactions of txnBytes bytes each, contiguous and in order.
+// dst[i] receives the encoding of src[i*txnBytes:(i+1)*txnBytes], exactly as
+// if produced by n sequential Encode calls (byte-identical output, including
+// metadata). Implementations resize dst records in place, so callers that
+// pre-point dst[i].Data at adjacent windows of one backing buffer get a fully
+// contiguous encoded batch with no copies.
+type BatchEncoder interface {
+	EncodeBatch(dst []Encoded, src []byte, n, txnBytes int) error
+}
+
+// BatchReuser reports cross-transaction reuse statistics accumulated by a
+// BatchEncoder: txns is the number of transactions pushed through
+// EncodeBatch, hits the number that skipped the encode walk (or, for
+// OracleBase, the base-selection scan) because they matched the previous
+// transaction. Counters persist across Reset; they are observability, not
+// codec state.
+type BatchReuser interface {
+	BatchReuse() (hits, txns uint64)
+}
+
+// CheckBatch validates an EncodeBatch call shape. Implementations (and the
+// byte-generic fallback in internal/scheme) share it so every batch entry
+// point rejects malformed geometry identically.
+func CheckBatch(dst []Encoded, src []byte, n, txnBytes int) error {
+	if n < 0 || txnBytes <= 0 {
+		return fmt.Errorf("core: invalid batch shape: %d transactions of %d bytes", n, txnBytes)
+	}
+	if len(dst) < n {
+		return fmt.Errorf("core: batch dst holds %d records, need %d", len(dst), n)
+	}
+	if len(src) != n*txnBytes {
+		return fmt.Errorf("core: batch src has %d bytes, want %d (%d × %d-byte transactions)",
+			len(src), n*txnBytes, n, txnBytes)
+	}
+	return nil
+}
+
+// sameTxn reports whether two equal-length transaction windows are identical,
+// comparing a word at a time. The leading word doubles as the delta-base
+// filter: it holds every candidate base element (2/4/8-byte), so a mismatching
+// batch is rejected on the first compare and the full scan only runs when the
+// bases already agree. The word loop matters: this runs on every transaction
+// of every batch, and a byte-wise compare on a 32-byte duplicate costs more
+// than the encode walk it is trying to skip.
+func sameTxn(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	i := 0
+	for ; i+16 <= len(a); i += 16 {
+		d := (binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:])) |
+			(binary.LittleEndian.Uint64(a[i+8:]) ^ binary.LittleEndian.Uint64(b[i+8:]))
+		if d != 0 {
+			return false
+		}
+	}
+	if i+8 <= len(a) {
+		if binary.LittleEndian.Uint64(a[i:]) != binary.LittleEndian.Uint64(b[i:]) {
+			return false
+		}
+		i += 8
+	}
+	for ; i < len(a); i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// growBatch is the metadata-free record resize inlined into the batch loops:
+// Encoded.grow is call-heavy for a per-record operation whose steady state is
+// a pair of re-slices.
+func growBatch(d *Encoded, txnBytes int) {
+	if cap(d.Data) >= txnBytes {
+		d.Data = d.Data[:txnBytes]
+		d.Meta = d.Meta[:0]
+		d.MetaBits = 0
+		return
+	}
+	d.grow(txnBytes, 0)
+}
+
+// EncodeBatch implements BatchEncoder. The kernel and ZDR constant are
+// resolved once (per-txn Encode re-derives them behind a cache check on every
+// call), then each window runs the resolved kernel back-to-back. A
+// transaction identical to its predecessor — common in real batches, where
+// adjacent requests hit the same hot line — skips the encode walk and copies
+// the previous record.
+func (c *BaseXOR) EncodeBatch(dst []Encoded, src []byte, n, txnBytes int) error {
+	if err := c.check(txnBytes); err != nil {
+		return err
+	}
+	if err := CheckBatch(dst, src, n, txnBytes); err != nil {
+		return err
+	}
+	var prev []byte
+	for i := 0; i < n; i++ {
+		w := src[i*txnBytes : (i+1)*txnBytes]
+		d := &dst[i]
+		growBatch(d, txnBytes)
+		c.batchTxns++
+		if prev != nil && sameTxn(w, prev) {
+			c.batchHits++
+			copy(d.Data, dst[i-1].Data)
+		} else {
+			c.encodeResolved(d.Data, w)
+		}
+		prev = w
+	}
+	return nil
+}
+
+// BatchReuse implements BatchReuser.
+func (c *BaseXOR) BatchReuse() (hits, txns uint64) { return c.batchHits, c.batchTxns }
+
+// EncodeBatch implements BatchEncoder: the stage plan is resolved once, then
+// every window runs the resolved stages, with the same consecutive-duplicate
+// reuse as BaseXOR.
+func (c *Universal) EncodeBatch(dst []Encoded, src []byte, n, txnBytes int) error {
+	if err := c.check(txnBytes); err != nil {
+		return err
+	}
+	if err := CheckBatch(dst, src, n, txnBytes); err != nil {
+		return err
+	}
+	var prev []byte
+	for i := 0; i < n; i++ {
+		w := src[i*txnBytes : (i+1)*txnBytes]
+		d := &dst[i]
+		growBatch(d, txnBytes)
+		c.batchTxns++
+		if prev != nil && sameTxn(w, prev) {
+			c.batchHits++
+			copy(d.Data, dst[i-1].Data)
+		} else {
+			c.encodeResolved(d.Data, w)
+		}
+		prev = w
+	}
+	return nil
+}
+
+// BatchReuse implements BatchReuser.
+func (c *Universal) BatchReuse() (hits, txns uint64) { return c.batchHits, c.batchTxns }
+
+// EncodeBatch implements BatchEncoder. This is where batching pays the most:
+// per-txn Encode runs every candidate base size through a full encode and a
+// popcount scan. The delta-base fast path compares each transaction's
+// candidate base word against the previous transaction's (sameTxn's leading
+// word holds every candidate base element) and, on a full match, reuses the
+// previous record and selector outright — identical input means identical
+// candidate costs, so the winner cannot change and output equality is exact.
+func (o *OracleBase) EncodeBatch(dst []Encoded, src []byte, n, txnBytes int) error {
+	if err := o.init(); err != nil {
+		return err
+	}
+	if err := CheckBatch(dst, src, n, txnBytes); err != nil {
+		return err
+	}
+	var prev []byte
+	for i := 0; i < n; i++ {
+		w := src[i*txnBytes : (i+1)*txnBytes]
+		o.batchTxns++
+		if prev != nil && sameTxn(w, prev) {
+			o.batchHits++
+			d := &dst[i]
+			d.grow(txnBytes, o.MetaBits(txnBytes))
+			copy(d.Data, dst[i-1].Data)
+			copy(d.Meta, dst[i-1].Meta)
+		} else if err := o.Encode(&dst[i], w); err != nil {
+			return err
+		}
+		prev = w
+	}
+	return nil
+}
+
+// BatchReuse implements BatchReuser; hits counts delta-base scan skips.
+func (o *OracleBase) BatchReuse() (hits, txns uint64) { return o.batchHits, o.batchTxns }
+
+var (
+	_ BatchEncoder = (*BaseXOR)(nil)
+	_ BatchEncoder = (*Universal)(nil)
+	_ BatchEncoder = (*OracleBase)(nil)
+	_ BatchReuser  = (*BaseXOR)(nil)
+	_ BatchReuser  = (*Universal)(nil)
+	_ BatchReuser  = (*OracleBase)(nil)
+)

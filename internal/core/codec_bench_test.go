@@ -92,3 +92,52 @@ func BenchmarkCodecDecode64(b *testing.B) {
 		b.Run(bc.name, func(b *testing.B) { benchDecode(b, bc.c, 64) })
 	}
 }
+
+// batchBenchSrc builds a 64-transaction batch where roughly half the
+// transactions repeat their predecessor — the hot-line duplicate density the
+// delta-base fast path targets.
+func batchBenchSrc(n, txnBytes int) []byte {
+	rng := rand.New(rand.NewSource(88))
+	src := make([]byte, n*txnBytes)
+	rng.Read(src)
+	for i := 1; i < n; i++ {
+		if rng.Intn(2) == 0 {
+			copy(src[i*txnBytes:(i+1)*txnBytes], src[(i-1)*txnBytes:i*txnBytes])
+		}
+	}
+	return src
+}
+
+func benchEncodeBatch(b *testing.B, be BatchEncoder, n, txnBytes int) {
+	src := batchBenchSrc(n, txnBytes)
+	dst := make([]Encoded, n)
+	if err := be.EncodeBatch(dst, src, n, txnBytes); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(n * txnBytes))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := be.EncodeBatch(dst, src, n, txnBytes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeBatch32 drives the batch mega-kernels over 64 transactions
+// of 32 bytes; compare against BenchmarkCodecEncode32 × 64 for the
+// per-transaction dispatch cost the batch path amortizes.
+func BenchmarkEncodeBatch32(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		be   BatchEncoder
+	}{
+		{"basexor2", NewBaseXOR(2)},
+		{"basexor4", NewBaseXOR(4)},
+		{"basexor8", NewBaseXOR(8)},
+		{"universal", NewUniversal(3)},
+		{"oracle", NewOracleBase()},
+	} {
+		b.Run(bc.name, func(b *testing.B) { benchEncodeBatch(b, bc.be, 64, 32) })
+	}
+}

@@ -29,6 +29,9 @@ type OracleBase struct {
 	// tmp receives each candidate's encoding; best retains the winner so
 	// far, so the winning candidate is never encoded twice.
 	tmp, best Encoded
+
+	// batchHits/batchTxns count EncodeBatch delta-base scan skips.
+	batchHits, batchTxns uint64
 }
 
 var _ Codec = (*OracleBase)(nil)

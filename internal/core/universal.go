@@ -43,6 +43,9 @@ type Universal struct {
 	// 32-byte / 3-stage configuration.
 	fast32 bool
 
+	// batchHits/batchTxns count EncodeBatch cross-transaction reuse.
+	batchHits, batchTxns uint64
+
 	// forceRef pins the byte-generic reference path; the differential
 	// tests use it to check the word kernels against it.
 	forceRef bool
@@ -144,11 +147,19 @@ func (c *Universal) Encode(dst *Encoded, src []byte) error {
 		return err
 	}
 	dst.grow(len(src), 0)
+	c.encodeResolved(dst.Data, src)
+	return nil
+}
+
+// encodeResolved runs the stage plan check() resolved for len(src); callers
+// must have called check(len(src)) first and sized out to len(src).
+// EncodeBatch uses it to amortize the plan resolution over a whole batch.
+func (c *Universal) encodeResolved(out, src []byte) {
 	if c.fast32 {
-		encodeUniversal32x3(dst.Data, src, c.ZDR)
-		return nil
+		encodeUniversal32x3(out, src, c.ZDR)
+		return
 	}
-	copy(dst.Data, src)
+	copy(out, src)
 	// The surviving region is always a prefix of the transaction: stage s
 	// operates on the first len(src)>>s bytes. Each stage runs the widest
 	// kernel its half-width allows (resolved in check); odd widths —
@@ -157,8 +168,8 @@ func (c *Universal) Encode(dst *Encoded, src []byte) error {
 	for i := range c.plan {
 		st := &c.plan[i]
 		half := st.half
-		left := dst.Data[:half]
-		right := dst.Data[half : 2*half]
+		left := out[:half]
+		right := out[half : 2*half]
 		in := src[half : 2*half]
 		// left still equals src[:half] here — no stage has touched it
 		// yet — so it is a valid base for the hardware's parallel view.
@@ -173,7 +184,6 @@ func (c *Universal) Encode(dst *Encoded, src []byte) error {
 			encodeElement(right, in, left, st.cnst, c.ZDR)
 		}
 	}
-	return nil
 }
 
 // Decode implements Codec by unwinding the stages innermost-first: once the

@@ -124,6 +124,47 @@ func Cacheable(name string) bool {
 	return e.cacheable
 }
 
+// BatchEncoder returns the batch-granular encode entry point for c: c itself
+// when it natively implements core.BatchEncoder, otherwise a byte-generic
+// fallback that feeds each window through c.Encode. Callers can therefore
+// drive any codec — including wrapped ones, like the chaos injector's fault
+// proxy — through one batch call; only natively batched codecs amortize plan
+// resolution and reuse bases across transactions.
+func BatchEncoder(c core.Codec) core.BatchEncoder {
+	if be, ok := c.(core.BatchEncoder); ok {
+		return be
+	}
+	return seqBatch{c}
+}
+
+// seqBatch adapts a per-transaction codec to the batch interface.
+type seqBatch struct{ c core.Codec }
+
+// EncodeBatch implements core.BatchEncoder one Encode call at a time.
+func (s seqBatch) EncodeBatch(dst []core.Encoded, src []byte, n, txnBytes int) error {
+	if err := core.CheckBatch(dst, src, n, txnBytes); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := s.c.Encode(&dst[i], src[i*txnBytes:(i+1)*txnBytes]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Batched reports whether name's codec natively implements
+// core.BatchEncoder, i.e. whether batch calls run the mega-kernel fast path
+// rather than the sequential fallback. Unknown names report false.
+func Batched(name string) bool {
+	e, ok := builders[name]
+	if !ok {
+		return false
+	}
+	_, ok = e.build(DefaultOptions()).(core.BatchEncoder)
+	return ok
+}
+
 // Names returns the registered scheme names in sorted order.
 func Names() []string {
 	out := make([]string, 0, len(builders))

@@ -136,3 +136,83 @@ func TestCacheable(t *testing.T) {
 		}
 	}
 }
+
+// TestBatched checks the native-batch capability map and the BatchEncoder
+// adapter: natively batched codecs come back as themselves, everything else
+// gets the sequential fallback, and the fallback's output is byte-identical
+// to per-transaction Encode on a twin instance.
+func TestBatched(t *testing.T) {
+	want := map[string]bool{
+		"baseline": false, "basexor": true, "2b": true, "4b": true,
+		"8b": true, "silent": true, "universal": true,
+		"dbi": false, "dbi1": false, "dbi2": false, "dbi4": false,
+		"bdenc": false, "bd": false, "fve": false, "universal+dbi1": false,
+	}
+	for _, name := range Names() {
+		exp, ok := want[name]
+		if !ok {
+			t.Errorf("scheme %q has no expected batched value; classify it here", name)
+			continue
+		}
+		if got := Batched(name); got != exp {
+			t.Errorf("Batched(%q) = %v, want %v", name, got, exp)
+		}
+		c, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		be := BatchEncoder(c)
+		_, native := c.(core.BatchEncoder)
+		if _, fallback := be.(seqBatch); native == fallback {
+			t.Errorf("%q: BatchEncoder adapter mismatch (native %v, fallback %v)", name, native, fallback)
+		}
+	}
+	if Batched("bogus") {
+		t.Error("Batched(bogus) = true, want false")
+	}
+}
+
+// TestSeqBatchFallbackMatchesEncode drives a non-natively-batched scheme
+// through the BatchEncoder adapter and checks each record against sequential
+// Encode on a fresh instance, including the stateful bdenc whose records
+// depend on encode order.
+func TestSeqBatchFallbackMatchesEncode(t *testing.T) {
+	for _, name := range []string{"baseline", "dbi1", "bdenc", "universal+dbi1"} {
+		t.Run(name, func(t *testing.T) {
+			const n, txnBytes = 16, 32
+			rng := rand.New(rand.NewSource(13))
+			src := make([]byte, n*txnBytes)
+			rng.Read(src)
+			copy(src[txnBytes:2*txnBytes], src[:txnBytes]) // a consecutive duplicate
+
+			batched, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			be := BatchEncoder(batched)
+			dst := make([]core.Encoded, n)
+			if err := be.EncodeBatch(dst, src, n, txnBytes); err != nil {
+				t.Fatalf("EncodeBatch: %v", err)
+			}
+
+			seq, err := New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want core.Encoded
+			for i := 0; i < n; i++ {
+				if err := seq.Encode(&want, src[i*txnBytes:(i+1)*txnBytes]); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(dst[i].Data, want.Data) || !bytes.Equal(dst[i].Meta, want.Meta) {
+					t.Fatalf("record %d diverges from sequential Encode", i)
+				}
+			}
+
+			// Shape errors must surface through the adapter too.
+			if err := be.EncodeBatch(dst[:1], src, n, txnBytes); err == nil {
+				t.Error("short dst accepted")
+			}
+		})
+	}
+}

@@ -46,6 +46,11 @@ func newBenchSession(t testing.TB, schemeName string, txnSize int) *session {
 		replyFree:  make(chan []byte, 6),
 	}
 	ss.metaBytes = (ss.metaBits + 7) / 8
+	// Mirror handshake: metadata-free sessions run the batch-granular
+	// encode path.
+	if ss.metaBits == 0 {
+		ss.batch = scheme.BatchEncoder(codec)
+	}
 	return ss
 }
 

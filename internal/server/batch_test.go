@@ -1,0 +1,103 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/bus"
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// dupTxns builds a makeTxns stream with consecutive duplicates spliced in so
+// the batch path's delta-base reuse fires.
+func dupTxns(rng *rand.Rand, n, txnSize int) []trace.Transaction {
+	txns := makeTxns(rng, n, txnSize)
+	for i := 1; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			copy(txns[i].Data, txns[i-1].Data)
+		}
+	}
+	return txns
+}
+
+// TestBatchPathMatchesSequential is the serving-side differential for the
+// batch mega-kernel: the batch encode path (gather, EncodeBatch, fused
+// TransferBatch accounting) must produce byte-identical replies and
+// bit-identical bus statistics to the per-transaction path it replaced,
+// across schemes, batch sizes straddling the blocking factor, and
+// duplicate-heavy streams.
+func TestBatchPathMatchesSequential(t *testing.T) {
+	for _, schemeName := range []string{"universal", "basexor", "2b", "8b", "silent"} {
+		t.Run(schemeName, func(t *testing.T) {
+			batch := newBenchSession(t, schemeName, 32)
+			seq := newBenchSession(t, schemeName, 32)
+			seq.batch = nil // force the per-transaction path
+			if batch.batch == nil {
+				t.Fatal("metadata-free session did not get a batch encoder")
+			}
+			rng := rand.New(rand.NewSource(23))
+			var id uint64
+			for _, n := range []int{1, 7, batchBlockTxns, batchBlockTxns + 1, 200} {
+				id++
+				txns := dupTxns(rng, n, 32)
+				rb, err := batch.processBatch(id, txns)
+				if err != nil {
+					t.Fatalf("batch processBatch(%d txns): %v", n, err)
+				}
+				rs, err := seq.processBatch(id, txns)
+				if err != nil {
+					t.Fatalf("sequential processBatch(%d txns): %v", n, err)
+				}
+				if !bytes.Equal(rb, rs) {
+					t.Fatalf("%d txns: batch reply diverges from sequential", n)
+				}
+				if bs, ss := batch.baseBus.Stats(), seq.baseBus.Stats(); bs != ss {
+					t.Fatalf("%d txns: raw-side bus stats diverge\nbatch      %+v\nsequential %+v", n, bs, ss)
+				}
+				if bs, ss := batch.encBus.Stats(), seq.encBus.Stats(); bs != ss {
+					t.Fatalf("%d txns: encoded-side bus stats diverge\nbatch      %+v\nsequential %+v", n, bs, ss)
+				}
+				batch.replyFree <- rb
+				seq.replyFree <- rs
+			}
+		})
+	}
+}
+
+// TestGatherCountedMatchesTransferBatch checks the gather-fused raw-side
+// accounting: the copied-out buffer must equal a plain gather, and the counts
+// fed through TransferBatchCounted must leave a bus bit-identical to
+// TransferBatch walking the payload itself — including across calls, where
+// the boundary toggle consults bus history.
+func TestGatherCountedMatchesTransferBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, width := range []int{32, 64} {
+		for _, txnSize := range []int{8, 24, 32, 64} {
+			a, b := bus.New(width), bus.New(width)
+			for round := 0; round < 10; round++ {
+				n := 1 + rng.Intn(5)
+				txns := dupTxns(rng, n, txnSize)
+				var plain []byte
+				for i := range txns {
+					plain = append(plain, txns[i].Data...)
+				}
+				dst := make([]byte, n*txnSize)
+				ones, toggles := gatherCounted(dst, txns, txnSize, width/8)
+				if !bytes.Equal(dst, plain) {
+					t.Fatalf("width %d txnSize %d: gathered bytes diverge", width, txnSize)
+				}
+				if err := a.TransferBatch(plain, txnSize); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.TransferBatchCounted(dst, txnSize, ones, toggles); err != nil {
+					t.Fatal(err)
+				}
+				if as, bs := a.Stats(), b.Stats(); as != bs {
+					t.Fatalf("width %d txnSize %d round %d: stats diverge\ncounted  %+v\ninternal %+v",
+						width, txnSize, round, bs, as)
+				}
+			}
+		}
+	}
+}

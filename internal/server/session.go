@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"sync"
 	"time"
 
 	"github.com/hpca18/bxt/internal/bus"
@@ -100,6 +101,34 @@ type session struct {
 	enc               core.Encoded
 	txns              []trace.Transaction
 	recBuf            []byte
+
+	// batch, when non-nil, is the codec's batch-granular entry point
+	// (metadata-free sessions only): encodeAllBatch gathers each block of
+	// transactions into srcBuf, encodes it into recBuf windows with one
+	// EncodeBatch call, and charges both buses with fused TransferBatch
+	// walks while the block is still L1-resident. batchEnc holds the
+	// per-block dst windows; bprobes, missIdx and missBuf serve the cached
+	// variant, which defers a block's misses and batches them back through
+	// the mega-kernel.
+	batch    core.BatchEncoder
+	srcBuf   []byte
+	batchEnc []core.Encoded
+	bprobes  []simcache.Probe
+	missIdx  []int
+	missBuf  []byte
+
+	// readDLAt/writeDLAt record when each connection deadline was last
+	// armed, so the hot loops re-arm the kernel timer only after a quarter
+	// of the timeout has elapsed. readDLAt is owned by readLoop; writeDLAt
+	// is guarded by wmu.
+	readDLAt  time.Time
+	writeDLAt time.Time
+	// wmu serializes writes to bw between the writer goroutine and the
+	// reader's inline reply fast path; wbroken (guarded by wmu) latches the
+	// first write failure so later frames are dropped instead of written to
+	// a closed connection.
+	wmu     sync.Mutex
+	wbroken bool
 
 	out chan outFrame
 	// replyFree recycles BatchReply body buffers between processBatch
@@ -225,6 +254,13 @@ func (ss *session) handshake() error {
 	ss.counters = ss.srv.met.scheme(name)
 	ss.baseBus = bus.New(ss.srv.cfg.ChannelWidthBits)
 	ss.encBus = bus.New(ss.srv.cfg.ChannelWidthBits)
+	// Metadata-free sessions run the batch-granular fast path; codecs
+	// without native BatchEncoder support (including chaos-wrapped ones,
+	// whose faults must keep firing per transaction) fall back to a
+	// sequential loop behind the same call.
+	if ss.metaBits == 0 {
+		ss.batch = scheme.BatchEncoder(codec)
+	}
 
 	stages := ss.srv.met.stages
 	ss.readH = stages.Hist(name, obs.StageFrameRead)
@@ -275,8 +311,16 @@ func (ss *session) readLoop() {
 		if ss.srv.isDraining() {
 			return
 		}
-		ss.conn.SetReadDeadline(time.Now().Add(ss.srv.cfg.ReadTimeout))
+		// One clock read serves both the deadline and the stage timer, and
+		// the kernel timer is only re-armed once a quarter of the timeout
+		// has burned down: the effective idle limit stays within
+		// [3/4·ReadTimeout, ReadTimeout] while a busy session skips the
+		// per-frame deadline update entirely.
 		readStart := time.Now()
+		if readStart.Sub(ss.readDLAt) > ss.srv.cfg.ReadTimeout>>2 {
+			ss.conn.SetReadDeadline(readStart.Add(ss.srv.cfg.ReadTimeout))
+			ss.readDLAt = readStart
+		}
 		ft, body, err := trace.ReadFrame(ss.br, fbuf)
 		if err != nil {
 			if err == io.EOF {
@@ -373,7 +417,17 @@ func (ss *session) handleBatch(body []byte, readDur time.Duration) (fatal bool) 
 		// client learns via the reset flag to restart its decoder.
 		return ss.softFail(id, true, err.Error())
 	}
-	ss.out <- outFrame{t: trace.FrameBatchReply, body: reply, span: ss.span, hasSpan: true}
+	f := outFrame{t: trace.FrameBatchReply, body: reply, span: ss.span, hasSpan: true}
+	// Steady-state fast path: with nothing queued, the reply goes out from
+	// this goroutine, skipping the channel handoff and writer wakeup. Only
+	// this goroutine enqueues, so an empty queue cannot gain frames the
+	// reply would overtake; a frame mid-write in the writer is ordered by
+	// writeOut's mutex.
+	if len(ss.out) == 0 {
+		ss.writeOut(f, true)
+	} else {
+		ss.out <- f
+	}
 	return false
 }
 
@@ -445,15 +499,16 @@ func (ss *session) processBatch(id uint64, txns []trace.Transaction) ([]byte, er
 	// geometry the client parses). Similarity-cache sessions have already
 	// charged the buses during the encode pass — cache entries memoize
 	// their bus summaries, so the hit path splices them in with bus.Apply
-	// instead of re-walking every beat — leaving only the geometry check
-	// here.
+	// instead of re-walking every beat — and batch sessions have too, via
+	// the fused TransferBatch walk over each cache-hot block; both leave
+	// only the geometry check here.
 	recLen := ss.txnSize + ss.metaBytes
 	if len(ss.recBuf) != len(txns)*recLen {
 		ss.recoverBatch()
 		return nil, fmt.Errorf("scheme %s: produced %d record bytes for %d transactions, want %d",
 			ss.schemeName, len(ss.recBuf), len(txns), len(txns)*recLen)
 	}
-	if ss.cache == nil {
+	if ss.cache == nil && ss.batch == nil {
 		for i := range txns {
 			raw := core.Encoded{Data: txns[i].Data}
 			if err := ss.baseBus.Transfer(&raw); err != nil {
@@ -549,7 +604,13 @@ func (ss *session) encodeAll(txns []trace.Transaction) (err error) {
 		}
 	}()
 	if ss.cache != nil {
+		if ss.batch != nil {
+			return ss.encodeAllCachedBatch(txns)
+		}
 		return ss.encodeAllCached(txns)
+	}
+	if ss.batch != nil {
+		return ss.encodeAllBatch(txns)
 	}
 	for i := range txns {
 		t := &txns[i]
@@ -559,6 +620,203 @@ func (ss *session) encodeAll(txns []trace.Transaction) (err error) {
 		ss.recBuf = append(ss.recBuf, ss.enc.Data...)
 		ss.recBuf = append(ss.recBuf, ss.enc.Meta...)
 	}
+	return nil
+}
+
+// batchBlockTxns is the cache-blocking factor of the batch encode path: the
+// gathered source block and its record windows (64 × 32 B = 2 KiB each for
+// the paper's workload) both stay L1-resident from the encode walk through
+// the fused accounting walk, while still amortizing per-call overheads.
+const batchBlockTxns = 64
+
+// encodeAllBatch is the batch-granular encode path for metadata-free
+// sessions without a similarity cache. BXTP frames stride each
+// transaction's data behind its record header, so each block is first
+// gathered into the contiguous srcBuf the mega-kernel wants; the dst
+// records are pre-pointed at adjacent recBuf windows, so the kernels write
+// the reply payload in place and the whole batch needs no per-record
+// copies. Wire accounting is fused into the same walk: each block charges
+// both buses through TransferBatch right after its encode, one boundary
+// splice plus streaming popcount passes instead of the per-beat Transfer
+// state machine that previously dominated the pipeline.
+func (ss *session) encodeAllBatch(txns []trace.Transaction) error {
+	n := len(txns)
+	recLen := ss.txnSize // batch sessions are metadata-free
+	if need := n * recLen; cap(ss.recBuf) < need {
+		ss.recBuf = make([]byte, need)
+	} else {
+		ss.recBuf = ss.recBuf[:n*recLen]
+	}
+	if cap(ss.batchEnc) < batchBlockTxns {
+		ss.batchEnc = make([]core.Encoded, batchBlockTxns)
+	}
+	bb := ss.baseBus.BeatBytes()
+	fused := ss.txnSize%8 == 0 && (bb == 4 || bb == 8)
+	for start := 0; start < n; start += batchBlockTxns {
+		end := start + batchBlockTxns
+		if end > n {
+			end = n
+		}
+		bn := end - start
+		var rawOnes, rawToggles int
+		if fused {
+			blockBytes := bn * ss.txnSize
+			if cap(ss.srcBuf) < blockBytes {
+				ss.srcBuf = make([]byte, blockBytes)
+			}
+			ss.srcBuf = ss.srcBuf[:blockBytes]
+			rawOnes, rawToggles = gatherCounted(ss.srcBuf, txns[start:end], ss.txnSize, bb)
+		} else {
+			ss.srcBuf = ss.srcBuf[:0]
+			for i := start; i < end; i++ {
+				ss.srcBuf = append(ss.srcBuf, txns[i].Data...)
+			}
+		}
+		dst := ss.batchEnc[:bn]
+		for i := range dst {
+			off := (start + i) * recLen
+			dst[i].Data = ss.recBuf[off : off+recLen : off+recLen]
+			dst[i].Meta = dst[i].Meta[:0]
+			dst[i].MetaBits = 0
+		}
+		if err := ss.batch.EncodeBatch(dst, ss.srcBuf, bn, ss.txnSize); err != nil {
+			return fmt.Errorf("scheme %s: encoding batch: %v", ss.schemeName, err)
+		}
+		for i := range dst {
+			if err := ss.settleBatchRecord(&dst[i], start+i, recLen); err != nil {
+				return err
+			}
+		}
+		if fused {
+			if err := ss.baseBus.TransferBatchCounted(ss.srcBuf, ss.txnSize, rawOnes, rawToggles); err != nil {
+				return err
+			}
+		} else {
+			if err := ss.baseBus.TransferBatch(ss.srcBuf, ss.txnSize); err != nil {
+				return err
+			}
+		}
+		if err := ss.encBus.TransferBatch(ss.recBuf[start*recLen:end*recLen], ss.txnSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// settleBatchRecord verifies the codec encoded record idx in place into its
+// recBuf window, copying back records a misbehaving (or fault-injected)
+// codec regrew elsewhere and rejecting ones with the wrong geometry.
+func (ss *session) settleBatchRecord(d *core.Encoded, idx, recLen int) error {
+	slot := ss.recBuf[idx*recLen : (idx+1)*recLen]
+	if len(d.Data) != recLen || d.MetaBits != 0 {
+		return fmt.Errorf("scheme %s: batch record %d has %d data bytes and %d meta bits, want %d and 0",
+			ss.schemeName, idx, len(d.Data), d.MetaBits, recLen)
+	}
+	if &d.Data[0] != &slot[0] {
+		copy(slot, d.Data)
+	}
+	return nil
+}
+
+// encodeAllCachedBatch fuses the similarity cache with the batch path: each
+// block's transactions are looked up first — hits and patched near-hits
+// land their records straight into recBuf — and the misses are batched back
+// through the mega-kernel in one EncodeBatch call, then inserted. Bus
+// accounting must follow arrival order (toggles depend on the beat
+// sequence), so it runs as a final in-order pass over the block's memoized
+// summaries; per-block probes keep each record's summary pair alive until
+// then.
+func (ss *session) encodeAllCachedBatch(txns []trace.Transaction) error {
+	n := len(txns)
+	recLen := ss.txnSize // cached sessions with a batch path are metadata-free
+	if need := n * recLen; cap(ss.recBuf) < need {
+		ss.recBuf = make([]byte, need)
+	} else {
+		ss.recBuf = ss.recBuf[:n*recLen]
+	}
+	if cap(ss.batchEnc) < batchBlockTxns {
+		ss.batchEnc = make([]core.Encoded, batchBlockTxns)
+	}
+	if len(ss.bprobes) < batchBlockTxns {
+		ss.bprobes = make([]simcache.Probe, batchBlockTxns)
+	}
+	var lookups time.Duration
+	for start := 0; start < n; start += batchBlockTxns {
+		end := start + batchBlockTxns
+		if end > n {
+			end = n
+		}
+		bn := end - start
+		ss.missIdx = ss.missIdx[:0]
+		ss.missBuf = ss.missBuf[:0]
+		for i := 0; i < bn; i++ {
+			t := &txns[start+i]
+			p := &ss.bprobes[i]
+			var lookupStart time.Time
+			sampled := ss.lookupTick%lookupSampleStride == 0
+			ss.lookupTick++
+			if sampled {
+				lookupStart = time.Now()
+			}
+			var res simcache.Result
+			if ss.patcher != nil {
+				res = ss.cache.Lookup(p, t.Data)
+			} else {
+				res = ss.cache.LookupExact(p, t.Data)
+			}
+			if sampled {
+				lookups += time.Since(lookupStart) * lookupSampleStride
+			}
+			slot := ss.recBuf[(start+i)*recLen : (start+i+1)*recLen]
+			switch {
+			case res == simcache.HitExact:
+				copy(slot, p.Data)
+			case res == simcache.HitNear && ss.patcher.PatchEncode(ss.patchBuf, t.Data, p.Ref, p.RefEnc):
+				copy(slot, ss.patchBuf)
+				ss.cache.Insert(p, t.Data, slot, nil)
+			default:
+				ss.missIdx = append(ss.missIdx, i)
+				ss.missBuf = append(ss.missBuf, t.Data...)
+			}
+		}
+		if len(ss.missIdx) > 0 {
+			dst := ss.batchEnc[:len(ss.missIdx)]
+			for k, i := range ss.missIdx {
+				off := (start + i) * recLen
+				dst[k].Data = ss.recBuf[off : off+recLen : off+recLen]
+				dst[k].Meta = dst[k].Meta[:0]
+				dst[k].MetaBits = 0
+			}
+			if err := ss.batch.EncodeBatch(dst, ss.missBuf, len(ss.missIdx), ss.txnSize); err != nil {
+				return fmt.Errorf("scheme %s: encoding batch: %v", ss.schemeName, err)
+			}
+			for k, i := range ss.missIdx {
+				if err := ss.settleBatchRecord(&dst[k], start+i, recLen); err != nil {
+					return err
+				}
+				off := (start + i) * recLen
+				ss.cache.Insert(&ss.bprobes[i], txns[start+i].Data, ss.recBuf[off:off+recLen], nil)
+			}
+		}
+		for i := 0; i < bn; i++ {
+			p := &ss.bprobes[i]
+			if p.HasSums {
+				if err := ss.baseBus.Apply(&p.RawSum); err != nil {
+					return err
+				}
+				if err := ss.encBus.Apply(&p.EncSum); err != nil {
+					return err
+				}
+				continue
+			}
+			off := (start + i) * recLen
+			if err := ss.accountRaw(txns[start+i].Data, ss.recBuf[off:off+recLen]); err != nil {
+				return err
+			}
+		}
+	}
+	ss.lookupDur = lookups
+	ss.cacheH.ObserveEx(lookups.Seconds(), ss.traceID)
 	return nil
 }
 
@@ -634,6 +892,13 @@ func (ss *session) accountCached(raw, rec []byte) error {
 		return fmt.Errorf("scheme %s: produced a %d-byte record, want %d",
 			ss.schemeName, len(rec), ss.txnSize+ss.metaBytes)
 	}
+	return ss.accountRaw(raw, rec)
+}
+
+// accountRaw charges one raw transaction and its record to the session's
+// buses through the full per-beat walk — the fallback when no memoized
+// summaries are available.
+func (ss *session) accountRaw(raw, rec []byte) error {
 	base := core.Encoded{Data: raw}
 	if err := ss.baseBus.Transfer(&base); err != nil {
 		return err
@@ -658,54 +923,73 @@ func (ss *session) fail(msg string) {
 	ss.out <- outFrame{t: trace.FrameError, body: []byte(msg)}
 }
 
-// writeLoop owns the outbound socket half: it writes queued frames under
-// the configured write deadline, flushing whenever the queue momentarily
-// empties. A write failure (including a slow client exhausting the
-// deadline) closes the connection, which in turn unblocks the read side.
+// writeLoop drains the outbound frame queue. In steady state the reader
+// goroutine writes batch replies inline (see handleBatch) and this loop
+// only carries the rare out-of-band frames — errors, Busy, and anything
+// enqueued while the writer was momentarily busy; writeOut's mutex keeps
+// the two producers' bytes from interleaving. A write failure (including a
+// slow client exhausting the deadline) closes the connection, which in
+// turn unblocks the read side.
 func (ss *session) writeLoop() {
 	defer close(ss.writerDone)
-	broken := false
 	for f := range ss.out {
-		if broken {
-			continue // drain the queue so the reader never blocks
-		}
-		ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
-		writeStart := time.Now()
-		if err := trace.WriteFrame(ss.bw, f.t, f.body); err != nil {
-			broken = true
-			ss.noteWriteFailure(err)
-			ss.conn.Close()
-			continue
-		}
-		if len(ss.out) == 0 {
-			if err := ss.bw.Flush(); err != nil {
-				broken = true
-				ss.noteWriteFailure(err)
-				ss.conn.Close()
-				continue
-			}
-		}
-		// Only batch replies feed the frame_write histogram, so its count
-		// matches codec_encode's: batches observed == batches replied.
-		if f.t == trace.FrameBatchReply {
-			writeDur := time.Since(writeStart)
-			ss.writeH.ObserveDurationEx(writeDur, f.span.TraceID)
-			if f.hasSpan {
-				f.span.Observe(obs.StageFrameWrite, writeDur)
-				ss.srv.met.traces.Add(&f.span)
-			}
-			// The frame is on the wire (or in bufio's copy); hand the
-			// body back for reuse. Dropping it when the free list is
-			// full is fine — that buffer is simply re-allocated later.
-			select {
-			case ss.replyFree <- f.body:
-			default:
-			}
-		}
+		ss.writeOut(f, len(ss.out) == 0)
 	}
-	if !broken {
+	ss.wmu.Lock()
+	if !ss.wbroken {
 		ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
 		_ = ss.bw.Flush()
+	}
+	ss.wmu.Unlock()
+}
+
+// writeOut writes one frame to the connection under the writer mutex,
+// flushing when asked. Once a write fails the connection is closed and
+// every later frame is dropped, so the reader never blocks on a dead peer.
+func (ss *session) writeOut(f outFrame, flush bool) {
+	ss.wmu.Lock()
+	defer ss.wmu.Unlock()
+	if ss.wbroken {
+		return
+	}
+	// Same single-clock-read, re-arm-when-stale pattern as the read
+	// side: a stuck client still trips the deadline within
+	// [3/4·WriteTimeout, WriteTimeout].
+	writeStart := time.Now()
+	if writeStart.Sub(ss.writeDLAt) > ss.srv.cfg.WriteTimeout>>2 {
+		ss.conn.SetWriteDeadline(writeStart.Add(ss.srv.cfg.WriteTimeout))
+		ss.writeDLAt = writeStart
+	}
+	if err := trace.WriteFrame(ss.bw, f.t, f.body); err != nil {
+		ss.wbroken = true
+		ss.noteWriteFailure(err)
+		ss.conn.Close()
+		return
+	}
+	if flush {
+		if err := ss.bw.Flush(); err != nil {
+			ss.wbroken = true
+			ss.noteWriteFailure(err)
+			ss.conn.Close()
+			return
+		}
+	}
+	// Only batch replies feed the frame_write histogram, so its count
+	// matches codec_encode's: batches observed == batches replied.
+	if f.t == trace.FrameBatchReply {
+		writeDur := time.Since(writeStart)
+		ss.writeH.ObserveDurationEx(writeDur, f.span.TraceID)
+		if f.hasSpan {
+			f.span.Observe(obs.StageFrameWrite, writeDur)
+			ss.srv.met.traces.Add(&f.span)
+		}
+		// The frame is on the wire (or in bufio's copy); hand the
+		// body back for reuse. Dropping it when the free list is
+		// full is fine — that buffer is simply re-allocated later.
+		select {
+		case ss.replyFree <- f.body:
+		default:
+		}
 	}
 }
 

@@ -285,3 +285,87 @@ func TestBatchErrorRoundTrip(t *testing.T) {
 		t.Errorf("short batch-error body: %v, want ErrBadFrame", err)
 	}
 }
+
+// TestTransactionRecordRoundTrip pins the single-record wire codec that
+// ParseBatch's direct-slicing loop must stay compatible with: a record
+// appended by AppendTransaction parses back identically through both
+// ParseTransaction and a one-record batch.
+func TestTransactionRecordRoundTrip(t *testing.T) {
+	txn := Transaction{Addr: 0xdeadbeef01, Kind: Write, Data: bytes.Repeat([]byte{7, 1}, 16)}
+	rec := AppendTransaction(nil, txn)
+	if len(rec) != 9+32 {
+		t.Fatalf("record is %d bytes, want %d", len(rec), 9+32)
+	}
+	got, rest, err := ParseTransaction(rec, 32)
+	if err != nil {
+		t.Fatalf("ParseTransaction: %v", err)
+	}
+	if len(rest) != 0 || got.Addr != txn.Addr || got.Kind != txn.Kind || !bytes.Equal(got.Data, txn.Data) {
+		t.Fatalf("round trip mismatch: %+v rest %d", got, len(rest))
+	}
+
+	body, err := MarshalBatch([]Transaction{txn}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseBatch(body, 32, nil)
+	if err != nil {
+		t.Fatalf("ParseBatch: %v", err)
+	}
+	if len(parsed) != 1 || parsed[0].Addr != txn.Addr || parsed[0].Kind != txn.Kind ||
+		!bytes.Equal(parsed[0].Data, txn.Data) {
+		t.Fatalf("batch round trip mismatch: %+v", parsed)
+	}
+
+	if _, _, err := ParseTransaction(rec[:10], 32); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("truncated record: err = %v, want ErrBadFrame", err)
+	}
+	rec[8] = 0xee
+	if _, _, err := ParseTransaction(rec, 32); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("invalid kind: err = %v, want ErrBadFrame", err)
+	}
+}
+
+// TestAppendBatchReuse exercises the grow-once marshalling paths: an empty
+// destination, a warm destination reused across calls (no growth), a
+// destination with a preserved prefix, and the per-record size error.
+func TestAppendBatchReuse(t *testing.T) {
+	txns := []Transaction{
+		{Addr: 1, Kind: Read, Data: bytes.Repeat([]byte{1}, 32)},
+		{Addr: 2, Kind: Write, Data: bytes.Repeat([]byte{2}, 32)},
+	}
+	want, err := MarshalBatch(txns, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := AppendBatch(nil, txns, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("AppendBatch(nil) diverges from MarshalBatch")
+	}
+	warm, err := AppendBatch(buf[:0], txns, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &warm[0] != &buf[0] {
+		t.Error("warm AppendBatch reallocated despite sufficient capacity")
+	}
+	if !bytes.Equal(warm, want) {
+		t.Fatal("warm AppendBatch diverges")
+	}
+
+	prefixed, err := AppendBatch([]byte("hdr"), txns, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(prefixed[:3], []byte("hdr")) || !bytes.Equal(prefixed[3:], want) {
+		t.Fatal("AppendBatch did not preserve the destination prefix")
+	}
+
+	if _, err := AppendBatch(nil, []Transaction{{Kind: Read, Data: make([]byte, 16)}}, 32); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("short payload: err = %v, want ErrBadFrame", err)
+	}
+}

@@ -1,0 +1,119 @@
+// Command benchgate enforces encode-throughput floors against the committed
+// benchmark report.
+//
+// It reads two BENCH_codec.json documents — the committed baseline and a
+// freshly measured report — and fails if any codec's encode throughput, or
+// any batch configuration's batch-path throughput, regressed by more than the
+// tolerance. Decode numbers and the loopback pipeline section are not gated:
+// decode is off the serving hot path, and the pipeline figures are dominated
+// by scheduler and syscall noise on shared runners.
+//
+//	go run ./cmd/bxtbench -codec -o BENCH_fresh.json
+//	go run ./tools/benchgate -baseline BENCH_codec.json -fresh BENCH_fresh.json
+//
+// A configuration present in the baseline but missing from the fresh report
+// fails the gate; new configurations in the fresh report pass (they gain a
+// floor once the baseline is regenerated and committed).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// report mirrors the BENCH_codec.json sections the gate reads.
+type report struct {
+	Codecs []struct {
+		Scheme   string `json:"scheme"`
+		TxnBytes int    `json:"txn_bytes"`
+		Encode   struct {
+			MBPerSec float64 `json:"mb_per_s"`
+		} `json:"encode"`
+	} `json:"codecs"`
+	Batch []struct {
+		Scheme    string `json:"scheme"`
+		TxnBytes  int    `json:"txn_bytes"`
+		BatchTxns int    `json:"batch_txns"`
+		Batch     struct {
+			GBPerSec float64 `json:"gb_per_s"`
+		} `json:"batch"`
+	} `json:"batch"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	return r, json.Unmarshal(raw, &r)
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_codec.json", "committed benchmark report")
+	fresh := flag.String("fresh", "BENCH_fresh.json", "freshly measured benchmark report")
+	tolerance := flag.Float64("tolerance", 15, "largest tolerated throughput drop, percent")
+	flag.Parse()
+
+	base, err := load(*baseline)
+	if err != nil {
+		fatalf("load %s: %v", *baseline, err)
+	}
+	cur, err := load(*fresh)
+	if err != nil {
+		fatalf("load %s: %v", *fresh, err)
+	}
+
+	codec := make(map[string]float64)
+	for _, c := range cur.Codecs {
+		codec[fmt.Sprintf("%s/%dB", c.Scheme, c.TxnBytes)] = c.Encode.MBPerSec
+	}
+	batch := make(map[string]float64)
+	for _, b := range cur.Batch {
+		batch[fmt.Sprintf("%s/%dx%dB", b.Scheme, b.BatchTxns, b.TxnBytes)] = b.Batch.GBPerSec
+	}
+
+	failed := false
+	gate := func(kind, key string, was, got float64) {
+		floor := was * (1 - *tolerance/100)
+		switch {
+		case got < 0:
+			fmt.Printf("FAIL %-6s %-18s missing from fresh report (baseline %.1f)\n", kind, key, was)
+			failed = true
+		case got < floor:
+			fmt.Printf("FAIL %-6s %-18s %.1f < %.1f (baseline %.1f, -%.0f%%)\n",
+				kind, key, got, floor, was, *tolerance)
+			failed = true
+		default:
+			fmt.Printf("ok   %-6s %-18s %.1f (floor %.1f)\n", kind, key, got, floor)
+		}
+	}
+	for _, c := range base.Codecs {
+		key := fmt.Sprintf("%s/%dB", c.Scheme, c.TxnBytes)
+		got, ok := codec[key]
+		if !ok {
+			got = -1
+		}
+		gate("encode", key, c.Encode.MBPerSec, got)
+	}
+	for _, b := range base.Batch {
+		key := fmt.Sprintf("%s/%dx%dB", b.Scheme, b.BatchTxns, b.TxnBytes)
+		got, ok := batch[key]
+		if !ok {
+			got = -1
+		}
+		gate("batch", key, b.Batch.GBPerSec, got)
+	}
+	if failed {
+		fmt.Println("benchgate: encode throughput regressed beyond tolerance; " +
+			"if intentional, regenerate and commit BENCH_codec.json")
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}
