@@ -15,7 +15,12 @@
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener closes,
 // /healthz flips to 503 draining, in-flight batches complete, then it
-// exits.
+// exits. With -state-dir set, sessions on snapshottable schemes persist
+// their codec state there as they close during the drain. For
+// zero-downtime rollouts, POST /drain on the metrics port first: the
+// daemon turns lame-duck (health 503, new connections refused) while
+// established sessions keep serving, so a fronting bxtproxy live-migrates
+// pinned stateful sessions to other backends before the SIGTERM lands.
 package main
 
 import (
@@ -57,6 +62,7 @@ func main() {
 	maxPending := flag.Int("max-pending", def.MaxPending, "batches waiting for workers before immediate shedding")
 	maxProtocol := flag.Int("max-protocol", def.MaxProtocol, "highest BXTP revision to negotiate (compatibility drills)")
 	traceBuffer := flag.Int("trace-buffer", def.TraceBuffer, "batch spans retained by /debug/trace")
+	stateDir := flag.String("state-dir", def.StateDir, "directory for drain-time session state snapshots (empty disables)")
 	chaos := flag.String("chaos", "", "self-sabotage for fault drills: inject faults per this spec, e.g. seed=7,corrupt=0.01,panic=0.001 (keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms, err, panic)")
 	simcache := flag.Bool("simcache", def.SimCache.Enabled, "serve repeated and near-repeated transactions from the similarity cache (deterministic schemes only)")
 	simcacheCap := flag.Int("simcache-capacity", def.SimCache.Capacity, "similarity cache entries per (scheme, txn-size) instance (0 selects the default)")
@@ -97,6 +103,7 @@ func main() {
 		MaxPending:       *maxPending,
 		MaxProtocol:      *maxProtocol,
 		TraceBuffer:      *traceBuffer,
+		StateDir:         *stateDir,
 		SimCache: config.SimCache{
 			Enabled:      *simcache,
 			Capacity:     *simcacheCap,

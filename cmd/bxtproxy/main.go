@@ -10,6 +10,14 @@
 //	bxtproxy -listen :9660 -metrics :9661
 //	bxtproxy -chaos seed=7,corrupt=0.01       # sabotage the backend leg
 //
+// Pinned sessions on snapshottable schemes fail over without a client
+// reset: the proxy pulls the dying backend's codec state (live, or from a
+// periodic shadow snapshot) and replays it into the new pin, so the
+// client's decoder continues byte-identically. POST
+// /drain?backend=ADDR on the metrics port marks one backend draining —
+// routing avoids it while pinned sessions live-migrate off it — for
+// zero-downtime backend rollouts.
+//
 // The proxy drains gracefully on SIGINT/SIGTERM: the listener closes,
 // /healthz flips to 503 draining, in-flight batches complete, then it
 // exits.
@@ -46,6 +54,8 @@ func main() {
 	ejectThreshold := flag.Int("eject-threshold", def.EjectThreshold, "consecutive failures that eject a backend")
 	poolSize := flag.Int("pool-size", def.PoolSize, "idle upstream sessions kept per backend")
 	retryHint := flag.Duration("retry-hint", def.RetryHint, "retry-after carried by failover Busy replies")
+	stateTimeout := flag.Duration("state-timeout", def.StateTransferTimeout, "deadline for one failover state snapshot or restore exchange")
+	shadowInterval := flag.Int("shadow-interval", def.ShadowInterval, "batches between shadow snapshots of pinned stateful sessions (0 disables)")
 	logLevel := flag.String("log-level", def.LogLevel, "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", def.LogFormat, "log handler: text or json")
 	debug := flag.Bool("debug", def.Debug, "serve /debug/pprof/ and /debug/trace on the metrics port")
@@ -54,24 +64,26 @@ func main() {
 	flag.Parse()
 
 	cfg := config.Proxy{
-		ListenAddr:      *listen,
-		MetricsAddr:     *metrics,
-		Backends:        splitBackends(*backends),
-		MaxConns:        *maxConns,
-		ReadTimeout:     *readTimeout,
-		WriteTimeout:    *writeTimeout,
-		DialTimeout:     *dialTimeout,
-		ExchangeTimeout: *exchangeTimeout,
-		DrainTimeout:    *drainTimeout,
-		HealthInterval:  *healthInterval,
-		ProbeScheme:     *probeScheme,
-		EjectThreshold:  *ejectThreshold,
-		PoolSize:        *poolSize,
-		RetryHint:       *retryHint,
-		LogLevel:        *logLevel,
-		LogFormat:       *logFormat,
-		Debug:           *debug,
-		TraceBuffer:     *traceBuffer,
+		ListenAddr:           *listen,
+		MetricsAddr:          *metrics,
+		Backends:             splitBackends(*backends),
+		MaxConns:             *maxConns,
+		ReadTimeout:          *readTimeout,
+		WriteTimeout:         *writeTimeout,
+		DialTimeout:          *dialTimeout,
+		ExchangeTimeout:      *exchangeTimeout,
+		DrainTimeout:         *drainTimeout,
+		HealthInterval:       *healthInterval,
+		ProbeScheme:          *probeScheme,
+		EjectThreshold:       *ejectThreshold,
+		PoolSize:             *poolSize,
+		RetryHint:            *retryHint,
+		StateTransferTimeout: *stateTimeout,
+		ShadowInterval:       *shadowInterval,
+		LogLevel:             *logLevel,
+		LogFormat:            *logFormat,
+		Debug:                *debug,
+		TraceBuffer:          *traceBuffer,
 	}
 	px, err := proxy.New(cfg)
 	if err != nil {

@@ -1,0 +1,156 @@
+package bdenc
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/snap"
+)
+
+// stream returns n deterministic 32-byte transactions with enough value
+// locality to exercise repository hits.
+func stream(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	txns := make([][]byte, n)
+	base := make([]byte, 32)
+	rng.Read(base)
+	for i := range txns {
+		txn := make([]byte, 32)
+		copy(txn, base)
+		// Perturb a few bits so hits and misses both occur.
+		for f := 0; f < rng.Intn(4); f++ {
+			txn[rng.Intn(32)] ^= 1 << uint(rng.Intn(8))
+		}
+		if rng.Intn(8) == 0 {
+			rng.Read(txn)
+		}
+		txns[i] = txn
+	}
+	return txns
+}
+
+// run encodes and then decodes txn on b, asserting the round trip, and
+// returns the encoded record.
+func run(t *testing.T, b *BD, txn []byte) *core.Encoded {
+	t.Helper()
+	var enc core.Encoded
+	if err := b.Encode(&enc, txn); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec := make([]byte, len(txn))
+	if err := b.Decode(dec, &enc); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(dec, txn) {
+		t.Fatalf("decode mismatch")
+	}
+	return &enc
+}
+
+func TestSnapshotContinuesByteIdentically(t *testing.T) {
+	txns := stream(1, 200)
+	orig := New()
+	for _, txn := range txns[:100] {
+		run(t, orig, txn)
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	clone := New()
+	clone.Threshold = 0 // ensure Restore installs the snapshot's threshold
+	if err := clone.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if clone.Threshold != orig.Threshold {
+		t.Fatalf("restored threshold %d, want %d", clone.Threshold, orig.Threshold)
+	}
+	for i, txn := range txns[100:] {
+		a := run(t, orig, txn)
+		b := run(t, clone, txn)
+		if !bytes.Equal(a.Data, b.Data) || !bytes.Equal(a.Meta, b.Meta) {
+			t.Fatalf("txn %d: restored codec diverged from original", i)
+		}
+	}
+}
+
+func TestSnapshotMidFillRepository(t *testing.T) {
+	// A snapshot before the FIFO wraps must preserve the partial fill.
+	txns := stream(2, 5)
+	orig := New()
+	for _, txn := range txns {
+		run(t, orig, txn)
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	clone := New()
+	if err := clone.Restore(&buf); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if clone.count != orig.count || clone.next != orig.next ||
+		clone.decCount != orig.decCount || clone.decNext != orig.decNext {
+		t.Fatalf("cursors (%d,%d,%d,%d) != (%d,%d,%d,%d)",
+			clone.count, clone.next, clone.decCount, clone.decNext,
+			orig.count, orig.next, orig.decCount, orig.decNext)
+	}
+}
+
+func TestRestoreRejectsDamage(t *testing.T) {
+	orig := New()
+	for _, txn := range stream(3, 80) {
+		run(t, orig, txn)
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	good := buf.Bytes()
+
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)/2] ^= 0x10
+	clone := New()
+	if err := clone.Restore(bytes.NewReader(corrupt)); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("corrupt restore: got %v, want ErrSnapshot", err)
+	}
+	if err := clone.Restore(bytes.NewReader(good[:len(good)-9])); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("truncated restore: got %v, want ErrSnapshot", err)
+	}
+	// A failed Restore leaves the receiver usable: a pristine snapshot
+	// still installs.
+	if err := clone.Restore(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine restore after failures: %v", err)
+	}
+}
+
+func TestRestoreRejectsBadCursors(t *testing.T) {
+	cases := []struct {
+		name                           string
+		count, next, decCount, decNext int
+		threshold                      int
+	}{
+		{"count beyond capacity", 65, 0, 0, 0, 12},
+		{"cursor beyond capacity", 64, 64, 0, 0, 12},
+		{"fifo invariant broken", 10, 20, 0, 0, 12},
+		{"decoder fifo invariant broken", 64, 0, 7, 9, 12},
+		{"zero threshold", 64, 0, 64, 0, 0},
+		{"oversized threshold", 64, 0, 64, 0, 65},
+	}
+	for _, tc := range cases {
+		b := New()
+		b.Threshold = tc.threshold
+		b.count, b.next = tc.count, tc.next
+		b.decCount, b.decNext = tc.decCount, tc.decNext
+		var buf bytes.Buffer
+		if err := b.Snapshot(&buf); err != nil {
+			t.Fatalf("%s: Snapshot: %v", tc.name, err)
+		}
+		if err := New().Restore(&buf); !errors.Is(err, snap.ErrSnapshot) {
+			t.Errorf("%s: got %v, want ErrSnapshot", tc.name, err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package bus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/hpca18/bxt/internal/snap"
+)
+
+// Snapshot framing for the bus wire state (scheme.Stateful shape). The
+// accumulated statistics and the previous beat's driven wire values are
+// both captured: a restored bus charges the next transaction's boundary
+// toggles against the exact wire levels the original left behind, so
+// per-batch stat deltas continue seamlessly across a migration. The body
+// is little-endian:
+//
+//	dataWires uint32
+//	haveState uint8
+//	metaWires uint32   tracked metadata wire count
+//	lastData  [dataWires/8]byte
+//	lastMeta  [metaWires]byte   one byte per wire, 0 or 1
+//	stats     8 × uint64        Transactions, Beats, DataOnes, DataToggles,
+//	                            MetaOnes, MetaToggles, DataBits, MetaBits
+const (
+	snapshotMagic   = "BXBU"
+	snapshotVersion = 1
+)
+
+// maxMetaWires bounds the tracked metadata wire count a snapshot may
+// claim; no codec in this repository drives more than a handful.
+const maxMetaWires = 1 << 16
+
+// Snapshot writes the bus's complete wire state and statistics to w.
+func (b *Bus) Snapshot(w io.Writer) error {
+	if b.beatBytes < 1 {
+		return fmt.Errorf("bus: snapshot of an uninitialized bus")
+	}
+	body := make([]byte, 4+1+4+b.beatBytes+len(b.lastMeta)+8*8)
+	binary.LittleEndian.PutUint32(body[0:], uint32(b.dataWires))
+	if b.haveState {
+		body[4] = 1
+	}
+	binary.LittleEndian.PutUint32(body[5:], uint32(len(b.lastMeta)))
+	off := 9
+	if len(b.lastData) == b.beatBytes {
+		copy(body[off:], b.lastData)
+	}
+	off += b.beatBytes
+	for _, v := range b.lastMeta {
+		if v {
+			body[off] = 1
+		}
+		off += 1
+	}
+	for _, s := range []int{
+		b.stats.Transactions, b.stats.Beats,
+		b.stats.DataOnes, b.stats.DataToggles,
+		b.stats.MetaOnes, b.stats.MetaToggles,
+		b.stats.DataBits, b.stats.MetaBits,
+	} {
+		binary.LittleEndian.PutUint64(body[off:], uint64(s))
+		off += 8
+	}
+	return snap.Write(w, snapshotMagic, snapshotVersion, body)
+}
+
+// Restore replaces the bus's wire state and statistics with a snapshot's.
+// The snapshot's width must match the receiver's, and validation
+// completes before any field is applied, so a failed Restore leaves the
+// receiver unchanged.
+func (b *Bus) Restore(r io.Reader) error {
+	body, err := snap.Read(r, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return fmt.Errorf("bus: %w", err)
+	}
+	if len(body) < 9 {
+		return fmt.Errorf("bus: %w: body is %d bytes, want at least 9", snap.ErrSnapshot, len(body))
+	}
+	dataWires := int(binary.LittleEndian.Uint32(body[0:]))
+	if body[4] > 1 {
+		return fmt.Errorf("bus: %w: haveState flag %d", snap.ErrSnapshot, body[4])
+	}
+	haveState := body[4] == 1
+	metaWires := int(binary.LittleEndian.Uint32(body[5:]))
+	if dataWires != b.dataWires {
+		return fmt.Errorf("bus: %w: snapshot width %d does not match bus width %d", snap.ErrSnapshot, dataWires, b.dataWires)
+	}
+	if metaWires > maxMetaWires {
+		return fmt.Errorf("bus: %w: %d metadata wires exceeds the %d bound", snap.ErrSnapshot, metaWires, maxMetaWires)
+	}
+	if len(body) != 9+b.beatBytes+metaWires+8*8 {
+		return fmt.Errorf("bus: %w: body is %d bytes, want %d", snap.ErrSnapshot, len(body), 9+b.beatBytes+metaWires+8*8)
+	}
+	for i := 0; i < metaWires; i++ {
+		if lvl := body[9+b.beatBytes+i]; lvl > 1 {
+			return fmt.Errorf("bus: %w: metadata wire level %d", snap.ErrSnapshot, lvl)
+		}
+	}
+	off := 9 + b.beatBytes + metaWires
+	var stats [8]int
+	for i := range stats {
+		v := binary.LittleEndian.Uint64(body[off:])
+		if v > math.MaxInt64/2 {
+			return fmt.Errorf("bus: %w: statistic %d overflows", snap.ErrSnapshot, v)
+		}
+		stats[i] = int(v)
+		off += 8
+	}
+	off = 9
+	if len(b.lastData) != b.beatBytes {
+		b.lastData = make([]byte, b.beatBytes)
+	}
+	copy(b.lastData, body[off:off+b.beatBytes])
+	off += b.beatBytes
+	if len(b.lastMeta) != metaWires {
+		b.lastMeta = make([]bool, metaWires)
+	}
+	for i := 0; i < metaWires; i++ {
+		b.lastMeta[i] = body[off] == 1
+		off++
+	}
+	b.haveState = haveState
+	b.stats = Stats{
+		Transactions: stats[0], Beats: stats[1],
+		DataOnes: stats[2], DataToggles: stats[3],
+		MetaOnes: stats[4], MetaToggles: stats[5],
+		DataBits: stats[6], MetaBits: stats[7],
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+package bus
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/snap"
+)
+
+// randomRecord returns a 32-byte encoded record with one metadata wire's
+// worth of bits so both data and metadata wire state are exercised.
+func randomRecord(rng *rand.Rand) *core.Encoded {
+	var e core.Encoded
+	e.Resize(32, 8)
+	rng.Read(e.Data)
+	for i := 0; i < 8; i++ {
+		e.SetMetaBit(i, rng.Intn(2) == 1)
+	}
+	return &e
+}
+
+func TestSnapshotContinuesStatsIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	records := make([]*core.Encoded, 50)
+	for i := range records {
+		records[i] = randomRecord(rng)
+	}
+	orig := New(32)
+	for _, e := range records[:25] {
+		if err := orig.Transfer(e); err != nil {
+			t.Fatalf("Transfer: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	clone := New(32)
+	if err := clone.Restore(&buf); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if clone.Stats() != orig.Stats() {
+		t.Fatalf("restored stats %+v != %+v", clone.Stats(), orig.Stats())
+	}
+	// Boundary toggles of the next transfer depend on the restored wire
+	// levels: continuing both instances must keep them identical.
+	for i, e := range records[25:] {
+		if err := orig.Transfer(e); err != nil {
+			t.Fatalf("Transfer: %v", err)
+		}
+		if err := clone.Transfer(e); err != nil {
+			t.Fatalf("Transfer: %v", err)
+		}
+		if clone.Stats() != orig.Stats() {
+			t.Fatalf("record %d: restored bus diverged: %+v != %+v", i, clone.Stats(), orig.Stats())
+		}
+	}
+	orig.Idle(3)
+	clone.Idle(3)
+	if clone.Stats() != orig.Stats() {
+		t.Fatalf("idle accounting diverged: %+v != %+v", clone.Stats(), orig.Stats())
+	}
+}
+
+func TestSnapshotFreshBus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(32).Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot of fresh bus: %v", err)
+	}
+	clone := New(32)
+	if err := clone.Restore(&buf); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if clone.Stats() != (Stats{}) {
+		t.Fatalf("fresh restore carries stats %+v", clone.Stats())
+	}
+}
+
+func TestRestoreRejectsWidthMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(32).Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := New(64).Restore(&buf); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("width mismatch: got %v, want ErrSnapshot", err)
+	}
+}
+
+func TestRestoreRejectsDamage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	orig := New(32)
+	for i := 0; i < 10; i++ {
+		if err := orig.Transfer(randomRecord(rng)); err != nil {
+			t.Fatalf("Transfer: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	good := buf.Bytes()
+	corrupt := append([]byte(nil), good...)
+	corrupt[15] ^= 0x02
+	clone := New(32)
+	if err := clone.Restore(bytes.NewReader(corrupt)); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("corrupt restore: got %v, want ErrSnapshot", err)
+	}
+	if err := clone.Restore(bytes.NewReader(good[:20])); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("truncated restore: got %v, want ErrSnapshot", err)
+	}
+	// The failed restores must not have half-applied: stats stay zero
+	// and a pristine restore still works.
+	if clone.Stats() != (Stats{}) {
+		t.Fatalf("failed restore mutated stats: %+v", clone.Stats())
+	}
+	if err := clone.Restore(bytes.NewReader(good)); err != nil {
+		t.Fatalf("pristine restore after failures: %v", err)
+	}
+	if clone.Stats() != orig.Stats() {
+		t.Fatalf("restored stats %+v != %+v", clone.Stats(), orig.Stats())
+	}
+}

@@ -162,6 +162,11 @@ type Server struct {
 	MaxProtocol int
 	// TraceBuffer is how many batch spans the /debug/trace ring retains.
 	TraceBuffer int
+	// StateDir, when non-empty, is where sessions on snapshottable schemes
+	// persist their codec state as they close during a drain, so a
+	// stateful fleet rollout leaves recoverable state behind instead of
+	// discarding it. Empty disables drain-time persistence.
+	StateDir string
 	// SimCache configures the similarity-aware transcoding cache tier.
 	SimCache SimCache
 }
@@ -359,6 +364,18 @@ type Proxy struct {
 	// RetryHint is the retry-after carried by the Busy reply that converts
 	// a dead backend's in-flight batch into a client-side retry.
 	RetryHint time.Duration
+	// StateTransferTimeout bounds one state snapshot or restore exchange
+	// with a backend during pinned-session failover. Keep it short: the
+	// transfer runs while the client's batch waits, and the fallback (a
+	// codec-reset BatchError) is always available.
+	StateTransferTimeout time.Duration
+	// ShadowInterval is how many relayed batches between shadow snapshots
+	// of a pinned stateful session's upstream codec: the proxy pulls a
+	// snapshot every N batches so a backend that dies without warning can
+	// still be failed over from the last shadow, provided no batch landed
+	// since. 0 disables shadow snapshots (failover then relies on a live
+	// pull from the dying backend).
+	ShadowInterval int
 	// LogLevel and LogFormat select the structured-log verbosity and
 	// handler, as on the gateway.
 	LogLevel  string
@@ -374,24 +391,26 @@ type Proxy struct {
 // failures, and a four-deep idle pool per backend.
 func DefaultProxy() Proxy {
 	return Proxy{
-		ListenAddr:      "127.0.0.1:9660",
-		MetricsAddr:     "127.0.0.1:9661",
-		Backends:        []string{"127.0.0.1:9650"},
-		MaxConns:        256,
-		ReadTimeout:     30 * time.Second,
-		WriteTimeout:    30 * time.Second,
-		DialTimeout:     5 * time.Second,
-		ExchangeTimeout: 15 * time.Second,
-		DrainTimeout:    10 * time.Second,
-		HealthInterval:  500 * time.Millisecond,
-		ProbeScheme:     "baseline",
-		EjectThreshold:  3,
-		PoolSize:        4,
-		RetryHint:       25 * time.Millisecond,
-		LogLevel:        "info",
-		LogFormat:       "text",
-		Debug:           true,
-		TraceBuffer:     2048,
+		ListenAddr:           "127.0.0.1:9660",
+		MetricsAddr:          "127.0.0.1:9661",
+		Backends:             []string{"127.0.0.1:9650"},
+		MaxConns:             256,
+		ReadTimeout:          30 * time.Second,
+		WriteTimeout:         30 * time.Second,
+		DialTimeout:          5 * time.Second,
+		ExchangeTimeout:      15 * time.Second,
+		DrainTimeout:         10 * time.Second,
+		HealthInterval:       500 * time.Millisecond,
+		ProbeScheme:          "baseline",
+		EjectThreshold:       3,
+		PoolSize:             4,
+		RetryHint:            25 * time.Millisecond,
+		StateTransferTimeout: 2 * time.Second,
+		ShadowInterval:       16,
+		LogLevel:             "info",
+		LogFormat:            "text",
+		Debug:                true,
+		TraceBuffer:          2048,
 	}
 }
 
@@ -442,6 +461,12 @@ func (p Proxy) Validate() error {
 	}
 	if p.RetryHint <= 0 {
 		return fmt.Errorf("config: retry hint %v is not positive", p.RetryHint)
+	}
+	if p.StateTransferTimeout <= 0 {
+		return fmt.Errorf("config: state transfer timeout %v is not positive", p.StateTransferTimeout)
+	}
+	if p.ShadowInterval < 0 {
+		return fmt.Errorf("config: shadow snapshot interval %d is negative", p.ShadowInterval)
 	}
 	if _, err := obs.ParseLevel(p.LogLevel); err != nil {
 		return fmt.Errorf("config: %w", err)

@@ -1,0 +1,83 @@
+package dbi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/hpca18/bxt/internal/snap"
+)
+
+// Snapshot framing for DBI's bus history (scheme.Stateful). DBI's decode
+// is stateless, but its AC-mode encode tracks the previous beat's driven
+// wire values; capturing it lets a migrated session keep producing the
+// exact records the original instance would have. The body is
+// little-endian:
+//
+//	groupBytes uint32
+//	beatBytes  uint32
+//	mode       uint8    0 = DC, 1 = AC
+//	prevValid  uint8
+//	prevBeat   [beatBytes]byte   (zeros when prevValid is 0)
+const (
+	snapshotMagic   = "BXDB"
+	snapshotVersion = 1
+)
+
+// Snapshot implements scheme.Stateful, capturing the codec geometry and
+// the AC-mode beat history.
+func (d *DBI) Snapshot(w io.Writer) error {
+	if d.GroupBytes < 1 || d.BeatBytes < 1 {
+		return fmt.Errorf("dbi: invalid geometry: %d-byte groups, %d-byte beats", d.GroupBytes, d.BeatBytes)
+	}
+	body := make([]byte, 4+4+1+1+d.BeatBytes)
+	binary.LittleEndian.PutUint32(body[0:], uint32(d.GroupBytes))
+	binary.LittleEndian.PutUint32(body[4:], uint32(d.BeatBytes))
+	if d.Mode == AC {
+		body[8] = 1
+	}
+	if d.prevValid {
+		body[9] = 1
+		copy(body[10:], d.prevBeat)
+	}
+	return snap.Write(w, snapshotMagic, snapshotVersion, body)
+}
+
+// Restore implements scheme.Stateful. The snapshot's geometry must match
+// the receiver's — state from a differently-configured codec is rejected,
+// not reinterpreted — and validation completes before any field is
+// applied.
+func (d *DBI) Restore(r io.Reader) error {
+	body, err := snap.Read(r, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return fmt.Errorf("dbi: %w", err)
+	}
+	if len(body) < 10 {
+		return fmt.Errorf("dbi: %w: body is %d bytes, want at least 10", snap.ErrSnapshot, len(body))
+	}
+	groupBytes := int(binary.LittleEndian.Uint32(body[0:]))
+	beatBytes := int(binary.LittleEndian.Uint32(body[4:]))
+	mode := DC
+	if body[8] == 1 {
+		mode = AC
+	} else if body[8] != 0 {
+		return fmt.Errorf("dbi: %w: unknown mode %d", snap.ErrSnapshot, body[8])
+	}
+	if body[9] > 1 {
+		return fmt.Errorf("dbi: %w: prevValid flag %d", snap.ErrSnapshot, body[9])
+	}
+	if len(body) != 10+beatBytes {
+		return fmt.Errorf("dbi: %w: body is %d bytes, want %d for %d-byte beats",
+			snap.ErrSnapshot, len(body), 10+beatBytes, beatBytes)
+	}
+	if groupBytes != d.GroupBytes || beatBytes != d.BeatBytes || mode != d.Mode {
+		return fmt.Errorf("dbi: %w: snapshot geometry (%d-byte groups, %d-byte beats, mode %d) does not match codec (%d, %d, %d)",
+			snap.ErrSnapshot, groupBytes, beatBytes, mode, d.GroupBytes, d.BeatBytes, d.Mode)
+	}
+	d.prevValid = body[9] == 1
+	if len(d.prevBeat) != d.BeatBytes {
+		d.prevBeat = make([]byte, d.BeatBytes)
+	}
+	copy(d.prevBeat, body[10:])
+	return nil
+}

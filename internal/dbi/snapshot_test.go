@@ -1,0 +1,113 @@
+package dbi
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/snap"
+)
+
+func TestSnapshotContinuesByteIdenticallyAC(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	txns := make([][]byte, 60)
+	for i := range txns {
+		txns[i] = make([]byte, 32)
+		rng.Read(txns[i])
+	}
+	orig := New(1)
+	orig.Mode = AC
+	var enc core.Encoded
+	for _, txn := range txns[:30] {
+		if err := orig.Encode(&enc, txn); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	clone := New(1)
+	clone.Mode = AC
+	if err := clone.Restore(&buf); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	var a, b core.Encoded
+	for i, txn := range txns[30:] {
+		if err := orig.Encode(&a, txn); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if err := clone.Encode(&b, txn); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		if !bytes.Equal(a.Data, b.Data) || !bytes.Equal(a.Meta, b.Meta) {
+			t.Fatalf("txn %d: restored codec diverged from original (AC history lost)", i)
+		}
+		dec := make([]byte, len(txn))
+		if err := clone.Decode(dec, &b); err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if !bytes.Equal(dec, txn) {
+			t.Fatalf("txn %d: decode mismatch", i)
+		}
+	}
+}
+
+func TestSnapshotRoundTripDC(t *testing.T) {
+	orig := New(2)
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	clone := New(2)
+	if err := clone.Restore(&buf); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+}
+
+func TestRestoreRejectsGeometryMismatch(t *testing.T) {
+	orig := New(1)
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	good := buf.Bytes()
+	if err := New(2).Restore(bytes.NewReader(good)); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("group-size mismatch: got %v, want ErrSnapshot", err)
+	}
+	ac := New(1)
+	ac.Mode = AC
+	if err := ac.Restore(bytes.NewReader(good)); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("mode mismatch: got %v, want ErrSnapshot", err)
+	}
+}
+
+func TestRestoreRejectsDamage(t *testing.T) {
+	orig := New(1)
+	orig.Mode = AC
+	var enc core.Encoded
+	txn := make([]byte, 32)
+	for i := range txn {
+		txn[i] = byte(i * 7)
+	}
+	if err := orig.Encode(&enc, txn); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	good := buf.Bytes()
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-7] ^= 0x40
+	fresh := New(1)
+	fresh.Mode = AC
+	if err := fresh.Restore(bytes.NewReader(corrupt)); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("corrupt restore: got %v, want ErrSnapshot", err)
+	}
+	if err := fresh.Restore(bytes.NewReader(good[:8])); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("truncated restore: got %v, want ErrSnapshot", err)
+	}
+}

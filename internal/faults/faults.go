@@ -62,6 +62,16 @@ type Config struct {
 	ErrRate float64
 	// PanicRate makes a wrapped codec's Encode panic.
 	PanicRate float64
+
+	// SnapCorruptRate flips one random bit in a state-transfer blob run
+	// through WrapSnapshot, so a restore sees a CRC-clean envelope turn
+	// sour and must fail closed.
+	SnapCorruptRate float64
+	// SnapTruncateRate cuts a state-transfer blob short.
+	SnapTruncateRate float64
+	// SnapStallRate sleeps Stall before a state-transfer blob is handed
+	// on, modeling a slow transfer racing the orchestrator's deadline.
+	SnapStallRate float64
 }
 
 // Validate reports the first configuration error, or nil.
@@ -73,6 +83,8 @@ func (c Config) Validate() error {
 		{"corrupt", c.CorruptRate}, {"drop", c.DropRate},
 		{"truncate", c.TruncateRate}, {"delay", c.DelayRate},
 		{"stall", c.StallRate}, {"err", c.ErrRate}, {"panic", c.PanicRate},
+		{"snap-corrupt", c.SnapCorruptRate}, {"snap-truncate", c.SnapTruncateRate},
+		{"snap-stall", c.SnapStallRate},
 	}
 	for _, r := range rates {
 		if r.v < 0 || r.v > 1 {
@@ -90,7 +102,7 @@ func (c Config) withDefaults() Config {
 	if c.DelayRate > 0 && c.Delay == 0 {
 		c.Delay = 5 * time.Millisecond
 	}
-	if c.StallRate > 0 && c.Stall == 0 {
+	if (c.StallRate > 0 || c.SnapStallRate > 0) && c.Stall == 0 {
 		c.Stall = 50 * time.Millisecond
 	}
 	return c
@@ -99,7 +111,7 @@ func (c Config) withDefaults() Config {
 // ParseSpec parses the compact key=value spec the -chaos flags accept,
 // e.g. "seed=7,corrupt=0.01,drop=0.005,stall=0.01,stall-ms=200,panic=0.001".
 // Keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms,
-// err, panic.
+// err, panic, snap-corrupt, snap-truncate, snap-stall.
 func ParseSpec(spec string) (Config, error) {
 	var c Config
 	for _, field := range strings.Split(spec, ",") {
@@ -149,6 +161,12 @@ func ParseSpec(spec string) (Config, error) {
 				c.ErrRate = rate
 			case "panic":
 				c.PanicRate = rate
+			case "snap-corrupt":
+				c.SnapCorruptRate = rate
+			case "snap-truncate":
+				c.SnapTruncateRate = rate
+			case "snap-stall":
+				c.SnapStallRate = rate
 			default:
 				return Config{}, fmt.Errorf("faults: unknown spec key %q", key)
 			}
@@ -162,24 +180,29 @@ func ParseSpec(spec string) (Config, error) {
 
 // Counts tallies every fault the injector has produced, by kind.
 type Counts struct {
-	Corrupted   uint64
-	Dropped     uint64
-	Truncated   uint64
-	Delayed     uint64
-	Stalled     uint64
-	CodecErrs   uint64
-	CodecPanics uint64
+	Corrupted     uint64
+	Dropped       uint64
+	Truncated     uint64
+	Delayed       uint64
+	Stalled       uint64
+	CodecErrs     uint64
+	CodecPanics   uint64
+	SnapCorrupted uint64
+	SnapTruncated uint64
+	SnapStalled   uint64
 }
 
 // Total sums the per-kind counts.
 func (c Counts) Total() uint64 {
-	return c.Corrupted + c.Dropped + c.Truncated + c.Delayed + c.Stalled + c.CodecErrs + c.CodecPanics
+	return c.Corrupted + c.Dropped + c.Truncated + c.Delayed + c.Stalled + c.CodecErrs + c.CodecPanics +
+		c.SnapCorrupted + c.SnapTruncated + c.SnapStalled
 }
 
 // String renders the counts compactly for logs.
 func (c Counts) String() string {
-	return fmt.Sprintf("corrupted=%d dropped=%d truncated=%d delayed=%d stalled=%d codec_errs=%d codec_panics=%d",
-		c.Corrupted, c.Dropped, c.Truncated, c.Delayed, c.Stalled, c.CodecErrs, c.CodecPanics)
+	return fmt.Sprintf("corrupted=%d dropped=%d truncated=%d delayed=%d stalled=%d codec_errs=%d codec_panics=%d snap_corrupted=%d snap_truncated=%d snap_stalled=%d",
+		c.Corrupted, c.Dropped, c.Truncated, c.Delayed, c.Stalled, c.CodecErrs, c.CodecPanics,
+		c.SnapCorrupted, c.SnapTruncated, c.SnapStalled)
 }
 
 // Injector produces faults at the configured rates. One injector may wrap
@@ -190,13 +213,16 @@ type Injector struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 
-	corrupted   atomic.Uint64
-	dropped     atomic.Uint64
-	truncated   atomic.Uint64
-	delayed     atomic.Uint64
-	stalled     atomic.Uint64
-	codecErrs   atomic.Uint64
-	codecPanics atomic.Uint64
+	corrupted     atomic.Uint64
+	dropped       atomic.Uint64
+	truncated     atomic.Uint64
+	delayed       atomic.Uint64
+	stalled       atomic.Uint64
+	codecErrs     atomic.Uint64
+	codecPanics   atomic.Uint64
+	snapCorrupted atomic.Uint64
+	snapTruncated atomic.Uint64
+	snapStalled   atomic.Uint64
 }
 
 // New returns an injector drawing from a source seeded with cfg.Seed. The
@@ -220,13 +246,16 @@ func MustNew(cfg Config) *Injector {
 // Counts returns a snapshot of the faults injected so far.
 func (in *Injector) Counts() Counts {
 	return Counts{
-		Corrupted:   in.corrupted.Load(),
-		Dropped:     in.dropped.Load(),
-		Truncated:   in.truncated.Load(),
-		Delayed:     in.delayed.Load(),
-		Stalled:     in.stalled.Load(),
-		CodecErrs:   in.codecErrs.Load(),
-		CodecPanics: in.codecPanics.Load(),
+		Corrupted:     in.corrupted.Load(),
+		Dropped:       in.dropped.Load(),
+		Truncated:     in.truncated.Load(),
+		Delayed:       in.delayed.Load(),
+		Stalled:       in.stalled.Load(),
+		CodecErrs:     in.codecErrs.Load(),
+		CodecPanics:   in.codecPanics.Load(),
+		SnapCorrupted: in.snapCorrupted.Load(),
+		SnapTruncated: in.snapTruncated.Load(),
+		SnapStalled:   in.snapStalled.Load(),
 	}
 }
 
@@ -333,6 +362,31 @@ func (in *Injector) WrapCodec(c core.Codec) core.Codec {
 type codec struct {
 	core.Codec
 	in *Injector
+}
+
+// WrapSnapshot applies the injector's state-transfer faults to one blob in
+// flight between backends: a stall sleeps first (racing the orchestrator's
+// transfer deadline), then the blob may come back truncated or with one
+// bit flipped (in a copy — the caller's buffer is never touched). The
+// snap/trace framing must turn every such blob into a clean restore
+// failure, never half-applied state.
+func (in *Injector) WrapSnapshot(blob []byte) []byte {
+	if in.roll(in.cfg.SnapStallRate) {
+		in.snapStalled.Add(1)
+		time.Sleep(in.cfg.Stall)
+	}
+	if len(blob) > 1 && in.roll(in.cfg.SnapTruncateRate) {
+		in.snapTruncated.Add(1)
+		return blob[:in.intn(len(blob)-1)+1]
+	}
+	if len(blob) > 0 && in.roll(in.cfg.SnapCorruptRate) {
+		in.snapCorrupted.Add(1)
+		out := append([]byte(nil), blob...)
+		bit := in.intn(len(out) * 8)
+		out[bit/8] ^= 1 << (bit % 8)
+		return out
+	}
+	return blob
 }
 
 func (c *codec) Encode(dst *core.Encoded, src []byte) error {

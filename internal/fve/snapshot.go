@@ -1,0 +1,70 @@
+package fve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/hpca18/bxt/internal/snap"
+)
+
+// Snapshot framing for the frequent-value tables (scheme.Stateful). The
+// body is fixed-size, little-endian:
+//
+//	used     uint32   encoder table fill
+//	decUsed  uint32   decoder table fill
+//	table    [32]uint32
+//	decTable [32]uint32
+const (
+	snapshotMagic   = "BXFV"
+	snapshotVersion = 1
+	snapshotBody    = 2*4 + 2*TableEntries*4
+)
+
+// Snapshot implements scheme.Stateful: it writes both move-to-front
+// tables and their fill counts so a Restore-d instance continues the
+// encode and decode streams byte-identically.
+func (f *FVE) Snapshot(w io.Writer) error {
+	body := make([]byte, snapshotBody)
+	binary.LittleEndian.PutUint32(body[0:], uint32(f.used))
+	binary.LittleEndian.PutUint32(body[4:], uint32(f.decUsed))
+	off := 8
+	for _, v := range f.table {
+		binary.LittleEndian.PutUint32(body[off:], v)
+		off += 4
+	}
+	for _, v := range f.decTable {
+		binary.LittleEndian.PutUint32(body[off:], v)
+		off += 4
+	}
+	return snap.Write(w, snapshotMagic, snapshotVersion, body)
+}
+
+// Restore implements scheme.Stateful. The snapshot is fully validated
+// before any field is applied, so a failed Restore leaves the receiver
+// unchanged.
+func (f *FVE) Restore(r io.Reader) error {
+	body, err := snap.Read(r, snapshotMagic, snapshotVersion)
+	if err != nil {
+		return fmt.Errorf("fve: %w", err)
+	}
+	if len(body) != snapshotBody {
+		return fmt.Errorf("fve: %w: body is %d bytes, want %d", snap.ErrSnapshot, len(body), snapshotBody)
+	}
+	used := int(binary.LittleEndian.Uint32(body[0:]))
+	decUsed := int(binary.LittleEndian.Uint32(body[4:]))
+	if used < 0 || used > TableEntries || decUsed < 0 || decUsed > TableEntries {
+		return fmt.Errorf("fve: %w: table fills (%d, %d) out of [0, %d]", snap.ErrSnapshot, used, decUsed, TableEntries)
+	}
+	f.used, f.decUsed = used, decUsed
+	off := 8
+	for i := range f.table {
+		f.table[i] = binary.LittleEndian.Uint32(body[off:])
+		off += 4
+	}
+	for i := range f.decTable {
+		f.decTable[i] = binary.LittleEndian.Uint32(body[off:])
+		off += 4
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package fve
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/core"
+	"github.com/hpca18/bxt/internal/snap"
+)
+
+// run encodes and then decodes txn on f, asserting the round trip, and
+// returns the encoded record.
+func run(t *testing.T, f *FVE, txn []byte) *core.Encoded {
+	t.Helper()
+	var enc core.Encoded
+	if err := f.Encode(&enc, txn); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec := make([]byte, len(txn))
+	if err := f.Decode(dec, &enc); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !bytes.Equal(dec, txn) {
+		t.Fatalf("decode mismatch")
+	}
+	return &enc
+}
+
+// hotStream returns transactions drawn from a small value set so table
+// hits dominate and the move-to-front order carries real state.
+func hotStream(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	hot := make([][]byte, 12)
+	for i := range hot {
+		hot[i] = make([]byte, 4)
+		rng.Read(hot[i])
+	}
+	txns := make([][]byte, n)
+	for i := range txns {
+		txn := make([]byte, 32)
+		for w := 0; w < len(txn); w += 4 {
+			if rng.Intn(10) == 0 {
+				rng.Read(txn[w : w+4])
+			} else {
+				copy(txn[w:], hot[rng.Intn(len(hot))])
+			}
+		}
+		txns[i] = txn
+	}
+	return txns
+}
+
+func TestSnapshotContinuesByteIdentically(t *testing.T) {
+	txns := hotStream(1, 120)
+	orig := New()
+	for _, txn := range txns[:60] {
+		run(t, orig, txn)
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	clone := New()
+	if err := clone.Restore(&buf); err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	for i, txn := range txns[60:] {
+		a := run(t, orig, txn)
+		b := run(t, clone, txn)
+		if !bytes.Equal(a.Data, b.Data) || !bytes.Equal(a.Meta, b.Meta) {
+			t.Fatalf("txn %d: restored codec diverged from original", i)
+		}
+	}
+}
+
+func TestRestoreRejectsDamage(t *testing.T) {
+	orig := New()
+	for _, txn := range hotStream(2, 40) {
+		run(t, orig, txn)
+	}
+	var buf bytes.Buffer
+	if err := orig.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	good := buf.Bytes()
+
+	corrupt := append([]byte(nil), good...)
+	corrupt[20] ^= 0x04
+	if err := New().Restore(bytes.NewReader(corrupt)); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("corrupt restore: got %v, want ErrSnapshot", err)
+	}
+	if err := New().Restore(bytes.NewReader(good[:12])); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("truncated restore: got %v, want ErrSnapshot", err)
+	}
+}
+
+func TestRestoreRejectsBadFill(t *testing.T) {
+	f := New()
+	f.used = TableEntries + 1
+	var buf bytes.Buffer
+	if err := f.Snapshot(&buf); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if err := New().Restore(&buf); !errors.Is(err, snap.ErrSnapshot) {
+		t.Fatalf("bad fill: got %v, want ErrSnapshot", err)
+	}
+}

@@ -72,7 +72,7 @@ func ParseEventLevel(s string) (Level, bool) {
 // package does not know default to info.
 func defaultLevel(eventType string) Level {
 	switch eventType {
-	case EventSlowBatch, EventBusy:
+	case EventSlowBatch, EventBusy, EventStateSnapshot:
 		return LevelDebug
 	case EventHandshakeFailed, EventConnRefused, EventBatchFault,
 		EventSlowClient, EventSimcacheError:
@@ -116,6 +116,17 @@ const (
 	// degraded around: an unbuildable geometry for a session's
 	// transaction size, or a snapshot that failed to load or save.
 	EventSimcacheError = "simcache_error"
+	// EventStateSnapshot is one session codec state serialized and handed
+	// out over a StateSnapshot admin frame; Batches carries the sequence
+	// the state is current as of.
+	EventStateSnapshot = "state_snapshot"
+	// EventStateRestore is a snapshotted codec state installed into a
+	// session over a StateRestore admin frame; Batches carries the
+	// restored sequence.
+	EventStateRestore = "state_restore"
+	// EventStatePersist is a stateful session's codec state written to the
+	// state directory as the session closed during a drain.
+	EventStatePersist = "state_persist"
 )
 
 // EventBuffer retains the most recent events in a fixed ring. It is safe

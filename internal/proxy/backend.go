@@ -41,6 +41,13 @@ type backend struct {
 	// succeeds.
 	consec  atomic.Int64
 	ejected atomic.Bool
+	// draining removes the backend from routing without declaring it
+	// unhealthy (the /drain admin hook): new sessions and pin targets go
+	// elsewhere, and pinned sessions live-migrate their codec state off
+	// it on their next batch — while the backend stays reachable for
+	// exactly those state-snapshot pulls. Unlike ejected, a successful
+	// probe does not clear it.
+	draining atomic.Bool
 
 	// energy accumulates the wire activity this backend reported in its
 	// relayed BatchStats replies, feeding the proxy's per-backend
@@ -197,6 +204,81 @@ func (u *upstream) handshake(timeout time.Duration) error {
 	default:
 		return fmt.Errorf("proxy: backend %s answered hello with frame 0x%02x", u.b.addr, byte(ft))
 	}
+}
+
+// errStateRejected marks a state-transfer exchange the backend answered
+// cleanly but negatively (a non-OK StateAck): the upstream session is
+// still in sync and usable, the state just did not move.
+var errStateRejected = errors.New("proxy: backend rejected state transfer")
+
+// pullSnapshot asks u's backend for the session's codec state over a
+// StateSnapshot admin exchange. It returns the state blob (copied, so it
+// survives later exchanges) and the batch sequence it is current as of. A
+// clean rejection wraps errStateRejected; any other error means the frame
+// stream may be desynchronized and u should be dropped.
+func (u *upstream) pullSnapshot(timeout time.Duration) (uint64, []byte, error) {
+	u.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := trace.WriteFrame(u.bw, trace.FrameStateSnapshot, nil); err != nil {
+		return 0, nil, err
+	}
+	if err := u.bw.Flush(); err != nil {
+		return 0, nil, err
+	}
+	u.conn.SetReadDeadline(time.Now().Add(timeout))
+	ft, rbody, err := trace.ReadFrame(u.br, u.fbuf)
+	if err != nil {
+		return 0, nil, err
+	}
+	if cap(rbody) > cap(u.fbuf) {
+		u.fbuf = rbody[:cap(rbody)]
+	}
+	if ft != trace.FrameStateAck {
+		return 0, nil, fmt.Errorf("proxy: backend %s answered snapshot with frame %#x", u.b.addr, byte(ft))
+	}
+	status, seq, payload, err := trace.ParseStateAck(rbody)
+	if err != nil {
+		return 0, nil, err
+	}
+	if status != trace.StateOK {
+		return 0, nil, fmt.Errorf("%w: backend %s: %s", errStateRejected, u.b.addr, payload)
+	}
+	return seq, append([]byte(nil), payload...), nil
+}
+
+// restoreState installs a pulled codec state into u's backend session over
+// a StateRestore admin exchange. The backend acks with the echoed
+// sequence on success; a rejection wraps errStateRejected and leaves the
+// backend session freshly reset.
+func (u *upstream) restoreState(seq uint64, state []byte, timeout time.Duration) error {
+	u.conn.SetWriteDeadline(time.Now().Add(timeout))
+	if err := trace.WriteFrame(u.bw, trace.FrameStateRestore, trace.MarshalStateRestore(seq, state)); err != nil {
+		return err
+	}
+	if err := u.bw.Flush(); err != nil {
+		return err
+	}
+	u.conn.SetReadDeadline(time.Now().Add(timeout))
+	ft, rbody, err := trace.ReadFrame(u.br, u.fbuf)
+	if err != nil {
+		return err
+	}
+	if cap(rbody) > cap(u.fbuf) {
+		u.fbuf = rbody[:cap(rbody)]
+	}
+	if ft != trace.FrameStateAck {
+		return fmt.Errorf("proxy: backend %s answered restore with frame %#x", u.b.addr, byte(ft))
+	}
+	status, aseq, payload, err := trace.ParseStateAck(rbody)
+	if err != nil {
+		return err
+	}
+	if status != trace.StateOK {
+		return fmt.Errorf("%w: backend %s: %s", errStateRejected, u.b.addr, payload)
+	}
+	if aseq != seq {
+		return fmt.Errorf("proxy: backend %s acked restore at sequence %d, want %d", u.b.addr, aseq, seq)
+	}
+	return nil
 }
 
 // exchange forwards one Batch frame body verbatim and reads the reply

@@ -29,6 +29,19 @@ type metrics struct {
 	relayedFaults  atomic.Uint64
 	repins         atomic.Uint64
 
+	// State-transfer accounting for pinned-session failover, one counter
+	// per outcome of the bxtproxy_state_transfers_total family: a live
+	// pull restored (ok), a shadow snapshot restored (ok_shadow), no
+	// current state could be pulled (snapshot_failed), state pulled but
+	// not installed (restore_failed), or the scheme/protocol cannot
+	// transfer state at all (unsupported). Only the two ok outcomes avoid
+	// a client codec reset.
+	stateOK          atomic.Uint64
+	stateOKShadow    atomic.Uint64
+	stateSnapFailed  atomic.Uint64
+	stateRestFailed  atomic.Uint64
+	stateUnsupported atomic.Uint64
+
 	// stages holds the bxtproxy_stage_seconds{scheme,stage} histograms:
 	// frame_read and frame_write for the client leg, backend_exchange for
 	// the upstream round trip.
@@ -72,13 +85,23 @@ func (m *metrics) writeExposition(w io.Writer, backends []*backend, draining boo
 	fmt.Fprintf(w, "bxtproxy_v1_fatal_conversions_total %d\n", m.v1Fatal.Load())
 	fmt.Fprintf(w, "bxtproxy_relayed_faults_total %d\n", m.relayedFaults.Load())
 	fmt.Fprintf(w, "bxtproxy_repins_total %d\n", m.repins.Load())
+	fmt.Fprintf(w, "bxtproxy_state_transfers_total{outcome=\"ok\"} %d\n", m.stateOK.Load())
+	fmt.Fprintf(w, "bxtproxy_state_transfers_total{outcome=\"ok_shadow\"} %d\n", m.stateOKShadow.Load())
+	fmt.Fprintf(w, "bxtproxy_state_transfers_total{outcome=\"snapshot_failed\"} %d\n", m.stateSnapFailed.Load())
+	fmt.Fprintf(w, "bxtproxy_state_transfers_total{outcome=\"restore_failed\"} %d\n", m.stateRestFailed.Load())
+	fmt.Fprintf(w, "bxtproxy_state_transfers_total{outcome=\"unsupported\"} %d\n", m.stateUnsupported.Load())
 
 	for _, b := range backends {
 		up := 1
 		if b.ejected.Load() {
 			up = 0
 		}
+		draining := 0
+		if b.draining.Load() {
+			draining = 1
+		}
 		fmt.Fprintf(w, "bxtproxy_backend_up{backend=%q} %d\n", b.addr, up)
+		fmt.Fprintf(w, "bxtproxy_backend_draining{backend=%q} %d\n", b.addr, draining)
 		fmt.Fprintf(w, "bxtproxy_backend_pending{backend=%q} %d\n", b.addr, b.pending.Load())
 		fmt.Fprintf(w, "bxtproxy_backend_pinned_sessions{backend=%q} %d\n", b.addr, b.pinned.Load())
 		fmt.Fprintf(w, "bxtproxy_backend_batches_total{backend=%q} %d\n", b.addr, b.batches.Load())

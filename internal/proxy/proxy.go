@@ -132,6 +132,28 @@ func (p *Proxy) buildMux() *http.ServeMux {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		addr := r.URL.Query().Get("backend")
+		if addr == "" {
+			http.Error(w, "backend query parameter required", http.StatusBadRequest)
+			return
+		}
+		for _, b := range p.backends {
+			if b.addr != addr {
+				continue
+			}
+			if !b.draining.Swap(true) {
+				p.log.Info("backend draining", "backend", addr)
+			}
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		http.Error(w, "unknown backend "+addr, http.StatusNotFound)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		p.met.writeExposition(w, p.backends, p.isDraining())
@@ -277,7 +299,7 @@ func (p *Proxy) pickLeastPending(excluded map[*backend]bool) *backend {
 	var bestN int64
 	var bestB uint64
 	for _, b := range p.backends {
-		if b.ejected.Load() || excluded[b] {
+		if b.ejected.Load() || b.draining.Load() || excluded[b] {
 			continue
 		}
 		n, t := b.pending.Load(), b.batches.Load()
@@ -295,7 +317,7 @@ func (p *Proxy) pickPinned(key uint64) *backend {
 	var best *backend
 	var bestScore uint64
 	for _, b := range p.backends {
-		if b.ejected.Load() {
+		if b.ejected.Load() || b.draining.Load() {
 			continue
 		}
 		if s := rendezvousScore(key, b.addr); best == nil || s > bestScore {

@@ -47,6 +47,17 @@ type session struct {
 	pinned bool
 	pin    *backend
 	ups    map[*backend]*upstream
+	// snapshottable marks a pinned session whose codec state can be
+	// pulled and replayed (scheme.Snapshottable, protocol v2+): a pin
+	// migration then moves the upstream codec state to the new backend
+	// instead of resetting the client. shadow/shadowSeq hold the last
+	// shadow snapshot pulled from the pin (hasShadow gates first use); a
+	// shadow is usable for failover only while its sequence still equals
+	// the session's relayed batch count.
+	snapshottable bool
+	shadow        []byte
+	shadowSeq     uint64
+	hasShadow     bool
 	// negotiable is set only between parsing the client Hello and sending
 	// HelloOK: the first upstream may still talk the whole session down to
 	// an older revision (mixed-fleet upgrades). Afterwards the revision is
@@ -110,6 +121,7 @@ func (ss *session) handshake() error {
 	ss.schemeName = h.Scheme
 	ss.key = poolKey{scheme: h.Scheme, txnSize: h.TxnSize, version: h.Version}
 	ss.pinned = scheme.DecodeStateful(h.Scheme)
+	ss.snapshottable = ss.pinned && scheme.Snapshottable(h.Scheme)
 
 	ss.negotiable = true
 	u, _, err := ss.acquireUpstream()
@@ -285,6 +297,10 @@ func (ss *session) handleBatch(body []byte, readDur time.Duration) (fatal bool) 
 		ss.writeH.ObserveDurationEx(writeDur, ss.traceID)
 		ss.span.Observe(obs.StageFrameWrite, writeDur)
 		ss.p.met.traces.Add(&ss.span)
+		if ss.snapshottable && ss.p.cfg.ShadowInterval > 0 &&
+			ss.batches%uint64(ss.p.cfg.ShadowInterval) == 0 {
+			ss.pullShadow(u, b)
+		}
 		return false
 	case trace.FrameBusy, trace.FrameBatchError:
 		// The backend shed or faulted the batch but kept the session:
@@ -361,13 +377,21 @@ func (ss *session) acquireUpstream() (*upstream, *backend, error) {
 			prev := ss.pin
 			b = ss.pinTarget()
 			if b != nil && prev != nil && b != prev {
-				// The pin was ejected (prober or failure-count) before
-				// this batch's exchange could fail on it. Serving the
-				// batch from the fresh pin would silently desynchronize
-				// the client's decode-stateful codec, so surface the
-				// migration as a failure: the caller converts it to a
-				// BatchError with the codec-reset flag, exactly as if
-				// the exchange itself had died.
+				// The pin was lost (ejected, or draining for a rollout)
+				// before this batch's exchange could fail on it. Serving
+				// the batch from the fresh pin's blank codec would
+				// silently desynchronize the client's decode-stateful
+				// decoder, so first try to move the upstream codec state
+				// itself: a live pull from the old backend if it still
+				// answers, else the last shadow snapshot if no batch has
+				// landed since. Success means the client never notices.
+				// Only when no current state can be transferred does the
+				// migration surface as a failure, which the caller
+				// converts to a BatchError with the codec-reset flag,
+				// exactly as if the exchange itself had died.
+				if u := ss.migrateState(prev, b); u != nil {
+					return u, b, nil
+				}
 				return nil, nil, errPinLost
 			}
 		} else {
@@ -415,10 +439,104 @@ func (ss *session) acquireUpstream() (*upstream, *backend, error) {
 	return nil, nil, errNoBackend
 }
 
+// migrateState moves a pinned session's upstream codec state from its
+// lost pin onto the new one, so the client's decoder continues
+// byte-identically with no epoch bump. It returns the restored upstream
+// (registered in ss.ups) on success, nil when the transfer could not be
+// completed and the caller must fall back to a client-side reset.
+func (ss *session) migrateState(prev, next *backend) *upstream {
+	if ss.version < 2 || !ss.snapshottable {
+		ss.p.met.stateUnsupported.Add(1)
+		ss.dropUpstream(prev)
+		return nil
+	}
+	timeout := ss.p.cfg.StateTransferTimeout
+	var seq uint64
+	var blob []byte
+	fromShadow := false
+	if old := ss.ups[prev]; old != nil {
+		// The old upstream may still answer — a draining backend always
+		// does, and even an ejected one often can (the ejection may have
+		// been a probe racing a restart).
+		s, b, err := old.pullSnapshot(timeout)
+		switch {
+		case err != nil:
+			ss.log.Debug("live state pull failed", "backend", prev.addr, "err", err)
+		case s != ss.batches:
+			ss.log.Debug("live state pull stale", "backend", prev.addr, "seq", s, "batches", ss.batches)
+		default:
+			seq, blob = s, b
+		}
+	}
+	ss.dropUpstream(prev)
+	if blob == nil && ss.hasShadow && ss.shadowSeq == ss.batches {
+		seq, blob, fromShadow = ss.shadowSeq, ss.shadow, true
+	}
+	if blob == nil {
+		ss.p.met.stateSnapFailed.Add(1)
+		return nil
+	}
+	if ss.p.inj != nil {
+		blob = ss.p.inj.WrapSnapshot(blob)
+	}
+	u, err := ss.p.dialUpstream(next, ss.key)
+	if err != nil {
+		ss.p.met.stateRestFailed.Add(1)
+		ss.log.Warn("state transfer failed: dialing new pin", "backend", next.addr, "err", err)
+		return nil
+	}
+	if u.ok.Version != ss.key.version {
+		u.conn.Close()
+		ss.p.met.stateRestFailed.Add(1)
+		ss.log.Warn("state transfer failed: new pin speaks older protocol",
+			"backend", next.addr, "version", u.ok.Version)
+		return nil
+	}
+	if err := u.restoreState(seq, blob, timeout); err != nil {
+		u.conn.Close()
+		ss.p.met.stateRestFailed.Add(1)
+		ss.log.Warn("state transfer failed: restore", "backend", next.addr, "err", err)
+		return nil
+	}
+	if fromShadow {
+		ss.p.met.stateOKShadow.Add(1)
+	} else {
+		ss.p.met.stateOK.Add(1)
+	}
+	ss.ups[next] = u
+	ss.log.Info("session state migrated",
+		"from", prev.addr, "to", next.addr, "seq", seq, "bytes", len(blob), "shadow", fromShadow)
+	return u
+}
+
+// pullShadow refreshes the session's shadow snapshot from its pinned
+// upstream, so a pin that dies without warning can still be failed over
+// from state no older than ShadowInterval batches — and usable whenever
+// no batch has landed since the pull.
+func (ss *session) pullShadow(u *upstream, b *backend) {
+	seq, blob, err := u.pullSnapshot(ss.p.cfg.StateTransferTimeout)
+	if err != nil {
+		if errors.Is(err, errStateRejected) {
+			// The backend answered cleanly: snapshots are simply not
+			// available for this session. Stop asking.
+			ss.snapshottable = false
+			ss.log.Warn("shadow snapshots disabled", "backend", b.addr, "err", err)
+			return
+		}
+		// The frame stream may be desynchronized mid-exchange; drop the
+		// upstream so the next batch redials cleanly.
+		ss.log.Debug("shadow snapshot failed", "backend", b.addr, "err", err)
+		ss.dropUpstream(b)
+		return
+	}
+	ss.shadow, ss.shadowSeq, ss.hasShadow = blob, seq, true
+}
+
 // pinTarget returns the backend this pinned session routes to, migrating
-// the pin (and the per-backend gauges) when the current one is ejected.
+// the pin (and the per-backend gauges) when the current one is ejected or
+// draining.
 func (ss *session) pinTarget() *backend {
-	if ss.pin != nil && !ss.pin.ejected.Load() {
+	if ss.pin != nil && !ss.pin.ejected.Load() && !ss.pin.draining.Load() {
 		return ss.pin
 	}
 	nb := ss.p.pickPinned(ss.id)

@@ -12,6 +12,7 @@ package scheme
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"github.com/hpca18/bxt/internal/bdenc"
@@ -19,6 +20,21 @@ import (
 	"github.com/hpca18/bxt/internal/dbi"
 	"github.com/hpca18/bxt/internal/fve"
 )
+
+// Stateful is implemented by codecs whose accumulated stream state can be
+// captured and replayed: Snapshot serializes the complete codec state
+// (versioned magic + CRC-32C framing, internal/snap style) and Restore
+// replaces the receiver's state with a snapshot's, after which the
+// restored instance continues the original's encode and decode streams
+// byte-identically. A failed Restore reports an error wrapping
+// snap.ErrSnapshot and leaves the receiver unchanged, so callers can fall
+// back to a Reset instance. This is the contract that lets a serving tier
+// migrate a live decode-stateful session onto a warm replica without a
+// client decoder reset.
+type Stateful interface {
+	Snapshot(w io.Writer) error
+	Restore(r io.Reader) error
+}
 
 // Options carries the constructor parameters of the parameterized scheme
 // families. The zero value is invalid; start from DefaultOptions.
@@ -66,6 +82,14 @@ type entry struct {
 	// (dbi's bus-history phase, bdenc's repository) would produce a
 	// record the decoder's state no longer matches.
 	cacheable bool
+	// stateful marks schemes whose codec implements Stateful, i.e. whose
+	// stream state can be snapshotted and transferred. Every
+	// decode-stateful scheme here must be stateful too — that is what
+	// makes a pinned session migratable without a client reset — but the
+	// converse need not hold (dbi is snapshottable for its encode
+	// history while its decode is stateless). Consistency with the
+	// actual interface set is locked down by a registry test.
+	stateful bool
 }
 
 // builders maps registry names to constructors. Every codec here is a
@@ -81,13 +105,13 @@ var builders = map[string]entry{
 	"universal": {build: func(o Options) core.Codec {
 		return core.NewUniversal(o.Stages)
 	}, cacheable: true},
-	"dbi":   {build: func(Options) core.Codec { return dbi.New(1) }},
-	"dbi1":  {build: func(Options) core.Codec { return dbi.New(1) }},
-	"dbi2":  {build: func(Options) core.Codec { return dbi.New(2) }},
-	"dbi4":  {build: func(Options) core.Codec { return dbi.New(4) }},
-	"bdenc": {build: func(Options) core.Codec { return bdenc.New() }, decodeStateful: true},
-	"bd":    {build: func(Options) core.Codec { return bdenc.New() }, decodeStateful: true},
-	"fve":   {build: func(Options) core.Codec { return fve.New() }, decodeStateful: true},
+	"dbi":   {build: func(Options) core.Codec { return dbi.New(1) }, stateful: true},
+	"dbi1":  {build: func(Options) core.Codec { return dbi.New(1) }, stateful: true},
+	"dbi2":  {build: func(Options) core.Codec { return dbi.New(2) }, stateful: true},
+	"dbi4":  {build: func(Options) core.Codec { return dbi.New(4) }, stateful: true},
+	"bdenc": {build: func(Options) core.Codec { return bdenc.New() }, decodeStateful: true, stateful: true},
+	"bd":    {build: func(Options) core.Codec { return bdenc.New() }, decodeStateful: true, stateful: true},
+	"fve":   {build: func(Options) core.Codec { return fve.New() }, decodeStateful: true, stateful: true},
 	"universal+dbi1": {build: func(o Options) core.Codec {
 		return core.NewChain(core.NewUniversal(o.Stages), dbi.New(1))
 	}},
@@ -110,6 +134,26 @@ func DecodeStateful(name string) bool {
 		return true
 	}
 	return e.decodeStateful
+}
+
+// Snapshottable reports whether name's codec implements Stateful, so a
+// live session's codec state can be snapshotted and transferred to a
+// fresh instance. Unknown names report false: a tier that cannot prove a
+// scheme's state transferable must fail toward a full reset.
+func Snapshottable(name string) bool {
+	e, ok := builders[name]
+	if !ok {
+		return false
+	}
+	return e.stateful
+}
+
+// AsStateful returns c's Stateful interface when it has one. It exists so
+// serving code holding a core.Codec can reach the snapshot contract
+// without re-deriving the scheme name.
+func AsStateful(c core.Codec) (Stateful, bool) {
+	s, ok := c.(Stateful)
+	return s, ok
 }
 
 // Cacheable reports whether name's Encode is a pure function of the

@@ -137,6 +137,108 @@ func TestCacheable(t *testing.T) {
 	}
 }
 
+// TestSnapshottable checks the stateful capability map against an explicit
+// expected classification and against the codecs themselves: a scheme is
+// Snapshottable exactly when its built codec implements Stateful, and every
+// decode-stateful scheme must be snapshottable — that is what makes a pinned
+// session migratable without a client decoder reset.
+func TestSnapshottable(t *testing.T) {
+	want := map[string]bool{
+		"baseline": false, "basexor": false, "2b": false, "4b": false,
+		"8b": false, "silent": false, "universal": false,
+		"dbi": true, "dbi1": true, "dbi2": true, "dbi4": true,
+		"bdenc": true, "bd": true, "fve": true, "universal+dbi1": false,
+	}
+	for _, name := range Names() {
+		exp, ok := want[name]
+		if !ok {
+			t.Errorf("scheme %q has no expected snapshottable value; classify it here", name)
+			continue
+		}
+		if got := Snapshottable(name); got != exp {
+			t.Errorf("Snapshottable(%q) = %v, want %v", name, got, exp)
+		}
+		c, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if _, impl := AsStateful(c); impl != Snapshottable(name) {
+			t.Errorf("%q: Snapshottable=%v but codec implements Stateful=%v; capability map out of sync",
+				name, Snapshottable(name), impl)
+		}
+		if DecodeStateful(name) && !Snapshottable(name) {
+			t.Errorf("%q is decode-stateful but not snapshottable: its pinned sessions cannot fail over without a reset", name)
+		}
+	}
+	if Snapshottable("bogus") {
+		t.Error("Snapshottable(bogus) = true, want false (fail toward reset)")
+	}
+}
+
+// TestStatefulSnapshotRoundTrip snapshots every stateful scheme mid-stream
+// into a fresh instance and requires byte-identical continuation — the end
+// -to-end contract state transfer is built on.
+func TestStatefulSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	txns := make([][]byte, 64)
+	for i := range txns {
+		txns[i] = make([]byte, 32)
+		rng.Read(txns[i])
+		if i > 0 && i%4 == 0 {
+			copy(txns[i], txns[i-1]) // repeats keep stateful tables hot
+		}
+	}
+	for _, name := range Names() {
+		if !Snapshottable(name) {
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			orig, _ := New(name)
+			dec := make([]byte, 32)
+			var e core.Encoded
+			for _, txn := range txns[:32] {
+				if err := orig.Encode(&e, txn); err != nil {
+					t.Fatalf("Encode: %v", err)
+				}
+				if err := orig.Decode(dec, &e); err != nil {
+					t.Fatalf("Decode: %v", err)
+				}
+			}
+			var buf bytes.Buffer
+			s, _ := AsStateful(orig)
+			if err := s.Snapshot(&buf); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			fresh, _ := New(name)
+			r, _ := AsStateful(fresh)
+			if err := r.Restore(&buf); err != nil {
+				t.Fatalf("Restore: %v", err)
+			}
+			var ea, eb core.Encoded
+			for i, txn := range txns[32:] {
+				if err := orig.Encode(&ea, txn); err != nil {
+					t.Fatalf("Encode: %v", err)
+				}
+				if err := fresh.Encode(&eb, txn); err != nil {
+					t.Fatalf("Encode: %v", err)
+				}
+				if !bytes.Equal(ea.Data, eb.Data) || !bytes.Equal(ea.Meta, eb.Meta) {
+					t.Fatalf("txn %d: restored codec diverged from original", i)
+				}
+				if err := orig.Decode(dec, &ea); err != nil {
+					t.Fatalf("Decode: %v", err)
+				}
+				if err := fresh.Decode(dec, &eb); err != nil {
+					t.Fatalf("restored Decode: %v", err)
+				}
+				if !bytes.Equal(dec, txn) {
+					t.Fatalf("txn %d: restored decode mismatch", i)
+				}
+			}
+		})
+	}
+}
+
 // TestBatched checks the native-batch capability map and the BatchEncoder
 // adapter: natively batched codecs come back as themselves, everything else
 // gets the sequential fallback, and the fallback's output is byte-identical

@@ -93,6 +93,16 @@ type metrics struct {
 	budgetKills   atomic.Uint64
 	slowClients   atomic.Uint64
 
+	// State-transfer counters. stateSnapshots and stateRestores count
+	// successful StateSnapshot/StateRestore admin exchanges; stateFails
+	// counts ones answered with a StateFailed ack; stateSnapshotBytes is
+	// the size of the last snapshot served (a gauge, for sizing the
+	// transfer path).
+	stateSnapshots     atomic.Uint64
+	stateRestores      atomic.Uint64
+	stateFails         atomic.Uint64
+	stateSnapshotBytes atomic.Int64
+
 	// stages holds the bxtd_stage_seconds{scheme,stage} histograms.
 	// Sessions resolve their four histograms once at handshake, so the
 	// per-batch cost is one mutex per stage observation.
@@ -156,6 +166,10 @@ func (m *metrics) writeExposition(w io.Writer, draining bool) {
 	fmt.Fprintf(w, "bxtd_busy_total %d\n", m.busyShed.Load())
 	fmt.Fprintf(w, "bxtd_fault_budget_disconnects_total %d\n", m.budgetKills.Load())
 	fmt.Fprintf(w, "bxtd_slow_client_disconnects_total %d\n", m.slowClients.Load())
+	fmt.Fprintf(w, "bxtd_state_snapshots_total %d\n", m.stateSnapshots.Load())
+	fmt.Fprintf(w, "bxtd_state_restores_total %d\n", m.stateRestores.Load())
+	fmt.Fprintf(w, "bxtd_state_transfer_failures_total %d\n", m.stateFails.Load())
+	fmt.Fprintf(w, "bxtd_state_snapshot_bytes %d\n", m.stateSnapshotBytes.Load())
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.schemes))

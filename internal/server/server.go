@@ -78,6 +78,13 @@ type Server struct {
 	sessions map[*session]struct{}
 	started  bool
 	draining bool
+	// lameduck is the zero-downtime drain state (/drain, BeginDrain):
+	// new connections and health probes are refused so a fronting proxy
+	// ejects this backend and migrates its pinned sessions away, but
+	// established sessions keep serving — including the state snapshots
+	// those migrations pull. Shutdown still sets draining, which is what
+	// actually winds the read loops down.
+	lameduck bool
 
 	wg sync.WaitGroup // accept loop + sessions
 
@@ -168,15 +175,23 @@ func (s *Server) Tracer() obs.Tracer { return s.met.stages }
 func (s *Server) buildMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if s.isDraining() {
+		if s.isRefusing() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
 			return
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		s.BeginDrain()
+		fmt.Fprintln(w, "draining")
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		s.met.writeExposition(w, s.isDraining())
+		s.met.writeExposition(w, s.isRefusing())
 		s.writeSimcacheMetrics(w)
 	})
 	if s.cfg.Debug {
@@ -253,6 +268,33 @@ func (s *Server) isDraining() bool {
 	return s.draining
 }
 
+// isRefusing reports whether the gateway is turning away new sessions and
+// health probes — either shutting down or in lame-duck mode.
+func (s *Server) isRefusing() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.lameduck
+}
+
+// BeginDrain puts the gateway into lame-duck mode for a zero-downtime
+// rollout: /healthz flips to draining and new connections are refused, so
+// a fronting proxy ejects this backend and live-migrates its pinned
+// stateful sessions elsewhere — while established sessions keep serving
+// batches and state snapshots until their clients let go. Call Shutdown
+// afterwards to actually stop.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	already := s.draining || s.lameduck
+	s.lameduck = true
+	n := len(s.sessions)
+	s.mu.Unlock()
+	if already {
+		return
+	}
+	s.log.Info("lame-duck drain begun", "open_sessions", n)
+	s.events.Add(obs.Event{Type: obs.EventDrainBegin, Detail: fmt.Sprintf("lame-duck: %d open sessions", n)})
+}
+
 // acceptLoop admits sessions up to the connection limit.
 func (s *Server) acceptLoop(ln net.Listener) {
 	defer s.wg.Done()
@@ -295,11 +337,12 @@ func (s *Server) refuse(conn net.Conn, msg string) {
 	conn.Close()
 }
 
-// newSession registers a session, or returns nil when draining.
+// newSession registers a session, or returns nil when draining (shutdown
+// or lame-duck).
 func (s *Server) newSession(conn net.Conn) *session {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.draining {
+	if s.draining || s.lameduck {
 		return nil
 	}
 	ss := &session{

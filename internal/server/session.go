@@ -57,6 +57,11 @@ type session struct {
 	// faults counts this session's recoverable batch faults against the
 	// configured budget. Only the read goroutine touches it.
 	faults int
+	// stateful is the codec's snapshot interface, resolved at handshake
+	// against the unwrapped codec (the chaos wrapper forwards only the
+	// core.Codec surface). Nil when the scheme's state is not
+	// transferable; only the read goroutine uses it.
+	stateful scheme.Stateful
 
 	// cache, when non-nil, is the similarity tier for this session's
 	// (scheme, txnSize): repeated transactions are served from it without
@@ -182,6 +187,14 @@ func (ss *session) run() {
 	close(ss.out)
 	<-ss.writerDone
 
+	// A drain closed this session out from under its client; leave the
+	// codec state on disk so it can be recovered rather than lost. The
+	// read and write goroutines are both done, so the session's codec and
+	// buses are exclusively ours here.
+	if ss.stateful != nil && ss.srv.cfg.StateDir != "" && ss.srv.isRefusing() {
+		ss.persistState()
+	}
+
 	ss.log.Info("session closed", "batches", ss.batches, "age", time.Since(opened).Round(time.Millisecond).String())
 	ss.srv.events.Add(obs.Event{
 		Type:       obs.EventSessionClose,
@@ -240,6 +253,10 @@ func (ss *session) handshake() error {
 	// wrapper below may perturb Encode, but a near-hit patch must
 	// reproduce the clean encoding the cache stores.
 	patcher, _ := codec.(core.PatchEncoder)
+	// State transfer resolves against the real codec too: a wrapped codec
+	// exposes only the core.Codec surface, so the Stateful interface must
+	// be captured before chaos wrapping.
+	stateful, _ := scheme.AsStateful(codec)
 	// Chaos injection wraps the codec after the probe, so a configured
 	// fault cannot fail an otherwise valid handshake.
 	if ss.srv.inj != nil {
@@ -248,6 +265,7 @@ func (ss *session) handshake() error {
 
 	ss.schemeName = name
 	ss.codec = codec
+	ss.stateful = stateful
 	ss.txnSize = h.TxnSize
 	ss.metaBits = codec.MetaBits(h.TxnSize)
 	ss.metaBytes = (ss.metaBits + 7) / 8
@@ -346,6 +364,14 @@ func (ss *session) readLoop() {
 			// handleBatch observes it so the sample can carry the
 			// batch's trace id once the envelope is open.
 			if ss.handleBatch(body, time.Since(readStart)) {
+				return
+			}
+		case trace.FrameStateSnapshot:
+			if ss.handleStateSnapshot() {
+				return
+			}
+		case trace.FrameStateRestore:
+			if ss.handleStateRestore(body) {
 				return
 			}
 		default:

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/hpca18/bxt/internal/obs"
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// State-transfer admin frames (internal/trace): a StateSnapshot request
+// serializes the session's complete stream state — codec, then baseline
+// bus, then encoded bus, each in its own internal/snap envelope — and a
+// StateRestore installs such a blob into a fresh session. Both are served
+// from the read goroutine at batch boundaries, where it has exclusive
+// ownership of the codec and both buses, so no locking is needed and a
+// snapshot can never observe a half-encoded batch.
+
+// handleStateSnapshot answers one StateSnapshot frame with a StateAck
+// carrying the serialized session state and the batch sequence it is
+// current as of. Sessions on non-snapshottable schemes answer
+// StateUnsupported; the session stays serviceable either way.
+func (ss *session) handleStateSnapshot() (fatal bool) {
+	if ss.version < 2 {
+		ss.fail(fmt.Sprintf("unexpected frame type %#x", trace.FrameStateSnapshot))
+		return true
+	}
+	if ss.stateful == nil {
+		ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(
+			trace.StateUnsupported, ss.batches,
+			[]byte(fmt.Sprintf("scheme %s is not snapshottable", ss.schemeName)))}
+		return false
+	}
+	var buf bytes.Buffer
+	if err := ss.snapshotState(&buf); err != nil {
+		// Snapshot writes to a buffer, so this is codec-side failure, not
+		// I/O; the codec state itself was only read, never mutated.
+		ss.srv.met.stateFails.Add(1)
+		ss.log.Warn("state snapshot failed", "err", err)
+		ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(
+			trace.StateFailed, ss.batches, []byte(err.Error()))}
+		return false
+	}
+	ss.srv.met.stateSnapshots.Add(1)
+	ss.srv.met.stateSnapshotBytes.Store(int64(buf.Len()))
+	ss.log.Debug("state snapshot served", "bytes", buf.Len(), "batches", ss.batches)
+	ss.srv.events.Add(obs.Event{
+		Type: obs.EventStateSnapshot, Session: ss.id, Scheme: ss.schemeName, Batches: ss.batches,
+	})
+	ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(trace.StateOK, ss.batches, buf.Bytes())}
+	return false
+}
+
+// handleStateRestore installs a transferred session state. On success the
+// session continues the original's streams byte-identically: its batch
+// sequence jumps to the snapshot's and the bus accounting baselines resync
+// so the first post-restore batch reports only its own deltas. On failure
+// the session falls back to the freshly-reset state recoverBatch
+// guarantees — never a half-restored one — and says so in the ack, leaving
+// the orchestrator its reset-flagged BatchError fallback.
+func (ss *session) handleStateRestore(body []byte) (fatal bool) {
+	if ss.version < 2 {
+		ss.fail(fmt.Sprintf("unexpected frame type %#x", trace.FrameStateRestore))
+		return true
+	}
+	seq, state, err := trace.ParseStateRestore(body)
+	if err != nil {
+		// A malformed admin frame is a framing bug, not a bad snapshot:
+		// fail the session like any other protocol violation.
+		ss.fail(err.Error())
+		return true
+	}
+	if ss.stateful == nil {
+		ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(
+			trace.StateUnsupported, seq,
+			[]byte(fmt.Sprintf("scheme %s is not snapshottable", ss.schemeName)))}
+		return false
+	}
+	if err := ss.restoreState(state); err != nil {
+		// Each component validates its envelope before applying anything,
+		// but an earlier component may have landed before a later one
+		// failed; recoverBatch resets the codec and resyncs the stat
+		// baselines so the session is cleanly fresh, not half-restored.
+		ss.recoverBatch()
+		ss.srv.met.stateFails.Add(1)
+		ss.log.Warn("state restore failed", "seq", seq, "err", err)
+		ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(
+			trace.StateFailed, seq, []byte(err.Error()))}
+		return false
+	}
+	ss.batches = seq
+	ss.prevBase, ss.prevEnc = ss.baseBus.Stats(), ss.encBus.Stats()
+	ss.srv.met.stateRestores.Add(1)
+	ss.log.Info("state restored", "bytes", len(state), "batches", seq)
+	ss.srv.events.Add(obs.Event{
+		Type: obs.EventStateRestore, Session: ss.id, Scheme: ss.schemeName, Batches: seq,
+	})
+	ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(trace.StateOK, seq, nil)}
+	return false
+}
+
+// snapshotState serializes the session's complete stream state: codec,
+// baseline bus, encoded bus, in that order.
+func (ss *session) snapshotState(buf *bytes.Buffer) error {
+	if err := ss.stateful.Snapshot(buf); err != nil {
+		return err
+	}
+	if err := ss.baseBus.Snapshot(buf); err != nil {
+		return err
+	}
+	return ss.encBus.Snapshot(buf)
+}
+
+// restoreState applies a snapshotState blob. Trailing bytes are rejected:
+// a blob that decodes clean but does not end where the state does was
+// framed by a different layout and cannot be trusted.
+func (ss *session) restoreState(state []byte) error {
+	r := bytes.NewReader(state)
+	if err := ss.stateful.Restore(r); err != nil {
+		return err
+	}
+	if err := ss.baseBus.Restore(r); err != nil {
+		return fmt.Errorf("baseline %w", err)
+	}
+	if err := ss.encBus.Restore(r); err != nil {
+		return fmt.Errorf("encoded %w", err)
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("state blob has %d trailing bytes", r.Len())
+	}
+	return nil
+}
+
+// persistState writes the session's state blob into the configured state
+// directory as the session winds down during a drain, so a stateful
+// session's accumulated stream state survives a fleet rollout instead of
+// being discarded with the process.
+func (ss *session) persistState() {
+	var buf bytes.Buffer
+	if err := ss.snapshotState(&buf); err != nil {
+		ss.log.Warn("drain-time state persist failed", "err", err)
+		return
+	}
+	path := filepath.Join(ss.srv.cfg.StateDir, fmt.Sprintf("session-%d-%s.state", ss.id, ss.schemeName))
+	if err := os.WriteFile(path, buf.Bytes(), 0o600); err != nil {
+		ss.log.Warn("drain-time state persist failed", "path", path, "err", err)
+		return
+	}
+	ss.log.Info("state persisted", "path", path, "bytes", buf.Len(), "batches", ss.batches)
+	ss.srv.events.Add(obs.Event{
+		Type: obs.EventStatePersist, Session: ss.id, Scheme: ss.schemeName,
+		Batches: ss.batches, Detail: path,
+	})
+}

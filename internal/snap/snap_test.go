@@ -1,0 +1,136 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	body := []byte("the quick brown fox")
+	var buf bytes.Buffer
+	if err := Write(&buf, "TEST", 3, body); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf, "TEST", 3)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("round trip: got %q, want %q", got, body)
+	}
+}
+
+func TestEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "TEST", 1, nil); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf, "TEST", 1)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty body read back %d bytes", len(got))
+	}
+}
+
+func TestBadMagicLength(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, "LONGER", 1, nil); err == nil {
+		t.Fatal("Write accepted a 6-byte magic")
+	}
+	if _, err := Read(&bytes.Buffer{}, "XY", 1); err == nil {
+		t.Fatal("Read accepted a 2-byte magic")
+	}
+}
+
+func TestOversizeBody(t *testing.T) {
+	if err := Write(&bytes.Buffer{}, "TEST", 1, make([]byte, MaxBodyBytes+1)); err == nil {
+		t.Fatal("Write accepted an oversize body")
+	}
+}
+
+func frame(t *testing.T, magic string, version uint16, body []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, magic, version, body); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRejects(t *testing.T) {
+	good := frame(t, "TEST", 2, []byte("payload"))
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"wrong magic", frame(t, "NOPE", 2, []byte("payload"))},
+		{"wrong version", frame(t, "TEST", 3, []byte("payload"))},
+		{"truncated header", good[:5]},
+		{"truncated body", good[:len(good)-6]},
+		{"truncated crc", good[:len(good)-2]},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		if _, err := Read(bytes.NewReader(tc.raw), "TEST", 2); !errors.Is(err, ErrSnapshot) {
+			t.Errorf("%s: got %v, want ErrSnapshot", tc.name, err)
+		}
+	}
+	// Every single-bit corruption must be caught by magic, version,
+	// length, or CRC validation.
+	for i := range good {
+		for bit := 0; bit < 8; bit++ {
+			raw := append([]byte(nil), good...)
+			raw[i] ^= 1 << bit
+			if _, err := Read(bytes.NewReader(raw), "TEST", 2); err == nil {
+				t.Fatalf("flipping bit %d of byte %d went undetected", bit, i)
+			}
+		}
+	}
+}
+
+func TestOversizeLengthField(t *testing.T) {
+	good := frame(t, "TEST", 1, []byte("x"))
+	raw := append([]byte(nil), good...)
+	// Claim a body beyond the bound: must be rejected before allocation.
+	raw[6], raw[7], raw[8], raw[9] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := Read(bytes.NewReader(raw), "TEST", 1); !errors.Is(err, ErrSnapshot) {
+		t.Fatalf("oversize length: got %v, want ErrSnapshot", err)
+	}
+}
+
+func TestReadConsumesExactly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, "TEST", 1, []byte("first")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := Write(&buf, "NEXT", 7, []byte("second")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if _, err := Read(&buf, "TEST", 1); err != nil {
+		t.Fatalf("first Read: %v", err)
+	}
+	got, err := Read(&buf, "NEXT", 7)
+	if err != nil {
+		t.Fatalf("second Read: %v", err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("second Read returned %q", got)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("%d bytes left after reading both frames", buf.Len())
+	}
+}
+
+func TestWriteErrorPropagates(t *testing.T) {
+	err := Write(failWriter{}, "TEST", 1, []byte("x"))
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("got %v, want wrapped write error", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("boom") }

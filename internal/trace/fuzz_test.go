@@ -89,6 +89,20 @@ func FuzzReader(f *testing.F) {
 	f.Add([]byte{})                       // empty input
 	f.Add(bytes.Repeat([]byte{0xFF}, 64)) // garbage
 
+	// State-transfer admin frames fed to the trace reader: BXTP wire bytes
+	// are not a trace file and must be rejected, not misparsed.
+	var stateFrames bytes.Buffer
+	if err := WriteFrame(&stateFrames, FrameStateSnapshot, nil); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteFrame(&stateFrames, FrameStateRestore, MarshalStateRestore(42, sector)); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteFrame(&stateFrames, FrameStateAck, MarshalStateAck(StateOK, 42, sector)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(stateFrames.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r, err := NewReader(bytes.NewReader(data))
 		if err != nil {
@@ -122,6 +136,42 @@ func FuzzReader(f *testing.F) {
 		reenc := validTrace(t, r.TxnSize(), txns)
 		if !bytes.Equal(reenc, data) {
 			t.Fatalf("round trip mismatch: %d bytes in, %d bytes out", len(data), len(reenc))
+		}
+	})
+}
+
+// FuzzStateFrames feeds arbitrary bytes to the state-transfer frame
+// parsers: no input may panic, every error must wrap ErrBadFrame, and any
+// body that parses must re-marshal to exactly the input bytes (the
+// encodings carry no redundancy the round trip could lose).
+func FuzzStateFrames(f *testing.F) {
+	blob := make([]byte, 24)
+	for i := range blob {
+		blob[i] = byte(0x5A ^ i*3)
+	}
+	f.Add(MarshalStateRestore(42, blob))
+	f.Add(MarshalStateRestore(0, nil))
+	f.Add(MarshalStateAck(StateOK, 42, blob))
+	f.Add(MarshalStateAck(StateFailed, 42, []byte("restore rejected: snapshot damaged")))
+	f.Add(MarshalStateAck(StateUnsupported, 0, nil))
+	f.Add([]byte{})
+	f.Add(blob[:7]) // shorter than either fixed prefix
+	f.Add(blob[:8]) // a valid restore body but a truncated ack body
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		if seq, state, err := ParseStateRestore(body); err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("ParseStateRestore error %v does not wrap ErrBadFrame", err)
+			}
+		} else if !bytes.Equal(MarshalStateRestore(seq, state), body) {
+			t.Fatalf("state-restore round trip diverged for %x", body)
+		}
+		if status, seq, payload, err := ParseStateAck(body); err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("ParseStateAck error %v does not wrap ErrBadFrame", err)
+			}
+		} else if !bytes.Equal(MarshalStateAck(status, seq, payload), body) {
+			t.Fatalf("state-ack round trip diverged for %x", body)
 		}
 	})
 }

@@ -82,6 +82,21 @@ func envelope(t *testing.T, id uint64, payload []byte) []byte {
 
 const goldenBatchID = 0x0102030405060708
 
+// goldenStateSeq is the fixed batch sequence in the state-transfer vectors.
+const goldenStateSeq = 0x000000000000002A
+
+// goldenStateBlob is the fixed opaque state payload in the state-transfer
+// vectors. The trace layer never interprets the blob (each codec frames
+// its own sections, see internal/snap), so a recognizable byte pattern
+// stands in for a codec snapshot.
+func goldenStateBlob() []byte {
+	b := make([]byte, 24)
+	for i := range b {
+		b[i] = byte(0x5A ^ i*3)
+	}
+	return b
+}
+
 // goldenTraceID is the fixed end-to-end trace id in the v3 vectors.
 const goldenTraceID = 0xfeedc0dedeadbeef
 
@@ -158,6 +173,18 @@ func goldenFrames() []goldenFrame {
 		}},
 		{"v2_batch_error", FrameBatchError, func(*testing.T) []byte {
 			return MarshalBatchError(goldenBatchID, true, "codec fault: injected")
+		}},
+		{"v2_state_snapshot", FrameStateSnapshot, func(*testing.T) []byte {
+			return nil // the snapshot request carries no body
+		}},
+		{"v2_state_restore", FrameStateRestore, func(*testing.T) []byte {
+			return MarshalStateRestore(goldenStateSeq, goldenStateBlob())
+		}},
+		{"v2_state_ack_ok", FrameStateAck, func(*testing.T) []byte {
+			return MarshalStateAck(StateOK, goldenStateSeq, goldenStateBlob())
+		}},
+		{"v2_state_ack_failed", FrameStateAck, func(*testing.T) []byte {
+			return MarshalStateAck(StateFailed, goldenStateSeq, []byte("restore rejected: snapshot damaged"))
 		}},
 		{"error", FrameError, func(*testing.T) []byte {
 			return []byte("server is draining")
@@ -351,6 +378,34 @@ func TestGoldenVectorsParse(t *testing.T) {
 				}
 				if id != goldenBatchID || !reset || msg != "codec fault: injected" {
 					t.Errorf("batch-error = (%#x, %v, %q)", id, reset, msg)
+				}
+			case "v2_state_snapshot":
+				if len(body) != 0 {
+					t.Errorf("state-snapshot body = %d bytes, want empty", len(body))
+				}
+			case "v2_state_restore":
+				seq, state, err := ParseStateRestore(body)
+				if err != nil {
+					t.Fatalf("ParseStateRestore: %v", err)
+				}
+				if seq != goldenStateSeq || !bytes.Equal(state, goldenStateBlob()) {
+					t.Errorf("state-restore = (%#x, %x)", seq, state)
+				}
+			case "v2_state_ack_ok":
+				status, seq, payload, err := ParseStateAck(body)
+				if err != nil {
+					t.Fatalf("ParseStateAck: %v", err)
+				}
+				if status != StateOK || seq != goldenStateSeq || !bytes.Equal(payload, goldenStateBlob()) {
+					t.Errorf("state-ack = (%d, %#x, %x)", status, seq, payload)
+				}
+			case "v2_state_ack_failed":
+				status, seq, payload, err := ParseStateAck(body)
+				if err != nil {
+					t.Fatalf("ParseStateAck: %v", err)
+				}
+				if status != StateFailed || seq != goldenStateSeq || string(payload) != "restore rejected: snapshot damaged" {
+					t.Errorf("state-ack = (%d, %#x, %q)", status, seq, payload)
 				}
 			case "error":
 				if string(body) != "server is draining" {

@@ -44,6 +44,21 @@
 // session carries no trace field at all, leaving older peers' wire
 // behaviour byte-for-byte unchanged. Busy and BatchError frames are
 // unmodified — they correlate through the batch id they already carry.
+//
+// State-transfer admin frames (any v2+ session) move a decode-stateful
+// session codec between backends without resetting the client's decoder.
+// StateSnapshot (empty body) asks the gateway to serialize the session
+// codec's complete decode state at the current batch boundary; the gateway
+// answers StateAck carrying a status byte, the count of batches the state
+// is current as of (so the receiver knows exactly where to resume), and —
+// on success — the state blob itself. The blob is opaque at this layer:
+// each codec frames its own sections with versioned magic + CRC-32C
+// trailers (internal/snap), so damage is detected on restore, not trusted.
+// StateRestore (uint64 sequence + blob) installs such a snapshot into a
+// session before its next batch and is answered by a StateAck echoing the
+// sequence with an empty payload; a non-zero status means the state was
+// rejected and the session codec remains in its freshly-reset state, never
+// half-restored. Version 1 sessions carry none of these frames.
 package trace
 
 import (
@@ -61,17 +76,28 @@ type FrameType uint8
 
 // Protocol frame types.
 const (
-	FrameHello      FrameType = 0x01
-	FrameBatch      FrameType = 0x02
-	FrameHelloOK    FrameType = 0x81
-	FrameBatchReply FrameType = 0x82
+	FrameHello FrameType = 0x01
+	FrameBatch FrameType = 0x02
+	// FrameStateSnapshot (v2+) asks the gateway to serialize the session
+	// codec's decode state at the current batch boundary. Empty body; the
+	// answer is a StateAck.
+	FrameStateSnapshot FrameType = 0x03
+	// FrameStateRestore (v2+) installs a snapshotted codec state into the
+	// session before its next batch. Body: uint64 sequence + state blob.
+	FrameStateRestore FrameType = 0x04
+	FrameHelloOK      FrameType = 0x81
+	FrameBatchReply   FrameType = 0x82
 	// FrameBusy (v2) sheds one batch under overload: the server did not
 	// process it and the client should retry after the carried hint.
 	FrameBusy FrameType = 0x83
 	// FrameBatchError (v2) reports one failed batch without closing the
 	// session.
 	FrameBatchError FrameType = 0x84
-	FrameError      FrameType = 0xFF
+	// FrameStateAck (v2+) answers StateSnapshot and StateRestore. Body:
+	// uint8 status + uint64 sequence + payload (the state blob on a
+	// successful snapshot, a UTF-8 message on failure, empty otherwise).
+	FrameStateAck FrameType = 0x85
+	FrameError    FrameType = 0xFF
 )
 
 // Protocol limits and identifiers.
@@ -225,6 +251,56 @@ func ParseBatchError(body []byte) (id uint64, codecReset bool, msg string, err e
 	}
 	id = binary.LittleEndian.Uint64(body[:8])
 	return id, body[8]&batchErrorReset != 0, string(body[9:]), nil
+}
+
+// StateAck status codes.
+const (
+	// StateOK reports the snapshot or restore succeeded.
+	StateOK uint8 = 0
+	// StateUnsupported reports the session codec keeps no transferable
+	// state (or the session is v1): there is nothing to snapshot and a
+	// restore is meaningless.
+	StateUnsupported uint8 = 1
+	// StateFailed reports the operation was attempted and rejected — a
+	// damaged or mismatched blob on restore, or a serialization failure on
+	// snapshot. After a failed restore the session codec is freshly reset,
+	// never half-restored.
+	StateFailed uint8 = 2
+)
+
+// MarshalStateRestore encodes a StateRestore frame body: the batch
+// sequence the state is current as of, then the opaque state blob.
+func MarshalStateRestore(seq uint64, state []byte) []byte {
+	body := binary.LittleEndian.AppendUint64(make([]byte, 0, 8+len(state)), seq)
+	return append(body, state...)
+}
+
+// ParseStateRestore decodes a StateRestore frame body. The returned state
+// aliases body.
+func ParseStateRestore(body []byte) (seq uint64, state []byte, err error) {
+	if len(body) < 8 {
+		return 0, nil, fmt.Errorf("%w: state-restore body %d bytes, want >= 8", ErrBadFrame, len(body))
+	}
+	return binary.LittleEndian.Uint64(body[:8]), body[8:], nil
+}
+
+// MarshalStateAck encodes a StateAck frame body: status, the batch
+// sequence the answer refers to, and the payload — the state blob when
+// acknowledging a successful snapshot, a UTF-8 message on failure, empty
+// otherwise.
+func MarshalStateAck(status uint8, seq uint64, payload []byte) []byte {
+	body := append(make([]byte, 0, 9+len(payload)), status)
+	body = binary.LittleEndian.AppendUint64(body, seq)
+	return append(body, payload...)
+}
+
+// ParseStateAck decodes a StateAck frame body. The returned payload
+// aliases body.
+func ParseStateAck(body []byte) (status uint8, seq uint64, payload []byte, err error) {
+	if len(body) < 9 {
+		return 0, 0, nil, fmt.Errorf("%w: state-ack body %d bytes, want >= 9", ErrBadFrame, len(body))
+	}
+	return body[0], binary.LittleEndian.Uint64(body[1:9]), body[9:], nil
 }
 
 // WriteFrame writes one frame (length prefix, type byte, body) to w.
