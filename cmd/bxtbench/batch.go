@@ -197,6 +197,7 @@ type trajectoryEntry struct {
 	Go       string           `json:"go"`
 	Batch    []batchResult    `json:"batch"`
 	Pipeline []pipelineResult `json:"server_pipeline"`
+	Mux      []muxResult      `json:"mux_pipeline,omitempty"`
 }
 
 // appendTrajectory appends entry to the JSON array at path, creating the file

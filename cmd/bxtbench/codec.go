@@ -65,6 +65,7 @@ type codecReport struct {
 	Codecs   []codecResult    `json:"codecs"`
 	Batch    []batchResult    `json:"batch"`
 	Pipeline []pipelineResult `json:"server_pipeline"`
+	Mux      []muxResult      `json:"mux_pipeline"`
 }
 
 func toStat(r testing.BenchmarkResult) benchStat {
@@ -250,6 +251,11 @@ func runCodecBench(path string) error {
 			name, r.NsPerBatch, r.MBPerSec)
 		rep.Pipeline = append(rep.Pipeline, r)
 	}
+	mux, err := runMuxBench()
+	if err != nil {
+		return err
+	}
+	rep.Mux = mux
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -266,6 +272,6 @@ func runCodecBench(path string) error {
 	// Each run also appends its headline numbers to the trajectory log, so
 	// the batch and pipeline figures can be tracked commit over commit.
 	return appendTrajectory(trajectoryPath(path), trajectoryEntry{
-		Time: nowStamp(), Go: rep.Go, Batch: rep.Batch, Pipeline: rep.Pipeline,
+		Time: nowStamp(), Go: rep.Go, Batch: rep.Batch, Pipeline: rep.Pipeline, Mux: rep.Mux,
 	})
 }

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/hpca18/bxt/internal/client"
+	"github.com/hpca18/bxt/internal/config"
+	"github.com/hpca18/bxt/internal/server"
+)
+
+// The mux-pipeline section measures the protocol-v4 multiplexed serving
+// path: many logical streams share one TCP connection into an in-process
+// gateway, every stream transcoding concurrently. The headline figure is
+// batches/sec per connection — the capacity one TCP connection buys under
+// multiplexing, the number the v4 stream-id field exists to raise.
+
+// muxStreams is how many logical sessions the section packs onto the one
+// benchmarked connection.
+const muxStreams = 16
+
+// muxSchemes are benchmarked through the multiplexed gateway path.
+var muxSchemes = []string{"universal", "basexor"}
+
+// muxResult is one multiplexed gateway configuration.
+type muxResult struct {
+	Scheme    string `json:"scheme"`
+	TxnBytes  int    `json:"txn_bytes"`
+	BatchTxns int    `json:"batch_txns"`
+	// Streams is the logical-session count sharing the one connection.
+	Streams    int     `json:"streams"`
+	NsPerBatch float64 `json:"ns_per_batch"`
+	// BatchesPerSecPerConn is the gated headline: aggregate batch
+	// throughput divided by TCP connections (one here).
+	BatchesPerSecPerConn float64 `json:"batches_per_s_per_conn"`
+	MBPerSec             float64 `json:"mb_per_s"`
+}
+
+// benchMuxPipeline measures one scheme through the multiplexed gateway
+// path: streams logical sessions on a single client.Mux connection, each
+// benchmark op driving one batch down every stream concurrently.
+func benchMuxPipeline(schemeName string, txnBytes, batchTxns, streams int) (muxResult, error) {
+	res := muxResult{Scheme: schemeName, TxnBytes: txnBytes, BatchTxns: batchTxns, Streams: streams}
+	cfg := config.DefaultServer()
+	cfg.ListenAddr = "127.0.0.1:0"
+	cfg.MetricsAddr = "127.0.0.1:0"
+	cfg.LogLevel = "error"
+	if cfg.StreamLimit < streams {
+		cfg.StreamLimit = streams
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		return res, err
+	}
+	if err := srv.Start(); err != nil {
+		return res, err
+	}
+	defer srv.Close()
+
+	m, err := client.NewMux(srv.Addr(), client.Config{})
+	if err != nil {
+		return res, err
+	}
+	defer m.Close()
+	sessions := make([]*client.Session, streams)
+	for i := range sessions {
+		if sessions[i], err = m.Open(schemeName, txnBytes); err != nil {
+			return res, fmt.Errorf("open stream %d: %w", i, err)
+		}
+	}
+
+	txns := pipelineBatch(batchTxns, txnBytes)
+	var benchErr error
+	var errMu sync.Mutex
+	r := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(streams * batchTxns * txnBytes))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for _, s := range sessions {
+				wg.Add(1)
+				go func(s *client.Session) {
+					defer wg.Done()
+					if _, err := s.Transcode(txns); err != nil {
+						errMu.Lock()
+						if benchErr == nil {
+							benchErr = err
+						}
+						errMu.Unlock()
+					}
+				}(s)
+			}
+			wg.Wait()
+			errMu.Lock()
+			err := benchErr
+			errMu.Unlock()
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if benchErr != nil {
+		return res, benchErr
+	}
+
+	// One op is streams batches over one connection.
+	res.NsPerBatch = float64(r.T.Nanoseconds()) / float64(r.N) / float64(streams)
+	if sec := r.T.Seconds(); sec > 0 {
+		res.BatchesPerSecPerConn = float64(r.N) * float64(streams) / sec
+		res.MBPerSec = float64(r.Bytes) * float64(r.N) / 1e6 / sec
+	}
+	return res, nil
+}
+
+// runMuxBench sweeps the mux-pipeline section and logs one line per point.
+func runMuxBench() ([]muxResult, error) {
+	var out []muxResult
+	for _, name := range muxSchemes {
+		r, err := benchMuxPipeline(name, 32, 256, muxStreams)
+		if err != nil {
+			return nil, fmt.Errorf("mux %s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "mux %-10s %2d streams 256x32B  %10.0f ns/batch %8.0f batches/s/conn %8.1f MB/s\n",
+			name, r.Streams, r.NsPerBatch, r.BatchesPerSecPerConn, r.MBPerSec)
+		out = append(out, r)
+	}
+	return out, nil
+}

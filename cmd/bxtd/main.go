@@ -61,6 +61,7 @@ func main() {
 	admitTimeout := flag.Duration("admit-timeout", def.AdmitTimeout, "worker-slot wait above which a batch is shed with a Busy reply")
 	maxPending := flag.Int("max-pending", def.MaxPending, "batches waiting for workers before immediate shedding")
 	maxProtocol := flag.Int("max-protocol", def.MaxProtocol, "highest BXTP revision to negotiate (compatibility drills)")
+	streamLimit := flag.Int("stream-limit", def.StreamLimit, "logical streams allowed per multiplexed (v4) connection")
 	traceBuffer := flag.Int("trace-buffer", def.TraceBuffer, "batch spans retained by /debug/trace")
 	stateDir := flag.String("state-dir", def.StateDir, "directory for drain-time session state snapshots (empty disables)")
 	chaos := flag.String("chaos", "", "self-sabotage for fault drills: inject faults per this spec, e.g. seed=7,corrupt=0.01,panic=0.001 (keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms, err, panic)")
@@ -102,6 +103,7 @@ func main() {
 		AdmitTimeout:     *admitTimeout,
 		MaxPending:       *maxPending,
 		MaxProtocol:      *maxProtocol,
+		StreamLimit:      *streamLimit,
 		TraceBuffer:      *traceBuffer,
 		StateDir:         *stateDir,
 		SimCache: config.SimCache{

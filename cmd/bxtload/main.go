@@ -31,6 +31,7 @@ import (
 	"github.com/hpca18/bxt/internal/client"
 	"github.com/hpca18/bxt/internal/faults"
 	"github.com/hpca18/bxt/internal/obs"
+	"github.com/hpca18/bxt/internal/swarm"
 	"github.com/hpca18/bxt/internal/trace"
 	"github.com/hpca18/bxt/internal/workload"
 )
@@ -147,6 +148,8 @@ func main() {
 	flipBits := flag.Int("flip-bits", 0, "zipf: flip up to this many random bits per repeat (near-duplicates instead of exact copies)")
 	traceSpans := flag.Bool("trace", false, "record client-side batch spans and report the slowest batch's trace id")
 	listWorkloads := flag.Bool("workloads", false, "list workload names")
+	swarmMode := flag.Bool("swarm", false, "swarm mode: multiplex -streams logical sessions over -conns TCP connections (protocol v4), decode-mirroring every record; -txns counts per stream")
+	streams := flag.Int("streams", 10000, "swarm: total logical sessions across all connections")
 	flag.Parse()
 
 	if *listWorkloads {
@@ -157,6 +160,10 @@ func main() {
 	}
 	if *conns <= 0 || *batch <= 0 || *total <= 0 {
 		log.Fatal("conns, batch and txns must be positive")
+	}
+	if *swarmMode {
+		runSwarm(*addr, *schemeName, *conns, *streams, *total, *batch, *txnSize, *retries, *backoff, *chaos, *jsonOut)
+		return
 	}
 
 	apps := pickApps(*workloadName, *txnSize)
@@ -348,6 +355,73 @@ func main() {
 	}
 	if failed > 0 {
 		log.Fatalf("%d of %d connections failed", failed, *conns)
+	}
+}
+
+// runSwarm is the -swarm entry point: a thin wrapper over swarm.Run that
+// reports the multiplexing invariants (mismatches, reconnects, epoch
+// bumps) alongside throughput. Payloads are the swarm's nonce-stamped
+// streams rather than workload replays: the point is stream isolation at
+// scale, not traffic realism.
+func runSwarm(addr, schemeName string, conns, streams, perStream, batchSize, txnSize, retries int, backoff time.Duration, chaos, jsonOut string) {
+	ccfg := client.Config{MaxRetries: retries, RetryBackoff: backoff}
+	if chaos != "" {
+		fcfg, err := faults.ParseSpec(chaos)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj, err := faults.New(fcfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ccfg.Dialer = inj.WrapDialer(func(ctx context.Context, addr string) (net.Conn, error) {
+			return (&net.Dialer{}).DialContext(ctx, "tcp", addr)
+		})
+	}
+	batches := (perStream + batchSize - 1) / batchSize
+	res, err := swarm.Run(swarm.Config{
+		Addr:      addr,
+		Conns:     conns,
+		Streams:   streams,
+		Batches:   batches,
+		BatchSize: batchSize,
+		TxnSize:   txnSize,
+		Scheme:    schemeName,
+		Client:    ccfg,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("swarm:        %d logical sessions over %d connections (%s, %d-byte transactions)\n",
+		res.Streams, res.Conns, schemeName, txnSize)
+	fmt.Printf("transactions: %d in %s (%.0f txn/s)\n",
+		res.Transactions, res.Elapsed.Round(time.Millisecond), res.TxnPerSecond())
+	fmt.Printf("integrity:    %d decode mismatches, %d reconnects, %d epoch bumps\n",
+		res.Mismatches, res.Reconnects, res.EpochBumps)
+	if res.Retry != (client.RetryStats{}) {
+		fmt.Printf("recovery:     %d retries, %d busy sheds, %d batch errors\n",
+			res.Retry.Retries, res.Retry.Busy, res.Retry.BatchErrors)
+	}
+	if res.Stats.BaselinePJ > 0 {
+		fmt.Printf("energy:       %.3g -> %.3g uJ (%.1f%% saved)\n",
+			res.Stats.BaselinePJ/1e6, res.Stats.EncodedPJ/1e6,
+			100*res.Stats.EnergySavedPJ()/res.Stats.BaselinePJ)
+	}
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatalf("marshalling summary: %v", err)
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", jsonOut, err)
+		}
+		fmt.Printf("summary:      wrote %s\n", jsonOut)
+	}
+	for _, e := range res.Errors {
+		log.Printf("stream failure: %v", e)
+	}
+	if len(res.Errors) > 0 || res.Mismatches > 0 {
+		os.Exit(1)
 	}
 }
 

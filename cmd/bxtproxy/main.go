@@ -18,6 +18,11 @@
 // routing avoids it while pinned sessions live-migrate off it — for
 // zero-downtime backend rollouts.
 //
+// The fleet is dynamic: POST /backends?add=ADDR or ?remove=ADDR on the
+// metrics port grows or shrinks it without a restart, and with
+// -backends-file the proxy re-reads the file (one address per line, #
+// comments) on SIGHUP and reconciles the fleet against it.
+//
 // The proxy drains gracefully on SIGINT/SIGTERM: the listener closes,
 // /healthz flips to 503 draining, in-flight batches complete, then it
 // exits.
@@ -43,6 +48,7 @@ func main() {
 	listen := flag.String("listen", def.ListenAddr, "client-facing BXTP listen address")
 	metrics := flag.String("metrics", def.MetricsAddr, "metrics/health listen address")
 	backends := flag.String("backends", strings.Join(def.Backends, ","), "comma-separated bxtd backend addresses")
+	backendsFile := flag.String("backends-file", "", "file of backend addresses, one per line (# comments); overrides -backends, re-read on SIGHUP")
 	maxConns := flag.Int("max-conns", def.MaxConns, "client connection limit")
 	readTimeout := flag.Duration("read-timeout", def.ReadTimeout, "per-frame client read deadline")
 	writeTimeout := flag.Duration("write-timeout", def.WriteTimeout, "per-frame client write deadline")
@@ -56,6 +62,8 @@ func main() {
 	retryHint := flag.Duration("retry-hint", def.RetryHint, "retry-after carried by failover Busy replies")
 	stateTimeout := flag.Duration("state-timeout", def.StateTransferTimeout, "deadline for one failover state snapshot or restore exchange")
 	shadowInterval := flag.Int("shadow-interval", def.ShadowInterval, "batches between shadow snapshots of pinned stateful sessions (0 disables)")
+	streamLimit := flag.Int("stream-limit", def.StreamLimit, "logical streams allowed per multiplexed (v4) client connection")
+	boundedLoad := flag.Float64("bounded-load", def.BoundedLoadFactor, "pinned-placement load bound as a multiple of mean in-flight batches (0 disables)")
 	logLevel := flag.String("log-level", def.LogLevel, "log level: debug, info, warn, error")
 	logFormat := flag.String("log-format", def.LogFormat, "log handler: text or json")
 	debug := flag.Bool("debug", def.Debug, "serve /debug/pprof/ and /debug/trace on the metrics port")
@@ -63,10 +71,18 @@ func main() {
 	chaos := flag.String("chaos", "", "fault drill: inject faults into the backend leg per this spec, e.g. seed=7,corrupt=0.01 (keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms, err, panic)")
 	flag.Parse()
 
+	fleet := splitBackends(*backends)
+	if *backendsFile != "" {
+		var err error
+		if fleet, err = readBackendsFile(*backendsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "bxtproxy:", err)
+			os.Exit(1)
+		}
+	}
 	cfg := config.Proxy{
 		ListenAddr:           *listen,
 		MetricsAddr:          *metrics,
-		Backends:             splitBackends(*backends),
+		Backends:             fleet,
 		MaxConns:             *maxConns,
 		ReadTimeout:          *readTimeout,
 		WriteTimeout:         *writeTimeout,
@@ -80,6 +96,8 @@ func main() {
 		RetryHint:            *retryHint,
 		StateTransferTimeout: *stateTimeout,
 		ShadowInterval:       *shadowInterval,
+		StreamLimit:          *streamLimit,
+		BoundedLoadFactor:    *boundedLoad,
 		LogLevel:             *logLevel,
 		LogFormat:            *logFormat,
 		Debug:                *debug,
@@ -118,8 +136,29 @@ func main() {
 	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	got := <-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	var got os.Signal
+	for got = range sig {
+		if got != syscall.SIGHUP {
+			break
+		}
+		// SIGHUP: reconcile the fleet against the backends file. A reload
+		// that fails (unreadable file, empty list) keeps the current fleet.
+		if *backendsFile == "" {
+			logger.Warn("SIGHUP ignored: no -backends-file to reload")
+			continue
+		}
+		addrs, err := readBackendsFile(*backendsFile)
+		if err != nil {
+			logger.Error("backends reload failed", "file", *backendsFile, "err", err)
+			continue
+		}
+		if err := px.SetBackends(addrs); err != nil {
+			logger.Error("backends reload failed", "file", *backendsFile, "err", err)
+			continue
+		}
+		logger.Info("backends reloaded", "file", *backendsFile, "fleet", addrs)
+	}
 	logger.Info("signal received, draining", "signal", got.String(), "budget", cfg.DrainTimeout.String())
 
 	ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
@@ -146,4 +185,26 @@ func splitBackends(s string) []string {
 		}
 	}
 	return out
+}
+
+// readBackendsFile parses a backends file: one address per line, blank
+// lines and #-comments ignored.
+func readBackendsFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("backends file: %w", err)
+	}
+	var out []string
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if line = strings.TrimSpace(line); line != "" {
+			out = append(out, line)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("backends file %s lists no backends", path)
+	}
+	return out, nil
 }

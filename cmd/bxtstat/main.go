@@ -119,6 +119,7 @@ type snapshot struct {
 	Kind string
 
 	Conns    float64
+	Streams  float64 // open v4 logical streams multiplexed over those conns
 	Batches  float64 // lifetime batches served/relayed
 	Txns     float64 // lifetime transactions (bxtd only)
 	Draining bool
@@ -179,6 +180,7 @@ func collect(target string, points []obs.MetricPoint, at time.Time) snapshot {
 	}
 	s.Draining = obs.SumMetric(points, prefix+obs.FamDraining) > 0
 	s.Conns = obs.SumMetric(points, prefix+obs.FamConnsActive)
+	s.Streams = obs.SumMetric(points, prefix+"streams_open")
 	s.SpansRecorded = obs.SumMetric(points, prefix+obs.FamTraceSpans)
 	if s.Kind == "bxtd" {
 		s.Batches = obs.SumMetric(points, "bxtd_batches_total")
@@ -266,8 +268,8 @@ func bucketQuantile(bounds, cum []float64, total, q float64) float64 {
 // totals. prev supplies the previous poll per target for rate columns;
 // nil (or a missing target) renders rates as "-".
 func renderFleet(w io.Writer, snaps []snapshot, prev map[string]snapshot) {
-	fmt.Fprintf(w, "%-24s %-9s %-5s %6s %9s %9s %6s %8s %8s %7s %8s\n",
-		"TARGET", "KIND", "STATE", "CONNS", "BATCH/S", "TXN/S", "HIT%", "P50", "P99", "SAVE%", "WATTS")
+	fmt.Fprintf(w, "%-24s %-9s %-5s %6s %7s %9s %9s %6s %8s %8s %7s %8s\n",
+		"TARGET", "KIND", "STATE", "CONNS", "STREAMS", "BATCH/S", "TXN/S", "HIT%", "P50", "P99", "SAVE%", "WATTS")
 	var fleetBase, fleetEnc, fleetWatts float64
 	for _, s := range snaps {
 		if s.Err != nil {
@@ -299,8 +301,8 @@ func renderFleet(w io.Writer, snaps []snapshot, prev map[string]snapshot) {
 		if s.BaseJoules > 0 {
 			save = fmt.Sprintf("%.1f", 100*(1-s.EncJoules/s.BaseJoules))
 		}
-		fmt.Fprintf(w, "%-24s %-9s %-5s %6.0f %9s %9s %6s %8s %8s %7s %8.3g\n",
-			s.Target, s.Kind, state, s.Conns, batchRate, txnRate, hit, p50, p99, save, s.WindowWatts)
+		fmt.Fprintf(w, "%-24s %-9s %-5s %6.0f %7.0f %9s %9s %6s %8s %8s %7s %8.3g\n",
+			s.Target, s.Kind, state, s.Conns, s.Streams, batchRate, txnRate, hit, p50, p99, save, s.WindowWatts)
 		fleetBase += s.BaseJoules
 		fleetEnc += s.EncJoules
 		fleetWatts += s.WindowWatts

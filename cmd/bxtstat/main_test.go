@@ -180,10 +180,11 @@ func TestFleetDashboard(t *testing.T) {
 	if gwRow == "" {
 		t.Fatalf("second render has no gateway row:\n%s", second.String())
 	}
-	// 5 batches / 2s renders as "2" (sub-thousand rates drop the fraction),
-	// 320 txns / 2s = 160 txn/s.
-	if f := strings.Fields(gwRow); len(f) < 6 || f[4] != "2" || f[5] != "160" {
-		t.Errorf("gateway rate columns not computed from the previous poll: %q", gwRow)
+	// One open v4 stream (the session's stream 0), then 5 batches / 2s
+	// renders as "2" (sub-thousand rates drop the fraction), 320 txns / 2s
+	// = 160 txn/s.
+	if f := strings.Fields(gwRow); len(f) < 7 || f[4] != "1" || f[5] != "2" || f[6] != "160" {
+		t.Errorf("gateway stream/rate columns not computed from the previous poll: %q", gwRow)
 	}
 
 	// A dead target renders as down without breaking the fleet view.

@@ -417,21 +417,30 @@ func (c *Client) exchange(id uint64, txns []trace.Transaction) (trace.BatchReply
 	writeStart := time.Now()
 	var body []byte
 	var err error
+	// On a v4 session every frame leads with the stream id (0 for a plain
+	// single-stream client); the envelope and its CRC cover only the
+	// v3-encoded remainder.
+	buf := c.bbuf[:0]
+	envAt := 0
+	if c.version >= 4 {
+		buf = trace.AppendStreamID(buf, 0)
+		envAt = 4
+	}
 	switch {
 	case c.version >= 3:
-		body, err = trace.AppendBatch(trace.AppendTraceEnvelope(c.bbuf[:0], id, c.traceID), txns, c.txnSize)
+		body, err = trace.AppendBatch(trace.AppendTraceEnvelope(buf, id, c.traceID), txns, c.txnSize)
 	case c.version >= 2:
-		body, err = trace.AppendBatch(trace.AppendBatchEnvelope(c.bbuf[:0], id), txns, c.txnSize)
+		body, err = trace.AppendBatch(trace.AppendBatchEnvelope(buf, id), txns, c.txnSize)
 	default:
 		// v1 framing: no batch envelope on either direction.
-		body, err = trace.AppendBatch(c.bbuf[:0], txns, c.txnSize)
+		body, err = trace.AppendBatch(buf, txns, c.txnSize)
 	}
 	if err != nil {
 		return trace.BatchReply{}, 0, exchangeCaller, err
 	}
 	c.bbuf = body[:0]
 	if c.version >= 2 {
-		if err := trace.SealBatchEnvelope(body); err != nil {
+		if err := trace.SealBatchEnvelope(body[envAt:]); err != nil {
 			return trace.BatchReply{}, 0, exchangeCaller, err // unreachable: envelope present
 		}
 	}
@@ -451,6 +460,28 @@ func (c *Client) exchange(id uint64, txns []trace.Transaction) (trace.BatchReply
 	ft, rbody, err := c.readFrame()
 	if err != nil {
 		return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("client: reading reply: %w", err)
+	}
+	if c.version >= 4 {
+		// Strip and verify the stream-id prefix. A StreamClosed here means
+		// the server retired stream 0 out from under us (fault budget); for
+		// a single-stream client that is the end of the session.
+		if ft == trace.FrameStreamClosed {
+			sid, msg, perr := trace.ParseStreamClosed(rbody)
+			if perr != nil {
+				return trace.BatchReply{}, 0, exchangeBroken, perr
+			}
+			return trace.BatchReply{}, 0, exchangeBroken,
+				fmt.Errorf("%w: stream %d closed by server: %s", ErrServer, sid, msg)
+		}
+		var sid uint32
+		sid, rbody, err = trace.SplitStreamID(rbody)
+		if err != nil {
+			return trace.BatchReply{}, 0, exchangeBroken, fmt.Errorf("client: reading reply: %w", err)
+		}
+		if sid != 0 {
+			return trace.BatchReply{}, 0, exchangeBroken,
+				fmt.Errorf("client: reply carries stream %d, expected 0 (stream desynchronized)", sid)
+		}
 	}
 	readDur := time.Since(readStart)
 	c.cfg.Tracer.ObserveStage(c.scheme, obs.StageFrameRead, readDur)

@@ -162,6 +162,11 @@ type Server struct {
 	MaxProtocol int
 	// TraceBuffer is how many batch spans the /debug/trace ring retains.
 	TraceBuffer int
+	// StreamLimit caps the logical streams one protocol-v4 connection may
+	// hold open at once; StreamOpen frames beyond it are refused (the
+	// connection itself stays up). Pre-v4 sessions always hold exactly one
+	// stream and are unaffected.
+	StreamLimit int
 	// StateDir, when non-empty, is where sessions on snapshottable schemes
 	// persist their codec state as they close during a drain, so a
 	// stateful fleet rollout leaves recoverable state behind instead of
@@ -247,6 +252,7 @@ func DefaultServer() Server {
 		MaxPending:       32,
 		MaxProtocol:      trace.ProtocolVersion,
 		TraceBuffer:      2048,
+		StreamLimit:      4096,
 	}
 }
 
@@ -315,6 +321,9 @@ func (s Server) Validate() error {
 	if s.TraceBuffer <= 0 {
 		return fmt.Errorf("config: trace buffer size %d is not positive", s.TraceBuffer)
 	}
+	if s.StreamLimit <= 0 {
+		return fmt.Errorf("config: stream limit %d is not positive", s.StreamLimit)
+	}
 	if err := s.SimCache.Validate(); err != nil {
 		return err
 	}
@@ -376,6 +385,16 @@ type Proxy struct {
 	// since. 0 disables shadow snapshots (failover then relies on a live
 	// pull from the dying backend).
 	ShadowInterval int
+	// StreamLimit caps the logical streams multiplexed on one client
+	// session (protocol v4); opens beyond it are refused with a
+	// recoverable StreamOpenOK, never a disconnect.
+	StreamLimit int
+	// BoundedLoadFactor bounds the rendezvous hash for pinned streams: a
+	// candidate carrying more than factor × the fleet's mean in-flight
+	// batches (+1) is skipped in favour of the next backend in score
+	// order, so one hot backend sheds new pins. 0 disables the bound
+	// (pure rendezvous).
+	BoundedLoadFactor float64
 	// LogLevel and LogFormat select the structured-log verbosity and
 	// handler, as on the gateway.
 	LogLevel  string
@@ -407,6 +426,8 @@ func DefaultProxy() Proxy {
 		RetryHint:            25 * time.Millisecond,
 		StateTransferTimeout: 2 * time.Second,
 		ShadowInterval:       16,
+		StreamLimit:          4096,
+		BoundedLoadFactor:    1.25,
 		LogLevel:             "info",
 		LogFormat:            "text",
 		Debug:                true,
@@ -467,6 +488,12 @@ func (p Proxy) Validate() error {
 	}
 	if p.ShadowInterval < 0 {
 		return fmt.Errorf("config: shadow snapshot interval %d is negative", p.ShadowInterval)
+	}
+	if p.StreamLimit <= 0 {
+		return fmt.Errorf("config: proxy stream limit %d is not positive", p.StreamLimit)
+	}
+	if p.BoundedLoadFactor < 0 {
+		return fmt.Errorf("config: bounded-load factor %v is negative", p.BoundedLoadFactor)
 	}
 	if _, err := obs.ParseLevel(p.LogLevel); err != nil {
 		return fmt.Errorf("config: %w", err)

@@ -72,6 +72,25 @@ type Config struct {
 	// SnapStallRate sleeps Stall before a state-transfer blob is handed
 	// on, modeling a slow transfer racing the orchestrator's deadline.
 	SnapStallRate float64
+
+	// StreamDropRate silently discards an entire protocol-v4 Batch frame
+	// on a connection wrapped with WrapStreamConn: one stream's batch
+	// vanishes mid-wire while every other frame — sibling streams
+	// included — passes untouched. Frame-granular, unlike DropRate's raw
+	// byte-chunk drops, so the connection never desynchronizes.
+	StreamDropRate float64
+	// StreamInterleaveRate rewrites a v4 Batch frame's stream-id prefix
+	// to the previous batch frame's stream id, misrouting one stream's
+	// interior onto another stream's server-side codec — the
+	// cross-stream poisoning a demux bug would produce. The interior
+	// envelope (outside whose CRC the stream id deliberately lives)
+	// stays byte-identical.
+	StreamInterleaveRate float64
+	// StreamTarget, when positive, restricts the stream faults to Batch
+	// frames carrying that stream id — a drill that poisons exactly one
+	// stream while its siblings stay byte-perfect. Zero (the default)
+	// targets every stream.
+	StreamTarget int64
 }
 
 // Validate reports the first configuration error, or nil.
@@ -85,6 +104,7 @@ func (c Config) Validate() error {
 		{"stall", c.StallRate}, {"err", c.ErrRate}, {"panic", c.PanicRate},
 		{"snap-corrupt", c.SnapCorruptRate}, {"snap-truncate", c.SnapTruncateRate},
 		{"snap-stall", c.SnapStallRate},
+		{"stream-drop", c.StreamDropRate}, {"stream-interleave", c.StreamInterleaveRate},
 	}
 	for _, r := range rates {
 		if r.v < 0 || r.v > 1 {
@@ -111,7 +131,8 @@ func (c Config) withDefaults() Config {
 // ParseSpec parses the compact key=value spec the -chaos flags accept,
 // e.g. "seed=7,corrupt=0.01,drop=0.005,stall=0.01,stall-ms=200,panic=0.001".
 // Keys: seed, corrupt, drop, truncate, delay, delay-ms, stall, stall-ms,
-// err, panic, snap-corrupt, snap-truncate, snap-stall.
+// err, panic, snap-corrupt, snap-truncate, snap-stall, stream-drop,
+// stream-interleave, stream-target.
 func ParseSpec(spec string) (Config, error) {
 	var c Config
 	for _, field := range strings.Split(spec, ",") {
@@ -167,6 +188,12 @@ func ParseSpec(spec string) (Config, error) {
 				c.SnapTruncateRate = rate
 			case "snap-stall":
 				c.SnapStallRate = rate
+			case "stream-drop":
+				c.StreamDropRate = rate
+			case "stream-interleave":
+				c.StreamInterleaveRate = rate
+			case "stream-target":
+				c.StreamTarget = int64(rate)
 			default:
 				return Config{}, fmt.Errorf("faults: unknown spec key %q", key)
 			}
@@ -180,29 +207,31 @@ func ParseSpec(spec string) (Config, error) {
 
 // Counts tallies every fault the injector has produced, by kind.
 type Counts struct {
-	Corrupted     uint64
-	Dropped       uint64
-	Truncated     uint64
-	Delayed       uint64
-	Stalled       uint64
-	CodecErrs     uint64
-	CodecPanics   uint64
-	SnapCorrupted uint64
-	SnapTruncated uint64
-	SnapStalled   uint64
+	Corrupted         uint64
+	Dropped           uint64
+	Truncated         uint64
+	Delayed           uint64
+	Stalled           uint64
+	CodecErrs         uint64
+	CodecPanics       uint64
+	SnapCorrupted     uint64
+	SnapTruncated     uint64
+	SnapStalled       uint64
+	StreamDropped     uint64
+	StreamInterleaved uint64
 }
 
 // Total sums the per-kind counts.
 func (c Counts) Total() uint64 {
 	return c.Corrupted + c.Dropped + c.Truncated + c.Delayed + c.Stalled + c.CodecErrs + c.CodecPanics +
-		c.SnapCorrupted + c.SnapTruncated + c.SnapStalled
+		c.SnapCorrupted + c.SnapTruncated + c.SnapStalled + c.StreamDropped + c.StreamInterleaved
 }
 
 // String renders the counts compactly for logs.
 func (c Counts) String() string {
-	return fmt.Sprintf("corrupted=%d dropped=%d truncated=%d delayed=%d stalled=%d codec_errs=%d codec_panics=%d snap_corrupted=%d snap_truncated=%d snap_stalled=%d",
+	return fmt.Sprintf("corrupted=%d dropped=%d truncated=%d delayed=%d stalled=%d codec_errs=%d codec_panics=%d snap_corrupted=%d snap_truncated=%d snap_stalled=%d stream_dropped=%d stream_interleaved=%d",
 		c.Corrupted, c.Dropped, c.Truncated, c.Delayed, c.Stalled, c.CodecErrs, c.CodecPanics,
-		c.SnapCorrupted, c.SnapTruncated, c.SnapStalled)
+		c.SnapCorrupted, c.SnapTruncated, c.SnapStalled, c.StreamDropped, c.StreamInterleaved)
 }
 
 // Injector produces faults at the configured rates. One injector may wrap
@@ -223,6 +252,9 @@ type Injector struct {
 	snapCorrupted atomic.Uint64
 	snapTruncated atomic.Uint64
 	snapStalled   atomic.Uint64
+
+	streamDropped     atomic.Uint64
+	streamInterleaved atomic.Uint64
 }
 
 // New returns an injector drawing from a source seeded with cfg.Seed. The
@@ -246,16 +278,18 @@ func MustNew(cfg Config) *Injector {
 // Counts returns a snapshot of the faults injected so far.
 func (in *Injector) Counts() Counts {
 	return Counts{
-		Corrupted:     in.corrupted.Load(),
-		Dropped:       in.dropped.Load(),
-		Truncated:     in.truncated.Load(),
-		Delayed:       in.delayed.Load(),
-		Stalled:       in.stalled.Load(),
-		CodecErrs:     in.codecErrs.Load(),
-		CodecPanics:   in.codecPanics.Load(),
-		SnapCorrupted: in.snapCorrupted.Load(),
-		SnapTruncated: in.snapTruncated.Load(),
-		SnapStalled:   in.snapStalled.Load(),
+		Corrupted:         in.corrupted.Load(),
+		Dropped:           in.dropped.Load(),
+		Truncated:         in.truncated.Load(),
+		Delayed:           in.delayed.Load(),
+		Stalled:           in.stalled.Load(),
+		CodecErrs:         in.codecErrs.Load(),
+		CodecPanics:       in.codecPanics.Load(),
+		SnapCorrupted:     in.snapCorrupted.Load(),
+		SnapTruncated:     in.snapTruncated.Load(),
+		SnapStalled:       in.snapStalled.Load(),
+		StreamDropped:     in.streamDropped.Load(),
+		StreamInterleaved: in.streamInterleaved.Load(),
 	}
 }
 

@@ -124,6 +124,14 @@ const (
 	// session over a StateRestore admin frame; Batches carries the
 	// restored sequence.
 	EventStateRestore = "state_restore"
+	// EventStreamOpen is one logical stream opened on a protocol-v4
+	// multiplexed connection (stream 0, opened implicitly by the
+	// handshake, is covered by session_open instead).
+	EventStreamOpen = "stream_open"
+	// EventStreamClose is one logical stream closed — by the client's
+	// StreamClose, or by the gateway killing a stream that exhausted its
+	// fault budget while the connection kept serving its siblings.
+	EventStreamClose = "stream_close"
 	// EventStatePersist is a stateful session's codec state written to the
 	// state directory as the session closed during a drain.
 	EventStatePersist = "state_persist"

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -54,6 +55,17 @@ type backend struct {
 	// bxtproxy_wire_* and bxtproxy_energy_* families. Set once at New.
 	energy *obs.EnergyCounter
 
+	// gone is closed when the backend is removed from the fleet at
+	// runtime; its probe loop exits on it. goneOnce makes RemoveBackend
+	// idempotent against double-removal races.
+	gone     chan struct{}
+	goneOnce sync.Once
+
+	// lat holds one exchange-latency EWMA per scheme served through this
+	// backend; the weighted stateless router reads it so schemes route
+	// toward the backends that answer them fastest.
+	lat sync.Map // scheme name -> *ewma
+
 	mu     sync.Mutex
 	pool   map[poolKey][]*upstream
 	idle   int
@@ -61,7 +73,58 @@ type backend struct {
 }
 
 func newBackend(addr string) *backend {
-	return &backend{addr: addr, pool: make(map[poolKey][]*upstream)}
+	return &backend{
+		addr: addr,
+		gone: make(chan struct{}),
+		pool: make(map[poolKey][]*upstream),
+	}
+}
+
+// remove marks the backend as gone from the fleet, releasing its probe
+// loop. Safe to call more than once.
+func (b *backend) remove() {
+	b.goneOnce.Do(func() { close(b.gone) })
+}
+
+// ewma is a lock-free exponentially weighted moving average of exchange
+// latency, in float64 nanoseconds packed into an atomic word. Zero means
+// no samples yet.
+type ewma struct{ bits atomic.Uint64 }
+
+// ewmaAlpha weights each new exchange sample; ~0.2 settles on a shifted
+// latency within a dozen batches without chasing single outliers.
+const ewmaAlpha = 0.2
+
+func (e *ewma) observe(d time.Duration) {
+	for {
+		old := e.bits.Load()
+		prev := math.Float64frombits(old)
+		next := float64(d.Nanoseconds())
+		if prev != 0 {
+			next = prev + ewmaAlpha*(next-prev)
+		}
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+func (e *ewma) load() float64 { return math.Float64frombits(e.bits.Load()) }
+
+// observeExchange folds one backend_exchange duration into the
+// per-scheme latency EWMA the weighted router consults.
+func (b *backend) observeExchange(scheme string, d time.Duration) {
+	v, _ := b.lat.LoadOrStore(scheme, new(ewma))
+	v.(*ewma).observe(d)
+}
+
+// exchangeEWMA returns the backend's smoothed exchange latency for
+// scheme in nanoseconds, or 0 when it has never served the scheme.
+func (b *backend) exchangeEWMA(scheme string) float64 {
+	if v, ok := b.lat.Load(scheme); ok {
+		return v.(*ewma).load()
+	}
+	return 0
 }
 
 // fail records one failure and reports whether it just crossed the
@@ -75,10 +138,18 @@ func (b *backend) fail(threshold int) (ejectedNow bool) {
 }
 
 // ok records one success (probe or live traffic) and reports whether it
-// just restored an ejected backend.
+// just restored an ejected backend. A restore discards the latency EWMAs:
+// they were measured before the outage, and routing on them would keep the
+// restored backend looking slow (and cold) until traffic it never receives
+// re-measures it. Unmeasured backends inherit the fleet's fastest latency,
+// so the fresh start pulls traffic back instead.
 func (b *backend) ok() (restored bool) {
 	b.consec.Store(0)
-	return b.ejected.Swap(false)
+	if b.ejected.Swap(false) {
+		b.lat.Range(func(k, _ any) bool { b.lat.Delete(k); return true })
+		return true
+	}
+	return false
 }
 
 // poolKey identifies interchangeable upstream sessions: same scheme, same
@@ -159,7 +230,16 @@ type upstream struct {
 	// a backend-side idle timeout than a health problem, so it does not
 	// count toward ejection.
 	pooledReuse bool
+	// open tracks which streams beyond 0 are open on this connection.
+	// Only v4 upstream connections multiplex (the Hello implicitly opens
+	// stream 0); pre-v4 upstreams leave it nil. A muxed connection is
+	// never pooled — its stream set is session-specific.
+	open map[uint32]bool
 }
+
+// muxed reports whether this upstream speaks v4 framing (every
+// post-handshake body carries the stream-id prefix).
+func (u *upstream) muxed() bool { return u.ok.Version >= 4 }
 
 // handshake runs the BXTP Hello exchange for u.key within timeout. A
 // backend Error reply surfaces as errUpstreamReject carrying the message.
@@ -211,29 +291,125 @@ func (u *upstream) handshake(timeout time.Duration) error {
 // still in sync and usable, the state just did not move.
 var errStateRejected = errors.New("proxy: backend rejected state transfer")
 
-// pullSnapshot asks u's backend for the session's codec state over a
-// StateSnapshot admin exchange. It returns the state blob (copied, so it
-// survives later exchanges) and the batch sequence it is current as of. A
-// clean rejection wraps errStateRejected; any other error means the frame
-// stream may be desynchronized and u should be dropped.
-func (u *upstream) pullSnapshot(timeout time.Duration) (uint64, []byte, error) {
+// errStreamRefused marks a StreamOpen the backend answered with a clean
+// refusal (unknown scheme, duplicate id, stream limit): the connection is
+// intact, but failing over is pointless when the refusal is
+// parameter-driven, so callers surface it like a handshake rejection.
+var errStreamRefused = errors.New("proxy: backend refused stream open")
+
+// adminExchange runs one serial admin round trip (write ft+body, read the
+// reply) within timeout, keeping u.fbuf as the grow-once read buffer.
+func (u *upstream) adminExchange(ft trace.FrameType, body []byte, timeout time.Duration) (trace.FrameType, []byte, error) {
 	u.conn.SetWriteDeadline(time.Now().Add(timeout))
-	if err := trace.WriteFrame(u.bw, trace.FrameStateSnapshot, nil); err != nil {
+	if err := trace.WriteFrame(u.bw, ft, body); err != nil {
 		return 0, nil, err
 	}
 	if err := u.bw.Flush(); err != nil {
 		return 0, nil, err
 	}
 	u.conn.SetReadDeadline(time.Now().Add(timeout))
-	ft, rbody, err := trace.ReadFrame(u.br, u.fbuf)
+	rt, rbody, err := trace.ReadFrame(u.br, u.fbuf)
 	if err != nil {
 		return 0, nil, err
 	}
 	if cap(rbody) > cap(u.fbuf) {
 		u.fbuf = rbody[:cap(rbody)]
 	}
+	return rt, rbody, nil
+}
+
+// stripMux removes the v4 stream-id prefix from a reply body on a muxed
+// upstream and checks it answers the stream the request went out on;
+// pre-v4 replies pass through untouched.
+func (u *upstream) stripMux(sid uint32, body []byte) ([]byte, error) {
+	if !u.muxed() {
+		return body, nil
+	}
+	rsid, rest, err := trace.SplitStreamID(body)
+	if err != nil {
+		return nil, err
+	}
+	if rsid != sid {
+		return nil, fmt.Errorf("proxy: backend %s answered on stream %d, want %d", u.b.addr, rsid, sid)
+	}
+	return rest, nil
+}
+
+// openStream opens stream sid on a muxed upstream connection with one
+// StreamOpen exchange. It returns the backend's raw StreamOpenOK body
+// (aliasing u.fbuf) so the caller can relay the verdict verbatim; a clean
+// refusal wraps errStreamRefused, any other error means the connection
+// may be desynchronized and should be dropped.
+func (u *upstream) openStream(o trace.StreamOpen, timeout time.Duration) ([]byte, error) {
+	body, err := trace.MarshalStreamOpen(o)
+	if err != nil {
+		return nil, err
+	}
+	ft, rbody, err := u.adminExchange(trace.FrameStreamOpen, body, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if ft != trace.FrameStreamOpenOK {
+		return nil, fmt.Errorf("proxy: backend %s answered stream-open with frame %#x", u.b.addr, byte(ft))
+	}
+	ok, err := trace.ParseStreamOpenOK(rbody)
+	if err != nil {
+		return nil, err
+	}
+	if ok.ID != o.ID {
+		return nil, fmt.Errorf("proxy: backend %s acked stream %d, want %d", u.b.addr, ok.ID, o.ID)
+	}
+	if ok.Status != trace.StreamOK {
+		return rbody, fmt.Errorf("%w: backend %s: %s", errStreamRefused, u.b.addr, ok.Msg)
+	}
+	if u.open == nil {
+		u.open = make(map[uint32]bool)
+	}
+	u.open[o.ID] = true
+	return rbody, nil
+}
+
+// closeStream retires stream sid on a muxed upstream connection with one
+// StreamClose exchange, keeping the serial request/reply discipline.
+func (u *upstream) closeStream(sid uint32, timeout time.Duration) error {
+	ft, rbody, err := u.adminExchange(trace.FrameStreamClose, trace.MarshalStreamClose(sid), timeout)
+	if err != nil {
+		return err
+	}
+	if ft != trace.FrameStreamClosed {
+		return fmt.Errorf("proxy: backend %s answered stream-close with frame %#x", u.b.addr, byte(ft))
+	}
+	rsid, _, err := trace.ParseStreamClosed(rbody)
+	if err != nil {
+		return err
+	}
+	if rsid != sid {
+		return fmt.Errorf("proxy: backend %s closed stream %d, want %d", u.b.addr, rsid, sid)
+	}
+	delete(u.open, sid)
+	return nil
+}
+
+// pullSnapshot asks u's backend for one stream's codec state over a
+// StateSnapshot admin exchange (sid is ignored below v4, where the
+// session is the stream). It returns the state blob (copied, so it
+// survives later exchanges) and the batch sequence it is current as of. A
+// clean rejection wraps errStateRejected; any other error means the frame
+// stream may be desynchronized and u should be dropped.
+func (u *upstream) pullSnapshot(sid uint32, timeout time.Duration) (uint64, []byte, error) {
+	var body []byte
+	if u.muxed() {
+		body = trace.AppendStreamID(nil, sid)
+	}
+	ft, rbody, err := u.adminExchange(trace.FrameStateSnapshot, body, timeout)
+	if err != nil {
+		return 0, nil, err
+	}
 	if ft != trace.FrameStateAck {
 		return 0, nil, fmt.Errorf("proxy: backend %s answered snapshot with frame %#x", u.b.addr, byte(ft))
+	}
+	if rbody, err = u.stripMux(sid, rbody); err != nil {
+		return 0, nil, err
 	}
 	status, seq, payload, err := trace.ParseStateAck(rbody)
 	if err != nil {
@@ -245,28 +421,25 @@ func (u *upstream) pullSnapshot(timeout time.Duration) (uint64, []byte, error) {
 	return seq, append([]byte(nil), payload...), nil
 }
 
-// restoreState installs a pulled codec state into u's backend session over
-// a StateRestore admin exchange. The backend acks with the echoed
-// sequence on success; a rejection wraps errStateRejected and leaves the
-// backend session freshly reset.
-func (u *upstream) restoreState(seq uint64, state []byte, timeout time.Duration) error {
-	u.conn.SetWriteDeadline(time.Now().Add(timeout))
-	if err := trace.WriteFrame(u.bw, trace.FrameStateRestore, trace.MarshalStateRestore(seq, state)); err != nil {
-		return err
+// restoreState installs a pulled codec state into one stream of u's
+// backend session over a StateRestore admin exchange. The backend acks
+// with the echoed sequence on success; a rejection wraps errStateRejected
+// and leaves the backend stream freshly reset.
+func (u *upstream) restoreState(sid uint32, seq uint64, state []byte, timeout time.Duration) error {
+	var body []byte
+	if u.muxed() {
+		body = trace.AppendStreamID(nil, sid)
 	}
-	if err := u.bw.Flush(); err != nil {
-		return err
-	}
-	u.conn.SetReadDeadline(time.Now().Add(timeout))
-	ft, rbody, err := trace.ReadFrame(u.br, u.fbuf)
+	body = append(body, trace.MarshalStateRestore(seq, state)...)
+	ft, rbody, err := u.adminExchange(trace.FrameStateRestore, body, timeout)
 	if err != nil {
 		return err
 	}
-	if cap(rbody) > cap(u.fbuf) {
-		u.fbuf = rbody[:cap(rbody)]
-	}
 	if ft != trace.FrameStateAck {
 		return fmt.Errorf("proxy: backend %s answered restore with frame %#x", u.b.addr, byte(ft))
+	}
+	if rbody, err = u.stripMux(sid, rbody); err != nil {
+		return err
 	}
 	status, aseq, payload, err := trace.ParseStateAck(rbody)
 	if err != nil {
@@ -281,24 +454,9 @@ func (u *upstream) restoreState(seq uint64, state []byte, timeout time.Duration)
 	return nil
 }
 
-// exchange forwards one Batch frame body verbatim and reads the reply
-// frame, all within timeout. The returned body aliases u.fbuf and is valid
-// until the next exchange.
+// exchange forwards one Batch frame body verbatim (including any v4
+// stream-id prefix) and reads the reply frame, all within timeout. The
+// returned body aliases u.fbuf and is valid until the next exchange.
 func (u *upstream) exchange(body []byte, timeout time.Duration) (trace.FrameType, []byte, error) {
-	u.conn.SetWriteDeadline(time.Now().Add(timeout))
-	if err := trace.WriteFrame(u.bw, trace.FrameBatch, body); err != nil {
-		return 0, nil, err
-	}
-	if err := u.bw.Flush(); err != nil {
-		return 0, nil, err
-	}
-	u.conn.SetReadDeadline(time.Now().Add(timeout))
-	ft, rbody, err := trace.ReadFrame(u.br, u.fbuf)
-	if err != nil {
-		return 0, nil, err
-	}
-	if cap(rbody) > cap(u.fbuf) {
-		u.fbuf = rbody[:cap(rbody)]
-	}
-	return ft, rbody, nil
+	return u.adminExchange(trace.FrameBatch, body, timeout)
 }

@@ -13,62 +13,60 @@ import (
 )
 
 // TestCompatMatrix pins the protocol negotiation and wire behaviour of
-// every client/server revision pairing, both direct and through the
-// proxy: the session must land on min(client revision, server cap), data
-// must round-trip on the negotiated revision, and an injected codec fault
-// must surface with that revision's semantics — a recoverable
-// ErrBatchFault on v2 sessions, a fatal ErrServer on v1 sessions (which
-// predate recoverable faults).
+// every client/server revision pairing — the full v1/v2/v3/v4 cross —
+// both direct and through the proxy: the session must land on
+// min(client revision, server cap), and data must round-trip
+// byte-identically on the negotiated revision. Every down-negotiated
+// pairing doubles as the interop guarantee that a v4 peer speaks the
+// older wire format exactly (the golden vectors in internal/trace pin
+// the bytes themselves).
 func TestCompatMatrix(t *testing.T) {
 	testutil.VerifyNoLeaks(t)
-	cases := []struct {
-		clientProto uint8
-		serverMax   int
-		want        uint8
-	}{
-		{1, 1, 1},
-		{1, 2, 1},
-		{2, 1, 1},
-		{2, 2, 2},
-	}
+	revisions := []uint8{1, 2, 3, 4}
 	for _, topology := range []string{"direct", "proxied"} {
-		for _, tc := range cases {
-			tc := tc
-			name := fmt.Sprintf("%s/v%d_client_v%d_server", topology, tc.clientProto, tc.serverMax)
-			t.Run(name, func(t *testing.T) {
-				bcfg := backendConfig()
-				bcfg.MaxProtocol = tc.serverMax
-				srv := startBackend(t, bcfg)
-				addr := srv.Addr()
-				if topology == "proxied" {
-					addr = startProxy(t, proxyConfig(srv.Addr())).Addr()
+		for _, clientProto := range revisions {
+			for _, serverMax := range revisions {
+				clientProto, serverMax := clientProto, serverMax
+				want := clientProto
+				if serverMax < want {
+					want = serverMax
 				}
+				name := fmt.Sprintf("%s/v%d_client_v%d_server", topology, clientProto, serverMax)
+				t.Run(name, func(t *testing.T) {
+					bcfg := backendConfig()
+					bcfg.MaxProtocol = int(serverMax)
+					srv := startBackend(t, bcfg)
+					addr := srv.Addr()
+					if topology == "proxied" {
+						addr = startProxy(t, proxyConfig(srv.Addr())).Addr()
+					}
 
-				ccfg := retryClient()
-				ccfg.Protocol = tc.clientProto
-				c, err := client.DialConfig(addr, "basexor", 32, ccfg)
-				if err != nil {
-					t.Fatalf("dial: %v", err)
-				}
-				defer c.Close()
-				if c.Version() != tc.want {
-					t.Fatalf("negotiated version %d, want %d", c.Version(), tc.want)
-				}
-				rng := rand.New(rand.NewSource(int64(tc.clientProto)*10 + int64(tc.serverMax)))
-				verifySession(t, c, buildDecoder(t, "basexor", bcfg), rng, 5, 8)
-			})
+					ccfg := retryClient()
+					ccfg.Protocol = clientProto
+					c, err := client.DialConfig(addr, "basexor", 32, ccfg)
+					if err != nil {
+						t.Fatalf("dial: %v", err)
+					}
+					defer c.Close()
+					if c.Version() != want {
+						t.Fatalf("negotiated version %d, want %d", c.Version(), want)
+					}
+					rng := rand.New(rand.NewSource(int64(clientProto)*10 + int64(serverMax)))
+					verifySession(t, c, buildDecoder(t, "basexor", bcfg), rng, 5, 8)
+				})
+			}
 		}
 	}
 }
 
 // TestCompatFaultSemantics drives one injected codec fault through each
-// negotiated revision, direct and proxied: v2 sessions see the
+// negotiated revision, direct and proxied: v2+ sessions see the
 // recoverable BatchError (ErrBatchFault, connection intact), v1 sessions
 // see a fatal server Error.
 func TestCompatFaultSemantics(t *testing.T) {
 	testutil.VerifyNoLeaks(t)
 	for _, topology := range []string{"direct", "proxied"} {
-		for _, proto := range []uint8{1, 2} {
+		for _, proto := range []uint8{1, 2, 3, 4} {
 			proto := proto
 			t.Run(fmt.Sprintf("%s/v%d", topology, proto), func(t *testing.T) {
 				bcfg := backendConfig()
@@ -104,10 +102,10 @@ func TestCompatFaultSemantics(t *testing.T) {
 				}
 				if proto >= 2 {
 					if !errors.Is(err, client.ErrBatchFault) {
-						t.Fatalf("v2 fault = %v, want ErrBatchFault (recoverable reply)", err)
+						t.Fatalf("v%d fault = %v, want ErrBatchFault (recoverable reply)", proto, err)
 					}
 					if got := c.RetryStats().BatchErrors; got == 0 {
-						t.Error("v2 session counted no BatchError replies")
+						t.Errorf("v%d session counted no BatchError replies", proto)
 					}
 				} else if !errors.Is(err, client.ErrServer) {
 					t.Fatalf("v1 fault = %v, want ErrServer (fatal semantics)", err)

@@ -42,6 +42,17 @@ type metrics struct {
 	stateRestFailed  atomic.Uint64
 	stateUnsupported atomic.Uint64
 
+	// Stream-multiplexing accounting (protocol v4). streamsOpen gauges
+	// the logical streams currently relayed (pre-v4 sessions count their
+	// implicit stream 0); streamsTotal counts every stream ever opened;
+	// streamRefused counts StreamOpen refusals (proxy- or
+	// backend-originated); streamKills counts backend stream kills
+	// relayed to clients while their sessions kept serving.
+	streamsOpen   atomic.Int64
+	streamsTotal  atomic.Uint64
+	streamRefused atomic.Uint64
+	streamKills   atomic.Uint64
+
 	// stages holds the bxtproxy_stage_seconds{scheme,stage} histograms:
 	// frame_read and frame_write for the client leg, backend_exchange for
 	// the upstream round trip.
@@ -90,6 +101,10 @@ func (m *metrics) writeExposition(w io.Writer, backends []*backend, draining boo
 	fmt.Fprintf(w, "bxtproxy_state_transfers_total{outcome=\"snapshot_failed\"} %d\n", m.stateSnapFailed.Load())
 	fmt.Fprintf(w, "bxtproxy_state_transfers_total{outcome=\"restore_failed\"} %d\n", m.stateRestFailed.Load())
 	fmt.Fprintf(w, "bxtproxy_state_transfers_total{outcome=\"unsupported\"} %d\n", m.stateUnsupported.Load())
+	fmt.Fprintf(w, "bxtproxy_streams_open %d\n", m.streamsOpen.Load())
+	fmt.Fprintf(w, "bxtproxy_streams_total %d\n", m.streamsTotal.Load())
+	fmt.Fprintf(w, "bxtproxy_stream_refused_total %d\n", m.streamRefused.Load())
+	fmt.Fprintf(w, "bxtproxy_stream_kills_total %d\n", m.streamKills.Load())
 
 	for _, b := range backends {
 		up := 1

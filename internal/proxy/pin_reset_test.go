@@ -105,7 +105,7 @@ func pinVerifyRound(t *testing.T, c *client.Client, dec core.Codec, round int) {
 // findPin returns the backend currently carrying the pinned session.
 func findPin(t *testing.T, px *Proxy) *backend {
 	t.Helper()
-	for _, b := range px.backends {
+	for _, b := range px.backendList() {
 		if b.pinned.Load() > 0 {
 			return b
 		}

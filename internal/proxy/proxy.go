@@ -2,12 +2,29 @@
 // a fleet of bxtd gateways: a BXTP-speaking front door that accepts client
 // sessions and fans their batches across N backends.
 //
-// Routing: sessions running decode-stateless schemes (basexor, universal,
-// dbi, silent — see scheme.DecodeStateful) spread batch-by-batch onto the
-// healthy backend with the fewest in-flight batches; sessions whose codec
-// decode depends on encode order (bdenc, fve) are pinned to one backend by
-// rendezvous hashing, because splitting their stream across codecs would
+// Multiplexing: a protocol v4 client connection carries many logical
+// streams (see internal/trace/mux.go), and the proxy demuxes them — each
+// stream routes, pins, faults, and fails over independently, onto the
+// same pooled or pinned upstream sessions a dedicated connection would
+// use, so one client connection can fan out across the whole fleet.
+// v1-v3 sessions are single-stream and byte-identical to earlier
+// revisions.
+//
+// Routing: streams running decode-stateless schemes (basexor, universal,
+// dbi, silent — see scheme.DecodeStateful) spread batch-by-batch by
+// weighted least-pending: in-flight counts weighted by the backend's live
+// per-scheme exchange-latency EWMA, near-ties broken by raw pending.
+// Streams whose codec decode depends on encode order (bdenc, fve) are
+// pinned to one backend by rendezvous hashing with bounded load — while
+// the rendezvous winner carries more than BoundedLoadFactor x the
+// fleet-mean in-flight batches (+1), new pins fall to the next candidate
+// in score order — because splitting their stream across codecs would
 // desynchronize the client's decoder.
+//
+// The fleet is dynamic: AddBackend/RemoveBackend (POST /backends on the
+// metrics listener) and SetBackends (the SIGHUP backends-file reconcile
+// path) grow and shrink it without a restart; surviving backends keep
+// their counters, pools, pins, and health state.
 //
 // Health: every backend is probed with a real BXTP Hello handshake at a
 // fixed interval; EjectThreshold consecutive failures (probe or live
@@ -54,10 +71,13 @@ const probeTxnSize = 64
 
 // Proxy is a bxtproxy instance.
 type Proxy struct {
-	cfg      config.Proxy
-	met      *metrics
-	log      *slog.Logger
-	backends []*backend
+	cfg config.Proxy
+	met *metrics
+	log *slog.Logger
+	// backends is the live fleet, replaced wholesale (copy-on-write under
+	// mu) by AddBackend/RemoveBackend so the routing hot path reads a
+	// consistent snapshot without locking.
+	backends atomic.Pointer[[]*backend]
 	// sessionIDs hands out per-connection IDs correlating logs and the
 	// rendezvous pin placement for one session.
 	sessionIDs atomic.Uint64
@@ -97,12 +117,114 @@ func New(cfg config.Proxy) (*Proxy, error) {
 		sessions:   make(map[*session]struct{}),
 		stopProbes: make(chan struct{}),
 	}
+	var backends []*backend
 	for _, addr := range cfg.Backends {
 		b := newBackend(addr)
 		b.energy = p.met.energy.Counter(addr)
-		p.backends = append(p.backends, b)
+		backends = append(backends, b)
 	}
+	p.backends.Store(&backends)
 	return p, nil
+}
+
+// backendList returns the current fleet snapshot. The slice is immutable:
+// mutations build a fresh slice and swap the pointer.
+func (p *Proxy) backendList() []*backend {
+	return *p.backends.Load()
+}
+
+// AddBackend grows the fleet at runtime: the new backend joins routing
+// immediately (its first probe decides health) with no proxy restart and
+// no disturbance to live sessions. It fails on a duplicate address.
+func (p *Proxy) AddBackend(addr string) error {
+	if addr == "" {
+		return errors.New("proxy: empty backend address")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	old := p.backendList()
+	for _, b := range old {
+		if b.addr == addr {
+			return fmt.Errorf("proxy: backend %s already configured", addr)
+		}
+	}
+	b := newBackend(addr)
+	b.energy = p.met.energy.Counter(addr)
+	next := make([]*backend, len(old), len(old)+1)
+	copy(next, old)
+	next = append(next, b)
+	p.backends.Store(&next)
+	if p.started && !p.draining {
+		p.wg.Add(1)
+		go p.probeLoop(b)
+	}
+	p.log.Info("backend added", "backend", addr, "fleet", len(next))
+	return nil
+}
+
+// RemoveBackend shrinks the fleet at runtime: the backend leaves routing
+// immediately, pinned streams live-migrate their codec state off it on
+// their next batch (it is marked draining first, so it stays reachable
+// for exactly those state-snapshot pulls), and its probe loop and idle
+// pool wind down.
+func (p *Proxy) RemoveBackend(addr string) error {
+	p.mu.Lock()
+	old := p.backendList()
+	var gone *backend
+	next := make([]*backend, 0, len(old))
+	for _, b := range old {
+		if b.addr == addr {
+			gone = b
+			continue
+		}
+		next = append(next, b)
+	}
+	if gone == nil {
+		p.mu.Unlock()
+		return fmt.Errorf("proxy: unknown backend %s", addr)
+	}
+	gone.draining.Store(true)
+	gone.remove()
+	p.backends.Store(&next)
+	p.mu.Unlock()
+	gone.drainPool()
+	p.log.Info("backend removed", "backend", addr, "fleet", len(next))
+	return nil
+}
+
+// SetBackends reconciles the fleet against addrs: missing backends are
+// added, surplus ones removed, survivors keep their counters, pools, and
+// health state. This is the SIGHUP config-reload entry point.
+func (p *Proxy) SetBackends(addrs []string) error {
+	if len(addrs) == 0 {
+		return errors.New("proxy: refusing to remove every backend")
+	}
+	want := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		if a == "" {
+			return errors.New("proxy: empty backend address")
+		}
+		want[a] = true
+	}
+	have := make(map[string]bool)
+	for _, b := range p.backendList() {
+		have[b.addr] = true
+	}
+	for _, a := range addrs {
+		if !have[a] {
+			if err := p.AddBackend(a); err != nil {
+				return err
+			}
+		}
+	}
+	for addr := range have {
+		if !want[addr] {
+			if err := p.RemoveBackend(addr); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // SetFaults arms the chaos injector on the backend leg: every upstream
@@ -142,7 +264,7 @@ func (p *Proxy) buildMux() *http.ServeMux {
 			http.Error(w, "backend query parameter required", http.StatusBadRequest)
 			return
 		}
-		for _, b := range p.backends {
+		for _, b := range p.backendList() {
 			if b.addr != addr {
 				continue
 			}
@@ -154,9 +276,46 @@ func (p *Proxy) buildMux() *http.ServeMux {
 		}
 		http.Error(w, "unknown backend "+addr, http.StatusNotFound)
 	})
+	mux.HandleFunc("/backends", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodGet:
+			for _, b := range p.backendList() {
+				state := "up"
+				switch {
+				case b.draining.Load():
+					state = "draining"
+				case b.ejected.Load():
+					state = "ejected"
+				}
+				fmt.Fprintf(w, "%s %s\n", b.addr, state)
+			}
+		case http.MethodPost:
+			q := r.URL.Query()
+			adds, removes := q["add"], q["remove"]
+			if len(adds) == 0 && len(removes) == 0 {
+				http.Error(w, "add or remove query parameter required", http.StatusBadRequest)
+				return
+			}
+			for _, addr := range adds {
+				if err := p.AddBackend(addr); err != nil {
+					http.Error(w, err.Error(), http.StatusBadRequest)
+					return
+				}
+			}
+			for _, addr := range removes {
+				if err := p.RemoveBackend(addr); err != nil {
+					http.Error(w, err.Error(), http.StatusNotFound)
+					return
+				}
+			}
+			fmt.Fprintln(w, "ok")
+		default:
+			http.Error(w, "GET or POST required", http.StatusMethodNotAllowed)
+		}
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		p.met.writeExposition(w, p.backends, p.isDraining())
+		p.met.writeExposition(w, p.backendList(), p.isDraining())
 	})
 	if p.cfg.Debug {
 		mux.Handle("/debug/trace", obs.TraceHandler(p.met.traces, p.met.stages))
@@ -198,7 +357,7 @@ func (p *Proxy) Start() error {
 	go p.httpSrv.Serve(httpLn) //nolint:errcheck // returns on Close
 	p.wg.Add(1)
 	go p.acceptLoop(ln)
-	for _, b := range p.backends {
+	for _, b := range p.backendList() {
 		p.wg.Add(1)
 		go p.probeLoop(b)
 	}
@@ -289,41 +448,113 @@ func (p *Proxy) dropSession(ss *session) {
 	delete(p.sessions, ss)
 }
 
-// pickLeastPending returns the healthy backend with the fewest in-flight
-// batches, or nil when every candidate is ejected or excluded. Ties (the
-// common case under light load, where pending is 0 everywhere) break
-// toward the fewest lifetime batches, so serial traffic still spreads
-// instead of piling onto the first backend.
-func (p *Proxy) pickLeastPending(excluded map[*backend]bool) *backend {
-	var best *backend
-	var bestN int64
-	var bestB uint64
-	for _, b := range p.backends {
-		if b.ejected.Load() || b.draining.Load() || excluded[b] {
+// weightTieBand is how close (multiplicatively) two weighted routing
+// scores must be to count as a tie, broken toward the fewest lifetime
+// batches so light serial traffic keeps spreading across a homogeneous
+// fleet instead of dogpiling whichever backend was momentarily fastest.
+const weightTieBand = 1.25
+
+// pickStateless returns the backend the weighted least-pending router
+// picks for one stateless batch of schemeName, or nil when every
+// candidate is ejected or excluded.
+//
+// Each candidate scores (pending+1) × its per-scheme exchange-latency
+// EWMA, so a backend that answers this scheme twice as slowly needs half
+// the queue to be equally attractive — the live stage histograms feed
+// back into placement. A backend with no samples for the scheme inherits
+// the fleet's fastest observed latency (optimistic, so fresh backends
+// attract traffic and get measured); when no backend has samples the
+// score degenerates to pure least-pending. Scores within weightTieBand of
+// the minimum are a tie, broken toward the fewest lifetime batches.
+func (p *Proxy) pickStateless(schemeName string, excluded map[*backend]bool) *backend {
+	backends := p.backendList()
+	eligible := func(b *backend) bool {
+		return !b.ejected.Load() && !b.draining.Load() && !excluded[b]
+	}
+	// Fastest observed latency across the fleet stands in for unmeasured
+	// candidates; 1 (a virtual nanosecond) keeps the score proportional
+	// to pending when nothing is measured yet.
+	fastest := 1.0
+	for _, b := range backends {
+		if !eligible(b) {
 			continue
 		}
-		n, t := b.pending.Load(), b.batches.Load()
-		if best == nil || n < bestN || (n == bestN && t < bestB) {
-			best, bestN, bestB = b, n, t
+		if l := b.exchangeEWMA(schemeName); l > 0 && (fastest == 1.0 || l < fastest) {
+			fastest = l
+		}
+	}
+	score := func(b *backend) float64 {
+		l := b.exchangeEWMA(schemeName)
+		if l == 0 {
+			l = fastest
+		}
+		return float64(b.pending.Load()+1) * l
+	}
+	minScore := 0.0
+	for _, b := range backends {
+		if !eligible(b) {
+			continue
+		}
+		if s := score(b); minScore == 0 || s < minScore {
+			minScore = s
+		}
+	}
+	var best *backend
+	var bestBatches uint64
+	for _, b := range backends {
+		if !eligible(b) || score(b) > minScore*weightTieBand {
+			continue
+		}
+		if t := b.batches.Load(); best == nil || t < bestBatches {
+			best, bestBatches = b, t
 		}
 	}
 	return best
 }
 
-// pickPinned rendezvous-hashes key over the healthy backends: every proxy
-// session with the same key lands on the same backend, and when that
-// backend dies only its sessions move.
+// pickPinned rendezvous-hashes key over the healthy backends: every
+// stream with the same key lands on the same backend, and when that
+// backend dies only its streams move. The hash is bounded-load: while the
+// rendezvous winner carries more than BoundedLoadFactor × the fleet's
+// mean in-flight batches (+1), the pin falls to the next candidate in
+// score order, so a hot backend sheds new placements without perturbing
+// where anything else hashes.
 func (p *Proxy) pickPinned(key uint64) *backend {
-	var best *backend
-	var bestScore uint64
-	for _, b := range p.backends {
+	backends := p.backendList()
+	var best, bestCool *backend
+	var bestScore, bestCoolScore uint64
+	healthy, totalPending := 0, int64(0)
+	for _, b := range backends {
 		if b.ejected.Load() || b.draining.Load() {
 			continue
 		}
-		if s := rendezvousScore(key, b.addr); best == nil || s > bestScore {
+		healthy++
+		totalPending += b.pending.Load()
+	}
+	limit := int64(-1)
+	if f := p.cfg.BoundedLoadFactor; f > 0 && healthy > 1 {
+		limit = int64(f*float64(totalPending)/float64(healthy)) + 1
+	}
+	for _, b := range backends {
+		if b.ejected.Load() || b.draining.Load() {
+			continue
+		}
+		s := rendezvousScore(key, b.addr)
+		if best == nil || s > bestScore {
 			best, bestScore = b, s
 		}
+		if limit >= 0 && b.pending.Load() > limit {
+			continue
+		}
+		if bestCool == nil || s > bestCoolScore {
+			bestCool, bestCoolScore = b, s
+		}
 	}
+	if bestCool != nil {
+		return bestCool
+	}
+	// Every candidate is over the load bound; the pure rendezvous winner
+	// beats refusing to place at all.
 	return best
 }
 
@@ -379,7 +610,8 @@ func (p *Proxy) noteBackendOK(b *backend) {
 }
 
 // probeLoop health-checks b with a BXTP Hello handshake every
-// HealthInterval until shutdown.
+// HealthInterval until shutdown or until the backend is removed from the
+// fleet.
 func (p *Proxy) probeLoop(b *backend) {
 	defer p.wg.Done()
 	t := time.NewTicker(p.cfg.HealthInterval)
@@ -388,6 +620,8 @@ func (p *Proxy) probeLoop(b *backend) {
 		p.probe(b)
 		select {
 		case <-p.stopProbes:
+			return
+		case <-b.gone:
 			return
 		case <-t.C:
 		}
@@ -483,7 +717,7 @@ func (p *Proxy) Close() error {
 	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.DrainTimeout)
 	defer cancel()
 	err := p.Shutdown(ctx)
-	for _, b := range p.backends {
+	for _, b := range p.backendList() {
 		b.drainPool()
 	}
 	p.mu.Lock()

@@ -2,7 +2,6 @@ package proxy
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -18,14 +17,17 @@ import (
 // errNoBackend means every configured backend is ejected or unreachable.
 var errNoBackend = errors.New("proxy: no healthy backend")
 
-// errPinLost means a pinned session's backend was ejected before this
+// errPinLost means a pinned stream's backend was ejected before this
 // batch reached it, so the upstream codec state is gone and the client
 // must reset before any batch lands on the replacement pin.
 var errPinLost = errors.New("pinned backend ejected, upstream codec state lost")
 
 // session is one client connection being relayed: the client-facing
-// socket, the routing mode picked at handshake, and the live upstream
-// sessions this client's batches have opened so far.
+// socket, the negotiated revision, and the logical streams being routed.
+// Below protocol v4 a session carries exactly one stream (id 0, opened
+// implicitly by the Hello) and the wire behaviour is byte-identical to
+// the pre-mux proxy; a v4 session demultiplexes on the stream-id prefix
+// and routes every stream independently.
 type session struct {
 	p    *Proxy
 	id   uint64
@@ -36,37 +38,31 @@ type session struct {
 
 	// version is the revision negotiated with the client; every upstream
 	// this session opens handshakes the same revision so frame bodies
-	// relay verbatim.
-	version    uint8
-	schemeName string
-	key        poolKey
-	// pinned marks a decode-stateful scheme: all batches go to one
-	// backend (pin), rendezvous-chosen, and a pin migration forces a
-	// client codec reset. Stateless sessions instead keep one upstream
-	// per backend in ups and spread batch-by-batch.
-	pinned bool
-	pin    *backend
-	ups    map[*backend]*upstream
-	// snapshottable marks a pinned session whose codec state can be
-	// pulled and replayed (scheme.Snapshottable, protocol v2+): a pin
-	// migration then moves the upstream codec state to the new backend
-	// instead of resetting the client. shadow/shadowSeq hold the last
-	// shadow snapshot pulled from the pin (hasShadow gates first use); a
-	// shadow is usable for failover only while its sequence still equals
-	// the session's relayed batch count.
-	snapshottable bool
-	shadow        []byte
-	shadowSeq     uint64
-	hasShadow     bool
+	// relay verbatim (v4 bodies keep their stream-id prefix end to end).
+	version uint8
 	// negotiable is set only between parsing the client Hello and sending
 	// HelloOK: the first upstream may still talk the whole session down to
 	// an older revision (mixed-fleet upgrades). Afterwards the revision is
 	// promised to the client and upstreams must match it exactly.
 	negotiable bool
+	// helloKey is stream 0's handshake parameters; muxed v4 upstream
+	// connections replay this Hello when dialing, whichever stream
+	// triggered the dial.
+	helloKey poolKey
 
-	readH, backH, writeH *obs.Histogram
-	batches              uint64
-	fbuf                 []byte
+	// streams routes stream ids to their relay state; st0 is stream 0,
+	// kept for the pooling decision at teardown.
+	streams map[uint32]*pstream
+	st0     *pstream
+
+	// ups holds this session's live upstream connections, one per
+	// backend. On a v4 session each is a muxed connection carrying any
+	// subset of the session's streams (tracked per-connection in
+	// upstream.open); pre-v4 sessions have exactly one stream, so the map
+	// degenerates to one dedicated upstream per backend, as before.
+	ups map[*backend]*upstream
+
+	fbuf []byte
 
 	// traceID is the current batch's end-to-end trace id (zero below
 	// protocol v3); span is its relay-leg record — frame_read,
@@ -80,6 +76,7 @@ type session struct {
 func (ss *session) run() {
 	defer ss.conn.Close()
 	defer ss.releaseUpstreams()
+	defer ss.teardownStreams()
 	ss.br = bufio.NewReaderSize(ss.conn, 64<<10)
 	ss.bw = bufio.NewWriterSize(ss.conn, 64<<10)
 	ss.log = ss.p.log.With("session", ss.id, "remote", ss.conn.RemoteAddr().String())
@@ -87,9 +84,56 @@ func (ss *session) run() {
 		ss.log.Warn("handshake failed", "err", err)
 		return
 	}
-	ss.log.Info("session open", "scheme", ss.schemeName, "protocol", ss.version, "pinned", ss.pinned)
+	ss.log.Info("session open",
+		"scheme", ss.helloKey.scheme, "protocol", ss.version, "pinned", ss.st0.pinned)
 	ss.readLoop()
-	ss.log.Info("session closed", "batches", ss.batches)
+	var batches uint64
+	for _, st := range ss.streams {
+		batches += st.batches
+	}
+	ss.log.Info("session closed", "batches", batches, "streams", len(ss.streams))
+}
+
+// newStream builds the relay state for one logical stream; registerStream
+// wires it into the routing table and the stream gauges.
+func (ss *session) newStream(sid uint32, schemeName string, txnSize int) *pstream {
+	st := &pstream{
+		ss:         ss,
+		sid:        sid,
+		schemeName: schemeName,
+		key:        poolKey{scheme: schemeName, txnSize: txnSize, version: ss.version},
+		pinned:     scheme.DecodeStateful(schemeName),
+		readH:      ss.p.met.stages.Hist(schemeName, obs.StageFrameRead),
+		backH:      ss.p.met.stages.Hist(schemeName, obs.StageBackend),
+		writeH:     ss.p.met.stages.Hist(schemeName, obs.StageFrameWrite),
+	}
+	st.snapshottable = st.pinned && scheme.Snapshottable(schemeName)
+	return st
+}
+
+func (ss *session) registerStream(st *pstream) {
+	ss.streams[st.sid] = st
+	if st.sid == 0 {
+		ss.st0 = st
+	}
+	ss.p.met.streamsOpen.Add(1)
+	ss.p.met.streamsTotal.Add(1)
+}
+
+// forgetStream unregisters a stream and releases its routing state.
+func (ss *session) forgetStream(st *pstream) {
+	delete(ss.streams, st.sid)
+	st.unpin()
+	ss.p.met.streamsOpen.Add(-1)
+}
+
+// teardownStreams releases every stream's pin and gauge at session end.
+func (ss *session) teardownStreams() {
+	for _, st := range ss.streams {
+		st.unpin()
+		ss.p.met.streamsOpen.Add(-1)
+	}
+	ss.streams = nil
 }
 
 // handshake reads the client Hello, opens the first upstream (which also
@@ -118,13 +162,12 @@ func (ss *session) handshake() error {
 		return err
 	}
 	ss.version = h.Version
-	ss.schemeName = h.Scheme
-	ss.key = poolKey{scheme: h.Scheme, txnSize: h.TxnSize, version: h.Version}
-	ss.pinned = scheme.DecodeStateful(h.Scheme)
-	ss.snapshottable = ss.pinned && scheme.Snapshottable(h.Scheme)
+	ss.helloKey = poolKey{scheme: h.Scheme, txnSize: h.TxnSize, version: h.Version}
+	ss.streams = make(map[uint32]*pstream)
+	ss.registerStream(ss.newStream(0, h.Scheme, h.TxnSize))
 
 	ss.negotiable = true
-	u, _, err := ss.acquireUpstream()
+	u, _, err := ss.st0.acquireUpstream()
 	ss.negotiable = false
 	if err != nil {
 		ss.writeFrame(trace.FrameError, []byte(err.Error()))
@@ -135,13 +178,7 @@ func (ss *session) handshake() error {
 		MetaBits:   u.ok.MetaBits,
 		BatchLimit: u.ok.BatchLimit,
 	})
-	if err := ss.writeFrame(trace.FrameHelloOK, okBody); err != nil {
-		return err
-	}
-	ss.readH = ss.p.met.stages.Hist(ss.schemeName, obs.StageFrameRead)
-	ss.backH = ss.p.met.stages.Hist(ss.schemeName, obs.StageBackend)
-	ss.writeH = ss.p.met.stages.Hist(ss.schemeName, obs.StageFrameWrite)
-	return nil
+	return ss.writeFrame(trace.FrameHelloOK, okBody)
 }
 
 // readLoop consumes client frames until the client closes, a protocol
@@ -175,11 +212,19 @@ func (ss *session) readLoop() {
 		if cap(body) > cap(ss.fbuf) {
 			ss.fbuf = body[:cap(body)]
 		}
-		switch ft {
-		case trace.FrameBatch:
-			// handleBatch observes frame_read so the sample can carry
+		switch {
+		case ft == trace.FrameBatch:
+			// dispatchBatch observes frame_read so the sample can carry
 			// the batch's trace id once the envelope is open.
-			if ss.handleBatch(body, time.Since(readStart)) {
+			if ss.dispatchBatch(body, time.Since(readStart)) {
+				return
+			}
+		case ft == trace.FrameStreamOpen && ss.version >= 4:
+			if ss.handleStreamOpen(body) {
+				return
+			}
+		case ft == trace.FrameStreamClose && ss.version >= 4:
+			if ss.handleStreamClose(body) {
 				return
 			}
 		default:
@@ -189,370 +234,93 @@ func (ss *session) readLoop() {
 	}
 }
 
-// handleBatch relays one Batch frame body to a backend and the reply back
-// to the client. It returns true when the session must close.
-func (ss *session) handleBatch(body []byte, readDur time.Duration) (fatal bool) {
-	var id uint64
-	ss.traceID = 0
-	if ss.version >= 2 {
-		var err error
-		if ss.version >= 3 {
-			// The trace id rides the envelope payload; the body still
-			// relays verbatim, the proxy only reads it for its own spans.
-			id, ss.traceID, _, err = trace.OpenTraceEnvelope(body)
-		} else {
-			id, _, err = trace.OpenBatchEnvelope(body)
-		}
+// dispatchBatch routes one Batch frame to its stream. On a v4 session the
+// body leads with the stream id; a batch for an unknown stream re-announces
+// StreamClosed, mirroring the gateway, so a client racing a stream kill
+// loses only that stream while its siblings keep serving.
+func (ss *session) dispatchBatch(body []byte, readDur time.Duration) (fatal bool) {
+	st := ss.st0
+	if ss.version >= 4 {
+		sid, _, err := trace.SplitStreamID(body)
 		if err != nil {
-			ss.readH.ObserveDuration(readDur)
-			if len(body) < 12 {
-				ss.writeFrame(trace.FrameError, []byte(err.Error()))
-				return true
-			}
-			// Client-leg corruption: answer the recoverable fault here
-			// instead of burning a backend round trip; the carried id is
-			// best effort, exactly as on the gateway.
-			id = binary.LittleEndian.Uint64(body[:8])
-			return ss.writeFrame(trace.FrameBatchError, trace.MarshalBatchError(id, false, err.Error())) != nil
-		}
-	}
-	ss.readH.ObserveDurationEx(readDur, ss.traceID)
-	ss.span.Reset(ss.traceID, id, ss.id, ss.schemeName)
-	ss.span.Observe(obs.StageFrameRead, readDur)
-
-	u, b, err := ss.acquireUpstream()
-	if err != nil {
-		return ss.convertFailure(id, err)
-	}
-	b.pending.Add(1)
-	start := time.Now()
-	ft, rbody, xerr := u.exchange(body, ss.p.cfg.ExchangeTimeout)
-	b.pending.Add(-1)
-	backDur := time.Since(start)
-	ss.backH.ObserveDurationEx(backDur, ss.traceID)
-	ss.span.Observe(obs.StageBackend, backDur)
-	if xerr != nil {
-		stale := u.pooledReuse
-		ss.dropUpstream(b)
-		if stale {
-			// A pooled idle session the backend had already timed out is
-			// not a health signal; just have the client retry on a fresh
-			// upstream.
-			ss.log.Debug("stale pooled upstream", "backend", b.addr, "err", xerr)
-		} else {
-			ss.p.noteBackendFailure(b, "exchange", xerr)
-		}
-		return ss.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, xerr))
-	}
-
-	switch ft {
-	case trace.FrameBatchReply:
-		statsBody := rbody
-		if ss.version >= 2 {
-			var rid uint64
-			var payload []byte
-			var err error
-			if ss.version >= 3 {
-				var rtrace uint64
-				rid, rtrace, payload, err = trace.OpenTraceEnvelope(rbody)
-				if err == nil && rtrace != ss.traceID {
-					err = fmt.Errorf("reply carries trace %#x, want %#x", rtrace, ss.traceID)
-				}
-			} else {
-				rid, payload, err = trace.OpenBatchEnvelope(rbody)
-			}
-			if err == nil && rid != id {
-				err = fmt.Errorf("reply for batch %d, want %d", rid, id)
-			}
-			if err != nil {
-				ss.dropUpstream(b)
-				ss.p.noteBackendFailure(b, "exchange", err)
-				return ss.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, err))
-			}
-			statsBody = payload
-		}
-		u.pooledReuse = false
-		ss.p.noteBackendOK(b)
-		b.batches.Add(1)
-		ss.batches++
-		// The relayed BatchStats prefix carries the backend's wire
-		// accounting for this batch; fold it into the per-backend energy
-		// counter and the relay span so the proxy's telemetry aggregates
-		// what its fleet actually moved.
-		if stats, _, serr := trace.ParseBatchStats(statsBody); serr == nil {
-			b.energy.Observe(
-				obs.SyntheticStats(int(stats.Transactions), stats.DataBits, stats.OnesBefore, stats.TogglesBefore),
-				obs.SyntheticStats(int(stats.Transactions), stats.DataBits, stats.OnesAfter, stats.TogglesAfter),
-			)
-			ss.span.Txns = int(stats.Transactions)
-			ss.span.DataBits = stats.DataBits
-			ss.span.BaseOnes, ss.span.EncOnes = stats.OnesBefore, stats.OnesAfter
-			ss.span.BaseToggles, ss.span.EncToggles = stats.TogglesBefore, stats.TogglesAfter
-		}
-		start = time.Now()
-		if err := ss.writeFrame(trace.FrameBatchReply, rbody); err != nil {
+			ss.writeFrame(trace.FrameError, []byte(err.Error()))
 			return true
 		}
-		writeDur := time.Since(start)
-		ss.writeH.ObserveDurationEx(writeDur, ss.traceID)
-		ss.span.Observe(obs.StageFrameWrite, writeDur)
-		ss.p.met.traces.Add(&ss.span)
-		if ss.snapshottable && ss.p.cfg.ShadowInterval > 0 &&
-			ss.batches%uint64(ss.p.cfg.ShadowInterval) == 0 {
-			ss.pullShadow(u, b)
+		if st = ss.streams[sid]; st == nil {
+			return ss.writeFrame(trace.FrameStreamClosed, trace.MarshalStreamClosed(sid, "unknown stream")) != nil
 		}
-		return false
-	case trace.FrameBusy, trace.FrameBatchError:
-		// The backend shed or faulted the batch but kept the session:
-		// relay the recoverable reply verbatim — after checking it is
-		// well-formed and answers this batch, so backend-leg corruption
-		// becomes a conversion here instead of a parse error that would
-		// cost the client its connection.
-		var rid uint64
-		var perr error
-		if ft == trace.FrameBusy {
-			rid, _, perr = trace.ParseBusy(rbody)
-		} else {
-			rid, _, _, perr = trace.ParseBatchError(rbody)
-		}
-		if ss.version < 2 || perr != nil || rid != id {
-			if perr == nil {
-				perr = fmt.Errorf("fault reply for batch %d, want %d", rid, id)
-			}
-			ss.dropUpstream(b)
-			ss.p.noteBackendFailure(b, "exchange", perr)
-			return ss.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, perr))
-		}
-		u.pooledReuse = false
-		ss.p.noteBackendOK(b)
-		ss.p.met.relayedFaults.Add(1)
-		return ss.writeFrame(ft, rbody) != nil
-	case trace.FrameError:
-		// The backend ended this upstream session (fault budget, drain,
-		// refusal) but is alive enough to speak BXTP: not an ejection
-		// signal, just a failed upstream to recover from.
-		ss.dropUpstream(b)
-		return ss.convertFailure(id, fmt.Errorf("backend %s: %s", b.addr, rbody))
-	default:
-		ss.dropUpstream(b)
-		err := fmt.Errorf("backend %s answered batch with frame %#x", b.addr, byte(ft))
-		ss.p.noteBackendFailure(b, "exchange", err)
-		return ss.convertFailure(id, err)
 	}
+	return st.handleBatch(body, readDur)
 }
 
-// convertFailure turns an upstream failure into the strongest recovery the
-// client's protocol revision allows: Busy (retry elsewhere) for stateless
-// v2 sessions, BatchError with the codec-reset flag (retry after an Epoch
-// bump) for pinned v2 sessions — re-pinning first so the retry lands on a
-// survivor — and a fatal Error for v1 clients, which predate recoverable
-// faults.
-func (ss *session) convertFailure(id uint64, cause error) (fatal bool) {
-	if ss.version < 2 {
-		ss.p.met.v1Fatal.Add(1)
-		ss.writeFrame(trace.FrameError, []byte("proxy: "+cause.Error()))
+// handleStreamOpen opens one additional logical stream (v4): validate it
+// locally, route it to a backend so the scheme and transaction size are
+// checked where the stream will actually serve, and relay the backend's
+// StreamOpenOK verdict — metadata width and batch limit included —
+// verbatim to the client.
+func (ss *session) handleStreamOpen(body []byte) (fatal bool) {
+	o, err := trace.ParseStreamOpen(body)
+	if err != nil {
+		ss.writeFrame(trace.FrameError, []byte(err.Error()))
 		return true
 	}
-	if ss.pinned {
-		ss.p.met.faultConverted.Add(1)
-		ss.pinTarget()
-		body := trace.MarshalBatchError(id, true, "proxy: backend failed, codec state lost: "+cause.Error())
-		return ss.writeFrame(trace.FrameBatchError, body) != nil
+	refuse := func(msg string) bool {
+		ss.p.met.streamRefused.Add(1)
+		ok := trace.StreamOpenOK{ID: o.ID, Status: trace.StreamRefused, Msg: msg}
+		return ss.writeFrame(trace.FrameStreamOpenOK, trace.MarshalStreamOpenOK(ok)) != nil
 	}
-	ss.p.met.busyConverted.Add(1)
-	return ss.writeFrame(trace.FrameBusy, trace.MarshalBusy(id, ss.p.cfg.RetryHint)) != nil
+	if ss.streams[o.ID] != nil {
+		return refuse(fmt.Sprintf("stream %d already open", o.ID))
+	}
+	if len(ss.streams) >= ss.p.cfg.StreamLimit {
+		return refuse(fmt.Sprintf("stream limit %d reached", ss.p.cfg.StreamLimit))
+	}
+	st := ss.newStream(o.ID, o.Scheme, o.TxnSize)
+	ss.registerStream(st)
+	if _, _, err := st.acquireUpstream(); err != nil {
+		ss.forgetStream(st)
+		if errors.Is(err, errStreamRefused) && st.openOK != nil {
+			// Relay the backend's own refusal byte-for-byte.
+			ss.p.met.streamRefused.Add(1)
+			return ss.writeFrame(trace.FrameStreamOpenOK, st.openOK) != nil
+		}
+		return refuse("proxy: " + err.Error())
+	}
+	ss.log.Info("stream open", "stream", o.ID, "scheme", o.Scheme, "pinned", st.pinned)
+	fatal = ss.writeFrame(trace.FrameStreamOpenOK, st.openOK) != nil
+	st.openOK = nil
+	return fatal
 }
 
-// acquireUpstream returns a live upstream session on the backend the
-// routing policy picks, reusing this session's open upstreams and the
-// backend's idle pool (stateless schemes only) before dialing. Dial
-// failures count toward ejection and fail over to the next candidate;
-// a handshake rejection surfaces immediately, because every backend
-// would reject the same parameters.
-func (ss *session) acquireUpstream() (*upstream, *backend, error) {
-	excluded := make(map[*backend]bool)
-	for attempt := 0; attempt <= len(ss.p.backends); attempt++ {
-		var b *backend
-		if ss.pinned {
-			prev := ss.pin
-			b = ss.pinTarget()
-			if b != nil && prev != nil && b != prev {
-				// The pin was lost (ejected, or draining for a rollout)
-				// before this batch's exchange could fail on it. Serving
-				// the batch from the fresh pin's blank codec would
-				// silently desynchronize the client's decode-stateful
-				// decoder, so first try to move the upstream codec state
-				// itself: a live pull from the old backend if it still
-				// answers, else the last shadow snapshot if no batch has
-				// landed since. Success means the client never notices.
-				// Only when no current state can be transferred does the
-				// migration surface as a failure, which the caller
-				// converts to a BatchError with the codec-reset flag,
-				// exactly as if the exchange itself had died.
-				if u := ss.migrateState(prev, b); u != nil {
-					return u, b, nil
-				}
-				return nil, nil, errPinLost
-			}
-		} else {
-			b = ss.p.pickLeastPending(excluded)
-		}
-		if b == nil || excluded[b] {
-			break
-		}
-		if u := ss.ups[b]; u != nil {
-			return u, b, nil
-		}
-		if !ss.pinned {
-			if u := b.getPooled(ss.key); u != nil {
-				u.pooledReuse = true
-				ss.ups[b] = u
-				return u, b, nil
-			}
-		}
-		u, err := ss.p.dialUpstream(b, ss.key)
-		if err != nil {
-			if errors.Is(err, errUpstreamReject) {
-				return nil, nil, err
-			}
-			ss.p.noteBackendFailure(b, "dial", err)
-			excluded[b] = true
+// handleStreamClose retires one stream (v4): the close propagates to every
+// upstream connection the stream is open on — keeping the serial exchange
+// discipline on each — before the StreamClosed acknowledgement goes back
+// to the client.
+func (ss *session) handleStreamClose(body []byte) (fatal bool) {
+	sid, err := trace.ParseStreamClose(body)
+	if err != nil {
+		ss.writeFrame(trace.FrameError, []byte(err.Error()))
+		return true
+	}
+	st := ss.streams[sid]
+	if st == nil {
+		ss.writeFrame(trace.FrameError, []byte(fmt.Sprintf("close for unknown stream %d", sid)))
+		return true
+	}
+	for b, u := range ss.ups {
+		if st.sid != 0 && !u.open[st.sid] {
 			continue
 		}
-		if u.ok.Version != ss.key.version {
-			if !ss.negotiable {
-				// The session revision is already promised to the client;
-				// an older backend cannot serve it. Not a health signal.
-				u.conn.Close()
-				excluded[b] = true
-				continue
-			}
-			// First upstream of the session: adopt the backend's older
-			// revision before HelloOK commits one to the client.
-			ss.version = u.ok.Version
-			ss.key.version = u.ok.Version
-			u.key.version = u.ok.Version
-		}
-		ss.ups[b] = u
-		return u, b, nil
-	}
-	return nil, nil, errNoBackend
-}
-
-// migrateState moves a pinned session's upstream codec state from its
-// lost pin onto the new one, so the client's decoder continues
-// byte-identically with no epoch bump. It returns the restored upstream
-// (registered in ss.ups) on success, nil when the transfer could not be
-// completed and the caller must fall back to a client-side reset.
-func (ss *session) migrateState(prev, next *backend) *upstream {
-	if ss.version < 2 || !ss.snapshottable {
-		ss.p.met.stateUnsupported.Add(1)
-		ss.dropUpstream(prev)
-		return nil
-	}
-	timeout := ss.p.cfg.StateTransferTimeout
-	var seq uint64
-	var blob []byte
-	fromShadow := false
-	if old := ss.ups[prev]; old != nil {
-		// The old upstream may still answer — a draining backend always
-		// does, and even an ejected one often can (the ejection may have
-		// been a probe racing a restart).
-		s, b, err := old.pullSnapshot(timeout)
-		switch {
-		case err != nil:
-			ss.log.Debug("live state pull failed", "backend", prev.addr, "err", err)
-		case s != ss.batches:
-			ss.log.Debug("live state pull stale", "backend", prev.addr, "seq", s, "batches", ss.batches)
-		default:
-			seq, blob = s, b
+		if err := u.closeStream(st.sid, ss.p.cfg.ExchangeTimeout); err != nil {
+			// The connection may be desynchronized mid-exchange; drop it
+			// and let its other streams redial on their next batch.
+			ss.log.Debug("upstream stream close failed", "backend", b.addr, "stream", st.sid, "err", err)
+			ss.dropUpstream(b)
 		}
 	}
-	ss.dropUpstream(prev)
-	if blob == nil && ss.hasShadow && ss.shadowSeq == ss.batches {
-		seq, blob, fromShadow = ss.shadowSeq, ss.shadow, true
-	}
-	if blob == nil {
-		ss.p.met.stateSnapFailed.Add(1)
-		return nil
-	}
-	if ss.p.inj != nil {
-		blob = ss.p.inj.WrapSnapshot(blob)
-	}
-	u, err := ss.p.dialUpstream(next, ss.key)
-	if err != nil {
-		ss.p.met.stateRestFailed.Add(1)
-		ss.log.Warn("state transfer failed: dialing new pin", "backend", next.addr, "err", err)
-		return nil
-	}
-	if u.ok.Version != ss.key.version {
-		u.conn.Close()
-		ss.p.met.stateRestFailed.Add(1)
-		ss.log.Warn("state transfer failed: new pin speaks older protocol",
-			"backend", next.addr, "version", u.ok.Version)
-		return nil
-	}
-	if err := u.restoreState(seq, blob, timeout); err != nil {
-		u.conn.Close()
-		ss.p.met.stateRestFailed.Add(1)
-		ss.log.Warn("state transfer failed: restore", "backend", next.addr, "err", err)
-		return nil
-	}
-	if fromShadow {
-		ss.p.met.stateOKShadow.Add(1)
-	} else {
-		ss.p.met.stateOK.Add(1)
-	}
-	ss.ups[next] = u
-	ss.log.Info("session state migrated",
-		"from", prev.addr, "to", next.addr, "seq", seq, "bytes", len(blob), "shadow", fromShadow)
-	return u
-}
-
-// pullShadow refreshes the session's shadow snapshot from its pinned
-// upstream, so a pin that dies without warning can still be failed over
-// from state no older than ShadowInterval batches — and usable whenever
-// no batch has landed since the pull.
-func (ss *session) pullShadow(u *upstream, b *backend) {
-	seq, blob, err := u.pullSnapshot(ss.p.cfg.StateTransferTimeout)
-	if err != nil {
-		if errors.Is(err, errStateRejected) {
-			// The backend answered cleanly: snapshots are simply not
-			// available for this session. Stop asking.
-			ss.snapshottable = false
-			ss.log.Warn("shadow snapshots disabled", "backend", b.addr, "err", err)
-			return
-		}
-		// The frame stream may be desynchronized mid-exchange; drop the
-		// upstream so the next batch redials cleanly.
-		ss.log.Debug("shadow snapshot failed", "backend", b.addr, "err", err)
-		ss.dropUpstream(b)
-		return
-	}
-	ss.shadow, ss.shadowSeq, ss.hasShadow = blob, seq, true
-}
-
-// pinTarget returns the backend this pinned session routes to, migrating
-// the pin (and the per-backend gauges) when the current one is ejected or
-// draining.
-func (ss *session) pinTarget() *backend {
-	if ss.pin != nil && !ss.pin.ejected.Load() && !ss.pin.draining.Load() {
-		return ss.pin
-	}
-	nb := ss.p.pickPinned(ss.id)
-	if nb == nil {
-		return nil
-	}
-	if nb != ss.pin {
-		if ss.pin != nil {
-			ss.pin.pinned.Add(-1)
-			ss.p.met.repins.Add(1)
-			ss.log.Info("session re-pinned", "from", ss.pin.addr, "to", nb.addr)
-		}
-		nb.pinned.Add(1)
-		ss.pin = nb
-	}
-	return nb
+	ss.forgetStream(st)
+	ss.log.Info("stream closed", "stream", st.sid, "batches", st.batches)
+	return ss.writeFrame(trace.FrameStreamClosed, trace.MarshalStreamClosed(sid, "")) != nil
 }
 
 // dropUpstream closes and forgets this session's upstream on b.
@@ -564,20 +332,18 @@ func (ss *session) dropUpstream(b *backend) {
 }
 
 // releaseUpstreams parks reusable upstreams in their backend pools and
-// closes the rest. Pinned sessions never pool: their upstream codec holds
-// per-session state no other client can resume.
+// closes the rest. Pinned sessions never pool (their upstream codec holds
+// per-session state no other client can resume), and neither do muxed v4
+// connections, whose open-stream set is session-specific.
 func (ss *session) releaseUpstreams() {
-	for b, u := range ss.ups {
-		if !ss.pinned && !ss.p.isDraining() && b.putPooled(u, ss.p.cfg.PoolSize) {
+	poolable := ss.version < 4 && ss.st0 != nil && !ss.st0.pinned && !ss.p.isDraining()
+	for _, u := range ss.ups {
+		if poolable && u.b.putPooled(u, ss.p.cfg.PoolSize) {
 			continue
 		}
 		u.conn.Close()
 	}
 	ss.ups = nil
-	if ss.pin != nil {
-		ss.pin.pinned.Add(-1)
-		ss.pin = nil
-	}
 }
 
 // writeFrame writes one frame to the client under the write deadline.

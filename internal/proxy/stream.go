@@ -1,0 +1,579 @@
+package proxy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/hpca18/bxt/internal/obs"
+	"github.com/hpca18/bxt/internal/trace"
+)
+
+// pstream is one logical client stream being relayed: its scheme, the
+// routing mode picked at open, the backend pin (decode-stateful schemes),
+// and the shadow-snapshot machinery for seamless pin failover. Below
+// protocol v4 the session carries exactly one stream and these fields are
+// what used to live on the session; a v4 session routes every stream
+// independently — stateless streams spread batch-by-batch, stateful
+// streams pin and state-migrate per stream.
+type pstream struct {
+	ss  *session
+	sid uint32
+
+	schemeName string
+	// key is the stream's handshake parameters: the idle-pool key below
+	// v4, and the StreamOpen parameters on muxed upstream connections.
+	key poolKey
+	// pinned marks a decode-stateful scheme: all of this stream's batches
+	// go to one backend (pin), rendezvous-chosen, and a pin migration
+	// forces a client codec reset unless the state can be transferred.
+	// Stateless streams instead spread batch-by-batch.
+	pinned bool
+	pin    *backend
+	// snapshottable marks a pinned stream whose codec state can be pulled
+	// and replayed (scheme.Snapshottable, protocol v2+): a pin migration
+	// then moves the upstream codec state to the new backend instead of
+	// resetting the client. shadow/shadowSeq hold the last shadow snapshot
+	// pulled from the pin (hasShadow gates first use); a shadow is usable
+	// for failover only while its sequence still equals the stream's
+	// relayed batch count.
+	snapshottable bool
+	shadow        []byte
+	shadowSeq     uint64
+	hasShadow     bool
+
+	batches uint64
+
+	// openOK briefly holds the backend's raw StreamOpenOK body after
+	// acquireUpstream opens this stream on a muxed connection, so the
+	// session can relay the verdict verbatim to the client.
+	openOK []byte
+
+	readH, backH, writeH *obs.Histogram
+}
+
+// wrapReply prepends the stream-id prefix to a proxy-originated reply
+// body on v4 sessions; below v4 the body is already the full frame.
+func (st *pstream) wrapReply(body []byte) []byte {
+	if st.ss.version < 4 {
+		return body
+	}
+	return append(trace.AppendStreamID(make([]byte, 0, 4+len(body)), st.sid), body...)
+}
+
+// dialKey is the Hello this stream's upstream dials handshake with: muxed
+// v4 connections always replay the session's stream-0 Hello (further
+// streams open with StreamOpen frames), pre-v4 upstreams handshake the
+// stream's own parameters.
+func (st *pstream) dialKey() poolKey {
+	if st.ss.version >= 4 {
+		return st.ss.helloKey
+	}
+	return st.key
+}
+
+// handleBatch relays one Batch frame body to a backend and the reply back
+// to the client. Bodies relay verbatim in both directions — on v4 the
+// stream-id prefix rides along untouched, and only the interior past it
+// is parsed for validation. It returns true when the session must close.
+func (st *pstream) handleBatch(body []byte, readDur time.Duration) (fatal bool) {
+	ss := st.ss
+	interior := body
+	if ss.version >= 4 {
+		_, interior, _ = trace.SplitStreamID(body) // length-checked by dispatchBatch
+	}
+	var id uint64
+	ss.traceID = 0
+	if ss.version >= 2 {
+		var err error
+		if ss.version >= 3 {
+			// The trace id rides the envelope payload; the body still
+			// relays verbatim, the proxy only reads it for its own spans.
+			id, ss.traceID, _, err = trace.OpenTraceEnvelope(interior)
+		} else {
+			id, _, err = trace.OpenBatchEnvelope(interior)
+		}
+		if err != nil {
+			st.readH.ObserveDuration(readDur)
+			if len(interior) < 12 {
+				ss.writeFrame(trace.FrameError, []byte(err.Error()))
+				return true
+			}
+			// Client-leg corruption: answer the recoverable fault here
+			// instead of burning a backend round trip; the carried id is
+			// best effort, exactly as on the gateway.
+			id = binary.LittleEndian.Uint64(interior[:8])
+			return ss.writeFrame(trace.FrameBatchError, st.wrapReply(trace.MarshalBatchError(id, false, err.Error()))) != nil
+		}
+	}
+	st.readH.ObserveDurationEx(readDur, ss.traceID)
+	ss.span.Reset(ss.traceID, id, ss.id, st.schemeName)
+	ss.span.Observe(obs.StageFrameRead, readDur)
+
+	u, b, err := st.acquireUpstream()
+	if err != nil {
+		return st.convertFailure(id, err)
+	}
+	b.pending.Add(1)
+	start := time.Now()
+	ft, rbody, xerr := u.exchange(body, ss.p.cfg.ExchangeTimeout)
+	b.pending.Add(-1)
+	backDur := time.Since(start)
+	st.backH.ObserveDurationEx(backDur, ss.traceID)
+	ss.span.Observe(obs.StageBackend, backDur)
+	if xerr != nil {
+		stale := u.pooledReuse
+		ss.dropUpstream(b)
+		if stale {
+			// A pooled idle session the backend had already timed out is
+			// not a health signal; just have the client retry on a fresh
+			// upstream.
+			ss.log.Debug("stale pooled upstream", "backend", b.addr, "err", xerr)
+		} else {
+			ss.p.noteBackendFailure(b, "exchange", xerr)
+		}
+		return st.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, xerr))
+	}
+
+	rinterior := rbody
+	if ss.version >= 4 {
+		if ft == trace.FrameStreamClosed {
+			return st.relayStreamKill(u, b, id, rbody)
+		}
+		var rsid uint32
+		var perr error
+		rsid, rinterior, perr = trace.SplitStreamID(rbody)
+		if perr == nil && rsid != st.sid {
+			perr = fmt.Errorf("reply on stream %d, want %d", rsid, st.sid)
+		}
+		if perr != nil {
+			ss.dropUpstream(b)
+			ss.p.noteBackendFailure(b, "exchange", perr)
+			return st.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, perr))
+		}
+	}
+
+	switch ft {
+	case trace.FrameBatchReply:
+		statsBody := rinterior
+		if ss.version >= 2 {
+			var rid uint64
+			var payload []byte
+			var err error
+			if ss.version >= 3 {
+				var rtrace uint64
+				rid, rtrace, payload, err = trace.OpenTraceEnvelope(rinterior)
+				if err == nil && rtrace != ss.traceID {
+					err = fmt.Errorf("reply carries trace %#x, want %#x", rtrace, ss.traceID)
+				}
+			} else {
+				rid, payload, err = trace.OpenBatchEnvelope(rinterior)
+			}
+			if err == nil && rid != id {
+				err = fmt.Errorf("reply for batch %d, want %d", rid, id)
+			}
+			if err != nil {
+				ss.dropUpstream(b)
+				ss.p.noteBackendFailure(b, "exchange", err)
+				return st.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, err))
+			}
+			statsBody = payload
+		}
+		u.pooledReuse = false
+		ss.p.noteBackendOK(b)
+		b.batches.Add(1)
+		b.observeExchange(st.schemeName, backDur)
+		st.batches++
+		// The relayed BatchStats prefix carries the backend's wire
+		// accounting for this batch; fold it into the per-backend energy
+		// counter and the relay span so the proxy's telemetry aggregates
+		// what its fleet actually moved.
+		if stats, _, serr := trace.ParseBatchStats(statsBody); serr == nil {
+			b.energy.Observe(
+				obs.SyntheticStats(int(stats.Transactions), stats.DataBits, stats.OnesBefore, stats.TogglesBefore),
+				obs.SyntheticStats(int(stats.Transactions), stats.DataBits, stats.OnesAfter, stats.TogglesAfter),
+			)
+			ss.span.Txns = int(stats.Transactions)
+			ss.span.DataBits = stats.DataBits
+			ss.span.BaseOnes, ss.span.EncOnes = stats.OnesBefore, stats.OnesAfter
+			ss.span.BaseToggles, ss.span.EncToggles = stats.TogglesBefore, stats.TogglesAfter
+		}
+		start = time.Now()
+		if err := ss.writeFrame(trace.FrameBatchReply, rbody); err != nil {
+			return true
+		}
+		writeDur := time.Since(start)
+		st.writeH.ObserveDurationEx(writeDur, ss.traceID)
+		ss.span.Observe(obs.StageFrameWrite, writeDur)
+		ss.p.met.traces.Add(&ss.span)
+		if st.snapshottable && ss.p.cfg.ShadowInterval > 0 &&
+			st.batches%uint64(ss.p.cfg.ShadowInterval) == 0 {
+			st.pullShadow(u, b)
+		}
+		return false
+	case trace.FrameBusy, trace.FrameBatchError:
+		// The backend shed or faulted the batch but kept the stream:
+		// relay the recoverable reply verbatim — after checking it is
+		// well-formed and answers this batch, so backend-leg corruption
+		// becomes a conversion here instead of a parse error that would
+		// cost the client its connection.
+		var rid uint64
+		var perr error
+		if ft == trace.FrameBusy {
+			rid, _, perr = trace.ParseBusy(rinterior)
+		} else {
+			rid, _, _, perr = trace.ParseBatchError(rinterior)
+		}
+		if ss.version < 2 || perr != nil || rid != id {
+			if perr == nil {
+				perr = fmt.Errorf("fault reply for batch %d, want %d", rid, id)
+			}
+			ss.dropUpstream(b)
+			ss.p.noteBackendFailure(b, "exchange", perr)
+			return st.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, perr))
+		}
+		u.pooledReuse = false
+		ss.p.noteBackendOK(b)
+		ss.p.met.relayedFaults.Add(1)
+		return ss.writeFrame(ft, rbody) != nil
+	case trace.FrameError:
+		// The backend ended this upstream session (fault budget, drain,
+		// refusal) but is alive enough to speak BXTP: not an ejection
+		// signal, just a failed upstream to recover from.
+		ss.dropUpstream(b)
+		return st.convertFailure(id, fmt.Errorf("backend %s: %s", b.addr, rbody))
+	default:
+		ss.dropUpstream(b)
+		err := fmt.Errorf("backend %s answered batch with frame %#x", b.addr, byte(ft))
+		ss.p.noteBackendFailure(b, "exchange", err)
+		return st.convertFailure(id, err)
+	}
+}
+
+// relayStreamKill handles a backend answering a batch with StreamClosed:
+// the backend killed exactly this stream (fault budget exhausted) while
+// the muxed connection and its sibling streams keep serving. The kill
+// relays to the client verbatim and the proxy forgets the stream, so a
+// client re-open builds fresh routing state, mirroring the gateway.
+func (st *pstream) relayStreamKill(u *upstream, b *backend, id uint64, rbody []byte) (fatal bool) {
+	ss := st.ss
+	rsid, msg, perr := trace.ParseStreamClosed(rbody)
+	if perr == nil && rsid != st.sid {
+		perr = fmt.Errorf("stream-closed for stream %d, want %d", rsid, st.sid)
+	}
+	if perr != nil {
+		ss.dropUpstream(b)
+		ss.p.noteBackendFailure(b, "exchange", perr)
+		return st.convertFailure(id, fmt.Errorf("backend %s: %v", b.addr, perr))
+	}
+	delete(u.open, st.sid)
+	ss.p.met.streamKills.Add(1)
+	ss.forgetStream(st)
+	ss.log.Info("stream killed by backend", "stream", st.sid, "backend", b.addr, "msg", msg)
+	return ss.writeFrame(trace.FrameStreamClosed, rbody) != nil
+}
+
+// convertFailure turns an upstream failure into the strongest recovery the
+// client's protocol revision allows: Busy (retry elsewhere) for stateless
+// v2+ streams, BatchError with the codec-reset flag (retry after an Epoch
+// bump) for pinned streams — re-pinning first so the retry lands on a
+// survivor — and a fatal Error for v1 clients, which predate recoverable
+// faults. Other streams on a v4 session never notice.
+func (st *pstream) convertFailure(id uint64, cause error) (fatal bool) {
+	ss := st.ss
+	if ss.version < 2 {
+		ss.p.met.v1Fatal.Add(1)
+		ss.writeFrame(trace.FrameError, []byte("proxy: "+cause.Error()))
+		return true
+	}
+	if st.pinned {
+		ss.p.met.faultConverted.Add(1)
+		st.pinTarget()
+		body := trace.MarshalBatchError(id, true, "proxy: backend failed, codec state lost: "+cause.Error())
+		return ss.writeFrame(trace.FrameBatchError, st.wrapReply(body)) != nil
+	}
+	ss.p.met.busyConverted.Add(1)
+	return ss.writeFrame(trace.FrameBusy, st.wrapReply(trace.MarshalBusy(id, ss.p.cfg.RetryHint))) != nil
+}
+
+// ensureOpen makes sure this stream is open on a muxed upstream
+// connection, opening it with a StreamOpen exchange on first use. The
+// Hello already opened stream 0 on every muxed connection, and pre-v4
+// upstreams are handshaken for exactly this stream, so both pass through.
+func (st *pstream) ensureOpen(u *upstream) error {
+	if st.ss.version < 4 || st.sid == 0 || u.open[st.sid] {
+		return nil
+	}
+	okBody, err := u.openStream(
+		trace.StreamOpen{ID: st.sid, TxnSize: st.key.txnSize, Scheme: st.schemeName},
+		st.ss.p.cfg.ExchangeTimeout)
+	if okBody != nil {
+		st.openOK = append(st.openOK[:0], okBody...)
+	}
+	return err
+}
+
+// acquireUpstream returns a live upstream on the backend the routing
+// policy picks for this stream, reusing the session's open upstream
+// connections and the backend's idle pool (pre-v4 stateless streams only)
+// before dialing. Dial failures count toward ejection and fail over to
+// the next candidate; a handshake rejection or stream-open refusal
+// surfaces immediately, because every backend would reject the same
+// parameters.
+func (st *pstream) acquireUpstream() (*upstream, *backend, error) {
+	ss := st.ss
+	backends := ss.p.backendList()
+	excluded := make(map[*backend]bool)
+	for attempt := 0; attempt <= len(backends); attempt++ {
+		var b *backend
+		if st.pinned {
+			prev := st.pin
+			b = st.pinTarget()
+			if b != nil && prev != nil && b != prev {
+				// The pin was lost (ejected, or draining for a rollout)
+				// before this batch's exchange could fail on it. Serving
+				// the batch from the fresh pin's blank codec would
+				// silently desynchronize the client's decode-stateful
+				// decoder, so first try to move the upstream codec state
+				// itself: a live pull from the old backend if it still
+				// answers, else the last shadow snapshot if no batch has
+				// landed since. Success means the client never notices.
+				// Only when no current state can be transferred does the
+				// migration surface as a failure, which the caller
+				// converts to a BatchError with the codec-reset flag,
+				// exactly as if the exchange itself had died.
+				if u := st.migrateState(prev, b); u != nil {
+					return u, b, nil
+				}
+				return nil, nil, errPinLost
+			}
+		} else {
+			b = ss.p.pickStateless(st.schemeName, excluded)
+		}
+		if b == nil || excluded[b] {
+			break
+		}
+		if u := ss.ups[b]; u != nil {
+			if err := st.ensureOpen(u); err != nil {
+				if errors.Is(err, errStreamRefused) {
+					return nil, nil, err
+				}
+				ss.dropUpstream(b)
+				ss.p.noteBackendFailure(b, "stream-open", err)
+				excluded[b] = true
+				continue
+			}
+			return u, b, nil
+		}
+		if !st.pinned && ss.version < 4 {
+			if u := b.getPooled(st.key); u != nil {
+				u.pooledReuse = true
+				ss.ups[b] = u
+				return u, b, nil
+			}
+		}
+		u, err := ss.p.dialUpstream(b, st.dialKey())
+		if err != nil {
+			if errors.Is(err, errUpstreamReject) {
+				return nil, nil, err
+			}
+			ss.p.noteBackendFailure(b, "dial", err)
+			excluded[b] = true
+			continue
+		}
+		if u.ok.Version != ss.version {
+			if !ss.negotiable {
+				// The session revision is already promised to the client;
+				// an older backend cannot serve it. Not a health signal.
+				u.conn.Close()
+				excluded[b] = true
+				continue
+			}
+			// First upstream of the session: adopt the backend's older
+			// revision before HelloOK commits one to the client.
+			ss.version = u.ok.Version
+			ss.helloKey.version = u.ok.Version
+			st.key.version = u.ok.Version
+			u.key.version = u.ok.Version
+		}
+		ss.ups[b] = u
+		if err := st.ensureOpen(u); err != nil {
+			if errors.Is(err, errStreamRefused) {
+				return nil, nil, err
+			}
+			ss.dropUpstream(b)
+			ss.p.noteBackendFailure(b, "stream-open", err)
+			excluded[b] = true
+			continue
+		}
+		return u, b, nil
+	}
+	return nil, nil, errNoBackend
+}
+
+// migrateState moves a pinned stream's upstream codec state from its lost
+// pin onto the new one, so the client's decoder continues byte-identically
+// with no epoch bump. It returns the restored upstream (registered in
+// ss.ups) on success, nil when the transfer could not be completed and
+// the caller must fall back to a client-side reset.
+func (st *pstream) migrateState(prev, next *backend) *upstream {
+	ss := st.ss
+	if ss.version < 2 || !st.snapshottable {
+		ss.p.met.stateUnsupported.Add(1)
+		if ss.version < 4 {
+			ss.dropUpstream(prev)
+		}
+		return nil
+	}
+	timeout := ss.p.cfg.StateTransferTimeout
+	var seq uint64
+	var blob []byte
+	fromShadow := false
+	if old := ss.ups[prev]; old != nil && (ss.version < 4 || st.sid == 0 || old.open[st.sid]) {
+		// The old upstream may still answer — a draining backend always
+		// does, and even an ejected one often can (the ejection may have
+		// been a probe racing a restart).
+		s, b, err := old.pullSnapshot(st.sid, timeout)
+		switch {
+		case err != nil:
+			ss.log.Debug("live state pull failed", "backend", prev.addr, "err", err)
+			if ss.version >= 4 && !errors.Is(err, errStateRejected) {
+				// The muxed connection may be desynchronized mid-exchange;
+				// drop it so sibling streams redial cleanly.
+				ss.dropUpstream(prev)
+			}
+		case s != st.batches:
+			ss.log.Debug("live state pull stale", "backend", prev.addr, "seq", s, "batches", st.batches)
+		default:
+			seq, blob = s, b
+		}
+	}
+	if ss.version < 4 {
+		// Pre-v4 the upstream is dedicated to this stream and has no
+		// further use once the pin moves; muxed connections stay up for
+		// their sibling streams.
+		ss.dropUpstream(prev)
+	}
+	if blob == nil && st.hasShadow && st.shadowSeq == st.batches {
+		seq, blob, fromShadow = st.shadowSeq, st.shadow, true
+	}
+	if blob == nil {
+		ss.p.met.stateSnapFailed.Add(1)
+		return nil
+	}
+	if ss.p.inj != nil {
+		blob = ss.p.inj.WrapSnapshot(blob)
+	}
+	u := ss.ups[next]
+	if u == nil {
+		var err error
+		u, err = ss.p.dialUpstream(next, st.dialKey())
+		if err != nil {
+			ss.p.met.stateRestFailed.Add(1)
+			ss.log.Warn("state transfer failed: dialing new pin", "backend", next.addr, "err", err)
+			return nil
+		}
+		if u.ok.Version != ss.version {
+			u.conn.Close()
+			ss.p.met.stateRestFailed.Add(1)
+			ss.log.Warn("state transfer failed: new pin speaks older protocol",
+				"backend", next.addr, "version", u.ok.Version)
+			return nil
+		}
+		ss.ups[next] = u
+	}
+	if err := st.ensureOpen(u); err != nil {
+		if !errors.Is(err, errStreamRefused) {
+			ss.dropUpstream(next)
+		}
+		ss.p.met.stateRestFailed.Add(1)
+		ss.log.Warn("state transfer failed: stream open", "backend", next.addr, "err", err)
+		return nil
+	}
+	if err := u.restoreState(st.sid, seq, blob, timeout); err != nil {
+		if ss.version < 4 || !errors.Is(err, errStateRejected) {
+			ss.dropUpstream(next)
+		}
+		ss.p.met.stateRestFailed.Add(1)
+		ss.log.Warn("state transfer failed: restore", "backend", next.addr, "err", err)
+		return nil
+	}
+	if fromShadow {
+		ss.p.met.stateOKShadow.Add(1)
+	} else {
+		ss.p.met.stateOK.Add(1)
+	}
+	ss.log.Info("stream state migrated", "stream", st.sid,
+		"from", prev.addr, "to", next.addr, "seq", seq, "bytes", len(blob), "shadow", fromShadow)
+	return u
+}
+
+// pullShadow refreshes the stream's shadow snapshot from its pinned
+// upstream, so a pin that dies without warning can still be failed over
+// from state no older than ShadowInterval batches — and usable whenever
+// no batch has landed since the pull.
+func (st *pstream) pullShadow(u *upstream, b *backend) {
+	ss := st.ss
+	seq, blob, err := u.pullSnapshot(st.sid, ss.p.cfg.StateTransferTimeout)
+	if err != nil {
+		if errors.Is(err, errStateRejected) {
+			// The backend answered cleanly: snapshots are simply not
+			// available for this stream. Stop asking.
+			st.snapshottable = false
+			ss.log.Warn("shadow snapshots disabled", "backend", b.addr, "stream", st.sid, "err", err)
+			return
+		}
+		// The frame stream may be desynchronized mid-exchange; drop the
+		// upstream so the next batch redials cleanly.
+		ss.log.Debug("shadow snapshot failed", "backend", b.addr, "err", err)
+		ss.dropUpstream(b)
+		return
+	}
+	st.shadow, st.shadowSeq, st.hasShadow = blob, seq, true
+}
+
+// pinKey is the rendezvous key this stream hashes with: stream 0 keeps
+// the session id (placement-compatible with pre-mux sessions, where the
+// session was the stream), further streams scramble (session, stream) so
+// one session's pins spread independently across the ring.
+func (st *pstream) pinKey() uint64 {
+	if st.sid == 0 {
+		return st.ss.id
+	}
+	k := st.ss.id ^ (uint64(st.sid)+1)*0x9E3779B97F4A7C15
+	k ^= k >> 30
+	k *= 0xBF58476D1CE4E5B9
+	return k
+}
+
+// pinTarget returns the backend this pinned stream routes to, migrating
+// the pin (and the per-backend gauges) when the current one is ejected or
+// draining.
+func (st *pstream) pinTarget() *backend {
+	if st.pin != nil && !st.pin.ejected.Load() && !st.pin.draining.Load() {
+		return st.pin
+	}
+	nb := st.ss.p.pickPinned(st.pinKey())
+	if nb == nil {
+		return nil
+	}
+	if nb != st.pin {
+		if st.pin != nil {
+			st.pin.pinned.Add(-1)
+			st.ss.p.met.repins.Add(1)
+			st.ss.log.Info("stream re-pinned", "stream", st.sid, "from", st.pin.addr, "to", nb.addr)
+		}
+		nb.pinned.Add(1)
+		st.pin = nb
+	}
+	return nb
+}
+
+// unpin releases the stream's pin gauge at close or session teardown.
+func (st *pstream) unpin() {
+	if st.pin != nil {
+		st.pin.pinned.Add(-1)
+		st.pin = nil
+	}
+}

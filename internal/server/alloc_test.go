@@ -5,53 +5,34 @@ import (
 	"math/rand"
 	"testing"
 
-	"github.com/hpca18/bxt/internal/bus"
 	"github.com/hpca18/bxt/internal/client"
 	"github.com/hpca18/bxt/internal/core"
-	"github.com/hpca18/bxt/internal/obs"
 	"github.com/hpca18/bxt/internal/scheme"
 	"github.com/hpca18/bxt/internal/trace"
 )
 
-// newBenchSession wires a session the way handshake does, minus the
-// network, so the per-batch path can be driven directly.
-func newBenchSession(t testing.TB, schemeName string, txnSize int) *session {
+// newBenchStream wires a session and its stream 0 the way handshake does,
+// minus the network, so the per-batch path can be driven directly.
+func newBenchStream(t testing.TB, schemeName string, txnSize int) *stream {
 	t.Helper()
 	srv, err := New(testConfig())
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	codec, err := scheme.Build(schemeName, srv.cfg.SchemeOptions())
-	if err != nil {
-		t.Fatalf("Build(%s): %v", schemeName, err)
-	}
 	ss := &session{
-		srv:        srv,
-		id:         1,
-		version:    trace.ProtocolVersion, // exercise the envelope (v2) reply path
-		schemeName: schemeName,
-		codec:      codec,
-		txnSize:    txnSize,
-		metaBits:   codec.MetaBits(txnSize),
-		counters:   srv.met.scheme(schemeName),
-		energy:     srv.met.energy.Counter(schemeName),
-		baseBus:    bus.New(srv.cfg.ChannelWidthBits),
-		encBus:     bus.New(srv.cfg.ChannelWidthBits),
-		log:        srv.log.With("session", 1),
-		readH:      srv.met.stages.Hist(schemeName, obs.StageFrameRead),
-		admH:       srv.met.stages.Hist(schemeName, obs.StageAdmission),
-		encH:       srv.met.stages.Hist(schemeName, obs.StageEncode),
-		accH:       srv.met.stages.Hist(schemeName, obs.StageAccount),
-		writeH:     srv.met.stages.Hist(schemeName, obs.StageFrameWrite),
-		replyFree:  make(chan []byte, 6),
+		srv:       srv,
+		id:        1,
+		version:   trace.ProtocolVersion, // exercise the muxed envelope reply path
+		log:       srv.log.With("session", 1),
+		replyFree: make(chan []byte, 6),
 	}
-	ss.metaBytes = (ss.metaBits + 7) / 8
-	// Mirror handshake: metadata-free sessions run the batch-granular
-	// encode path.
-	if ss.metaBits == 0 {
-		ss.batch = scheme.BatchEncoder(codec)
+	st, err := ss.openStream(0, schemeName, txnSize)
+	if err != nil {
+		t.Fatalf("openStream(%s): %v", schemeName, err)
 	}
-	return ss
+	ss.streams = map[uint32]*stream{0: st}
+	ss.st0 = st
+	return st
 }
 
 // TestProcessBatchZeroAlloc is the serving-side zero-allocation regression
@@ -61,19 +42,19 @@ func newBenchSession(t testing.TB, schemeName string, txnSize int) *session {
 func TestProcessBatchZeroAlloc(t *testing.T) {
 	for _, schemeName := range []string{"universal", "basexor", "bdenc"} {
 		t.Run(schemeName, func(t *testing.T) {
-			ss := newBenchSession(t, schemeName, 32)
+			st := newBenchStream(t, schemeName, 32)
 			txns := makeTxns(rand.New(rand.NewSource(7)), 64, 32)
 			var id uint64
 			run := func() {
 				id++
-				reply, err := ss.processBatch(id, txns)
+				reply, err := st.processBatch(id, txns)
 				if err != nil {
 					t.Fatalf("processBatch: %v", err)
 				}
 				// Return the body the way writeLoop does once the frame
 				// is on the wire.
 				select {
-				case ss.replyFree <- reply:
+				case st.ss.replyFree <- reply:
 				default:
 				}
 			}

@@ -30,8 +30,8 @@ func dupTxns(rng *rand.Rand, n, txnSize int) []trace.Transaction {
 func TestBatchPathMatchesSequential(t *testing.T) {
 	for _, schemeName := range []string{"universal", "basexor", "2b", "8b", "silent"} {
 		t.Run(schemeName, func(t *testing.T) {
-			batch := newBenchSession(t, schemeName, 32)
-			seq := newBenchSession(t, schemeName, 32)
+			batch := newBenchStream(t, schemeName, 32)
+			seq := newBenchStream(t, schemeName, 32)
 			seq.batch = nil // force the per-transaction path
 			if batch.batch == nil {
 				t.Fatal("metadata-free session did not get a batch encoder")
@@ -58,8 +58,8 @@ func TestBatchPathMatchesSequential(t *testing.T) {
 				if bs, ss := batch.encBus.Stats(), seq.encBus.Stats(); bs != ss {
 					t.Fatalf("%d txns: encoded-side bus stats diverge\nbatch      %+v\nsequential %+v", n, bs, ss)
 				}
-				batch.replyFree <- rb
-				seq.replyFree <- rs
+				batch.ss.replyFree <- rb
+				seq.ss.replyFree <- rs
 			}
 		})
 	}

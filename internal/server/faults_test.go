@@ -76,14 +76,27 @@ func (r *rawClient) recv() (trace.FrameType, []byte) {
 // testTraceID is the fixed trace id v3-shaped test batches carry.
 const testTraceID = 0xabad1dea
 
-// startEnvelope begins a Batch body for id at the given protocol
-// revision: a v3 envelope carries the test trace id, a v2 envelope does
-// not.
-func startEnvelope(version uint8, id uint64) []byte {
-	if version >= 3 {
-		return trace.AppendTraceEnvelope(nil, id, testTraceID)
+// muxAt returns the offset of the envelope within a frame body at the
+// given protocol revision: v4 bodies lead with the 4-byte stream id.
+func muxAt(version uint8) int {
+	if version >= 4 {
+		return 4
 	}
-	return trace.AppendBatchEnvelope(nil, id)
+	return 0
+}
+
+// startEnvelope begins a Batch body for id at the given protocol
+// revision: a v4 body leads with stream id 0, a v3 envelope carries the
+// test trace id, a v2 envelope does not.
+func startEnvelope(version uint8, id uint64) []byte {
+	var b []byte
+	if version >= 4 {
+		b = trace.AppendStreamID(b, 0)
+	}
+	if version >= 3 {
+		return trace.AppendTraceEnvelope(b, id, testTraceID)
+	}
+	return trace.AppendBatchEnvelope(b, id)
 }
 
 // sealedBatch builds a valid enveloped Batch body for id at version.
@@ -93,10 +106,44 @@ func sealedBatch(t *testing.T, version uint8, id uint64, txns []trace.Transactio
 	if err != nil {
 		t.Fatalf("AppendBatch: %v", err)
 	}
-	if err := trace.SealBatchEnvelope(body); err != nil {
+	if err := trace.SealBatchEnvelope(body[muxAt(version):]); err != nil {
 		t.Fatalf("SealBatchEnvelope: %v", err)
 	}
 	return body
+}
+
+// sealedRaw builds an enveloped Batch body for id carrying raw
+// (unparseable) payload bytes, with a v2-style envelope and — on v4 — the
+// stream-0 prefix.
+func sealedRaw(t *testing.T, version uint8, id uint64, payload ...byte) []byte {
+	t.Helper()
+	var body []byte
+	if version >= 4 {
+		body = trace.AppendStreamID(body, 0)
+	}
+	body = trace.AppendBatchEnvelope(body, id)
+	body = append(body, payload...)
+	if err := trace.SealBatchEnvelope(body[muxAt(version):]); err != nil {
+		t.Fatalf("SealBatchEnvelope: %v", err)
+	}
+	return body
+}
+
+// stripMux strips and verifies the stream-id prefix of a reply body on v4
+// sessions; below v4 the body passes through untouched.
+func stripMux(t *testing.T, version uint8, wantSID uint32, body []byte) []byte {
+	t.Helper()
+	if version < 4 {
+		return body
+	}
+	sid, rest, err := trace.SplitStreamID(body)
+	if err != nil {
+		t.Fatalf("SplitStreamID: %v", err)
+	}
+	if sid != wantSID {
+		t.Fatalf("reply carries stream %d, want %d", sid, wantSID)
+	}
+	return rest
 }
 
 // expectBatchError reads one frame and asserts it is a BatchError for id.
@@ -106,6 +153,7 @@ func expectBatchError(t *testing.T, r *rawClient, id uint64, wantSub string) (re
 	if ft != trace.FrameBatchError {
 		t.Fatalf("got frame %#x (%q), want BatchError", ft, body)
 	}
+	body = stripMux(t, r.ok.Version, 0, body)
 	rid, reset, msg, err := trace.ParseBatchError(body)
 	if err != nil {
 		t.Fatalf("ParseBatchError: %v", err)
@@ -127,6 +175,7 @@ func expectGoodReply(t *testing.T, r *rawClient, id uint64, txnSize, n int) {
 	if ft != trace.FrameBatchReply {
 		t.Fatalf("got frame %#x (%q), want BatchReply", ft, body)
 	}
+	body = stripMux(t, r.ok.Version, 0, body)
 	var rid uint64
 	var payload []byte
 	var err error
@@ -177,12 +226,7 @@ func TestMalformedBatchSoftFails(t *testing.T) {
 	srv := startServer(t, testConfig())
 	r := dialRaw(t, srv.Addr(), "universal", 32)
 
-	bad := trace.AppendBatchEnvelope(nil, 1)
-	bad = append(bad, 0xde, 0xad) // not a parseable batch payload
-	if err := trace.SealBatchEnvelope(bad); err != nil {
-		t.Fatal(err)
-	}
-	r.send(trace.FrameBatch, bad)
+	r.send(trace.FrameBatch, sealedRaw(t, r.ok.Version, 1, 0xde, 0xad)) // not a parseable batch payload
 	expectBatchError(t, r, 1, "")
 
 	txns := makeTxns(rand.New(rand.NewSource(1)), 8, 32)
@@ -228,21 +272,18 @@ func TestCorruptBatchCRC(t *testing.T) {
 	expectGoodReply(t, r, 8, 32, 8)
 }
 
-// TestFaultBudgetDisconnect verifies a session exhausting its fault budget
-// is answered one final BatchError, then a fatal Error frame, then closed.
+// TestFaultBudgetDisconnect verifies a pre-v4 session exhausting its fault
+// budget is answered one final BatchError, then a fatal Error frame, then
+// closed (the original fleet-protective semantics, unchanged by v4's
+// per-stream budgets).
 func TestFaultBudgetDisconnect(t *testing.T) {
 	cfg := testConfig()
 	cfg.FaultBudget = 3
 	srv := startServer(t, cfg)
-	r := dialRaw(t, srv.Addr(), "universal", 32)
+	r := dialRawVersion(t, srv.Addr(), 3, "universal", 32)
 
 	for id := uint64(1); id <= 3; id++ {
-		bad := trace.AppendBatchEnvelope(nil, id)
-		bad = append(bad, 0xff)
-		if err := trace.SealBatchEnvelope(bad); err != nil {
-			t.Fatal(err)
-		}
-		r.send(trace.FrameBatch, bad)
+		r.send(trace.FrameBatch, sealedRaw(t, r.ok.Version, id, 0xff))
 		expectBatchError(t, r, id, "")
 	}
 	ft, body := r.recv()
@@ -261,6 +302,99 @@ func TestFaultBudgetDisconnect(t *testing.T) {
 	}
 	if got := metricValue(t, exp, "bxtd_batch_faults_total"); got != 3 {
 		t.Errorf("bxtd_batch_faults_total = %d, want 3", got)
+	}
+}
+
+// TestFaultBudgetStreamKill verifies the v4 semantics: a stream exhausting
+// its fault budget is retired with a StreamClosed frame while the
+// connection — and a sibling stream — keep serving.
+func TestFaultBudgetStreamKill(t *testing.T) {
+	cfg := testConfig()
+	cfg.FaultBudget = 3
+	srv := startServer(t, cfg)
+	r := dialRaw(t, srv.Addr(), "universal", 32)
+	if r.ok.Version < 4 {
+		t.Fatalf("negotiated protocol %d, want >= 4", r.ok.Version)
+	}
+
+	// Open a sibling stream before poisoning stream 0.
+	open, err := trace.MarshalStreamOpen(trace.StreamOpen{ID: 7, TxnSize: 32, Scheme: "universal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.send(trace.FrameStreamOpen, open)
+	ft, body := r.recv()
+	if ft != trace.FrameStreamOpenOK {
+		t.Fatalf("StreamOpen answered with frame %#x (%q)", ft, body)
+	}
+	ok, err := trace.ParseStreamOpenOK(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok.ID != 7 || ok.Status != trace.StreamOK {
+		t.Fatalf("StreamOpenOK = %+v, want stream 7 accepted", ok)
+	}
+
+	// Exhaust stream 0's budget with unparseable batches.
+	for id := uint64(1); id <= 3; id++ {
+		r.send(trace.FrameBatch, sealedRaw(t, r.ok.Version, id, 0xff))
+		expectBatchError(t, r, id, "")
+	}
+	ft, body = r.recv()
+	if ft != trace.FrameStreamClosed {
+		t.Fatalf("after budget exhaustion got frame %#x (%q), want StreamClosed", ft, body)
+	}
+	sid, msg, err := trace.ParseStreamClosed(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sid != 0 || !strings.Contains(msg, "fault budget") {
+		t.Fatalf("StreamClosed names stream %d (%q), want stream 0 with a fault-budget cause", sid, msg)
+	}
+
+	// The sibling stream still serves on the same connection.
+	txns := makeTxns(rand.New(rand.NewSource(77)), 8, 32)
+	batch := trace.AppendStreamID(nil, 7)
+	batch = trace.AppendTraceEnvelope(batch, 10, testTraceID)
+	batch, err = trace.AppendBatch(batch, txns, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.SealBatchEnvelope(batch[4:]); err != nil {
+		t.Fatal(err)
+	}
+	r.send(trace.FrameBatch, batch)
+	ft, body = r.recv()
+	if ft != trace.FrameBatchReply {
+		t.Fatalf("sibling stream batch answered with frame %#x (%q), want BatchReply", ft, body)
+	}
+	body = stripMux(t, r.ok.Version, 7, body)
+	rid, rtrace, payload, err := trace.OpenTraceEnvelope(body)
+	if err != nil || rid != 10 || rtrace != testTraceID {
+		t.Fatalf("sibling reply envelope: id %d trace %#x err %v", rid, rtrace, err)
+	}
+	reply, err := trace.ParseBatchReplyInto(payload, 32, 0, nil)
+	if err != nil || len(reply.Records) != len(txns) {
+		t.Fatalf("sibling reply: %d records, err %v", len(reply.Records), err)
+	}
+
+	// A batch for the killed stream is answered with a (non-fatal)
+	// re-announced StreamClosed, not a disconnect.
+	r.send(trace.FrameBatch, sealedRaw(t, r.ok.Version, 11, 0xff))
+	ft, body = r.recv()
+	if ft != trace.FrameStreamClosed {
+		t.Fatalf("batch on killed stream answered with frame %#x (%q), want StreamClosed", ft, body)
+	}
+
+	exp := httpGet(t, "http://"+srv.MetricsAddr()+"/metrics")
+	if got := metricValue(t, exp, "bxtd_stream_kills_total"); got != 1 {
+		t.Errorf("bxtd_stream_kills_total = %d, want 1", got)
+	}
+	if got := metricValue(t, exp, "bxtd_streams_open"); got != 1 {
+		t.Errorf("bxtd_streams_open = %d, want 1 (the sibling)", got)
+	}
+	if got := metricValue(t, exp, "bxtd_fault_budget_disconnects_total"); got != 1 {
+		t.Errorf("bxtd_fault_budget_disconnects_total = %d, want 1 (the stream kill)", got)
 	}
 }
 

@@ -2,7 +2,6 @@ package server
 
 import (
 	"bufio"
-	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,30 +10,29 @@ import (
 	"sync"
 	"time"
 
-	"github.com/hpca18/bxt/internal/bus"
-	"github.com/hpca18/bxt/internal/core"
 	"github.com/hpca18/bxt/internal/obs"
-	"github.com/hpca18/bxt/internal/scheme"
-	"github.com/hpca18/bxt/internal/simcache"
 	"github.com/hpca18/bxt/internal/trace"
 )
 
 // outFrame is one queued server-to-client frame. For batch replies it also
 // carries the batch's span, complete except for its frame_write stage: the
 // write goroutine owns the reply write, so it times that stage, finalizes
-// the span, and records it to the trace ring.
+// the span, and records it to the trace ring. st is the stream the reply
+// belongs to (its frame_write histogram).
 type outFrame struct {
 	t       trace.FrameType
 	body    []byte
 	span    obs.Span
+	st      *stream
 	hasSpan bool
 }
 
-// session is one client connection: a read goroutine parses frames and
-// encodes batches (bounded by the server's worker pool), a write goroutine
-// owns the outbound half of the socket. The session's codec and bus models
-// are only ever touched by the read goroutine, so stateful codecs see
-// batches in arrival order.
+// session is one client connection: a read goroutine parses frames,
+// demultiplexes them onto the connection's streams, and encodes batches
+// (bounded by the server's worker pool); a write goroutine owns the
+// outbound half of the socket. Sessions below protocol v4 carry exactly
+// one stream (id 0); v4 sessions multiplex many. Every stream is only
+// ever touched by the read goroutine, so no per-stream locking exists.
 type session struct {
 	srv  *Server
 	id   uint64
@@ -42,85 +40,25 @@ type session struct {
 	br   *bufio.Reader
 	bw   *bufio.Writer
 
-	schemeName string
-	codec      core.Codec
-	txnSize    int
-	metaBits   int
-	metaBytes  int
-	counters   *schemeCounters
-	log        *slog.Logger
+	log *slog.Logger
 	// version is the negotiated protocol revision. v2 sessions carry
 	// batch ids and CRCs, may be shed with Busy, and survive batch
 	// faults via BatchError replies; v1 sessions keep the original
-	// fatal-error semantics.
+	// fatal-error semantics; v4 sessions multiplex streams.
 	version uint8
-	// faults counts this session's recoverable batch faults against the
-	// configured budget. Only the read goroutine touches it.
-	faults int
-	// stateful is the codec's snapshot interface, resolved at handshake
-	// against the unwrapped codec (the chaos wrapper forwards only the
-	// core.Codec surface). Nil when the scheme's state is not
-	// transferable; only the read goroutine uses it.
-	stateful scheme.Stateful
 
-	// cache, when non-nil, is the similarity tier for this session's
-	// (scheme, txnSize): repeated transactions are served from it without
-	// re-running the codec. patcher re-encodes near-duplicates by patching
-	// the cached reference record; it is nil when the codec cannot patch
-	// or when records carry side-band metadata a patch cannot reproduce,
-	// and lookups then skip the band scan entirely (LookupExact).
-	cache    *simcache.Cache
-	patcher  core.PatchEncoder
-	probe    *simcache.Probe
-	patchBuf []byte
-	cacheH   *obs.Histogram
-	// lookupTick strides the lookup timer: two clock reads per transaction
-	// cost about as much as a hit itself, so one lookup in
-	// lookupSampleStride is timed and scaled up for the stage histogram.
-	lookupTick uint64
+	// streams holds the connection's open streams by id; st0 caches the
+	// Hello-opened stream so pre-v4 sessions (and the v4 fast path for
+	// stream 0) skip the map lookup. Both are owned by the read
+	// goroutine.
+	streams map[uint32]*stream
+	st0     *stream
 
-	// Stage histograms, resolved once at handshake so per-batch
-	// observation is one mutex on the (scheme, stage) histogram.
-	readH, admH, encH, accH, writeH *obs.Histogram
-	batches                         uint64
-
-	// traceID is the current batch's end-to-end trace id (zero on
-	// sessions below protocol v3); span accumulates its per-stage
-	// timings and wire counters. Both are touched only by the read
-	// goroutine until the span is handed to writeLoop inside the
-	// outFrame. lookupDur is the (sampled, scaled) similarity-cache
-	// lookup time of the current batch, captured by encodeAllCached for
-	// the span.
-	traceID   uint64
-	span      obs.Span
-	lookupDur time.Duration
-	// energy is the session scheme's live wire-activity counter,
-	// resolved once at handshake; every batch folds its baseline and
-	// encoded bus deltas into it.
-	energy *obs.EnergyCounter
-
-	// baseBus and encBus carry the session's wire state for baseline and
-	// encoded transfers; their divergence is the value the gateway reports.
-	baseBus, encBus   *bus.Bus
-	prevBase, prevEnc bus.Stats
-	enc               core.Encoded
-	txns              []trace.Transaction
-	recBuf            []byte
-
-	// batch, when non-nil, is the codec's batch-granular entry point
-	// (metadata-free sessions only): encodeAllBatch gathers each block of
-	// transactions into srcBuf, encodes it into recBuf windows with one
-	// EncodeBatch call, and charges both buses with fused TransferBatch
-	// walks while the block is still L1-resident. batchEnc holds the
-	// per-block dst windows; bprobes, missIdx and missBuf serve the cached
-	// variant, which defers a block's misses and batches them back through
-	// the mega-kernel.
-	batch    core.BatchEncoder
-	srcBuf   []byte
-	batchEnc []core.Encoded
-	bprobes  []simcache.Probe
-	missIdx  []int
-	missBuf  []byte
+	// fbuf is the stable frame read buffer, sized for the largest legal
+	// batch across the connection's open streams so steady-state reads
+	// allocate nothing; growFrameBuf re-sizes it when a stream with
+	// larger transactions opens.
+	fbuf []byte
 
 	// readDLAt/writeDLAt record when each connection deadline was last
 	// armed, so the hot loops re-arm the kernel timer only after a quarter
@@ -189,23 +127,40 @@ func (ss *session) run() {
 
 	// A drain closed this session out from under its client; leave the
 	// codec state on disk so it can be recovered rather than lost. The
-	// read and write goroutines are both done, so the session's codec and
+	// read and write goroutines are both done, so the streams' codecs and
 	// buses are exclusively ours here.
-	if ss.stateful != nil && ss.srv.cfg.StateDir != "" && ss.srv.isRefusing() {
-		ss.persistState()
+	var batches uint64
+	for _, st := range ss.streams {
+		batches += st.batches
+		if st.stateful != nil && ss.srv.cfg.StateDir != "" && ss.srv.isRefusing() {
+			st.persistState()
+		}
 	}
+	ss.srv.met.streamsOpen.Add(-int64(len(ss.streams)))
 
-	ss.log.Info("session closed", "batches", ss.batches, "age", time.Since(opened).Round(time.Millisecond).String())
+	ss.log.Info("session closed",
+		"batches", batches, "streams", len(ss.streams),
+		"age", time.Since(opened).Round(time.Millisecond).String())
 	ss.srv.events.Add(obs.Event{
 		Type:       obs.EventSessionClose,
 		Session:    ss.id,
-		Scheme:     ss.schemeName,
-		Batches:    ss.batches,
+		Scheme:     ss.st0Scheme(),
+		Batches:    batches,
 		DurationMS: float64(time.Since(opened)) / float64(time.Millisecond),
 	})
 }
 
-// handshake reads and answers the Hello frame.
+// st0Scheme names the Hello-opened stream's scheme for session-level
+// events, tolerating a client that closed stream 0 mid-session.
+func (ss *session) st0Scheme() string {
+	if ss.st0 != nil {
+		return ss.st0.schemeName
+	}
+	return ""
+}
+
+// handshake reads and answers the Hello frame. The Hello's scheme and
+// transaction size implicitly open stream 0.
 func (ss *session) handshake() error {
 	ss.conn.SetReadDeadline(time.Now().Add(ss.srv.cfg.ReadTimeout))
 	ft, body, err := trace.ReadFrame(ss.br, nil)
@@ -229,87 +184,31 @@ func (ss *session) handshake() error {
 	if int(ss.version) > ss.srv.cfg.MaxProtocol {
 		ss.version = uint8(ss.srv.cfg.MaxProtocol)
 	}
-	name := h.Scheme
-	if name == "default" {
-		name = ss.srv.cfg.DefaultScheme
-	}
-	codec, err := scheme.Build(name, ss.srv.cfg.SchemeOptions())
+	st, err := ss.openStream(0, h.Scheme, h.TxnSize)
 	if err != nil {
-		return fmt.Errorf("%w: %v", errSession, err)
+		return err
 	}
+	ss.streams = map[uint32]*stream{0: st}
+	ss.st0 = st
+	ss.srv.met.streamsOpen.Add(1)
+	ss.srv.met.streamsTotal.Add(1)
+	ss.growFrameBuf(h.TxnSize)
 
-	// Probe the codec and bus geometry with one zero transaction on
-	// throwaway state, so misconfigurations fail the handshake instead of
-	// the first batch.
-	var probe core.Encoded
-	if err := codec.Encode(&probe, make([]byte, h.TxnSize)); err != nil {
-		return fmt.Errorf("%w: scheme %q cannot encode %d-byte transactions: %v", errSession, name, h.TxnSize, err)
-	}
-	if err := bus.New(ss.srv.cfg.ChannelWidthBits).Transfer(&probe); err != nil {
-		return fmt.Errorf("%w: scheme %q does not fit a %d-bit channel: %v", errSession, name, ss.srv.cfg.ChannelWidthBits, err)
-	}
-	codec.Reset()
-	// Patch re-encoding resolves against the real codec: the chaos
-	// wrapper below may perturb Encode, but a near-hit patch must
-	// reproduce the clean encoding the cache stores.
-	patcher, _ := codec.(core.PatchEncoder)
-	// State transfer resolves against the real codec too: a wrapped codec
-	// exposes only the core.Codec surface, so the Stateful interface must
-	// be captured before chaos wrapping.
-	stateful, _ := scheme.AsStateful(codec)
-	// Chaos injection wraps the codec after the probe, so a configured
-	// fault cannot fail an otherwise valid handshake.
-	if ss.srv.inj != nil {
-		codec = ss.srv.inj.WrapCodec(codec)
-	}
-
-	ss.schemeName = name
-	ss.codec = codec
-	ss.stateful = stateful
-	ss.txnSize = h.TxnSize
-	ss.metaBits = codec.MetaBits(h.TxnSize)
-	ss.metaBytes = (ss.metaBits + 7) / 8
-	ss.counters = ss.srv.met.scheme(name)
-	ss.baseBus = bus.New(ss.srv.cfg.ChannelWidthBits)
-	ss.encBus = bus.New(ss.srv.cfg.ChannelWidthBits)
-	// Metadata-free sessions run the batch-granular fast path; codecs
-	// without native BatchEncoder support (including chaos-wrapped ones,
-	// whose faults must keep firing per transaction) fall back to a
-	// sequential loop behind the same call.
-	if ss.metaBits == 0 {
-		ss.batch = scheme.BatchEncoder(codec)
-	}
-
-	stages := ss.srv.met.stages
-	ss.readH = stages.Hist(name, obs.StageFrameRead)
-	ss.admH = stages.Hist(name, obs.StageAdmission)
-	ss.encH = stages.Hist(name, obs.StageEncode)
-	ss.accH = stages.Hist(name, obs.StageAccount)
-	ss.writeH = stages.Hist(name, obs.StageFrameWrite)
-	ss.energy = ss.srv.met.energy.Counter(name)
-	if cache := ss.srv.simCacheFor(name, h.TxnSize, ss.metaBits); cache != nil {
-		ss.cache = cache
-		ss.probe = &simcache.Probe{}
-		ss.cacheH = stages.Hist(name, obs.StageSimcacheLookup)
-		if patcher != nil && ss.metaBits == 0 {
-			ss.patcher = patcher
-			ss.patchBuf = make([]byte, h.TxnSize)
-		}
-	}
-	ss.log = ss.srv.log.With("session", ss.id, "scheme", name)
-	ss.log.Info("session open", "remote", ss.conn.RemoteAddr().String(), "txn_size", h.TxnSize, "version", ss.version)
+	ss.log = ss.srv.log.With("session", ss.id)
+	st.log.Info("session open", "remote", ss.conn.RemoteAddr().String(), "txn_size", h.TxnSize, "version", ss.version)
 	ss.srv.events.Add(obs.Event{
 		Type:    obs.EventSessionOpen,
 		Session: ss.id,
-		Scheme:  name,
+		Scheme:  st.schemeName,
 		Detail:  ss.conn.RemoteAddr().String(),
 	})
 
 	// Echo the negotiated version: a v1 client keeps v1 framing and
-	// semantics, a v2 client gets ids, CRCs, Busy, and BatchError.
+	// semantics, a v2 client gets ids, CRCs, Busy, and BatchError, a v4
+	// client may multiplex further streams onto the connection.
 	okBody := trace.MarshalHelloOK(trace.HelloOK{
 		Version:    ss.version,
-		MetaBits:   codec.MetaBits(h.TxnSize),
+		MetaBits:   st.metaBits,
 		BatchLimit: ss.srv.cfg.BatchLimit,
 	})
 	ss.conn.SetWriteDeadline(time.Now().Add(ss.srv.cfg.WriteTimeout))
@@ -319,12 +218,20 @@ func (ss *session) handshake() error {
 	return ss.bw.Flush()
 }
 
+// growFrameBuf sizes the stable frame read buffer for the largest legal
+// batch of a txnSize-byte stream, keeping the largest size any open stream
+// has needed (plus envelope headroom) so steady-state reads allocate
+// nothing.
+func (ss *session) growFrameBuf(txnSize int) {
+	need := 1 + 32 + 4 + ss.srv.cfg.BatchLimit*(9+txnSize)
+	if len(ss.fbuf) < need {
+		ss.fbuf = make([]byte, need)
+	}
+}
+
 // readLoop consumes frames until the client closes, a protocol error
 // occurs, or the server starts draining (which fires the read deadline).
 func (ss *session) readLoop() {
-	// One stable frame buffer sized for the largest legal batch, so steady
-	// state reads allocate nothing.
-	fbuf := make([]byte, 1+4+ss.srv.cfg.BatchLimit*(9+ss.txnSize))
 	for {
 		if ss.srv.isDraining() {
 			return
@@ -339,7 +246,7 @@ func (ss *session) readLoop() {
 			ss.conn.SetReadDeadline(readStart.Add(ss.srv.cfg.ReadTimeout))
 			ss.readDLAt = readStart
 		}
-		ft, body, err := trace.ReadFrame(ss.br, fbuf)
+		ft, body, err := trace.ReadFrame(ss.br, ss.fbuf)
 		if err != nil {
 			if err == io.EOF {
 				return // clean client close
@@ -357,21 +264,59 @@ func (ss *session) readLoop() {
 			}
 			return
 		}
+		// v4 sessions carry a stream-id prefix on every post-handshake
+		// frame; resolve it to the target stream before dispatch. The
+		// stream lifecycle frames route themselves.
+		st := ss.st0
+		if ss.version >= 4 {
+			switch ft {
+			case trace.FrameStreamOpen:
+				if ss.handleStreamOpen(body) {
+					return
+				}
+				continue
+			case trace.FrameStreamClose:
+				sid, err := trace.ParseStreamClose(body)
+				if err != nil {
+					ss.fail(err.Error())
+					return
+				}
+				if _, open := ss.streams[sid]; !open {
+					ss.fail(fmt.Sprintf("close of unknown stream %d", sid))
+					return
+				}
+				ss.closeStream(sid, "")
+				continue
+			}
+			var sid uint32
+			sid, body, err = trace.SplitStreamID(body)
+			if err != nil {
+				ss.fail(err.Error())
+				return
+			}
+			if st = ss.streams[sid]; st == nil {
+				// A batch can legitimately race a server-side stream kill
+				// (fault budget); re-announcing the closure lets the
+				// client fail that stream without losing its siblings.
+				ss.out <- outFrame{t: trace.FrameStreamClosed, body: trace.MarshalStreamClosed(sid, "unknown stream")}
+				continue
+			}
+		}
 		switch ft {
 		case trace.FrameBatch:
 			// The frame_read stage includes the wait for the client's
 			// next batch, so it reflects arrival gaps, not just parsing.
 			// handleBatch observes it so the sample can carry the
 			// batch's trace id once the envelope is open.
-			if ss.handleBatch(body, time.Since(readStart)) {
+			if st.handleBatch(body, time.Since(readStart)) {
 				return
 			}
 		case trace.FrameStateSnapshot:
-			if ss.handleStateSnapshot() {
+			if st.handleStateSnapshot() {
 				return
 			}
 		case trace.FrameStateRestore:
-			if ss.handleStateRestore(body) {
+			if st.handleStateRestore(body) {
 				return
 			}
 		default:
@@ -381,566 +326,63 @@ func (ss *session) readLoop() {
 	}
 }
 
-// handleBatch runs one Batch frame body through envelope validation,
-// parsing, admission, and encoding, queueing whatever reply the outcome
-// calls for. It returns true when the session must close (v1 semantics,
-// or a v2 fault budget exhausted).
-func (ss *session) handleBatch(body []byte, readDur time.Duration) (fatal bool) {
-	var id uint64
-	ss.traceID = 0
-	payload := body
-	if ss.version >= 3 {
-		var err error
-		id, ss.traceID, payload, err = trace.OpenTraceEnvelope(body)
-		if err != nil {
-			ss.readH.ObserveDuration(readDur)
-			return ss.softFail(id, false, err.Error())
-		}
-	} else if ss.version >= 2 {
-		var err error
-		id, payload, err = trace.OpenBatchEnvelope(body)
-		if err != nil {
-			// OpenBatchEnvelope keeps the id on CRC failures, so the
-			// client can retry the exact batch that arrived corrupt.
-			ss.readH.ObserveDuration(readDur)
-			return ss.softFail(id, false, err.Error())
-		}
-	}
-	ss.readH.ObserveDurationEx(readDur, ss.traceID)
-	ss.span.Reset(ss.traceID, id, ss.id, ss.schemeName)
-	ss.span.Observe(obs.StageFrameRead, readDur)
-	txns, err := trace.ParseBatch(payload, ss.txnSize, ss.txns[:0])
+// handleStreamOpen answers one StreamOpen frame. Refusals (duplicate id,
+// stream limit, unknown scheme) are stream-scoped: the session and its
+// other streams keep serving. A malformed body is a protocol violation
+// and stays fatal.
+func (ss *session) handleStreamOpen(body []byte) (fatal bool) {
+	o, err := trace.ParseStreamOpen(body)
 	if err != nil {
-		return ss.softFail(id, false, err.Error())
+		ss.fail(err.Error())
+		return true
 	}
-	ss.txns = txns
-	if len(txns) == 0 || len(txns) > ss.srv.cfg.BatchLimit {
-		return ss.softFail(id, false, fmt.Sprintf("batch of %d transactions outside [1, %d]", len(txns), ss.srv.cfg.BatchLimit))
+	refuse := func(msg string) {
+		ss.srv.met.streamRefused.Add(1)
+		ss.log.Warn("stream open refused", "stream", o.ID, "scheme", o.Scheme, "reason", msg)
+		ss.out <- outFrame{t: trace.FrameStreamOpenOK, body: trace.MarshalStreamOpenOK(trace.StreamOpenOK{
+			ID: o.ID, Status: trace.StreamRefused, Msg: msg,
+		})}
 	}
-	// The worker pool bounds concurrent encodes across all sessions.
-	// v2 sessions wait a bounded time and may be shed with a retryable
-	// Busy reply; v1 sessions block until a slot frees (draining does
-	// not abort the acquire, so batches already read always complete).
-	admStart := time.Now()
-	if !ss.srv.admit(ss.version >= 2) {
-		ss.srv.met.busyShed.Add(1)
-		ss.srv.events.Add(obs.Event{Type: obs.EventBusy, Session: ss.id, Scheme: ss.schemeName, Txns: len(txns), TraceID: ss.traceID})
-		ss.out <- outFrame{t: trace.FrameBusy, body: trace.MarshalBusy(id, ss.srv.cfg.AdmitTimeout)}
+	if _, dup := ss.streams[o.ID]; dup {
+		refuse(fmt.Sprintf("stream %d is already open", o.ID))
 		return false
 	}
-	// Shed batches never reach here, so the admission stage counts
-	// admitted batches and its histogram reflects successful waits.
-	admDur := time.Since(admStart)
-	ss.admH.ObserveDurationEx(admDur, ss.traceID)
-	ss.span.Observe(obs.StageAdmission, admDur)
-	reply, err := ss.processBatch(id, txns)
-	ss.srv.release()
+	if len(ss.streams) >= ss.srv.cfg.StreamLimit {
+		refuse(fmt.Sprintf("session at stream capacity (%d)", ss.srv.cfg.StreamLimit))
+		return false
+	}
+	st, err := ss.openStream(o.ID, o.Scheme, o.TxnSize)
 	if err != nil {
-		if errors.Is(err, errCodecPanic) {
-			ss.quarantine(id, len(txns), payload, err)
-		}
-		// Encoding began, so the codec was reset (recoverBatch); a v2
-		// client learns via the reset flag to restart its decoder.
-		return ss.softFail(id, true, err.Error())
+		refuse(err.Error())
+		return false
 	}
-	f := outFrame{t: trace.FrameBatchReply, body: reply, span: ss.span, hasSpan: true}
-	// Steady-state fast path: with nothing queued, the reply goes out from
-	// this goroutine, skipping the channel handoff and writer wakeup. Only
-	// this goroutine enqueues, so an empty queue cannot gain frames the
-	// reply would overtake; a frame mid-write in the writer is ordered by
-	// writeOut's mutex.
-	if len(ss.out) == 0 {
-		ss.writeOut(f, true)
-	} else {
-		ss.out <- f
-	}
+	ss.streams[o.ID] = st
+	ss.srv.met.streamsOpen.Add(1)
+	ss.srv.met.streamsTotal.Add(1)
+	ss.growFrameBuf(o.TxnSize)
+	st.log.Debug("stream open", "txn_size", o.TxnSize)
+	ss.srv.events.Add(obs.Event{Type: obs.EventStreamOpen, Session: ss.id, Scheme: st.schemeName, Detail: fmt.Sprintf("stream %d", o.ID)})
+	ss.out <- outFrame{t: trace.FrameStreamOpenOK, body: trace.MarshalStreamOpenOK(trace.StreamOpenOK{
+		ID: o.ID, Status: trace.StreamOK, MetaBits: st.metaBits, BatchLimit: ss.srv.cfg.BatchLimit,
+	})}
 	return false
 }
 
-// softFail records one recoverable batch fault. A v1 session cannot be
-// told to retry, so the fault stays fatal: error frame, then close. A v2
-// session is answered with a BatchError reply and lives on — until its
-// fault budget runs out, at which point the gateway disconnects the peer
-// as abusive.
-func (ss *session) softFail(id uint64, reset bool, cause string) (fatal bool) {
-	if ss.version < 2 {
-		ss.fail(cause)
-		return true
+// closeStream retires one stream and tells the client, with msg naming the
+// cause when the server initiated the close (empty on a client-requested
+// one). The connection and its remaining streams keep serving.
+func (ss *session) closeStream(sid uint32, msg string) {
+	st := ss.streams[sid]
+	delete(ss.streams, sid)
+	if st == ss.st0 {
+		ss.st0 = nil
 	}
-	ss.faults++
-	ss.srv.met.batchFaults.Add(1)
-	ss.log.Warn("batch fault", "batch_id", id, "codec_reset", reset, "err", cause)
-	ss.srv.events.Add(obs.Event{Type: obs.EventBatchFault, Session: ss.id, Scheme: ss.schemeName, Detail: cause, TraceID: ss.traceID})
-	ss.out <- outFrame{t: trace.FrameBatchError, body: trace.MarshalBatchError(id, reset, cause)}
-	if ss.faults >= ss.srv.cfg.FaultBudget {
-		msg := fmt.Sprintf("fault budget exhausted after %d recoverable faults", ss.faults)
-		ss.log.Warn("disconnecting", "reason", msg)
-		ss.srv.met.budgetKills.Add(1)
-		ss.srv.events.Add(obs.Event{Type: obs.EventFaultBudget, Session: ss.id, Scheme: ss.schemeName, Detail: msg})
-		ss.fail(msg)
-		return true
+	ss.srv.met.streamsOpen.Add(-1)
+	if st != nil {
+		st.log.Debug("stream closed", "batches", st.batches, "cause", msg)
+		ss.srv.events.Add(obs.Event{Type: obs.EventStreamClose, Session: ss.id, Scheme: st.schemeName, Batches: st.batches, Detail: msg})
 	}
-	return false
-}
-
-// quarantine records a batch whose codec encode panicked: the poison ring
-// keeps a bounded prefix of the raw payload for offline reproduction.
-func (ss *session) quarantine(id uint64, txns int, payload []byte, err error) {
-	ss.srv.met.codecPanics.Add(1)
-	ss.srv.met.poisonBatches.Add(1)
-	ss.srv.poison.add(ss.id, ss.schemeName, id, txns, payload, err.Error())
-	ss.log.Warn("codec panic recovered; batch quarantined", "batch_id", id, "txns", txns, "err", err)
-	ss.srv.events.Add(obs.Event{Type: obs.EventCodecPanic, Session: ss.id, Scheme: ss.schemeName, Txns: txns, Detail: err.Error()})
-}
-
-// processBatch encodes one batch with the session codec, drives the
-// baseline and encoded transfers over the session's bus models, and builds
-// the BatchReply frame body. The two passes are timed separately: pass one
-// is the codec_encode stage, pass two (bus transfers + power estimate) the
-// phy_account stage. Any error return leaves the session serviceable:
-// recoverBatch has reset the codec and discarded the partial batch's bus
-// deltas (the caller relays the reset to v2 clients).
-func (ss *session) processBatch(id uint64, txns []trace.Transaction) ([]byte, error) {
-	if hook := ss.srv.testHookBatch; hook != nil {
-		hook()
-	}
-	encStart := time.Now()
-	ss.recBuf = ss.recBuf[:0]
-	if err := ss.encodeAll(txns); err != nil {
-		ss.recoverBatch()
-		return nil, err
-	}
-	accStart := time.Now()
-	encDur := accStart.Sub(encStart)
-	ss.encH.ObserveDurationEx(encDur, ss.traceID)
-	if ss.cache != nil {
-		// The lookup time is buried inside the encode pass; surface it as
-		// its own span stage the way the sampled cacheH histogram does.
-		ss.span.Observe(obs.StageSimcacheLookup, ss.lookupDur)
-	}
-	ss.span.Observe(obs.StageEncode, encDur)
-
-	// Accounting replays the records just built (the encoded payload is
-	// txnSize bytes plus metaBytes of side-band per record, the same fixed
-	// geometry the client parses). Similarity-cache sessions have already
-	// charged the buses during the encode pass — cache entries memoize
-	// their bus summaries, so the hit path splices them in with bus.Apply
-	// instead of re-walking every beat — and batch sessions have too, via
-	// the fused TransferBatch walk over each cache-hot block; both leave
-	// only the geometry check here.
-	recLen := ss.txnSize + ss.metaBytes
-	if len(ss.recBuf) != len(txns)*recLen {
-		ss.recoverBatch()
-		return nil, fmt.Errorf("scheme %s: produced %d record bytes for %d transactions, want %d",
-			ss.schemeName, len(ss.recBuf), len(txns), len(txns)*recLen)
-	}
-	if ss.cache == nil && ss.batch == nil {
-		for i := range txns {
-			raw := core.Encoded{Data: txns[i].Data}
-			if err := ss.baseBus.Transfer(&raw); err != nil {
-				ss.recoverBatch()
-				return nil, err
-			}
-			rec := ss.recBuf[i*recLen : (i+1)*recLen]
-			enc := core.Encoded{Data: rec[:ss.txnSize], Meta: rec[ss.txnSize:], MetaBits: ss.metaBits}
-			if err := ss.encBus.Transfer(&enc); err != nil {
-				ss.recoverBatch()
-				return nil, err
-			}
-		}
-	}
-
-	baseNow, encNow := ss.baseBus.Stats(), ss.encBus.Stats()
-	baseDelta := baseNow.Sub(ss.prevBase)
-	encDelta := encNow.Sub(ss.prevEnc)
-	ss.prevBase, ss.prevEnc = baseNow, encNow
-
-	stats := trace.BatchStats{
-		Transactions:  uint32(len(txns)),
-		DataBits:      uint64(baseDelta.DataBits),
-		OnesBefore:    uint64(baseDelta.Ones()),
-		OnesAfter:     uint64(encDelta.Ones()),
-		TogglesBefore: uint64(baseDelta.Toggles()),
-		TogglesAfter:  uint64(encDelta.Toggles()),
-		BaselinePJ:    ss.srv.model.Estimate(baseDelta).Total() * 1e12,
-		EncodedPJ:     ss.srv.model.Estimate(encDelta).Total() * 1e12,
-	}
-	ss.counters.observe(stats)
-	ss.energy.Observe(baseDelta, encDelta)
-	done := time.Now()
-	accDur := done.Sub(accStart)
-	ss.accH.ObserveDurationEx(accDur, ss.traceID)
-	ss.span.Observe(obs.StageAccount, accDur)
-	ss.span.Txns = len(txns)
-	ss.span.DataBits = stats.DataBits
-	ss.span.BaseOnes, ss.span.EncOnes = stats.OnesBefore, stats.OnesAfter
-	ss.span.BaseToggles, ss.span.EncToggles = stats.TogglesBefore, stats.TogglesAfter
-	ss.batches++
-
-	if total := done.Sub(encStart); total >= ss.srv.cfg.SlowBatch {
-		ss.log.Warn("slow batch", "txns", len(txns), "took", total.Round(time.Microsecond).String())
-		ss.srv.events.Add(obs.Event{
-			Type:       obs.EventSlowBatch,
-			Session:    ss.id,
-			Scheme:     ss.schemeName,
-			Txns:       len(txns),
-			DurationMS: float64(total) / float64(time.Millisecond),
-			TraceID:    ss.traceID,
-		})
-	} else if ss.log.Enabled(context.Background(), slog.LevelDebug) {
-		// Gated so the duration formatting does not allocate on every
-		// batch at the default info level.
-		ss.log.Debug("batch", "txns", len(txns), "took", total.Round(time.Microsecond).String())
-	}
-
-	// Reuse a recycled reply body if the writer has returned one; the
-	// first few batches (and any burst deeper than the free list)
-	// allocate, then the session reaches a steady state of zero
-	// allocations per batch.
-	var body []byte
-	select {
-	case body = <-ss.replyFree:
-		body = body[:0]
-	default:
-	}
-	if ss.version >= 3 {
-		// Echo the trace id so the client can verify the reply belongs
-		// to the trace it started.
-		body = trace.AppendTraceEnvelope(body, id, ss.traceID)
-	} else if ss.version >= 2 {
-		body = trace.AppendBatchEnvelope(body, id)
-	}
-	body = trace.AppendBatchStats(body, stats)
-	body = append(body, ss.recBuf...)
-	if ss.version >= 2 {
-		if err := trace.SealBatchEnvelope(body); err != nil {
-			return nil, err // unreachable: the envelope was just appended
-		}
-	}
-	return body, nil
-}
-
-// encodeAll runs the codec over every transaction, converting a codec
-// panic into errCodecPanic so one poisonous batch cannot take down the
-// process (or even the session).
-func (ss *session) encodeAll(txns []trace.Transaction) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			err = fmt.Errorf("%w: %v", errCodecPanic, r)
-		}
-	}()
-	if ss.cache != nil {
-		if ss.batch != nil {
-			return ss.encodeAllCachedBatch(txns)
-		}
-		return ss.encodeAllCached(txns)
-	}
-	if ss.batch != nil {
-		return ss.encodeAllBatch(txns)
-	}
-	for i := range txns {
-		t := &txns[i]
-		if e := ss.codec.Encode(&ss.enc, t.Data); e != nil {
-			return fmt.Errorf("scheme %s: encoding transaction %#x: %v", ss.schemeName, t.Addr, e)
-		}
-		ss.recBuf = append(ss.recBuf, ss.enc.Data...)
-		ss.recBuf = append(ss.recBuf, ss.enc.Meta...)
-	}
-	return nil
-}
-
-// batchBlockTxns is the cache-blocking factor of the batch encode path: the
-// gathered source block and its record windows (64 × 32 B = 2 KiB each for
-// the paper's workload) both stay L1-resident from the encode walk through
-// the fused accounting walk, while still amortizing per-call overheads.
-const batchBlockTxns = 64
-
-// encodeAllBatch is the batch-granular encode path for metadata-free
-// sessions without a similarity cache. BXTP frames stride each
-// transaction's data behind its record header, so each block is first
-// gathered into the contiguous srcBuf the mega-kernel wants; the dst
-// records are pre-pointed at adjacent recBuf windows, so the kernels write
-// the reply payload in place and the whole batch needs no per-record
-// copies. Wire accounting is fused into the same walk: each block charges
-// both buses through TransferBatch right after its encode, one boundary
-// splice plus streaming popcount passes instead of the per-beat Transfer
-// state machine that previously dominated the pipeline.
-func (ss *session) encodeAllBatch(txns []trace.Transaction) error {
-	n := len(txns)
-	recLen := ss.txnSize // batch sessions are metadata-free
-	if need := n * recLen; cap(ss.recBuf) < need {
-		ss.recBuf = make([]byte, need)
-	} else {
-		ss.recBuf = ss.recBuf[:n*recLen]
-	}
-	if cap(ss.batchEnc) < batchBlockTxns {
-		ss.batchEnc = make([]core.Encoded, batchBlockTxns)
-	}
-	bb := ss.baseBus.BeatBytes()
-	fused := ss.txnSize%8 == 0 && (bb == 4 || bb == 8)
-	for start := 0; start < n; start += batchBlockTxns {
-		end := start + batchBlockTxns
-		if end > n {
-			end = n
-		}
-		bn := end - start
-		var rawOnes, rawToggles int
-		if fused {
-			blockBytes := bn * ss.txnSize
-			if cap(ss.srcBuf) < blockBytes {
-				ss.srcBuf = make([]byte, blockBytes)
-			}
-			ss.srcBuf = ss.srcBuf[:blockBytes]
-			rawOnes, rawToggles = gatherCounted(ss.srcBuf, txns[start:end], ss.txnSize, bb)
-		} else {
-			ss.srcBuf = ss.srcBuf[:0]
-			for i := start; i < end; i++ {
-				ss.srcBuf = append(ss.srcBuf, txns[i].Data...)
-			}
-		}
-		dst := ss.batchEnc[:bn]
-		for i := range dst {
-			off := (start + i) * recLen
-			dst[i].Data = ss.recBuf[off : off+recLen : off+recLen]
-			dst[i].Meta = dst[i].Meta[:0]
-			dst[i].MetaBits = 0
-		}
-		if err := ss.batch.EncodeBatch(dst, ss.srcBuf, bn, ss.txnSize); err != nil {
-			return fmt.Errorf("scheme %s: encoding batch: %v", ss.schemeName, err)
-		}
-		for i := range dst {
-			if err := ss.settleBatchRecord(&dst[i], start+i, recLen); err != nil {
-				return err
-			}
-		}
-		if fused {
-			if err := ss.baseBus.TransferBatchCounted(ss.srcBuf, ss.txnSize, rawOnes, rawToggles); err != nil {
-				return err
-			}
-		} else {
-			if err := ss.baseBus.TransferBatch(ss.srcBuf, ss.txnSize); err != nil {
-				return err
-			}
-		}
-		if err := ss.encBus.TransferBatch(ss.recBuf[start*recLen:end*recLen], ss.txnSize); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// settleBatchRecord verifies the codec encoded record idx in place into its
-// recBuf window, copying back records a misbehaving (or fault-injected)
-// codec regrew elsewhere and rejecting ones with the wrong geometry.
-func (ss *session) settleBatchRecord(d *core.Encoded, idx, recLen int) error {
-	slot := ss.recBuf[idx*recLen : (idx+1)*recLen]
-	if len(d.Data) != recLen || d.MetaBits != 0 {
-		return fmt.Errorf("scheme %s: batch record %d has %d data bytes and %d meta bits, want %d and 0",
-			ss.schemeName, idx, len(d.Data), d.MetaBits, recLen)
-	}
-	if &d.Data[0] != &slot[0] {
-		copy(slot, d.Data)
-	}
-	return nil
-}
-
-// encodeAllCachedBatch fuses the similarity cache with the batch path: each
-// block's transactions are looked up first — hits and patched near-hits
-// land their records straight into recBuf — and the misses are batched back
-// through the mega-kernel in one EncodeBatch call, then inserted. Bus
-// accounting must follow arrival order (toggles depend on the beat
-// sequence), so it runs as a final in-order pass over the block's memoized
-// summaries; per-block probes keep each record's summary pair alive until
-// then.
-func (ss *session) encodeAllCachedBatch(txns []trace.Transaction) error {
-	n := len(txns)
-	recLen := ss.txnSize // cached sessions with a batch path are metadata-free
-	if need := n * recLen; cap(ss.recBuf) < need {
-		ss.recBuf = make([]byte, need)
-	} else {
-		ss.recBuf = ss.recBuf[:n*recLen]
-	}
-	if cap(ss.batchEnc) < batchBlockTxns {
-		ss.batchEnc = make([]core.Encoded, batchBlockTxns)
-	}
-	if len(ss.bprobes) < batchBlockTxns {
-		ss.bprobes = make([]simcache.Probe, batchBlockTxns)
-	}
-	var lookups time.Duration
-	for start := 0; start < n; start += batchBlockTxns {
-		end := start + batchBlockTxns
-		if end > n {
-			end = n
-		}
-		bn := end - start
-		ss.missIdx = ss.missIdx[:0]
-		ss.missBuf = ss.missBuf[:0]
-		for i := 0; i < bn; i++ {
-			t := &txns[start+i]
-			p := &ss.bprobes[i]
-			var lookupStart time.Time
-			sampled := ss.lookupTick%lookupSampleStride == 0
-			ss.lookupTick++
-			if sampled {
-				lookupStart = time.Now()
-			}
-			var res simcache.Result
-			if ss.patcher != nil {
-				res = ss.cache.Lookup(p, t.Data)
-			} else {
-				res = ss.cache.LookupExact(p, t.Data)
-			}
-			if sampled {
-				lookups += time.Since(lookupStart) * lookupSampleStride
-			}
-			slot := ss.recBuf[(start+i)*recLen : (start+i+1)*recLen]
-			switch {
-			case res == simcache.HitExact:
-				copy(slot, p.Data)
-			case res == simcache.HitNear && ss.patcher.PatchEncode(ss.patchBuf, t.Data, p.Ref, p.RefEnc):
-				copy(slot, ss.patchBuf)
-				ss.cache.Insert(p, t.Data, slot, nil)
-			default:
-				ss.missIdx = append(ss.missIdx, i)
-				ss.missBuf = append(ss.missBuf, t.Data...)
-			}
-		}
-		if len(ss.missIdx) > 0 {
-			dst := ss.batchEnc[:len(ss.missIdx)]
-			for k, i := range ss.missIdx {
-				off := (start + i) * recLen
-				dst[k].Data = ss.recBuf[off : off+recLen : off+recLen]
-				dst[k].Meta = dst[k].Meta[:0]
-				dst[k].MetaBits = 0
-			}
-			if err := ss.batch.EncodeBatch(dst, ss.missBuf, len(ss.missIdx), ss.txnSize); err != nil {
-				return fmt.Errorf("scheme %s: encoding batch: %v", ss.schemeName, err)
-			}
-			for k, i := range ss.missIdx {
-				if err := ss.settleBatchRecord(&dst[k], start+i, recLen); err != nil {
-					return err
-				}
-				off := (start + i) * recLen
-				ss.cache.Insert(&ss.bprobes[i], txns[start+i].Data, ss.recBuf[off:off+recLen], nil)
-			}
-		}
-		for i := 0; i < bn; i++ {
-			p := &ss.bprobes[i]
-			if p.HasSums {
-				if err := ss.baseBus.Apply(&p.RawSum); err != nil {
-					return err
-				}
-				if err := ss.encBus.Apply(&p.EncSum); err != nil {
-					return err
-				}
-				continue
-			}
-			off := (start + i) * recLen
-			if err := ss.accountRaw(txns[start+i].Data, ss.recBuf[off:off+recLen]); err != nil {
-				return err
-			}
-		}
-	}
-	ss.lookupDur = lookups
-	ss.cacheH.ObserveEx(lookups.Seconds(), ss.traceID)
-	return nil
-}
-
-// encodeAllCached is the similarity-cache encode path. Exact hits append
-// the cached record verbatim; near hits re-encode by patching the cached
-// reference (only the few changed elements run through the codec datapath);
-// misses — and pairs the codec refuses to patch — fall back to a full
-// encode and populate the cache for the next repeat. The summed (sampled,
-// see lookupSampleStride) lookup time feeds the simcache_lookup stage once
-// per batch.
-//
-// Wire accounting is fused into the same pass: a hit carries the record's
-// memoized bus summaries out of the cache and an Insert leaves the freshly
-// computed pair in the probe, so either way the buses are charged with an
-// O(1-beat) splice instead of the full per-beat walk processBatch would
-// otherwise run. recoverBatch discards any partially applied deltas if the
-// batch fails midway, exactly as for partial Transfer loops.
-func (ss *session) encodeAllCached(txns []trace.Transaction) error {
-	var lookups time.Duration
-	for i := range txns {
-		t := &txns[i]
-		var lookupStart time.Time
-		sampled := ss.lookupTick%lookupSampleStride == 0
-		ss.lookupTick++
-		if sampled {
-			lookupStart = time.Now()
-		}
-		var res simcache.Result
-		if ss.patcher != nil {
-			res = ss.cache.Lookup(ss.probe, t.Data)
-		} else {
-			res = ss.cache.LookupExact(ss.probe, t.Data)
-		}
-		if sampled {
-			lookups += time.Since(lookupStart) * lookupSampleStride
-		}
-		recStart := len(ss.recBuf)
-		switch {
-		case res == simcache.HitExact:
-			ss.recBuf = append(ss.recBuf, ss.probe.Data...)
-			ss.recBuf = append(ss.recBuf, ss.probe.Meta...)
-		case res == simcache.HitNear && ss.patcher.PatchEncode(ss.patchBuf, t.Data, ss.probe.Ref, ss.probe.RefEnc):
-			ss.recBuf = append(ss.recBuf, ss.patchBuf...)
-			ss.cache.Insert(ss.probe, t.Data, ss.patchBuf, nil)
-		default:
-			if e := ss.codec.Encode(&ss.enc, t.Data); e != nil {
-				return fmt.Errorf("scheme %s: encoding transaction %#x: %v", ss.schemeName, t.Addr, e)
-			}
-			ss.recBuf = append(ss.recBuf, ss.enc.Data...)
-			ss.recBuf = append(ss.recBuf, ss.enc.Meta...)
-			ss.cache.Insert(ss.probe, t.Data, ss.enc.Data, ss.enc.Meta)
-		}
-		if err := ss.accountCached(t.Data, ss.recBuf[recStart:]); err != nil {
-			return err
-		}
-	}
-	ss.lookupDur = lookups
-	ss.cacheH.ObserveEx(lookups.Seconds(), ss.traceID)
-	return nil
-}
-
-// accountCached charges one just-built record to the session's buses: via
-// the probe's memoized summaries when the cache provided them, else by
-// replaying the raw transaction and record through the full Transfer walk.
-func (ss *session) accountCached(raw, rec []byte) error {
-	if ss.probe.HasSums {
-		if err := ss.baseBus.Apply(&ss.probe.RawSum); err != nil {
-			return err
-		}
-		return ss.encBus.Apply(&ss.probe.EncSum)
-	}
-	if len(rec) != ss.txnSize+ss.metaBytes {
-		return fmt.Errorf("scheme %s: produced a %d-byte record, want %d",
-			ss.schemeName, len(rec), ss.txnSize+ss.metaBytes)
-	}
-	return ss.accountRaw(raw, rec)
-}
-
-// accountRaw charges one raw transaction and its record to the session's
-// buses through the full per-beat walk — the fallback when no memoized
-// summaries are available.
-func (ss *session) accountRaw(raw, rec []byte) error {
-	base := core.Encoded{Data: raw}
-	if err := ss.baseBus.Transfer(&base); err != nil {
-		return err
-	}
-	enc := core.Encoded{Data: rec[:ss.txnSize], Meta: rec[ss.txnSize:], MetaBits: ss.metaBits}
-	return ss.encBus.Transfer(&enc)
-}
-
-// recoverBatch returns the session to a clean state after a failed batch:
-// the codec restarts from scratch (stateful codecs may have advanced
-// mid-batch; the client is told via the BatchError reset flag) and the
-// bus accounting baselines resync so the partial batch's transfers never
-// reach a BatchStats delta.
-func (ss *session) recoverBatch() {
-	ss.codec.Reset()
-	ss.prevBase, ss.prevEnc = ss.baseBus.Stats(), ss.encBus.Stats()
+	ss.out <- outFrame{t: trace.FrameStreamClosed, body: trace.MarshalStreamClosed(sid, msg)}
 }
 
 // fail queues an error frame for the client; the writer flushes it before
@@ -988,23 +430,23 @@ func (ss *session) writeOut(f outFrame, flush bool) {
 	}
 	if err := trace.WriteFrame(ss.bw, f.t, f.body); err != nil {
 		ss.wbroken = true
-		ss.noteWriteFailure(err)
+		ss.noteWriteFailure(f, err)
 		ss.conn.Close()
 		return
 	}
 	if flush {
 		if err := ss.bw.Flush(); err != nil {
 			ss.wbroken = true
-			ss.noteWriteFailure(err)
+			ss.noteWriteFailure(f, err)
 			ss.conn.Close()
 			return
 		}
 	}
 	// Only batch replies feed the frame_write histogram, so its count
 	// matches codec_encode's: batches observed == batches replied.
-	if f.t == trace.FrameBatchReply {
+	if f.t == trace.FrameBatchReply && f.st != nil {
 		writeDur := time.Since(writeStart)
-		ss.writeH.ObserveDurationEx(writeDur, f.span.TraceID)
+		f.st.writeH.ObserveDurationEx(writeDur, f.span.TraceID)
 		if f.hasSpan {
 			f.span.Observe(obs.StageFrameWrite, writeDur)
 			ss.srv.met.traces.Add(&f.span)
@@ -1023,12 +465,16 @@ func (ss *session) writeOut(f outFrame, flush bool) {
 // means the peer stopped reading (a slow or stuck client), which is worth
 // a dedicated counter and lifecycle event; other errors are the ordinary
 // death of an already-gone connection.
-func (ss *session) noteWriteFailure(err error) {
+func (ss *session) noteWriteFailure(f outFrame, err error) {
 	var nerr net.Error
 	if !errors.As(err, &nerr) || !nerr.Timeout() {
 		return
 	}
 	ss.srv.met.slowClients.Add(1)
-	ss.log.Warn("slow client: reply write deadline expired", "err", err)
-	ss.srv.events.Add(obs.Event{Type: obs.EventSlowClient, Session: ss.id, Scheme: ss.schemeName, Detail: err.Error()})
+	scheme := ss.st0Scheme()
+	if f.st != nil {
+		scheme = f.st.schemeName
+	}
+	ss.srv.log.Warn("slow client: reply write deadline expired", "session", ss.id, "err", err)
+	ss.srv.events.Add(obs.Event{Type: obs.EventSlowClient, Session: ss.id, Scheme: scheme, Detail: err.Error()})
 }

@@ -22,34 +22,34 @@ import (
 // carrying the serialized session state and the batch sequence it is
 // current as of. Sessions on non-snapshottable schemes answer
 // StateUnsupported; the session stays serviceable either way.
-func (ss *session) handleStateSnapshot() (fatal bool) {
-	if ss.version < 2 {
-		ss.fail(fmt.Sprintf("unexpected frame type %#x", trace.FrameStateSnapshot))
+func (st *stream) handleStateSnapshot() (fatal bool) {
+	if st.ss.version < 2 {
+		st.ss.fail(fmt.Sprintf("unexpected frame type %#x", trace.FrameStateSnapshot))
 		return true
 	}
-	if ss.stateful == nil {
-		ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(
-			trace.StateUnsupported, ss.batches,
-			[]byte(fmt.Sprintf("scheme %s is not snapshottable", ss.schemeName)))}
+	if st.stateful == nil {
+		st.ss.out <- outFrame{t: trace.FrameStateAck, body: st.muxReply(trace.MarshalStateAck(
+			trace.StateUnsupported, st.batches,
+			[]byte(fmt.Sprintf("scheme %s is not snapshottable", st.schemeName))))}
 		return false
 	}
 	var buf bytes.Buffer
-	if err := ss.snapshotState(&buf); err != nil {
+	if err := st.snapshotState(&buf); err != nil {
 		// Snapshot writes to a buffer, so this is codec-side failure, not
 		// I/O; the codec state itself was only read, never mutated.
-		ss.srv.met.stateFails.Add(1)
-		ss.log.Warn("state snapshot failed", "err", err)
-		ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(
-			trace.StateFailed, ss.batches, []byte(err.Error()))}
+		st.ss.srv.met.stateFails.Add(1)
+		st.log.Warn("state snapshot failed", "err", err)
+		st.ss.out <- outFrame{t: trace.FrameStateAck, body: st.muxReply(trace.MarshalStateAck(
+			trace.StateFailed, st.batches, []byte(err.Error())))}
 		return false
 	}
-	ss.srv.met.stateSnapshots.Add(1)
-	ss.srv.met.stateSnapshotBytes.Store(int64(buf.Len()))
-	ss.log.Debug("state snapshot served", "bytes", buf.Len(), "batches", ss.batches)
-	ss.srv.events.Add(obs.Event{
-		Type: obs.EventStateSnapshot, Session: ss.id, Scheme: ss.schemeName, Batches: ss.batches,
+	st.ss.srv.met.stateSnapshots.Add(1)
+	st.ss.srv.met.stateSnapshotBytes.Store(int64(buf.Len()))
+	st.log.Debug("state snapshot served", "bytes", buf.Len(), "batches", st.batches)
+	st.ss.srv.events.Add(obs.Event{
+		Type: obs.EventStateSnapshot, Session: st.ss.id, Scheme: st.schemeName, Batches: st.batches,
 	})
-	ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(trace.StateOK, ss.batches, buf.Bytes())}
+	st.ss.out <- outFrame{t: trace.FrameStateAck, body: st.muxReply(trace.MarshalStateAck(trace.StateOK, st.batches, buf.Bytes()))}
 	return false
 }
 
@@ -60,71 +60,71 @@ func (ss *session) handleStateSnapshot() (fatal bool) {
 // the session falls back to the freshly-reset state recoverBatch
 // guarantees — never a half-restored one — and says so in the ack, leaving
 // the orchestrator its reset-flagged BatchError fallback.
-func (ss *session) handleStateRestore(body []byte) (fatal bool) {
-	if ss.version < 2 {
-		ss.fail(fmt.Sprintf("unexpected frame type %#x", trace.FrameStateRestore))
+func (st *stream) handleStateRestore(body []byte) (fatal bool) {
+	if st.ss.version < 2 {
+		st.ss.fail(fmt.Sprintf("unexpected frame type %#x", trace.FrameStateRestore))
 		return true
 	}
 	seq, state, err := trace.ParseStateRestore(body)
 	if err != nil {
 		// A malformed admin frame is a framing bug, not a bad snapshot:
 		// fail the session like any other protocol violation.
-		ss.fail(err.Error())
+		st.ss.fail(err.Error())
 		return true
 	}
-	if ss.stateful == nil {
-		ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(
+	if st.stateful == nil {
+		st.ss.out <- outFrame{t: trace.FrameStateAck, body: st.muxReply(trace.MarshalStateAck(
 			trace.StateUnsupported, seq,
-			[]byte(fmt.Sprintf("scheme %s is not snapshottable", ss.schemeName)))}
+			[]byte(fmt.Sprintf("scheme %s is not snapshottable", st.schemeName))))}
 		return false
 	}
-	if err := ss.restoreState(state); err != nil {
+	if err := st.restoreState(state); err != nil {
 		// Each component validates its envelope before applying anything,
 		// but an earlier component may have landed before a later one
 		// failed; recoverBatch resets the codec and resyncs the stat
 		// baselines so the session is cleanly fresh, not half-restored.
-		ss.recoverBatch()
-		ss.srv.met.stateFails.Add(1)
-		ss.log.Warn("state restore failed", "seq", seq, "err", err)
-		ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(
-			trace.StateFailed, seq, []byte(err.Error()))}
+		st.recoverBatch()
+		st.ss.srv.met.stateFails.Add(1)
+		st.log.Warn("state restore failed", "seq", seq, "err", err)
+		st.ss.out <- outFrame{t: trace.FrameStateAck, body: st.muxReply(trace.MarshalStateAck(
+			trace.StateFailed, seq, []byte(err.Error())))}
 		return false
 	}
-	ss.batches = seq
-	ss.prevBase, ss.prevEnc = ss.baseBus.Stats(), ss.encBus.Stats()
-	ss.srv.met.stateRestores.Add(1)
-	ss.log.Info("state restored", "bytes", len(state), "batches", seq)
-	ss.srv.events.Add(obs.Event{
-		Type: obs.EventStateRestore, Session: ss.id, Scheme: ss.schemeName, Batches: seq,
+	st.batches = seq
+	st.prevBase, st.prevEnc = st.baseBus.Stats(), st.encBus.Stats()
+	st.ss.srv.met.stateRestores.Add(1)
+	st.log.Info("state restored", "bytes", len(state), "batches", seq)
+	st.ss.srv.events.Add(obs.Event{
+		Type: obs.EventStateRestore, Session: st.ss.id, Scheme: st.schemeName, Batches: seq,
 	})
-	ss.out <- outFrame{t: trace.FrameStateAck, body: trace.MarshalStateAck(trace.StateOK, seq, nil)}
+	st.ss.out <- outFrame{t: trace.FrameStateAck, body: st.muxReply(trace.MarshalStateAck(trace.StateOK, seq, nil))}
 	return false
 }
 
 // snapshotState serializes the session's complete stream state: codec,
 // baseline bus, encoded bus, in that order.
-func (ss *session) snapshotState(buf *bytes.Buffer) error {
-	if err := ss.stateful.Snapshot(buf); err != nil {
+func (st *stream) snapshotState(buf *bytes.Buffer) error {
+	if err := st.stateful.Snapshot(buf); err != nil {
 		return err
 	}
-	if err := ss.baseBus.Snapshot(buf); err != nil {
+	if err := st.baseBus.Snapshot(buf); err != nil {
 		return err
 	}
-	return ss.encBus.Snapshot(buf)
+	return st.encBus.Snapshot(buf)
 }
 
 // restoreState applies a snapshotState blob. Trailing bytes are rejected:
 // a blob that decodes clean but does not end where the state does was
 // framed by a different layout and cannot be trusted.
-func (ss *session) restoreState(state []byte) error {
+func (st *stream) restoreState(state []byte) error {
 	r := bytes.NewReader(state)
-	if err := ss.stateful.Restore(r); err != nil {
+	if err := st.stateful.Restore(r); err != nil {
 		return err
 	}
-	if err := ss.baseBus.Restore(r); err != nil {
+	if err := st.baseBus.Restore(r); err != nil {
 		return fmt.Errorf("baseline %w", err)
 	}
-	if err := ss.encBus.Restore(r); err != nil {
+	if err := st.encBus.Restore(r); err != nil {
 		return fmt.Errorf("encoded %w", err)
 	}
 	if r.Len() != 0 {
@@ -137,20 +137,20 @@ func (ss *session) restoreState(state []byte) error {
 // directory as the session winds down during a drain, so a stateful
 // session's accumulated stream state survives a fleet rollout instead of
 // being discarded with the process.
-func (ss *session) persistState() {
+func (st *stream) persistState() {
 	var buf bytes.Buffer
-	if err := ss.snapshotState(&buf); err != nil {
-		ss.log.Warn("drain-time state persist failed", "err", err)
+	if err := st.snapshotState(&buf); err != nil {
+		st.log.Warn("drain-time state persist failed", "err", err)
 		return
 	}
-	path := filepath.Join(ss.srv.cfg.StateDir, fmt.Sprintf("session-%d-%s.state", ss.id, ss.schemeName))
+	path := filepath.Join(st.ss.srv.cfg.StateDir, fmt.Sprintf("session-%d-%s.state", st.ss.id, st.schemeName))
 	if err := os.WriteFile(path, buf.Bytes(), 0o600); err != nil {
-		ss.log.Warn("drain-time state persist failed", "path", path, "err", err)
+		st.log.Warn("drain-time state persist failed", "path", path, "err", err)
 		return
 	}
-	ss.log.Info("state persisted", "path", path, "bytes", buf.Len(), "batches", ss.batches)
-	ss.srv.events.Add(obs.Event{
-		Type: obs.EventStatePersist, Session: ss.id, Scheme: ss.schemeName,
-		Batches: ss.batches, Detail: path,
+	st.log.Info("state persisted", "path", path, "bytes", buf.Len(), "batches", st.batches)
+	st.ss.srv.events.Add(obs.Event{
+		Type: obs.EventStatePersist, Session: st.ss.id, Scheme: st.schemeName,
+		Batches: st.batches, Detail: path,
 	})
 }

@@ -100,6 +100,15 @@ func goldenStateBlob() []byte {
 // goldenTraceID is the fixed end-to-end trace id in the v3 vectors.
 const goldenTraceID = 0xfeedc0dedeadbeef
 
+// goldenStreamID is the fixed stream id in the v4 vectors.
+const goldenStreamID = 0x00000007
+
+// muxBody prepends the v4 stream-id prefix to a v3-encoded frame body,
+// exactly as a v4 peer frames every post-handshake message.
+func muxBody(v3 []byte) []byte {
+	return append(AppendStreamID(nil, goldenStreamID), v3...)
+}
+
 // traceEnvelope wraps payload in the v3 batch envelope (batch id + trace
 // id) and seals the CRC, exactly as a v3 peer does.
 func traceEnvelope(t *testing.T, id, traceID uint64, payload []byte) []byte {
@@ -185,6 +194,54 @@ func goldenFrames() []goldenFrame {
 		}},
 		{"v2_state_ack_failed", FrameStateAck, func(*testing.T) []byte {
 			return MarshalStateAck(StateFailed, goldenStateSeq, []byte("restore rejected: snapshot damaged"))
+		}},
+		{"v4_hello", FrameHello, marshalHello(Hello{Version: 4, TxnSize: 32, Scheme: "universal"})},
+		{"v4_hello_ok", FrameHelloOK, func(*testing.T) []byte {
+			return MarshalHelloOK(HelloOK{Version: 4, MetaBits: 2, BatchLimit: 4096})
+		}},
+		{"v4_batch", FrameBatch, func(t *testing.T) []byte {
+			payload, err := MarshalBatch(goldenTxns(), 32)
+			if err != nil {
+				t.Fatalf("MarshalBatch: %v", err)
+			}
+			return muxBody(traceEnvelope(t, goldenBatchID, goldenTraceID, payload))
+		}},
+		{"v4_batch_reply", FrameBatchReply, func(t *testing.T) []byte {
+			return muxBody(traceEnvelope(t, goldenBatchID, goldenTraceID, goldenReplyBody(t)))
+		}},
+		{"v4_busy", FrameBusy, func(*testing.T) []byte {
+			return muxBody(MarshalBusy(goldenBatchID, 25*1000*1000)) // 25ms in ns
+		}},
+		{"v4_batch_error", FrameBatchError, func(*testing.T) []byte {
+			return muxBody(MarshalBatchError(goldenBatchID, true, "codec fault: injected"))
+		}},
+		{"v4_stream_open", FrameStreamOpen, func(t *testing.T) []byte {
+			body, err := MarshalStreamOpen(StreamOpen{ID: goldenStreamID, TxnSize: 32, Scheme: "bdenc"})
+			if err != nil {
+				t.Fatalf("MarshalStreamOpen: %v", err)
+			}
+			return body
+		}},
+		{"v4_stream_open_ok", FrameStreamOpenOK, func(*testing.T) []byte {
+			return MarshalStreamOpenOK(StreamOpenOK{ID: goldenStreamID, Status: StreamOK, MetaBits: 2, BatchLimit: 4096})
+		}},
+		{"v4_stream_open_refused", FrameStreamOpenOK, func(*testing.T) []byte {
+			return MarshalStreamOpenOK(StreamOpenOK{ID: goldenStreamID, Status: StreamRefused, Msg: "unknown scheme \"nope\""})
+		}},
+		{"v4_stream_close", FrameStreamClose, func(*testing.T) []byte {
+			return MarshalStreamClose(goldenStreamID)
+		}},
+		{"v4_stream_closed", FrameStreamClosed, func(*testing.T) []byte {
+			return MarshalStreamClosed(goldenStreamID, "fault budget exhausted")
+		}},
+		{"v4_state_snapshot", FrameStateSnapshot, func(*testing.T) []byte {
+			return muxBody(nil) // the v3 snapshot request carries no body
+		}},
+		{"v4_state_restore", FrameStateRestore, func(*testing.T) []byte {
+			return muxBody(MarshalStateRestore(goldenStateSeq, goldenStateBlob()))
+		}},
+		{"v4_state_ack_ok", FrameStateAck, func(*testing.T) []byte {
+			return muxBody(MarshalStateAck(StateOK, goldenStateSeq, goldenStateBlob()))
 		}},
 		{"error", FrameError, func(*testing.T) []byte {
 			return []byte("server is draining")
@@ -280,7 +337,7 @@ func TestGoldenVectorsParse(t *testing.T) {
 				t.Fatalf("frame type = %#x, want %#x", byte(ft), byte(g.typ))
 			}
 			switch g.name {
-			case "v1_hello", "v2_hello", "v3_hello":
+			case "v1_hello", "v2_hello", "v3_hello", "v4_hello":
 				h, err := ParseHello(body)
 				if err != nil {
 					t.Fatalf("ParseHello: %v", err)
@@ -288,7 +345,7 @@ func TestGoldenVectorsParse(t *testing.T) {
 				if h.TxnSize != 32 {
 					t.Errorf("TxnSize = %d, want 32", h.TxnSize)
 				}
-			case "v1_hello_ok", "v2_hello_ok", "v3_hello_ok":
+			case "v1_hello_ok", "v2_hello_ok", "v3_hello_ok", "v4_hello_ok":
 				ok, err := ParseHelloOK(body)
 				if err != nil {
 					t.Fatalf("ParseHelloOK: %v", err)
@@ -406,6 +463,135 @@ func TestGoldenVectorsParse(t *testing.T) {
 				}
 				if status != StateFailed || seq != goldenStateSeq || string(payload) != "restore rejected: snapshot damaged" {
 					t.Errorf("state-ack = (%d, %#x, %q)", status, seq, payload)
+				}
+			case "v4_batch", "v4_batch_reply":
+				sid, rest, err := SplitStreamID(body)
+				if err != nil {
+					t.Fatalf("SplitStreamID: %v", err)
+				}
+				if sid != goldenStreamID {
+					t.Errorf("stream id = %#x, want %#x", sid, uint32(goldenStreamID))
+				}
+				id, traceID, payload, err := OpenTraceEnvelope(rest)
+				if err != nil {
+					t.Fatalf("OpenTraceEnvelope: %v", err)
+				}
+				if id != goldenBatchID || traceID != goldenTraceID {
+					t.Errorf("envelope = (%#x, %#x), want (%#x, %#x)",
+						id, traceID, uint64(goldenBatchID), uint64(goldenTraceID))
+				}
+				if g.name == "v4_batch" {
+					txns, err := ParseBatch(payload, 32, nil)
+					if err != nil {
+						t.Fatalf("ParseBatch: %v", err)
+					}
+					if len(txns) != 2 {
+						t.Fatalf("parsed %d transactions, want 2", len(txns))
+					}
+				} else {
+					reply, err := ParseBatchReply(payload, 32, 1)
+					if err != nil {
+						t.Fatalf("ParseBatchReply: %v", err)
+					}
+					if reply.Stats != goldenStats() {
+						t.Errorf("stats = %+v, want %+v", reply.Stats, goldenStats())
+					}
+				}
+			case "v4_busy":
+				sid, rest, err := SplitStreamID(body)
+				if err != nil {
+					t.Fatalf("SplitStreamID: %v", err)
+				}
+				id, retry, err := ParseBusy(rest)
+				if err != nil {
+					t.Fatalf("ParseBusy: %v", err)
+				}
+				if sid != goldenStreamID || id != goldenBatchID || retry.Milliseconds() != 25 {
+					t.Errorf("busy = (%#x, %#x, %v)", sid, id, retry)
+				}
+			case "v4_batch_error":
+				sid, rest, err := SplitStreamID(body)
+				if err != nil {
+					t.Fatalf("SplitStreamID: %v", err)
+				}
+				id, reset, msg, err := ParseBatchError(rest)
+				if err != nil {
+					t.Fatalf("ParseBatchError: %v", err)
+				}
+				if sid != goldenStreamID || id != goldenBatchID || !reset || msg != "codec fault: injected" {
+					t.Errorf("batch-error = (%#x, %#x, %v, %q)", sid, id, reset, msg)
+				}
+			case "v4_stream_open":
+				o, err := ParseStreamOpen(body)
+				if err != nil {
+					t.Fatalf("ParseStreamOpen: %v", err)
+				}
+				if o.ID != goldenStreamID || o.TxnSize != 32 || o.Scheme != "bdenc" {
+					t.Errorf("stream-open = %+v", o)
+				}
+			case "v4_stream_open_ok":
+				ok, err := ParseStreamOpenOK(body)
+				if err != nil {
+					t.Fatalf("ParseStreamOpenOK: %v", err)
+				}
+				if ok.ID != goldenStreamID || ok.Status != StreamOK || ok.MetaBits != 2 || ok.BatchLimit != 4096 {
+					t.Errorf("stream-open-ok = %+v", ok)
+				}
+			case "v4_stream_open_refused":
+				ok, err := ParseStreamOpenOK(body)
+				if err != nil {
+					t.Fatalf("ParseStreamOpenOK: %v", err)
+				}
+				if ok.ID != goldenStreamID || ok.Status != StreamRefused || ok.Msg != "unknown scheme \"nope\"" {
+					t.Errorf("stream-open-ok = %+v", ok)
+				}
+			case "v4_stream_close":
+				sid, err := ParseStreamClose(body)
+				if err != nil {
+					t.Fatalf("ParseStreamClose: %v", err)
+				}
+				if sid != goldenStreamID {
+					t.Errorf("stream-close sid = %#x, want %#x", sid, uint32(goldenStreamID))
+				}
+			case "v4_stream_closed":
+				sid, msg, err := ParseStreamClosed(body)
+				if err != nil {
+					t.Fatalf("ParseStreamClosed: %v", err)
+				}
+				if sid != goldenStreamID || msg != "fault budget exhausted" {
+					t.Errorf("stream-closed = (%#x, %q)", sid, msg)
+				}
+			case "v4_state_snapshot":
+				sid, rest, err := SplitStreamID(body)
+				if err != nil {
+					t.Fatalf("SplitStreamID: %v", err)
+				}
+				if sid != goldenStreamID || len(rest) != 0 {
+					t.Errorf("state-snapshot = (%#x, %d trailing bytes)", sid, len(rest))
+				}
+			case "v4_state_restore":
+				sid, rest, err := SplitStreamID(body)
+				if err != nil {
+					t.Fatalf("SplitStreamID: %v", err)
+				}
+				seq, state, err := ParseStateRestore(rest)
+				if err != nil {
+					t.Fatalf("ParseStateRestore: %v", err)
+				}
+				if sid != goldenStreamID || seq != goldenStateSeq || !bytes.Equal(state, goldenStateBlob()) {
+					t.Errorf("state-restore = (%#x, %#x, %x)", sid, seq, state)
+				}
+			case "v4_state_ack_ok":
+				sid, rest, err := SplitStreamID(body)
+				if err != nil {
+					t.Fatalf("SplitStreamID: %v", err)
+				}
+				status, seq, payload, err := ParseStateAck(rest)
+				if err != nil {
+					t.Fatalf("ParseStateAck: %v", err)
+				}
+				if sid != goldenStreamID || status != StateOK || seq != goldenStateSeq || !bytes.Equal(payload, goldenStateBlob()) {
+					t.Errorf("state-ack = (%#x, %d, %#x, %x)", sid, status, seq, payload)
 				}
 			case "error":
 				if string(body) != "server is draining" {

@@ -45,6 +45,17 @@
 // behaviour byte-for-byte unchanged. Busy and BatchError frames are
 // unmodified — they correlate through the batch id they already carry.
 //
+// Protocol version 4 adds stream multiplexing: many logical sessions
+// share one connection, each an independent (scheme, transaction size)
+// context with its own codec state and batch-id space. On a v4 session
+// every post-handshake frame body carries a uint32 stream-id prefix ahead
+// of its v3-encoded remainder, and four stream lifecycle frames
+// (StreamOpen/StreamOpenOK/StreamClose/StreamClosed) join the
+// vocabulary; mux.go documents the layout and the compat rule. As with
+// every revision, the field is negotiated, never assumed — v1–v3 peers
+// negotiate down in the handshake and their wire behaviour stays
+// byte-for-byte identical.
+//
 // State-transfer admin frames (any v2+ session) move a decode-stateful
 // session codec between backends without resetting the client's decoder.
 // StateSnapshot (empty body) asks the gateway to serialize the session
@@ -105,11 +116,12 @@ const (
 	// ProtocolMagic opens every Hello body.
 	ProtocolMagic = "BXTP"
 	// ProtocolVersion is the current protocol revision.
-	ProtocolVersion = 3
+	ProtocolVersion = 4
 	// MinProtocolVersion is the oldest revision the gateway still speaks;
 	// version 1 sessions use the pre-fault-tolerance framing (no batch
 	// ids, no CRC, no Busy/BatchError frames), version 2 sessions carry
-	// the batch envelope but no trace id.
+	// the batch envelope but no trace id, version 3 sessions carry the
+	// trace id but no stream multiplexing.
 	MinProtocolVersion = 1
 	// MaxFrameBytes bounds a frame body so a corrupt or hostile length
 	// prefix cannot drive unbounded allocation.

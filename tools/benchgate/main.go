@@ -2,11 +2,15 @@
 // benchmark report.
 //
 // It reads two BENCH_codec.json documents — the committed baseline and a
-// freshly measured report — and fails if any codec's encode throughput, or
-// any batch configuration's batch-path throughput, regressed by more than the
-// tolerance. Decode numbers and the loopback pipeline section are not gated:
-// decode is off the serving hot path, and the pipeline figures are dominated
-// by scheduler and syscall noise on shared runners.
+// freshly measured report — and fails if any codec's encode throughput, any
+// batch configuration's batch-path throughput, or any mux-pipeline
+// configuration's batches/sec-per-connection regressed by more than the
+// tolerance. Decode numbers and the single-session loopback pipeline section
+// are not gated: decode is off the serving hot path, and the per-batch
+// pipeline figures are dominated by scheduler and syscall noise on shared
+// runners. The mux section is gated despite running over loopback because
+// batches/sec-per-conn aggregates enough concurrent work to be stable, and it
+// is the capacity figure the v4 stream multiplexing exists to raise.
 //
 //	go run ./cmd/bxtbench -codec -o BENCH_fresh.json
 //	go run ./tools/benchgate -baseline BENCH_codec.json -fresh BENCH_fresh.json
@@ -40,6 +44,12 @@ type report struct {
 			GBPerSec float64 `json:"gb_per_s"`
 		} `json:"batch"`
 	} `json:"batch"`
+	Mux []struct {
+		Scheme               string  `json:"scheme"`
+		TxnBytes             int     `json:"txn_bytes"`
+		Streams              int     `json:"streams"`
+		BatchesPerSecPerConn float64 `json:"batches_per_s_per_conn"`
+	} `json:"mux_pipeline"`
 }
 
 func load(path string) (report, error) {
@@ -74,6 +84,10 @@ func main() {
 	for _, b := range cur.Batch {
 		batch[fmt.Sprintf("%s/%dx%dB", b.Scheme, b.BatchTxns, b.TxnBytes)] = b.Batch.GBPerSec
 	}
+	mux := make(map[string]float64)
+	for _, m := range cur.Mux {
+		mux[fmt.Sprintf("%s/%ds/%dB", m.Scheme, m.Streams, m.TxnBytes)] = m.BatchesPerSecPerConn
+	}
 
 	failed := false
 	gate := func(kind, key string, was, got float64) {
@@ -105,6 +119,14 @@ func main() {
 			got = -1
 		}
 		gate("batch", key, b.Batch.GBPerSec, got)
+	}
+	for _, m := range base.Mux {
+		key := fmt.Sprintf("%s/%ds/%dB", m.Scheme, m.Streams, m.TxnBytes)
+		got, ok := mux[key]
+		if !ok {
+			got = -1
+		}
+		gate("mux", key, m.BatchesPerSecPerConn, got)
 	}
 	if failed {
 		fmt.Println("benchgate: encode throughput regressed beyond tolerance; " +
